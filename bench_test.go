@@ -1,0 +1,191 @@
+// Benchmark harness: one benchmark per figure of the paper's evaluation
+// (§6, Figs. 6-15) plus the design-choice ablations of DESIGN.md and
+// micro-benchmarks of the state-management primitives.
+//
+// Figure benchmarks execute the corresponding experiment at reduced
+// (quick) scale per iteration and report key outcomes as custom metrics
+// (recovery seconds, VMs, latency) so regressions in experiment shape
+// show up in benchmark output. Run paper-scale experiments with
+// cmd/seep-bench instead.
+package seep_test
+
+import (
+	"fmt"
+	"testing"
+
+	"seep/internal/core"
+	"seep/internal/experiments"
+	"seep/internal/plan"
+	"seep/internal/state"
+	"seep/internal/stream"
+)
+
+func runExperiment(b *testing.B, name string) *experiments.Table {
+	b.Helper()
+	var tb *experiments.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		tb, err = experiments.Run(name, experiments.Scale{Quick: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return tb
+}
+
+func BenchmarkFig6ScaleOutLRB(b *testing.B)         { runExperiment(b, "fig6") }
+func BenchmarkFig7LatencyLRB(b *testing.B)          { runExperiment(b, "fig7") }
+func BenchmarkFig8OpenLoopTopK(b *testing.B)        { runExperiment(b, "fig8") }
+func BenchmarkFig9ThresholdSweep(b *testing.B)      { runExperiment(b, "fig9") }
+func BenchmarkFig10ManualVsDynamic(b *testing.B)    { runExperiment(b, "fig10") }
+func BenchmarkFig11RecoveryMechanisms(b *testing.B) { runExperiment(b, "fig11") }
+func BenchmarkFig12CheckpointInterval(b *testing.B) { runExperiment(b, "fig12") }
+func BenchmarkFig13ParallelRecovery(b *testing.B)   { runExperiment(b, "fig13") }
+func BenchmarkFig14CheckpointOverhead(b *testing.B) { runExperiment(b, "fig14") }
+func BenchmarkFig15LatencyRecoveryTradeoff(b *testing.B) {
+	runExperiment(b, "fig15")
+}
+
+func BenchmarkAblationBackupPlacement(b *testing.B) { runExperiment(b, "ablation-backup-placement") }
+func BenchmarkAblationVMPool(b *testing.B)          { runExperiment(b, "ablation-vm-pool") }
+func BenchmarkAblationIncrementalCheckpoint(b *testing.B) {
+	runExperiment(b, "ablation-incremental-checkpoint")
+}
+func BenchmarkAblationKeySplit(b *testing.B) { runExperiment(b, "ablation-key-split") }
+
+// --- micro-benchmarks of the state management primitives ---
+
+func mkProcessing(keys, valueBytes int) *state.Processing {
+	p := state.NewProcessing(1)
+	for i := 0; i < keys; i++ {
+		v := make([]byte, valueBytes)
+		p.KV[stream.Key(stream.Mix64(uint64(i)))] = v
+	}
+	return p
+}
+
+// BenchmarkCheckpointClone measures checkpoint-state's consistent-copy
+// cost across state sizes (the CPU cost modelled in Fig. 14).
+func BenchmarkCheckpointClone(b *testing.B) {
+	for _, keys := range []int{100, 10_000, 100_000} {
+		b.Run(fmt.Sprintf("keys=%d", keys), func(b *testing.B) {
+			p := mkProcessing(keys, 20)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = p.Clone()
+			}
+		})
+	}
+}
+
+// BenchmarkPartitionState measures partition-processing-state
+// (Algorithm 2) across parallelism levels.
+func BenchmarkPartitionState(b *testing.B) {
+	for _, pi := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("pi=%d", pi), func(b *testing.B) {
+			p := mkProcessing(50_000, 20)
+			ranges := state.FullRange.SplitEven(pi)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = p.Partition(ranges)
+			}
+		})
+	}
+}
+
+// BenchmarkRoutingLookup measures the per-tuple routing decision at
+// realistic partition counts.
+func BenchmarkRoutingLookup(b *testing.B) {
+	for _, parts := range []int{2, 16, 64} {
+		b.Run(fmt.Sprintf("parts=%d", parts), func(b *testing.B) {
+			entries := make([]state.RouteEntry, parts)
+			for i, r := range state.FullRange.SplitEven(parts) {
+				entries[i] = state.RouteEntry{
+					Target: plan.InstanceID{Op: "o", Part: i + 1},
+					Range:  r,
+				}
+			}
+			rt, err := state.NewRoutingFromEntries(entries)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = rt.Lookup(stream.Key(stream.Mix64(uint64(i))))
+			}
+		})
+	}
+}
+
+// BenchmarkBufferTrim measures the acknowledgement-driven trim of
+// Algorithm 1 line 4.
+func BenchmarkBufferTrim(b *testing.B) {
+	target := plan.InstanceID{Op: "count", Part: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		buf := state.NewBuffer()
+		for ts := int64(1); ts <= 10_000; ts++ {
+			buf.Append(target, stream.Tuple{TS: ts, Key: stream.Key(ts)})
+		}
+		b.StartTimer()
+		buf.TrimInstance(target, 5_000)
+	}
+}
+
+// BenchmarkEncodeDecodeProcessing measures checkpoint serialisation.
+func BenchmarkEncodeDecodeProcessing(b *testing.B) {
+	p := mkProcessing(10_000, 20)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := stream.NewEncoder(p.Size())
+		p.Encode(e)
+		if _, err := state.DecodeProcessing(stream.NewDecoder(e.Bytes())); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDeltaCheckpoint measures incremental checkpoint extraction
+// for a 1% dirty fraction.
+func BenchmarkDeltaCheckpoint(b *testing.B) {
+	p := mkProcessing(10_000, 20)
+	keys := p.Keys()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		tr := state.NewDeltaTracker()
+		for j := 0; j < 100; j++ {
+			tr.Touch(keys[(i*131+j*17)%len(keys)])
+		}
+		b.StartTimer()
+		_ = tr.TakeDelta(p)
+	}
+}
+
+// BenchmarkChooseBackup measures the hashed backup placement decision.
+func BenchmarkChooseBackup(b *testing.B) {
+	ups := make([]plan.InstanceID, 16)
+	for i := range ups {
+		ups[i] = plan.InstanceID{Op: "u", Part: i + 1}
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := core.ChooseBackup(plan.InstanceID{Op: "o", Part: i}, ups); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKeyOf measures tuple key hashing.
+func BenchmarkKeyOf(b *testing.B) {
+	words := make([]string, 256)
+	for i := range words {
+		words[i] = fmt.Sprintf("word-%06d", i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = stream.KeyOfString(words[i%len(words)])
+	}
+}

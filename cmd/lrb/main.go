@@ -1,0 +1,75 @@
+// Command lrb runs the Linear Road Benchmark query tuple-by-tuple on the
+// simulated cluster with the dynamic scale-out policy enabled, printing
+// throughput, allocation and the latency distribution against the 5 s
+// LRB response-time bound.
+//
+// Usage:
+//
+//	lrb -L 2 -duration 120 -rate 2000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"seep/internal/control"
+	"seep/internal/lrb"
+	"seep/internal/operator"
+	"seep/internal/plan"
+	"seep/internal/sim"
+	"seep/internal/stream"
+)
+
+func main() {
+	var (
+		l        = flag.Int("L", 2, "number of express-ways")
+		duration = flag.Int64("duration", 120, "virtual run length in seconds")
+		rate     = flag.Float64("rate", 2000, "input rate in tuples/second")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+
+	factories := make(map[plan.OpID]operator.Factory)
+	for id, f := range lrb.Factories() {
+		factories[id] = f
+	}
+	c, err := sim.NewCluster(sim.Config{
+		Seed: *seed,
+		Mode: sim.FTRSM,
+		Pool: sim.PoolConfig{Size: 4},
+	}, lrb.Query(), factories)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	gen := lrb.NewGenerator(*l, *seed)
+	if err := c.AddSource(plan.InstanceID{Op: "feeder", Part: 1}, sim.ConstantRate(*rate),
+		func(uint64) (stream.Key, any) { return gen.Next() }); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	c.EnablePolicy(control.DefaultPolicy())
+	c.RunUntil(*duration * 1000)
+
+	fmt.Printf("Linear Road Benchmark: L=%d, %.0f tuples/s for %d virtual seconds\n", *l, *rate, *duration)
+	fmt.Printf("  results delivered:  %d\n", c.SinkCount.Value())
+	sum := c.Latency.Summarize()
+	fmt.Printf("  latency:            %s\n", sum)
+	verdict := "PASS"
+	if sum.P99 > 5000 {
+		verdict = "FAIL"
+	}
+	fmt.Printf("  5 s LRB bound:      %s (P99 = %d ms)\n", verdict, sum.P99)
+	fmt.Println("  final allocation:")
+	for _, op := range c.Manager().Query().Ops() {
+		fmt.Printf("    %-12s %d instance(s)\n", op, c.Manager().Parallelism(op))
+	}
+	if recs := c.Recoveries(); len(recs) > 0 {
+		fmt.Println("  scale-out events:")
+		for _, r := range recs {
+			fmt.Printf("    t=%5.1fs %s -> pi=%d (%d tuples replayed, %.1fs)\n",
+				float64(r.StartedAt)/1000, r.Victim, r.Pi, r.ReplayedTuples, float64(r.Duration())/1000)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+// Command seep-bench regenerates the paper's evaluation figures
+// (§6, Figs. 6-15) and the design-choice ablations, printing the same
+// rows/series the paper plots plus a paper-vs-measured note.
+//
+// Usage:
+//
+//	seep-bench                       # run everything at paper scale
+//	seep-bench -experiment fig11     # one experiment
+//	seep-bench -quick                # reduced scale (seconds, not minutes)
+//	seep-bench -list                 # list experiment names
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"seep/internal/experiments"
+)
+
+func main() {
+	var (
+		name  = flag.String("experiment", "", "experiment to run (default: all)")
+		quick = flag.Bool("quick", false, "reduced scale for fast runs")
+		list  = flag.Bool("list", false, "list experiment names and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range experiments.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+	scale := experiments.Scale{Quick: *quick}
+	names := experiments.Names()
+	if *name != "" {
+		names = []string{*name}
+	}
+	failed := false
+	for _, n := range names {
+		start := time.Now()
+		t, err := experiments.Run(n, scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", n, err)
+			failed = true
+			continue
+		}
+		t.Fprint(os.Stdout)
+		fmt.Printf("  (%s in %.1fs)\n\n", n, time.Since(start).Seconds())
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

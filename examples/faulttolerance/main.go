@@ -1,0 +1,100 @@
+// Fault tolerance end to end: checkpoint a stateful operator, kill its
+// VM, recover it from the upstream backup via the integrated scale-out
+// algorithm, and verify that no state was lost — exactly-once with
+// respect to operator state.
+//
+//	go run ./examples/faulttolerance
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"seep"
+)
+
+func main() {
+	q := seep.NewQuery()
+	q.AddOp(seep.OpSpec{ID: "src", Role: seep.RoleSource})
+	q.AddOp(seep.OpSpec{ID: "split", Role: seep.RoleStateless})
+	q.AddOp(seep.OpSpec{ID: "count", Role: seep.RoleStateful})
+	q.AddOp(seep.OpSpec{ID: "sink", Role: seep.RoleSink})
+	q.Connect("src", "split")
+	q.Connect("split", "count")
+	q.Connect("count", "sink")
+
+	factories := map[seep.OpID]seep.Factory{
+		"split": func() seep.Operator { return seep.WordSplitter() },
+		"count": func() seep.Operator { return seep.NewWordCounter(0) },
+	}
+	// A long checkpoint interval: we trigger checkpoints explicitly so
+	// the timeline is easy to follow.
+	eng, err := seep.NewEngine(seep.EngineConfig{CheckpointInterval: time.Hour}, q, factories)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng.Start()
+	defer eng.Stop()
+
+	src := seep.InstanceID{Op: "src", Part: 1}
+	victim := seep.InstanceID{Op: "count", Part: 1}
+	vocab := []string{"alpha", "beta", "gamma", "delta"}
+	gen := func(i uint64) (seep.Key, any) {
+		w := vocab[i%uint64(len(vocab))]
+		return seep.KeyOfString(w), w
+	}
+	settle := func(stage string) {
+		if !eng.Quiesce(100*time.Millisecond, 5*time.Second) {
+			log.Fatalf("engine did not settle after %s", stage)
+		}
+	}
+
+	// Phase 1: 400 tuples, then checkpoint (backed up to the upstream
+	// splitter's VM).
+	if err := eng.InjectBatch(src, 400, gen); err != nil {
+		log.Fatal(err)
+	}
+	settle("phase 1")
+	if err := eng.Checkpoint(victim); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("checkpointed count#1 (400 tuples reflected)")
+
+	// Phase 2: 200 more tuples that exist only in the operator's
+	// volatile state and the upstream output buffer.
+	if err := eng.InjectBatch(src, 200, gen); err != nil {
+		log.Fatal(err)
+	}
+	settle("phase 2")
+
+	// Kill the VM. The 200 post-checkpoint tuples are NOT in the backup.
+	if err := eng.Fail(victim); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("killed count#1")
+
+	// Recover: restore the checkpoint on a new instance and replay the
+	// unacknowledged tuples from the upstream buffer (Algorithm 3, π=1).
+	start := time.Now()
+	if err := eng.Recover(victim, 1); err != nil {
+		log.Fatal(err)
+	}
+	settle("recovery")
+	fmt.Printf("recovered in %v as %v\n", time.Since(start).Round(time.Millisecond),
+		eng.Manager().Instances("count")[0])
+
+	// Verify: all 600 tuples are reflected exactly once.
+	counter := eng.OperatorOf(eng.Manager().Instances("count")[0]).(*seep.WordCounter)
+	total := int64(0)
+	for _, w := range vocab {
+		c := counter.Count(w)
+		total += c
+		fmt.Printf("  count(%q) = %d (want 150)\n", w, c)
+	}
+	if total == 600 {
+		fmt.Println("OK: state restored exactly — no loss, no duplication")
+	} else {
+		fmt.Printf("MISMATCH: total = %d, want 600\n", total)
+	}
+}

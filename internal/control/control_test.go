@@ -1,0 +1,99 @@
+package control
+
+import (
+	"testing"
+
+	"seep/internal/plan"
+)
+
+func inst(op string, part int) plan.InstanceID {
+	return plan.InstanceID{Op: plan.OpID(op), Part: part}
+}
+
+func TestDetectorKConsecutive(t *testing.T) {
+	d := NewDetector(Policy{Threshold: 0.7, ConsecutiveReports: 2})
+	r := []Report{{Inst: inst("toll", 1), Util: 0.8}}
+	if got := d.Observe(r); len(got) != 0 {
+		t.Fatalf("fired after 1 report: %v", got)
+	}
+	if d.Streak(inst("toll", 1)) != 1 {
+		t.Errorf("streak = %d", d.Streak(inst("toll", 1)))
+	}
+	got := d.Observe(r)
+	if len(got) != 1 || got[0] != inst("toll", 1) {
+		t.Fatalf("did not fire after 2 reports: %v", got)
+	}
+}
+
+func TestDetectorResetBelowThreshold(t *testing.T) {
+	d := NewDetector(Policy{Threshold: 0.7, ConsecutiveReports: 2})
+	v := inst("toll", 1)
+	d.Observe([]Report{{Inst: v, Util: 0.9}})
+	d.Observe([]Report{{Inst: v, Util: 0.5}}) // resets streak
+	if got := d.Observe([]Report{{Inst: v, Util: 0.9}}); len(got) != 0 {
+		t.Errorf("fired without k consecutive: %v", got)
+	}
+}
+
+func TestDetectorExactThresholdNotAbove(t *testing.T) {
+	d := NewDetector(Policy{Threshold: 0.7, ConsecutiveReports: 1})
+	if got := d.Observe([]Report{{Inst: inst("x", 1), Util: 0.7}}); len(got) != 0 {
+		t.Errorf("fired at exactly the threshold: %v", got)
+	}
+}
+
+func TestDetectorMutesAfterFiring(t *testing.T) {
+	d := NewDetector(Policy{Threshold: 0.7, ConsecutiveReports: 1})
+	v := inst("toll", 1)
+	if got := d.Observe([]Report{{Inst: v, Util: 0.9}}); len(got) != 1 {
+		t.Fatalf("did not fire: %v", got)
+	}
+	// While scale out is in progress the same instance must not fire
+	// again.
+	if got := d.Observe([]Report{{Inst: v, Util: 0.95}}); len(got) != 0 {
+		t.Errorf("fired while muted: %v", got)
+	}
+	d.Unmute(v)
+	if got := d.Observe([]Report{{Inst: v, Util: 0.95}}); len(got) != 1 {
+		t.Errorf("did not fire after unmute: %v", got)
+	}
+}
+
+func TestDetectorForget(t *testing.T) {
+	d := NewDetector(Policy{Threshold: 0.7, ConsecutiveReports: 2})
+	v := inst("toll", 1)
+	d.Observe([]Report{{Inst: v, Util: 0.9}})
+	d.Forget(v)
+	if d.Streak(v) != 0 {
+		t.Error("streak survived Forget")
+	}
+}
+
+func TestDetectorMultipleInstancesDeterministicOrder(t *testing.T) {
+	d := NewDetector(Policy{Threshold: 0.5, ConsecutiveReports: 1})
+	got := d.Observe([]Report{
+		{Inst: inst("b", 2), Util: 0.9},
+		{Inst: inst("a", 1), Util: 0.9},
+		{Inst: inst("b", 1), Util: 0.9},
+	})
+	if len(got) != 3 {
+		t.Fatalf("fired %v", got)
+	}
+	if got[0] != inst("a", 1) || got[1] != inst("b", 1) || got[2] != inst("b", 2) {
+		t.Errorf("order = %v", got)
+	}
+}
+
+func TestDetectorZeroKDefaultsToOne(t *testing.T) {
+	d := NewDetector(Policy{Threshold: 0.5})
+	if got := d.Observe([]Report{{Inst: inst("x", 1), Util: 0.9}}); len(got) != 1 {
+		t.Errorf("k=0 should behave as k=1: %v", got)
+	}
+}
+
+func TestDefaultPolicy(t *testing.T) {
+	p := DefaultPolicy()
+	if p.Threshold != 0.70 || p.ConsecutiveReports != 2 || p.ReportEveryMillis != 5000 {
+		t.Errorf("DefaultPolicy = %+v", p)
+	}
+}

@@ -1,0 +1,74 @@
+package control
+
+import (
+	"testing"
+
+	"seep/internal/plan"
+)
+
+func reports(op string, utils ...float64) []Report {
+	out := make([]Report, len(utils))
+	for i, u := range utils {
+		out[i] = Report{Inst: inst(op, i+1), Util: u}
+	}
+	return out
+}
+
+func TestScaleInAllPartitionsMustBeIdle(t *testing.T) {
+	d := NewScaleInDetector(ScaleInPolicy{LowWatermark: 0.25, ConsecutiveReports: 1})
+	// One hot partition blocks the merge.
+	if got := d.Observe(reports("count", 0.1, 0.6)); len(got) != 0 {
+		t.Errorf("merged with a hot sibling: %v", got)
+	}
+	if got := d.Observe(reports("count", 0.1, 0.2)); len(got) != 1 || got[0] != plan.OpID("count") {
+		t.Errorf("idle operator not proposed: %v", got)
+	}
+}
+
+func TestScaleInConsecutiveRounds(t *testing.T) {
+	d := NewScaleInDetector(ScaleInPolicy{LowWatermark: 0.25, ConsecutiveReports: 3})
+	idle := reports("count", 0.1, 0.1)
+	if got := d.Observe(idle); len(got) != 0 {
+		t.Fatal("fired after 1 round")
+	}
+	// A busy round resets the streak.
+	d.Observe(reports("count", 0.1, 0.5))
+	d.Observe(idle)
+	d.Observe(idle)
+	if got := d.Observe(idle); len(got) != 1 {
+		t.Errorf("did not fire after 3 consecutive idle rounds: %v", got)
+	}
+}
+
+func TestScaleInRespectsMinPartitions(t *testing.T) {
+	d := NewScaleInDetector(ScaleInPolicy{LowWatermark: 0.25, ConsecutiveReports: 1, MinPartitions: 2})
+	if got := d.Observe(reports("count", 0.0, 0.0)); len(got) != 0 {
+		t.Errorf("merged below MinPartitions: %v", got)
+	}
+	d2 := NewScaleInDetector(ScaleInPolicy{LowWatermark: 0.25, ConsecutiveReports: 1})
+	if got := d2.Observe(reports("count", 0.0)); len(got) != 0 {
+		t.Errorf("single partition proposed for merge: %v", got)
+	}
+}
+
+func TestScaleInMuting(t *testing.T) {
+	d := NewScaleInDetector(ScaleInPolicy{LowWatermark: 0.25, ConsecutiveReports: 1})
+	idle := reports("count", 0.1, 0.1, 0.1)
+	if got := d.Observe(idle); len(got) != 1 {
+		t.Fatal("did not fire")
+	}
+	if got := d.Observe(idle); len(got) != 0 {
+		t.Error("fired while muted")
+	}
+	d.Unmute("count")
+	if got := d.Observe(idle); len(got) != 1 {
+		t.Error("did not fire after unmute")
+	}
+}
+
+func TestDefaultScaleInPolicy(t *testing.T) {
+	p := DefaultScaleInPolicy()
+	if p.LowWatermark >= DefaultPolicy().Threshold/2 {
+		t.Errorf("low watermark %v must sit below δ/2 to avoid flapping", p.LowWatermark)
+	}
+}

@@ -1,0 +1,160 @@
+// Package core implements the paper's primary contribution: explicit
+// operator state management. It provides the backup store (the state kept
+// "at upstream VMs"), backup-operator placement (Algorithm 1), and the
+// query manager that owns the execution graph and routing state and plans
+// the integrated fault-tolerant scale-out of Algorithm 3. The runtime
+// layers (the live engine and the cluster simulator) execute these plans.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"seep/internal/plan"
+	"seep/internal/state"
+	"seep/internal/stream"
+)
+
+// ChooseBackup selects the upstream instance that stores o's checkpoints:
+// i = hash(id(o)) mod |up(o)| (Algorithm 1, line 2). Spreading backups by
+// hash balances the backup load across upstream operators (§3.2). The
+// upstream list must be non-empty and is sorted internally so the choice
+// is stable regardless of caller ordering.
+func ChooseBackup(o plan.InstanceID, upstreams []plan.InstanceID) (plan.InstanceID, error) {
+	if len(upstreams) == 0 {
+		return plan.InstanceID{}, fmt.Errorf("core: no upstream operator to back up %s", o)
+	}
+	ups := append([]plan.InstanceID(nil), upstreams...)
+	sort.Slice(ups, func(i, j int) bool {
+		if ups[i].Op != ups[j].Op {
+			return ups[i].Op < ups[j].Op
+		}
+		return ups[i].Part < ups[j].Part
+	})
+	h := stream.KeyOfString(o.String())
+	return ups[uint64(h)%uint64(len(ups))], nil
+}
+
+// backupKey identifies a stored backup by its owner.
+type entry struct {
+	host plan.InstanceID
+	cp   *state.Checkpoint
+}
+
+// BackupStore holds the checkpointed state of operators, attributed to
+// the upstream instance ("host") that physically stores it. Losing a
+// host (VM failure) loses the backups it held — exactly the failure mode
+// discussed in §4.3 — so the store supports dropping all state held by a
+// host. BackupStore is safe for concurrent use.
+type BackupStore struct {
+	mu      sync.Mutex
+	byOwner map[plan.InstanceID]entry
+	// bytes tracks the total stored footprint for observability.
+	bytes int
+}
+
+// NewBackupStore returns an empty store.
+func NewBackupStore() *BackupStore {
+	return &BackupStore{byOwner: make(map[plan.InstanceID]entry)}
+}
+
+// Store saves a checkpoint for cp.Instance at the given host, replacing
+// any older checkpoint (Algorithm 1 lines 3-7: if the backup operator
+// changed, the old backup is released). Stale checkpoints (lower Seq for
+// the same owner at the same host) are rejected.
+func (s *BackupStore) Store(host plan.InstanceID, cp *state.Checkpoint) error {
+	if err := cp.Validate(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, ok := s.byOwner[cp.Instance]; ok {
+		if old.host == host && old.cp.Seq > cp.Seq {
+			return fmt.Errorf("core: stale checkpoint seq %d < %d for %s", cp.Seq, old.cp.Seq, cp.Instance)
+		}
+		s.bytes -= old.cp.Size()
+	}
+	s.byOwner[cp.Instance] = entry{host: host, cp: cp}
+	s.bytes += cp.Size()
+	return nil
+}
+
+// Latest returns the most recent checkpoint for owner and the host
+// storing it.
+func (s *BackupStore) Latest(owner plan.InstanceID) (*state.Checkpoint, plan.InstanceID, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.byOwner[owner]
+	if !ok {
+		return nil, plan.InstanceID{}, false
+	}
+	return e.cp, e.host, true
+}
+
+// Delete removes the backup of owner (delete-backup in Algorithm 1).
+func (s *BackupStore) Delete(owner plan.InstanceID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.byOwner[owner]; ok {
+		s.bytes -= e.cp.Size()
+		delete(s.byOwner, owner)
+	}
+}
+
+// DropHost removes every backup physically stored at host, modelling the
+// loss of the VM hosting it. It returns the owners whose backups were
+// lost; those operators must re-checkpoint before they can be recovered
+// or scaled out (§4.3 discussion).
+func (s *BackupStore) DropHost(host plan.InstanceID) []plan.InstanceID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var lost []plan.InstanceID
+	for owner, e := range s.byOwner {
+		if e.host == host {
+			s.bytes -= e.cp.Size()
+			delete(s.byOwner, owner)
+			lost = append(lost, owner)
+		}
+	}
+	sort.Slice(lost, func(i, j int) bool {
+		if lost[i].Op != lost[j].Op {
+			return lost[i].Op < lost[j].Op
+		}
+		return lost[i].Part < lost[j].Part
+	})
+	return lost
+}
+
+// HostedBy returns the owners whose backups are stored at host.
+func (s *BackupStore) HostedBy(host plan.InstanceID) []plan.InstanceID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []plan.InstanceID
+	for owner, e := range s.byOwner {
+		if e.host == host {
+			out = append(out, owner)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Op != out[j].Op {
+			return out[i].Op < out[j].Op
+		}
+		return out[i].Part < out[j].Part
+	})
+	return out
+}
+
+// Bytes returns the total stored checkpoint footprint.
+func (s *BackupStore) Bytes() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytes
+}
+
+// Len returns the number of stored backups.
+func (s *BackupStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.byOwner)
+}

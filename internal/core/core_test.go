@@ -1,0 +1,422 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"seep/internal/plan"
+	"seep/internal/state"
+	"seep/internal/stream"
+)
+
+func inst(op string, part int) plan.InstanceID {
+	return plan.InstanceID{Op: plan.OpID(op), Part: part}
+}
+
+func wordQuery() *plan.Query {
+	q := plan.NewQuery()
+	q.AddOp(plan.OpSpec{ID: "src", Role: plan.RoleSource})
+	q.AddOp(plan.OpSpec{ID: "split", Role: plan.RoleStateless})
+	q.AddOp(plan.OpSpec{ID: "count", Role: plan.RoleStateful})
+	q.AddOp(plan.OpSpec{ID: "sink", Role: plan.RoleSink})
+	q.Connect("src", "split")
+	q.Connect("split", "count")
+	q.Connect("count", "sink")
+	return q
+}
+
+func mkCheckpoint(owner plan.InstanceID, nkeys int) *state.Checkpoint {
+	p := state.NewProcessing(1)
+	for i := 0; i < nkeys; i++ {
+		// Spread keys over the space deterministically.
+		k := stream.Key(uint64(i) * (^uint64(0) / uint64(nkeys)))
+		p.KV[k] = []byte{byte(i)}
+	}
+	p.TS[0] = int64(nkeys)
+	return &state.Checkpoint{
+		Instance:   owner,
+		Seq:        1,
+		Processing: p,
+		Buffer:     state.NewBuffer(),
+		OutClock:   int64(nkeys),
+	}
+}
+
+func TestChooseBackupDeterministicAndBalanced(t *testing.T) {
+	ups := []plan.InstanceID{inst("split", 1), inst("split", 2), inst("split", 3)}
+	got1, err := ChooseBackup(inst("count", 1), ups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stable under permutation of the upstream list.
+	perm := []plan.InstanceID{ups[2], ups[0], ups[1]}
+	got2, err := ChooseBackup(inst("count", 1), perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got1 != got2 {
+		t.Errorf("backup choice depends on ordering: %v vs %v", got1, got2)
+	}
+	// Different owners spread across hosts (hash-based balancing).
+	hosts := make(map[plan.InstanceID]int)
+	for i := 1; i <= 50; i++ {
+		h, err := ChooseBackup(inst("count", i), ups)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hosts[h]++
+	}
+	if len(hosts) < 2 {
+		t.Errorf("50 owners all backed up to one host: %v", hosts)
+	}
+	if _, err := ChooseBackup(inst("count", 1), nil); err == nil {
+		t.Error("expected error with no upstreams")
+	}
+}
+
+func TestBackupStoreLifecycle(t *testing.T) {
+	s := NewBackupStore()
+	owner := inst("count", 1)
+	host := inst("split", 1)
+	cp := mkCheckpoint(owner, 4)
+	if err := s.Store(host, cp); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 1 || s.Bytes() != cp.Size() {
+		t.Errorf("Len=%d Bytes=%d", s.Len(), s.Bytes())
+	}
+	got, gotHost, ok := s.Latest(owner)
+	if !ok || gotHost != host || got.Seq != 1 {
+		t.Fatalf("Latest = %v %v %v", got, gotHost, ok)
+	}
+
+	// Newer checkpoint supersedes.
+	cp2 := mkCheckpoint(owner, 8)
+	cp2.Seq = 2
+	if err := s.Store(host, cp2); err != nil {
+		t.Fatal(err)
+	}
+	got, _, _ = s.Latest(owner)
+	if got.Seq != 2 {
+		t.Errorf("Seq after supersede = %d", got.Seq)
+	}
+	if s.Bytes() != cp2.Size() {
+		t.Errorf("Bytes after supersede = %d, want %d", s.Bytes(), cp2.Size())
+	}
+
+	// Stale write at the same host is rejected.
+	stale := mkCheckpoint(owner, 2)
+	stale.Seq = 1
+	if err := s.Store(host, stale); err == nil {
+		t.Error("stale store should fail")
+	}
+
+	// Moving to a different host is allowed (backup operator changed).
+	moved := mkCheckpoint(owner, 3)
+	moved.Seq = 1
+	if err := s.Store(inst("split", 2), moved); err != nil {
+		t.Errorf("relocating backup: %v", err)
+	}
+
+	s.Delete(owner)
+	if _, _, ok := s.Latest(owner); ok {
+		t.Error("Latest after Delete")
+	}
+	if s.Bytes() != 0 {
+		t.Errorf("Bytes after Delete = %d", s.Bytes())
+	}
+}
+
+func TestBackupStoreDropHost(t *testing.T) {
+	s := NewBackupStore()
+	host1, host2 := inst("split", 1), inst("split", 2)
+	if err := s.Store(host1, mkCheckpoint(inst("count", 1), 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Store(host1, mkCheckpoint(inst("count", 2), 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Store(host2, mkCheckpoint(inst("count", 3), 2)); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.HostedBy(host1); len(got) != 2 {
+		t.Errorf("HostedBy = %v", got)
+	}
+	lost := s.DropHost(host1)
+	if len(lost) != 2 {
+		t.Fatalf("DropHost lost %v", lost)
+	}
+	if lost[0] != inst("count", 1) || lost[1] != inst("count", 2) {
+		t.Errorf("lost order = %v", lost)
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len after drop = %d", s.Len())
+	}
+	if _, _, ok := s.Latest(inst("count", 3)); !ok {
+		t.Error("unrelated backup dropped")
+	}
+}
+
+func TestBackupStoreRejectsInvalid(t *testing.T) {
+	s := NewBackupStore()
+	if err := s.Store(inst("x", 1), &state.Checkpoint{}); err == nil {
+		t.Error("invalid checkpoint stored")
+	}
+}
+
+func TestManagerInitialRouting(t *testing.T) {
+	q := wordQuery()
+	q.Op("count").InitialParallelism = 2
+	m, err := NewManager(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := m.Routing("count")
+	if len(r.Targets()) != 2 {
+		t.Errorf("initial routing targets = %v", r.Targets())
+	}
+	// Every key routes to exactly one live instance.
+	for _, k := range []stream.Key{0, 1 << 32, stream.MaxKey} {
+		target := r.Lookup(k)
+		if !m.Live(target) {
+			t.Errorf("key %d routed to dead instance %v", k, target)
+		}
+	}
+	if got := m.Parallelism("count"); got != 2 {
+		t.Errorf("Parallelism = %d", got)
+	}
+}
+
+func TestManagerRejectsInvalidQuery(t *testing.T) {
+	if _, err := NewManager(plan.NewQuery()); err == nil {
+		t.Error("empty query accepted")
+	}
+}
+
+func TestManagerBackupTarget(t *testing.T) {
+	m, err := NewManager(wordQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	host, err := m.BackupTarget(inst("count", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if host.Op != "split" {
+		t.Errorf("backup host = %v, want a split instance", host)
+	}
+}
+
+func TestPlanReplaceScaleOut(t *testing.T) {
+	m, err := NewManager(wordQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := inst("count", 1)
+	host, _ := m.BackupTarget(victim)
+	if err := m.Backups().Store(host, mkCheckpoint(victim, 10)); err != nil {
+		t.Fatal(err)
+	}
+
+	p, err := m.PlanReplace(victim, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.NewInstances) != 2 || len(p.Checkpoints) != 2 || len(p.Ranges) != 2 {
+		t.Fatalf("plan = %+v", p)
+	}
+	// Fresh partition numbers.
+	if p.NewInstances[0].Part != 2 || p.NewInstances[1].Part != 3 {
+		t.Errorf("new instances = %v", p.NewInstances)
+	}
+	// State split: all keys preserved.
+	total := 0
+	for i, cp := range p.Checkpoints {
+		total += cp.Processing.Len()
+		for k := range cp.Processing.KV {
+			if !p.Ranges[i].Contains(k) {
+				t.Errorf("key %d outside range %v", k, p.Ranges[i])
+			}
+		}
+	}
+	if total != 10 {
+		t.Errorf("partitioned state holds %d keys, want 10", total)
+	}
+	// Victim is gone; new instances live; routing updated.
+	if m.Live(victim) {
+		t.Error("victim still live")
+	}
+	for _, ni := range p.NewInstances {
+		if !m.Live(ni) {
+			t.Errorf("new instance %v not live", ni)
+		}
+		if _, _, ok := m.Backups().Latest(ni); !ok {
+			t.Errorf("no initial backup for %v", ni)
+		}
+	}
+	if _, _, ok := m.Backups().Latest(victim); ok {
+		t.Error("victim backup not released")
+	}
+	if got := m.Routing("count"); len(got.Targets()) != 2 {
+		t.Errorf("routing targets = %v", got.Targets())
+	}
+}
+
+func TestPlanReplaceRecoveryPi1(t *testing.T) {
+	m, err := NewManager(wordQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := inst("count", 1)
+	host, _ := m.BackupTarget(victim)
+	if err := m.Backups().Store(host, mkCheckpoint(victim, 5)); err != nil {
+		t.Fatal(err)
+	}
+	p, err := m.PlanReplace(victim, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.NewInstances) != 1 {
+		t.Fatalf("recovery plan = %+v", p)
+	}
+	if p.Checkpoints[0].Processing.Len() != 5 {
+		t.Errorf("recovered state = %d keys", p.Checkpoints[0].Processing.Len())
+	}
+	if r, ok := p.Routing.RangeOf(p.NewInstances[0]); !ok || r != state.FullRange {
+		t.Errorf("recovered range = %v %v", r, ok)
+	}
+}
+
+func TestPlanReplaceGuards(t *testing.T) {
+	m, err := NewManager(wordQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.PlanReplace(inst("count", 1), 0); err == nil {
+		t.Error("pi=0 accepted")
+	}
+	if _, err := m.PlanReplace(inst("src", 1), 2); err == nil {
+		t.Error("source replaced")
+	}
+	if _, err := m.PlanReplace(inst("sink", 1), 2); err == nil {
+		t.Error("sink replaced")
+	}
+	if _, err := m.PlanReplace(inst("nosuch", 1), 2); err == nil {
+		t.Error("unknown op replaced")
+	}
+	if _, err := m.PlanReplace(inst("count", 9), 2); err == nil {
+		t.Error("dead instance replaced")
+	}
+	// Stateful operator without a backup cannot be replaced.
+	_, err = m.PlanReplace(inst("count", 1), 2)
+	if err == nil || !strings.Contains(err.Error(), "no checkpoint") {
+		t.Errorf("missing-backup error = %v", err)
+	}
+}
+
+func TestPlanReplaceStatelessNoBackupNeeded(t *testing.T) {
+	m, err := NewManager(wordQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := m.PlanReplace(inst("split", 1), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.NewInstances) != 3 {
+		t.Fatalf("plan = %+v", p)
+	}
+	for _, cp := range p.Checkpoints {
+		if cp.Processing.Len() != 0 {
+			t.Error("stateless replacement carries state")
+		}
+	}
+}
+
+func TestPlanReplaceMaxParallelism(t *testing.T) {
+	q := wordQuery()
+	q.Op("count").MaxParallelism = 2
+	m, err := NewManager(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := inst("count", 1)
+	host, _ := m.BackupTarget(victim)
+	if err := m.Backups().Store(host, mkCheckpoint(victim, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.PlanReplace(victim, 3); err == nil {
+		t.Error("exceeding max parallelism accepted")
+	}
+	if _, err := m.PlanReplace(victim, 2); err != nil {
+		t.Errorf("allowed scale out rejected: %v", err)
+	}
+}
+
+func TestPlanMergeScaleIn(t *testing.T) {
+	m, err := NewManager(wordQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := inst("count", 1)
+	host, _ := m.BackupTarget(victim)
+	if err := m.Backups().Store(host, mkCheckpoint(victim, 12)); err != nil {
+		t.Fatal(err)
+	}
+	p, err := m.PlanReplace(victim, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Now merge the two partitions back.
+	mp, err := m.PlanMerge(p.NewInstances)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mp.Range != state.FullRange {
+		t.Errorf("merged range = %v", mp.Range)
+	}
+	if mp.Checkpoint.Processing.Len() != 12 {
+		t.Errorf("merged state = %d keys, want 12", mp.Checkpoint.Processing.Len())
+	}
+	if m.Parallelism("count") != 1 {
+		t.Errorf("parallelism after merge = %d", m.Parallelism("count"))
+	}
+	r := m.Routing("count")
+	if got := r.Lookup(0); got != mp.NewInstance {
+		t.Errorf("routing after merge → %v", got)
+	}
+}
+
+func TestPlanMergeGuards(t *testing.T) {
+	m, err := NewManager(wordQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.PlanMerge([]plan.InstanceID{inst("count", 1)}); err == nil {
+		t.Error("single-victim merge accepted")
+	}
+	if _, err := m.PlanMerge([]plan.InstanceID{inst("count", 1), inst("split", 1)}); err == nil {
+		t.Error("cross-operator merge accepted")
+	}
+}
+
+func TestHandleHostFailure(t *testing.T) {
+	m, err := NewManager(wordQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := inst("count", 1)
+	host, _ := m.BackupTarget(victim)
+	if err := m.Backups().Store(host, mkCheckpoint(victim, 3)); err != nil {
+		t.Fatal(err)
+	}
+	lost := m.HandleHostFailure(host)
+	if len(lost) != 1 || lost[0] != victim {
+		t.Errorf("lost = %v", lost)
+	}
+	// Now the victim cannot be replaced until it re-checkpoints.
+	if _, err := m.PlanReplace(victim, 1); err == nil {
+		t.Error("replace succeeded with lost backup")
+	}
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"seep/internal/plan"
+	"seep/internal/state"
+	"seep/internal/stream"
+)
+
+// DurableStore persists checkpoints to a directory in addition to the
+// in-memory backup store — the persist operation of §3.3 ("part of the
+// operator state can be supported by external storage through a persist
+// operation"). Backups survive a full process restart: a recovering
+// deployment calls LoadAll to repopulate its backup store.
+//
+// Files are written atomically (temp file + rename) so a crash mid-write
+// never corrupts the previous checkpoint.
+type DurableStore struct {
+	*BackupStore
+	mu    sync.Mutex
+	dir   string
+	codec state.PayloadCodec
+}
+
+// NewDurableStore creates (or reuses) the directory and wraps a fresh
+// in-memory backup store.
+func NewDurableStore(dir string, codec state.PayloadCodec) (*DurableStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("core: create checkpoint dir: %w", err)
+	}
+	return &DurableStore{BackupStore: NewBackupStore(), dir: dir, codec: codec}, nil
+}
+
+func (s *DurableStore) fileFor(owner plan.InstanceID) string {
+	name := fmt.Sprintf("%s-%d.ckpt", sanitize(string(owner.Op)), owner.Part)
+	return filepath.Join(s.dir, name)
+}
+
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			return r
+		}
+		return '_'
+	}, s)
+}
+
+// Store persists the checkpoint, then records it in memory. If the disk
+// write fails the in-memory store is not updated, so Latest never claims
+// durability it does not have.
+func (s *DurableStore) Store(host plan.InstanceID, cp *state.Checkpoint) error {
+	if err := cp.Validate(); err != nil {
+		return err
+	}
+	e := stream.NewEncoder(cp.Size() + 256)
+	if err := state.EncodeCheckpoint(e, cp, s.codec); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	path := s.fileFor(cp.Instance)
+	tmp := path + ".tmp"
+	err := os.WriteFile(tmp, e.Bytes(), 0o644)
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	s.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("core: persist checkpoint: %w", err)
+	}
+	return s.BackupStore.Store(host, cp)
+}
+
+// Delete removes the backup from memory and disk.
+func (s *DurableStore) Delete(owner plan.InstanceID) {
+	s.BackupStore.Delete(owner)
+	s.mu.Lock()
+	_ = os.Remove(s.fileFor(owner))
+	s.mu.Unlock()
+}
+
+// Load reads one persisted checkpoint from disk (without touching the
+// in-memory store).
+func (s *DurableStore) Load(owner plan.InstanceID) (*state.Checkpoint, error) {
+	s.mu.Lock()
+	b, err := os.ReadFile(s.fileFor(owner))
+	s.mu.Unlock()
+	if err != nil {
+		return nil, fmt.Errorf("core: load checkpoint: %w", err)
+	}
+	return state.DecodeCheckpoint(stream.NewDecoder(b), s.codec)
+}
+
+// LoadAll repopulates the in-memory store from every checkpoint file in
+// the directory, attributing each to the given host chooser (typically
+// Manager.BackupTarget). Returns the recovered owners.
+func (s *DurableStore) LoadAll(hostFor func(owner plan.InstanceID) (plan.InstanceID, error)) ([]plan.InstanceID, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("core: scan checkpoint dir: %w", err)
+	}
+	var out []plan.InstanceID
+	for _, ent := range entries {
+		if ent.IsDir() || !strings.HasSuffix(ent.Name(), ".ckpt") {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(s.dir, ent.Name()))
+		if err != nil {
+			return out, err
+		}
+		cp, err := state.DecodeCheckpoint(stream.NewDecoder(b), s.codec)
+		if err != nil {
+			return out, fmt.Errorf("core: corrupt checkpoint %s: %w", ent.Name(), err)
+		}
+		host, err := hostFor(cp.Instance)
+		if err != nil {
+			continue
+		}
+		if err := s.BackupStore.Store(host, cp); err != nil {
+			return out, err
+		}
+		out = append(out, cp.Instance)
+	}
+	return out, nil
+}

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"seep/internal/plan"
+	"seep/internal/state"
+	"seep/internal/stream"
+)
+
+func mkBufferedCheckpoint(owner plan.InstanceID) *state.Checkpoint {
+	cp := mkCheckpoint(owner, 20)
+	cp.Buffer.Append(inst("sink", 1), stream.Tuple{TS: 5, Key: 9, Born: 100, Payload: "hello"})
+	cp.Buffer.Append(inst("sink", 1), stream.Tuple{TS: 6, Key: 9, Born: 101, Payload: "world"})
+	cp.OutClock = 77
+	cp.Acks = map[plan.InstanceID]int64{inst("split", 1): 123}
+	return cp
+}
+
+func TestEncodeDecodeCheckpoint(t *testing.T) {
+	cp := mkBufferedCheckpoint(inst("count", 1))
+	e := stream.NewEncoder(0)
+	if err := state.EncodeCheckpoint(e, cp, state.StringPayloadCodec{}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := state.DecodeCheckpoint(stream.NewDecoder(e.Bytes()), state.StringPayloadCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Instance != cp.Instance || got.Seq != cp.Seq || got.OutClock != 77 {
+		t.Errorf("header mismatch: %+v", got)
+	}
+	if !got.Processing.Equal(cp.Processing) {
+		t.Error("processing state mismatch")
+	}
+	if got.Buffer.Len() != 2 {
+		t.Errorf("buffer length = %d", got.Buffer.Len())
+	}
+	tuples := got.Buffer.Tuples(inst("sink", 1))
+	if tuples[0].Payload != "hello" || tuples[1].Payload != "world" {
+		t.Errorf("buffered payloads = %v", tuples)
+	}
+	if tuples[0].Born != 100 {
+		t.Errorf("born lost: %v", tuples[0])
+	}
+	if got.Acks[inst("split", 1)] != 123 {
+		t.Errorf("acks = %v", got.Acks)
+	}
+}
+
+func TestDecodeCheckpointRejectsGarbage(t *testing.T) {
+	if _, err := state.DecodeCheckpoint(stream.NewDecoder([]byte("not a checkpoint")), state.StringPayloadCodec{}); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestStringPayloadCodecRejectsNonStrings(t *testing.T) {
+	if _, err := (state.StringPayloadCodec{}).EncodePayload(42); err == nil {
+		t.Error("non-string payload accepted")
+	}
+}
+
+func TestDurableStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewDurableStore(dir, state.StringPayloadCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner := inst("count", 1)
+	host := inst("split", 1)
+	cp := mkBufferedCheckpoint(owner)
+	if err := s.Store(host, cp); err != nil {
+		t.Fatal(err)
+	}
+	// In-memory view works as usual.
+	got, gotHost, ok := s.Latest(owner)
+	if !ok || gotHost != host || got.Seq != cp.Seq {
+		t.Fatalf("Latest = %v %v %v", got, gotHost, ok)
+	}
+	// And the checkpoint is on disk.
+	if _, err := s.Load(owner); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+
+	// Simulate a full process restart: a fresh store over the same dir.
+	s2, err := NewDurableStore(dir, state.StringPayloadCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := s2.Latest(owner); ok {
+		t.Fatal("fresh store should start empty in memory")
+	}
+	recovered, err := s2.LoadAll(func(plan.InstanceID) (plan.InstanceID, error) { return host, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recovered) != 1 || recovered[0] != owner {
+		t.Fatalf("recovered = %v", recovered)
+	}
+	got2, _, ok := s2.Latest(owner)
+	if !ok || !got2.Processing.Equal(cp.Processing) || got2.Buffer.Len() != 2 {
+		t.Error("recovered checkpoint differs")
+	}
+}
+
+func TestDurableStoreDeleteRemovesFile(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewDurableStore(dir, state.StringPayloadCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner := inst("count", 1)
+	if err := s.Store(inst("split", 1), mkBufferedCheckpoint(owner)); err != nil {
+		t.Fatal(err)
+	}
+	s.Delete(owner)
+	if _, err := s.Load(owner); err == nil {
+		t.Error("file survived Delete")
+	}
+	entries, _ := os.ReadDir(dir)
+	for _, ent := range entries {
+		if filepath.Ext(ent.Name()) == ".ckpt" {
+			t.Errorf("stray checkpoint file %s", ent.Name())
+		}
+	}
+}
+
+func TestDurableStoreCorruptFile(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewDurableStore(dir, state.StringPayloadCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "bogus.ckpt"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.LoadAll(func(plan.InstanceID) (plan.InstanceID, error) { return inst("u", 1), nil }); err == nil {
+		t.Error("corrupt checkpoint accepted")
+	}
+}
+
+func TestDurableStoreSanitizesNames(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewDurableStore(dir, state.StringPayloadCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner := plan.InstanceID{Op: "weird/op name", Part: 1}
+	cp := mkBufferedCheckpoint(owner)
+	cp.Instance = owner
+	if err := s.Store(inst("split", 1), cp); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Load(owner); err != nil {
+		t.Errorf("load with sanitised name: %v", err)
+	}
+}

@@ -1,0 +1,358 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"seep/internal/plan"
+	"seep/internal/state"
+)
+
+// Splitter chooses how a key interval is divided across π new partitions.
+// The default is even hash partitioning; a frequency-guided splitter can
+// be substituted (§3.2: "the key distribution can be used to guide the
+// split").
+type Splitter func(r state.KeyRange, pi int) []state.KeyRange
+
+// EvenSplitter is the default hash-partitioning splitter.
+func EvenSplitter(r state.KeyRange, pi int) []state.KeyRange { return r.SplitEven(pi) }
+
+// ReplacePlan is the outcome of planning scale-out-operator(o, π)
+// (Algorithm 3, lines 1-2 plus the Algorithm 2 state partitioning): the
+// data needed by a runtime to deploy new instances, restore state, update
+// routing and replay buffered tuples.
+type ReplacePlan struct {
+	// Victim is the instance being replaced (bottleneck or failed).
+	Victim plan.InstanceID
+	// NewInstances are the π replacement instances, freshly numbered.
+	NewInstances []plan.InstanceID
+	// Ranges[i] is the key interval owned by NewInstances[i].
+	Ranges []state.KeyRange
+	// Checkpoints[i] is the partitioned state for NewInstances[i],
+	// already re-backed-up in the store (Algorithm 2 line 8).
+	Checkpoints []*state.Checkpoint
+	// Routing is the updated routing table for the victim's logical
+	// operator, to be installed at every upstream instance.
+	Routing *state.Routing
+}
+
+// MergePlan is the outcome of planning a scale-in: two or more sibling
+// instances collapse into one (§3.3 merge primitive).
+type MergePlan struct {
+	Victims     []plan.InstanceID
+	NewInstance plan.InstanceID
+	Range       state.KeyRange
+	Checkpoint  *state.Checkpoint
+	Routing     *state.Routing
+}
+
+// Manager is the logically centralised query manager of §2.2/§5: it owns
+// the execution graph, the routing state of every logical operator, and
+// the backup store, and it plans scale-out/recovery/scale-in transitions.
+// Runtimes execute the plans (deploy VMs, restore operators, replay).
+// Manager is safe for concurrent use.
+type Manager struct {
+	mu      sync.Mutex
+	query   *plan.Query
+	graph   *plan.ExecGraph
+	backups *BackupStore
+	// routing maps each logical operator to the routing state its
+	// upstream operators use to reach its partitions. Routing state is
+	// "maintained by the query manager" and restored from here after
+	// upstream failures (§3.2).
+	routing map[plan.OpID]*state.Routing
+	// Split is the key-split strategy (EvenSplitter by default).
+	Split Splitter
+}
+
+// NewManager builds the manager for a validated query, materialising the
+// initial execution graph and full-range routing for every operator with
+// a single partition, or an even split for pre-parallelised operators.
+func NewManager(q *plan.Query) (*Manager, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Manager{
+		query:   q,
+		graph:   plan.NewExecGraph(q),
+		backups: NewBackupStore(),
+		routing: make(map[plan.OpID]*state.Routing),
+		Split:   EvenSplitter,
+	}
+	for _, id := range q.Ops() {
+		insts := m.graph.Instances(id)
+		ranges := state.FullRange.SplitEven(len(insts))
+		entries := make([]state.RouteEntry, len(insts))
+		for i, inst := range insts {
+			entries[i] = state.RouteEntry{Target: inst, Range: ranges[i]}
+		}
+		r, err := state.NewRoutingFromEntries(entries)
+		if err != nil {
+			return nil, err
+		}
+		m.routing[id] = r
+	}
+	return m, nil
+}
+
+// Query returns the logical query graph.
+func (m *Manager) Query() *plan.Query { return m.query }
+
+// Backups returns the backup store.
+func (m *Manager) Backups() *BackupStore { return m.backups }
+
+// Routing returns the current routing state for reaching op's partitions.
+func (m *Manager) Routing(op plan.OpID) *state.Routing {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if r := m.routing[op]; r != nil {
+		return r.Clone()
+	}
+	return nil
+}
+
+// Instances returns the live instances of op.
+func (m *Manager) Instances(op plan.OpID) []plan.InstanceID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.graph.Instances(op)
+}
+
+// AllInstances returns every live instance.
+func (m *Manager) AllInstances() []plan.InstanceID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.graph.AllInstances()
+}
+
+// Parallelism returns the number of live partitions of op.
+func (m *Manager) Parallelism(op plan.OpID) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.graph.Parallelism(op)
+}
+
+// Live reports whether inst is part of the current execution graph.
+func (m *Manager) Live(inst plan.InstanceID) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.graph.Live(inst)
+}
+
+// UpstreamInstances returns the live instances of all logical upstream
+// operators of op, the candidates for backup placement.
+func (m *Manager) UpstreamInstances(op plan.OpID) []plan.InstanceID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []plan.InstanceID
+	for _, u := range m.query.Upstream(op) {
+		out = append(out, m.graph.Instances(u)...)
+	}
+	return out
+}
+
+// BackupTarget returns the upstream instance that should store o's next
+// checkpoint, per Algorithm 1 line 2.
+func (m *Manager) BackupTarget(o plan.InstanceID) (plan.InstanceID, error) {
+	return ChooseBackup(o, m.UpstreamInstances(o.Op))
+}
+
+// PlanReplace plans scale-out-operator(victim, π): it retrieves the
+// victim's backed-up checkpoint, partitions it over π new instances with
+// freshly numbered partitions, stores the partitioned checkpoints as
+// initial backups, and computes the updated routing table. The victim is
+// removed from the execution graph. π=1 is failure recovery; π≥2 is
+// scale out (or parallel recovery). The caller must then execute the
+// plan: deploy, restore, replay, and install routing upstream.
+//
+// If the victim has no backed-up checkpoint (its backup host failed
+// first), planning fails and the caller must wait for a fresh backup
+// (§4.3 discussion).
+func (m *Manager) PlanReplace(victim plan.InstanceID, pi int) (*ReplacePlan, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if pi < 1 {
+		return nil, fmt.Errorf("core: replace %s with pi=%d", victim, pi)
+	}
+	spec := m.query.Op(victim.Op)
+	if spec == nil {
+		return nil, fmt.Errorf("core: unknown operator %q", victim.Op)
+	}
+	if spec.Role == plan.RoleSource || spec.Role == plan.RoleSink {
+		return nil, fmt.Errorf("core: cannot replace %s: sources and sinks are assumed reliable (§2.2)", victim)
+	}
+	if max := spec.MaxParallelism; max > 0 && m.graph.Parallelism(victim.Op)-1+pi > max {
+		return nil, fmt.Errorf("core: scale out of %s to %d exceeds max parallelism %d", victim, pi, max)
+	}
+	if !m.graph.Live(victim) {
+		return nil, fmt.Errorf("core: instance %s is not live", victim)
+	}
+	cp, _, ok := m.backups.Latest(victim)
+	if !ok && spec.Role == plan.RoleStateful {
+		return nil, fmt.Errorf("core: no checkpoint available for %s; retry after next backup", victim)
+	}
+	routing := m.routing[victim.Op]
+	kr, ok2 := routing.RangeOf(victim)
+	if !ok2 {
+		return nil, fmt.Errorf("core: %s has no routing entry", victim)
+	}
+	split := m.Split
+	if split == nil {
+		split = EvenSplitter
+	}
+	ranges := split(kr, pi)
+	if len(ranges) != pi {
+		return nil, fmt.Errorf("core: splitter returned %d ranges for pi=%d", len(ranges), pi)
+	}
+	newInsts, err := m.graph.Replace(victim.Op, []plan.InstanceID{victim}, pi)
+	if err != nil {
+		return nil, err
+	}
+	var parts []*state.Checkpoint
+	if cp != nil {
+		parts, err = state.PartitionCheckpoint(cp, newInsts, ranges)
+	} else {
+		// Stateless victim: empty checkpoints, fresh clocks.
+		parts = make([]*state.Checkpoint, pi)
+		for i := range parts {
+			parts[i] = &state.Checkpoint{
+				Instance:   newInsts[i],
+				Seq:        1,
+				Processing: state.NewProcessing(len(m.query.Upstream(victim.Op))),
+				Buffer:     state.NewBuffer(),
+			}
+		}
+	}
+	if err != nil {
+		// Roll back the graph change.
+		_, _ = m.graph.Replace(victim.Op, newInsts, 1)
+		return nil, err
+	}
+	newRouting, err := routing.ReplaceTarget(victim, newInsts, ranges)
+	if err != nil {
+		return nil, err
+	}
+	// Algorithm 2 line 8: the partitioned state is stored as the initial
+	// backup of each new partition, then the old backup is released.
+	for i, p := range parts {
+		host, herr := ChooseBackup(newInsts[i], m.upstreamLocked(victim.Op))
+		if herr != nil {
+			return nil, herr
+		}
+		if serr := m.backups.Store(host, p); serr != nil {
+			return nil, serr
+		}
+	}
+	m.backups.Delete(victim)
+	m.routing[victim.Op] = newRouting
+	return &ReplacePlan{
+		Victim:       victim,
+		NewInstances: newInsts,
+		Ranges:       ranges,
+		Checkpoints:  parts,
+		Routing:      newRouting.Clone(),
+	}, nil
+}
+
+func (m *Manager) upstreamLocked(op plan.OpID) []plan.InstanceID {
+	var out []plan.InstanceID
+	for _, u := range m.query.Upstream(op) {
+		out = append(out, m.graph.Instances(u)...)
+	}
+	return out
+}
+
+// PlanMerge plans a scale-in: the victims (sibling partitions with
+// adjacent key ranges) are merged into one new instance. All victims
+// must have backed-up checkpoints.
+func (m *Manager) PlanMerge(victims []plan.InstanceID) (*MergePlan, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(victims) < 2 {
+		return nil, fmt.Errorf("core: merge needs at least two victims")
+	}
+	op := victims[0].Op
+	routing := m.routing[op]
+	var cps []*state.Checkpoint
+	var union state.KeyRange
+	for i, v := range victims {
+		if v.Op != op {
+			return nil, fmt.Errorf("core: merge across operators %q and %q", op, v.Op)
+		}
+		if !m.graph.Live(v) {
+			return nil, fmt.Errorf("core: instance %s is not live", v)
+		}
+		cp, _, ok := m.backups.Latest(v)
+		if !ok {
+			return nil, fmt.Errorf("core: no checkpoint for %s", v)
+		}
+		cps = append(cps, cp)
+		r, ok := routing.RangeOf(v)
+		if !ok {
+			return nil, fmt.Errorf("core: %s has no routing entry", v)
+		}
+		if i == 0 {
+			union = r
+		} else if r.Lo == union.Hi+1 {
+			union.Hi = r.Hi
+		} else if union.Lo == r.Hi+1 {
+			union.Lo = r.Lo
+		} else {
+			return nil, fmt.Errorf("core: victims' key ranges are not adjacent: %v and %v", union, r)
+		}
+	}
+	newInsts, err := m.graph.Replace(op, victims, 1)
+	if err != nil {
+		return nil, err
+	}
+	target := newInsts[0]
+	merged, err := state.MergeCheckpoints(target, cps...)
+	if err != nil {
+		return nil, err
+	}
+	// Rebuild the routing table: drop every victim entry, add one entry
+	// covering their united interval.
+	var entries []state.RouteEntry
+	for _, e := range routing.Entries() {
+		isVictim := false
+		for _, v := range victims {
+			if e.Target == v {
+				isVictim = true
+				break
+			}
+		}
+		if !isVictim {
+			entries = append(entries, e)
+		}
+	}
+	entries = append(entries, state.RouteEntry{Target: target, Range: union})
+	newRouting, err := state.NewRoutingFromEntries(entries)
+	if err != nil {
+		return nil, err
+	}
+	host, err := ChooseBackup(target, m.upstreamLocked(op))
+	if err != nil {
+		return nil, err
+	}
+	if err := m.backups.Store(host, merged); err != nil {
+		return nil, err
+	}
+	for _, v := range victims {
+		m.backups.Delete(v)
+	}
+	m.routing[op] = newRouting
+	return &MergePlan{
+		Victims:     victims,
+		NewInstance: target,
+		Range:       union,
+		Checkpoint:  merged,
+		Routing:     newRouting.Clone(),
+	}, nil
+}
+
+// HandleHostFailure records that a VM hosting inst failed: backups stored
+// at that host are dropped (they lived in its memory). Returns the owners
+// whose backups were lost.
+func (m *Manager) HandleHostFailure(inst plan.InstanceID) []plan.InstanceID {
+	return m.backups.DropHost(inst)
+}

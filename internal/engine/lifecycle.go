@@ -1,0 +1,391 @@
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"seep/internal/plan"
+	"seep/internal/state"
+	"seep/internal/stream"
+)
+
+// checkpointAll runs backup-state for every non-source, non-sink node.
+func (e *Engine) checkpointAll() {
+	e.mu.RLock()
+	var ns []*node
+	for _, n := range e.nodes {
+		if n.failed.Load() || n.spec.Role == plan.RoleSource || n.spec.Role == plan.RoleSink {
+			continue
+		}
+		ns = append(ns, n)
+	}
+	e.mu.RUnlock()
+	for _, n := range ns {
+		e.checkpointNode(n)
+	}
+}
+
+// checkpointNode takes a consistent checkpoint of one node, stores it at
+// its backup host and trims acknowledged tuples from upstream buffers
+// (Algorithm 1).
+func (e *Engine) checkpointNode(n *node) {
+	cp := n.snapshot()
+	host, err := e.mgr.BackupTarget(n.inst)
+	if err != nil {
+		return
+	}
+	if err := e.mgr.Backups().Store(host, cp); err != nil {
+		return
+	}
+	e.mu.RLock()
+	for up, ts := range cp.Acks {
+		if un := e.nodes[up]; un != nil {
+			un.mu.Lock()
+			un.outBuf.TrimInstance(n.inst, ts)
+			un.mu.Unlock()
+		}
+	}
+	e.mu.RUnlock()
+}
+
+// snapshot builds a checkpoint (checkpoint-state, §3.2). Operator state
+// is copied under the operator's own lock; node bookkeeping under the
+// node lock.
+func (n *node) snapshot() *state.Checkpoint {
+	n.mu.Lock()
+	n.ckptSeq++
+	seq := n.ckptSeq
+	tsVec := n.tsVec.Clone()
+	buf := n.outBuf.Clone()
+	clock := n.outClock.Last()
+	acks := state.CloneAcks(n.acks)
+	n.mu.Unlock()
+
+	proc := state.NewProcessing(len(tsVec))
+	proc.TS = tsVec
+	if st, ok := n.op.(interface {
+		SnapshotKV() map[stream.Key][]byte
+	}); ok && st != nil {
+		proc.KV = st.SnapshotKV()
+	}
+	return &state.Checkpoint{
+		Instance:   n.inst,
+		Seq:        seq,
+		Processing: proc,
+		Buffer:     buf,
+		OutClock:   clock,
+		Acks:       acks,
+	}
+}
+
+// restore installs a checkpoint on a fresh node (restore-state).
+func (n *node) restore(cp *state.Checkpoint) {
+	if st, ok := n.op.(interface {
+		RestoreKV(map[stream.Key][]byte)
+	}); ok && st != nil {
+		st.RestoreKV(cp.Processing.KV)
+	}
+	n.mu.Lock()
+	n.tsVec = cp.Processing.TS.Clone()
+	for len(n.tsVec) < len(n.e.mgr.Query().Upstream(n.inst.Op)) {
+		n.tsVec = append(n.tsVec, 0)
+	}
+	n.outBuf = cp.Buffer.Clone()
+	n.outClock.Reset(cp.OutClock)
+	n.acks = state.CloneAcks(cp.Acks)
+	if n.acks == nil {
+		n.acks = make(map[plan.InstanceID]int64)
+	}
+	n.ckptSeq = cp.Seq
+	n.mu.Unlock()
+}
+
+// Fail crash-stops the VM hosting an instance: the node stops processing
+// and backups it hosted are lost. Recovery must be triggered by Recover
+// (the engine has no background failure detector; detection delay is the
+// caller's to model or measure).
+func (e *Engine) Fail(inst plan.InstanceID) error {
+	e.mu.Lock()
+	n := e.nodes[inst]
+	if n == nil || n.failed.Load() {
+		e.mu.Unlock()
+		return fmt.Errorf("engine: %s is not a live instance", inst)
+	}
+	if n.spec.Role == plan.RoleSource || n.spec.Role == plan.RoleSink {
+		e.mu.Unlock()
+		return fmt.Errorf("engine: sources and sinks are assumed reliable (§2.2)")
+	}
+	n.failed.Store(true)
+	e.mu.Unlock()
+	n.stop()
+	e.mgr.HandleHostFailure(inst)
+	return nil
+}
+
+// Recover replaces a failed instance via the integrated scale-out
+// algorithm with parallelism pi (π=1 serial recovery, π≥2 parallel
+// recovery).
+func (e *Engine) Recover(inst plan.InstanceID, pi int) error {
+	return e.replace(inst, pi, true)
+}
+
+// ScaleOut splits a live instance into pi partitioned instances
+// (Algorithm 3). A fresh checkpoint is taken first so the replayed
+// window is small.
+func (e *Engine) ScaleOut(victim plan.InstanceID, pi int) error {
+	e.mu.RLock()
+	n := e.nodes[victim]
+	e.mu.RUnlock()
+	if n == nil || n.failed.Load() {
+		return fmt.Errorf("engine: %s is not live", victim)
+	}
+	e.checkpointNode(n)
+	return e.replace(victim, pi, false)
+}
+
+// replace executes Algorithm 3: plan (partition the backed-up checkpoint,
+// update the execution graph and routing), deploy replacement nodes,
+// restore state, switch routing, repartition upstream buffers, and
+// replay. The routing switch and buffer repartitioning happen under the
+// engine write lock — the moral equivalent of stopping the upstream
+// operators (lines 9-14) — while tuple replay rides the normal channels.
+func (e *Engine) replace(victim plan.InstanceID, pi int, failure bool) error {
+	rp, err := e.mgr.PlanReplace(victim, pi)
+	if err != nil {
+		return err
+	}
+	q := e.mgr.Query()
+	spec := q.Op(victim.Op)
+
+	// Build replacement nodes and restore their state before exposing
+	// them to traffic.
+	newNodes := make([]*node, pi)
+	for i, inst := range rp.NewInstances {
+		nn, err := e.newNode(inst, spec)
+		if err != nil {
+			return err
+		}
+		nn.restore(rp.Checkpoints[i])
+		newNodes[i] = nn
+	}
+
+	e.mu.Lock()
+	old := e.nodes[victim]
+	if old != nil {
+		old.failed.Store(true)
+		delete(e.nodes, victim)
+	}
+	for _, nn := range newNodes {
+		e.nodes[nn.inst] = nn
+	}
+	e.routings[victim.Op] = rp.Routing
+
+	// Downstream ack inheritance for deterministic π=1 replay (see
+	// DESIGN.md on duplicate detection across partitioned restarts).
+	if pi == 1 {
+		for _, dn := range e.nodes {
+			dn.mu.Lock()
+			if ts, ok := dn.acks[victim]; ok {
+				dn.acks[rp.NewInstances[0]] = ts
+				delete(dn.acks, victim)
+			}
+			dn.mu.Unlock()
+		}
+	}
+
+	// The victim's own buffered output replays to downstream operators
+	// (line 7): queue onto the new nodes' replay queues so it precedes
+	// anything they emit themselves.
+	for i, nn := range newNodes {
+		cp := rp.Checkpoints[i]
+		for _, target := range cp.Buffer.Targets() {
+			r := e.routings[target.Op]
+			for _, t := range cp.Buffer.Tuples(target) {
+				to := target
+				if r != nil {
+					to = r.Lookup(t.Key)
+				}
+				if tn := e.nodes[to]; tn != nil {
+					tn.replayQueue = append(tn.replayQueue, delivery{
+						from:  nn.inst,
+						input: q.InputIndex(victim.Op, to.Op),
+						t:     t,
+					})
+				}
+			}
+		}
+	}
+	// Upstream buffers: repartition under the new routing and queue the
+	// retained tuples for replay to the new instances (lines 9-14).
+	for _, upOp := range q.Upstream(victim.Op) {
+		for _, upInst := range e.mgr.Instances(upOp) {
+			un := e.nodes[upInst]
+			if un == nil {
+				continue
+			}
+			un.mu.Lock()
+			un.outBuf.Repartition(victim.Op, rp.Routing)
+			for _, nn := range newNodes {
+				for _, t := range un.outBuf.Tuples(nn.inst) {
+					nn.replayQueue = append(nn.replayQueue, delivery{
+						from:  upInst,
+						input: q.InputIndex(upOp, victim.Op),
+						t:     t,
+					})
+				}
+			}
+			un.mu.Unlock()
+		}
+	}
+
+	// Start the replacements: each consumes its replay queue first.
+	for _, nn := range newNodes {
+		e.startNode(nn)
+	}
+	e.mu.Unlock()
+
+	// Stop the victim's goroutine after the switch (line 8); on failure
+	// it is already down.
+	if old != nil && !failure {
+		old.stop()
+	}
+	return nil
+}
+
+// sourceDriver injects generated tuples at a fixed rate.
+type sourceDriver struct {
+	inst plan.InstanceID
+	rate float64
+	gen  func(i uint64) (stream.Key, any)
+}
+
+// AddSource attaches a generator to a source instance; it starts with
+// Start. Rate is in tuples/second.
+func (e *Engine) AddSource(inst plan.InstanceID, rate float64, gen func(i uint64) (stream.Key, any)) error {
+	e.mu.RLock()
+	n := e.nodes[inst]
+	e.mu.RUnlock()
+	if n == nil || n.spec.Role != plan.RoleSource {
+		return fmt.Errorf("engine: %s is not a live source", inst)
+	}
+	e.sources = append(e.sources, &sourceDriver{inst: inst, rate: rate, gen: gen})
+	return nil
+}
+
+func (e *Engine) startSource(s *sourceDriver) {
+	e.wg.Add(1)
+	go func() {
+		defer e.wg.Done()
+		const tick = 10 * time.Millisecond
+		ticker := time.NewTicker(tick)
+		defer ticker.Stop()
+		var emitted uint64
+		carry := 0.0
+		for {
+			select {
+			case <-e.stopAll:
+				return
+			case <-ticker.C:
+				e.mu.RLock()
+				n := e.nodes[s.inst]
+				e.mu.RUnlock()
+				if n == nil {
+					return
+				}
+				carry += s.rate * tick.Seconds()
+				k := int(carry)
+				carry -= float64(k)
+				born := e.NowMillis()
+				for i := 0; i < k; i++ {
+					key, payload := s.gen(emitted)
+					emitted++
+					n.emit(key, payload, born)
+				}
+			}
+		}
+	}()
+}
+
+// InjectBatch synchronously emits count tuples from a source instance —
+// for tests and examples that need exact tuple counts rather than rates.
+func (e *Engine) InjectBatch(inst plan.InstanceID, count int, gen func(i uint64) (stream.Key, any)) error {
+	e.mu.RLock()
+	n := e.nodes[inst]
+	e.mu.RUnlock()
+	if n == nil || n.spec.Role != plan.RoleSource {
+		return fmt.Errorf("engine: %s is not a live source", inst)
+	}
+	born := e.NowMillis()
+	for i := 0; i < count; i++ {
+		key, payload := gen(uint64(i))
+		n.emit(key, payload, born)
+	}
+	return nil
+}
+
+// NodeProcessed returns how many tuples an instance has processed (0 if
+// unknown).
+func (e *Engine) NodeProcessed(inst plan.InstanceID) uint64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if n := e.nodes[inst]; n != nil {
+		return n.processed.Value()
+	}
+	return 0
+}
+
+// OperatorOf returns the operator instance object hosted by inst, so
+// tests and examples can inspect state (nil if unknown).
+func (e *Engine) OperatorOf(inst plan.InstanceID) any {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if n := e.nodes[inst]; n != nil {
+		return n.op
+	}
+	return nil
+}
+
+// Checkpoint forces an immediate checkpoint of one instance (tests and
+// examples; production uses the periodic loop).
+func (e *Engine) Checkpoint(inst plan.InstanceID) error {
+	e.mu.RLock()
+	n := e.nodes[inst]
+	e.mu.RUnlock()
+	if n == nil || n.failed.Load() {
+		return fmt.Errorf("engine: %s is not live", inst)
+	}
+	e.checkpointNode(n)
+	return nil
+}
+
+// Quiesce waits until no node has processed a tuple for the given
+// settle duration, up to the timeout. Returns true when the engine
+// settled. Used by tests to reach a stable state before assertions.
+func (e *Engine) Quiesce(settle, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	last := e.totalProcessed()
+	lastChange := time.Now()
+	for time.Now().Before(deadline) {
+		time.Sleep(settle / 4)
+		cur := e.totalProcessed()
+		if cur != last {
+			last = cur
+			lastChange = time.Now()
+			continue
+		}
+		if time.Since(lastChange) >= settle {
+			return true
+		}
+	}
+	return false
+}
+
+func (e *Engine) totalProcessed() uint64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	var n uint64
+	for _, nd := range e.nodes {
+		n += nd.processed.Value()
+	}
+	return n
+}

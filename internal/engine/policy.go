@@ -1,0 +1,82 @@
+package engine
+
+import (
+	"time"
+
+	"seep/internal/control"
+	"seep/internal/plan"
+)
+
+// UtilSampler estimates an instance's load in [0, ∞) for the scaling
+// policy. The live engine cannot read simulated CPU budgets, so the
+// default signal is backpressure: the fill fraction of the node's input
+// channel. A queue that stays near capacity means the operator cannot
+// keep up with its input — the live equivalent of the paper's CPU
+// utilisation reports crossing δ.
+type UtilSampler func(inst plan.InstanceID) (util float64, ok bool)
+
+// QueueFillSampler returns the default backpressure-based sampler.
+func (e *Engine) QueueFillSampler() UtilSampler {
+	return func(inst plan.InstanceID) (float64, bool) {
+		e.mu.RLock()
+		n := e.nodes[inst]
+		e.mu.RUnlock()
+		if n == nil || n.failed.Load() {
+			return 0, false
+		}
+		return float64(len(n.in)) / float64(cap(n.in)), true
+	}
+}
+
+// EnablePolicy starts the bottleneck detector loop: every
+// policy.ReportEveryMillis the sampler is read for every non-source,
+// non-sink instance, and instances crossing the threshold k consecutive
+// times are scaled out to two partitions (Algorithm 3 via ScaleOut).
+// Call before Start; pass nil to use QueueFillSampler.
+func (e *Engine) EnablePolicy(policy control.Policy, sampler UtilSampler) {
+	if sampler == nil {
+		sampler = e.QueueFillSampler()
+	}
+	detector := control.NewDetector(policy)
+	e.wg.Add(1)
+	go func() {
+		defer e.wg.Done()
+		tick := time.NewTicker(time.Duration(policy.ReportEveryMillis) * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-e.stopAll:
+				return
+			case <-tick.C:
+				e.policyRound(detector, sampler)
+			}
+		}
+	}()
+}
+
+func (e *Engine) policyRound(detector *control.Detector, sampler UtilSampler) {
+	q := e.mgr.Query()
+	var reports []control.Report
+	for _, opID := range q.Ops() {
+		spec := q.Op(opID)
+		if spec.Role == plan.RoleSource || spec.Role == plan.RoleSink {
+			continue
+		}
+		for _, inst := range e.mgr.Instances(opID) {
+			if util, ok := sampler(inst); ok {
+				reports = append(reports, control.Report{Inst: inst, Util: util})
+			}
+		}
+	}
+	for _, victim := range detector.Observe(reports) {
+		spec := q.Op(victim.Op)
+		if spec != nil && spec.MaxParallelism > 0 && e.mgr.Parallelism(victim.Op) >= spec.MaxParallelism {
+			continue
+		}
+		// Scale out in the policy goroutine; failures (e.g. victim just
+		// replaced) simply unmute for the next round.
+		if err := e.ScaleOut(victim, 2); err != nil {
+			detector.Unmute(victim)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package engine
+
+import (
+	"testing"
+	"time"
+
+	"seep/internal/control"
+	"seep/internal/operator"
+	"seep/internal/plan"
+	"seep/internal/stream"
+	"seep/internal/wordcount"
+)
+
+// slowCounter wraps a WordCounter with a fixed wall-clock cost per tuple
+// so a live node has a real capacity limit.
+type slowCounter struct {
+	*operator.WordCounter
+	delay time.Duration
+}
+
+func (s *slowCounter) OnTuple(ctx operator.Context, t stream.Tuple, emit operator.Emitter) {
+	time.Sleep(s.delay)
+	s.WordCounter.OnTuple(ctx, t, emit)
+}
+
+func TestEnginePolicyScalesOutUnderBackpressure(t *testing.T) {
+	opts := wordcount.Options{WindowMillis: 0}
+	q := wordcount.Query(opts)
+	factories := map[plan.OpID]operator.Factory{
+		"split": func() operator.Operator { return operator.WordSplitter() },
+		"count": func() operator.Operator {
+			return &slowCounter{WordCounter: operator.NewWordCounter(0), delay: 2 * time.Millisecond}
+		},
+	}
+	e, err := New(Config{
+		CheckpointInterval: 100 * time.Millisecond,
+		ChannelBuffer:      256, // small channel so backpressure is visible
+	}, q, factories)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ~500 tuples/s capacity per counter; feed 1200/s.
+	if err := e.AddSource(inst("src", 1), 1200, wordGen(40)); err != nil {
+		t.Fatal(err)
+	}
+	e.EnablePolicy(control.Policy{
+		Threshold:          0.5,
+		ConsecutiveReports: 2,
+		ReportEveryMillis:  150,
+	}, nil)
+	e.Start()
+	defer e.Stop()
+
+	deadline := time.Now().Add(8 * time.Second)
+	for time.Now().Before(deadline) {
+		if e.Manager().Parallelism("count") >= 2 {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if got := e.Manager().Parallelism("count"); got < 2 {
+		t.Fatalf("parallelism = %d; policy did not scale out under backpressure", got)
+	}
+	// The query still produces results afterwards.
+	before := e.SinkCount.Value()
+	time.Sleep(300 * time.Millisecond)
+	if e.SinkCount.Value() <= before {
+		t.Error("no progress after policy-driven scale out")
+	}
+}
+
+func TestQueueFillSampler(t *testing.T) {
+	e := wordEngine(t, Config{})
+	s := e.QueueFillSampler()
+	if u, ok := s(inst("count", 1)); !ok || u != 0 {
+		t.Errorf("idle sampler = %v %v", u, ok)
+	}
+	if _, ok := s(inst("count", 99)); ok {
+		t.Error("sampler reported an unknown instance")
+	}
+}

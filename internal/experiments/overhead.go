@@ -1,0 +1,189 @@
+package experiments
+
+import (
+	"fmt"
+
+	"seep/internal/operator"
+	"seep/internal/plan"
+	"seep/internal/sim"
+	"seep/internal/stream"
+	"seep/internal/wordcount"
+)
+
+// overheadRun measures sink-side tuple latency of the word frequency
+// query under checkpointing.
+type overheadRun struct {
+	mode       sim.FTMode
+	rate       float64
+	intervalMS int64
+	vocabulary int
+	seed       int64
+	durationMS int64
+}
+
+func measureLatencyP95(r overheadRun) (int64, error) {
+	// Continuous counting (no window reset) so the pre-filled dictionary
+	// keeps its size for the whole run — the paper "synthetically
+	// var[ies] the dictionary size" (§6.3).
+	opts := wordcount.DefaultOptions()
+	opts.WindowMillis = 0
+	cfg := sim.Config{
+		Seed:                     r.seed,
+		Mode:                     r.mode,
+		CheckpointIntervalMillis: r.intervalMS,
+		WindowMillis:             30_000,
+	}
+	c, err := sim.NewCluster(cfg, wordcount.Query(opts), wordcount.Factories(opts))
+	if err != nil {
+		return 0, err
+	}
+	prefillCounter(c, r.vocabulary)
+	if err := c.AddSource(plan.InstanceID{Op: "src", Part: 1}, sim.ConstantRate(r.rate), wordcount.WordSource(r.vocabulary, r.seed)); err != nil {
+		return 0, err
+	}
+	c.RunUntil(r.durationMS)
+	return c.Latency.Percentile(0.95), nil
+}
+
+// prefillCounter installs a dictionary of the target size into the word
+// counter so the checkpointed state has the intended footprint from the
+// start (10² keys ≈ 2 KB ... 10⁵ keys ≈ 2 MB).
+func prefillCounter(c *sim.Cluster, vocabulary int) {
+	wc, ok := c.OperatorOf(plan.InstanceID{Op: "count", Part: 1}).(*operator.WordCounter)
+	if !ok {
+		return
+	}
+	kv := make(map[stream.Key][]byte, vocabulary)
+	for i := 0; i < vocabulary; i++ {
+		w := fmt.Sprintf("w%08d", i)
+		e := stream.NewEncoder(24)
+		e.Uint32(1)
+		e.String32(w)
+		e.Int64(1)
+		kv[stream.KeyOfString(w)] = e.Bytes()
+	}
+	wc.RestoreKV(kv)
+}
+
+// OverheadScale shrinks the overhead experiments.
+type OverheadScale struct {
+	// RateFactor scales the 100/500/1000 tuples/s rates.
+	RateFactor float64
+	// DurationMillis is the measured run length (default 120 s).
+	DurationMillis int64
+}
+
+// DefaultOverheadScale is paper scale.
+func DefaultOverheadScale() OverheadScale {
+	return OverheadScale{RateFactor: 1.0, DurationMillis: 120_000}
+}
+
+// QuickOverheadScale reduces rates and duration for benchmarks.
+func QuickOverheadScale() OverheadScale {
+	return OverheadScale{RateFactor: 0.2, DurationMillis: 40_000}
+}
+
+// Fig14 measures the latency overhead of state checkpointing for
+// different state sizes (10²/10⁴/10⁵ keys ≈ 2 KB/200 KB/2 MB) and input
+// rates, against a no-checkpointing baseline (§6.3, Fig. 14). c = 5 s,
+// window 30 s; the reported metric is the 95th percentile of tuple
+// processing latency.
+func Fig14(s OverheadScale) (*Table, error) {
+	t := &Table{
+		Name:    "fig14",
+		Title:   "Overhead of state checkpointing: P95 latency (ms) by state size and input rate",
+		Columns: []string{"state size", "100 t/s", "500 t/s", "1000 t/s"},
+		PaperResult: "P95 latency grows with state size and input rate; large state at " +
+			"1000 tuples/s spikes (overload); no-checkpointing baseline stays flat",
+	}
+	sizes := []struct {
+		label string
+		vocab int
+	}{
+		{"small (10^2)", 100},
+		{"medium (10^4)", 10_000},
+		{"large (10^5)", 100_000},
+	}
+	rates := []float64{100, 500, 1000}
+	var largeP95, baseP95 int64
+	for _, sz := range sizes {
+		row := []string{sz.label}
+		for _, rate := range rates {
+			p95, err := measureLatencyP95(overheadRun{
+				mode: sim.FTRSM, rate: rate * s.RateFactor, intervalMS: 5_000,
+				vocabulary: sz.vocab, seed: 4000, durationMS: s.DurationMillis,
+			})
+			if err != nil {
+				return nil, err
+			}
+			if sz.vocab == 100_000 && rate == 1000 {
+				largeP95 = p95
+			}
+			row = append(row, fmtMS(p95))
+		}
+		t.AddRow(row...)
+	}
+	// No-checkpointing baseline (state size does not matter without
+	// checkpoints; measured with the large vocabulary).
+	row := []string{"no checkpointing"}
+	for _, rate := range rates {
+		p95, err := measureLatencyP95(overheadRun{
+			mode: sim.FTNone, rate: rate * s.RateFactor, intervalMS: 5_000,
+			vocabulary: 100_000, seed: 4000, durationMS: s.DurationMillis,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if rate == 1000 {
+			baseP95 = p95
+		}
+		row = append(row, fmtMS(p95))
+	}
+	t.AddRow(row...)
+	t.Observation = fmt.Sprintf("large state at the highest rate: P95 %d ms vs %d ms without checkpointing",
+		largeP95, baseP95)
+	return t, nil
+}
+
+// Fig15 exposes the trade-off between processing latency and recovery
+// time across checkpointing intervals at 1000 tuples/s (§6.3, Fig. 15):
+// longer intervals reduce the checkpointing overhead on latency but
+// lengthen recovery.
+func Fig15(s OverheadScale, rs RecoveryScale) (*Table, error) {
+	t := &Table{
+		Name:    "fig15",
+		Title:   "Processing latency vs recovery time across checkpointing intervals (1000 tuples/s)",
+		Columns: []string{"interval (s)", "P95 latency (ms)", "recovery (s)"},
+		PaperResult: "P95 latency falls as the interval grows while recovery time rises — " +
+			"the interval must be chosen per failure-rate/performance needs",
+	}
+	rate := 1000 * s.RateFactor
+	var firstLat, lastLat int64
+	intervals := []int64{1, 5, 10, 15, 20, 25, 30}
+	for _, iv := range intervals {
+		p95, err := measureLatencyP95(overheadRun{
+			mode: sim.FTRSM, rate: rate, intervalMS: iv * 1000,
+			vocabulary: 50_000, seed: 5000, durationMS: s.DurationMillis,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rec, err := avgRecovery(recoveryRun{
+			mode: sim.FTRSM, rate: rate, intervalMS: iv * 1000, pi: 1,
+			seed: 5000, vocabulary: rs.Vocabulary,
+		}, rs.Reps)
+		if err != nil {
+			return nil, err
+		}
+		if iv == intervals[0] {
+			firstLat = p95
+		}
+		if iv == intervals[len(intervals)-1] {
+			lastLat = p95
+		}
+		t.AddRow(fmt.Sprintf("%d", iv), fmtMS(p95), fmtSec(rec))
+	}
+	t.Observation = fmt.Sprintf("P95 latency falls from %d ms (c=1 s) to %d ms (c=30 s) while recovery time rises",
+		firstLat, lastLat)
+	return t, nil
+}

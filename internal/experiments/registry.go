@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Scale selects paper-scale or reduced (quick) experiment parameters.
+type Scale struct {
+	Quick bool
+}
+
+func (s Scale) lrb() LRBScale {
+	if s.Quick {
+		return QuickLRBScale()
+	}
+	return DefaultLRBScale()
+}
+
+func (s Scale) recovery() RecoveryScale {
+	if s.Quick {
+		return QuickRecoveryScale()
+	}
+	return DefaultRecoveryScale()
+}
+
+func (s Scale) overhead() OverheadScale {
+	if s.Quick {
+		return QuickOverheadScale()
+	}
+	return DefaultOverheadScale()
+}
+
+// Runner is one registered experiment.
+type Runner func(Scale) (*Table, error)
+
+// Registry maps experiment names to runners — every figure of §6 plus
+// the design-choice ablations.
+func Registry() map[string]Runner {
+	return map[string]Runner{
+		"fig6":                            func(s Scale) (*Table, error) { return Fig6(s.lrb()) },
+		"fig7":                            func(s Scale) (*Table, error) { return Fig7(s.lrb()) },
+		"fig8":                            func(s Scale) (*Table, error) { return Fig8(s.lrb()) },
+		"fig9":                            func(s Scale) (*Table, error) { return Fig9(s.lrb()) },
+		"fig10":                           func(s Scale) (*Table, error) { return Fig10(s.lrb()) },
+		"fig11":                           func(s Scale) (*Table, error) { return Fig11(s.recovery()) },
+		"fig12":                           func(s Scale) (*Table, error) { return Fig12(s.recovery()) },
+		"fig13":                           func(s Scale) (*Table, error) { return Fig13(s.recovery()) },
+		"fig14":                           func(s Scale) (*Table, error) { return Fig14(s.overhead()) },
+		"fig15":                           func(s Scale) (*Table, error) { return Fig15(s.overhead(), s.recovery()) },
+		"ablation-backup-placement":       func(Scale) (*Table, error) { return AblationBackupPlacement() },
+		"ablation-vm-pool":                func(Scale) (*Table, error) { return AblationVMPool() },
+		"ablation-incremental-checkpoint": func(Scale) (*Table, error) { return AblationIncrementalCheckpoint() },
+		"ablation-key-split":              func(Scale) (*Table, error) { return AblationKeySplit() },
+		"ext-elastic":                     func(Scale) (*Table, error) { return ExtElastic() },
+	}
+}
+
+// Names returns the registered experiment names in order.
+func Names() []string {
+	r := Registry()
+	out := make([]string, 0, len(r))
+	for name := range r {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes one experiment by name.
+func Run(name string, s Scale) (*Table, error) {
+	r, ok := Registry()[name]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (known: %v)", name, Names())
+	}
+	return r(s)
+}

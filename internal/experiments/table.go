@@ -1,0 +1,92 @@
+// Package experiments regenerates every figure of the paper's evaluation
+// (§6): each FigN function runs the corresponding experiment on the
+// appropriate simulator and returns a Table with the same rows/series the
+// paper plots. Scale can be reduced for quick runs (benchmarks) without
+// changing the experiment structure.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is one experiment's output: a titled grid plus free-form notes
+// recording the paper's reference result for comparison.
+type Table struct {
+	// Name is the experiment ID, e.g. "fig6".
+	Name string
+	// Title describes the experiment.
+	Title string
+	// Columns are the header labels.
+	Columns []string
+	// Rows hold the data, already formatted.
+	Rows [][]string
+	// PaperResult summarises what the paper reports for this figure.
+	PaperResult string
+	// Observation summarises what this run produced (filled by the
+	// experiment).
+	Observation string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Fprint renders the table.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.Name, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			w := 0
+			if i < len(widths) {
+				w = widths[i]
+			}
+			parts[i] = fmt.Sprintf("%*s", w, c)
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(t.Columns)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	if t.PaperResult != "" {
+		fmt.Fprintf(w, "  paper:    %s\n", t.PaperResult)
+	}
+	if t.Observation != "" {
+		fmt.Fprintf(w, "  measured: %s\n", t.Observation)
+	}
+	fmt.Fprintln(w)
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var sb strings.Builder
+	t.Fprint(&sb)
+	return sb.String()
+}
+
+// fmtF renders a float compactly.
+func fmtF(v float64) string {
+	if v >= 1000 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.1f", v)
+}
+
+// fmtMS renders milliseconds.
+func fmtMS(v int64) string { return fmt.Sprintf("%d", v) }
+
+// fmtSec renders milliseconds as seconds with one decimal.
+func fmtSec(ms int64) string { return fmt.Sprintf("%.1f", float64(ms)/1000) }

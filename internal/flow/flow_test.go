@@ -1,0 +1,231 @@
+package flow
+
+import (
+	"testing"
+
+	"seep/internal/control"
+	"seep/internal/plan"
+	"seep/internal/sim"
+)
+
+// chain builds src → work → sink with the given per-tuple cost.
+func chain(cost float64, stateful bool) ([]OpConfig, []Edge) {
+	role := plan.RoleStateless
+	if stateful {
+		role = plan.RoleStateful
+	}
+	ops := []OpConfig{
+		{ID: "src", Role: plan.RoleSource},
+		{ID: "work", Role: role, CostPerTuple: cost, Stateful: stateful},
+		{ID: "snk", Role: plan.RoleSink},
+	}
+	edges := []Edge{
+		{From: "src", To: "work"},
+		{From: "work", To: "snk"},
+	}
+	return ops, edges
+}
+
+func TestFlowSteadyStateKeepsUp(t *testing.T) {
+	ops, edges := chain(0.0005, false) // capacity 2000 tuples/s
+	r, err := NewRunner(Config{
+		Seed: 1, Ops: ops, Edges: edges,
+		Rate:           func(int64) float64 { return 1000 },
+		DurationMillis: 60_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := r.Run()
+	if last := res.Throughput.Last(); last.V < 990 || last.V > 1010 {
+		t.Errorf("throughput = %v, want ≈1000", last.V)
+	}
+	if res.Latency.Percentile(0.95) > 50 {
+		t.Errorf("P95 latency = %d ms at 50%% load", res.Latency.Percentile(0.95))
+	}
+	if res.FinalVMs != 3 {
+		t.Errorf("FinalVMs = %d, want 3 (no policy)", res.FinalVMs)
+	}
+}
+
+func TestFlowOverloadWithoutPolicyBacksUp(t *testing.T) {
+	ops, edges := chain(0.001, false) // capacity 1000 tuples/s
+	r, err := NewRunner(Config{
+		Seed: 1, Ops: ops, Edges: edges,
+		Rate:           func(int64) float64 { return 2000 },
+		DurationMillis: 30_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := r.Run()
+	// Closed loop without scale out: backlog and latency grow without
+	// bound; throughput is pinned at capacity.
+	if last := res.Throughput.Last(); last.V > 1100 {
+		t.Errorf("throughput = %v beyond capacity", last.V)
+	}
+	if res.Latency.Percentile(0.95) < 1000 {
+		t.Errorf("P95 = %d ms; overload should cause seconds of queueing", res.Latency.Percentile(0.95))
+	}
+}
+
+func TestFlowPolicyScalesOutToMatchLoad(t *testing.T) {
+	ops, edges := chain(0.001, true) // 1000 tuples/s per instance
+	r, err := NewRunner(Config{
+		Seed: 1, Ops: ops, Edges: edges,
+		Rate:           func(int64) float64 { return 3500 },
+		DurationMillis: 300_000,
+		Policy:         control.DefaultPolicy(),
+		Pool:           sim.PoolConfig{Size: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := r.Run()
+	// 3500 tuples/s at 1000/instance and δ=0.7 → at least 4 instances,
+	// likely 5-6 (scale out doubles partitions).
+	n := r.Instances("work")
+	if n < 4 {
+		t.Errorf("instances = %d, want ≥ 4", n)
+	}
+	if res.ScaleOuts == 0 {
+		t.Error("no scale-outs recorded")
+	}
+	if last := res.Throughput.Last(); last.V < 3400 {
+		t.Errorf("final throughput = %v, want ≈3500", last.V)
+	}
+	// After stabilising, latency recovers to small values.
+	pts := res.LatencyTS.Points()
+	tail := pts[len(pts)-10:]
+	for _, p := range tail {
+		if p.V > 500 {
+			t.Errorf("late latency = %v ms at t=%d; system did not stabilise", p.V, p.T)
+		}
+	}
+}
+
+func TestFlowOpenLoopDropsThenStabilises(t *testing.T) {
+	ops, edges := chain(0.001, false)
+	r, err := NewRunner(Config{
+		Seed: 1, Ops: ops, Edges: edges,
+		Rate:           func(int64) float64 { return 4000 },
+		DurationMillis: 240_000,
+		Policy:         control.DefaultPolicy(),
+		Pool:           sim.PoolConfig{Size: 3},
+		OpenLoop:       true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := r.Run()
+	if res.Dropped == 0 {
+		t.Error("under-provisioned open loop should drop tuples")
+	}
+	if last := res.Throughput.Last(); last.V < 3800 {
+		t.Errorf("final consumed rate = %v, want ≈4000", last.V)
+	}
+}
+
+func TestFlowLowerThresholdMoreVMs(t *testing.T) {
+	run := func(delta float64) int {
+		ops, edges := chain(0.001, true)
+		r, err := NewRunner(Config{
+			Seed: 1, Ops: ops, Edges: edges,
+			Rate:           func(int64) float64 { return 2500 },
+			DurationMillis: 300_000,
+			Policy:         control.Policy{Threshold: delta, ConsecutiveReports: 2, ReportEveryMillis: 5000},
+			Pool:           sim.PoolConfig{Size: 3},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Run()
+		return r.Instances("work")
+	}
+	low, high := run(0.30), run(0.90)
+	if low <= high {
+		t.Errorf("δ=0.3 → %d instances, δ=0.9 → %d; lower threshold should allocate more", low, high)
+	}
+}
+
+func TestFlowManualAllocation(t *testing.T) {
+	ops, edges := chain(0.001, false)
+	r, err := NewRunner(Config{
+		Seed: 1, Ops: ops, Edges: edges,
+		Rate:           func(int64) float64 { return 3000 },
+		DurationMillis: 60_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SetAllocation("work", 4); err != nil {
+		t.Fatal(err)
+	}
+	res := r.Run()
+	if r.Instances("work") != 4 {
+		t.Errorf("Instances = %d", r.Instances("work"))
+	}
+	if res.Latency.Percentile(0.95) > 100 {
+		t.Errorf("P95 = %d ms with adequate manual allocation", res.Latency.Percentile(0.95))
+	}
+	if err := r.SetAllocation("nosuch", 2); err == nil {
+		t.Error("unknown operator accepted")
+	}
+	if err := r.SetAllocation("work", 0); err == nil {
+		t.Error("zero allocation accepted")
+	}
+}
+
+func TestFlowSourceCap(t *testing.T) {
+	ops, edges := chain(0.00001, false)
+	r, err := NewRunner(Config{
+		Seed: 1, Ops: ops, Edges: edges,
+		Rate:           func(int64) float64 { return 1_000_000 },
+		SourceCap:      600_000,
+		DurationMillis: 20_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := r.Run()
+	if res.InputRate.MaxV() > 600_000 {
+		t.Errorf("input exceeded source cap: %v", res.InputRate.MaxV())
+	}
+}
+
+func TestFlowValidation(t *testing.T) {
+	ops, edges := chain(0.001, false)
+	if _, err := NewRunner(Config{Ops: append(ops, ops[0]), Edges: edges, Rate: func(int64) float64 { return 1 }, DurationMillis: 1000}); err == nil {
+		t.Error("duplicate op accepted")
+	}
+	if _, err := NewRunner(Config{Ops: ops, Edges: []Edge{{From: "src", To: "ghost"}}, Rate: func(int64) float64 { return 1 }, DurationMillis: 1000}); err == nil {
+		t.Error("edge to unknown accepted")
+	}
+	cyc := []Edge{{From: "src", To: "work"}, {From: "work", To: "work"}}
+	if _, err := NewRunner(Config{Ops: ops, Edges: cyc, Rate: func(int64) float64 { return 1 }, DurationMillis: 1000}); err == nil {
+		t.Error("cycle accepted")
+	}
+}
+
+func TestFlowDeterministic(t *testing.T) {
+	run := func() (int, float64) {
+		ops, edges := chain(0.001, true)
+		r, err := NewRunner(Config{
+			Seed: 9, Ops: ops, Edges: edges,
+			Rate:           func(int64) float64 { return 2500 },
+			DurationMillis: 120_000,
+			Policy:         control.DefaultPolicy(),
+			Pool:           sim.PoolConfig{Size: 2},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := r.Run()
+		return res.FinalVMs, res.Throughput.Last().V
+	}
+	v1, t1 := run()
+	v2, t2 := run()
+	if v1 != v2 || t1 != t2 {
+		t.Errorf("non-deterministic: (%d,%v) vs (%d,%v)", v1, t1, v2, t2)
+	}
+}

@@ -1,0 +1,403 @@
+package lrb
+
+import (
+	"sort"
+	"sync"
+
+	"seep/internal/operator"
+	"seep/internal/plan"
+	"seep/internal/stream"
+)
+
+// Output payloads flowing between LRB operators.
+
+// TollNotification is emitted by the toll calculator for each position
+// report entering a tolled segment: the vehicle is told the segment toll
+// (LRB requires delivery within 5 s).
+type TollNotification struct {
+	VID  int32
+	XWay int32
+	Seg  int32
+	Toll int32
+	// Accident is set when the segment has an active accident (toll 0).
+	Accident bool
+}
+
+// BalanceResponse answers a balance query with the vehicle's accumulated
+// tolls.
+type BalanceResponse struct {
+	VID     int32
+	QID     int32
+	Balance int64
+}
+
+// Forwarder routes input tuples by type (§6.1): position reports are
+// re-keyed by segment for the toll calculator; balance queries are
+// re-keyed by vehicle for the toll assessment operator. It is the
+// stateless fan-out stage that the paper's scale-out partitions second
+// after the toll calculator.
+func Forwarder() operator.Operator {
+	return operator.Func(func(_ operator.Context, t stream.Tuple, emit operator.Emitter) {
+		r, ok := t.Payload.(Report)
+		if !ok {
+			return
+		}
+		switch r.Type {
+		case TypePosition:
+			emit(SegmentKey(r.XWay, r.Dir, r.Seg), r)
+		case TypeBalance:
+			emit(VehicleKey(r.VID), r)
+		}
+	})
+}
+
+// segStats is the per-segment processing state of the toll calculator.
+type segStats struct {
+	xway, dir, seg int32
+	// ewmaSpeed is the exponentially weighted average speed.
+	ewmaSpeed float64
+	// cars counts position reports in the current statistics window.
+	cars int64
+	// stoppedReports counts consecutive stopped-vehicle reports; ≥
+	// accidentThreshold flags an accident.
+	stoppedReports int32
+	accident       bool
+}
+
+// TollCalculator is the stateful heart of the LRB query ("the main
+// computational bottleneck", §6.1): it maintains per-segment traffic
+// statistics keyed by SegmentKey, detects accidents from stopped-vehicle
+// reports, and emits toll notifications. Balance queries pass through
+// unchanged (they are keyed for the downstream assessment operator).
+type TollCalculator struct {
+	// AccidentThreshold is how many stopped reports flag an accident
+	// (4 in the benchmark; lower in small tests).
+	AccidentThreshold int32
+
+	mu    sync.Mutex
+	stats map[stream.Key]*segStats
+}
+
+// NewTollCalculator returns a toll calculator with benchmark defaults.
+func NewTollCalculator() *TollCalculator {
+	return &TollCalculator{AccidentThreshold: 4, stats: make(map[stream.Key]*segStats)}
+}
+
+// OnTuple implements operator.Operator.
+func (tc *TollCalculator) OnTuple(_ operator.Context, t stream.Tuple, emit operator.Emitter) {
+	r, ok := t.Payload.(Report)
+	if !ok {
+		return
+	}
+	if r.Type == TypeBalance {
+		// Pass through to the assessment stage, keyed by vehicle.
+		emit(VehicleKey(r.VID), r)
+		return
+	}
+	tc.mu.Lock()
+	s := tc.stats[t.Key]
+	if s == nil {
+		s = &segStats{xway: r.XWay, dir: r.Dir, seg: r.Seg, ewmaSpeed: float64(r.Speed)}
+		tc.stats[t.Key] = s
+	}
+	s.cars++
+	const alpha = 0.1
+	s.ewmaSpeed = (1-alpha)*s.ewmaSpeed + alpha*float64(r.Speed)
+	if r.Speed == 0 {
+		s.stoppedReports++
+		if s.stoppedReports >= tc.AccidentThreshold {
+			s.accident = true
+		}
+	} else if s.stoppedReports > 0 {
+		s.stoppedReports--
+		if s.stoppedReports == 0 {
+			s.accident = false
+		}
+	}
+	toll := tollFor(s)
+	accident := s.accident
+	tc.mu.Unlock()
+
+	emit(VehicleKey(r.VID), TollNotification{
+		VID: r.VID, XWay: r.XWay, Seg: r.Seg, Toll: toll, Accident: accident,
+	})
+}
+
+// tollFor computes the LRB toll formula: tolls rise with congestion
+// (slow average speed), and accidents suspend tolling.
+func tollFor(s *segStats) int32 {
+	if s.accident || s.ewmaSpeed >= 40 {
+		return 0
+	}
+	base := 2 * (40 - s.ewmaSpeed)
+	if base < 0 {
+		base = 0
+	}
+	return int32(base)
+}
+
+// SnapshotKV implements operator.Stateful.
+func (tc *TollCalculator) SnapshotKV() map[stream.Key][]byte {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	out := make(map[stream.Key][]byte, len(tc.stats))
+	for k, s := range tc.stats {
+		e := stream.NewEncoder(40)
+		e.Int32(s.xway)
+		e.Int32(s.dir)
+		e.Int32(s.seg)
+		e.Float64(s.ewmaSpeed)
+		e.Int64(s.cars)
+		e.Int32(s.stoppedReports)
+		e.Bool(s.accident)
+		out[k] = e.Bytes()
+	}
+	return out
+}
+
+// RestoreKV implements operator.Stateful.
+func (tc *TollCalculator) RestoreKV(kv map[stream.Key][]byte) {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	tc.stats = make(map[stream.Key]*segStats, len(kv))
+	for k, v := range kv {
+		d := stream.NewDecoder(v)
+		s := &segStats{
+			xway:           d.Int32(),
+			dir:            d.Int32(),
+			seg:            d.Int32(),
+			ewmaSpeed:      d.Float64(),
+			cars:           d.Int64(),
+			stoppedReports: d.Int32(),
+			accident:       d.Bool(),
+		}
+		if d.Err() == nil {
+			tc.stats[k] = s
+		}
+	}
+}
+
+// Segments returns the number of tracked segments (for tests).
+func (tc *TollCalculator) Segments() int {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	return len(tc.stats)
+}
+
+// CarsTotal returns the total position reports reflected in state.
+func (tc *TollCalculator) CarsTotal() int64 {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	var n int64
+	for _, s := range tc.stats {
+		n += s.cars
+	}
+	return n
+}
+
+// TollAssessment is the stateful per-vehicle accounting operator: it
+// accumulates assessed tolls per vehicle (keyed by VehicleKey) and
+// answers balance queries. Toll notifications pass through to the
+// collector.
+type TollAssessment struct {
+	mu       sync.Mutex
+	balances map[stream.Key]*vehicleAccount
+}
+
+type vehicleAccount struct {
+	vid     int32
+	balance int64
+}
+
+// NewTollAssessment returns an empty assessment operator.
+func NewTollAssessment() *TollAssessment {
+	return &TollAssessment{balances: make(map[stream.Key]*vehicleAccount)}
+}
+
+// OnTuple implements operator.Operator.
+func (ta *TollAssessment) OnTuple(_ operator.Context, t stream.Tuple, emit operator.Emitter) {
+	switch p := t.Payload.(type) {
+	case TollNotification:
+		ta.mu.Lock()
+		acc := ta.balances[t.Key]
+		if acc == nil {
+			acc = &vehicleAccount{vid: p.VID}
+			ta.balances[t.Key] = acc
+		}
+		acc.balance += int64(p.Toll)
+		ta.mu.Unlock()
+		// Notification continues to the collector, keyed by vehicle.
+		emit(t.Key, p)
+	case Report:
+		if p.Type != TypeBalance {
+			return
+		}
+		ta.mu.Lock()
+		var bal int64
+		if acc := ta.balances[t.Key]; acc != nil {
+			bal = acc.balance
+		}
+		ta.mu.Unlock()
+		emit(t.Key, BalanceResponse{VID: p.VID, QID: p.QID, Balance: bal})
+	}
+}
+
+// SnapshotKV implements operator.Stateful.
+func (ta *TollAssessment) SnapshotKV() map[stream.Key][]byte {
+	ta.mu.Lock()
+	defer ta.mu.Unlock()
+	out := make(map[stream.Key][]byte, len(ta.balances))
+	for k, acc := range ta.balances {
+		e := stream.NewEncoder(12)
+		e.Int32(acc.vid)
+		e.Int64(acc.balance)
+		out[k] = e.Bytes()
+	}
+	return out
+}
+
+// RestoreKV implements operator.Stateful.
+func (ta *TollAssessment) RestoreKV(kv map[stream.Key][]byte) {
+	ta.mu.Lock()
+	defer ta.mu.Unlock()
+	ta.balances = make(map[stream.Key]*vehicleAccount, len(kv))
+	for k, v := range kv {
+		d := stream.NewDecoder(v)
+		acc := &vehicleAccount{vid: d.Int32(), balance: d.Int64()}
+		if d.Err() == nil {
+			ta.balances[k] = acc
+		}
+	}
+}
+
+// Balance returns a vehicle's accumulated tolls (for tests).
+func (ta *TollAssessment) Balance(vid int32) int64 {
+	ta.mu.Lock()
+	defer ta.mu.Unlock()
+	if acc := ta.balances[VehicleKey(vid)]; acc != nil {
+		return acc.balance
+	}
+	return 0
+}
+
+// Vehicles returns the number of tracked accounts.
+func (ta *TollAssessment) Vehicles() int {
+	ta.mu.Lock()
+	defer ta.mu.Unlock()
+	return len(ta.balances)
+}
+
+// TollCollector is the stateless operator gathering toll notifications
+// for delivery (ignores balance responses, which flow to the balance
+// account operator).
+func TollCollector() operator.Operator {
+	return operator.Func(func(_ operator.Context, t stream.Tuple, emit operator.Emitter) {
+		if n, ok := t.Payload.(TollNotification); ok {
+			emit(t.Key, n)
+		}
+	})
+}
+
+// BalanceAccount is the stateful aggregation of balance responses (§6.1:
+// "receives the balance account notifications and aggregates the
+// results"). It tracks the latest answered balance per vehicle and
+// forwards responses to the sink.
+type BalanceAccount struct {
+	mu     sync.Mutex
+	latest map[stream.Key]int64
+}
+
+// NewBalanceAccount returns an empty balance aggregator.
+func NewBalanceAccount() *BalanceAccount {
+	return &BalanceAccount{latest: make(map[stream.Key]int64)}
+}
+
+// OnTuple implements operator.Operator.
+func (ba *BalanceAccount) OnTuple(_ operator.Context, t stream.Tuple, emit operator.Emitter) {
+	r, ok := t.Payload.(BalanceResponse)
+	if !ok {
+		return
+	}
+	ba.mu.Lock()
+	ba.latest[t.Key] = r.Balance
+	ba.mu.Unlock()
+	emit(t.Key, r)
+}
+
+// SnapshotKV implements operator.Stateful.
+func (ba *BalanceAccount) SnapshotKV() map[stream.Key][]byte {
+	ba.mu.Lock()
+	defer ba.mu.Unlock()
+	out := make(map[stream.Key][]byte, len(ba.latest))
+	for k, v := range ba.latest {
+		e := stream.NewEncoder(8)
+		e.Int64(v)
+		out[k] = e.Bytes()
+	}
+	return out
+}
+
+// RestoreKV implements operator.Stateful.
+func (ba *BalanceAccount) RestoreKV(kv map[stream.Key][]byte) {
+	ba.mu.Lock()
+	defer ba.mu.Unlock()
+	ba.latest = make(map[stream.Key]int64, len(kv))
+	for k, v := range kv {
+		d := stream.NewDecoder(v)
+		ba.latest[k] = d.Int64()
+	}
+}
+
+// Answered returns the number of vehicles with answered balances.
+func (ba *BalanceAccount) Answered() int {
+	ba.mu.Lock()
+	defer ba.mu.Unlock()
+	return len(ba.latest)
+}
+
+// Query builds the paper's LRB query graph (Fig. 5) with per-tuple costs
+// calibrated for capacity-1 VMs. Cost ratios follow the partitioned
+// allocation the paper reports (toll calculator most expensive, then
+// forwarder).
+func Query() *plan.Query {
+	q := plan.NewQuery()
+	q.AddOp(plan.OpSpec{ID: "feeder", Role: plan.RoleSource})
+	q.AddOp(plan.OpSpec{ID: "forwarder", Role: plan.RoleStateless, CostPerTuple: 0.00005})
+	q.AddOp(plan.OpSpec{ID: "tollcalc", Role: plan.RoleStateful, CostPerTuple: 0.00012})
+	q.AddOp(plan.OpSpec{ID: "assessment", Role: plan.RoleStateful, CostPerTuple: 0.00006})
+	q.AddOp(plan.OpSpec{ID: "collector", Role: plan.RoleStateless, CostPerTuple: 0.00002})
+	q.AddOp(plan.OpSpec{ID: "balance", Role: plan.RoleStateful, CostPerTuple: 0.00002})
+	q.AddOp(plan.OpSpec{ID: "sink", Role: plan.RoleSink})
+	q.Connect("feeder", "forwarder")
+	q.Connect("forwarder", "tollcalc")
+	q.Connect("tollcalc", "assessment")
+	q.Connect("assessment", "collector")
+	q.Connect("assessment", "balance")
+	q.Connect("collector", "sink")
+	q.Connect("balance", "sink")
+	return q
+}
+
+// Factories returns the operator factories for Query.
+func Factories() map[plan.OpID]func() operator.Operator {
+	return map[plan.OpID]func() operator.Operator{
+		"forwarder":  func() operator.Operator { return Forwarder() },
+		"tollcalc":   func() operator.Operator { return NewTollCalculator() },
+		"assessment": func() operator.Operator { return NewTollAssessment() },
+		"collector":  func() operator.Operator { return TollCollector() },
+		"balance":    func() operator.Operator { return NewBalanceAccount() },
+	}
+}
+
+// SortedVIDs returns the vehicle IDs present in an assessment snapshot,
+// for deterministic test assertions.
+func SortedVIDs(ta *TollAssessment) []int32 {
+	ta.mu.Lock()
+	defer ta.mu.Unlock()
+	out := make([]int32, 0, len(ta.balances))
+	for _, acc := range ta.balances {
+		out = append(out, acc.vid)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

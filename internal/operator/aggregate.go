@@ -1,0 +1,109 @@
+package operator
+
+import (
+	"sort"
+	"sync"
+
+	"seep/internal/stream"
+)
+
+// KeyedSum is a generic stateful aggregation: it maintains a float64
+// accumulator per key, updated by an extractor function, and emits
+// (key, sum) either continuously or at tumbling-window boundaries.
+type KeyedSum struct {
+	// Extract obtains the value to add from a tuple payload. Tuples for
+	// which ok is false are ignored.
+	Extract func(payload any) (v float64, ok bool)
+	// WindowMillis is the tumbling window (0 = continuous: emit running
+	// sum on every update).
+	WindowMillis int64
+
+	mu          sync.Mutex
+	sums        map[stream.Key]float64
+	windowStart int64
+}
+
+// KeyedSumResult is the payload emitted by KeyedSum.
+type KeyedSumResult struct {
+	Key stream.Key
+	Sum float64
+}
+
+// NewKeyedSum returns a sum aggregator over the given extractor.
+func NewKeyedSum(windowMillis int64, extract func(any) (float64, bool)) *KeyedSum {
+	return &KeyedSum{Extract: extract, WindowMillis: windowMillis, sums: make(map[stream.Key]float64)}
+}
+
+// OnTuple implements Operator.
+func (a *KeyedSum) OnTuple(_ Context, t stream.Tuple, emit Emitter) {
+	v, ok := a.Extract(t.Payload)
+	if !ok {
+		return
+	}
+	a.mu.Lock()
+	a.sums[t.Key] += v
+	sum := a.sums[t.Key]
+	a.mu.Unlock()
+	if a.WindowMillis == 0 {
+		emit(t.Key, KeyedSumResult{Key: t.Key, Sum: sum})
+	}
+}
+
+// OnTime implements TimeDriven for windowed mode.
+func (a *KeyedSum) OnTime(now int64, emit Emitter) {
+	if a.WindowMillis == 0 {
+		return
+	}
+	a.mu.Lock()
+	if a.windowStart == 0 {
+		a.windowStart = now
+	}
+	if now-a.windowStart < a.WindowMillis {
+		a.mu.Unlock()
+		return
+	}
+	flushed := a.sums
+	a.sums = make(map[stream.Key]float64)
+	a.windowStart = now
+	a.mu.Unlock()
+
+	keys := make([]stream.Key, 0, len(flushed))
+	for k := range flushed {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		emit(k, KeyedSumResult{Key: k, Sum: flushed[k]})
+	}
+}
+
+// SnapshotKV implements Stateful.
+func (a *KeyedSum) SnapshotKV() map[stream.Key][]byte {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make(map[stream.Key][]byte, len(a.sums))
+	for k, v := range a.sums {
+		e := stream.NewEncoder(8)
+		e.Float64(v)
+		out[k] = e.Bytes()
+	}
+	return out
+}
+
+// RestoreKV implements Stateful.
+func (a *KeyedSum) RestoreKV(kv map[stream.Key][]byte) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.sums = make(map[stream.Key]float64, len(kv))
+	for k, v := range kv {
+		d := stream.NewDecoder(v)
+		a.sums[k] = d.Float64()
+	}
+}
+
+// Sum returns the current accumulator for key k.
+func (a *KeyedSum) Sum(k stream.Key) float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.sums[k]
+}

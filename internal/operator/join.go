@@ -1,0 +1,177 @@
+package operator
+
+import (
+	"sort"
+	"sync"
+
+	"seep/internal/stream"
+)
+
+// JoinedPair is the payload emitted by WindowJoin for each match.
+type JoinedPair struct {
+	Left, Right any
+}
+
+// WindowJoin is a symmetric windowed hash join over two input streams:
+// tuples are matched on equal keys within a time window. It demonstrates
+// that the state management primitives support classic relational
+// operators (§2.1 contrasts window-based relational state with arbitrary
+// data-flow state; both fit the key/value model).
+//
+// Processing state per key: the lists of left and right payloads seen in
+// the current window with their arrival times.
+type WindowJoin struct {
+	// WindowMillis is how long a tuple remains joinable after arrival.
+	WindowMillis int64
+	// Encode/Decode convert payloads to bytes for state snapshots.
+	// Payloads must round-trip for recovery to be exact.
+	Encode func(any) []byte
+	Decode func([]byte) any
+
+	mu   sync.Mutex
+	rows map[stream.Key]*joinRows
+}
+
+type joinRow struct {
+	at      int64
+	payload any
+}
+
+type joinRows struct {
+	left, right []joinRow
+}
+
+// NewWindowJoin returns a windowed equi-join. encode/decode handle the
+// payload type of both inputs.
+func NewWindowJoin(windowMillis int64, encode func(any) []byte, decode func([]byte) any) *WindowJoin {
+	return &WindowJoin{
+		WindowMillis: windowMillis,
+		Encode:       encode,
+		Decode:       decode,
+		rows:         make(map[stream.Key]*joinRows),
+	}
+}
+
+// OnTuple implements Operator. Input 0 is the left stream, input 1 the
+// right stream.
+func (j *WindowJoin) OnTuple(ctx Context, t stream.Tuple, emit Emitter) {
+	j.mu.Lock()
+	r := j.rows[t.Key]
+	if r == nil {
+		r = &joinRows{}
+		j.rows[t.Key] = r
+	}
+	j.expireLocked(r, ctx.Now)
+	var matches []any
+	if ctx.Input == 0 {
+		r.left = append(r.left, joinRow{at: ctx.Now, payload: t.Payload})
+		for _, m := range r.right {
+			matches = append(matches, m.payload)
+		}
+	} else {
+		r.right = append(r.right, joinRow{at: ctx.Now, payload: t.Payload})
+		for _, m := range r.left {
+			matches = append(matches, m.payload)
+		}
+	}
+	j.mu.Unlock()
+	for _, m := range matches {
+		if ctx.Input == 0 {
+			emit(t.Key, JoinedPair{Left: t.Payload, Right: m})
+		} else {
+			emit(t.Key, JoinedPair{Left: m, Right: t.Payload})
+		}
+	}
+}
+
+func (j *WindowJoin) expireLocked(r *joinRows, now int64) {
+	cutoff := now - j.WindowMillis
+	trim := func(rows []joinRow) []joinRow {
+		i := 0
+		for i < len(rows) && rows[i].at < cutoff {
+			i++
+		}
+		return rows[i:]
+	}
+	r.left = trim(r.left)
+	r.right = trim(r.right)
+}
+
+// OnTime implements TimeDriven: expired rows are dropped so state does
+// not grow without bound.
+func (j *WindowJoin) OnTime(now int64, _ Emitter) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for k, r := range j.rows {
+		j.expireLocked(r, now)
+		if len(r.left) == 0 && len(r.right) == 0 {
+			delete(j.rows, k)
+		}
+	}
+}
+
+// SnapshotKV implements Stateful.
+func (j *WindowJoin) SnapshotKV() map[stream.Key][]byte {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make(map[stream.Key][]byte, len(j.rows))
+	for k, r := range j.rows {
+		e := stream.NewEncoder(64)
+		encodeSide := func(rows []joinRow) {
+			e.Uint32(uint32(len(rows)))
+			for _, row := range rows {
+				e.Int64(row.at)
+				e.Bytes32(j.Encode(row.payload))
+			}
+		}
+		encodeSide(r.left)
+		encodeSide(r.right)
+		out[k] = e.Bytes()
+	}
+	return out
+}
+
+// RestoreKV implements Stateful.
+func (j *WindowJoin) RestoreKV(kv map[stream.Key][]byte) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.rows = make(map[stream.Key]*joinRows, len(kv))
+	for k, v := range kv {
+		d := stream.NewDecoder(v)
+		decodeSide := func() []joinRow {
+			n := int(d.Uint32())
+			rows := make([]joinRow, 0, n)
+			for i := 0; i < n; i++ {
+				at := d.Int64()
+				b := d.Bytes32()
+				if d.Err() != nil {
+					return rows
+				}
+				cp := make([]byte, len(b))
+				copy(cp, b)
+				rows = append(rows, joinRow{at: at, payload: j.Decode(cp)})
+			}
+			return rows
+		}
+		r := &joinRows{}
+		r.left = decodeSide()
+		r.right = decodeSide()
+		j.rows[k] = r
+	}
+}
+
+// WindowSize returns the number of buffered rows (for tests).
+func (j *WindowJoin) WindowSize() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	n := 0
+	keys := make([]stream.Key, 0, len(j.rows))
+	for k := range j.rows {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+	for _, k := range keys {
+		n += len(j.rows[k].left) + len(j.rows[k].right)
+	}
+	return n
+}

@@ -1,0 +1,101 @@
+// Package operator defines the operator model of §2.2 — deterministic
+// functions over input streams with optional externally-managed state —
+// and a library of reusable operators (map, filter, flat-map, windowed
+// aggregation, top-k reduction, windowed hash join).
+//
+// A stateful operator exposes its processing state to the system as
+// key/value pairs via SnapshotKV/RestoreKV (the get-processing-state and
+// set-processing-state functions of §3.1). The hosting node composes the
+// key/value pairs with the timestamp vector it tracks into a
+// state.Processing checkpoint, so operators never deal with timestamps,
+// buffering, routing or replay.
+package operator
+
+import (
+	"seep/internal/stream"
+)
+
+// Context carries per-invocation information into an operator.
+type Context struct {
+	// Now is the current time in milliseconds since the run started.
+	// Under the simulator this is virtual time; in the live engine it is
+	// wall-clock time. Operators use it only for windowing.
+	Now int64
+	// Input is the index of the input stream the tuple arrived on
+	// (matches the position in plan.Query.Upstream order).
+	Input int
+}
+
+// Emitter is the operator's output: emitting a key and payload creates an
+// output tuple. The hosting node stamps the tuple with the operator's
+// output logical clock and routes it by key.
+type Emitter func(key stream.Key, payload any)
+
+// Operator is a deterministic stream operator. Implementations must not
+// have externally visible side effects other than emitted tuples and, for
+// Stateful implementations, their managed state (§2.2).
+type Operator interface {
+	// OnTuple processes one input tuple, emitting zero or more outputs.
+	OnTuple(ctx Context, t stream.Tuple, emit Emitter)
+}
+
+// Stateful is implemented by operators whose output depends on the tuple
+// history. The state is exposed as key/value pairs keyed by tuple key, so
+// the system can checkpoint, back up, restore and partition it.
+type Stateful interface {
+	Operator
+	// SnapshotKV returns a consistent deep copy of the processing state.
+	// The operator must lock internal structures while copying (§3.1).
+	SnapshotKV() map[stream.Key][]byte
+	// RestoreKV replaces the operator's state with the given key/value
+	// pairs (set-processing-state). Called before any tuple is processed
+	// on a restored or repartitioned instance.
+	RestoreKV(map[stream.Key][]byte)
+}
+
+// TimeDriven is implemented by operators that act on the passage of time,
+// e.g. tumbling-window flushes. The hosting node invokes OnTime
+// periodically with the current time in milliseconds.
+type TimeDriven interface {
+	OnTime(now int64, emit Emitter)
+}
+
+// Factory creates a fresh operator instance. Each partitioned instance of
+// a logical operator gets its own Operator value, so implementations need
+// no internal synchronisation across partitions.
+type Factory func() Operator
+
+// Func adapts a plain function to the Operator interface for stateless
+// transformations.
+type Func func(ctx Context, t stream.Tuple, emit Emitter)
+
+// OnTuple implements Operator.
+func (f Func) OnTuple(ctx Context, t stream.Tuple, emit Emitter) { f(ctx, t, emit) }
+
+// Map returns a stateless operator applying f to every tuple. If f
+// reports false the tuple is dropped, so Map doubles as a filter-map.
+func Map(f func(t stream.Tuple) (stream.Key, any, bool)) Operator {
+	return Func(func(_ Context, t stream.Tuple, emit Emitter) {
+		if k, p, ok := f(t); ok {
+			emit(k, p)
+		}
+	})
+}
+
+// Filter returns a stateless operator forwarding tuples that satisfy
+// pred, preserving key and payload.
+func Filter(pred func(t stream.Tuple) bool) Operator {
+	return Func(func(_ Context, t stream.Tuple, emit Emitter) {
+		if pred(t) {
+			emit(t.Key, t.Payload)
+		}
+	})
+}
+
+// Passthrough forwards every tuple unchanged. Useful as a sink collector
+// or a forwarding hop.
+func Passthrough() Operator {
+	return Func(func(_ Context, t stream.Tuple, emit Emitter) {
+		emit(t.Key, t.Payload)
+	})
+}

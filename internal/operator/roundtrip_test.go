@@ -1,0 +1,90 @@
+package operator
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"seep/internal/stream"
+)
+
+// TestWordCounterSnapshotRoundTripQuick: for any random word multiset,
+// snapshot → restore reproduces exactly the same counts — the property
+// checkpoint/restore correctness rests on.
+func TestWordCounterSnapshotRoundTripQuick(t *testing.T) {
+	f := func(wordIdx []uint8) bool {
+		w := NewWordCounter(0)
+		want := make(map[string]int64)
+		for _, i := range wordIdx {
+			word := fmt.Sprintf("w%d", i%32)
+			want[word]++
+			w.OnTuple(Context{}, stream.Tuple{Key: stream.KeyOfString(word), Payload: word}, func(stream.Key, any) {})
+		}
+		restored := NewWordCounter(0)
+		restored.RestoreKV(w.SnapshotKV())
+		for word, n := range want {
+			if restored.Count(word) != n {
+				return false
+			}
+		}
+		return restored.Distinct() == len(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTopKReducerSnapshotRoundTripQuick: rankings survive restore.
+func TestTopKReducerSnapshotRoundTripQuick(t *testing.T) {
+	f := func(itemIdx []uint8) bool {
+		r := NewTopKReducer(5, 1000)
+		for _, i := range itemIdx {
+			item := fmt.Sprintf("lang%d", i%16)
+			r.OnTuple(Context{}, stream.Tuple{Key: stream.KeyOfString(item), Payload: item}, func(stream.Key, any) {})
+		}
+		restored := NewTopKReducer(5, 1000)
+		restored.RestoreKV(r.SnapshotKV())
+		a, b := r.TopK(), restored.TopK()
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestKeyedSumSnapshotRoundTripQuick: sums survive restore bit-exactly.
+func TestKeyedSumSnapshotRoundTripQuick(t *testing.T) {
+	extract := func(p any) (float64, bool) {
+		v, ok := p.(float64)
+		return v, ok
+	}
+	f := func(keys []uint8, vals []float64) bool {
+		s := NewKeyedSum(0, extract)
+		n := len(keys)
+		if len(vals) < n {
+			n = len(vals)
+		}
+		for i := 0; i < n; i++ {
+			s.OnTuple(Context{}, stream.Tuple{Key: stream.Key(keys[i]), Payload: vals[i]}, func(stream.Key, any) {})
+		}
+		restored := NewKeyedSum(0, extract)
+		restored.RestoreKV(s.SnapshotKV())
+		for k := 0; k < 256; k++ {
+			if s.Sum(stream.Key(k)) != restored.Sum(stream.Key(k)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,234 @@
+package operator
+
+import (
+	"sort"
+	"sync"
+
+	"seep/internal/stream"
+)
+
+// RankEntry is one row of a top-k ranking.
+type RankEntry struct {
+	Item  string
+	Count int64
+}
+
+// Ranking is the payload emitted by TopKReducer and TopKMerger: the top-k
+// items by count, descending.
+type Ranking []RankEntry
+
+// TopKReducer is the stateful reduce operator of the map/reduce-style
+// top-k query (§6.1, open loop workload): it maintains a dictionary of
+// item frequencies and periodically emits its local top-k ranking. When
+// the reducer is partitioned, each partition emits a partial ranking and
+// a downstream TopKMerger combines them.
+type TopKReducer struct {
+	// K is the ranking depth.
+	K int
+	// EmitEveryMillis is the ranking emission period (e.g. 30 s in the
+	// paper's Wikipedia query).
+	EmitEveryMillis int64
+
+	mu       sync.Mutex
+	counts   map[stream.Key]map[string]int64
+	lastEmit int64
+}
+
+// NewTopKReducer returns a reducer emitting the top k items every period.
+func NewTopKReducer(k int, emitEveryMillis int64) *TopKReducer {
+	return &TopKReducer{K: k, EmitEveryMillis: emitEveryMillis, counts: make(map[stream.Key]map[string]int64)}
+}
+
+// OnTuple implements Operator: payload is the item (a string).
+func (r *TopKReducer) OnTuple(_ Context, t stream.Tuple, emit Emitter) {
+	item, ok := t.Payload.(string)
+	if !ok {
+		return
+	}
+	r.mu.Lock()
+	m := r.counts[t.Key]
+	if m == nil {
+		m = make(map[string]int64)
+		r.counts[t.Key] = m
+	}
+	m[item]++
+	r.mu.Unlock()
+}
+
+// OnTime implements TimeDriven: every EmitEveryMillis, emit the local
+// top-k ranking (without resetting counters; the query ranks cumulative
+// visit counts).
+func (r *TopKReducer) OnTime(now int64, emit Emitter) {
+	r.mu.Lock()
+	if r.lastEmit == 0 {
+		r.lastEmit = now
+	}
+	if now-r.lastEmit < r.EmitEveryMillis {
+		r.mu.Unlock()
+		return
+	}
+	r.lastEmit = now
+	ranking := r.lockedTopK()
+	r.mu.Unlock()
+	if len(ranking) > 0 {
+		// A single well-known key so all partial rankings meet at one
+		// merger partition.
+		emit(stream.KeyOfString("topk-ranking"), ranking)
+	}
+}
+
+func (r *TopKReducer) lockedTopK() Ranking {
+	var all []RankEntry
+	for _, m := range r.counts {
+		for item, n := range m {
+			all = append(all, RankEntry{Item: item, Count: n})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Count != all[j].Count {
+			return all[i].Count > all[j].Count
+		}
+		return all[i].Item < all[j].Item
+	})
+	if len(all) > r.K {
+		all = all[:r.K]
+	}
+	return Ranking(all)
+}
+
+// TopK returns the current local ranking (for tests).
+func (r *TopKReducer) TopK() Ranking {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lockedTopK()
+}
+
+// SnapshotKV implements Stateful.
+func (r *TopKReducer) SnapshotKV() map[stream.Key][]byte {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[stream.Key][]byte, len(r.counts))
+	for k, m := range r.counts {
+		items := make([]string, 0, len(m))
+		for item := range m {
+			items = append(items, item)
+		}
+		sort.Strings(items)
+		e := stream.NewEncoder(16 * len(items))
+		e.Uint32(uint32(len(items)))
+		for _, item := range items {
+			e.String32(item)
+			e.Int64(m[item])
+		}
+		out[k] = e.Bytes()
+	}
+	return out
+}
+
+// RestoreKV implements Stateful.
+func (r *TopKReducer) RestoreKV(kv map[stream.Key][]byte) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.counts = make(map[stream.Key]map[string]int64, len(kv))
+	for k, v := range kv {
+		d := stream.NewDecoder(v)
+		n := int(d.Uint32())
+		m := make(map[string]int64, n)
+		for i := 0; i < n; i++ {
+			item := d.String32()
+			cnt := d.Int64()
+			if d.Err() != nil {
+				break
+			}
+			m[item] = cnt
+		}
+		r.counts[k] = m
+	}
+}
+
+// TopKMerger aggregates partial rankings from partitioned reducers into a
+// final ranking — "we use the sink to aggregate the partial results and
+// output the final answer" (§6.1). It keeps the latest partial per
+// upstream item set and emits the merged top-k on every update.
+type TopKMerger struct {
+	K  int
+	mu sync.Mutex
+	// latest merges item counts from the most recent partials; partial
+	// rankings carry cumulative counts, so taking the max per item is
+	// the correct merge.
+	latest map[string]int64
+}
+
+// NewTopKMerger returns a merger of partial rankings.
+func NewTopKMerger(k int) *TopKMerger {
+	return &TopKMerger{K: k, latest: make(map[string]int64)}
+}
+
+// OnTuple implements Operator: payload is a Ranking.
+func (m *TopKMerger) OnTuple(_ Context, t stream.Tuple, emit Emitter) {
+	partial, ok := t.Payload.(Ranking)
+	if !ok {
+		return
+	}
+	m.mu.Lock()
+	for _, e := range partial {
+		if e.Count > m.latest[e.Item] {
+			m.latest[e.Item] = e.Count
+		}
+	}
+	merged := make([]RankEntry, 0, len(m.latest))
+	for item, n := range m.latest {
+		merged = append(merged, RankEntry{Item: item, Count: n})
+	}
+	m.mu.Unlock()
+	sort.Slice(merged, func(i, j int) bool {
+		if merged[i].Count != merged[j].Count {
+			return merged[i].Count > merged[j].Count
+		}
+		return merged[i].Item < merged[j].Item
+	})
+	if len(merged) > m.K {
+		merged = merged[:m.K]
+	}
+	emit(t.Key, Ranking(merged))
+}
+
+// SnapshotKV implements Stateful: the merger's state all lives under the
+// single ranking key.
+func (m *TopKMerger) SnapshotKV() map[stream.Key][]byte {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	items := make([]string, 0, len(m.latest))
+	for item := range m.latest {
+		items = append(items, item)
+	}
+	sort.Strings(items)
+	e := stream.NewEncoder(16 * len(items))
+	e.Uint32(uint32(len(items)))
+	for _, item := range items {
+		e.String32(item)
+		e.Int64(m.latest[item])
+	}
+	return map[stream.Key][]byte{stream.KeyOfString("topk-ranking"): e.Bytes()}
+}
+
+// RestoreKV implements Stateful.
+func (m *TopKMerger) RestoreKV(kv map[stream.Key][]byte) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.latest = make(map[string]int64)
+	for _, v := range kv {
+		d := stream.NewDecoder(v)
+		n := int(d.Uint32())
+		for i := 0; i < n; i++ {
+			item := d.String32()
+			cnt := d.Int64()
+			if d.Err() != nil {
+				break
+			}
+			if cnt > m.latest[item] {
+				m.latest[item] = cnt
+			}
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package operator
+
+import (
+	"sort"
+	"strings"
+	"sync"
+
+	"seep/internal/stream"
+)
+
+// WordSplitter tokenises a stream of sentence fragments into words — the
+// stateless word split operator of the running example in §3.1 and of the
+// windowed word frequency query in §6.2. Each word is emitted keyed by
+// its hash, so downstream counters can be partitioned by word.
+func WordSplitter() Operator {
+	return Func(func(_ Context, t stream.Tuple, emit Emitter) {
+		s, ok := t.Payload.(string)
+		if !ok {
+			return
+		}
+		for _, w := range strings.Fields(s) {
+			emit(stream.KeyOfString(w), w)
+		}
+	})
+}
+
+// WordCount is the payload emitted by WordCounter at each window close.
+type WordCount struct {
+	Word  string
+	Count int64
+}
+
+// WordCounter maintains a windowed frequency count of words — the
+// stateful word count operator of §3.1 and §6.2. Its processing state is
+// a dictionary from word to counter; per tuple key the state value holds
+// all words hashing to that key (in practice one word per key).
+//
+// With WindowMillis > 0 the counter behaves as a tumbling window: OnTime
+// emits every (word, count) pair once the window closes and resets the
+// dictionary. With WindowMillis == 0 the counts accumulate forever and
+// updates are emitted per tuple (continuous mode).
+type WordCounter struct {
+	// WindowMillis is the tumbling window length (0 = continuous).
+	WindowMillis int64
+	// EmitOnUpdate, in windowed mode, also emits the running count on
+	// every update (useful for latency measurements where each input
+	// tuple must produce an observable output).
+	EmitOnUpdate bool
+
+	mu          sync.Mutex
+	counts      map[stream.Key]map[string]int64
+	windowStart int64
+}
+
+// NewWordCounter returns a windowed word counter (window in ms;
+// 0 = continuous).
+func NewWordCounter(windowMillis int64) *WordCounter {
+	return &WordCounter{
+		WindowMillis: windowMillis,
+		counts:       make(map[stream.Key]map[string]int64),
+	}
+}
+
+// OnTuple implements Operator.
+func (w *WordCounter) OnTuple(ctx Context, t stream.Tuple, emit Emitter) {
+	word, ok := t.Payload.(string)
+	if !ok {
+		return
+	}
+	w.mu.Lock()
+	m := w.counts[t.Key]
+	if m == nil {
+		m = make(map[string]int64)
+		w.counts[t.Key] = m
+	}
+	m[word]++
+	n := m[word]
+	w.mu.Unlock()
+	if w.WindowMillis == 0 || w.EmitOnUpdate {
+		emit(t.Key, WordCount{Word: word, Count: n})
+	}
+}
+
+// OnTime implements TimeDriven: at window close, emit all counts and
+// reset.
+func (w *WordCounter) OnTime(now int64, emit Emitter) {
+	if w.WindowMillis == 0 {
+		return
+	}
+	w.mu.Lock()
+	if w.windowStart == 0 {
+		w.windowStart = now
+	}
+	if now-w.windowStart < w.WindowMillis {
+		w.mu.Unlock()
+		return
+	}
+	flushed := w.counts
+	w.counts = make(map[stream.Key]map[string]int64)
+	w.windowStart = now
+	w.mu.Unlock()
+
+	// Deterministic emission order for reproducibility.
+	keys := make([]stream.Key, 0, len(flushed))
+	for k := range flushed {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		words := make([]string, 0, len(flushed[k]))
+		for word := range flushed[k] {
+			words = append(words, word)
+		}
+		sort.Strings(words)
+		for _, word := range words {
+			emit(k, WordCount{Word: word, Count: flushed[k][word]})
+		}
+	}
+}
+
+// SnapshotKV implements Stateful: each key's value is the encoded list of
+// (word, count) pairs for that key.
+func (w *WordCounter) SnapshotKV() map[stream.Key][]byte {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make(map[stream.Key][]byte, len(w.counts))
+	for k, m := range w.counts {
+		e := stream.NewEncoder(16 * len(m))
+		words := make([]string, 0, len(m))
+		for word := range m {
+			words = append(words, word)
+		}
+		sort.Strings(words)
+		e.Uint32(uint32(len(words)))
+		for _, word := range words {
+			e.String32(word)
+			e.Int64(m[word])
+		}
+		out[k] = e.Bytes()
+	}
+	return out
+}
+
+// RestoreKV implements Stateful.
+func (w *WordCounter) RestoreKV(kv map[stream.Key][]byte) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.counts = make(map[stream.Key]map[string]int64, len(kv))
+	for k, v := range kv {
+		d := stream.NewDecoder(v)
+		n := int(d.Uint32())
+		m := make(map[string]int64, n)
+		for i := 0; i < n; i++ {
+			word := d.String32()
+			cnt := d.Int64()
+			if d.Err() != nil {
+				break
+			}
+			m[word] = cnt
+		}
+		w.counts[k] = m
+	}
+}
+
+// Count returns the current count of a word (for tests and examples).
+func (w *WordCounter) Count(word string) int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	k := stream.KeyOfString(word)
+	if m := w.counts[k]; m != nil {
+		return m[word]
+	}
+	return 0
+}
+
+// Distinct returns the number of distinct words currently tracked.
+func (w *WordCounter) Distinct() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	n := 0
+	for _, m := range w.counts {
+		n += len(m)
+	}
+	return n
+}

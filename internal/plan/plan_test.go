@@ -1,0 +1,223 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+)
+
+func lrbLike() *Query {
+	q := NewQuery()
+	q.AddOp(OpSpec{ID: "src", Role: RoleSource})
+	q.AddOp(OpSpec{ID: "forward", Role: RoleStateless})
+	q.AddOp(OpSpec{ID: "toll", Role: RoleStateful})
+	q.AddOp(OpSpec{ID: "sink", Role: RoleSink})
+	q.Connect("src", "forward")
+	q.Connect("forward", "toll")
+	q.Connect("toll", "sink")
+	return q
+}
+
+func TestQueryValidate(t *testing.T) {
+	if err := lrbLike().Validate(); err != nil {
+		t.Fatalf("valid query rejected: %v", err)
+	}
+}
+
+func TestQueryValidateRejects(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() *Query
+		want  string
+	}{
+		{"empty", func() *Query { return NewQuery() }, "empty"},
+		{"no source", func() *Query {
+			q := NewQuery()
+			q.AddOp(OpSpec{ID: "snk", Role: RoleSink})
+			return q
+		}, "no source"},
+		{"source with input", func() *Query {
+			q := NewQuery()
+			q.AddOp(OpSpec{ID: "a", Role: RoleSource})
+			q.AddOp(OpSpec{ID: "b", Role: RoleSource})
+			q.Connect("a", "b")
+			return q
+		}, "input"},
+		{"sink with output", func() *Query {
+			q := NewQuery()
+			q.AddOp(OpSpec{ID: "a", Role: RoleSink})
+			q.AddOp(OpSpec{ID: "b", Role: RoleSink})
+			q.Connect("a", "b")
+			return q
+		}, "output"},
+		{"dangling operator", func() *Query {
+			q := lrbLike()
+			q.AddOp(OpSpec{ID: "lost", Role: RoleStateless})
+			return q
+		}, "no inputs"},
+		{"bad role", func() *Query {
+			q := NewQuery()
+			q.AddOp(OpSpec{ID: "x", Role: "mystery"})
+			return q
+		}, "unknown role"},
+	}
+	for _, c := range cases {
+		err := c.build().Validate()
+		if err == nil {
+			t.Errorf("%s: expected error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestQueryCycleDetection(t *testing.T) {
+	q := NewQuery()
+	q.AddOp(OpSpec{ID: "src", Role: RoleSource})
+	q.AddOp(OpSpec{ID: "a", Role: RoleStateless})
+	q.AddOp(OpSpec{ID: "b", Role: RoleStateless})
+	q.AddOp(OpSpec{ID: "snk", Role: RoleSink})
+	q.Connect("src", "a")
+	q.Connect("a", "b")
+	q.Connect("b", "a") // cycle
+	q.Connect("b", "snk")
+	if err := q.Validate(); err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Errorf("cycle not detected: %v", err)
+	}
+}
+
+func TestTopoOrder(t *testing.T) {
+	q := lrbLike()
+	order, err := q.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make(map[OpID]int)
+	for i, id := range order {
+		pos[id] = i
+	}
+	for _, s := range q.Streams() {
+		if pos[s.From] >= pos[s.To] {
+			t.Errorf("stream %v violates topo order", s)
+		}
+	}
+}
+
+func TestUpDownStream(t *testing.T) {
+	q := lrbLike()
+	if got := q.Upstream("toll"); len(got) != 1 || got[0] != "forward" {
+		t.Errorf("Upstream(toll) = %v", got)
+	}
+	if got := q.Downstream("forward"); len(got) != 1 || got[0] != "toll" {
+		t.Errorf("Downstream(forward) = %v", got)
+	}
+	if got := q.InputIndex("forward", "toll"); got != 0 {
+		t.Errorf("InputIndex = %d", got)
+	}
+	if got := q.InputIndex("src", "toll"); got != -1 {
+		t.Errorf("InputIndex for non-edge = %d", got)
+	}
+}
+
+func TestQueryPanics(t *testing.T) {
+	assertPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	assertPanic("empty id", func() { NewQuery().AddOp(OpSpec{}) })
+	assertPanic("dup id", func() {
+		q := NewQuery()
+		q.AddOp(OpSpec{ID: "x", Role: RoleSource})
+		q.AddOp(OpSpec{ID: "x", Role: RoleSource})
+	})
+	assertPanic("unknown from", func() { NewQuery().Connect("a", "b") })
+}
+
+func TestSourcesSinks(t *testing.T) {
+	q := lrbLike()
+	if got := q.Sources(); len(got) != 1 || got[0] != "src" {
+		t.Errorf("Sources = %v", got)
+	}
+	if got := q.Sinks(); len(got) != 1 || got[0] != "sink" {
+		t.Errorf("Sinks = %v", got)
+	}
+}
+
+func TestExecGraphInitial(t *testing.T) {
+	q := lrbLike()
+	q.Op("toll").InitialParallelism = 3
+	g := NewExecGraph(q)
+	if got := g.Parallelism("toll"); got != 3 {
+		t.Errorf("Parallelism(toll) = %d", got)
+	}
+	if got := g.Parallelism("src"); got != 1 {
+		t.Errorf("Parallelism(src) = %d", got)
+	}
+	insts := g.Instances("toll")
+	for i, inst := range insts {
+		if inst.Part != i+1 {
+			t.Errorf("instance %d has part %d", i, inst.Part)
+		}
+	}
+	if g.TotalInstances() != 6 {
+		t.Errorf("TotalInstances = %d", g.TotalInstances())
+	}
+	if len(g.AllInstances()) != 6 {
+		t.Errorf("AllInstances = %v", g.AllInstances())
+	}
+}
+
+func TestExecGraphReplace(t *testing.T) {
+	g := NewExecGraph(lrbLike())
+	old := g.Instances("toll")
+	newInsts, err := g.Replace("toll", old, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(newInsts) != 2 {
+		t.Fatalf("got %d new instances", len(newInsts))
+	}
+	// Partition numbers must not be reused.
+	if newInsts[0].Part != 2 || newInsts[1].Part != 3 {
+		t.Errorf("new parts = %v", newInsts)
+	}
+	if g.Live(old[0]) {
+		t.Error("replaced instance still live")
+	}
+	if !g.Live(newInsts[0]) {
+		t.Error("new instance not live")
+	}
+	// Replacing a stale instance fails.
+	if _, err := g.Replace("toll", old, 1); err == nil {
+		t.Error("expected error replacing stale instance")
+	}
+	if _, err := g.Replace("toll", nil, 0); err == nil {
+		t.Error("expected error for pi=0")
+	}
+}
+
+func TestExecGraphRemove(t *testing.T) {
+	g := NewExecGraph(lrbLike())
+	inst := g.Instances("toll")[0]
+	if err := g.Remove(inst); err != nil {
+		t.Fatal(err)
+	}
+	if g.Parallelism("toll") != 0 {
+		t.Error("instance not removed")
+	}
+	if err := g.Remove(inst); err == nil {
+		t.Error("double remove should fail")
+	}
+}
+
+func TestInstanceIDString(t *testing.T) {
+	id := InstanceID{Op: "toll", Part: 2}
+	if id.String() != "toll#2" {
+		t.Errorf("String() = %q", id)
+	}
+}

@@ -1,0 +1,1065 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"seep/internal/control"
+	"seep/internal/core"
+	"seep/internal/metrics"
+	"seep/internal/operator"
+	"seep/internal/plan"
+	"seep/internal/state"
+	"seep/internal/stream"
+)
+
+// FTMode selects the fault-tolerance mechanism under evaluation (§6.2).
+type FTMode int
+
+const (
+	// FTNone disables buffering and checkpointing (baseline for
+	// measuring state-management overhead, Fig. 14).
+	FTNone FTMode = iota
+	// FTRSM is the paper's recovery using state management: periodic
+	// checkpoints backed up to upstream VMs plus buffer replay.
+	FTRSM
+	// FTUpstreamBackup buffers tuples at every operator and re-processes
+	// them to rebuild state after a failure (Balazinska et al.).
+	FTUpstreamBackup
+	// FTSourceReplay buffers tuples only at sources and replays them
+	// through the whole pipeline (Storm-style).
+	FTSourceReplay
+)
+
+// String renders the mode.
+func (m FTMode) String() string {
+	switch m {
+	case FTNone:
+		return "none"
+	case FTRSM:
+		return "r+sm"
+	case FTUpstreamBackup:
+		return "ub"
+	case FTSourceReplay:
+		return "sr"
+	}
+	return fmt.Sprintf("FTMode(%d)", int(m))
+}
+
+// Config parameterises a simulated cluster.
+type Config struct {
+	// Seed drives all pseudo-randomness (deterministic runs).
+	Seed int64
+	// Mode selects the fault-tolerance mechanism.
+	Mode FTMode
+	// CheckpointIntervalMillis is c, the checkpointing interval (§3.2).
+	// Only used in FTRSM mode. Default 5000.
+	CheckpointIntervalMillis Millis
+	// WindowMillis bounds how long UB/SR retain tuples: state depends
+	// only on the last window, so older tuples are discarded. Default
+	// 30000 (the 30 s window of the §6.2 query).
+	WindowMillis Millis
+	// NetDelayMillis is the one-way network latency between VMs.
+	// Default 1.
+	NetDelayMillis Millis
+	// TimerMillis is the period for TimeDriven operator ticks. Default
+	// 1000.
+	TimerMillis Millis
+	// DetectDelayMillis is the failure-detection delay (heartbeat
+	// timeout). Default 500.
+	DetectDelayMillis Millis
+	// CheckpointCostPerMB is the CPU cost (in cost units, i.e. seconds
+	// on a capacity-1 VM) to serialise and ship one MB of state.
+	// Default 0.25.
+	CheckpointCostPerMB float64
+	// RestoreCostPerMB is the CPU cost per MB to deserialise state on
+	// the new VM. Default 0.15.
+	RestoreCostPerMB float64
+	// CoordFixedMillis is the fixed coordination cost per scale-out /
+	// recovery beyond VM handoff (state partitioning bookkeeping,
+	// operator deployment). Default 300 per new instance.
+	CoordFixedMillis Millis
+	// PartitionFixedMillis is the extra coordination cost per ADDITIONAL
+	// partition when restoring with π > 1 (splitting the checkpoint at
+	// the backup host, wiring π streams). It is why parallel recovery
+	// loses at short checkpointing intervals (Fig. 13). Default 800.
+	PartitionFixedMillis Millis
+	// Pool configures the pre-allocated VM pool (§5.2).
+	Pool PoolConfig
+	// VMCapacity is the CPU capacity of statically deployed VMs.
+	// Default 1.0.
+	VMCapacity float64
+	// RecoveryParallelism is π used when recovering failed operators
+	// (1 = serial recovery; ≥2 = parallel recovery, §4.2). Default 1.
+	RecoveryParallelism int
+}
+
+func (c Config) withDefaults() Config {
+	if c.CheckpointIntervalMillis == 0 {
+		c.CheckpointIntervalMillis = 5_000
+	}
+	if c.WindowMillis == 0 {
+		c.WindowMillis = 30_000
+	}
+	if c.NetDelayMillis == 0 {
+		c.NetDelayMillis = 1
+	}
+	if c.TimerMillis == 0 {
+		c.TimerMillis = 1_000
+	}
+	if c.DetectDelayMillis == 0 {
+		c.DetectDelayMillis = 500
+	}
+	if c.CheckpointCostPerMB == 0 {
+		c.CheckpointCostPerMB = 0.25
+	}
+	if c.RestoreCostPerMB == 0 {
+		c.RestoreCostPerMB = 0.15
+	}
+	if c.CoordFixedMillis == 0 {
+		c.CoordFixedMillis = 300
+	}
+	if c.PartitionFixedMillis == 0 {
+		c.PartitionFixedMillis = 800
+	}
+	if c.VMCapacity == 0 {
+		c.VMCapacity = 1.0
+	}
+	if c.RecoveryParallelism == 0 {
+		c.RecoveryParallelism = 1
+	}
+	if c.Pool.Capacity == 0 {
+		c.Pool.Capacity = c.VMCapacity
+	}
+	if c.Pool.Size == 0 {
+		c.Pool.Size = 2
+	}
+	return c
+}
+
+// RecoveryRecord documents one completed recovery or scale out.
+type RecoveryRecord struct {
+	// Victim is the replaced instance.
+	Victim plan.InstanceID
+	// Pi is the parallelism of the replacement.
+	Pi int
+	// Failure reports whether this was failure recovery (vs scale out).
+	Failure bool
+	// StartedAt is when the failure happened (or scale out was decided).
+	StartedAt Millis
+	// CompletedAt is when state was fully restored and all buffered
+	// tuples replayed.
+	CompletedAt Millis
+	// ReplayedTuples is how many tuples were replayed.
+	ReplayedTuples int
+}
+
+// Duration returns the recovery time.
+func (r RecoveryRecord) Duration() Millis { return r.CompletedAt - r.StartedAt }
+
+// RateFunc gives a source's emission rate in tuples/second at virtual
+// time t.
+type RateFunc func(t Millis) float64
+
+// ConstantRate returns a fixed-rate profile.
+func ConstantRate(tps float64) RateFunc { return func(Millis) float64 { return tps } }
+
+// Generator produces the payload and key for the i-th tuple of a source.
+type Generator func(i uint64) (stream.Key, any)
+
+// source drives tuple injection for one source instance.
+type source struct {
+	node    *Node
+	rate    RateFunc
+	gen     Generator
+	emitted uint64
+	paused  bool
+	// carry accumulates fractional tuples between ticks.
+	carry float64
+}
+
+// Cluster simulates a cloud deployment of one query: VMs host operator
+// instances, a query manager plans transitions, a VM pool masks
+// provisioning, and the integrated fault-tolerant scale-out algorithm
+// (Algorithm 3) handles both bottlenecks and failures.
+type Cluster struct {
+	sim       *Sim
+	cfg       Config
+	mgr       *core.Manager
+	pool      *Pool
+	factories map[plan.OpID]operator.Factory
+	nodes     map[plan.InstanceID]*Node
+	sources   map[plan.InstanceID]*source
+	// routings caches the current routing per logical operator for the
+	// emit fast path; the manager owns the authoritative copy.
+	routings map[plan.OpID]*state.Routing
+	nextVMID int
+
+	// scalingInProgress guards against double-triggering on one victim.
+	scalingInProgress map[plan.InstanceID]bool
+
+	detector *control.Detector
+	// shrinker, when set, drives elastic scale in (merging under-used
+	// partitions) — the paper's stated future work (§8).
+	shrinker *control.ScaleInDetector
+
+	// Measurements.
+	Latency           *metrics.Histogram
+	SinkCount         metrics.Counter
+	duplicatesDropped metrics.Counter
+	VMsInUse          *metrics.TimeSeries
+	ThroughputTS      *metrics.TimeSeries
+	recoveries        []RecoveryRecord
+	// OnSink, when set, observes every tuple arriving at a sink.
+	OnSink func(t stream.Tuple)
+
+	// sinkSinceLast counts sink arrivals for throughput sampling.
+	sinkSinceLast uint64
+}
+
+// NewCluster deploys a query onto a simulated cluster. factories supplies
+// the operator implementation for every non-source, non-sink logical
+// operator.
+func NewCluster(cfg Config, q *plan.Query, factories map[plan.OpID]operator.Factory) (*Cluster, error) {
+	cfg = cfg.withDefaults()
+	mgr, err := core.NewManager(q)
+	if err != nil {
+		return nil, err
+	}
+	s := New(cfg.Seed)
+	c := &Cluster{
+		sim:               s,
+		cfg:               cfg,
+		mgr:               mgr,
+		pool:              NewPool(s, cfg.Pool),
+		factories:         factories,
+		nodes:             make(map[plan.InstanceID]*Node),
+		sources:           make(map[plan.InstanceID]*source),
+		routings:          make(map[plan.OpID]*state.Routing),
+		scalingInProgress: make(map[plan.InstanceID]bool),
+		Latency:           &metrics.Histogram{},
+		VMsInUse:          &metrics.TimeSeries{},
+		ThroughputTS:      &metrics.TimeSeries{},
+	}
+	for _, opID := range q.Ops() {
+		c.routings[opID] = mgr.Routing(opID)
+		spec := q.Op(opID)
+		for _, inst := range mgr.Instances(opID) {
+			var op operator.Operator
+			if spec.Role != plan.RoleSource && spec.Role != plan.RoleSink {
+				f, ok := factories[opID]
+				if !ok {
+					return nil, fmt.Errorf("sim: no factory for operator %q", opID)
+				}
+				op = f()
+			}
+			c.nextVMID++
+			vm := NewVM(s, 1000+c.nextVMID, cfg.VMCapacity)
+			c.nodes[inst] = newNode(c, inst, spec, vm, op)
+		}
+	}
+	// Periodic machinery.
+	s.Every(cfg.TimerMillis, func() bool {
+		c.tickTimers()
+		return true
+	})
+	if cfg.Mode == FTRSM {
+		s.Every(cfg.CheckpointIntervalMillis, func() bool {
+			c.checkpointAll()
+			return true
+		})
+	}
+	if cfg.Mode == FTUpstreamBackup || cfg.Mode == FTSourceReplay {
+		s.Every(1_000, func() bool {
+			cutoff := s.Now() - cfg.WindowMillis
+			for _, n := range c.nodes {
+				n.outBuf.TrimBornBefore(cutoff)
+			}
+			return true
+		})
+	}
+	s.Every(1_000, func() bool {
+		c.VMsInUse.Add(s.Now(), float64(c.liveVMs()))
+		c.ThroughputTS.Add(s.Now(), float64(c.sinkSinceLast))
+		c.sinkSinceLast = 0
+		return true
+	})
+	return c, nil
+}
+
+// Sim returns the simulation kernel (for scheduling experiment events).
+func (c *Cluster) Sim() *Sim { return c.sim }
+
+// Manager returns the query manager.
+func (c *Cluster) Manager() *core.Manager { return c.mgr }
+
+// Pool returns the VM pool.
+func (c *Cluster) Pool() *Pool { return c.pool }
+
+// Node returns the live node for an instance (nil if none).
+func (c *Cluster) Node(inst plan.InstanceID) *Node { return c.nodes[inst] }
+
+// OperatorOf returns the operator hosted by inst so experiments can
+// inspect or pre-populate its state (nil if the instance is unknown or a
+// source/sink).
+func (c *Cluster) OperatorOf(inst plan.InstanceID) operator.Operator {
+	if n := c.nodes[inst]; n != nil {
+		return n.op
+	}
+	return nil
+}
+
+// LiveInstances returns the instances of op that currently have an
+// active node. During an in-flight scale out the execution graph may
+// list replacement instances whose VMs are still being provisioned;
+// those are excluded here.
+func (c *Cluster) LiveInstances(op plan.OpID) []plan.InstanceID {
+	var out []plan.InstanceID
+	for _, inst := range c.mgr.Instances(op) {
+		if n := c.nodes[inst]; n != nil && !n.failed && !n.removed {
+			out = append(out, inst)
+		}
+	}
+	return out
+}
+
+// Recoveries returns the completed recovery/scale-out records.
+func (c *Cluster) Recoveries() []RecoveryRecord {
+	out := make([]RecoveryRecord, len(c.recoveries))
+	copy(out, c.recoveries)
+	return out
+}
+
+// DuplicatesDropped returns how many replayed duplicates were discarded.
+func (c *Cluster) DuplicatesDropped() uint64 { return c.duplicatesDropped.Value() }
+
+func (c *Cluster) liveVMs() int {
+	n := 0
+	for _, node := range c.nodes {
+		if !node.failed && !node.removed {
+			n++
+		}
+	}
+	return n
+}
+
+// AddSource attaches a tuple generator to a source instance.
+func (c *Cluster) AddSource(inst plan.InstanceID, rate RateFunc, gen Generator) error {
+	n := c.nodes[inst]
+	if n == nil || n.spec.Role != plan.RoleSource {
+		return fmt.Errorf("sim: %s is not a live source", inst)
+	}
+	src := &source{node: n, rate: rate, gen: gen}
+	c.sources[inst] = src
+	c.scheduleSourceTick(src)
+	return nil
+}
+
+// scheduleSourceTick emits tuples in 10 ms batches according to the rate
+// profile; fractional tuples carry over so long-run rates are exact.
+func (c *Cluster) scheduleSourceTick(src *source) {
+	const tick = 10 // ms
+	var fire func()
+	fire = func() {
+		if src.node.removed {
+			return
+		}
+		if !src.paused {
+			r := src.rate(c.sim.Now())
+			src.carry += r * tick / 1000.0
+			n := int(src.carry)
+			src.carry -= float64(n)
+			for i := 0; i < n; i++ {
+				key, payload := src.gen(src.emitted)
+				src.emitted++
+				src.node.curBorn = c.sim.Now()
+				src.node.emit(key, payload)
+			}
+		}
+		c.sim.After(tick, fire)
+	}
+	c.sim.After(tick, fire)
+}
+
+// route buffers (per FT mode) and delivers one tuple from n to every
+// logical downstream operator, partitioned by key.
+func (c *Cluster) route(n *Node, out stream.Tuple) {
+	for _, downOp := range c.mgr.Query().Downstream(n.inst.Op) {
+		r := c.routings[downOp]
+		if r == nil {
+			continue
+		}
+		target := r.Lookup(out.Key)
+		if c.shouldBuffer(n, downOp) {
+			n.outBuf.Append(target, out)
+		}
+		c.deliver(n.inst, target, out, nil)
+	}
+}
+
+// shouldBuffer decides whether n retains output tuples toward downOp for
+// replay, per FT mode. Tuples toward sinks are never retained: sinks are
+// assumed reliable (§2.2).
+func (c *Cluster) shouldBuffer(n *Node, downOp plan.OpID) bool {
+	if c.mgr.Query().Op(downOp).Role == plan.RoleSink {
+		return false
+	}
+	switch c.cfg.Mode {
+	case FTRSM, FTUpstreamBackup:
+		return true
+	case FTSourceReplay:
+		return n.spec.Role == plan.RoleSource
+	default:
+		return false
+	}
+}
+
+// deliver schedules the arrival of a tuple at a node after the network
+// delay. Deliveries to unknown (failed/stale) instances are dropped; the
+// tuples survive in upstream buffer state and are replayed after
+// recovery.
+func (c *Cluster) deliver(from, to plan.InstanceID, t stream.Tuple, tracker *replayTracker) {
+	c.deliverOpt(from, to, t, tracker, false)
+}
+
+// deliverForced delivers bypassing duplicate detection (source replay).
+func (c *Cluster) deliverForced(from, to plan.InstanceID, t stream.Tuple, tracker *replayTracker) {
+	c.deliverOpt(from, to, t, tracker, true)
+}
+
+func (c *Cluster) deliverOpt(from, to plan.InstanceID, t stream.Tuple, tracker *replayTracker, force bool) {
+	input := c.mgr.Query().InputIndex(from.Op, to.Op)
+	c.sim.After(c.cfg.NetDelayMillis, func() {
+		n := c.nodes[to]
+		if n == nil {
+			tracker.dec()
+			return
+		}
+		n.receive(delivery{from: from, input: input, t: t, tracker: tracker, force: force})
+	})
+}
+
+// observeSink records a tuple arriving at a sink node.
+func (c *Cluster) observeSink(n *Node, t stream.Tuple) {
+	lat := c.sim.Now() - t.Born
+	if lat < 0 {
+		lat = 0
+	}
+	c.Latency.Observe(lat)
+	c.SinkCount.Inc()
+	c.sinkSinceLast++
+	if c.OnSink != nil {
+		c.OnSink(t)
+	}
+}
+
+// tickTimers drives TimeDriven operators.
+func (c *Cluster) tickTimers() {
+	for _, inst := range c.sortedInstances() {
+		if n := c.nodes[inst]; n != nil {
+			n.onTime()
+		}
+	}
+}
+
+func (c *Cluster) sortedInstances() []plan.InstanceID {
+	out := make([]plan.InstanceID, 0, len(c.nodes))
+	for inst := range c.nodes {
+		out = append(out, inst)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Op != out[j].Op {
+			return out[i].Op < out[j].Op
+		}
+		return out[i].Part < out[j].Part
+	})
+	return out
+}
+
+// checkpointAll takes a checkpoint of every non-source, non-sink node and
+// backs it up to its upstream backup host (Algorithm 1). The snapshot is
+// consistent (taken in one event); the serialisation cost occupies the
+// node's VM, delaying queued tuples — the measurable overhead of Fig. 14.
+func (c *Cluster) checkpointAll() {
+	for _, inst := range c.sortedInstances() {
+		n := c.nodes[inst]
+		if n == nil || n.failed || n.removed {
+			continue
+		}
+		if n.spec.Role == plan.RoleSource || n.spec.Role == plan.RoleSink {
+			continue
+		}
+		c.checkpointNode(n)
+	}
+}
+
+// checkpointNode implements backup-state(o) for one node.
+func (c *Cluster) checkpointNode(n *Node) {
+	cp := n.snapshot()
+	host, err := c.mgr.BackupTarget(n.inst)
+	if err != nil {
+		return
+	}
+	costUnits := c.cfg.CheckpointCostPerMB * float64(cp.Size()) / (1 << 20)
+	n.vm.Exec(costUnits, func() {
+		// Ship to the backup host after the network delay.
+		c.sim.After(c.cfg.NetDelayMillis, func() {
+			if err := c.mgr.Backups().Store(host, cp); err != nil {
+				return
+			}
+			// Trim upstream output buffers up to the acknowledged
+			// timestamps (Algorithm 1 line 4).
+			for up, ts := range cp.Acks {
+				if upNode := c.nodes[up]; upNode != nil {
+					upNode.outBuf.TrimInstance(n.inst, ts)
+				}
+			}
+		})
+	})
+}
+
+// FailInstance crash-stops the VM hosting inst at the current virtual
+// time. Backups stored on that VM are lost. Detection and recovery
+// follow after the configured detection delay.
+func (c *Cluster) FailInstance(inst plan.InstanceID) error {
+	n := c.nodes[inst]
+	if n == nil || n.failed {
+		return fmt.Errorf("sim: %s is not a live instance", inst)
+	}
+	if n.spec.Role == plan.RoleSource || n.spec.Role == plan.RoleSink {
+		return fmt.Errorf("sim: sources and sinks are assumed reliable (§2.2)")
+	}
+	n.failed = true
+	n.vm.Fail()
+	c.mgr.HandleHostFailure(inst)
+	failedAt := c.sim.Now()
+	c.sim.After(c.cfg.DetectDelayMillis, func() {
+		c.recover(inst, failedAt)
+	})
+	return nil
+}
+
+// ScaleOut replaces a live bottleneck instance with pi partitioned
+// instances (Algorithm 3). The victim keeps processing until the new
+// instances are restored; its post-checkpoint work is reconstructed at
+// the replacements by replaying upstream buffers.
+func (c *Cluster) ScaleOut(victim plan.InstanceID, pi int) error {
+	n := c.nodes[victim]
+	if n == nil || n.failed || n.removed {
+		return fmt.Errorf("sim: %s is not live", victim)
+	}
+	if c.scalingInProgress[victim] {
+		return fmt.Errorf("sim: scale out of %s already in progress", victim)
+	}
+	c.scalingInProgress[victim] = true
+	started := c.sim.Now()
+	// In RSM mode, refresh the checkpoint right before partitioning so
+	// the replayed window is small. (The paper partitions the most
+	// recent checkpoint, §4.3.)
+	if c.cfg.Mode == FTRSM {
+		c.checkpointNode(n)
+	}
+	// Allow the checkpoint store event (net delay + cost) to land before
+	// planning; schedule the replacement shortly after.
+	c.sim.After(c.cfg.NetDelayMillis+1, func() {
+		c.executeReplace(victim, pi, started, false)
+	})
+	return nil
+}
+
+// recover handles a detected failure: recovery is scale out with
+// parallelism RecoveryParallelism (§4.2 — "operator recovery becomes a
+// special case of scale out").
+func (c *Cluster) recover(victim plan.InstanceID, failedAt Millis) {
+	if c.scalingInProgress[victim] {
+		return
+	}
+	c.scalingInProgress[victim] = true
+	switch c.cfg.Mode {
+	case FTUpstreamBackup, FTSourceReplay:
+		c.executeReplaceBaseline(victim, failedAt)
+	default:
+		c.executeReplace(victim, c.cfg.RecoveryParallelism, failedAt, true)
+	}
+}
+
+// executeReplace runs the integrated fault-tolerant scale-out algorithm
+// (Algorithm 3) for both scale out and R+SM recovery.
+func (c *Cluster) executeReplace(victim plan.InstanceID, pi int, startedAt Millis, failure bool) {
+	rp, err := c.mgr.PlanReplace(victim, pi)
+	if err != nil {
+		if !failure {
+			// Scale out aborts cleanly; the victim continues processing
+			// unaffected (§4.3) and may be re-triggered later.
+			delete(c.scalingInProgress, victim)
+			if c.detector != nil {
+				c.detector.Unmute(victim)
+			}
+			return
+		}
+		// Failure recovery with no available checkpoint: the operator
+		// failed before its first backup. Its state is unrecoverable by
+		// any passive scheme; restart from empty state so the query
+		// keeps running (buffered upstream tuples are still replayed).
+		q := c.mgr.Query()
+		empty := &state.Checkpoint{
+			Instance:   victim,
+			Seq:        ^uint64(0),
+			Processing: state.NewProcessing(len(q.Upstream(victim.Op))),
+			Buffer:     state.NewBuffer(),
+		}
+		host, herr := c.mgr.BackupTarget(victim)
+		if herr != nil {
+			return
+		}
+		if serr := c.mgr.Backups().Store(host, empty); serr != nil {
+			return
+		}
+		rp, err = c.mgr.PlanReplace(victim, pi)
+		if err != nil {
+			return
+		}
+	}
+	// Routing switches now: tuples emitted from here on are buffered
+	// toward (and later replayed to) the new instances.
+	c.routings[victim.Op] = rp.Routing
+
+	// Acquire pi VMs from the pool.
+	vms := make([]*VM, 0, pi)
+	for i := 0; i < pi; i++ {
+		c.pool.Acquire(func(vm *VM) {
+			vms = append(vms, vm)
+			if len(vms) == pi {
+				c.finishReplace(rp, vms, startedAt, failure)
+			}
+		})
+	}
+}
+
+// finishReplace restores state on the new VMs and replays buffers.
+func (c *Cluster) finishReplace(rp *core.ReplacePlan, vms []*VM, startedAt Millis, failure bool) {
+	pi := len(rp.NewInstances)
+	victim := rp.Victim
+	q := c.mgr.Query()
+	spec := q.Op(victim.Op)
+
+	// Splitting the checkpoint across π > 1 partitions costs extra
+	// coordination at the backup host before the restores can begin.
+	partitionDelay := Millis(pi-1) * c.cfg.PartitionFixedMillis
+	c.sim.After(partitionDelay, func() {
+		// Restore cost per instance: fixed coordination plus
+		// deserialisation proportional to the partition size, paid on
+		// the new VM.
+		restored := 0
+		for i := range rp.NewInstances {
+			cp := rp.Checkpoints[i]
+			costUnits := c.cfg.RestoreCostPerMB*float64(cp.Size())/(1<<20) +
+				float64(c.cfg.CoordFixedMillis)/1000.0
+			vms[i].Exec(costUnits, func() {
+				restored++
+				if restored == pi {
+					c.activateReplacements(rp, vms, startedAt, failure, spec)
+				}
+			})
+		}
+	})
+}
+
+// activateReplacements is the atomic switch-over: register nodes, stop
+// the victim, fix downstream acknowledgement inheritance, replay the
+// victim's output buffer downstream and the upstream buffers to the new
+// instances (Algorithm 3 lines 6-14).
+func (c *Cluster) activateReplacements(rp *core.ReplacePlan, vms []*VM, startedAt Millis, failure bool, spec *plan.OpSpec) {
+	victim := rp.Victim
+	pi := len(rp.NewInstances)
+
+	// Stop the victim and release its VM (Algorithm 3 line 8). On
+	// failure recovery it is already dead.
+	if old := c.nodes[victim]; old != nil {
+		old.removed = true
+		delete(c.nodes, victim)
+	}
+	delete(c.scalingInProgress, victim)
+	if c.detector != nil {
+		c.detector.Forget(victim)
+	}
+
+	newNodes := make([]*Node, pi)
+	for i, inst := range rp.NewInstances {
+		var op operator.Operator
+		if f, ok := c.factories[inst.Op]; ok {
+			op = f()
+		}
+		n := newNode(c, inst, spec, vms[i], op)
+		n.restore(rp.Checkpoints[i])
+		c.nodes[inst] = n
+		newNodes[i] = n
+	}
+
+	// Downstream duplicate detection: with pi == 1 the replacement
+	// re-emits a deterministic prefix of the victim's output sequence,
+	// so downstream nodes inherit the victim's acknowledgement position.
+	// With pi > 1 each partition's output sequence is fresh (the paper's
+	// per-stream clocks), so downstream starts clean and duplicate
+	// suppression is best-effort for the checkpoint-lag window.
+	if pi == 1 {
+		for _, dn := range c.nodes {
+			if ts, ok := dn.acks[victim]; ok {
+				dn.acks[rp.NewInstances[0]] = ts
+				delete(dn.acks, victim)
+			}
+		}
+	}
+
+	tracker := &replayTracker{}
+	replayed := 0
+
+	// Replay the victim's own buffered output downstream (line 7).
+	for i, n := range newNodes {
+		cp := rp.Checkpoints[i]
+		for _, target := range cp.Buffer.Targets() {
+			for _, t := range cp.Buffer.Tuples(target) {
+				// Re-route under current routing: the downstream set may
+				// itself have been repartitioned since the checkpoint.
+				r := c.routings[target.Op]
+				to := target
+				if r != nil {
+					to = r.Lookup(t.Key)
+				}
+				tracker.add(1)
+				replayed++
+				c.deliver(n.inst, to, t, tracker)
+			}
+		}
+	}
+
+	// Upstream side (lines 9-14): repartition buffer state under the new
+	// routing and replay unacknowledged tuples to the new instances. The
+	// switch happens within one simulator event, which models the
+	// stop/update/restart of upstream operators as an atomic step; the
+	// disruption cost is carried by the replay itself.
+	for _, upOp := range c.mgr.Query().Upstream(victim.Op) {
+		for _, upInst := range c.mgr.Instances(upOp) {
+			un := c.nodes[upInst]
+			if un == nil {
+				continue
+			}
+			un.outBuf.Repartition(victim.Op, rp.Routing)
+			for _, newInst := range rp.NewInstances {
+				for _, t := range un.outBuf.Tuples(newInst) {
+					tracker.add(1)
+					replayed++
+					c.deliver(upInst, newInst, t, tracker)
+				}
+			}
+		}
+	}
+
+	rec := RecoveryRecord{
+		Victim:         victim,
+		Pi:             pi,
+		Failure:        failure,
+		StartedAt:      startedAt,
+		ReplayedTuples: replayed,
+	}
+	if replayed == 0 {
+		rec.CompletedAt = c.sim.Now()
+		c.recoveries = append(c.recoveries, rec)
+		return
+	}
+	// Until the replay completes, the replacements must not process live
+	// tuples: replayed tuples carry pre-checkpoint timestamps and a live
+	// tuple would advance the duplicate watermark past them (the
+	// stop-operator step of Algorithm 3 guarantees this ordering in the
+	// paper).
+	for _, n := range newNodes {
+		n.holdingLive = true
+	}
+	tracker.onDone = func() {
+		rec.CompletedAt = c.sim.Now()
+		c.recoveries = append(c.recoveries, rec)
+		for _, n := range newNodes {
+			n.releaseHeld()
+		}
+	}
+}
+
+// executeReplaceBaseline recovers a failed operator under the UB and SR
+// baselines: a fresh instance is deployed with empty state and the
+// retained window of tuples is re-processed to rebuild it (§6.2).
+func (c *Cluster) executeReplaceBaseline(victim plan.InstanceID, failedAt Millis) {
+	// Provide an empty checkpoint so the manager can plan the
+	// replacement (the baselines keep no state checkpoints).
+	q := c.mgr.Query()
+	empty := &state.Checkpoint{
+		Instance:   victim,
+		Seq:        ^uint64(0), // always newest
+		Processing: state.NewProcessing(len(q.Upstream(victim.Op))),
+		Buffer:     state.NewBuffer(),
+	}
+	host, err := c.mgr.BackupTarget(victim)
+	if err != nil {
+		return
+	}
+	if err := c.mgr.Backups().Store(host, empty); err != nil {
+		return
+	}
+	rp, err := c.mgr.PlanReplace(victim, 1)
+	if err != nil {
+		return
+	}
+	c.routings[victim.Op] = rp.Routing
+
+	if c.cfg.Mode == FTSourceReplay {
+		// The source stops generating new tuples during recovery (§6.2).
+		for _, s := range c.sources {
+			s.paused = true
+		}
+	}
+
+	c.pool.Acquire(func(vm *VM) {
+		spec := q.Op(victim.Op)
+		coord := float64(c.cfg.CoordFixedMillis) / 1000.0
+		vm.Exec(coord, func() {
+			c.activateBaseline(rp, vm, victim, failedAt, spec)
+		})
+	})
+}
+
+func (c *Cluster) activateBaseline(rp *core.ReplacePlan, vm *VM, victim plan.InstanceID, failedAt Millis, spec *plan.OpSpec) {
+	if old := c.nodes[victim]; old != nil {
+		old.removed = true
+		delete(c.nodes, victim)
+	}
+	delete(c.scalingInProgress, victim)
+	newInst := rp.NewInstances[0]
+	var op operator.Operator
+	if f, ok := c.factories[newInst.Op]; ok {
+		op = f()
+	}
+	n := newNode(c, newInst, spec, vm, op)
+	c.nodes[newInst] = n
+
+	tracker := &replayTracker{}
+	replayed := 0
+	newNodes := []*Node{n}
+
+	if c.cfg.Mode == FTUpstreamBackup {
+		// Replay the immediate upstream buffers (whole retained window).
+		for _, upOp := range c.mgr.Query().Upstream(victim.Op) {
+			for _, upInst := range c.mgr.Instances(upOp) {
+				un := c.nodes[upInst]
+				if un == nil {
+					continue
+				}
+				un.outBuf.Repartition(victim.Op, rp.Routing)
+				for _, t := range un.outBuf.Tuples(newInst) {
+					tracker.add(1)
+					replayed++
+					c.deliver(upInst, newInst, t, tracker)
+				}
+			}
+		}
+	} else {
+		// Source replay: re-inject the sources' retained windows through
+		// the whole pipeline; intermediate operators re-process them.
+		for _, s := range c.sources {
+			sn := s.node
+			for _, target := range sn.outBuf.Targets() {
+				for _, t := range sn.outBuf.Tuples(target) {
+					r := c.routings[target.Op]
+					to := target
+					if r != nil {
+						to = r.Lookup(t.Key)
+					}
+					tracker.add(1)
+					replayed++
+					c.deliverForced(sn.inst, to, t, tracker)
+				}
+			}
+		}
+	}
+
+	rec := RecoveryRecord{
+		Victim:         victim,
+		Pi:             1,
+		Failure:        true,
+		StartedAt:      failedAt,
+		ReplayedTuples: replayed,
+	}
+	if c.cfg.Mode == FTUpstreamBackup && replayed > 0 {
+		// UB replays old-timestamped tuples from the immediate upstream
+		// buffers; hold live tuples until the window re-processing is
+		// done (see activateReplacements). SR re-emits through the
+		// pipeline with fresh timestamps, so it needs no hold.
+		n.holdingLive = true
+	}
+	finish := func() {
+		// The recovered operator may still be draining re-processed
+		// tuples produced by intermediate operators; account for its
+		// remaining queue.
+		done := c.sim.Now()
+		for _, nn := range newNodes {
+			if until := nn.vm.busyUntil; until > done {
+				done = until
+			}
+		}
+		rec.CompletedAt = done
+		c.recoveries = append(c.recoveries, rec)
+		n.releaseHeld()
+		if c.cfg.Mode == FTSourceReplay {
+			c.sim.At(done, func() {
+				for _, s := range c.sources {
+					s.paused = false
+				}
+			})
+		}
+	}
+	if replayed == 0 {
+		finish()
+		return
+	}
+	tracker.onDone = finish
+}
+
+// ScaleIn merges sibling partitions with adjacent key ranges into one
+// instance — the merge primitive of §3.3 ("to scale in operators when
+// resources are under-utilised, the state of two operators can be
+// merged"). Victims must be live and checkpointed. The merged instance
+// is deployed on a pooled VM; upstream buffers are repartitioned and
+// replayed exactly as in scale out.
+func (c *Cluster) ScaleIn(victims []plan.InstanceID) error {
+	for _, v := range victims {
+		n := c.nodes[v]
+		if n == nil || n.failed || n.removed {
+			return fmt.Errorf("sim: %s is not live", v)
+		}
+		if c.scalingInProgress[v] {
+			return fmt.Errorf("sim: %s is being replaced", v)
+		}
+	}
+	// Fresh checkpoints so the merged state reflects the near-present.
+	for _, v := range victims {
+		c.checkpointNode(c.nodes[v])
+	}
+	c.sim.After(c.cfg.NetDelayMillis+1, func() {
+		mp, err := c.mgr.PlanMerge(victims)
+		if err != nil {
+			return
+		}
+		for _, v := range victims {
+			c.scalingInProgress[v] = true
+		}
+		c.routings[mp.NewInstance.Op] = mp.Routing
+		c.pool.Acquire(func(vm *VM) {
+			cost := c.cfg.RestoreCostPerMB*float64(mp.Checkpoint.Size())/(1<<20) +
+				float64(c.cfg.CoordFixedMillis)/1000.0
+			vm.Exec(cost, func() {
+				spec := c.mgr.Query().Op(mp.NewInstance.Op)
+				rp := &core.ReplacePlan{
+					Victim:       victims[0],
+					NewInstances: []plan.InstanceID{mp.NewInstance},
+					Ranges:       []state.KeyRange{mp.Range},
+					Checkpoints:  []*state.Checkpoint{mp.Checkpoint},
+					Routing:      mp.Routing,
+				}
+				// Remove all victims, then activate via the common path.
+				for _, v := range victims[1:] {
+					if old := c.nodes[v]; old != nil {
+						old.removed = true
+						delete(c.nodes, v)
+					}
+					delete(c.scalingInProgress, v)
+				}
+				c.activateReplacements(rp, []*VM{vm}, c.sim.Now(), false, spec)
+			})
+		})
+	})
+	return nil
+}
+
+// EnablePolicy activates the bottleneck detector and scaling policy
+// (§5.1): every ReportEveryMillis, live instances report their CPU
+// utilisation; instances above the threshold for k consecutive reports
+// are scaled out to parallelism 2 (the victim splits in two).
+func (c *Cluster) EnablePolicy(p control.Policy) {
+	c.detector = control.NewDetector(p)
+	c.sim.Every(p.ReportEveryMillis, func() bool {
+		var reports []control.Report
+		for _, inst := range c.sortedInstances() {
+			n := c.nodes[inst]
+			if n == nil || n.failed || n.removed {
+				continue
+			}
+			if n.spec.Role == plan.RoleSource || n.spec.Role == plan.RoleSink {
+				continue
+			}
+			reports = append(reports, control.Report{Inst: inst, Util: n.vm.Utilization()})
+			n.vm.ResetWindow()
+		}
+		for _, victim := range c.detector.Observe(reports) {
+			spec := c.mgr.Query().Op(victim.Op)
+			if spec.MaxParallelism > 0 && c.mgr.Parallelism(victim.Op) >= spec.MaxParallelism {
+				continue
+			}
+			_ = c.ScaleOut(victim, 2)
+		}
+		if c.shrinker != nil {
+			for _, op := range c.shrinker.Observe(reports) {
+				if pair := c.adjacentPair(op); pair != nil {
+					if err := c.ScaleIn(pair); err != nil {
+						c.shrinker.Unmute(op)
+					} else {
+						// Completed merges produce fresh instance IDs, so
+						// the operator can shrink again next round.
+						c.shrinker.Unmute(op)
+					}
+				} else {
+					c.shrinker.Unmute(op)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// EnableElasticity additionally activates scale in: when every partition
+// of an operator stays below the low watermark, an adjacent pair is
+// merged. Call after EnablePolicy.
+func (c *Cluster) EnableElasticity(p control.ScaleInPolicy) {
+	c.shrinker = control.NewScaleInDetector(p)
+}
+
+// adjacentPair picks the pair of live partitions of op owning adjacent
+// key ranges with the lowest combined load, or nil.
+func (c *Cluster) adjacentPair(op plan.OpID) []plan.InstanceID {
+	routing := c.mgr.Routing(op)
+	if routing == nil {
+		return nil
+	}
+	entries := routing.Entries()
+	var best []plan.InstanceID
+	bestLoad := -1.0
+	for i := 1; i < len(entries); i++ {
+		a, b := entries[i-1].Target, entries[i].Target
+		if a == b {
+			continue
+		}
+		na, nb := c.nodes[a], c.nodes[b]
+		if na == nil || nb == nil || na.failed || nb.failed || na.removed || nb.removed {
+			continue
+		}
+		if c.scalingInProgress[a] || c.scalingInProgress[b] {
+			continue
+		}
+		load := na.vm.Utilization() + nb.vm.Utilization()
+		if bestLoad < 0 || load < bestLoad {
+			bestLoad = load
+			best = []plan.InstanceID{a, b}
+		}
+	}
+	return best
+}
+
+// RunUntil advances the simulation to virtual time t.
+func (c *Cluster) RunUntil(t Millis) { c.sim.RunUntil(t) }

@@ -1,0 +1,287 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestSimOrdering(t *testing.T) {
+	s := New(1)
+	var got []int
+	s.At(30, func() { got = append(got, 3) })
+	s.At(10, func() { got = append(got, 1) })
+	s.At(20, func() { got = append(got, 2) })
+	s.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("order = %v", got)
+	}
+	if s.Now() != 30 {
+		t.Errorf("Now = %d", s.Now())
+	}
+}
+
+func TestSimFIFOAtSameTime(t *testing.T) {
+	s := New(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(5, func() { got = append(got, i) })
+	}
+	s.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events out of FIFO order: %v", got)
+		}
+	}
+}
+
+func TestSimPastScheduling(t *testing.T) {
+	s := New(1)
+	var ran bool
+	s.At(100, func() {
+		s.At(50, func() { ran = true }) // in the past → runs now
+	})
+	s.Run()
+	if !ran {
+		t.Error("past-scheduled event did not run")
+	}
+	if s.Now() != 100 {
+		t.Errorf("clock rewound to %d", s.Now())
+	}
+}
+
+func TestSimRunUntil(t *testing.T) {
+	s := New(1)
+	count := 0
+	s.Every(10, func() bool {
+		count++
+		return true
+	})
+	s.RunUntil(100)
+	if count != 10 {
+		t.Errorf("ticks = %d, want 10", count)
+	}
+	if s.Now() != 100 {
+		t.Errorf("Now = %d", s.Now())
+	}
+	s.RunUntil(200)
+	if count != 20 {
+		t.Errorf("ticks after second run = %d", count)
+	}
+}
+
+func TestSimEveryStops(t *testing.T) {
+	s := New(1)
+	count := 0
+	s.Every(10, func() bool {
+		count++
+		return count < 3
+	})
+	s.Run()
+	if count != 3 {
+		t.Errorf("ticks = %d, want 3", count)
+	}
+}
+
+func TestSimHalt(t *testing.T) {
+	s := New(1)
+	ran := false
+	s.At(10, func() { s.Halt() })
+	s.At(20, func() { ran = true })
+	s.Run()
+	if ran {
+		t.Error("event after halt executed")
+	}
+	if s.Pending() != 1 {
+		t.Errorf("Pending = %d", s.Pending())
+	}
+}
+
+func TestSimDeterminism(t *testing.T) {
+	run := func() []int64 {
+		s := New(42)
+		var ticks []int64
+		s.Every(7, func() bool {
+			if s.Rand().Intn(10) < 5 {
+				ticks = append(ticks, s.Now())
+			}
+			return s.Now() < 1000
+		})
+		s.Run()
+		return ticks
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("non-deterministic runs: %d vs %d ticks", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("divergence at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestVMExecSerialises(t *testing.T) {
+	s := New(1)
+	vm := NewVM(s, 1, 1.0) // 1 unit/s
+	var done []Millis
+	// Two 100 ms jobs submitted together run back to back.
+	vm.Exec(0.1, func() { done = append(done, s.Now()) })
+	vm.Exec(0.1, func() { done = append(done, s.Now()) })
+	s.Run()
+	if len(done) != 2 || done[0] != 100 || done[1] != 200 {
+		t.Errorf("completions = %v", done)
+	}
+}
+
+func TestVMFractionalWork(t *testing.T) {
+	s := New(1)
+	vm := NewVM(s, 1, 1.0)
+	// 1000 jobs of 0.4 ms should take ~400 ms total, not 0.
+	n := 0
+	for i := 0; i < 1000; i++ {
+		vm.Exec(0.0004, func() { n++ })
+	}
+	s.Run()
+	if n != 1000 {
+		t.Fatalf("completed %d", n)
+	}
+	if s.Now() < 380 || s.Now() > 420 {
+		t.Errorf("total time for fractional work = %d ms, want ≈400", s.Now())
+	}
+}
+
+func TestVMUtilization(t *testing.T) {
+	s := New(1)
+	vm := NewVM(s, 1, 1.0)
+	vm.ResetWindow()
+	// 500 ms of work over a 1000 ms window → 50%.
+	vm.Exec(0.5, func() {})
+	s.RunUntil(1000)
+	u := vm.Utilization()
+	if u < 0.45 || u > 0.55 {
+		t.Errorf("Utilization = %v, want ≈0.5", u)
+	}
+	vm.ResetWindow()
+	s.RunUntil(2000)
+	if u := vm.Utilization(); u != 0 {
+		t.Errorf("idle window utilization = %v", u)
+	}
+	// Overload: 3 s of work submitted in a 1 s window → > 1.
+	vm.ResetWindow()
+	vm.Exec(3.0, func() {})
+	s.RunUntil(3000)
+	if u := vm.Utilization(); u <= 1.0 {
+		t.Errorf("overloaded utilization = %v, want > 1", u)
+	}
+}
+
+func TestVMFail(t *testing.T) {
+	s := New(1)
+	vm := NewVM(s, 1, 1.0)
+	ran := false
+	vm.Exec(0.1, func() { ran = true })
+	vm.Fail()
+	s.Run()
+	if ran {
+		t.Error("work completed on failed VM")
+	}
+	if vm.Exec(0.1, func() {}) != -1 {
+		t.Error("Exec on failed VM should return -1")
+	}
+	if !vm.Failed() {
+		t.Error("Failed() = false")
+	}
+}
+
+func TestVMQueueDelay(t *testing.T) {
+	s := New(1)
+	vm := NewVM(s, 1, 2.0) // 2 units/s → 1 unit = 500 ms
+	vm.Exec(1.0, func() {})
+	if d := vm.QueueDelay(); d != 500 {
+		t.Errorf("QueueDelay = %d, want 500", d)
+	}
+	s.Run()
+	if d := vm.QueueDelay(); d != 0 {
+		t.Errorf("QueueDelay after drain = %d", d)
+	}
+}
+
+func TestPoolFastHandoff(t *testing.T) {
+	s := New(1)
+	p := NewPool(s, PoolConfig{Size: 2, ProvisionDelayMillis: 90_000, HandoffDelayMillis: 2_000})
+	var gotAt Millis = -1
+	p.Acquire(func(vm *VM) { gotAt = s.Now() })
+	s.RunUntil(5_000)
+	if gotAt != 2_000 {
+		t.Errorf("pooled VM handed off at %d, want 2000", gotAt)
+	}
+	if p.ExhaustedMisses() != 0 {
+		t.Errorf("misses = %d", p.ExhaustedMisses())
+	}
+}
+
+func TestPoolRefills(t *testing.T) {
+	s := New(1)
+	p := NewPool(s, PoolConfig{Size: 1, ProvisionDelayMillis: 10_000, HandoffDelayMillis: 100})
+	p.Acquire(func(vm *VM) {})
+	if p.Available() != 0 {
+		t.Fatalf("Available = %d", p.Available())
+	}
+	s.RunUntil(11_000)
+	if p.Available() != 1 {
+		t.Errorf("pool did not refill: Available = %d", p.Available())
+	}
+}
+
+func TestPoolExhaustion(t *testing.T) {
+	s := New(1)
+	p := NewPool(s, PoolConfig{Size: 1, ProvisionDelayMillis: 10_000, HandoffDelayMillis: 100})
+	var times []Millis
+	for i := 0; i < 3; i++ {
+		p.Acquire(func(vm *VM) { times = append(times, s.Now()) })
+	}
+	s.RunUntil(30_000)
+	if len(times) != 3 {
+		t.Fatalf("acquired %d VMs", len(times))
+	}
+	// First from pool (fast), the rest wait for raw provisioning.
+	if times[0] != 100 {
+		t.Errorf("first handoff at %d", times[0])
+	}
+	if times[1] != 10_000 || times[2] != 10_000 {
+		t.Errorf("exhausted handoffs at %v, want 10000", times[1:])
+	}
+	if p.ExhaustedMisses() != 2 {
+		t.Errorf("misses = %d", p.ExhaustedMisses())
+	}
+	// Pool eventually returns to steady-state size.
+	s.RunUntil(60_000)
+	if p.Available() != 1 {
+		t.Errorf("steady-state Available = %d", p.Available())
+	}
+}
+
+func TestPoolResize(t *testing.T) {
+	s := New(1)
+	p := NewPool(s, PoolConfig{Size: 4, ProvisionDelayMillis: 1_000, HandoffDelayMillis: 10})
+	p.Resize(1)
+	if p.Available() != 1 {
+		t.Errorf("Available after shrink = %d", p.Available())
+	}
+	p.Resize(3)
+	s.RunUntil(2_000)
+	if p.Available() != 3 {
+		t.Errorf("Available after grow = %d", p.Available())
+	}
+}
+
+func TestPoolZeroSizeAlwaysProvisions(t *testing.T) {
+	s := New(1)
+	p := NewPool(s, PoolConfig{Size: 0, ProvisionDelayMillis: 5_000, HandoffDelayMillis: 10})
+	var gotAt Millis = -1
+	p.Acquire(func(vm *VM) { gotAt = s.Now() })
+	s.RunUntil(10_000)
+	if gotAt != 5_000 {
+		t.Errorf("no-pool handoff at %d, want 5000", gotAt)
+	}
+}

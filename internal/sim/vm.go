@@ -1,0 +1,117 @@
+package sim
+
+import (
+	"fmt"
+)
+
+// VM models one virtual machine: a single-core CPU with a capacity in
+// abstract cost units per second (the paper's small EC2 instances have
+// "1 EC2 compute unit"; we normalise that to capacity 1.0). Work is
+// executed in FIFO order; the VM tracks when it will next be idle and how
+// much CPU time it has consumed, which feeds the utilisation reports of
+// the scaling policy (§5.1).
+type VM struct {
+	// ID is unique within a cluster.
+	ID int
+	// Capacity is CPU cost units per second (1.0 = one EC2 compute unit).
+	Capacity float64
+
+	sim       *Sim
+	busyUntil Millis
+	failed    bool
+	// busyAccum accumulates CPU busy milliseconds since the last report
+	// window reset.
+	busyAccum Millis
+	lastReset Millis
+	// frac carries sub-millisecond work between Exec calls so that
+	// high-rate streams of cheap tuples consume the right total CPU time
+	// without breaking determinism.
+	frac float64
+}
+
+// NewVM creates a VM attached to the simulator.
+func NewVM(s *Sim, id int, capacity float64) *VM {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("sim: VM %d with capacity %v", id, capacity))
+	}
+	return &VM{ID: id, Capacity: capacity, sim: s}
+}
+
+// Failed reports whether the VM has crashed.
+func (vm *VM) Failed() bool { return vm.failed }
+
+// Fail crash-stops the VM: queued work is lost and Exec becomes a no-op.
+func (vm *VM) Fail() { vm.failed = true }
+
+// Exec schedules work costing `cost` units, calling done when it
+// completes. Work is serialised on the VM: it starts when the VM becomes
+// idle. Returns the scheduled completion time, or -1 if the VM failed.
+func (vm *VM) Exec(cost float64, done func()) Millis {
+	if vm.failed {
+		return -1
+	}
+	start := vm.busyUntil
+	if now := vm.sim.Now(); start < now {
+		start = now
+	}
+	dur := vm.durationFor(cost)
+	finish := start + dur
+	vm.busyUntil = finish
+	vm.busyAccum += dur
+	vm.sim.At(finish, func() {
+		if vm.failed {
+			return
+		}
+		done()
+	})
+	return finish
+}
+
+func (vm *VM) durationFor(cost float64) Millis {
+	if cost <= 0 {
+		return 0
+	}
+	exact := cost / vm.Capacity * 1000 // ms, possibly fractional
+	whole := Millis(exact)
+	vm.frac += exact - float64(whole)
+	if vm.frac >= 1 {
+		extra := Millis(vm.frac)
+		whole += extra
+		vm.frac -= float64(extra)
+	}
+	return whole
+}
+
+// Utilization returns the fraction of CPU time consumed since the last
+// ResetWindow, relative to elapsed virtual time. Work already accepted
+// but finishing in the future counts as load, so a saturated VM reports
+// ≥ 1 exactly when its queue is growing — mirroring the CPU reports of
+// §5.1, which include time the operator would have consumed had it not
+// been queued ("stolen" time accounting).
+func (vm *VM) Utilization() float64 {
+	elapsed := vm.sim.Now() - vm.lastReset
+	if elapsed <= 0 {
+		return 0
+	}
+	busy := vm.busyAccum
+	if pending := vm.busyUntil - vm.sim.Now(); pending > 0 {
+		busy += pending
+	}
+	return float64(busy) / float64(elapsed)
+}
+
+// ResetWindow starts a new utilisation report window.
+func (vm *VM) ResetWindow() {
+	vm.busyAccum = 0
+	vm.lastReset = vm.sim.Now()
+}
+
+// QueueDelay returns how long newly submitted work would wait before
+// starting (the current backlog depth in time units).
+func (vm *VM) QueueDelay() Millis {
+	d := vm.busyUntil - vm.sim.Now()
+	if d < 0 {
+		return 0
+	}
+	return d
+}

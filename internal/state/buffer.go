@@ -1,0 +1,181 @@
+package state
+
+import (
+	"sort"
+
+	"seep/internal/plan"
+	"seep/internal/stream"
+)
+
+// Buffer is the buffer state βo of an operator: for each downstream
+// logical operator, the output tuples sent but not yet covered by a
+// downstream checkpoint (§3.1). Tuples are retained so they can be
+// replayed after a downstream failure and re-routed after a downstream
+// scale out; they are trimmed once a downstream state backup acknowledges
+// them (Algorithm 1 line 4).
+//
+// Buffer is not safe for concurrent use; the owning node serialises
+// access.
+type Buffer struct {
+	// perTarget holds, per downstream instance, the retained tuples in
+	// emission (timestamp) order.
+	perTarget map[plan.InstanceID][]stream.Tuple
+}
+
+// NewBuffer returns an empty output buffer.
+func NewBuffer() *Buffer {
+	return &Buffer{perTarget: make(map[plan.InstanceID][]stream.Tuple)}
+}
+
+// Append retains a tuple sent to the given downstream instance.
+func (b *Buffer) Append(target plan.InstanceID, t stream.Tuple) {
+	b.perTarget[target] = append(b.perTarget[target], t)
+}
+
+// Tuples returns the retained tuples for one downstream instance, βo(d),
+// in emission order. The returned slice is a copy.
+func (b *Buffer) Tuples(target plan.InstanceID) []stream.Tuple {
+	src := b.perTarget[target]
+	out := make([]stream.Tuple, len(src))
+	copy(out, src)
+	return out
+}
+
+// TuplesForOp returns all retained tuples for every instance of a logical
+// downstream operator, merged in timestamp order. Used when the set of
+// downstream partitions changed and old per-instance assignment is stale.
+func (b *Buffer) TuplesForOp(op plan.OpID) []stream.Tuple {
+	var out []stream.Tuple
+	for target, ts := range b.perTarget {
+		if target.Op == op {
+			out = append(out, ts...)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].TS < out[j].TS })
+	return out
+}
+
+// Targets returns the downstream instances with retained tuples, in
+// deterministic order.
+func (b *Buffer) Targets() []plan.InstanceID {
+	out := make([]plan.InstanceID, 0, len(b.perTarget))
+	for t := range b.perTarget {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Op != out[j].Op {
+			return out[i].Op < out[j].Op
+		}
+		return out[i].Part < out[j].Part
+	})
+	return out
+}
+
+// Trim discards tuples destined for any instance of logical operator op
+// with timestamps ≤ ts — trim(o, τ) in §3.1, invoked after the downstream
+// operator's state backup reflects those tuples. Returns the number of
+// tuples discarded.
+func (b *Buffer) Trim(op plan.OpID, ts int64) int {
+	n := 0
+	for target, tuples := range b.perTarget {
+		if target.Op != op {
+			continue
+		}
+		// Tuples are in emission order; find the first retained index.
+		i := sort.Search(len(tuples), func(i int) bool { return tuples[i].TS > ts })
+		if i == 0 {
+			continue
+		}
+		n += i
+		rest := make([]stream.Tuple, len(tuples)-i)
+		copy(rest, tuples[i:])
+		b.perTarget[target] = rest
+	}
+	return n
+}
+
+// TrimInstance discards tuples destined for exactly one downstream
+// instance with timestamps ≤ ts. This is the acknowledgement-driven trim
+// used when a partitioned downstream instance backs up its state: only
+// the tuples that instance has reflected in its checkpoint may be
+// discarded; siblings' tuples stay. Returns the number discarded.
+func (b *Buffer) TrimInstance(target plan.InstanceID, ts int64) int {
+	tuples := b.perTarget[target]
+	i := sort.Search(len(tuples), func(i int) bool { return tuples[i].TS > ts })
+	if i == 0 {
+		return 0
+	}
+	rest := make([]stream.Tuple, len(tuples)-i)
+	copy(rest, tuples[i:])
+	b.perTarget[target] = rest
+	return i
+}
+
+// TrimBornBefore discards tuples whose lineage entered the system before
+// cutoff, across all targets. Upstream-backup and source-replay fault
+// tolerance retain tuples only for the operator window; older tuples can
+// never be needed again (§6.2). Returns the number discarded.
+func (b *Buffer) TrimBornBefore(cutoff int64) int {
+	n := 0
+	for target, tuples := range b.perTarget {
+		kept := tuples[:0]
+		for _, t := range tuples {
+			if t.Born >= cutoff {
+				kept = append(kept, t)
+			} else {
+				n++
+			}
+		}
+		b.perTarget[target] = kept
+	}
+	return n
+}
+
+// DropOp removes all retained tuples for instances of op, e.g. when the
+// tuples were re-assigned during repartitioning. Returns the dropped
+// tuples merged in timestamp order.
+func (b *Buffer) DropOp(op plan.OpID) []stream.Tuple {
+	out := b.TuplesForOp(op)
+	for target := range b.perTarget {
+		if target.Op == op {
+			delete(b.perTarget, target)
+		}
+	}
+	return out
+}
+
+// Repartition implements partition-buffer-state (Algorithm 2 lines 13-17):
+// every retained tuple for logical operator op is re-assigned to the
+// downstream instance owning its key under the new routing state. Tuples
+// for other logical operators are untouched.
+func (b *Buffer) Repartition(op plan.OpID, routing *Routing) {
+	pending := b.DropOp(op)
+	for _, t := range pending {
+		b.Append(routing.Lookup(t.Key), t)
+	}
+}
+
+// Len returns the total number of retained tuples across all targets.
+func (b *Buffer) Len() int {
+	n := 0
+	for _, ts := range b.perTarget {
+		n += len(ts)
+	}
+	return n
+}
+
+// LenFor returns the number of retained tuples for one downstream
+// instance.
+func (b *Buffer) LenFor(target plan.InstanceID) int { return len(b.perTarget[target]) }
+
+// Clone returns a deep copy of the buffer (tuple slices copied; payloads
+// are shared, as tuples are immutable by convention).
+func (b *Buffer) Clone() *Buffer {
+	out := NewBuffer()
+	for target, ts := range b.perTarget {
+		cp := make([]stream.Tuple, len(ts))
+		copy(cp, ts)
+		out.perTarget[target] = cp
+	}
+	return out
+}

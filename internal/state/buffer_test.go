@@ -1,0 +1,156 @@
+package state
+
+import (
+	"testing"
+	"testing/quick"
+
+	"seep/internal/stream"
+)
+
+func tuple(ts int64, k stream.Key) stream.Tuple {
+	return stream.Tuple{TS: ts, Key: k, Payload: ts}
+}
+
+func TestBufferAppendTrim(t *testing.T) {
+	b := NewBuffer()
+	d1 := inst("count", 1)
+	for ts := int64(1); ts <= 10; ts++ {
+		b.Append(d1, tuple(ts, stream.Key(ts)))
+	}
+	if b.Len() != 10 || b.LenFor(d1) != 10 {
+		t.Fatalf("Len = %d, LenFor = %d", b.Len(), b.LenFor(d1))
+	}
+	if n := b.Trim("count", 4); n != 4 {
+		t.Errorf("Trim removed %d, want 4", n)
+	}
+	rest := b.Tuples(d1)
+	if len(rest) != 6 || rest[0].TS != 5 {
+		t.Errorf("after trim: %v", rest)
+	}
+	// Trimming below the retained range is a no-op.
+	if n := b.Trim("count", 2); n != 0 {
+		t.Errorf("second Trim removed %d, want 0", n)
+	}
+	// Trimming everything.
+	if n := b.Trim("count", 100); n != 6 {
+		t.Errorf("full Trim removed %d, want 6", n)
+	}
+}
+
+func TestBufferTrimOnlyNamedOp(t *testing.T) {
+	b := NewBuffer()
+	b.Append(inst("a", 1), tuple(1, 1))
+	b.Append(inst("b", 1), tuple(1, 1))
+	b.Trim("a", 10)
+	if b.LenFor(inst("b", 1)) != 1 {
+		t.Error("trim of a removed b's tuples")
+	}
+}
+
+func TestBufferTuplesForOpMergesByTS(t *testing.T) {
+	b := NewBuffer()
+	b.Append(inst("c", 1), tuple(3, 1))
+	b.Append(inst("c", 2), tuple(1, 2))
+	b.Append(inst("c", 1), tuple(5, 3))
+	b.Append(inst("c", 2), tuple(4, 4))
+	got := b.TuplesForOp("c")
+	if len(got) != 4 {
+		t.Fatalf("got %d tuples", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1].TS > got[i].TS {
+			t.Fatalf("not sorted: %v", got)
+		}
+	}
+}
+
+func TestBufferRepartition(t *testing.T) {
+	b := NewBuffer()
+	old := inst("c", 1)
+	// Keys spanning the space.
+	b.Append(old, stream.Tuple{TS: 1, Key: 0})
+	b.Append(old, stream.Tuple{TS: 2, Key: stream.MaxKey})
+	b.Append(old, stream.Tuple{TS: 3, Key: 1})
+	entries := []RouteEntry{}
+	for i, r := range FullRange.SplitEven(2) {
+		entries = append(entries, RouteEntry{Target: inst("c", i+2), Range: r})
+	}
+	rt, err := NewRoutingFromEntries(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Repartition("c", rt)
+	if n := b.LenFor(inst("c", 2)); n != 2 {
+		t.Errorf("low partition has %d tuples, want 2", n)
+	}
+	if n := b.LenFor(inst("c", 3)); n != 1 {
+		t.Errorf("high partition has %d tuples, want 1", n)
+	}
+	if b.LenFor(old) != 0 {
+		t.Error("old instance still has tuples")
+	}
+}
+
+// TestBufferRepartitionPreservesTuples: repartitioning never loses or
+// duplicates tuples, for any split level.
+func TestBufferRepartitionPreservesTuples(t *testing.T) {
+	f := func(keys []uint64, piRaw uint8) bool {
+		pi := 1 + int(piRaw%7)
+		b := NewBuffer()
+		for i, k := range keys {
+			b.Append(inst("c", 1), stream.Tuple{TS: int64(i + 1), Key: stream.Key(k)})
+		}
+		entries := []RouteEntry{}
+		for i, r := range FullRange.SplitEven(pi) {
+			entries = append(entries, RouteEntry{Target: inst("c", i+10), Range: r})
+		}
+		rt, err := NewRoutingFromEntries(entries)
+		if err != nil {
+			return false
+		}
+		b.Repartition("c", rt)
+		if b.Len() != len(keys) {
+			return false
+		}
+		// Every tuple must sit at the instance owning its key.
+		for _, target := range b.Targets() {
+			r, ok := rt.RangeOf(target)
+			if !ok {
+				return false
+			}
+			for _, tu := range b.Tuples(target) {
+				if !r.Contains(tu.Key) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBufferClone(t *testing.T) {
+	b := NewBuffer()
+	b.Append(inst("a", 1), tuple(1, 1))
+	c := b.Clone()
+	c.Append(inst("a", 1), tuple(2, 2))
+	if b.Len() != 1 {
+		t.Error("clone shares storage with original")
+	}
+}
+
+func TestBufferTargetsDeterministic(t *testing.T) {
+	b := NewBuffer()
+	b.Append(inst("b", 2), tuple(1, 1))
+	b.Append(inst("a", 1), tuple(1, 1))
+	b.Append(inst("b", 1), tuple(1, 1))
+	got := b.Targets()
+	want := []string{"a#1", "b#1", "b#2"}
+	for i := range got {
+		if got[i].String() != want[i] {
+			t.Fatalf("Targets() = %v", got)
+		}
+	}
+}

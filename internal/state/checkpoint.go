@@ -1,0 +1,166 @@
+package state
+
+import (
+	"fmt"
+
+	"seep/internal/plan"
+	"seep/internal/stream"
+)
+
+// Checkpoint is the unit produced by checkpoint-state(o) and shipped by
+// backup-state(o): a consistent copy of the operator's processing state
+// and buffer state, tagged with the instance it belongs to, the timestamp
+// vector of input tuples reflected in the processing state, and the
+// operator's output logical clock at checkpoint time (§3.2).
+type Checkpoint struct {
+	// Instance identifies the checkpointed operator instance.
+	Instance plan.InstanceID
+	// Seq is a per-instance checkpoint sequence number; newer checkpoints
+	// of the same instance supersede older ones.
+	Seq uint64
+	// Processing is θo at checkpoint time (a deep copy).
+	Processing *Processing
+	// Buffer is βo at checkpoint time: the operator's own output buffers,
+	// needed so that a restored operator can replay to ITS downstreams.
+	Buffer *Buffer
+	// OutClock is the operator's output logical clock at checkpoint time;
+	// a restored operator resets its clock here so downstream duplicate
+	// detection works (§3.2, restore-state).
+	OutClock int64
+	// Acks records, per upstream instance, the timestamp of the newest
+	// tuple from that instance reflected in Processing. This is the
+	// instance-granular form of τo used when upstream operators are
+	// partitioned: each upstream instance stamps tuples with its own
+	// logical clock, so duplicate detection and buffer trimming operate
+	// per upstream instance.
+	Acks map[plan.InstanceID]int64
+}
+
+// CloneAcks returns a copy of the acknowledgement map (nil-safe).
+func CloneAcks(acks map[plan.InstanceID]int64) map[plan.InstanceID]int64 {
+	if acks == nil {
+		return nil
+	}
+	out := make(map[plan.InstanceID]int64, len(acks))
+	for k, v := range acks {
+		out[k] = v
+	}
+	return out
+}
+
+// TS returns the input timestamp vector reflected in the checkpoint.
+func (c *Checkpoint) TS() stream.TSVector {
+	if c == nil || c.Processing == nil {
+		return nil
+	}
+	return c.Processing.TS
+}
+
+// Size returns the serialised footprint of the checkpoint in bytes
+// (processing state plus an estimate for buffered tuples).
+func (c *Checkpoint) Size() int {
+	if c == nil {
+		return 0
+	}
+	n := c.Processing.Size()
+	if c.Buffer != nil {
+		// 16 bytes of header per buffered tuple; payload sizes are
+		// operator-specific and approximated by the header-only figure
+		// when payloads are in-memory values.
+		n += 16 * c.Buffer.Len()
+	}
+	return n
+}
+
+// Validate checks internal consistency.
+func (c *Checkpoint) Validate() error {
+	if c == nil {
+		return fmt.Errorf("state: nil checkpoint")
+	}
+	if c.Instance.Op == "" {
+		return fmt.Errorf("state: checkpoint with empty instance")
+	}
+	if c.Processing == nil {
+		return fmt.Errorf("state: checkpoint %s without processing state", c.Instance)
+	}
+	return nil
+}
+
+// PartitionCheckpoint implements partition-processing-state (Algorithm 2
+// lines 3-8) on a backed-up checkpoint: the processing state is split by
+// the given key ranges, timestamps are copied to every part, and the
+// buffer state is assigned to the FIRST partition (line 7) — buffered
+// output tuples precede the split and any instance may replay them; the
+// first partition is chosen by convention.
+//
+// newInstances[i] receives the state for ranges[i].
+func PartitionCheckpoint(c *Checkpoint, newInstances []plan.InstanceID, ranges []KeyRange) ([]*Checkpoint, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if len(newInstances) != len(ranges) {
+		return nil, fmt.Errorf("state: %d instances for %d ranges", len(newInstances), len(ranges))
+	}
+	parts := c.Processing.Partition(ranges)
+	out := make([]*Checkpoint, len(ranges))
+	for i := range ranges {
+		cp := &Checkpoint{
+			Instance:   newInstances[i],
+			Seq:        1,
+			Processing: parts[i],
+			Buffer:     NewBuffer(),
+			OutClock:   c.OutClock,
+			Acks:       CloneAcks(c.Acks),
+		}
+		if i == 0 && c.Buffer != nil {
+			cp.Buffer = c.Buffer.Clone()
+		}
+		out[i] = cp
+	}
+	return out, nil
+}
+
+// MergeCheckpoints unions the checkpoints of several partitions of the
+// same logical operator into one checkpoint for a single target instance —
+// the scale-in primitive (§3.3). Buffers are concatenated; the output
+// clock is the maximum, so the merged operator never reuses a timestamp.
+func MergeCheckpoints(target plan.InstanceID, cs ...*Checkpoint) (*Checkpoint, error) {
+	if len(cs) == 0 {
+		return nil, fmt.Errorf("state: merge of zero checkpoints")
+	}
+	procs := make([]*Processing, 0, len(cs))
+	out := &Checkpoint{Instance: target, Seq: 1, Buffer: NewBuffer()}
+	for _, c := range cs {
+		if err := c.Validate(); err != nil {
+			return nil, err
+		}
+		if c.Instance.Op != target.Op {
+			return nil, fmt.Errorf("state: merging %s into %s across operators", c.Instance, target)
+		}
+		procs = append(procs, c.Processing)
+		if c.Buffer != nil {
+			for _, tgt := range c.Buffer.Targets() {
+				for _, t := range c.Buffer.Tuples(tgt) {
+					out.Buffer.Append(tgt, t)
+				}
+			}
+		}
+		if c.OutClock > out.OutClock {
+			out.OutClock = c.OutClock
+		}
+		for up, ts := range c.Acks {
+			if out.Acks == nil {
+				out.Acks = make(map[plan.InstanceID]int64)
+			}
+			if ts > out.Acks[up] {
+				out.Acks[up] = ts
+			}
+		}
+	}
+	merged, err := MergeProcessing(procs...)
+	if err != nil {
+		return nil, err
+	}
+	out.Processing = merged
+	return out, nil
+}

@@ -1,0 +1,208 @@
+package state
+
+import (
+	"testing"
+
+	"seep/internal/plan"
+	"seep/internal/stream"
+)
+
+func mkCheckpoint(keys int, seed int64) *Checkpoint {
+	c := &Checkpoint{
+		Instance:   inst("count", 1),
+		Seq:        7,
+		Processing: mkProcessing(keys, seed),
+		Buffer:     NewBuffer(),
+		OutClock:   42,
+	}
+	c.Buffer.Append(inst("sink", 1), tuple(1, 5))
+	c.Buffer.Append(inst("sink", 1), tuple(2, 6))
+	return c
+}
+
+func TestCheckpointValidate(t *testing.T) {
+	var nilC *Checkpoint
+	if nilC.Validate() == nil {
+		t.Error("nil checkpoint should not validate")
+	}
+	c := &Checkpoint{}
+	if c.Validate() == nil {
+		t.Error("empty checkpoint should not validate")
+	}
+	if err := mkCheckpoint(3, 1).Validate(); err != nil {
+		t.Errorf("valid checkpoint rejected: %v", err)
+	}
+}
+
+func TestCheckpointSizeAndTS(t *testing.T) {
+	c := mkCheckpoint(5, 2)
+	if c.Size() <= c.Processing.Size() {
+		t.Error("size should include buffered tuples")
+	}
+	if got := c.TS(); !got.Equal(c.Processing.TS) {
+		t.Errorf("TS() = %v", got)
+	}
+	var nilC *Checkpoint
+	if nilC.Size() != 0 || nilC.TS() != nil {
+		t.Error("nil checkpoint should have zero size and nil TS")
+	}
+}
+
+func TestPartitionCheckpoint(t *testing.T) {
+	c := mkCheckpoint(100, 3)
+	newInstances := []plan.InstanceID{inst("count", 2), inst("count", 3), inst("count", 4)}
+	ranges := FullRange.SplitEven(3)
+	parts, err := PartitionCheckpoint(c, newInstances, ranges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 3 {
+		t.Fatalf("got %d parts", len(parts))
+	}
+	totalKeys := 0
+	for i, p := range parts {
+		if p.Instance != newInstances[i] {
+			t.Errorf("part %d assigned to %v", i, p.Instance)
+		}
+		if p.OutClock != c.OutClock {
+			t.Errorf("part %d OutClock = %d, want %d", i, p.OutClock, c.OutClock)
+		}
+		if !p.Processing.TS.Equal(c.Processing.TS) {
+			t.Errorf("part %d TS = %v", i, p.Processing.TS)
+		}
+		for k := range p.Processing.KV {
+			if !ranges[i].Contains(k) {
+				t.Errorf("part %d holds key %d outside %v", i, k, ranges[i])
+			}
+		}
+		totalKeys += p.Processing.Len()
+	}
+	if totalKeys != c.Processing.Len() {
+		t.Errorf("parts hold %d keys, original %d", totalKeys, c.Processing.Len())
+	}
+	// Algorithm 2 line 7: buffer state goes to the first partition only.
+	if parts[0].Buffer.Len() != 2 {
+		t.Errorf("first partition buffer = %d tuples, want 2", parts[0].Buffer.Len())
+	}
+	for i := 1; i < 3; i++ {
+		if parts[i].Buffer.Len() != 0 {
+			t.Errorf("partition %d buffer = %d tuples, want 0", i, parts[i].Buffer.Len())
+		}
+	}
+}
+
+func TestPartitionCheckpointErrors(t *testing.T) {
+	c := mkCheckpoint(10, 4)
+	if _, err := PartitionCheckpoint(c, []plan.InstanceID{inst("count", 2)}, FullRange.SplitEven(2)); err == nil {
+		t.Error("mismatched instances/ranges should fail")
+	}
+	var nilC *Checkpoint
+	if _, err := PartitionCheckpoint(nilC, nil, nil); err == nil {
+		t.Error("nil checkpoint should fail")
+	}
+}
+
+func TestMergeCheckpoints(t *testing.T) {
+	c := mkCheckpoint(80, 5)
+	newInstances := []plan.InstanceID{inst("count", 2), inst("count", 3)}
+	parts, err := PartitionCheckpoint(c, newInstances, FullRange.SplitEven(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := MergeCheckpoints(inst("count", 9), parts[0], parts[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Instance != inst("count", 9) {
+		t.Errorf("merged instance = %v", merged.Instance)
+	}
+	if !merged.Processing.Equal(c.Processing) {
+		t.Error("merge(partition(c)) processing state differs from original")
+	}
+	if merged.Buffer.Len() != c.Buffer.Len() {
+		t.Errorf("merged buffer = %d tuples, want %d", merged.Buffer.Len(), c.Buffer.Len())
+	}
+	if merged.OutClock != c.OutClock {
+		t.Errorf("merged OutClock = %d, want %d", merged.OutClock, c.OutClock)
+	}
+}
+
+func TestMergeCheckpointsErrors(t *testing.T) {
+	if _, err := MergeCheckpoints(inst("x", 1)); err == nil {
+		t.Error("merging zero checkpoints should fail")
+	}
+	a := mkCheckpoint(5, 6)
+	b := mkCheckpoint(5, 7)
+	b.Instance = inst("other", 1)
+	if _, err := MergeCheckpoints(inst("count", 2), a, b); err == nil {
+		t.Error("merging across logical operators should fail")
+	}
+}
+
+func TestDeltaTracker(t *testing.T) {
+	p := NewProcessing(1)
+	tr := NewDeltaTracker()
+	p.KV[1] = []byte("a")
+	tr.Touch(1)
+	p.KV[2] = []byte("b")
+	tr.Touch(2)
+	p.TS[0] = 10
+
+	d := tr.TakeDelta(p)
+	if len(d.Changed) != 2 || len(d.Deleted) != 0 {
+		t.Fatalf("delta: %+v", d)
+	}
+	if d.Base != 0 || d.Seq != 1 {
+		t.Errorf("delta seq: base=%d seq=%d", d.Base, d.Seq)
+	}
+	if tr.DirtyCount() != 0 {
+		t.Error("tracker not reset after TakeDelta")
+	}
+
+	// Apply onto a stale backup copy.
+	backup := NewProcessing(1)
+	d.Apply(backup)
+	if !backup.Equal(p) {
+		t.Error("apply(delta) does not reproduce state")
+	}
+
+	// Second interval: update key 1, delete key 2.
+	p.KV[1] = []byte("a2")
+	tr.Touch(1)
+	delete(p.KV, 2)
+	tr.Delete(2)
+	p.TS[0] = 20
+	d2 := tr.TakeDelta(p)
+	if len(d2.Changed) != 1 || len(d2.Deleted) != 1 {
+		t.Fatalf("second delta: %+v", d2)
+	}
+	d2.Apply(backup)
+	if !backup.Equal(p) {
+		t.Error("incremental chain does not reproduce state")
+	}
+	if d2.Size() >= p.Size()+d2.Size() {
+		t.Error("sanity: delta size computation")
+	}
+}
+
+func TestDeltaTouchAfterDelete(t *testing.T) {
+	p := NewProcessing(1)
+	tr := NewDeltaTracker()
+	tr.Delete(5)
+	p.KV[5] = []byte("x")
+	tr.Touch(5)
+	d := tr.TakeDelta(p)
+	if len(d.Deleted) != 0 || len(d.Changed) != 1 {
+		t.Errorf("touch after delete should keep the key: %+v", d)
+	}
+}
+
+func TestDeltaTouchMissingKeyBecomesDelete(t *testing.T) {
+	p := NewProcessing(1)
+	tr := NewDeltaTracker()
+	tr.Touch(9) // dirtied but never present in p
+	d := tr.TakeDelta(p)
+	if len(d.Deleted) != 1 || d.Deleted[0] != stream.Key(9) {
+		t.Errorf("expected deletion for missing dirty key: %+v", d)
+	}
+}

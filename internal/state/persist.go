@@ -1,0 +1,185 @@
+package state
+
+import (
+	"fmt"
+
+	"seep/internal/plan"
+	"seep/internal/stream"
+)
+
+// PayloadCodec serialises tuple payloads for durable checkpoints. Buffer
+// state retains whole tuples, so persisting a checkpoint needs to encode
+// their payloads; processing-state values are already bytes.
+type PayloadCodec interface {
+	EncodePayload(payload any) ([]byte, error)
+	DecodePayload(b []byte) (any, error)
+}
+
+// StringPayloadCodec handles string payloads (e.g. the word frequency
+// workloads).
+type StringPayloadCodec struct{}
+
+// EncodePayload implements PayloadCodec.
+func (StringPayloadCodec) EncodePayload(p any) ([]byte, error) {
+	s, ok := p.(string)
+	if !ok {
+		return nil, fmt.Errorf("state: payload %T is not a string", p)
+	}
+	return []byte(s), nil
+}
+
+// DecodePayload implements PayloadCodec.
+func (StringPayloadCodec) DecodePayload(b []byte) (any, error) { return string(b), nil }
+
+// encodeInstanceID writes an instance identifier.
+func encodeInstanceID(e *stream.Encoder, id plan.InstanceID) {
+	e.String32(string(id.Op))
+	e.Uint32(uint32(id.Part))
+}
+
+func decodeInstanceID(d *stream.Decoder) plan.InstanceID {
+	op := d.String32()
+	part := int(d.Uint32())
+	return plan.InstanceID{Op: plan.OpID(op), Part: part}
+}
+
+// EncodeBuffer serialises buffer state with the given payload codec.
+func EncodeBuffer(e *stream.Encoder, b *Buffer, codec PayloadCodec) error {
+	targets := b.Targets()
+	e.Uint32(uint32(len(targets)))
+	for _, target := range targets {
+		encodeInstanceID(e, target)
+		tuples := b.Tuples(target)
+		e.Uint32(uint32(len(tuples)))
+		for _, t := range tuples {
+			e.Int64(t.TS)
+			e.Key(t.Key)
+			e.Int64(t.Born)
+			pb, err := codec.EncodePayload(t.Payload)
+			if err != nil {
+				return fmt.Errorf("state: encode buffered tuple: %w", err)
+			}
+			e.Bytes32(pb)
+		}
+	}
+	return nil
+}
+
+// DecodeBuffer reads buffer state written by EncodeBuffer.
+func DecodeBuffer(d *stream.Decoder, codec PayloadCodec) (*Buffer, error) {
+	b := NewBuffer()
+	nTargets := int(d.Uint32())
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	for i := 0; i < nTargets; i++ {
+		target := decodeInstanceID(d)
+		n := int(d.Uint32())
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		for j := 0; j < n; j++ {
+			ts := d.Int64()
+			key := d.Key()
+			born := d.Int64()
+			pb := d.Bytes32()
+			if err := d.Err(); err != nil {
+				return nil, err
+			}
+			payload, err := codec.DecodePayload(pb)
+			if err != nil {
+				return nil, fmt.Errorf("state: decode buffered tuple: %w", err)
+			}
+			b.Append(target, stream.Tuple{TS: ts, Key: key, Born: born, Payload: payload})
+		}
+	}
+	return b, nil
+}
+
+// checkpointMagic guards durable checkpoint files against foreign input.
+const checkpointMagic = uint32(0x53454550) // "SEEP"
+
+// EncodeCheckpoint serialises a full checkpoint — processing state,
+// buffer state, output clock and acknowledgement map — so it can be
+// persisted to external storage (§3.3's persist operation).
+func EncodeCheckpoint(e *stream.Encoder, cp *Checkpoint, codec PayloadCodec) error {
+	if err := cp.Validate(); err != nil {
+		return err
+	}
+	e.Uint32(checkpointMagic)
+	encodeInstanceID(e, cp.Instance)
+	e.Uint64(cp.Seq)
+	cp.Processing.Encode(e)
+	buf := cp.Buffer
+	if buf == nil {
+		buf = NewBuffer()
+	}
+	if err := EncodeBuffer(e, buf, codec); err != nil {
+		return err
+	}
+	e.Int64(cp.OutClock)
+	e.Uint32(uint32(len(cp.Acks)))
+	// Deterministic order.
+	ids := make([]plan.InstanceID, 0, len(cp.Acks))
+	for id := range cp.Acks {
+		ids = append(ids, id)
+	}
+	sortInstanceIDs(ids)
+	for _, id := range ids {
+		encodeInstanceID(e, id)
+		e.Int64(cp.Acks[id])
+	}
+	return nil
+}
+
+func sortInstanceIDs(ids []plan.InstanceID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0; j-- {
+			a, b := ids[j-1], ids[j]
+			if a.Op < b.Op || (a.Op == b.Op && a.Part <= b.Part) {
+				break
+			}
+			ids[j-1], ids[j] = b, a
+		}
+	}
+}
+
+// DecodeCheckpoint reads a checkpoint written by EncodeCheckpoint.
+func DecodeCheckpoint(d *stream.Decoder, codec PayloadCodec) (*Checkpoint, error) {
+	if magic := d.Uint32(); magic != checkpointMagic {
+		return nil, fmt.Errorf("state: not a checkpoint (magic %x)", magic)
+	}
+	cp := &Checkpoint{}
+	cp.Instance = decodeInstanceID(d)
+	cp.Seq = d.Uint64()
+	proc, err := DecodeProcessing(d)
+	if err != nil {
+		return nil, err
+	}
+	cp.Processing = proc
+	buf, err := DecodeBuffer(d, codec)
+	if err != nil {
+		return nil, err
+	}
+	cp.Buffer = buf
+	cp.OutClock = d.Int64()
+	nAcks := int(d.Uint32())
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if nAcks > 0 {
+		cp.Acks = make(map[plan.InstanceID]int64, nAcks)
+		for i := 0; i < nAcks; i++ {
+			id := decodeInstanceID(d)
+			ts := d.Int64()
+			if err := d.Err(); err != nil {
+				return nil, err
+			}
+			cp.Acks[id] = ts
+		}
+	}
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	return cp, cp.Validate()
+}

@@ -1,0 +1,130 @@
+package state
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"seep/internal/stream"
+)
+
+// Spiller temporarily moves cold parts of an operator's processing state
+// to disk, freeing memory — the spill operation of §3.3 ("a spill
+// operation can temporarily store state on disk"). State is spilled and
+// fetched at key-range granularity; a spilled range is transparent to
+// checkpointing because Materialize restores it before a checkpoint is
+// taken.
+type Spiller struct {
+	mu   sync.Mutex
+	dir  string
+	next int
+	// spilled maps range file names to the key range they hold.
+	spilled map[string]KeyRange
+}
+
+// NewSpiller creates a spiller writing under dir (a per-operator scratch
+// directory). The directory is created if absent.
+func NewSpiller(dir string) (*Spiller, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("state: create spill dir: %w", err)
+	}
+	return &Spiller{dir: dir, spilled: make(map[string]KeyRange)}, nil
+}
+
+// Spill writes every key of p inside r to disk and removes those keys
+// from p. It returns the number of keys spilled.
+func (s *Spiller) Spill(p *Processing, r KeyRange) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var keys []stream.Key
+	for k := range p.KV {
+		if r.Contains(k) {
+			keys = append(keys, k)
+		}
+	}
+	if len(keys) == 0 {
+		return 0, nil
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	e := stream.NewEncoder(64 * len(keys))
+	e.Uint32(uint32(len(keys)))
+	for _, k := range keys {
+		e.Key(k)
+		e.Bytes32(p.KV[k])
+	}
+	s.next++
+	name := fmt.Sprintf("spill-%06d.bin", s.next)
+	path := filepath.Join(s.dir, name)
+	if err := os.WriteFile(path, e.Bytes(), 0o644); err != nil {
+		return 0, fmt.Errorf("state: write spill file: %w", err)
+	}
+	for _, k := range keys {
+		delete(p.KV, k)
+	}
+	s.spilled[name] = r
+	return len(keys), nil
+}
+
+// Materialize loads every spilled range overlapping r back into p and
+// deletes the corresponding files. It returns the number of keys loaded.
+func (s *Spiller) Materialize(p *Processing, r KeyRange) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	loaded := 0
+	for name, sr := range s.spilled {
+		if sr.Lo > r.Hi || sr.Hi < r.Lo {
+			continue // no overlap
+		}
+		path := filepath.Join(s.dir, name)
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return loaded, fmt.Errorf("state: read spill file: %w", err)
+		}
+		d := stream.NewDecoder(b)
+		n := int(d.Uint32())
+		for i := 0; i < n; i++ {
+			k := d.Key()
+			v := d.Bytes32()
+			if err := d.Err(); err != nil {
+				return loaded, fmt.Errorf("state: corrupt spill file %s: %w", name, err)
+			}
+			cp := make([]byte, len(v))
+			copy(cp, v)
+			p.KV[k] = cp
+			loaded++
+		}
+		if err := os.Remove(path); err != nil {
+			return loaded, fmt.Errorf("state: remove spill file: %w", err)
+		}
+		delete(s.spilled, name)
+	}
+	return loaded, nil
+}
+
+// SpilledRanges returns the key ranges currently on disk.
+func (s *Spiller) SpilledRanges() []KeyRange {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]KeyRange, 0, len(s.spilled))
+	for _, r := range s.spilled {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Lo < out[j].Lo })
+	return out
+}
+
+// Close removes all spill files.
+func (s *Spiller) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var first error
+	for name := range s.spilled {
+		if err := os.Remove(filepath.Join(s.dir, name)); err != nil && first == nil {
+			first = err
+		}
+		delete(s.spilled, name)
+	}
+	return first
+}

@@ -1,0 +1,130 @@
+package state
+
+import (
+	"testing"
+)
+
+func TestSpillerRoundTrip(t *testing.T) {
+	s, err := NewSpiller(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	p := mkProcessing(100, 11)
+	orig := p.Clone()
+	half := FullRange.SplitEven(2)
+
+	nSpilled, err := s.Spill(p, half[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nSpilled == 0 {
+		t.Fatal("nothing spilled; seed produced no low keys?")
+	}
+	if p.Len()+nSpilled != orig.Len() {
+		t.Errorf("in-memory %d + spilled %d != original %d", p.Len(), nSpilled, orig.Len())
+	}
+	for k := range p.KV {
+		if half[0].Contains(k) {
+			t.Errorf("key %d should have been spilled", k)
+		}
+	}
+	if got := s.SpilledRanges(); len(got) != 1 || got[0] != half[0] {
+		t.Errorf("SpilledRanges = %v", got)
+	}
+
+	nLoaded, err := s.Materialize(p, half[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nLoaded != nSpilled {
+		t.Errorf("loaded %d, spilled %d", nLoaded, nSpilled)
+	}
+	// TS is not touched by spilling; compare KV contents.
+	p.TS = orig.TS.Clone()
+	if !p.Equal(orig) {
+		t.Error("spill+materialize changed state")
+	}
+	if len(s.SpilledRanges()) != 0 {
+		t.Error("ranges remain after materialize")
+	}
+}
+
+func TestSpillerNonOverlappingMaterialize(t *testing.T) {
+	s, err := NewSpiller(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	p := mkProcessing(50, 12)
+	quarters := FullRange.SplitEven(4)
+	if _, err := s.Spill(p, quarters[0]); err != nil {
+		t.Fatal(err)
+	}
+	// Materializing a disjoint range loads nothing.
+	n, err := s.Materialize(p, quarters[3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("materialized %d keys from disjoint range", n)
+	}
+	if len(s.SpilledRanges()) != 1 {
+		t.Error("spilled range should remain")
+	}
+}
+
+func TestSpillerEmptyRange(t *testing.T) {
+	s, err := NewSpiller(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewProcessing(1)
+	n, err := s.Spill(p, FullRange)
+	if err != nil || n != 0 {
+		t.Errorf("Spill empty state = %d, %v", n, err)
+	}
+}
+
+func TestSpillerClose(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewSpiller(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := mkProcessing(20, 13)
+	if _, err := s.Spill(p, FullRange); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.SpilledRanges()) != 0 {
+		t.Error("Close should drop all spilled ranges")
+	}
+}
+
+func TestSpillerMultipleRanges(t *testing.T) {
+	s, err := NewSpiller(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	p := mkProcessing(200, 14)
+	orig := p.Clone()
+	quarters := FullRange.SplitEven(4)
+	for _, q := range quarters[:3] {
+		if _, err := s.Spill(p, q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Materialize everything via the full range.
+	if _, err := s.Materialize(p, FullRange); err != nil {
+		t.Fatal(err)
+	}
+	p.TS = orig.TS.Clone()
+	if !p.Equal(orig) {
+		t.Error("multi-range spill+materialize changed state")
+	}
+}

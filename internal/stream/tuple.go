@@ -1,0 +1,108 @@
+// Package stream defines the data model of the stream processing system:
+// tuples with logical timestamps and partitioning keys, timestamp vectors
+// that track progress across multiple input streams, and binary codecs for
+// tuple payloads.
+//
+// The model follows §2.2 of the paper: a stream is an infinite series of
+// tuples t = (τ, k, p) where τ is a logical timestamp assigned by a
+// monotonically increasing per-operator clock, k is a key used to partition
+// tuples across scaled-out operator instances, and p is an arbitrary payload.
+package stream
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// Key identifies the partition of a tuple. Keys are not unique; they are
+// typically computed as a hash of (part of) the payload and used to route
+// tuples to partitioned downstream operators and to index processing state.
+type Key uint64
+
+// MaxKey is the largest possible key. Routing intervals are inclusive on
+// both ends so that the full key space [0, MaxKey] can be covered exactly.
+const MaxKey = Key(^uint64(0))
+
+// KeyOf hashes an arbitrary byte string into the key space. The raw
+// FNV-1a value is passed through an avalanche finaliser: FNV alone
+// distributes the high bits of short, similar strings poorly, and range
+// partitioning (§3.2) needs keys that are uniform across the whole
+// space.
+func KeyOf(b []byte) Key {
+	h := fnv.New64a()
+	h.Write(b)
+	return Key(Mix64(h.Sum64()))
+}
+
+// KeyOfString hashes a string into the key space without allocating. It
+// computes the same value as KeyOf.
+func KeyOfString(s string) Key {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	sum := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		sum ^= uint64(s[i])
+		sum *= prime64
+	}
+	return Key(Mix64(sum))
+}
+
+// Mix64 is the 64-bit avalanche finaliser from MurmurHash3 (fmix64):
+// every input bit affects every output bit, turning a weakly distributed
+// hash into one suitable for range partitioning.
+func Mix64(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// Tuple is the unit of data flowing between operators.
+//
+// TS is the logical timestamp assigned by the emitting operator's clock.
+// Timestamps are monotonically increasing per (emitting operator, output
+// stream) pair, so downstream operators can detect duplicates after replay
+// by discarding tuples with timestamps at or below their restored clock.
+type Tuple struct {
+	// TS is the logical timestamp assigned at emission.
+	TS int64
+	// Key selects the partition; state for this tuple lives under this key.
+	Key Key
+	// Born is the time (milliseconds since run start) when the tuple's
+	// lineage entered the system at a source. It is propagated through
+	// operators so sinks can measure end-to-end processing latency.
+	Born int64
+	// Payload is the operator-specific record carried by the tuple.
+	Payload any
+}
+
+// String renders the tuple for logs and tests.
+func (t Tuple) String() string {
+	return fmt.Sprintf("{τ=%d k=%d p=%v}", t.TS, t.Key, t.Payload)
+}
+
+// Clock is a monotonically increasing logical clock used by operators to
+// stamp output tuples. The zero value is ready to use. Clock is not safe
+// for concurrent use; each operator instance owns one clock per output.
+type Clock struct {
+	last int64
+}
+
+// Next returns the next timestamp, strictly greater than all previous ones.
+func (c *Clock) Next() int64 {
+	c.last++
+	return c.last
+}
+
+// Last returns the most recently issued timestamp (0 if none).
+func (c *Clock) Last() int64 { return c.last }
+
+// Reset rewinds the clock to ts, so the next timestamp is ts+1. Used when
+// restoring an operator from a checkpoint: the restored operator resumes
+// stamping where the checkpoint left off and downstream operators discard
+// duplicates (§3.2, restore-state).
+func (c *Clock) Reset(ts int64) { c.last = ts }

@@ -1,0 +1,113 @@
+package topk
+
+import (
+	"testing"
+
+	"seep/internal/operator"
+	"seep/internal/plan"
+	"seep/internal/sim"
+	"seep/internal/stream"
+)
+
+func TestTraceSourceZipfSkew(t *testing.T) {
+	gen := TraceSource(1)
+	counts := make(map[string]int)
+	for i := uint64(0); i < 20000; i++ {
+		_, p := gen(i)
+		pv, ok := p.(PageView)
+		if !ok {
+			t.Fatal("payload not a PageView")
+		}
+		counts[pv.Lang]++
+	}
+	// The head language dominates (Zipf) and several languages appear.
+	if counts["en"] < counts["de"] {
+		t.Errorf("en (%d) should dominate de (%d)", counts["en"], counts["de"])
+	}
+	if len(counts) < 5 {
+		t.Errorf("only %d languages generated", len(counts))
+	}
+	if counts["en"] < 20000/4 {
+		t.Errorf("head language only %d of 20000", counts["en"])
+	}
+}
+
+func TestMapOperatorProjects(t *testing.T) {
+	m := MapOperator()
+	var gotKey stream.Key
+	var gotPayload any
+	m.OnTuple(operator.Context{}, stream.Tuple{Payload: PageView{Lang: "de", Page: "x", Bytes: 5}},
+		func(k stream.Key, p any) { gotKey, gotPayload = k, p })
+	if gotPayload != "de" {
+		t.Errorf("map emitted %v", gotPayload)
+	}
+	if gotKey != stream.KeyOfString("de") {
+		t.Error("map did not key by language")
+	}
+}
+
+func TestQueryValidates(t *testing.T) {
+	o := DefaultOptions()
+	if err := Query(o).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEndToEndTopKOnSimulator(t *testing.T) {
+	o := DefaultOptions()
+	o.EmitEveryMillis = 5_000
+	o.Sources = 2
+	c, err := sim.NewCluster(sim.Config{Seed: 3, Mode: sim.FTRSM}, Query(o), Factories(o))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for part := 1; part <= 2; part++ {
+		if err := c.AddSource(plan.InstanceID{Op: "src", Part: part}, sim.ConstantRate(300), TraceSource(int64(part))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var lastRanking operator.Ranking
+	c.OnSink = func(t stream.Tuple) {
+		if r, ok := t.Payload.(operator.Ranking); ok {
+			lastRanking = r
+		}
+	}
+	c.RunUntil(30_000)
+	if len(lastRanking) == 0 {
+		t.Fatal("no ranking reached the sink")
+	}
+	if lastRanking[0].Item != "en" {
+		t.Errorf("top language = %v, want en (Zipf head)", lastRanking[0])
+	}
+	for i := 1; i < len(lastRanking); i++ {
+		if lastRanking[i].Count > lastRanking[i-1].Count {
+			t.Fatalf("ranking not sorted: %v", lastRanking)
+		}
+	}
+}
+
+func TestFlowOpsWellFormed(t *testing.T) {
+	ops, edges := FlowOps()
+	ids := make(map[plan.OpID]bool)
+	var mapStateful, reduceStateful bool
+	for _, o := range ops {
+		ids[o.ID] = true
+		switch o.ID {
+		case "map":
+			mapStateful = o.Stateful
+		case "reduce":
+			reduceStateful = o.Stateful
+		}
+	}
+	for _, e := range edges {
+		if !ids[e.From] || !ids[e.To] {
+			t.Errorf("edge %v references unknown operator", e)
+		}
+	}
+	// The map is stateless and the reduce stateful: the restore delay on
+	// stateful splits is why "the stateless map operators scale out
+	// faster than the stateful reduce operators" (Fig. 8).
+	if mapStateful || !reduceStateful {
+		t.Errorf("map stateful=%v reduce stateful=%v", mapStateful, reduceStateful)
+	}
+}

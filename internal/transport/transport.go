@@ -1,0 +1,393 @@
+// Package transport provides the network substrate for running operator
+// nodes on separate machines: a length-prefixed binary wire format for
+// tuples (using the state/stream codecs), persistent peer connections
+// with automatic reconnection, and heartbeat-based failure detection —
+// the mechanism behind the paper's failure detector (§5), which notifies
+// the recovery coordinator when a VM stops responding.
+//
+// The in-process runtimes (internal/engine, internal/sim) do not need
+// this package; it exists so a deployment can place instances on real
+// hosts while reusing the same operator, state and control code.
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"seep/internal/plan"
+	"seep/internal/state"
+	"seep/internal/stream"
+)
+
+// Frame types on the wire.
+const (
+	frameTuple     = uint8(1)
+	frameHeartbeat = uint8(2)
+)
+
+// maxFrameBytes bounds a single frame (16 MiB) so a corrupt length
+// prefix cannot allocate unbounded memory.
+const maxFrameBytes = 16 << 20
+
+// Envelope is one tuple in flight between hosts, carrying the routing
+// metadata the receiving node needs.
+type Envelope struct {
+	// From is the emitting instance (duplicate detection is
+	// per-upstream-instance).
+	From plan.InstanceID
+	// To is the destination instance.
+	To plan.InstanceID
+	// Input is the logical input-stream index at the receiver.
+	Input int
+	// Tuple is the payload-bearing tuple.
+	Tuple stream.Tuple
+}
+
+// encodeEnvelope writes an envelope body (without the frame header).
+func encodeEnvelope(e *stream.Encoder, env Envelope, codec state.PayloadCodec) error {
+	e.String32(string(env.From.Op))
+	e.Uint32(uint32(env.From.Part))
+	e.String32(string(env.To.Op))
+	e.Uint32(uint32(env.To.Part))
+	e.Int32(int32(env.Input))
+	e.Int64(env.Tuple.TS)
+	e.Key(env.Tuple.Key)
+	e.Int64(env.Tuple.Born)
+	pb, err := codec.EncodePayload(env.Tuple.Payload)
+	if err != nil {
+		return fmt.Errorf("transport: encode payload: %w", err)
+	}
+	e.Bytes32(pb)
+	return nil
+}
+
+func decodeEnvelope(d *stream.Decoder, codec state.PayloadCodec) (Envelope, error) {
+	var env Envelope
+	env.From = plan.InstanceID{Op: plan.OpID(d.String32()), Part: int(d.Uint32())}
+	env.To = plan.InstanceID{Op: plan.OpID(d.String32()), Part: int(d.Uint32())}
+	env.Input = int(d.Int32())
+	env.Tuple.TS = d.Int64()
+	env.Tuple.Key = d.Key()
+	env.Tuple.Born = d.Int64()
+	pb := d.Bytes32()
+	if err := d.Err(); err != nil {
+		return env, err
+	}
+	payload, err := codec.DecodePayload(pb)
+	if err != nil {
+		return env, fmt.Errorf("transport: decode payload: %w", err)
+	}
+	env.Tuple.Payload = payload
+	return env, nil
+}
+
+// writeFrame writes [type][len][body] to w.
+func writeFrame(w io.Writer, frameType uint8, body []byte) error {
+	var hdr [5]byte
+	hdr[0] = frameType
+	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// readFrame reads one frame from r.
+func readFrame(r io.Reader) (uint8, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[1:])
+	if n > maxFrameBytes {
+		return 0, nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, nil, err
+	}
+	return hdr[0], body, nil
+}
+
+// Listener accepts tuple streams from peers and hands decoded envelopes
+// to a handler. It also answers heartbeats, so a connected peer's
+// failure detector sees this host as alive.
+type Listener struct {
+	ln      net.Listener
+	codec   state.PayloadCodec
+	handler func(Envelope)
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]bool
+	wg     sync.WaitGroup
+}
+
+// Listen starts accepting on addr (e.g. "127.0.0.1:0") and dispatching
+// envelopes to handler (called sequentially per connection).
+func Listen(addr string, codec state.PayloadCodec, handler func(Envelope)) (*Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen: %w", err)
+	}
+	l := &Listener{ln: ln, codec: codec, handler: handler, conns: make(map[net.Conn]bool)}
+	l.wg.Add(1)
+	go l.acceptLoop()
+	return l, nil
+}
+
+// Addr returns the bound address.
+func (l *Listener) Addr() string { return l.ln.Addr().String() }
+
+func (l *Listener) acceptLoop() {
+	defer l.wg.Done()
+	for {
+		conn, err := l.ln.Accept()
+		if err != nil {
+			return
+		}
+		l.mu.Lock()
+		if l.closed {
+			l.mu.Unlock()
+			conn.Close()
+			return
+		}
+		l.conns[conn] = true
+		l.mu.Unlock()
+		l.wg.Add(1)
+		go l.serve(conn)
+	}
+}
+
+func (l *Listener) serve(conn net.Conn) {
+	defer l.wg.Done()
+	defer func() {
+		conn.Close()
+		l.mu.Lock()
+		delete(l.conns, conn)
+		l.mu.Unlock()
+	}()
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	var wmu sync.Mutex
+	for {
+		frameType, body, err := readFrame(r)
+		if err != nil {
+			return
+		}
+		switch frameType {
+		case frameHeartbeat:
+			wmu.Lock()
+			if err := writeFrame(w, frameHeartbeat, nil); err == nil {
+				err = w.Flush()
+			}
+			wmu.Unlock()
+			if err != nil {
+				return
+			}
+		case frameTuple:
+			env, err := decodeEnvelope(stream.NewDecoder(body), l.codec)
+			if err != nil {
+				// A malformed tuple poisons the stream framing; drop the
+				// connection and let the peer reconnect.
+				return
+			}
+			if l.handler != nil {
+				l.handler(env)
+			}
+		default:
+			return
+		}
+	}
+}
+
+// Close stops accepting and tears down all connections.
+func (l *Listener) Close() error {
+	l.mu.Lock()
+	l.closed = true
+	for c := range l.conns {
+		c.Close()
+	}
+	l.mu.Unlock()
+	err := l.ln.Close()
+	l.wg.Wait()
+	return err
+}
+
+// ErrPeerClosed reports sends on a closed peer.
+var ErrPeerClosed = errors.New("transport: peer closed")
+
+// Peer is an outbound connection to one host, with heartbeat-based
+// failure detection: if the peer misses MissLimit consecutive heartbeat
+// replies, OnDown fires — the signal the recovery coordinator consumes
+// ("the SPS ... scales out an operator when it has become unresponsive",
+// §4.2).
+type Peer struct {
+	addr  string
+	codec state.PayloadCodec
+	// HeartbeatEvery is the probe period (default 500 ms).
+	HeartbeatEvery time.Duration
+	// MissLimit is how many consecutive missed replies mark the peer
+	// down (default 3).
+	MissLimit int
+	// OnDown is invoked once when the peer is declared failed.
+	OnDown func()
+
+	mu      sync.Mutex
+	conn    net.Conn
+	w       *bufio.Writer
+	closed  bool
+	downed  bool
+	pending int // heartbeats sent without reply
+	wg      sync.WaitGroup
+	stop    chan struct{}
+	sent    uint64
+}
+
+// Dial connects to a listener.
+func Dial(addr string, codec state.PayloadCodec) (*Peer, error) {
+	p := &Peer{
+		addr:           addr,
+		codec:          codec,
+		HeartbeatEvery: 500 * time.Millisecond,
+		MissLimit:      3,
+		stop:           make(chan struct{}),
+	}
+	if err := p.connect(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func (p *Peer) connect() error {
+	conn, err := net.DialTimeout("tcp", p.addr, 2*time.Second)
+	if err != nil {
+		return fmt.Errorf("transport: dial %s: %w", p.addr, err)
+	}
+	p.mu.Lock()
+	p.conn = conn
+	p.w = bufio.NewWriter(conn)
+	p.mu.Unlock()
+	p.wg.Add(1)
+	go p.readLoop(conn)
+	return nil
+}
+
+// StartHeartbeat begins probing; call once after Dial.
+func (p *Peer) StartHeartbeat() {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		tick := time.NewTicker(p.HeartbeatEvery)
+		defer tick.Stop()
+		for {
+			select {
+			case <-p.stop:
+				return
+			case <-tick.C:
+				p.mu.Lock()
+				p.pending++
+				missed := p.pending
+				w, closed := p.w, p.closed
+				if !closed && w != nil {
+					if err := writeFrame(w, frameHeartbeat, nil); err == nil {
+						_ = w.Flush()
+					}
+				}
+				p.mu.Unlock()
+				if missed > p.MissLimit {
+					p.declareDown()
+					return
+				}
+			}
+		}
+	}()
+}
+
+func (p *Peer) readLoop(conn net.Conn) {
+	defer p.wg.Done()
+	r := bufio.NewReader(conn)
+	for {
+		frameType, _, err := readFrame(r)
+		if err != nil {
+			return
+		}
+		if frameType == frameHeartbeat {
+			p.mu.Lock()
+			p.pending = 0
+			p.mu.Unlock()
+		}
+	}
+}
+
+func (p *Peer) declareDown() {
+	p.mu.Lock()
+	already := p.downed || p.closed
+	p.downed = true
+	p.mu.Unlock()
+	if !already && p.OnDown != nil {
+		p.OnDown()
+	}
+}
+
+// Send transmits one envelope. Sends after Close or after the peer went
+// down return an error; callers retain tuples in buffer state and replay
+// them to the replacement instance, so a failed send is never data loss.
+func (p *Peer) Send(env Envelope) error {
+	e := stream.NewEncoder(64)
+	if err := encodeEnvelope(e, env, p.codec); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed || p.downed || p.w == nil {
+		return ErrPeerClosed
+	}
+	if err := writeFrame(p.w, frameTuple, e.Bytes()); err != nil {
+		return err
+	}
+	p.sent++
+	// Flush per tuple keeps latency low; batching is the caller's choice
+	// by sending multiple envelopes before the deadline.
+	return p.w.Flush()
+}
+
+// Sent returns how many tuples were transmitted.
+func (p *Peer) Sent() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.sent
+}
+
+// Down reports whether the failure detector declared the peer failed.
+func (p *Peer) Down() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.downed
+}
+
+// Close tears the connection down.
+func (p *Peer) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	conn := p.conn
+	p.mu.Unlock()
+	close(p.stop)
+	var err error
+	if conn != nil {
+		err = conn.Close()
+	}
+	p.wg.Wait()
+	return err
+}

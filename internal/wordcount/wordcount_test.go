@@ -1,0 +1,85 @@
+package wordcount
+
+import (
+	"strings"
+	"testing"
+
+	"seep/internal/plan"
+	"seep/internal/sim"
+)
+
+func TestQueryValidates(t *testing.T) {
+	o := DefaultOptions()
+	q := Query(o)
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	f := Factories(o)
+	if f["split"] == nil || f["count"] == nil {
+		t.Fatal("missing factories")
+	}
+	if f["split"]() == nil || f["count"]() == nil {
+		t.Fatal("factories returned nil")
+	}
+}
+
+func TestSentenceSourceShape(t *testing.T) {
+	gen := SentenceSource(1000, 1)
+	seen := make(map[string]bool)
+	for i := uint64(0); i < 200; i++ {
+		_, p := gen(i)
+		s, ok := p.(string)
+		if !ok {
+			t.Fatal("payload not a string")
+		}
+		// ~140 bytes per fragment.
+		if len(s) < 120 || len(s) > 160 {
+			t.Fatalf("fragment length %d", len(s))
+		}
+		words := strings.Fields(s)
+		if len(words) < 10 || len(words) > 18 {
+			t.Fatalf("fragment has %d words", len(words))
+		}
+		for _, w := range words {
+			seen[w] = true
+		}
+	}
+	if len(seen) < 500 {
+		t.Errorf("vocabulary coverage too small: %d", len(seen))
+	}
+}
+
+func TestWordSourceVocabularyBoundsStateSize(t *testing.T) {
+	gen := WordSource(100, 2)
+	seen := make(map[any]bool)
+	for i := uint64(0); i < 5000; i++ {
+		_, p := gen(i)
+		seen[p] = true
+	}
+	if len(seen) > 100 {
+		t.Errorf("vocabulary escaped its bound: %d distinct words", len(seen))
+	}
+	if len(seen) < 90 {
+		t.Errorf("vocabulary under-covered: %d of 100", len(seen))
+	}
+}
+
+func TestEndToEndOnSimulator(t *testing.T) {
+	o := DefaultOptions()
+	o.WindowMillis = 0
+	c, err := sim.NewCluster(sim.Config{Seed: 1, Mode: sim.FTRSM}, Query(o), Factories(o))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddSource(plan.InstanceID{Op: "src", Part: 1}, sim.ConstantRate(500), WordSource(100, 1)); err != nil {
+		t.Fatal(err)
+	}
+	c.RunUntil(20_000)
+	if c.SinkCount.Value() == 0 {
+		t.Error("no results at sink")
+	}
+	// 500 t/s at the default costs keeps P95 low.
+	if p95 := c.Latency.Percentile(0.95); p95 > 100 {
+		t.Errorf("P95 = %d ms at half load", p95)
+	}
+}

@@ -1,0 +1,246 @@
+// Package seep is a stream processing system with explicit operator
+// state management, reproducing Fernandez, Migliavacca, Kalyvianaki and
+// Pietzuch, "Integrating Scale Out and Fault Tolerance in Stream
+// Processing using Operator State Management" (SIGMOD 2013).
+//
+// The key idea is to externalise operator state — processing state,
+// buffer state and routing state — behind a small set of management
+// primitives (checkpoint, backup, restore, partition), and to drive both
+// dynamic scale out of bottleneck operators and failure recovery through
+// one integrated algorithm: recovery is scale out with parallelism 1,
+// and parallel recovery is scale out of a failed operator.
+//
+// This package is the public facade. Queries are directed acyclic
+// graphs of operators (NewQuery / OpSpec / Connect) with user operators
+// implementing Operator, and optionally Stateful to have their state
+// checkpointed, backed up, partitioned and restored by the system.
+//
+// Two runtimes execute queries:
+//
+//   - Engine (NewEngine): a live runtime of goroutines and channels with
+//     wall-clock checkpointing, live scale out and failure recovery.
+//   - Cluster (NewSimCluster): a deterministic discrete-event cluster
+//     simulation with a VM model, a pre-allocated VM pool that masks
+//     IaaS provisioning delays, CPU-cost accounting, failure injection
+//     and the bottleneck-driven scaling policy of the paper — the
+//     substrate used to reproduce the paper's experiments.
+//
+// See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+// per-figure reproduction record.
+package seep
+
+import (
+	"seep/internal/control"
+	"seep/internal/core"
+	"seep/internal/engine"
+	"seep/internal/operator"
+	"seep/internal/plan"
+	"seep/internal/sim"
+	"seep/internal/state"
+	"seep/internal/stream"
+)
+
+// Data model (§2.2).
+type (
+	// Key partitions tuples and indexes processing state.
+	Key = stream.Key
+	// Tuple is the unit of data: logical timestamp, key, payload.
+	Tuple = stream.Tuple
+	// TSVector tracks per-input-stream progress.
+	TSVector = stream.TSVector
+)
+
+// KeyOf hashes bytes into the key space.
+func KeyOf(b []byte) Key { return stream.KeyOf(b) }
+
+// KeyOfString hashes a string into the key space.
+func KeyOfString(s string) Key { return stream.KeyOfString(s) }
+
+// Query model (§2.2).
+type (
+	// Query is a logical dataflow graph.
+	Query = plan.Query
+	// OpSpec declares one logical operator.
+	OpSpec = plan.OpSpec
+	// OpID names a logical operator.
+	OpID = plan.OpID
+	// InstanceID names one partitioned instance of an operator.
+	InstanceID = plan.InstanceID
+)
+
+// Operator roles.
+const (
+	RoleSource    = plan.RoleSource
+	RoleSink      = plan.RoleSink
+	RoleStateless = plan.RoleStateless
+	RoleStateful  = plan.RoleStateful
+)
+
+// NewQuery returns an empty query graph.
+func NewQuery() *Query { return plan.NewQuery() }
+
+// Operator model (§2.2, §3.1).
+type (
+	// Operator processes tuples.
+	Operator = operator.Operator
+	// Stateful operators expose their processing state as key/value
+	// pairs for checkpointing and partitioning.
+	Stateful = operator.Stateful
+	// TimeDriven operators react to the passage of time (windows).
+	TimeDriven = operator.TimeDriven
+	// Context is per-invocation metadata.
+	Context = operator.Context
+	// Emitter sends output tuples.
+	Emitter = operator.Emitter
+	// Factory builds operator instances, one per partition.
+	Factory = operator.Factory
+	// OpFunc adapts a function to Operator.
+	OpFunc = operator.Func
+)
+
+// Operator library.
+var (
+	// Map applies a function to each tuple (drop with ok=false).
+	Map = operator.Map
+	// Filter forwards tuples satisfying a predicate.
+	Filter = operator.Filter
+	// Passthrough forwards tuples unchanged.
+	Passthrough = operator.Passthrough
+	// WordSplitter tokenises text payloads into keyed words.
+	WordSplitter = operator.WordSplitter
+)
+
+// Stateful operator library.
+type (
+	// WordCounter is a (windowed) word frequency counter.
+	WordCounter = operator.WordCounter
+	// WordCount is WordCounter's output payload.
+	WordCount = operator.WordCount
+	// KeyedSum is a per-key sum aggregator.
+	KeyedSum = operator.KeyedSum
+	// TopKReducer ranks items by frequency.
+	TopKReducer = operator.TopKReducer
+	// TopKMerger merges partial rankings.
+	TopKMerger = operator.TopKMerger
+	// Ranking is the top-k output payload.
+	Ranking = operator.Ranking
+	// WindowJoin is a symmetric windowed equi-join.
+	WindowJoin = operator.WindowJoin
+)
+
+// NewWordCounter returns a word frequency counter (windowMillis 0 =
+// continuous).
+func NewWordCounter(windowMillis int64) *WordCounter {
+	return operator.NewWordCounter(windowMillis)
+}
+
+// NewKeyedSum returns a per-key sum aggregator.
+func NewKeyedSum(windowMillis int64, extract func(any) (float64, bool)) *KeyedSum {
+	return operator.NewKeyedSum(windowMillis, extract)
+}
+
+// NewTopKReducer returns a top-k frequency reducer.
+func NewTopKReducer(k int, emitEveryMillis int64) *TopKReducer {
+	return operator.NewTopKReducer(k, emitEveryMillis)
+}
+
+// NewTopKMerger returns a merger of partial rankings.
+func NewTopKMerger(k int) *TopKMerger { return operator.NewTopKMerger(k) }
+
+// NewWindowJoin returns a windowed equi-join over two input streams.
+func NewWindowJoin(windowMillis int64, encode func(any) []byte, decode func([]byte) any) *WindowJoin {
+	return operator.NewWindowJoin(windowMillis, encode, decode)
+}
+
+// State management (§3).
+type (
+	// Checkpoint is the externalised state of one operator instance.
+	Checkpoint = state.Checkpoint
+	// Processing is the key/value processing state θ.
+	Processing = state.Processing
+	// Routing maps key ranges to partitioned instances.
+	Routing = state.Routing
+	// KeyRange is a closed interval of the key space.
+	KeyRange = state.KeyRange
+)
+
+// Live runtime.
+type (
+	// Engine runs a query on goroutines and channels.
+	Engine = engine.Engine
+	// EngineConfig parameterises the engine.
+	EngineConfig = engine.Config
+	// UtilSampler feeds the engine's scaling policy (nil = backpressure).
+	UtilSampler = engine.UtilSampler
+)
+
+// NewEngine builds a live engine for a query.
+func NewEngine(cfg EngineConfig, q *Query, factories map[OpID]Factory) (*Engine, error) {
+	return engine.New(cfg, q, factories)
+}
+
+// Simulated cluster runtime (the EC2 substitute).
+type (
+	// Cluster is a simulated cloud deployment.
+	Cluster = sim.Cluster
+	// ClusterConfig parameterises the simulation.
+	ClusterConfig = sim.Config
+	// PoolConfig parameterises the VM pool (§5.2).
+	PoolConfig = sim.PoolConfig
+	// FTMode selects the fault tolerance mechanism.
+	FTMode = sim.FTMode
+	// Generator produces source tuples.
+	Generator = sim.Generator
+	// RateFunc is a time-varying source rate.
+	RateFunc = sim.RateFunc
+)
+
+// Fault tolerance mechanisms (§6.2).
+const (
+	FTNone           = sim.FTNone
+	FTRSM            = sim.FTRSM
+	FTUpstreamBackup = sim.FTUpstreamBackup
+	FTSourceReplay   = sim.FTSourceReplay
+)
+
+// NewSimCluster deploys a query on the simulated cluster.
+func NewSimCluster(cfg ClusterConfig, q *Query, factories map[OpID]Factory) (*Cluster, error) {
+	return sim.NewCluster(cfg, q, factories)
+}
+
+// ConstantRate is a fixed tuples/second source profile.
+func ConstantRate(tps float64) RateFunc { return sim.ConstantRate(tps) }
+
+// Scaling policy (§5.1) and elastic scale in (§8 future work).
+type (
+	// Policy holds δ, k and r.
+	Policy = control.Policy
+	// Detector is the bottleneck detector.
+	Detector = control.Detector
+	// ScaleInPolicy holds the low-watermark merge policy.
+	ScaleInPolicy = control.ScaleInPolicy
+)
+
+// DefaultPolicy returns the paper's empirically chosen policy
+// (δ=70%, k=2, r=5 s).
+func DefaultPolicy() Policy { return control.DefaultPolicy() }
+
+// DefaultScaleInPolicy returns conservative scale-in defaults
+// (low watermark 25%, k=3).
+func DefaultScaleInPolicy() ScaleInPolicy { return control.DefaultScaleInPolicy() }
+
+// Durable checkpoint persistence (§3.3 persist).
+type (
+	// DurableStore persists checkpoints to disk alongside the in-memory
+	// backup store.
+	DurableStore = core.DurableStore
+	// PayloadCodec serialises tuple payloads in persisted checkpoints.
+	PayloadCodec = state.PayloadCodec
+	// StringPayloadCodec handles string payloads.
+	StringPayloadCodec = state.StringPayloadCodec
+)
+
+// NewDurableStore opens (or creates) a checkpoint directory.
+func NewDurableStore(dir string, codec PayloadCodec) (*DurableStore, error) {
+	return core.NewDurableStore(dir, codec)
+}

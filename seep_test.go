@@ -1,0 +1,172 @@
+package seep_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"seep"
+)
+
+// Example builds the §3.1 running example — a word-frequency query with
+// managed operator state — runs it on the live engine and reads the
+// counter's state back.
+func Example() {
+	q := seep.NewQuery()
+	q.AddOp(seep.OpSpec{ID: "src", Role: seep.RoleSource})
+	q.AddOp(seep.OpSpec{ID: "split", Role: seep.RoleStateless})
+	q.AddOp(seep.OpSpec{ID: "count", Role: seep.RoleStateful})
+	q.AddOp(seep.OpSpec{ID: "sink", Role: seep.RoleSink})
+	q.Connect("src", "split").Connect("split", "count").Connect("count", "sink")
+
+	eng, err := seep.NewEngine(seep.EngineConfig{}, q, map[seep.OpID]seep.Factory{
+		"split": func() seep.Operator { return seep.WordSplitter() },
+		"count": func() seep.Operator { return seep.NewWordCounter(0) },
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	eng.Start()
+	defer eng.Stop()
+
+	sentences := []string{"first set", "second set"}
+	_ = eng.InjectBatch(seep.InstanceID{Op: "src", Part: 1}, len(sentences),
+		func(i uint64) (seep.Key, any) {
+			return seep.KeyOf([]byte(sentences[i])), sentences[i]
+		})
+	eng.Quiesce(50*time.Millisecond, 5*time.Second)
+
+	counter := eng.OperatorOf(seep.InstanceID{Op: "count", Part: 1}).(*seep.WordCounter)
+	fmt.Println("set:", counter.Count("set"))
+	fmt.Println("first:", counter.Count("first"))
+	// Output:
+	// set: 2
+	// first: 1
+}
+
+// TestPublicAPIEndToEnd drives the full public surface: build a query,
+// run it live, checkpoint, fail, recover, scale out, and verify state.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	q := seep.NewQuery()
+	q.AddOp(seep.OpSpec{ID: "src", Role: seep.RoleSource})
+	q.AddOp(seep.OpSpec{ID: "split", Role: seep.RoleStateless})
+	q.AddOp(seep.OpSpec{ID: "count", Role: seep.RoleStateful})
+	q.AddOp(seep.OpSpec{ID: "sink", Role: seep.RoleSink})
+	q.Connect("src", "split").Connect("split", "count").Connect("count", "sink")
+
+	eng, err := seep.NewEngine(seep.EngineConfig{CheckpointInterval: time.Hour},
+		q, map[seep.OpID]seep.Factory{
+			"split": func() seep.Operator { return seep.WordSplitter() },
+			"count": func() seep.Operator { return seep.NewWordCounter(0) },
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Start()
+	defer eng.Stop()
+
+	gen := func(i uint64) (seep.Key, any) {
+		w := fmt.Sprintf("w%02d", i%10)
+		return seep.KeyOfString(w), w
+	}
+	src := seep.InstanceID{Op: "src", Part: 1}
+	if err := eng.InjectBatch(src, 500, gen); err != nil {
+		t.Fatal(err)
+	}
+	if !eng.Quiesce(100*time.Millisecond, 5*time.Second) {
+		t.Fatal("no quiesce")
+	}
+	victim := seep.InstanceID{Op: "count", Part: 1}
+	if err := eng.Checkpoint(victim); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.InjectBatch(src, 250, gen); err != nil {
+		t.Fatal(err)
+	}
+	if !eng.Quiesce(100*time.Millisecond, 5*time.Second) {
+		t.Fatal("no quiesce")
+	}
+	if err := eng.Fail(victim); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Recover(victim, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !eng.Quiesce(100*time.Millisecond, 5*time.Second) {
+		t.Fatal("no quiesce after recovery")
+	}
+	recovered := eng.Manager().Instances("count")[0]
+	counter := eng.OperatorOf(recovered).(*seep.WordCounter)
+	for i := 0; i < 10; i++ {
+		w := fmt.Sprintf("w%02d", i)
+		if got := counter.Count(w); got != 75 {
+			t.Errorf("Count(%s) = %d, want 75", w, got)
+		}
+	}
+	// Scale out the recovered instance.
+	if err := eng.ScaleOut(recovered, 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.Manager().Parallelism("count"); got != 2 {
+		t.Errorf("parallelism = %d", got)
+	}
+}
+
+// TestPublicAPISimCluster drives the simulated-cloud surface.
+func TestPublicAPISimCluster(t *testing.T) {
+	q := seep.NewQuery()
+	q.AddOp(seep.OpSpec{ID: "src", Role: seep.RoleSource})
+	q.AddOp(seep.OpSpec{ID: "sum", Role: seep.RoleStateful, CostPerTuple: 0.0001})
+	q.AddOp(seep.OpSpec{ID: "sink", Role: seep.RoleSink})
+	q.Connect("src", "sum").Connect("sum", "sink")
+
+	c, err := seep.NewSimCluster(seep.ClusterConfig{
+		Seed: 1, Mode: seep.FTRSM,
+		CheckpointIntervalMillis: 2_000,
+		Pool:                     seep.PoolConfig{Size: 2},
+	}, q, map[seep.OpID]seep.Factory{
+		"sum": func() seep.Operator {
+			return seep.NewKeyedSum(0, func(p any) (float64, bool) {
+				v, ok := p.(float64)
+				return v, ok
+			})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddSource(seep.InstanceID{Op: "src", Part: 1}, seep.ConstantRate(200),
+		func(i uint64) (seep.Key, any) {
+			return seep.Key(i % 7), 1.0
+		}); err != nil {
+		t.Fatal(err)
+	}
+	c.Sim().At(10_000, func() {
+		_ = c.FailInstance(seep.InstanceID{Op: "sum", Part: 1})
+	})
+	c.RunUntil(30_000)
+	if len(c.Recoveries()) != 1 {
+		t.Fatalf("recoveries = %v", c.Recoveries())
+	}
+	live := c.LiveInstances("sum")
+	if len(live) != 1 {
+		t.Fatalf("live = %v", live)
+	}
+	sum := c.OperatorOf(live[0]).(*seep.KeyedSum)
+	var total float64
+	for k := seep.Key(0); k < 7; k++ {
+		total += sum.Sum(k)
+	}
+	// 200 tuples/s × ~30 s ≈ 6000 observations of value 1.0; allow for
+	// tuples in flight at the cut-off.
+	if total < 5900 || total > 6000 {
+		t.Errorf("recovered running total = %v, want ≈6000", total)
+	}
+	if c.Latency.Count() == 0 {
+		t.Error("no latency samples")
+	}
+	if seep.DefaultPolicy().Threshold != 0.70 {
+		t.Error("unexpected default policy")
+	}
+}
