@@ -3,6 +3,11 @@
 // throughput, allocation and the latency distribution against the 5 s
 // LRB response-time bound.
 //
+// The query is a non-linear DAG (the assessment operator fans out to a
+// collector and a balance account, which fan back into the sink), so
+// every stream is declared with an explicit Connect — see
+// internal/lrb.Topology.
+//
 // Usage:
 //
 //	lrb -L 2 -duration 120 -rate 2000
@@ -12,13 +17,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"time"
 
-	"seep/internal/control"
+	"seep"
 	"seep/internal/lrb"
-	"seep/internal/operator"
-	"seep/internal/plan"
-	"seep/internal/sim"
-	"seep/internal/stream"
 )
 
 func main() {
@@ -30,44 +33,52 @@ func main() {
 	)
 	flag.Parse()
 
-	factories := make(map[plan.OpID]operator.Factory)
-	for id, f := range lrb.Factories() {
-		factories[id] = f
+	topo, err := lrb.Topology()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
-	c, err := sim.NewCluster(sim.Config{
-		Seed: *seed,
-		Mode: sim.FTRSM,
-		Pool: sim.PoolConfig{Size: 4},
-	}, lrb.Query(), factories)
+
+	job, err := seep.Simulated(
+		seep.WithSeed(*seed),
+		seep.WithFTMode(seep.FTRSM),
+		seep.WithVMPool(seep.PoolConfig{Size: 4}),
+		seep.WithPolicy(seep.DefaultPolicy()),
+	).Deploy(topo)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	gen := lrb.NewGenerator(*l, *seed)
-	if err := c.AddSource(plan.InstanceID{Op: "feeder", Part: 1}, sim.ConstantRate(*rate),
-		func(uint64) (stream.Key, any) { return gen.Next() }); err != nil {
+	if err := job.AddSource("feeder", seep.ConstantRate(*rate),
+		func(uint64) (seep.Key, any) { k, r := gen.Next(); return k, r }); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	c.EnablePolicy(control.DefaultPolicy())
-	c.RunUntil(*duration * 1000)
+	job.Start()
+	job.Run(time.Duration(*duration) * time.Second)
 
+	m := job.MetricsSnapshot()
 	fmt.Printf("Linear Road Benchmark: L=%d, %.0f tuples/s for %d virtual seconds\n", *l, *rate, *duration)
-	fmt.Printf("  results delivered:  %d\n", c.SinkCount.Value())
-	sum := c.Latency.Summarize()
-	fmt.Printf("  latency:            %s\n", sum)
+	fmt.Printf("  results delivered:  %d\n", m.SinkTuples)
+	fmt.Printf("  latency:            %s\n", m.Latency)
 	verdict := "PASS"
-	if sum.P99 > 5000 {
+	if m.Latency.P99 > 5000 {
 		verdict = "FAIL"
 	}
-	fmt.Printf("  5 s LRB bound:      %s (P99 = %d ms)\n", verdict, sum.P99)
+	fmt.Printf("  5 s LRB bound:      %s (P99 = %d ms)\n", verdict, m.Latency.P99)
 	fmt.Println("  final allocation:")
-	for _, op := range c.Manager().Query().Ops() {
-		fmt.Printf("    %-12s %d instance(s)\n", op, c.Manager().Parallelism(op))
+	ops := make([]string, 0, len(m.Parallelism))
+	for op := range m.Parallelism {
+		ops = append(ops, string(op))
 	}
-	if recs := c.Recoveries(); len(recs) > 0 {
+	sort.Strings(ops)
+	for _, op := range ops {
+		fmt.Printf("    %-12s %d instance(s)\n", op, m.Parallelism[seep.OpID(op)])
+	}
+	if len(m.Recoveries) > 0 {
 		fmt.Println("  scale-out events:")
-		for _, r := range recs {
+		for _, r := range m.Recoveries {
 			fmt.Printf("    t=%5.1fs %s -> pi=%d (%d tuples replayed, %.1fs)\n",
 				float64(r.StartedAt)/1000, r.Victim, r.Pi, r.ReplayedTuples, float64(r.Duration())/1000)
 		}

@@ -13,9 +13,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
-	"seep/internal/plan"
-	"seep/internal/sim"
+	"seep"
 	"seep/internal/wordcount"
 )
 
@@ -30,16 +30,16 @@ func main() {
 	)
 	flag.Parse()
 
-	var ftMode sim.FTMode
+	var ftMode seep.FTMode
 	switch *mode {
 	case "r+sm":
-		ftMode = sim.FTRSM
+		ftMode = seep.FTRSM
 	case "ub":
-		ftMode = sim.FTUpstreamBackup
+		ftMode = seep.FTUpstreamBackup
 	case "sr":
-		ftMode = sim.FTSourceReplay
+		ftMode = seep.FTSourceReplay
 	case "none":
-		ftMode = sim.FTNone
+		ftMode = seep.FTNone
 	default:
 		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
 		os.Exit(2)
@@ -47,40 +47,51 @@ func main() {
 
 	opts := wordcount.DefaultOptions()
 	opts.WindowMillis = 0
-	c, err := sim.NewCluster(sim.Config{
-		Seed:                     *seed,
-		Mode:                     ftMode,
-		CheckpointIntervalMillis: *interval * 1000,
-		RecoveryParallelism:      *pi,
-	}, wordcount.Query(opts), wordcount.Factories(opts))
+	fs := wordcount.Factories(opts)
+	topo, err := seep.NewTopology().
+		Source("src").
+		Stateless("split", fs["split"], seep.Cost(opts.SplitCost)).
+		Stateful("count", fs["count"], seep.Cost(opts.CountCost)).
+		Sink("sink").
+		Build()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	if err := c.AddSource(plan.InstanceID{Op: "src", Part: 1}, sim.ConstantRate(*rate),
+	job, err := seep.Simulated(
+		seep.WithSeed(*seed),
+		seep.WithFTMode(ftMode),
+		seep.WithCheckpointInterval(time.Duration(*interval)*time.Second),
+		seep.WithRecoveryParallelism(*pi),
+	).Deploy(topo)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := job.AddSource("src", seep.ConstantRate(*rate),
 		wordcount.WordSource(10_000, *seed)); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	victim := plan.InstanceID{Op: "count", Part: 1}
-	c.Sim().At(*failAt*1000, func() {
-		if err := c.FailInstance(victim); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-		}
-	})
-	c.RunUntil(*failAt*1000 + 150_000)
+	job.Start()
+	job.Run(time.Duration(*failAt) * time.Second)
+	victim := job.Instances("count")[0]
+	if err := job.Fail(victim); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+	}
+	job.Run(150 * time.Second)
 
 	fmt.Printf("word frequency query, %s mode, %.0f tuples/s, c=%ds\n", *mode, *rate, *interval)
 	fmt.Printf("  failed %s at t=%ds\n", victim, *failAt)
-	recs := c.Recoveries()
-	if len(recs) == 0 {
+	m := job.MetricsSnapshot()
+	if len(m.Recoveries) == 0 {
 		fmt.Println("  no recovery completed (mode none keeps the operator down)")
 		return
 	}
-	for _, r := range recs {
+	for _, r := range m.Recoveries {
 		fmt.Printf("  recovered as pi=%d at t=%.1fs: %.1f s recovery time, %d tuples replayed\n",
 			r.Pi, float64(r.CompletedAt)/1000, float64(r.Duration())/1000, r.ReplayedTuples)
 	}
-	fmt.Printf("  duplicates discarded during replay: %d\n", c.DuplicatesDropped())
-	fmt.Printf("  sink latency: %s\n", c.Latency.Summarize())
+	fmt.Printf("  duplicates discarded during replay: %d\n", m.DuplicatesDropped)
+	fmt.Printf("  sink latency: %s\n", m.Latency)
 }

@@ -1,7 +1,8 @@
-// Fault tolerance end to end: checkpoint a stateful operator, kill its
-// VM, recover it from the upstream backup via the integrated scale-out
-// algorithm, and verify that no state was lost — exactly-once with
-// respect to operator state.
+// Fault tolerance end to end: a stateful operator is periodically
+// checkpointed to an upstream backup, its VM is killed, and the runtime
+// detects the failure and recovers the operator via the integrated
+// scale-out algorithm — with no state lost: exactly-once with respect to
+// operator state.
 //
 //	go run ./examples/faulttolerance
 package main
@@ -15,77 +16,75 @@ import (
 )
 
 func main() {
-	q := seep.NewQuery()
-	q.AddOp(seep.OpSpec{ID: "src", Role: seep.RoleSource})
-	q.AddOp(seep.OpSpec{ID: "split", Role: seep.RoleStateless})
-	q.AddOp(seep.OpSpec{ID: "count", Role: seep.RoleStateful})
-	q.AddOp(seep.OpSpec{ID: "sink", Role: seep.RoleSink})
-	q.Connect("src", "split")
-	q.Connect("split", "count")
-	q.Connect("count", "sink")
-
-	factories := map[seep.OpID]seep.Factory{
-		"split": func() seep.Operator { return seep.WordSplitter() },
-		"count": func() seep.Operator { return seep.NewWordCounter(0) },
-	}
-	// A long checkpoint interval: we trigger checkpoints explicitly so
-	// the timeline is easy to follow.
-	eng, err := seep.NewEngine(seep.EngineConfig{CheckpointInterval: time.Hour}, q, factories)
+	topo, err := seep.NewTopology().
+		Source("src").
+		Stateless("split", func() seep.Operator { return seep.WordSplitter() }).
+		Stateful("count", func() seep.Operator { return seep.NewWordCounter(0) }).
+		Sink("sink").
+		Build()
 	if err != nil {
 		log.Fatal(err)
 	}
-	eng.Start()
-	defer eng.Stop()
 
-	src := seep.InstanceID{Op: "src", Part: 1}
-	victim := seep.InstanceID{Op: "count", Part: 1}
+	// Frequent checkpoints and a short detection delay keep the
+	// timeline of the demo tight.
+	job, err := seep.Live(
+		seep.WithCheckpointInterval(150*time.Millisecond),
+		seep.WithDetectDelay(300*time.Millisecond),
+	).Deploy(topo)
+	if err != nil {
+		log.Fatal(err)
+	}
+	job.Start()
+	defer job.Stop()
+
 	vocab := []string{"alpha", "beta", "gamma", "delta"}
 	gen := func(i uint64) (seep.Key, any) {
 		w := vocab[i%uint64(len(vocab))]
 		return seep.KeyOfString(w), w
 	}
-	settle := func(stage string) {
-		if !eng.Quiesce(100*time.Millisecond, 5*time.Second) {
-			log.Fatalf("engine did not settle after %s", stage)
-		}
-	}
 
-	// Phase 1: 400 tuples, then checkpoint (backed up to the upstream
-	// splitter's VM).
-	if err := eng.InjectBatch(src, 400, gen); err != nil {
+	// Phase 1: 400 tuples, with periodic checkpoints backing the
+	// counter's state up to the upstream splitter's VM.
+	if err := job.InjectBatch("src", 400, gen); err != nil {
 		log.Fatal(err)
 	}
-	settle("phase 1")
-	if err := eng.Checkpoint(victim); err != nil {
-		log.Fatal(err)
-	}
-	fmt.Println("checkpointed count#1 (400 tuples reflected)")
+	job.Run(time.Second)
 
-	// Phase 2: 200 more tuples that exist only in the operator's
-	// volatile state and the upstream output buffer.
-	if err := eng.InjectBatch(src, 200, gen); err != nil {
+	// Phase 2: 200 more tuples; the most recent of them exist only in
+	// the operator's volatile state and the upstream output buffer.
+	if err := job.InjectBatch("src", 200, gen); err != nil {
 		log.Fatal(err)
 	}
-	settle("phase 2")
+	job.Run(500 * time.Millisecond)
 
-	// Kill the VM. The 200 post-checkpoint tuples are NOT in the backup.
-	if err := eng.Fail(victim); err != nil {
+	// Kill the VM. Tuples after the last checkpoint are NOT in the
+	// backup; recovery must replay them from the upstream buffer.
+	victim := job.Instances("count")[0]
+	if err := job.Fail(victim); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("killed count#1")
+	fmt.Printf("killed %v\n", victim)
 
-	// Recover: restore the checkpoint on a new instance and replay the
-	// unacknowledged tuples from the upstream buffer (Algorithm 3, π=1).
-	start := time.Now()
-	if err := eng.Recover(victim, 1); err != nil {
-		log.Fatal(err)
+	// The runtime detects the failure and recovers: restore the backup
+	// checkpoint on a new instance, replay unacknowledged tuples
+	// (Algorithm 3, π=1).
+	job.Run(3 * time.Second)
+	m := job.MetricsSnapshot()
+	for _, e := range m.Errors {
+		log.Fatalf("recovery failed: %s", e)
 	}
-	settle("recovery")
-	fmt.Printf("recovered in %v as %v\n", time.Since(start).Round(time.Millisecond),
-		eng.Manager().Instances("count")[0])
+	recovered := job.Instances("count")
+	if len(m.Recoveries) == 0 || len(recovered) == 0 {
+		log.Fatalf("recovery did not complete (recoveries=%d, live instances=%d)",
+			len(m.Recoveries), len(recovered))
+	}
+	for _, r := range m.Recoveries {
+		fmt.Printf("recovered as %v in %v ms (detection + restore + replay)\n", recovered[0], r.Duration())
+	}
 
 	// Verify: all 600 tuples are reflected exactly once.
-	counter := eng.OperatorOf(eng.Manager().Instances("count")[0]).(*seep.WordCounter)
+	counter := job.OperatorOf(recovered[0]).(*seep.WordCounter)
 	total := int64(0)
 	for _, w := range vocab {
 		c := counter.Count(w)

@@ -1,5 +1,5 @@
-// Quickstart: build a stateful streaming query, run it on the live
-// engine, and read the operator's managed state.
+// Quickstart: declare a stateful streaming topology, run it on the live
+// runtime, and read the operator's managed state.
 //
 //	go run ./examples/quickstart
 package main
@@ -13,28 +13,26 @@ import (
 )
 
 func main() {
-	// A query is a DAG: source → splitter → counter → sink. The counter
-	// is stateful: the system checkpoints, backs up and can partition
-	// its state.
-	q := seep.NewQuery()
-	q.AddOp(seep.OpSpec{ID: "src", Role: seep.RoleSource})
-	q.AddOp(seep.OpSpec{ID: "split", Role: seep.RoleStateless})
-	q.AddOp(seep.OpSpec{ID: "count", Role: seep.RoleStateful})
-	q.AddOp(seep.OpSpec{ID: "sink", Role: seep.RoleSink})
-	q.Connect("src", "split")
-	q.Connect("split", "count")
-	q.Connect("count", "sink")
-
-	factories := map[seep.OpID]seep.Factory{
-		"split": func() seep.Operator { return seep.WordSplitter() },
-		"count": func() seep.Operator { return seep.NewWordCounter(0) }, // continuous
-	}
-	eng, err := seep.NewEngine(seep.EngineConfig{CheckpointInterval: 200 * time.Millisecond}, q, factories)
+	// A topology is a DAG: source → splitter → counter → sink, chained
+	// linearly in declaration order. The counter is stateful: the system
+	// checkpoints, backs up and can partition its state.
+	topo, err := seep.NewTopology().
+		Source("src").
+		Stateless("split", func() seep.Operator { return seep.WordSplitter() }).
+		Stateful("count", func() seep.Operator { return seep.NewWordCounter(0) }). // continuous
+		Sink("sink").
+		Build()
 	if err != nil {
 		log.Fatal(err)
 	}
-	eng.Start()
-	defer eng.Stop()
+
+	// The same topology runs on seep.Live or seep.Simulated.
+	job, err := seep.Live(seep.WithCheckpointInterval(200 * time.Millisecond)).Deploy(topo)
+	if err != nil {
+		log.Fatal(err)
+	}
+	job.Start()
+	defer job.Stop()
 
 	// Inject a few sentences.
 	sentences := []string{
@@ -42,22 +40,20 @@ func main() {
 		"the lazy dog",
 		"the quick dog",
 	}
-	err = eng.InjectBatch(seep.InstanceID{Op: "src", Part: 1}, len(sentences),
-		func(i uint64) (seep.Key, any) {
-			s := sentences[i]
-			return seep.KeyOf([]byte(s)), s
-		})
+	err = job.InjectBatch("src", len(sentences), func(i uint64) (seep.Key, any) {
+		s := sentences[i]
+		return seep.KeyOf([]byte(s)), s
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	if !eng.Quiesce(100*time.Millisecond, 5*time.Second) {
-		log.Fatal("engine did not settle")
-	}
+	job.Run(2 * time.Second)
 
 	// Read the stateful operator's state through its public API.
-	counter := eng.OperatorOf(seep.InstanceID{Op: "count", Part: 1}).(*seep.WordCounter)
+	counter := job.OperatorOf(job.Instances("count")[0]).(*seep.WordCounter)
 	for _, w := range []string{"the", "quick", "dog", "fox"} {
 		fmt.Printf("count(%q) = %d\n", w, counter.Count(w))
 	}
-	fmt.Printf("distinct words: %d, results at sink: %d\n", counter.Distinct(), eng.SinkCount.Value())
+	m := job.MetricsSnapshot()
+	fmt.Printf("distinct words: %d, results at sink: %d\n", counter.Distinct(), m.SinkTuples)
 }

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"log"
 	"sync"
+	"time"
 
 	"seep"
 )
@@ -96,31 +97,31 @@ func (s *segmentToller) totals() (cars int64, tolls float64) {
 }
 
 func main() {
-	q := seep.NewQuery()
-	q.AddOp(seep.OpSpec{ID: "road", Role: seep.RoleSource})
-	q.AddOp(seep.OpSpec{ID: "toller", Role: seep.RoleStateful, CostPerTuple: 0.0006})
-	q.AddOp(seep.OpSpec{ID: "sink", Role: seep.RoleSink})
-	q.Connect("road", "toller")
-	q.Connect("toller", "sink")
-
-	factories := map[seep.OpID]seep.Factory{
-		"toller": func() seep.Operator { return newSegmentToller() },
+	topo, err := seep.NewTopology().
+		Source("road").
+		Stateful("toller", func() seep.Operator { return newSegmentToller() }, seep.Cost(0.0006)).
+		Sink("sink").
+		Build()
+	if err != nil {
+		log.Fatal(err)
 	}
+
 	// Simulated cloud: R+SM fault tolerance, 5 s checkpoints, a small
-	// pre-allocated VM pool.
-	c, err := seep.NewSimCluster(seep.ClusterConfig{
-		Seed:                     7,
-		Mode:                     seep.FTRSM,
-		CheckpointIntervalMillis: 5_000,
-		Pool:                     seep.PoolConfig{Size: 3},
-	}, q, factories)
+	// pre-allocated VM pool, and the paper's scaling policy.
+	job, err := seep.Simulated(
+		seep.WithSeed(7),
+		seep.WithFTMode(seep.FTRSM),
+		seep.WithCheckpointInterval(5*time.Second),
+		seep.WithVMPool(seep.PoolConfig{Size: 3}),
+		seep.WithPolicy(seep.DefaultPolicy()),
+	).Deploy(topo)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// 2000 cars/s against a toller that handles ~1650/s: a bottleneck
 	// the policy must resolve by splitting the operator.
-	if err := c.AddSource(seep.InstanceID{Op: "road", Part: 1}, seep.ConstantRate(2000),
+	if err := job.AddSource("road", seep.ConstantRate(2000),
 		func(i uint64) (seep.Key, any) {
 			seg := int(i % 100)
 			ev := carEvent{Segment: seg, Speed: 25 + float64(i%50)}
@@ -128,28 +129,27 @@ func main() {
 		}); err != nil {
 		log.Fatal(err)
 	}
-	c.EnablePolicy(seep.DefaultPolicy())
+	job.Start()
+	defer job.Stop()
 
-	// Kill one toller partition at t=60 s (after the policy has split
-	// it): recovery is just scale out with π=1.
-	c.Sim().At(60_000, func() {
-		victims := c.LiveInstances("toller")
-		if len(victims) == 0 {
-			log.Printf("no live toller to fail")
-			return
-		}
-		if err := c.FailInstance(victims[0]); err != nil {
-			log.Printf("fail: %v", err)
-		} else {
-			fmt.Printf("t=60s: killed %v\n", victims[0])
-		}
-	})
+	// Run 60 virtual seconds (the policy splits the bottleneck), then
+	// kill one toller partition: recovery is just scale out with π=1.
+	job.Run(60 * time.Second)
+	victims := job.Instances("toller")
+	if len(victims) == 0 {
+		log.Fatal("no live toller to fail")
+	}
+	if err := job.Fail(victims[0]); err != nil {
+		log.Printf("fail: %v", err)
+	} else {
+		fmt.Printf("t=60s: killed %v\n", victims[0])
+	}
+	job.Run(60 * time.Second)
 
-	c.RunUntil(120_000)
-
-	fmt.Printf("after 120 virtual seconds:\n")
-	fmt.Printf("  toller partitions: %d\n", c.Manager().Parallelism("toller"))
-	for _, r := range c.Recoveries() {
+	m := job.MetricsSnapshot()
+	fmt.Printf("after %d virtual seconds:\n", m.ElapsedMillis/1000)
+	fmt.Printf("  toller partitions: %d\n", m.Parallelism["toller"])
+	for _, r := range m.Recoveries {
 		kind := "scale-out"
 		if r.Failure {
 			kind = "recovery"
@@ -159,8 +159,8 @@ func main() {
 	}
 	var cars int64
 	var tolls float64
-	for _, inst := range c.LiveInstances("toller") {
-		op, ok := c.OperatorOf(inst).(*segmentToller)
+	for _, inst := range job.Instances("toller") {
+		op, ok := job.OperatorOf(inst).(*segmentToller)
 		if !ok {
 			continue
 		}
@@ -169,5 +169,5 @@ func main() {
 		tolls += tl
 	}
 	fmt.Printf("  cars tolled: %d, revenue: %.2f\n", cars, tolls)
-	fmt.Printf("  latency: %s\n", c.Latency.Summarize())
+	fmt.Printf("  latency: %s\n", m.Latency)
 }

@@ -1,5 +1,5 @@
 // Windowed word frequency with live scale out: the §6.2 query running on
-// the live engine with a rated source; mid-run, the stateful counter is
+// the live runtime with a rated source; mid-run, the stateful counter is
 // split into two partitions while results keep flowing.
 //
 //	go run ./examples/wordcount
@@ -14,58 +14,55 @@ import (
 )
 
 func main() {
-	q := seep.NewQuery()
-	q.AddOp(seep.OpSpec{ID: "src", Role: seep.RoleSource})
-	q.AddOp(seep.OpSpec{ID: "split", Role: seep.RoleStateless})
-	q.AddOp(seep.OpSpec{ID: "count", Role: seep.RoleStateful})
-	q.AddOp(seep.OpSpec{ID: "sink", Role: seep.RoleSink})
-	q.Connect("src", "split")
-	q.Connect("split", "count")
-	q.Connect("count", "sink")
-
 	const windowMillis = 1000 // 1 s demo window (30 s in the paper)
-	factories := map[seep.OpID]seep.Factory{
-		"split": func() seep.Operator { return seep.WordSplitter() },
-		"count": func() seep.Operator { return seep.NewWordCounter(windowMillis) },
+	topo, err := seep.NewTopology().
+		Source("src").
+		Stateless("split", func() seep.Operator { return seep.WordSplitter() }).
+		Stateful("count", func() seep.Operator { return seep.NewWordCounter(windowMillis) }).
+		Sink("sink").
+		Build()
+	if err != nil {
+		log.Fatal(err)
 	}
-	eng, err := seep.NewEngine(seep.EngineConfig{
-		CheckpointInterval: 250 * time.Millisecond,
-		TimerInterval:      100 * time.Millisecond,
-	}, q, factories)
+
+	job, err := seep.Live(
+		seep.WithCheckpointInterval(250*time.Millisecond),
+		seep.WithTimerInterval(100*time.Millisecond),
+	).Deploy(topo)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// Window results arrive at the sink as WordCount payloads.
 	windows := make(chan seep.WordCount, 1024)
-	eng.OnSink = func(t seep.Tuple) {
+	job.OnSink(func(t seep.Tuple) {
 		if wc, ok := t.Payload.(seep.WordCount); ok {
 			select {
 			case windows <- wc:
 			default:
 			}
 		}
-	}
+	})
 
 	vocab := []string{"state", "stream", "operator", "checkpoint", "partition", "replay"}
-	if err := eng.AddSource(seep.InstanceID{Op: "src", Part: 1}, 2000, func(i uint64) (seep.Key, any) {
+	if err := job.AddSource("src", seep.ConstantRate(2000), func(i uint64) (seep.Key, any) {
 		w := vocab[i%uint64(len(vocab))]
 		return seep.KeyOfString(w), w
 	}); err != nil {
 		log.Fatal(err)
 	}
-	eng.Start()
-	defer eng.Stop()
+	job.Start()
+	defer job.Stop()
 
 	// After ~1 s, scale the counter out to two partitions, live.
 	go func() {
 		time.Sleep(1200 * time.Millisecond)
-		victim := eng.Manager().Instances("count")[0]
-		if err := eng.ScaleOut(victim, 2); err != nil {
+		victim := job.Instances("count")[0]
+		if err := job.ScaleOut(victim, 2); err != nil {
 			log.Printf("scale out: %v", err)
 			return
 		}
-		fmt.Printf("-- scaled out %v to %d partitions --\n", victim, eng.Manager().Parallelism("count"))
+		fmt.Printf("-- scaled out %v to %d partitions --\n", victim, len(job.Instances("count")))
 	}()
 
 	deadline := time.After(4 * time.Second)
@@ -78,8 +75,9 @@ func main() {
 				fmt.Printf("window result: %-12s %d\n", wc.Word, wc.Count)
 			}
 		case <-deadline:
+			m := job.MetricsSnapshot()
 			fmt.Printf("received %d window results across %d counter partition(s); sink latency: %s\n",
-				seen, eng.Manager().Parallelism("count"), eng.Latency.Summarize())
+				seen, m.Parallelism["count"], m.Latency)
 			return
 		}
 	}

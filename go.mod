@@ -1,0 +1,3 @@
+module seep
+
+go 1.22

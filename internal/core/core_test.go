@@ -420,3 +420,63 @@ func TestHandleHostFailure(t *testing.T) {
 		t.Error("replace succeeded with lost backup")
 	}
 }
+
+// TestPlanRecoveryFallbackGating: the empty-checkpoint fallback engages
+// only when planning failed specifically for lack of a checkpoint; other
+// planning errors must neither store the always-newest sentinel (which
+// would block every future real checkpoint of a live instance) nor leave
+// one behind when the retry fails.
+func TestPlanRecoveryFallbackGating(t *testing.T) {
+	q := wordQuery()
+	q.Op("count").MaxParallelism = 1
+	m, err := NewManager(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := inst("count", 1)
+
+	// No backup exists and pi exceeds max parallelism: planning fails
+	// on max parallelism, NOT on the missing checkpoint.
+	if _, err := m.PlanRecovery(victim, 2); err == nil {
+		t.Fatal("PlanRecovery beyond max parallelism accepted")
+	}
+	if _, _, ok := m.Backups().Latest(victim); ok {
+		t.Fatal("fallback stored a sentinel checkpoint despite a non-checkpoint planning error")
+	}
+
+	// A later real checkpoint must be storable (no poisoned sentinel).
+	host, err := m.BackupTarget(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Backups().Store(host, mkCheckpoint(victim, 4)); err != nil {
+		t.Fatalf("real checkpoint rejected after failed recovery attempt: %v", err)
+	}
+
+	// With a checkpoint present, recovery for a missing-checkpoint-free
+	// error path restores the REAL state.
+	rp, err := m.PlanRecovery(victim, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(rp.Checkpoints[0].Processing.KV); got != 4 {
+		t.Errorf("recovered checkpoint has %d keys, want 4 (real state)", got)
+	}
+}
+
+// TestPlanRecoveryEmptyFallback: a genuine pre-first-backup failure
+// recovers from an empty checkpoint.
+func TestPlanRecoveryEmptyFallback(t *testing.T) {
+	m, err := NewManager(wordQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := inst("count", 1)
+	rp, err := m.PlanRecovery(victim, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(rp.Checkpoints[0].Processing.KV); got != 0 {
+		t.Errorf("empty-state recovery has %d keys", got)
+	}
+}

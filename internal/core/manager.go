@@ -1,12 +1,18 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
 	"seep/internal/plan"
 	"seep/internal/state"
 )
+
+// ErrNoCheckpoint reports that replacement planning failed because the
+// victim has no backed-up checkpoint. It is the only planning failure
+// PlanRecovery may answer with the empty-state fallback.
+var ErrNoCheckpoint = errors.New("no checkpoint available")
 
 // Splitter chooses how a key interval is divided across π new partitions.
 // The default is even hash partitioning; a frequency-guided splitter can
@@ -189,7 +195,7 @@ func (m *Manager) PlanReplace(victim plan.InstanceID, pi int) (*ReplacePlan, err
 	}
 	cp, _, ok := m.backups.Latest(victim)
 	if !ok && spec.Role == plan.RoleStateful {
-		return nil, fmt.Errorf("core: no checkpoint available for %s; retry after next backup", victim)
+		return nil, fmt.Errorf("core: %w for %s; retry after next backup", ErrNoCheckpoint, victim)
 	}
 	routing := m.routing[victim.Op]
 	kr, ok2 := routing.RangeOf(victim)
@@ -252,6 +258,47 @@ func (m *Manager) PlanReplace(victim plan.InstanceID, pi int) (*ReplacePlan, err
 		Checkpoints:  parts,
 		Routing:      newRouting.Clone(),
 	}, nil
+}
+
+// PlanRecovery plans the replacement of a FAILED instance. It is
+// PlanReplace with one extra rule: when planning fails solely because
+// the victim has no backed-up checkpoint (it failed before its first
+// backup — or runs under a baseline mode that never checkpoints), an
+// empty checkpoint is stored at the backup host and planning retried,
+// so the operator restarts from empty state and upstream-buffer replay
+// rebuilds whatever is reconstructible. A victim that HAS a checkpoint
+// never reaches the fallback: planning errors for other reasons (max
+// parallelism, stale instance, ...) must not overwrite a real backup
+// with empty state.
+func (m *Manager) PlanRecovery(victim plan.InstanceID, pi int) (*ReplacePlan, error) {
+	rp, err := m.PlanReplace(victim, pi)
+	if err == nil {
+		return rp, nil
+	}
+	if !errors.Is(err, ErrNoCheckpoint) {
+		return nil, err
+	}
+	empty := &state.Checkpoint{
+		Instance:   victim,
+		Seq:        ^uint64(0), // always newest
+		Processing: state.NewProcessing(len(m.Query().Upstream(victim.Op))),
+		Buffer:     state.NewBuffer(),
+	}
+	host, herr := m.BackupTarget(victim)
+	if herr != nil {
+		return nil, err
+	}
+	if serr := m.backups.Store(host, empty); serr != nil {
+		return nil, err
+	}
+	rp, rerr := m.PlanReplace(victim, pi)
+	if rerr != nil {
+		// Do not leave the always-newest sentinel behind: it would block
+		// every future real checkpoint of a still-live instance.
+		m.backups.Delete(victim)
+		return nil, rerr
+	}
+	return rp, nil
 }
 
 func (m *Manager) upstreamLocked(op plan.OpID) []plan.InstanceID {

@@ -87,13 +87,16 @@ type Engine struct {
 	mgr       *core.Manager
 	factories map[plan.OpID]operator.Factory
 
-	// mu guards nodes and routings; emitters take it read-only on the
-	// hot path.
+	// mu guards nodes, routings, records and failedAt; emitters take it
+	// read-only on the hot path.
 	mu       sync.RWMutex
 	nodes    map[plan.InstanceID]*node
 	routings map[plan.OpID]*state.Routing
+	records  []ReplaceRecord
+	failedAt map[plan.InstanceID]int64
 
 	start   time.Time
+	started bool // guarded by mu; set once by Start
 	stopAll chan struct{}
 	wg      sync.WaitGroup
 
@@ -103,6 +106,9 @@ type Engine struct {
 	Latency *metrics.Histogram
 	// SinkCount counts tuples arriving at sinks.
 	SinkCount metrics.Counter
+	// DupDropped counts tuples discarded by per-upstream duplicate
+	// detection (replays already reflected in the ack watermark).
+	DupDropped metrics.Counter
 	// OnSink observes every sink tuple (called from node goroutines).
 	OnSink func(t stream.Tuple)
 }
@@ -120,6 +126,7 @@ func New(cfg Config, q *plan.Query, factories map[plan.OpID]operator.Factory) (*
 		factories: factories,
 		nodes:     make(map[plan.InstanceID]*node),
 		routings:  make(map[plan.OpID]*state.Routing),
+		failedAt:  make(map[plan.InstanceID]int64),
 		stopAll:   make(chan struct{}),
 		Latency:   &metrics.Histogram{},
 	}
@@ -175,9 +182,14 @@ func (e *Engine) NowMillis() int64 {
 func (e *Engine) Start() {
 	e.start = time.Now()
 	e.mu.Lock()
+	e.started = true
 	for _, n := range e.nodes {
 		e.startNode(n)
 	}
+	// Snapshot under the lock: a source added concurrently from here on
+	// observes started == true and starts itself exactly once.
+	sources := make([]*sourceDriver, len(e.sources))
+	copy(sources, e.sources)
 	e.mu.Unlock()
 
 	e.wg.Add(1)
@@ -210,7 +222,7 @@ func (e *Engine) Start() {
 			}
 		}()
 	}
-	for _, s := range e.sources {
+	for _, s := range sources {
 		e.startSource(s)
 	}
 }
@@ -275,6 +287,7 @@ func (n *node) handle(d delivery) {
 	n.mu.Lock()
 	if d.t.TS <= n.acks[d.from] {
 		n.mu.Unlock()
+		n.e.DupDropped.Inc()
 		return
 	}
 	n.acks[d.from] = d.t.TS

@@ -132,15 +132,71 @@ func TestEngineRecoveryExactState(t *testing.T) {
 	}
 }
 
-func TestEngineRecoveryRequiresCheckpoint(t *testing.T) {
+// TestEngineRecoveryBeforeFirstCheckpoint: an operator that fails before
+// its first backup restarts from empty state, and the untrimmed upstream
+// buffers replay every tuple to rebuild it (the sim cluster's fallback).
+func TestEngineRecoveryBeforeFirstCheckpoint(t *testing.T) {
 	e := wordEngine(t, Config{CheckpointInterval: time.Hour})
 	e.Start()
 	defer e.Stop()
+	if err := e.InjectBatch(inst("src", 1), 500, wordGen(25)); err != nil {
+		t.Fatal(err)
+	}
+	if !e.Quiesce(100*time.Millisecond, 5*time.Second) {
+		t.Fatal("no quiesce")
+	}
 	if err := e.Fail(inst("count", 1)); err != nil {
 		t.Fatal(err)
 	}
-	if err := e.Recover(inst("count", 1), 1); err == nil {
-		t.Error("recovery without any checkpoint should fail at planning")
+	if err := e.Recover(inst("count", 1), 1); err != nil {
+		t.Fatalf("recovery before first checkpoint: %v", err)
+	}
+	if !e.Quiesce(100*time.Millisecond, 5*time.Second) {
+		t.Fatal("no quiesce after recovery")
+	}
+	got := counts(e)
+	if totalOf(got) != 500 {
+		t.Errorf("state total after empty-state recovery = %d, want 500", totalOf(got))
+	}
+}
+
+// TestEngineRecoveryPlanningErrorPreservesBackup: a recovery that fails
+// to plan for a reason other than a missing checkpoint (here: π exceeds
+// the operator's max parallelism) must not overwrite the real backup
+// with empty state; a subsequent valid recovery restores the true state.
+func TestEngineRecoveryPlanningErrorPreservesBackup(t *testing.T) {
+	opts := wordcount.Options{WindowMillis: 0}
+	q := wordcount.Query(opts)
+	q.Op("count").MaxParallelism = 1
+	e, err := New(Config{CheckpointInterval: time.Hour}, q, wordcount.Factories(opts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Start()
+	defer e.Stop()
+	if err := e.InjectBatch(inst("src", 1), 400, wordGen(20)); err != nil {
+		t.Fatal(err)
+	}
+	if !e.Quiesce(100*time.Millisecond, 5*time.Second) {
+		t.Fatal("no quiesce")
+	}
+	if err := e.Checkpoint(inst("count", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Fail(inst("count", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Recover(inst("count", 1), 2); err == nil {
+		t.Fatal("recovery beyond max parallelism accepted")
+	}
+	if err := e.Recover(inst("count", 1), 1); err != nil {
+		t.Fatalf("serial recovery after failed parallel attempt: %v", err)
+	}
+	if !e.Quiesce(100*time.Millisecond, 5*time.Second) {
+		t.Fatal("no quiesce after recovery")
+	}
+	if got := totalOf(counts(e)); got != 400 {
+		t.Errorf("state total = %d, want 400 (backup must survive the failed planning attempt)", got)
 	}
 }
 

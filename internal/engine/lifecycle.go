@@ -116,6 +116,7 @@ func (e *Engine) Fail(inst plan.InstanceID) error {
 		return fmt.Errorf("engine: sources and sinks are assumed reliable (§2.2)")
 	}
 	n.failed.Store(true)
+	e.failedAt[inst] = e.NowMillis()
 	e.mu.Unlock()
 	n.stop()
 	e.mgr.HandleHostFailure(inst)
@@ -127,6 +128,28 @@ func (e *Engine) Fail(inst plan.InstanceID) error {
 // recovery).
 func (e *Engine) Recover(inst plan.InstanceID, pi int) error {
 	return e.replace(inst, pi, true)
+}
+
+// ReplaceRecord documents one completed recovery or scale out — the
+// live counterpart of the simulator's RecoveryRecord. Times are
+// wall-clock milliseconds since Start.
+type ReplaceRecord struct {
+	Victim         plan.InstanceID
+	Pi             int
+	Failure        bool
+	StartedAt      int64
+	CompletedAt    int64
+	ReplayedTuples int
+}
+
+// Recoveries returns the completed recovery/scale-out records, oldest
+// first — including scale-outs triggered by the scaling policy.
+func (e *Engine) Recoveries() []ReplaceRecord {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]ReplaceRecord, len(e.records))
+	copy(out, e.records)
+	return out
 }
 
 // ScaleOut splits a live instance into pi partitioned instances
@@ -150,12 +173,21 @@ func (e *Engine) ScaleOut(victim plan.InstanceID, pi int) error {
 // engine write lock — the moral equivalent of stopping the upstream
 // operators (lines 9-14) — while tuple replay rides the normal channels.
 func (e *Engine) replace(victim plan.InstanceID, pi int, failure bool) error {
-	rp, err := e.mgr.PlanReplace(victim, pi)
+	q := e.mgr.Query()
+	startedAt := e.NowMillis()
+	// Failure recovery may fall back to an empty checkpoint when the
+	// victim failed before its first backup (PlanRecovery); scale out of
+	// a live instance never does.
+	planFn := e.mgr.PlanReplace
+	if failure {
+		planFn = e.mgr.PlanRecovery
+	}
+	rp, err := planFn(victim, pi)
 	if err != nil {
 		return err
 	}
-	q := e.mgr.Query()
 	spec := q.Op(victim.Op)
+	replayed := 0
 
 	// Build replacement nodes and restore their state before exposing
 	// them to traffic.
@@ -206,6 +238,7 @@ func (e *Engine) replace(victim plan.InstanceID, pi int, failure bool) error {
 					to = r.Lookup(t.Key)
 				}
 				if tn := e.nodes[to]; tn != nil {
+					replayed++
 					tn.replayQueue = append(tn.replayQueue, delivery{
 						from:  nn.inst,
 						input: q.InputIndex(victim.Op, to.Op),
@@ -227,6 +260,7 @@ func (e *Engine) replace(victim plan.InstanceID, pi int, failure bool) error {
 			un.outBuf.Repartition(victim.Op, rp.Routing)
 			for _, nn := range newNodes {
 				for _, t := range un.outBuf.Tuples(nn.inst) {
+					replayed++
 					nn.replayQueue = append(nn.replayQueue, delivery{
 						from:  upInst,
 						input: q.InputIndex(upOp, victim.Op),
@@ -242,6 +276,20 @@ func (e *Engine) replace(victim plan.InstanceID, pi int, failure bool) error {
 	for _, nn := range newNodes {
 		e.startNode(nn)
 	}
+	// Record the transition (the live counterpart of the simulator's
+	// RecoveryRecord): for failure recovery the clock starts at Fail.
+	if t, ok := e.failedAt[victim]; ok {
+		startedAt = t
+		delete(e.failedAt, victim)
+	}
+	e.records = append(e.records, ReplaceRecord{
+		Victim:         victim,
+		Pi:             pi,
+		Failure:        failure,
+		StartedAt:      startedAt,
+		CompletedAt:    e.NowMillis(),
+		ReplayedTuples: replayed,
+	})
 	e.mu.Unlock()
 
 	// Stop the victim's goroutine after the switch (line 8); on failure
@@ -252,23 +300,36 @@ func (e *Engine) replace(victim plan.InstanceID, pi int, failure bool) error {
 	return nil
 }
 
-// sourceDriver injects generated tuples at a fixed rate.
+// sourceDriver injects generated tuples following a rate profile.
 type sourceDriver struct {
 	inst plan.InstanceID
-	rate float64
+	rate func(nowMillis int64) float64
 	gen  func(i uint64) (stream.Key, any)
 }
 
-// AddSource attaches a generator to a source instance; it starts with
-// Start. Rate is in tuples/second.
+// AddSource attaches a fixed-rate generator to a source instance. Rate
+// is in tuples/second.
 func (e *Engine) AddSource(inst plan.InstanceID, rate float64, gen func(i uint64) (stream.Key, any)) error {
-	e.mu.RLock()
+	return e.AddSourceFunc(inst, func(int64) float64 { return rate }, gen)
+}
+
+// AddSourceFunc attaches a generator whose tuples/second rate may vary
+// with wall-clock time since Start. Sources added before Start begin
+// with it; sources added later start immediately.
+func (e *Engine) AddSourceFunc(inst plan.InstanceID, rate func(nowMillis int64) float64, gen func(i uint64) (stream.Key, any)) error {
+	e.mu.Lock()
 	n := e.nodes[inst]
-	e.mu.RUnlock()
 	if n == nil || n.spec.Role != plan.RoleSource {
+		e.mu.Unlock()
 		return fmt.Errorf("engine: %s is not a live source", inst)
 	}
-	e.sources = append(e.sources, &sourceDriver{inst: inst, rate: rate, gen: gen})
+	s := &sourceDriver{inst: inst, rate: rate, gen: gen}
+	e.sources = append(e.sources, s)
+	running := e.started
+	e.mu.Unlock()
+	if running {
+		e.startSource(s)
+	}
 	return nil
 }
 
@@ -292,7 +353,7 @@ func (e *Engine) startSource(s *sourceDriver) {
 				if n == nil {
 					return
 				}
-				carry += s.rate * tick.Seconds()
+				carry += s.rate(e.NowMillis()) * tick.Seconds()
 				k := int(carry)
 				carry -= float64(k)
 				born := e.NowMillis()

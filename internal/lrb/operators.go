@@ -355,18 +355,26 @@ func (ba *BalanceAccount) Answered() int {
 	return len(ba.latest)
 }
 
-// Query builds the paper's LRB query graph (Fig. 5) with per-tuple costs
-// calibrated for capacity-1 VMs. Cost ratios follow the partitioned
-// allocation the paper reports (toll calculator most expensive, then
-// forwarder).
+// Per-tuple CPU costs calibrated for capacity-1 VMs. Cost ratios follow
+// the partitioned allocation the paper reports (toll calculator most
+// expensive, then forwarder).
+const (
+	CostForwarder  = 0.00005
+	CostTollCalc   = 0.00012
+	CostAssessment = 0.00006
+	CostCollector  = 0.00002
+	CostBalance    = 0.00002
+)
+
+// Query builds the paper's LRB query graph (Fig. 5).
 func Query() *plan.Query {
 	q := plan.NewQuery()
 	q.AddOp(plan.OpSpec{ID: "feeder", Role: plan.RoleSource})
-	q.AddOp(plan.OpSpec{ID: "forwarder", Role: plan.RoleStateless, CostPerTuple: 0.00005})
-	q.AddOp(plan.OpSpec{ID: "tollcalc", Role: plan.RoleStateful, CostPerTuple: 0.00012})
-	q.AddOp(plan.OpSpec{ID: "assessment", Role: plan.RoleStateful, CostPerTuple: 0.00006})
-	q.AddOp(plan.OpSpec{ID: "collector", Role: plan.RoleStateless, CostPerTuple: 0.00002})
-	q.AddOp(plan.OpSpec{ID: "balance", Role: plan.RoleStateful, CostPerTuple: 0.00002})
+	q.AddOp(plan.OpSpec{ID: "forwarder", Role: plan.RoleStateless, CostPerTuple: CostForwarder})
+	q.AddOp(plan.OpSpec{ID: "tollcalc", Role: plan.RoleStateful, CostPerTuple: CostTollCalc})
+	q.AddOp(plan.OpSpec{ID: "assessment", Role: plan.RoleStateful, CostPerTuple: CostAssessment})
+	q.AddOp(plan.OpSpec{ID: "collector", Role: plan.RoleStateless, CostPerTuple: CostCollector})
+	q.AddOp(plan.OpSpec{ID: "balance", Role: plan.RoleStateful, CostPerTuple: CostBalance})
 	q.AddOp(plan.OpSpec{ID: "sink", Role: plan.RoleSink})
 	q.Connect("feeder", "forwarder")
 	q.Connect("forwarder", "tollcalc")

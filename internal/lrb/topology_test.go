@@ -1,0 +1,28 @@
+package lrb
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestTopologyMatchesQuery pins the fluent Topology() declaration to the
+// plan-level Query() used by the experiment harness: same operators,
+// same specs, same streams.
+func TestTopologyMatchesQuery(t *testing.T) {
+	topo, err := Topology()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, want := topo.Query(), Query()
+	if !reflect.DeepEqual(got.Ops(), want.Ops()) {
+		t.Errorf("operators: fluent %v != plan %v", got.Ops(), want.Ops())
+	}
+	for _, id := range want.Ops() {
+		if g, w := got.Op(id), want.Op(id); g == nil || *g != *w {
+			t.Errorf("spec %q: fluent %+v != plan %+v", id, g, w)
+		}
+	}
+	if !reflect.DeepEqual(got.Streams(), want.Streams()) {
+		t.Errorf("streams: fluent %v != plan %v", got.Streams(), want.Streams())
+	}
+}

@@ -9,6 +9,7 @@
 package plan
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 )
@@ -73,6 +74,11 @@ type Query struct {
 	streams []StreamSpec
 	up      map[OpID][]OpID
 	down    map[OpID][]OpID
+	// errs collects construction mistakes (empty or duplicate operator
+	// IDs, streams referencing undeclared operators). They are deferred
+	// so query construction stays fluent, and surface as the first
+	// result of Validate — long before any runtime touches the graph.
+	errs []error
 }
 
 // NewQuery returns an empty query graph.
@@ -84,14 +90,16 @@ func NewQuery() *Query {
 	}
 }
 
-// AddOp adds a logical operator. It panics on duplicate IDs, which are
-// programming errors in query construction.
+// AddOp adds a logical operator. Empty and duplicate IDs are recorded as
+// construction errors reported by Validate.
 func (q *Query) AddOp(spec OpSpec) *Query {
 	if spec.ID == "" {
-		panic("plan: operator with empty ID")
+		q.errs = append(q.errs, errors.New("plan: operator with empty ID"))
+		return q
 	}
 	if _, dup := q.ops[spec.ID]; dup {
-		panic(fmt.Sprintf("plan: duplicate operator %q", spec.ID))
+		q.errs = append(q.errs, fmt.Errorf("plan: duplicate operator %q", spec.ID))
+		return q
 	}
 	if spec.InitialParallelism <= 0 {
 		spec.InitialParallelism = 1
@@ -102,13 +110,24 @@ func (q *Query) AddOp(spec OpSpec) *Query {
 	return q
 }
 
-// Connect adds a stream from one operator to another. Both must exist.
+// Connect adds a stream from one operator to another. Streams naming
+// operators never declared with AddOp are rejected: the dangling edge is
+// recorded as a construction error reported by Validate, instead of
+// surfacing later as a confusing runtime failure.
 func (q *Query) Connect(from, to OpID) *Query {
-	if _, ok := q.ops[from]; !ok {
-		panic(fmt.Sprintf("plan: connect from unknown operator %q", from))
+	ok := true
+	if _, declared := q.ops[from]; !declared {
+		q.errs = append(q.errs, fmt.Errorf(
+			"plan: stream %q -> %q: operator %q is not declared (missing AddOp)", from, to, from))
+		ok = false
 	}
-	if _, ok := q.ops[to]; !ok {
-		panic(fmt.Sprintf("plan: connect to unknown operator %q", to))
+	if _, declared := q.ops[to]; !declared {
+		q.errs = append(q.errs, fmt.Errorf(
+			"plan: stream %q -> %q: operator %q is not declared (missing AddOp)", from, to, to))
+		ok = false
+	}
+	if !ok {
+		return q
 	}
 	q.streams = append(q.streams, StreamSpec{From: from, To: to})
 	q.down[from] = append(q.down[from], to)
@@ -175,10 +194,14 @@ func (q *Query) byRole(role string) []OpID {
 	return out
 }
 
-// Validate checks structural invariants: the graph is a DAG, every
-// operator is reachable between a source and a sink, sources have no
-// inputs and sinks no outputs, and roles are known.
+// Validate checks construction errors deferred by AddOp/Connect and the
+// structural invariants: the graph is a DAG, every operator is reachable
+// between a source and a sink, sources have no inputs and sinks no
+// outputs, and roles are known.
 func (q *Query) Validate() error {
+	if len(q.errs) > 0 {
+		return errors.Join(q.errs...)
+	}
 	if len(q.ops) == 0 {
 		return fmt.Errorf("plan: empty query")
 	}

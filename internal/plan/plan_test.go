@@ -120,22 +120,51 @@ func TestUpDownStream(t *testing.T) {
 	}
 }
 
-func TestQueryPanics(t *testing.T) {
-	assertPanic := func(name string, f func()) {
-		defer func() {
-			if recover() == nil {
-				t.Errorf("%s: expected panic", name)
-			}
-		}()
-		f()
+func TestQueryConstructionErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() *Query
+		want  string
+	}{
+		{"empty id", func() *Query { return NewQuery().AddOp(OpSpec{}) }, "empty ID"},
+		{"dup id", func() *Query {
+			q := NewQuery()
+			q.AddOp(OpSpec{ID: "x", Role: RoleSource})
+			q.AddOp(OpSpec{ID: "x", Role: RoleSource})
+			return q
+		}, "duplicate"},
+		{"unknown from", func() *Query { return NewQuery().Connect("a", "b") }, `"a" is not declared`},
+		{"dangling edge to undeclared op", func() *Query {
+			q := lrbLike()
+			q.Connect("toll", "ghost")
+			return q
+		}, `"ghost" is not declared`},
 	}
-	assertPanic("empty id", func() { NewQuery().AddOp(OpSpec{}) })
-	assertPanic("dup id", func() {
-		q := NewQuery()
-		q.AddOp(OpSpec{ID: "x", Role: RoleSource})
-		q.AddOp(OpSpec{ID: "x", Role: RoleSource})
-	})
-	assertPanic("unknown from", func() { NewQuery().Connect("a", "b") })
+	for _, c := range cases {
+		err := c.build().Validate()
+		if err == nil {
+			t.Errorf("%s: expected error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+// TestConnectUndeclaredDoesNotCorrupt checks a rejected stream leaves no
+// trace in the graph structure.
+func TestConnectUndeclaredDoesNotCorrupt(t *testing.T) {
+	q := lrbLike()
+	q.Connect("toll", "ghost")
+	if got := q.Downstream("toll"); len(got) != 1 || got[0] != "sink" {
+		t.Errorf("Downstream(toll) = %v after rejected Connect", got)
+	}
+	for _, s := range q.Streams() {
+		if s.To == "ghost" {
+			t.Errorf("rejected stream recorded: %v", s)
+		}
+	}
 }
 
 func TestSourcesSinks(t *testing.T) {

@@ -210,6 +210,7 @@ type Cluster struct {
 	VMsInUse          *metrics.TimeSeries
 	ThroughputTS      *metrics.TimeSeries
 	recoveries        []RecoveryRecord
+	recoveryFailures  []string
 	// OnSink, when set, observes every tuple arriving at a sink.
 	OnSink func(t stream.Tuple)
 
@@ -333,6 +334,14 @@ func (c *Cluster) Recoveries() []RecoveryRecord {
 // DuplicatesDropped returns how many replayed duplicates were discarded.
 func (c *Cluster) DuplicatesDropped() uint64 { return c.duplicatesDropped.Value() }
 
+// RecoveryFailures returns descriptions of failure recoveries that
+// could not complete (e.g. planning errors), oldest first.
+func (c *Cluster) RecoveryFailures() []string {
+	out := make([]string, len(c.recoveryFailures))
+	copy(out, c.recoveryFailures)
+	return out
+}
+
 func (c *Cluster) liveVMs() int {
 	n := 0
 	for _, node := range c.nodes {
@@ -352,6 +361,23 @@ func (c *Cluster) AddSource(inst plan.InstanceID, rate RateFunc, gen Generator) 
 	src := &source{node: n, rate: rate, gen: gen}
 	c.sources[inst] = src
 	c.scheduleSourceTick(src)
+	return nil
+}
+
+// InjectBatch emits count tuples from a source instance at the current
+// virtual time — the simulator counterpart of the live engine's batch
+// injection, for scenarios that need exact tuple counts rather than
+// rates. The tuples are processed as the simulation advances (RunUntil).
+func (c *Cluster) InjectBatch(inst plan.InstanceID, count int, gen Generator) error {
+	n := c.nodes[inst]
+	if n == nil || n.spec.Role != plan.RoleSource {
+		return fmt.Errorf("sim: %s is not a live source", inst)
+	}
+	for i := 0; i < count; i++ {
+		key, payload := gen(uint64(i))
+		n.curBorn = c.sim.Now()
+		n.emit(key, payload)
+	}
 	return nil
 }
 
@@ -586,7 +612,14 @@ func (c *Cluster) recover(victim plan.InstanceID, failedAt Millis) {
 // executeReplace runs the integrated fault-tolerant scale-out algorithm
 // (Algorithm 3) for both scale out and R+SM recovery.
 func (c *Cluster) executeReplace(victim plan.InstanceID, pi int, startedAt Millis, failure bool) {
-	rp, err := c.mgr.PlanReplace(victim, pi)
+	// Failure recovery may fall back to an empty checkpoint when the
+	// victim failed before its first backup (PlanRecovery); scale out of
+	// a live instance never does.
+	planFn := c.mgr.PlanReplace
+	if failure {
+		planFn = c.mgr.PlanRecovery
+	}
+	rp, err := planFn(victim, pi)
 	if err != nil {
 		if !failure {
 			// Scale out aborts cleanly; the victim continues processing
@@ -597,28 +630,12 @@ func (c *Cluster) executeReplace(victim plan.InstanceID, pi int, startedAt Milli
 			}
 			return
 		}
-		// Failure recovery with no available checkpoint: the operator
-		// failed before its first backup. Its state is unrecoverable by
-		// any passive scheme; restart from empty state so the query
-		// keeps running (buffered upstream tuples are still replayed).
-		q := c.mgr.Query()
-		empty := &state.Checkpoint{
-			Instance:   victim,
-			Seq:        ^uint64(0),
-			Processing: state.NewProcessing(len(q.Upstream(victim.Op))),
-			Buffer:     state.NewBuffer(),
-		}
-		host, herr := c.mgr.BackupTarget(victim)
-		if herr != nil {
-			return
-		}
-		if serr := c.mgr.Backups().Store(host, empty); serr != nil {
-			return
-		}
-		rp, err = c.mgr.PlanReplace(victim, pi)
-		if err != nil {
-			return
-		}
+		// A recovery that cannot be planned is recorded, and the victim
+		// is unblocked so a later detection can retry.
+		c.recoveryFailures = append(c.recoveryFailures,
+			fmt.Sprintf("recover %s (pi=%d): %v", victim, pi, err))
+		delete(c.scalingInProgress, victim)
+		return
 	}
 	// Routing switches now: tuples emitted from here on are buffered
 	// toward (and later replayed to) the new instances.
@@ -788,24 +805,15 @@ func (c *Cluster) activateReplacements(rp *core.ReplacePlan, vms []*VM, startedA
 // baselines: a fresh instance is deployed with empty state and the
 // retained window of tuples is re-processed to rebuild it (§6.2).
 func (c *Cluster) executeReplaceBaseline(victim plan.InstanceID, failedAt Millis) {
-	// Provide an empty checkpoint so the manager can plan the
-	// replacement (the baselines keep no state checkpoints).
+	// The baselines keep no state checkpoints, so planning always takes
+	// PlanRecovery's empty-checkpoint path: the replacement starts empty
+	// and re-processes the retained tuple window to rebuild state.
 	q := c.mgr.Query()
-	empty := &state.Checkpoint{
-		Instance:   victim,
-		Seq:        ^uint64(0), // always newest
-		Processing: state.NewProcessing(len(q.Upstream(victim.Op))),
-		Buffer:     state.NewBuffer(),
-	}
-	host, err := c.mgr.BackupTarget(victim)
+	rp, err := c.mgr.PlanRecovery(victim, 1)
 	if err != nil {
-		return
-	}
-	if err := c.mgr.Backups().Store(host, empty); err != nil {
-		return
-	}
-	rp, err := c.mgr.PlanReplace(victim, 1)
-	if err != nil {
+		c.recoveryFailures = append(c.recoveryFailures,
+			fmt.Sprintf("recover %s (pi=1): %v", victim, err))
+		delete(c.scalingInProgress, victim)
 		return
 	}
 	c.routings[victim.Op] = rp.Routing

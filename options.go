@@ -1,0 +1,178 @@
+package seep
+
+import (
+	"fmt"
+	"time"
+)
+
+// Option configures a Runtime built by Live or Simulated. Options apply
+// to one substrate or both; deploying a topology with an option the
+// substrate does not support is an error (reported by Runtime.Deploy),
+// never a silent no-op.
+type Option func(*runtimeConfig)
+
+// runtimeConfig is the merged option set. Zero values mean "use the
+// substrate default".
+type runtimeConfig struct {
+	// Shared.
+	checkpoint    time.Duration
+	checkpointSet bool
+	timer         time.Duration
+	policy        *Policy
+	detect        time.Duration
+	detectSet     bool
+	recoveryPi    int
+	recoveryPiSet bool
+
+	// Live engine only.
+	channelBuffer int
+
+	// Simulated cluster only.
+	seed       int64
+	ftMode     FTMode
+	ftModeSet  bool
+	pool       *PoolConfig
+	netDelay   time.Duration
+	window     time.Duration
+	vmCapacity float64
+	scaleIn    *ScaleInPolicy
+
+	// liveOnly / simOnly name the restricted options that were set, so
+	// the wrong substrate can reject them by name.
+	liveOnly []string
+	simOnly  []string
+}
+
+func buildConfig(opts []Option) *runtimeConfig {
+	cfg := &runtimeConfig{}
+	for _, o := range opts {
+		o(cfg)
+	}
+	return cfg
+}
+
+// validate rejects option values that would otherwise be silently
+// coerced to a substrate default.
+func (c *runtimeConfig) validate() error {
+	if c.detectSet && c.detect <= 0 {
+		return fmt.Errorf("seep: WithDetectDelay requires a positive duration, got %v", c.detect)
+	}
+	if c.recoveryPiSet && c.recoveryPi < 1 {
+		return fmt.Errorf("seep: WithRecoveryParallelism requires pi >= 1, got %d", c.recoveryPi)
+	}
+	if c.checkpointSet && c.checkpoint < 0 {
+		return fmt.Errorf("seep: WithCheckpointInterval requires a non-negative duration, got %v", c.checkpoint)
+	}
+	return nil
+}
+
+// WithCheckpointInterval sets c, the checkpointing interval of §3.2. On
+// the live engine an interval of 0 disables checkpointing and output
+// buffering; on the simulated cluster checkpointing is governed by the
+// fault-tolerance mode (WithFTMode) and this sets its period.
+func WithCheckpointInterval(d time.Duration) Option {
+	return func(c *runtimeConfig) { c.checkpoint = d; c.checkpointSet = true }
+}
+
+// WithTimerInterval sets the period at which TimeDriven operators
+// (windows) are ticked.
+func WithTimerInterval(d time.Duration) Option {
+	return func(c *runtimeConfig) { c.timer = d }
+}
+
+// WithPolicy enables the bottleneck-driven scaling policy of §5.1:
+// operators whose utilisation stays above the threshold are split. The
+// simulated cluster reports VM CPU utilisation; the live engine reports
+// input-queue backpressure.
+func WithPolicy(p Policy) Option {
+	return func(c *runtimeConfig) { c.policy = &p }
+}
+
+// WithDetectDelay sets the failure-detection delay: the time between
+// Job.Fail crash-stopping an instance and the runtime starting its
+// recovery (default 500 ms). Must be positive.
+func WithDetectDelay(d time.Duration) Option {
+	return func(c *runtimeConfig) { c.detect = d; c.detectSet = true }
+}
+
+// WithRecoveryParallelism sets π used when recovering failed operators
+// (1 = serial recovery; ≥2 = parallel recovery, §4.2).
+func WithRecoveryParallelism(pi int) Option {
+	return func(c *runtimeConfig) { c.recoveryPi = pi; c.recoveryPiSet = true }
+}
+
+// WithChannelBuffer sets the live engine's per-node input channel
+// capacity. Live runtime only.
+func WithChannelBuffer(n int) Option {
+	return func(c *runtimeConfig) {
+		c.channelBuffer = n
+		c.liveOnly = append(c.liveOnly, "WithChannelBuffer")
+	}
+}
+
+// WithSeed fixes the pseudo-random seed for deterministic simulated
+// runs. Simulated runtime only.
+func WithSeed(seed int64) Option {
+	return func(c *runtimeConfig) {
+		c.seed = seed
+		c.simOnly = append(c.simOnly, "WithSeed")
+	}
+}
+
+// WithFTMode selects the fault-tolerance mechanism under evaluation
+// (§6.2): FTRSM (the paper's recovery with state management), FTNone,
+// FTUpstreamBackup or FTSourceReplay. Simulated runtime only — the live
+// engine always runs the paper's state-management protocol.
+func WithFTMode(m FTMode) Option {
+	return func(c *runtimeConfig) {
+		c.ftMode = m
+		c.ftModeSet = true
+		c.simOnly = append(c.simOnly, "WithFTMode")
+	}
+}
+
+// WithVMPool configures the pre-allocated VM pool that masks IaaS
+// provisioning delays (§5.2). Simulated runtime only.
+func WithVMPool(p PoolConfig) Option {
+	return func(c *runtimeConfig) {
+		c.pool = &p
+		c.simOnly = append(c.simOnly, "WithVMPool")
+	}
+}
+
+// WithNetDelay sets the one-way network latency between simulated VMs.
+// Simulated runtime only.
+func WithNetDelay(d time.Duration) Option {
+	return func(c *runtimeConfig) {
+		c.netDelay = d
+		c.simOnly = append(c.simOnly, "WithNetDelay")
+	}
+}
+
+// WithWindow bounds how long the upstream-backup and source-replay
+// baselines retain tuples. Simulated runtime only.
+func WithWindow(d time.Duration) Option {
+	return func(c *runtimeConfig) {
+		c.window = d
+		c.simOnly = append(c.simOnly, "WithWindow")
+	}
+}
+
+// WithVMCapacity sets the CPU capacity of statically deployed simulated
+// VMs. Simulated runtime only.
+func WithVMCapacity(capacity float64) Option {
+	return func(c *runtimeConfig) {
+		c.vmCapacity = capacity
+		c.simOnly = append(c.simOnly, "WithVMCapacity")
+	}
+}
+
+// WithElasticity additionally enables scale in (§8 future work): when
+// every partition of an operator stays below the low watermark, adjacent
+// partitions are merged. Requires WithPolicy. Simulated runtime only.
+func WithElasticity(p ScaleInPolicy) Option {
+	return func(c *runtimeConfig) {
+		c.scaleIn = &p
+		c.simOnly = append(c.simOnly, "WithElasticity")
+	}
+}

@@ -1,0 +1,438 @@
+package seep
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"seep/internal/engine"
+	"seep/internal/metrics"
+	"seep/internal/sim"
+)
+
+// Runtime is a substrate that can deploy a Topology: the live engine
+// (goroutines, channels, wall-clock time) or the simulated cluster
+// (deterministic discrete events, virtual time). Both run the same
+// operator code under the same state-management protocol, so scenarios
+// written against Runtime/Job run unchanged on either.
+type Runtime interface {
+	// Name identifies the substrate ("live" or "sim").
+	Name() string
+	// Deploy instantiates the topology on this substrate. The topology
+	// is built (validated) on demand; construction and option errors are
+	// returned here.
+	Deploy(t *Topology) (Job, error)
+}
+
+// Job is a deployed topology. The same interface is implemented by both
+// runtimes; only the flow of time differs — Run sleeps wall-clock time
+// on the live engine and advances the virtual clock on the simulator.
+//
+// Operators are addressed logically by OpID; partitioned instances by
+// InstanceID (see Instances).
+type Job interface {
+	// Start begins execution. On the live engine it launches the node
+	// goroutines, timers and checkpointing; the simulator deploys
+	// eagerly, so Start only arms it.
+	Start()
+	// Stop terminates execution. Stopping a Job twice is undefined.
+	Stop()
+	// Run advances time by d — wall-clock on the live engine (returning
+	// early once the dataflow settles and no recovery is pending),
+	// virtual on the simulator — processing whatever the topology does
+	// in that span: source emission, checkpoints, scaling, recoveries.
+	Run(d time.Duration)
+	// AddSource attaches a rate-profiled tuple generator to a source
+	// operator (its first instance; sources are pinned).
+	AddSource(op OpID, rate RateFunc, gen Generator) error
+	// InjectBatch emits exactly count tuples from a source operator —
+	// for scenarios needing exact tuple counts rather than rates. Call
+	// Run afterwards to process them.
+	InjectBatch(op OpID, count int, gen Generator) error
+	// Fail crash-stops the VM hosting an instance; backups it hosted are
+	// lost. The runtime detects the failure after the configured
+	// detection delay (WithDetectDelay) and recovers the operator via
+	// the integrated scale-out algorithm with the configured parallelism
+	// (WithRecoveryParallelism).
+	Fail(inst InstanceID) error
+	// ScaleOut splits a live instance into pi partitioned instances
+	// (Algorithm 3), partitioning its managed state by key range.
+	ScaleOut(victim InstanceID, pi int) error
+	// Instances returns the live partitioned instances of an operator.
+	Instances(op OpID) []InstanceID
+	// OperatorOf returns the operator object hosted by an instance, so
+	// callers can inspect managed state (nil if unknown or source/sink).
+	OperatorOf(inst InstanceID) any
+	// OnSink registers an observer for every tuple arriving at a sink.
+	// Call before Start.
+	OnSink(fn func(t Tuple))
+	// MetricsSnapshot returns a point-in-time view of the job's
+	// externally observable behaviour.
+	MetricsSnapshot() Metrics
+}
+
+// Measurement types shared by both runtimes.
+type (
+	// Summary is a latency-distribution snapshot (count, mean, tail
+	// percentiles) in milliseconds.
+	Summary = metrics.Summary
+	// RecoveryRecord documents one completed recovery or scale out.
+	RecoveryRecord = sim.RecoveryRecord
+)
+
+// Metrics is a point-in-time snapshot of a Job, identical in shape on
+// both substrates. Times are milliseconds since Start — wall-clock for
+// the live engine, virtual for the simulator.
+type Metrics struct {
+	// ElapsedMillis is the job's running time.
+	ElapsedMillis int64
+	// SinkTuples counts tuples delivered to sinks.
+	SinkTuples uint64
+	// DuplicatesDropped counts replayed tuples discarded by duplicate
+	// detection.
+	DuplicatesDropped uint64
+	// Latency summarises sink-observed end-to-end latency.
+	Latency Summary
+	// Parallelism maps each logical operator to its current number of
+	// partitioned instances.
+	Parallelism map[OpID]int
+	// Recoveries lists completed recoveries and scale outs, oldest
+	// first.
+	Recoveries []RecoveryRecord
+	// Errors lists asynchronous operations that failed — an automatic
+	// recovery that could not complete, for example. Empty on a healthy
+	// job; never silently dropped.
+	Errors []string
+}
+
+const (
+	defaultLiveCheckpoint = 500 * time.Millisecond
+	defaultDetectDelay    = 500 * time.Millisecond
+)
+
+// Live returns the live-engine runtime: operator instances run as
+// goroutines connected by channels under wall-clock time, with periodic
+// checkpointing (default every 500 ms; WithCheckpointInterval(0)
+// disables), live scale out and failure recovery.
+func Live(opts ...Option) Runtime { return &liveRuntime{cfg: buildConfig(opts)} }
+
+// Simulated returns the simulated-cluster runtime that substitutes for
+// the paper's EC2 deployment: a deterministic discrete-event simulation
+// with a VM model, CPU-cost accounting, a pre-allocated VM pool,
+// failure injection and virtual time. Fault tolerance defaults to the
+// paper's recovery with state management (FTRSM).
+func Simulated(opts ...Option) Runtime { return &simRuntime{cfg: buildConfig(opts)} }
+
+// liveRuntime deploys onto the live engine.
+type liveRuntime struct{ cfg *runtimeConfig }
+
+func (r *liveRuntime) Name() string { return "live" }
+
+func (r *liveRuntime) Deploy(t *Topology) (Job, error) {
+	if len(r.cfg.simOnly) > 0 {
+		return nil, fmt.Errorf("seep: option(s) %s apply only to the Simulated runtime",
+			strings.Join(r.cfg.simOnly, ", "))
+	}
+	if err := r.cfg.validate(); err != nil {
+		return nil, err
+	}
+	q, factories, err := t.built()
+	if err != nil {
+		return nil, err
+	}
+	checkpoint := defaultLiveCheckpoint
+	if r.cfg.checkpointSet {
+		checkpoint = r.cfg.checkpoint
+	}
+	eng, err := engine.New(engine.Config{
+		CheckpointInterval: checkpoint,
+		TimerInterval:      r.cfg.timer,
+		ChannelBuffer:      r.cfg.channelBuffer,
+	}, q, factories)
+	if err != nil {
+		return nil, err
+	}
+	if r.cfg.policy != nil {
+		eng.EnablePolicy(*r.cfg.policy, nil)
+	}
+	j := &liveJob{
+		eng:        eng,
+		detect:     defaultDetectDelay,
+		recoveryPi: 1,
+		stop:       make(chan struct{}),
+	}
+	if r.cfg.detect > 0 {
+		j.detect = r.cfg.detect
+	}
+	if r.cfg.recoveryPi > 0 {
+		j.recoveryPi = r.cfg.recoveryPi
+	}
+	return j, nil
+}
+
+// liveJob adapts the live engine to the Job interface and adds the
+// failure-detection/recovery loop the bare engine leaves to callers.
+type liveJob struct {
+	eng        *engine.Engine
+	detect     time.Duration
+	recoveryPi int
+	stop       chan struct{}
+
+	mu      sync.Mutex
+	pending int // in-flight automatic recoveries
+	errs    []string
+}
+
+func (j *liveJob) Start() { j.eng.Start() }
+
+func (j *liveJob) Stop() {
+	close(j.stop)
+	// Let in-flight recoveries finish or abort before tearing the
+	// engine down.
+	deadline := time.Now().Add(5 * time.Second)
+	for j.pendingRecoveries() > 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	j.eng.Stop()
+}
+
+func (j *liveJob) pendingRecoveries() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.pending
+}
+
+func (j *liveJob) Run(d time.Duration) {
+	deadline := time.Now().Add(d)
+	for j.pendingRecoveries() > 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	rem := time.Until(deadline)
+	// Recoveries consumed the span: still give replay a moment to
+	// settle so post-Run assertions see restored state.
+	if rem < 250*time.Millisecond {
+		rem = 250 * time.Millisecond
+	}
+	j.eng.Quiesce(50*time.Millisecond, rem)
+}
+
+func (j *liveJob) AddSource(op OpID, rate RateFunc, gen Generator) error {
+	inst, err := j.sourceInstance(op)
+	if err != nil {
+		return err
+	}
+	return j.eng.AddSourceFunc(inst, rate, gen)
+}
+
+func (j *liveJob) InjectBatch(op OpID, count int, gen Generator) error {
+	inst, err := j.sourceInstance(op)
+	if err != nil {
+		return err
+	}
+	return j.eng.InjectBatch(inst, count, gen)
+}
+
+func (j *liveJob) sourceInstance(op OpID) (InstanceID, error) {
+	insts := j.eng.Manager().Instances(op)
+	if len(insts) == 0 {
+		return InstanceID{}, fmt.Errorf("seep: no instances of operator %q", op)
+	}
+	return insts[0], nil
+}
+
+func (j *liveJob) Fail(inst InstanceID) error {
+	if err := j.eng.Fail(inst); err != nil {
+		return err
+	}
+	j.mu.Lock()
+	j.pending++
+	j.mu.Unlock()
+	go func() {
+		defer func() {
+			j.mu.Lock()
+			j.pending--
+			j.mu.Unlock()
+		}()
+		select {
+		case <-time.After(j.detect):
+		case <-j.stop:
+			return
+		}
+		if err := j.eng.Recover(inst, j.recoveryPi); err != nil {
+			j.mu.Lock()
+			j.errs = append(j.errs, fmt.Sprintf("recover %s (pi=%d): %v", inst, j.recoveryPi, err))
+			j.mu.Unlock()
+		}
+	}()
+	return nil
+}
+
+func (j *liveJob) ScaleOut(victim InstanceID, pi int) error {
+	return j.eng.ScaleOut(victim, pi)
+}
+
+func (j *liveJob) Instances(op OpID) []InstanceID { return j.eng.Manager().Instances(op) }
+
+func (j *liveJob) OperatorOf(inst InstanceID) any { return j.eng.OperatorOf(inst) }
+
+func (j *liveJob) OnSink(fn func(t Tuple)) { j.eng.OnSink = fn }
+
+func (j *liveJob) MetricsSnapshot() Metrics {
+	j.mu.Lock()
+	errs := make([]string, len(j.errs))
+	copy(errs, j.errs)
+	j.mu.Unlock()
+	// The engine records every replace itself — including scale-outs
+	// triggered by the scaling policy — so nothing is missed here.
+	engRecs := j.eng.Recoveries()
+	recs := make([]RecoveryRecord, len(engRecs))
+	for i, r := range engRecs {
+		recs[i] = RecoveryRecord{
+			Victim:         r.Victim,
+			Pi:             r.Pi,
+			Failure:        r.Failure,
+			StartedAt:      r.StartedAt,
+			CompletedAt:    r.CompletedAt,
+			ReplayedTuples: r.ReplayedTuples,
+		}
+	}
+	return Metrics{
+		ElapsedMillis:     j.eng.NowMillis(),
+		SinkTuples:        j.eng.SinkCount.Value(),
+		DuplicatesDropped: j.eng.DupDropped.Value(),
+		Latency:           j.eng.Latency.Summarize(),
+		Parallelism:       parallelismOf(j.eng.Manager().Query(), func(op OpID) int { return j.eng.Manager().Parallelism(op) }),
+		Recoveries:        recs,
+		Errors:            errs,
+	}
+}
+
+// simRuntime deploys onto the simulated cluster.
+type simRuntime struct{ cfg *runtimeConfig }
+
+func (r *simRuntime) Name() string { return "sim" }
+
+func (r *simRuntime) Deploy(t *Topology) (Job, error) {
+	if len(r.cfg.liveOnly) > 0 {
+		return nil, fmt.Errorf("seep: option(s) %s apply only to the Live runtime",
+			strings.Join(r.cfg.liveOnly, ", "))
+	}
+	if err := r.cfg.validate(); err != nil {
+		return nil, err
+	}
+	// On the live engine 0 disables checkpointing; the simulator has no
+	// such setting (disable via WithFTMode(FTNone)), so an explicit 0
+	// must not silently coerce to the 5 s simulator default.
+	if r.cfg.checkpointSet && r.cfg.checkpoint == 0 {
+		return nil, fmt.Errorf("seep: WithCheckpointInterval(0) is not supported by the Simulated runtime; use WithFTMode(FTNone) to disable checkpointing")
+	}
+	q, factories, err := t.built()
+	if err != nil {
+		return nil, err
+	}
+	mode := FTRSM
+	if r.cfg.ftModeSet {
+		mode = r.cfg.ftMode
+	}
+	cfg := sim.Config{
+		Seed:                     r.cfg.seed,
+		Mode:                     mode,
+		CheckpointIntervalMillis: r.cfg.checkpoint.Milliseconds(),
+		WindowMillis:             r.cfg.window.Milliseconds(),
+		NetDelayMillis:           r.cfg.netDelay.Milliseconds(),
+		TimerMillis:              r.cfg.timer.Milliseconds(),
+		DetectDelayMillis:        r.cfg.detect.Milliseconds(),
+		VMCapacity:               r.cfg.vmCapacity,
+		RecoveryParallelism:      r.cfg.recoveryPi,
+	}
+	if r.cfg.pool != nil {
+		cfg.Pool = *r.cfg.pool
+	}
+	c, err := sim.NewCluster(cfg, q, factories)
+	if err != nil {
+		return nil, err
+	}
+	if r.cfg.policy != nil {
+		c.EnablePolicy(*r.cfg.policy)
+		if r.cfg.scaleIn != nil {
+			c.EnableElasticity(*r.cfg.scaleIn)
+		}
+	} else if r.cfg.scaleIn != nil {
+		return nil, fmt.Errorf("seep: WithElasticity requires WithPolicy")
+	}
+	return &simJob{c: c}, nil
+}
+
+// simJob adapts the simulated cluster to the Job interface.
+type simJob struct{ c *sim.Cluster }
+
+// Start is a no-op: the simulated cluster deploys eagerly and executes
+// as virtual time advances (Run).
+func (j *simJob) Start() {}
+
+// Stop halts the simulation kernel; subsequent Run calls do nothing.
+func (j *simJob) Stop() { j.c.Sim().Halt() }
+
+func (j *simJob) Run(d time.Duration) {
+	j.c.RunUntil(j.c.Sim().Now() + d.Milliseconds())
+}
+
+func (j *simJob) AddSource(op OpID, rate RateFunc, gen Generator) error {
+	inst, err := j.sourceInstance(op)
+	if err != nil {
+		return err
+	}
+	return j.c.AddSource(inst, rate, gen)
+}
+
+func (j *simJob) InjectBatch(op OpID, count int, gen Generator) error {
+	inst, err := j.sourceInstance(op)
+	if err != nil {
+		return err
+	}
+	return j.c.InjectBatch(inst, count, gen)
+}
+
+func (j *simJob) sourceInstance(op OpID) (InstanceID, error) {
+	insts := j.c.Manager().Instances(op)
+	if len(insts) == 0 {
+		return InstanceID{}, fmt.Errorf("seep: no instances of operator %q", op)
+	}
+	return insts[0], nil
+}
+
+func (j *simJob) Fail(inst InstanceID) error { return j.c.FailInstance(inst) }
+
+func (j *simJob) ScaleOut(victim InstanceID, pi int) error { return j.c.ScaleOut(victim, pi) }
+
+func (j *simJob) Instances(op OpID) []InstanceID { return j.c.LiveInstances(op) }
+
+func (j *simJob) OperatorOf(inst InstanceID) any {
+	if op := j.c.OperatorOf(inst); op != nil {
+		return op
+	}
+	return nil
+}
+
+func (j *simJob) OnSink(fn func(t Tuple)) { j.c.OnSink = fn }
+
+func (j *simJob) MetricsSnapshot() Metrics {
+	return Metrics{
+		ElapsedMillis:     j.c.Sim().Now(),
+		SinkTuples:        j.c.SinkCount.Value(),
+		DuplicatesDropped: j.c.DuplicatesDropped(),
+		Latency:           j.c.Latency.Summarize(),
+		Parallelism:       parallelismOf(j.c.Manager().Query(), func(op OpID) int { return j.c.Manager().Parallelism(op) }),
+		Recoveries:        j.c.Recoveries(),
+		Errors:            j.c.RecoveryFailures(),
+	}
+}
+
+func parallelismOf(q *Query, parallelism func(OpID) int) map[OpID]int {
+	out := make(map[OpID]int, len(q.Ops()))
+	for _, op := range q.Ops() {
+		out[op] = parallelism(op)
+	}
+	return out
+}

@@ -10,23 +10,41 @@
 // one integrated algorithm: recovery is scale out with parallelism 1,
 // and parallel recovery is scale out of a failed operator.
 //
-// This package is the public facade. Queries are directed acyclic
-// graphs of operators (NewQuery / OpSpec / Connect) with user operators
-// implementing Operator, and optionally Stateful to have their state
-// checkpointed, backed up, partitioned and restored by the system.
+// This package is the public facade. A query is declared once with the
+// fluent Topology builder, which binds the operator graph and the
+// operator factories together and validates the whole declaration at
+// Build time:
 //
-// Two runtimes execute queries:
+//	topo, err := seep.NewTopology().
+//		Source("src").
+//		Stateless("split", func() seep.Operator { return seep.WordSplitter() }).
+//		Stateful("count", func() seep.Operator { return seep.NewWordCounter(0) }).
+//		Sink("sink").
+//		Build()
 //
-//   - Engine (NewEngine): a live runtime of goroutines and channels with
+// User operators implement Operator, and optionally Stateful to have
+// their state checkpointed, backed up, partitioned and restored by the
+// system.
+//
+// Two substrates execute topologies behind one Runtime/Job interface,
+// so scenarios are written once and run on either:
+//
+//   - seep.Live(...): a live runtime of goroutines and channels with
 //     wall-clock checkpointing, live scale out and failure recovery.
-//   - Cluster (NewSimCluster): a deterministic discrete-event cluster
+//   - seep.Simulated(...): a deterministic discrete-event cluster
 //     simulation with a VM model, a pre-allocated VM pool that masks
 //     IaaS provisioning delays, CPU-cost accounting, failure injection
 //     and the bottleneck-driven scaling policy of the paper — the
 //     substrate used to reproduce the paper's experiments.
 //
-// See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
-// per-figure reproduction record.
+// Both are configured with functional options:
+//
+//	job, err := seep.Live(seep.WithCheckpointInterval(200 * time.Millisecond)).Deploy(topo)
+//	job, err := seep.Simulated(seep.WithFTMode(seep.FTRSM), seep.WithSeed(42)).Deploy(topo)
+//
+// See README.md for a quickstart and the migration table from the
+// pre-Topology API (NewQuery / NewEngine / NewSimCluster), which is
+// retained as deprecated wrappers.
 package seep
 
 import (
@@ -77,6 +95,9 @@ const (
 )
 
 // NewQuery returns an empty query graph.
+//
+// Deprecated: declare queries with NewTopology, which binds the graph
+// and the operator factories together and validates both at Build time.
 func NewQuery() *Query { return plan.NewQuery() }
 
 // Operator model (§2.2, §3.1).
@@ -175,6 +196,9 @@ type (
 )
 
 // NewEngine builds a live engine for a query.
+//
+// Deprecated: use Live(options...).Deploy(topology), which runs the same
+// engine behind the runtime-agnostic Job interface.
 func NewEngine(cfg EngineConfig, q *Query, factories map[OpID]Factory) (*Engine, error) {
 	return engine.New(cfg, q, factories)
 }
@@ -204,6 +228,9 @@ const (
 )
 
 // NewSimCluster deploys a query on the simulated cluster.
+//
+// Deprecated: use Simulated(options...).Deploy(topology), which runs the
+// same cluster behind the runtime-agnostic Job interface.
 func NewSimCluster(cfg ClusterConfig, q *Query, factories map[OpID]Factory) (*Cluster, error) {
 	return sim.NewCluster(cfg, q, factories)
 }

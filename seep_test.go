@@ -9,9 +9,158 @@ import (
 )
 
 // Example builds the §3.1 running example — a word-frequency query with
-// managed operator state — runs it on the live engine and reads the
-// counter's state back.
+// managed operator state — with the fluent Topology builder, runs it on
+// the live runtime and reads the counter's state back.
 func Example() {
+	topo, err := seep.NewTopology().
+		Source("src").
+		Stateless("split", func() seep.Operator { return seep.WordSplitter() }).
+		Stateful("count", func() seep.Operator { return seep.NewWordCounter(0) }).
+		Sink("sink").
+		Build()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	job, err := seep.Live().Deploy(topo)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	job.Start()
+	defer job.Stop()
+
+	sentences := []string{"first set", "second set"}
+	_ = job.InjectBatch("src", len(sentences), func(i uint64) (seep.Key, any) {
+		return seep.KeyOf([]byte(sentences[i])), sentences[i]
+	})
+	job.Run(5 * time.Second)
+
+	counter := job.OperatorOf(job.Instances("count")[0]).(*seep.WordCounter)
+	fmt.Println("set:", counter.Count("set"))
+	fmt.Println("first:", counter.Count("first"))
+	// Output:
+	// set: 2
+	// first: 1
+}
+
+// TestPublicAPIEndToEnd drives the full public surface on the live
+// runtime: build a topology, deploy, inject, fail, auto-recover, scale
+// out, and verify state.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	job, err := seep.Live(
+		seep.WithCheckpointInterval(100*time.Millisecond),
+		seep.WithDetectDelay(150*time.Millisecond),
+	).Deploy(wordcountTopology())
+	if err != nil {
+		t.Fatal(err)
+	}
+	job.Start()
+	defer job.Stop()
+
+	if err := job.InjectBatch("src", 500, parityGen); err != nil {
+		t.Fatal(err)
+	}
+	job.Run(2 * time.Second)
+	victim := job.Instances("count")[0]
+	if err := job.Fail(victim); err != nil {
+		t.Fatal(err)
+	}
+	job.Run(3 * time.Second)
+	if err := job.InjectBatch("src", 250, parityGen); err != nil {
+		t.Fatal(err)
+	}
+	job.Run(2 * time.Second)
+
+	recovered := job.Instances("count")[0]
+	counter := job.OperatorOf(recovered).(*seep.WordCounter)
+	for i := 0; i < 10; i++ {
+		w := fmt.Sprintf("w%02d", i)
+		if got := counter.Count(w); got != 75 {
+			t.Errorf("Count(%s) = %d, want 75", w, got)
+		}
+	}
+	// Scale out the recovered instance through the Job interface.
+	if err := job.ScaleOut(recovered, 2); err != nil {
+		t.Fatal(err)
+	}
+	m := job.MetricsSnapshot()
+	if got := m.Parallelism["count"]; got != 2 {
+		t.Errorf("parallelism = %d", got)
+	}
+	if len(m.Recoveries) != 2 {
+		t.Errorf("Recoveries = %v, want failure recovery + scale out", m.Recoveries)
+	}
+}
+
+// TestPublicAPISimCluster drives the simulated-cloud substrate through
+// the same Job interface.
+func TestPublicAPISimCluster(t *testing.T) {
+	topo, err := seep.NewTopology().
+		Source("src").
+		Stateful("sum", func() seep.Operator {
+			return seep.NewKeyedSum(0, func(p any) (float64, bool) {
+				v, ok := p.(float64)
+				return v, ok
+			})
+		}, seep.Cost(0.0001)).
+		Sink("sink").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := seep.Simulated(
+		seep.WithSeed(1),
+		seep.WithFTMode(seep.FTRSM),
+		seep.WithCheckpointInterval(2*time.Second),
+		seep.WithVMPool(seep.PoolConfig{Size: 2}),
+	).Deploy(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := job.AddSource("src", seep.ConstantRate(200), func(i uint64) (seep.Key, any) {
+		return seep.Key(i % 7), 1.0
+	}); err != nil {
+		t.Fatal(err)
+	}
+	job.Start()
+	defer job.Stop()
+	job.Run(10 * time.Second)
+	if err := job.Fail(job.Instances("sum")[0]); err != nil {
+		t.Fatal(err)
+	}
+	job.Run(20 * time.Second)
+
+	m := job.MetricsSnapshot()
+	if len(m.Recoveries) != 1 {
+		t.Fatalf("recoveries = %v", m.Recoveries)
+	}
+	live := job.Instances("sum")
+	if len(live) != 1 {
+		t.Fatalf("live = %v", live)
+	}
+	sum := job.OperatorOf(live[0]).(*seep.KeyedSum)
+	var total float64
+	for k := seep.Key(0); k < 7; k++ {
+		total += sum.Sum(k)
+	}
+	// 200 tuples/s × ~30 s ≈ 6000 observations of value 1.0; allow for
+	// tuples in flight at the cut-off.
+	if total < 5900 || total > 6000 {
+		t.Errorf("recovered running total = %v, want ≈6000", total)
+	}
+	if m.Latency.Count == 0 {
+		t.Error("no latency samples")
+	}
+	if seep.DefaultPolicy().Threshold != 0.70 {
+		t.Error("unexpected default policy")
+	}
+}
+
+// TestDeprecatedConstructors keeps the pre-Topology surface working: the
+// old NewQuery/NewEngine plumbing must behave exactly as before, as thin
+// wrappers over the same runtime.
+func TestDeprecatedConstructors(t *testing.T) {
 	q := seep.NewQuery()
 	q.AddOp(seep.OpSpec{ID: "src", Role: seep.RoleSource})
 	q.AddOp(seep.OpSpec{ID: "split", Role: seep.RoleStateless})
@@ -24,149 +173,30 @@ func Example() {
 		"count": func() seep.Operator { return seep.NewWordCounter(0) },
 	})
 	if err != nil {
-		fmt.Println(err)
-		return
+		t.Fatal(err)
 	}
 	eng.Start()
 	defer eng.Stop()
-
-	sentences := []string{"first set", "second set"}
-	_ = eng.InjectBatch(seep.InstanceID{Op: "src", Part: 1}, len(sentences),
-		func(i uint64) (seep.Key, any) {
-			return seep.KeyOf([]byte(sentences[i])), sentences[i]
-		})
-	eng.Quiesce(50*time.Millisecond, 5*time.Second)
-
+	if err := eng.InjectBatch(seep.InstanceID{Op: "src", Part: 1}, 100, parityGen); err != nil {
+		t.Fatal(err)
+	}
+	if !eng.Quiesce(100*time.Millisecond, 5*time.Second) {
+		t.Fatal("no quiesce")
+	}
 	counter := eng.OperatorOf(seep.InstanceID{Op: "count", Part: 1}).(*seep.WordCounter)
-	fmt.Println("set:", counter.Count("set"))
-	fmt.Println("first:", counter.Count("first"))
-	// Output:
-	// set: 2
-	// first: 1
-}
-
-// TestPublicAPIEndToEnd drives the full public surface: build a query,
-// run it live, checkpoint, fail, recover, scale out, and verify state.
-func TestPublicAPIEndToEnd(t *testing.T) {
-	q := seep.NewQuery()
-	q.AddOp(seep.OpSpec{ID: "src", Role: seep.RoleSource})
-	q.AddOp(seep.OpSpec{ID: "split", Role: seep.RoleStateless})
-	q.AddOp(seep.OpSpec{ID: "count", Role: seep.RoleStateful})
-	q.AddOp(seep.OpSpec{ID: "sink", Role: seep.RoleSink})
-	q.Connect("src", "split").Connect("split", "count").Connect("count", "sink")
-
-	eng, err := seep.NewEngine(seep.EngineConfig{CheckpointInterval: time.Hour},
-		q, map[seep.OpID]seep.Factory{
-			"split": func() seep.Operator { return seep.WordSplitter() },
-			"count": func() seep.Operator { return seep.NewWordCounter(0) },
-		})
-	if err != nil {
-		t.Fatal(err)
-	}
-	eng.Start()
-	defer eng.Stop()
-
-	gen := func(i uint64) (seep.Key, any) {
-		w := fmt.Sprintf("w%02d", i%10)
-		return seep.KeyOfString(w), w
-	}
-	src := seep.InstanceID{Op: "src", Part: 1}
-	if err := eng.InjectBatch(src, 500, gen); err != nil {
-		t.Fatal(err)
-	}
-	if !eng.Quiesce(100*time.Millisecond, 5*time.Second) {
-		t.Fatal("no quiesce")
-	}
-	victim := seep.InstanceID{Op: "count", Part: 1}
-	if err := eng.Checkpoint(victim); err != nil {
-		t.Fatal(err)
-	}
-	if err := eng.InjectBatch(src, 250, gen); err != nil {
-		t.Fatal(err)
-	}
-	if !eng.Quiesce(100*time.Millisecond, 5*time.Second) {
-		t.Fatal("no quiesce")
-	}
-	if err := eng.Fail(victim); err != nil {
-		t.Fatal(err)
-	}
-	if err := eng.Recover(victim, 1); err != nil {
-		t.Fatal(err)
-	}
-	if !eng.Quiesce(100*time.Millisecond, 5*time.Second) {
-		t.Fatal("no quiesce after recovery")
-	}
-	recovered := eng.Manager().Instances("count")[0]
-	counter := eng.OperatorOf(recovered).(*seep.WordCounter)
+	var total int64
 	for i := 0; i < 10; i++ {
-		w := fmt.Sprintf("w%02d", i)
-		if got := counter.Count(w); got != 75 {
-			t.Errorf("Count(%s) = %d, want 75", w, got)
-		}
+		total += counter.Count(fmt.Sprintf("w%02d", i))
 	}
-	// Scale out the recovered instance.
-	if err := eng.ScaleOut(recovered, 2); err != nil {
-		t.Fatal(err)
+	if total != 100 {
+		t.Errorf("total = %d, want 100", total)
 	}
-	if got := eng.Manager().Parallelism("count"); got != 2 {
-		t.Errorf("parallelism = %d", got)
-	}
-}
 
-// TestPublicAPISimCluster drives the simulated-cloud surface.
-func TestPublicAPISimCluster(t *testing.T) {
-	q := seep.NewQuery()
-	q.AddOp(seep.OpSpec{ID: "src", Role: seep.RoleSource})
-	q.AddOp(seep.OpSpec{ID: "sum", Role: seep.RoleStateful, CostPerTuple: 0.0001})
-	q.AddOp(seep.OpSpec{ID: "sink", Role: seep.RoleSink})
-	q.Connect("src", "sum").Connect("sum", "sink")
-
-	c, err := seep.NewSimCluster(seep.ClusterConfig{
-		Seed: 1, Mode: seep.FTRSM,
-		CheckpointIntervalMillis: 2_000,
-		Pool:                     seep.PoolConfig{Size: 2},
-	}, q, map[seep.OpID]seep.Factory{
-		"sum": func() seep.Operator {
-			return seep.NewKeyedSum(0, func(p any) (float64, bool) {
-				v, ok := p.(float64)
-				return v, ok
-			})
-		},
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := c.AddSource(seep.InstanceID{Op: "src", Part: 1}, seep.ConstantRate(200),
-		func(i uint64) (seep.Key, any) {
-			return seep.Key(i % 7), 1.0
-		}); err != nil {
-		t.Fatal(err)
-	}
-	c.Sim().At(10_000, func() {
-		_ = c.FailInstance(seep.InstanceID{Op: "sum", Part: 1})
-	})
-	c.RunUntil(30_000)
-	if len(c.Recoveries()) != 1 {
-		t.Fatalf("recoveries = %v", c.Recoveries())
-	}
-	live := c.LiveInstances("sum")
-	if len(live) != 1 {
-		t.Fatalf("live = %v", live)
-	}
-	sum := c.OperatorOf(live[0]).(*seep.KeyedSum)
-	var total float64
-	for k := seep.Key(0); k < 7; k++ {
-		total += sum.Sum(k)
-	}
-	// 200 tuples/s × ~30 s ≈ 6000 observations of value 1.0; allow for
-	// tuples in flight at the cut-off.
-	if total < 5900 || total > 6000 {
-		t.Errorf("recovered running total = %v, want ≈6000", total)
-	}
-	if c.Latency.Count() == 0 {
-		t.Error("no latency samples")
-	}
-	if seep.DefaultPolicy().Threshold != 0.70 {
-		t.Error("unexpected default policy")
+	// The old panicking construction mistakes now surface as errors.
+	bad := seep.NewQuery()
+	bad.AddOp(seep.OpSpec{ID: "a", Role: seep.RoleSource})
+	bad.Connect("a", "ghost")
+	if _, err := seep.NewEngine(seep.EngineConfig{}, bad, nil); err == nil {
+		t.Error("NewEngine accepted a query with a dangling edge")
 	}
 }
