@@ -1,9 +1,10 @@
 // Tollbooth: a Linear-Road-style road tolling query with a CUSTOM
 // stateful operator, running on the simulated cloud with the paper's
 // bottleneck-driven scaling policy and a failure injection. This is the
-// template for bringing your own operator: implement Operator plus
-// SnapshotKV/RestoreKV and the system handles checkpointing, backup,
-// partitioning, scale out and recovery.
+// template for bringing your own operator: declare managed state cells
+// (seep.NewValueState / seep.NewMapState) against a seep.StateStore and
+// the system handles locking, serialisation, checkpointing (full and
+// incremental), backup, partitioning, scale out and recovery.
 //
 //	go run ./examples/tollbooth
 package main
@@ -11,7 +12,6 @@ package main
 import (
 	"fmt"
 	"log"
-	"sync"
 	"time"
 
 	"seep"
@@ -23,21 +23,33 @@ type carEvent struct {
 	Speed   float64
 }
 
-// segmentToller is a user-written stateful operator: per road segment it
-// tracks cars seen and collected tolls (congestion-priced).
-type segmentToller struct {
-	mu    sync.Mutex
-	state map[seep.Key]*segTotals
-}
-
+// segTotals is the per-segment state fragment. Exported fields so the
+// default gob codec can serialise it.
 type segTotals struct {
 	Cars  int64
 	Tolls float64
 }
 
-func newSegmentToller() *segmentToller {
-	return &segmentToller{state: make(map[seep.Key]*segTotals)}
+// segmentToller is a user-written stateful operator on the managed
+// keyed-state API: per road segment it tracks cars seen and collected
+// tolls (congestion-priced). No mutex, no codec, no snapshot code — the
+// store owns all of it.
+type segmentToller struct {
+	store  *seep.StateStore
+	totals *seep.ValueState[segTotals]
 }
+
+func newSegmentToller() *segmentToller {
+	st := seep.NewStateStore()
+	return &segmentToller{
+		store:  st,
+		totals: seep.NewValueState[segTotals](st, "totals", nil), // nil codec = gob
+	}
+}
+
+// State implements seep.Managed: the system checkpoints, partitions and
+// restores everything registered against the store.
+func (s *segmentToller) State() *seep.StateStore { return s.store }
 
 // OnTuple implements seep.Operator.
 func (s *segmentToller) OnTuple(_ seep.Context, t seep.Tuple, emit seep.Emitter) {
@@ -45,54 +57,23 @@ func (s *segmentToller) OnTuple(_ seep.Context, t seep.Tuple, emit seep.Emitter)
 	if !ok {
 		return
 	}
-	s.mu.Lock()
-	st := s.state[t.Key]
-	if st == nil {
-		st = &segTotals{}
-		s.state[t.Key] = st
-	}
-	st.Cars++
 	toll := 0.0
 	if ev.Speed < 40 { // congestion pricing
 		toll = 2 * (40 - ev.Speed) / 40
 	}
-	st.Tolls += toll
-	cars := st.Cars
-	s.mu.Unlock()
-	emit(t.Key, fmt.Sprintf("seg %d: car #%d tolled %.2f", ev.Segment, cars, toll))
+	st := s.totals.Update(t.Key, func(cur segTotals) segTotals {
+		cur.Cars++
+		cur.Tolls += toll
+		return cur
+	})
+	emit(t.Key, fmt.Sprintf("seg %d: car #%d tolled %.2f", ev.Segment, st.Cars, toll))
 }
 
-// SnapshotKV implements seep.Stateful: serialise each segment's totals.
-func (s *segmentToller) SnapshotKV() map[seep.Key][]byte {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make(map[seep.Key][]byte, len(s.state))
-	for k, st := range s.state {
-		out[k] = []byte(fmt.Sprintf("%d/%f", st.Cars, st.Tolls))
-	}
-	return out
-}
-
-// RestoreKV implements seep.Stateful.
-func (s *segmentToller) RestoreKV(kv map[seep.Key][]byte) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.state = make(map[seep.Key]*segTotals, len(kv))
-	for k, v := range kv {
-		st := &segTotals{}
-		if _, err := fmt.Sscanf(string(v), "%d/%f", &st.Cars, &st.Tolls); err == nil {
-			s.state[k] = st
-		}
-	}
-}
-
-func (s *segmentToller) totals() (cars int64, tolls float64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for _, st := range s.state {
+func (s *segmentToller) sums() (cars int64, tolls float64) {
+	s.totals.ForEach(func(_ seep.Key, st segTotals) {
 		cars += st.Cars
 		tolls += st.Tolls
-	}
+	})
 	return cars, tolls
 }
 
@@ -106,12 +87,15 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Simulated cloud: R+SM fault tolerance, 5 s checkpoints, a small
-	// pre-allocated VM pool, and the paper's scaling policy.
+	// Simulated cloud: R+SM fault tolerance, 5 s checkpoints — only one
+	// in ten a full snapshot, the rest incremental deltas of the dirtied
+	// segments — a small pre-allocated VM pool, and the paper's scaling
+	// policy.
 	job, err := seep.Simulated(
 		seep.WithSeed(7),
 		seep.WithFTMode(seep.FTRSM),
 		seep.WithCheckpointInterval(5*time.Second),
+		seep.WithIncrementalCheckpoints(10, 0.5),
 		seep.WithVMPool(seep.PoolConfig{Size: 3}),
 		seep.WithPolicy(seep.DefaultPolicy()),
 	).Deploy(topo)
@@ -120,12 +104,18 @@ func main() {
 	}
 
 	// 2000 cars/s against a toller that handles ~1650/s: a bottleneck
-	// the policy must resolve by splitting the operator.
+	// the policy must resolve by splitting the operator. Traffic is
+	// skewed — most cars on 50 busy segments, a long rural tail touched
+	// rarely — so between full checkpoints the incremental deltas cover
+	// only the dirtied slice of the state.
 	if err := job.AddSource("road", seep.ConstantRate(2000),
 		func(i uint64) (seep.Key, any) {
-			seg := int(i % 100)
+			seg := int(i % 50) // busy highways
+			if i%97 == 0 {
+				seg = 50 + int((i/97)%5000) // rural tail
+			}
 			ev := carEvent{Segment: seg, Speed: 25 + float64(i%50)}
-			return seep.KeyOfString(fmt.Sprintf("segment-%03d", seg)), ev
+			return seep.KeyOfString(fmt.Sprintf("segment-%04d", seg)), ev
 		}); err != nil {
 		log.Fatal(err)
 	}
@@ -157,6 +147,8 @@ func main() {
 		fmt.Printf("  %-9s t=%5.1fs %v -> pi=%d (%.1f s, %d tuples replayed)\n",
 			kind, float64(r.StartedAt)/1000, r.Victim, r.Pi, float64(r.Duration())/1000, r.ReplayedTuples)
 	}
+	fmt.Printf("  checkpoints: %d full (%d B), %d incremental (%d B)\n",
+		m.Checkpoints.Fulls, m.Checkpoints.FullBytes, m.Checkpoints.Deltas, m.Checkpoints.DeltaBytes)
 	var cars int64
 	var tolls float64
 	for _, inst := range job.Instances("toller") {
@@ -164,7 +156,7 @@ func main() {
 		if !ok {
 			continue
 		}
-		cr, tl := op.totals()
+		cr, tl := op.sums()
 		cars += cr
 		tolls += tl
 	}

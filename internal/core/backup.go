@@ -7,6 +7,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -15,6 +16,11 @@ import (
 	"seep/internal/state"
 	"seep/internal/stream"
 )
+
+// ErrNoBase reports that an incremental checkpoint cannot be applied —
+// no stored base, a base at a different host, or a sequence gap. The
+// caller must ship a full checkpoint instead.
+var ErrNoBase = errors.New("core: no matching base checkpoint for delta")
 
 // ChooseBackup selects the upstream instance that stores o's checkpoints:
 // i = hash(id(o)) mod |up(o)| (Algorithm 1, line 2). Spreading backups by
@@ -52,6 +58,20 @@ type BackupStore struct {
 	byOwner map[plan.InstanceID]entry
 	// bytes tracks the total stored footprint for observability.
 	bytes int
+	// ship tallies what was shipped to the store, so the size win of
+	// incremental checkpoints is observable on every substrate.
+	ship ShipStats
+}
+
+// ShipStats tallies checkpoint traffic into a backup store: how many
+// full checkpoints and deltas were accepted, and their serialised bytes.
+// DeltaBytes versus the full-checkpoint bytes they replaced is the
+// measurable win of incremental checkpointing (§3.2).
+type ShipStats struct {
+	Fulls      uint64
+	Deltas     uint64
+	FullBytes  uint64
+	DeltaBytes uint64
 }
 
 // NewBackupStore returns an empty store.
@@ -77,7 +97,58 @@ func (s *BackupStore) Store(host plan.InstanceID, cp *state.Checkpoint) error {
 	}
 	s.byOwner[cp.Instance] = entry{host: host, cp: cp}
 	s.bytes += cp.Size()
+	s.ship.Fulls++
+	s.ship.FullBytes += uint64(cp.Size())
 	return nil
+}
+
+// ApplyDelta folds an incremental checkpoint into the stored base
+// checkpoint of its owner — the backup-host side of §3.2's incremental
+// checkpointing. The stored checkpoint must live at the given host and
+// its Seq must equal the delta's Base (consecutive chain); otherwise
+// ErrNoBase is returned and the caller falls back to a full checkpoint.
+// On success the stored checkpoint is replaced by a fresh fold (the old
+// one is never mutated: planners may hold references to it).
+func (s *BackupStore) ApplyDelta(host plan.InstanceID, dc *state.DeltaCheckpoint) error {
+	if dc == nil || dc.Delta == nil {
+		return fmt.Errorf("core: nil delta checkpoint")
+	}
+	if dc.Instance.Op == "" {
+		return fmt.Errorf("core: delta checkpoint with empty instance")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.byOwner[dc.Instance]
+	if !ok {
+		return fmt.Errorf("%w: no checkpoint stored for %s", ErrNoBase, dc.Instance)
+	}
+	if e.host != host {
+		return fmt.Errorf("%w: base for %s lives at %s, not %s", ErrNoBase, dc.Instance, e.host, host)
+	}
+	if e.cp.Seq != dc.Delta.Base {
+		return fmt.Errorf("%w: stored seq %d, delta base %d for %s", ErrNoBase, e.cp.Seq, dc.Delta.Base, dc.Instance)
+	}
+	folded := &state.Checkpoint{
+		Instance:   dc.Instance,
+		Seq:        dc.Delta.Seq,
+		Processing: e.cp.Processing.Clone(),
+		Buffer:     dc.Buffer.Clone(),
+		OutClock:   dc.OutClock,
+		Acks:       state.CloneAcks(dc.Acks),
+	}
+	dc.Delta.Apply(folded.Processing)
+	s.bytes += folded.Size() - e.cp.Size()
+	s.byOwner[dc.Instance] = entry{host: host, cp: folded}
+	s.ship.Deltas++
+	s.ship.DeltaBytes += uint64(dc.Size())
+	return nil
+}
+
+// ShipStats returns the checkpoint traffic tallies.
+func (s *BackupStore) ShipStats() ShipStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ship
 }
 
 // Latest returns the most recent checkpoint for owner and the host

@@ -480,3 +480,73 @@ func TestPlanRecoveryEmptyFallback(t *testing.T) {
 		t.Errorf("empty-state recovery has %d keys", got)
 	}
 }
+
+// TestBackupStoreApplyDelta: deltas fold into the stored base exactly
+// once per sequence step; any mismatch (no base, moved host, sequence
+// gap) is ErrNoBase so the shipper falls back to a full checkpoint.
+func TestBackupStoreApplyDelta(t *testing.T) {
+	s := NewBackupStore()
+	owner := inst("count", 1)
+	host := inst("split", 1)
+	base := mkCheckpoint(owner, 4)
+
+	mkDelta := func(baseSeq, seq uint64) *state.DeltaCheckpoint {
+		return &state.DeltaCheckpoint{
+			Instance: owner,
+			Delta: &state.Delta{
+				Base:    baseSeq,
+				Seq:     seq,
+				Changed: map[stream.Key][]byte{7: {42}},
+				Deleted: []stream.Key{0},
+				TS:      stream.TSVector{int64(seq)},
+			},
+			Buffer:   state.NewBuffer(),
+			OutClock: int64(10 * seq),
+			Acks:     map[plan.InstanceID]int64{host: int64(10 * seq)},
+		}
+	}
+
+	// No base stored yet.
+	if err := s.ApplyDelta(host, mkDelta(1, 2)); err == nil || !strings.Contains(err.Error(), "no checkpoint stored") {
+		t.Fatalf("apply without base: %v", err)
+	}
+	if err := s.Store(host, base); err != nil {
+		t.Fatal(err)
+	}
+	// Sequence gap.
+	if err := s.ApplyDelta(host, mkDelta(5, 6)); err == nil || !strings.Contains(err.Error(), "delta base") {
+		t.Fatalf("apply with gap: %v", err)
+	}
+	// Wrong host.
+	if err := s.ApplyDelta(inst("split", 2), mkDelta(1, 2)); err == nil || !strings.Contains(err.Error(), "lives at") {
+		t.Fatalf("apply at wrong host: %v", err)
+	}
+	// Consecutive applies fold.
+	if err := s.ApplyDelta(host, mkDelta(1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ApplyDelta(host, mkDelta(2, 3)); err != nil {
+		t.Fatal(err)
+	}
+	cp, storedHost, ok := s.Latest(owner)
+	if !ok || storedHost != host {
+		t.Fatal("folded checkpoint missing")
+	}
+	if cp.Seq != 3 || cp.OutClock != 30 {
+		t.Errorf("folded seq/clock = %d/%d", cp.Seq, cp.OutClock)
+	}
+	if v, ok := cp.Processing.KV[7]; !ok || v[0] != 42 {
+		t.Error("changed key not folded")
+	}
+	if _, ok := cp.Processing.KV[0]; ok {
+		t.Error("deleted key survived the fold")
+	}
+	// The original base was never mutated (planners may hold it).
+	if _, ok := base.Processing.KV[0]; !ok || base.Seq != 1 {
+		t.Error("stored base mutated in place")
+	}
+	ship := s.ShipStats()
+	if ship.Fulls != 1 || ship.Deltas != 2 || ship.DeltaBytes == 0 {
+		t.Errorf("ship stats = %+v", ship)
+	}
+}

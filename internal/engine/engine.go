@@ -35,6 +35,10 @@ type Config struct {
 	// ChannelBuffer is the per-node input channel capacity (default
 	// 4096).
 	ChannelBuffer int
+	// Delta enables incremental checkpoints for managed-state operators
+	// (§3.2): between full checkpoints only the dirtied keys are shipped
+	// and folded into the backup. Zero value disables.
+	Delta state.DeltaPolicy
 }
 
 func (c Config) withDefaults() Config {
@@ -66,14 +70,26 @@ type node struct {
 	// replayed tuples precede newly routed ones.
 	replayQueue []delivery
 
+	// store is the system-owned managed state of op (nil for stateless
+	// and legacy Stateful operators).
+	store *state.Store
+
 	// mu guards acks/outBuf/clock/tsVec, which are touched by the node
-	// goroutine and, during checkpoints/trims/recovery, by others.
+	// goroutine and, during checkpoints/trims/recovery, by others. It
+	// also guards the incremental-checkpoint bookkeeping (ckptSeq,
+	// deltasSince, needFull), shared between the periodic checkpoint
+	// loop and forced checkpoints.
 	mu       sync.Mutex
 	acks     map[plan.InstanceID]int64
 	tsVec    stream.TSVector
 	outClock stream.Clock
 	outBuf   *state.Buffer
 	ckptSeq  uint64
+	// deltasSince counts deltas shipped since the last full checkpoint.
+	deltasSince int
+	// needFull forces the next checkpoint to be full: set initially, on
+	// restore, and whenever a delta fails to apply at the backup host.
+	needFull bool
 
 	stopped   chan struct{} // closed to stop the goroutine
 	done      chan struct{} // closed when the goroutine exits
@@ -154,16 +170,18 @@ func (e *Engine) newNode(inst plan.InstanceID, spec *plan.OpSpec) (*node, error)
 		op = f()
 	}
 	return &node{
-		e:       e,
-		inst:    inst,
-		spec:    spec,
-		op:      op,
-		in:      make(chan delivery, e.cfg.ChannelBuffer),
-		acks:    make(map[plan.InstanceID]int64),
-		tsVec:   stream.NewTSVector(len(e.mgr.Query().Upstream(inst.Op))),
-		outBuf:  state.NewBuffer(),
-		stopped: make(chan struct{}),
-		done:    make(chan struct{}),
+		e:        e,
+		inst:     inst,
+		spec:     spec,
+		op:       op,
+		store:    operator.StoreOf(op),
+		in:       make(chan delivery, e.cfg.ChannelBuffer),
+		acks:     make(map[plan.InstanceID]int64),
+		tsVec:    stream.NewTSVector(len(e.mgr.Query().Upstream(inst.Op))),
+		outBuf:   state.NewBuffer(),
+		needFull: true,
+		stopped:  make(chan struct{}),
+		done:     make(chan struct{}),
 	}, nil
 }
 

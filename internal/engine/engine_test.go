@@ -8,6 +8,7 @@ import (
 
 	"seep/internal/operator"
 	"seep/internal/plan"
+	"seep/internal/state"
 	"seep/internal/stream"
 	"seep/internal/wordcount"
 )
@@ -41,14 +42,8 @@ func counts(e *Engine) map[string]int64 {
 		if op == nil {
 			continue
 		}
-		for _, v := range op.SnapshotKV() {
-			d := stream.NewDecoder(v)
-			n := int(d.Uint32())
-			for i := 0; i < n; i++ {
-				w := d.String32()
-				c := d.Int64()
-				out[w] += c
-			}
+		for w, c := range op.Counts() {
+			out[w] += c
 		}
 	}
 	return out
@@ -332,5 +327,63 @@ func TestEngineConcurrentSafety(t *testing.T) {
 	// over/under margin around the checkpoint lag.
 	if total < 4400 || total > 4700 {
 		t.Errorf("total = %d, want ≈4500", total)
+	}
+}
+
+// TestEngineIncrementalCheckpointRecovery drives the live engine with
+// manual checkpoints under an incremental policy: a full base, then
+// deltas for small churn, then recovery from the folded backup — which
+// must reconstruct exactly the same counts as full checkpointing would.
+func TestEngineIncrementalCheckpointRecovery(t *testing.T) {
+	e := wordEngine(t, Config{
+		CheckpointInterval: time.Hour, // manual checkpoints only
+		Delta:              state.DeltaPolicy{FullEvery: 8, MaxDeltaFraction: 0.5},
+	})
+	e.Start()
+	defer e.Stop()
+
+	// Large keyspace as the base.
+	if err := e.InjectBatch(inst("src", 1), 4000, wordGen(2000)); err != nil {
+		t.Fatal(err)
+	}
+	if !e.Quiesce(100*time.Millisecond, 5*time.Second) {
+		t.Fatal("no quiesce before base checkpoint")
+	}
+	if err := e.Checkpoint(inst("count", 1)); err != nil {
+		t.Fatal(err)
+	}
+	// Small churn, delta-checkpointed in two rounds.
+	for round := 0; round < 2; round++ {
+		if err := e.InjectBatch(inst("src", 1), 50, wordGen(10)); err != nil {
+			t.Fatal(err)
+		}
+		if !e.Quiesce(100*time.Millisecond, 5*time.Second) {
+			t.Fatal("no quiesce before delta checkpoint")
+		}
+		if err := e.Checkpoint(inst("count", 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ship := e.Manager().Backups().ShipStats()
+	if ship.Deltas != 2 {
+		t.Fatalf("deltas shipped = %d, want 2 (stats %+v)", ship.Deltas, ship)
+	}
+	if ship.DeltaBytes/ship.Deltas >= ship.FullBytes/ship.Fulls {
+		t.Errorf("avg delta %d not smaller than avg full %d",
+			ship.DeltaBytes/ship.Deltas, ship.FullBytes/ship.Fulls)
+	}
+
+	if err := e.Fail(inst("count", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Recover(inst("count", 1), 1); err != nil {
+		t.Fatal(err)
+	}
+	if !e.Quiesce(100*time.Millisecond, 5*time.Second) {
+		t.Fatal("no quiesce after recovery")
+	}
+	got := counts(e)
+	if totalOf(got) != 4100 {
+		t.Errorf("state total after recovery from folded backup = %d, want 4100", totalOf(got))
 	}
 }

@@ -160,23 +160,35 @@ func AblationIncrementalCheckpoint() (*Table, error) {
 	}
 	const keys = 10_000
 	rng := rand.New(rand.NewSource(3))
-	p := state.NewProcessing(1)
+	// The managed store is the system's one delta producer: dirtying
+	// keys through a cell is exactly what operators do at runtime.
+	st := state.NewStore()
+	blobs := state.NewValue[[]byte](st, "blob", state.CodecFunc[[]byte]{
+		Enc: func(b []byte) ([]byte, error) { return b, nil },
+		Dec: func(b []byte) ([]byte, error) { return append([]byte(nil), b...), nil },
+	})
 	for i := 0; i < keys; i++ {
 		v := make([]byte, 64)
 		rng.Read(v)
-		p.KV[stream.Key(stream.Mix64(uint64(i)))] = v
+		blobs.Set(stream.Key(stream.Mix64(uint64(i))), v)
 	}
-	allKeys := p.Keys()
+	if _, err := st.TakeCheckpoint(); err != nil {
+		return nil, err
+	}
+	full := st.LastFullSize()
+	allKeys := st.Keys()
+	seq := uint64(1)
 	for _, dirtyFrac := range []float64{0.01, 0.05, 0.25, 1.0} {
-		tr := state.NewDeltaTracker()
 		dirty := int(dirtyFrac * keys)
 		for i := 0; i < dirty; i++ {
 			k := allKeys[rng.Intn(len(allKeys))]
-			p.KV[k][0]++
-			tr.Touch(k)
+			blobs.Update(k, func(b []byte) []byte { b[0]++; return b })
 		}
-		delta := tr.TakeDelta(p)
-		full := p.Size()
+		delta, err := st.TakeDelta(stream.NewTSVector(1), seq, seq+1)
+		if err != nil {
+			return nil, err
+		}
+		seq++
 		t.AddRow(
 			fmt.Sprintf("%.0f%%", dirtyFrac*100),
 			fmt.Sprintf("%.0f", float64(full)/1024),

@@ -53,16 +53,11 @@ func prefillCounter(c *sim.Cluster, vocabulary int) {
 	if !ok {
 		return
 	}
-	kv := make(map[stream.Key][]byte, vocabulary)
+	drop := func(stream.Key, any) {}
 	for i := 0; i < vocabulary; i++ {
 		w := fmt.Sprintf("w%08d", i)
-		e := stream.NewEncoder(24)
-		e.Uint32(1)
-		e.String32(w)
-		e.Int64(1)
-		kv[stream.KeyOfString(w)] = e.Bytes()
+		wc.OnTuple(operator.Context{}, stream.Tuple{Key: stream.KeyOfString(w), Payload: w}, drop)
 	}
-	wc.RestoreKV(kv)
 }
 
 // OverheadScale shrinks the overhead experiments.

@@ -2,14 +2,15 @@ package operator
 
 import (
 	"sort"
-	"sync"
 
+	"seep/internal/state"
 	"seep/internal/stream"
 )
 
 // KeyedSum is a generic stateful aggregation: it maintains a float64
-// accumulator per key, updated by an extractor function, and emits
-// (key, sum) either continuously or at tumbling-window boundaries.
+// accumulator per key in a managed state cell, updated by an extractor
+// function, and emits (key, sum) either continuously or at
+// tumbling-window boundaries.
 type KeyedSum struct {
 	// Extract obtains the value to add from a tuple payload. Tuples for
 	// which ok is false are ignored.
@@ -18,9 +19,13 @@ type KeyedSum struct {
 	// sum on every update).
 	WindowMillis int64
 
-	mu          sync.Mutex
-	sums        map[stream.Key]float64
+	store *state.Store
+	sums  *state.Value[float64]
+	// windowStart is when the current window opened; windowSet
+	// distinguishes a window legitimately starting at time 0 from "not
+	// opened yet" (the former was previously conflated with unset).
 	windowStart int64
+	windowSet   bool
 }
 
 // KeyedSumResult is the payload emitted by KeyedSum.
@@ -31,8 +36,17 @@ type KeyedSumResult struct {
 
 // NewKeyedSum returns a sum aggregator over the given extractor.
 func NewKeyedSum(windowMillis int64, extract func(any) (float64, bool)) *KeyedSum {
-	return &KeyedSum{Extract: extract, WindowMillis: windowMillis, sums: make(map[stream.Key]float64)}
+	st := state.NewStore()
+	return &KeyedSum{
+		Extract:      extract,
+		WindowMillis: windowMillis,
+		store:        st,
+		sums:         state.NewValue[float64](st, "sums", state.Float64Codec{}),
+	}
 }
+
+// State implements Managed.
+func (a *KeyedSum) State() *state.Store { return a.store }
 
 // OnTuple implements Operator.
 func (a *KeyedSum) OnTuple(_ Context, t stream.Tuple, emit Emitter) {
@@ -40,10 +54,7 @@ func (a *KeyedSum) OnTuple(_ Context, t stream.Tuple, emit Emitter) {
 	if !ok {
 		return
 	}
-	a.mu.Lock()
-	a.sums[t.Key] += v
-	sum := a.sums[t.Key]
-	a.mu.Unlock()
+	sum := a.sums.Update(t.Key, func(s float64) float64 { return s + v })
 	if a.WindowMillis == 0 {
 		emit(t.Key, KeyedSumResult{Key: t.Key, Sum: sum})
 	}
@@ -54,18 +65,15 @@ func (a *KeyedSum) OnTime(now int64, emit Emitter) {
 	if a.WindowMillis == 0 {
 		return
 	}
-	a.mu.Lock()
-	if a.windowStart == 0 {
+	if !a.windowSet {
 		a.windowStart = now
+		a.windowSet = true
 	}
 	if now-a.windowStart < a.WindowMillis {
-		a.mu.Unlock()
 		return
 	}
-	flushed := a.sums
-	a.sums = make(map[stream.Key]float64)
+	flushed := a.sums.Drain()
 	a.windowStart = now
-	a.mu.Unlock()
 
 	keys := make([]stream.Key, 0, len(flushed))
 	for k := range flushed {
@@ -77,33 +85,8 @@ func (a *KeyedSum) OnTime(now int64, emit Emitter) {
 	}
 }
 
-// SnapshotKV implements Stateful.
-func (a *KeyedSum) SnapshotKV() map[stream.Key][]byte {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	out := make(map[stream.Key][]byte, len(a.sums))
-	for k, v := range a.sums {
-		e := stream.NewEncoder(8)
-		e.Float64(v)
-		out[k] = e.Bytes()
-	}
-	return out
-}
-
-// RestoreKV implements Stateful.
-func (a *KeyedSum) RestoreKV(kv map[stream.Key][]byte) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	a.sums = make(map[stream.Key]float64, len(kv))
-	for k, v := range kv {
-		d := stream.NewDecoder(v)
-		a.sums[k] = d.Float64()
-	}
-}
-
 // Sum returns the current accumulator for key k.
 func (a *KeyedSum) Sum(k stream.Key) float64 {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.sums[k]
+	v, _ := a.sums.Get(k)
+	return v
 }

@@ -1,9 +1,7 @@
 package operator
 
 import (
-	"sort"
-	"sync"
-
+	"seep/internal/state"
 	"seep/internal/stream"
 )
 
@@ -14,12 +12,13 @@ type JoinedPair struct {
 
 // WindowJoin is a symmetric windowed hash join over two input streams:
 // tuples are matched on equal keys within a time window. It demonstrates
-// that the state management primitives support classic relational
-// operators (§2.1 contrasts window-based relational state with arbitrary
-// data-flow state; both fit the key/value model).
+// that the managed state cells support classic relational operators
+// (§2.1 contrasts window-based relational state with arbitrary data-flow
+// state; both fit the key/value model).
 //
 // Processing state per key: the lists of left and right payloads seen in
-// the current window with their arrival times.
+// the current window with their arrival times, held in one managed cell
+// whose codec is built from the user-supplied payload encode/decode.
 type WindowJoin struct {
 	// WindowMillis is how long a tuple remains joinable after arrival.
 	WindowMillis int64
@@ -28,8 +27,8 @@ type WindowJoin struct {
 	Encode func(any) []byte
 	Decode func([]byte) any
 
-	mu   sync.Mutex
-	rows map[stream.Key]*joinRows
+	store *state.Store
+	rows  *state.Value[joinRows]
 }
 
 type joinRow struct {
@@ -44,37 +43,79 @@ type joinRows struct {
 // NewWindowJoin returns a windowed equi-join. encode/decode handle the
 // payload type of both inputs.
 func NewWindowJoin(windowMillis int64, encode func(any) []byte, decode func([]byte) any) *WindowJoin {
-	return &WindowJoin{
+	j := &WindowJoin{
 		WindowMillis: windowMillis,
 		Encode:       encode,
 		Decode:       decode,
-		rows:         make(map[stream.Key]*joinRows),
+		store:        state.NewStore(),
 	}
+	j.rows = state.NewValue[joinRows](j.store, "rows", state.CodecFunc[joinRows]{
+		Enc: j.encodeRows,
+		Dec: j.decodeRows,
+	})
+	return j
+}
+
+// State implements Managed.
+func (j *WindowJoin) State() *state.Store { return j.store }
+
+func (j *WindowJoin) encodeRows(r joinRows) ([]byte, error) {
+	e := stream.NewEncoder(64)
+	encodeSide := func(rows []joinRow) {
+		e.Uint32(uint32(len(rows)))
+		for _, row := range rows {
+			e.Int64(row.at)
+			e.Bytes32(j.Encode(row.payload))
+		}
+	}
+	encodeSide(r.left)
+	encodeSide(r.right)
+	return e.Bytes(), nil
+}
+
+func (j *WindowJoin) decodeRows(b []byte) (joinRows, error) {
+	d := stream.NewDecoder(b)
+	decodeSide := func() []joinRow {
+		n := int(d.Uint32())
+		rows := make([]joinRow, 0, n)
+		for i := 0; i < n; i++ {
+			at := d.Int64()
+			pb := d.Bytes32()
+			if d.Err() != nil {
+				return rows
+			}
+			cp := make([]byte, len(pb))
+			copy(cp, pb)
+			rows = append(rows, joinRow{at: at, payload: j.Decode(cp)})
+		}
+		return rows
+	}
+	var r joinRows
+	r.left = decodeSide()
+	r.right = decodeSide()
+	return r, d.Err()
 }
 
 // OnTuple implements Operator. Input 0 is the left stream, input 1 the
-// right stream.
+// right stream. The expire/insert/match step runs as one atomic cell
+// update, so checkpoints never observe a half-applied tuple.
 func (j *WindowJoin) OnTuple(ctx Context, t stream.Tuple, emit Emitter) {
-	j.mu.Lock()
-	r := j.rows[t.Key]
-	if r == nil {
-		r = &joinRows{}
-		j.rows[t.Key] = r
-	}
-	j.expireLocked(r, ctx.Now)
 	var matches []any
-	if ctx.Input == 0 {
-		r.left = append(r.left, joinRow{at: ctx.Now, payload: t.Payload})
-		for _, m := range r.right {
-			matches = append(matches, m.payload)
+	j.rows.Update(t.Key, func(r joinRows) joinRows {
+		j.expire(&r, ctx.Now)
+		if ctx.Input == 0 {
+			r.left = append(r.left, joinRow{at: ctx.Now, payload: t.Payload})
+			for _, m := range r.right {
+				matches = append(matches, m.payload)
+			}
+		} else {
+			r.right = append(r.right, joinRow{at: ctx.Now, payload: t.Payload})
+			for _, m := range r.left {
+				matches = append(matches, m.payload)
+			}
 		}
-	} else {
-		r.right = append(r.right, joinRow{at: ctx.Now, payload: t.Payload})
-		for _, m := range r.left {
-			matches = append(matches, m.payload)
-		}
-	}
-	j.mu.Unlock()
+		return r
+	})
 	for _, m := range matches {
 		if ctx.Input == 0 {
 			emit(t.Key, JoinedPair{Left: t.Payload, Right: m})
@@ -84,7 +125,7 @@ func (j *WindowJoin) OnTuple(ctx Context, t stream.Tuple, emit Emitter) {
 	}
 }
 
-func (j *WindowJoin) expireLocked(r *joinRows, now int64) {
+func (j *WindowJoin) expire(r *joinRows, now int64) {
 	cutoff := now - j.WindowMillis
 	trim := func(rows []joinRow) []joinRow {
 		i := 0
@@ -98,80 +139,32 @@ func (j *WindowJoin) expireLocked(r *joinRows, now int64) {
 }
 
 // OnTime implements TimeDriven: expired rows are dropped so state does
-// not grow without bound.
+// not grow without bound. Keys with nothing to expire are left
+// untouched — Transform marks a key dirty, and dirtying every live key
+// each tick would make incremental checkpoints degenerate to full ones.
 func (j *WindowJoin) OnTime(now int64, _ Emitter) {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	for k, r := range j.rows {
-		j.expireLocked(r, now)
-		if len(r.left) == 0 && len(r.right) == 0 {
-			delete(j.rows, k)
+	for _, k := range j.rows.Keys() {
+		r, ok := j.rows.Get(k)
+		if !ok {
+			continue
 		}
-	}
-}
-
-// SnapshotKV implements Stateful.
-func (j *WindowJoin) SnapshotKV() map[stream.Key][]byte {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	out := make(map[stream.Key][]byte, len(j.rows))
-	for k, r := range j.rows {
-		e := stream.NewEncoder(64)
-		encodeSide := func(rows []joinRow) {
-			e.Uint32(uint32(len(rows)))
-			for _, row := range rows {
-				e.Int64(row.at)
-				e.Bytes32(j.Encode(row.payload))
-			}
+		probe := r // value copy: expire only reslices, never mutates rows
+		j.expire(&probe, now)
+		if len(probe.left)+len(probe.right) == len(r.left)+len(r.right) {
+			continue
 		}
-		encodeSide(r.left)
-		encodeSide(r.right)
-		out[k] = e.Bytes()
-	}
-	return out
-}
-
-// RestoreKV implements Stateful.
-func (j *WindowJoin) RestoreKV(kv map[stream.Key][]byte) {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	j.rows = make(map[stream.Key]*joinRows, len(kv))
-	for k, v := range kv {
-		d := stream.NewDecoder(v)
-		decodeSide := func() []joinRow {
-			n := int(d.Uint32())
-			rows := make([]joinRow, 0, n)
-			for i := 0; i < n; i++ {
-				at := d.Int64()
-				b := d.Bytes32()
-				if d.Err() != nil {
-					return rows
-				}
-				cp := make([]byte, len(b))
-				copy(cp, b)
-				rows = append(rows, joinRow{at: at, payload: j.Decode(cp)})
-			}
-			return rows
-		}
-		r := &joinRows{}
-		r.left = decodeSide()
-		r.right = decodeSide()
-		j.rows[k] = r
+		j.rows.Transform(k, func(cur joinRows) (joinRows, bool) {
+			j.expire(&cur, now)
+			return cur, len(cur.left) > 0 || len(cur.right) > 0
+		})
 	}
 }
 
 // WindowSize returns the number of buffered rows (for tests).
 func (j *WindowJoin) WindowSize() int {
-	j.mu.Lock()
-	defer j.mu.Unlock()
 	n := 0
-	keys := make([]stream.Key, 0, len(j.rows))
-	for k := range j.rows {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
-	for _, k := range keys {
-		n += len(j.rows[k].left) + len(j.rows[k].right)
-	}
+	j.rows.ForEach(func(_ stream.Key, r joinRows) {
+		n += len(r.left) + len(r.right)
+	})
 	return n
 }

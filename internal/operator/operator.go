@@ -3,15 +3,20 @@
 // and a library of reusable operators (map, filter, flat-map, windowed
 // aggregation, top-k reduction, windowed hash join).
 //
-// A stateful operator exposes its processing state to the system as
-// key/value pairs via SnapshotKV/RestoreKV (the get-processing-state and
-// set-processing-state functions of §3.1). The hosting node composes the
-// key/value pairs with the timestamp vector it tracks into a
-// state.Processing checkpoint, so operators never deal with timestamps,
-// buffering, routing or replay.
+// Stateful operators keep their state in system-managed typed cells
+// (state.Value, state.Map) registered against a state.Store created at
+// construction and exposed through the Managed interface. The store owns
+// locking, serialisation, snapshot, restore and dirty-key tracking, so
+// the hosting node can checkpoint, back up, partition and merge operator
+// state — fully or incrementally — without the operator's involvement
+// (the get/set-processing-state functions of §3.1, implemented once).
+// The hosting node composes the key/value pairs with the timestamp
+// vector it tracks into a state.Processing checkpoint, so operators
+// never deal with timestamps, buffering, routing or replay.
 package operator
 
 import (
+	"seep/internal/state"
 	"seep/internal/stream"
 )
 
@@ -33,15 +38,35 @@ type Emitter func(key stream.Key, payload any)
 
 // Operator is a deterministic stream operator. Implementations must not
 // have externally visible side effects other than emitted tuples and, for
-// Stateful implementations, their managed state (§2.2).
+// Managed implementations, their managed state (§2.2).
 type Operator interface {
 	// OnTuple processes one input tuple, emitting zero or more outputs.
 	OnTuple(ctx Context, t stream.Tuple, emit Emitter)
 }
 
-// Stateful is implemented by operators whose output depends on the tuple
-// history. The state is exposed as key/value pairs keyed by tuple key, so
-// the system can checkpoint, back up, restore and partition it.
+// Managed is implemented by operators whose state lives in a
+// system-managed state.Store: the operator declares typed keyed cells at
+// construction and mutates state only through them, and the hosting node
+// drives checkpoint, backup, restore, partition, merge and incremental
+// deltas through the store. This replaces the hand-rolled
+// SnapshotKV/RestoreKV contract.
+type Managed interface {
+	Operator
+	// State returns the operator's managed state store. The store is
+	// created by the operator's constructor and must be non-nil.
+	State() *state.Store
+}
+
+// Stateful is the pre-managed-state contract: operators hand-implement
+// snapshot and restore over key/value pairs, including their own locking
+// and codecs. Runtimes still deploy Stateful operators unchanged (the
+// compatibility path in SnapshotState/RestoreState), but they never
+// benefit from incremental checkpoints, because the system cannot
+// observe which keys changed.
+//
+// Deprecated: implement Managed instead — declare state cells with
+// state.NewValue/state.NewMap and let the store own locking and
+// serialisation.
 type Stateful interface {
 	Operator
 	// SnapshotKV returns a consistent deep copy of the processing state.
@@ -51,6 +76,41 @@ type Stateful interface {
 	// pairs (set-processing-state). Called before any tuple is processed
 	// on a restored or repartitioned instance.
 	RestoreKV(map[stream.Key][]byte)
+}
+
+// StoreOf returns op's managed state store, or nil when op is stateless
+// or uses the deprecated Stateful contract.
+func StoreOf(op Operator) *state.Store {
+	if m, ok := op.(Managed); ok {
+		return m.State()
+	}
+	return nil
+}
+
+// SnapshotState captures op's processing state under either contract —
+// the thin adapter that lets pre-managed-state operators keep deploying.
+// Stateless operators yield an empty non-nil map; a managed store's
+// encode failure is returned so callers can skip the checkpoint rather
+// than back up partial state.
+func SnapshotState(op Operator) (map[stream.Key][]byte, error) {
+	if s := StoreOf(op); s != nil {
+		return s.TakeCheckpoint()
+	}
+	if st, ok := op.(Stateful); ok {
+		return st.SnapshotKV(), nil
+	}
+	return map[stream.Key][]byte{}, nil
+}
+
+// RestoreState installs processing state under either contract.
+func RestoreState(op Operator, kv map[stream.Key][]byte) error {
+	if s := StoreOf(op); s != nil {
+		return s.Restore(kv)
+	}
+	if st, ok := op.(Stateful); ok {
+		st.RestoreKV(kv)
+	}
+	return nil
 }
 
 // TimeDriven is implemented by operators that act on the passage of time,

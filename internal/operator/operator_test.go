@@ -135,12 +135,17 @@ func TestWordCounterSnapshotRestore(t *testing.T) {
 	for _, word := range []string{"x", "y", "x", "z", "x"} {
 		w.OnTuple(Context{}, wcTuple(word), c.emitter())
 	}
-	kv := w.SnapshotKV()
+	kv, err := w.State().Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Snapshot is a deep copy: further updates don't leak in.
 	w.OnTuple(Context{}, wcTuple("x"), c.emitter())
 
 	w2 := NewWordCounter(0)
-	w2.RestoreKV(kv)
+	if err := w2.State().Restore(kv); err != nil {
+		t.Fatal(err)
+	}
 	if got := w2.Count("x"); got != 3 {
 		t.Errorf("restored Count(x) = %d, want 3", got)
 	}
@@ -182,9 +187,14 @@ func TestKeyedSum(t *testing.T) {
 		t.Errorf("emitted %d", len(c.payloads))
 	}
 
-	kv := s.SnapshotKV()
+	kv, err := s.State().Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
 	s2 := NewKeyedSum(0, nil)
-	s2.RestoreKV(kv)
+	if err := s2.State().Restore(kv); err != nil {
+		t.Fatal(err)
+	}
 	if s2.Sum(1) != 4.0 || s2.Sum(2) != 10.0 {
 		t.Error("snapshot/restore lost sums")
 	}
@@ -244,9 +254,14 @@ func TestTopKReducer(t *testing.T) {
 	}
 
 	// Snapshot / restore.
-	kv := r.SnapshotKV()
+	kv, err := r.State().Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
 	r2 := NewTopKReducer(2, 30_000)
-	r2.RestoreKV(kv)
+	if err := r2.State().Restore(kv); err != nil {
+		t.Fatal(err)
+	}
 	if got := r2.TopK(); !reflect.DeepEqual(got, top) {
 		t.Errorf("restored TopK = %v, want %v", got, top)
 	}
@@ -267,9 +282,14 @@ func TestTopKMerger(t *testing.T) {
 		t.Errorf("merged ranking = %v", final)
 	}
 
-	kv := m.SnapshotKV()
+	kv, err := m.State().Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
 	m2 := NewTopKMerger(2)
-	m2.RestoreKV(kv)
+	if err := m2.State().Restore(kv); err != nil {
+		t.Fatal(err)
+	}
 	c = collected{}
 	m2.OnTuple(Context{}, stream.Tuple{Key: k, Payload: Ranking{}}, c.emitter())
 	got := c.payloads[0].(Ranking)
@@ -319,9 +339,14 @@ func TestWindowJoinSnapshotRestore(t *testing.T) {
 	j.OnTuple(Context{Now: 5, Input: 0}, stream.Tuple{Key: 1, Payload: "L1"}, em)
 	j.OnTuple(Context{Now: 6, Input: 0}, stream.Tuple{Key: 2, Payload: "L2"}, em)
 
-	kv := j.SnapshotKV()
+	kv, err := j.State().Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
 	j2 := NewWindowJoin(10_000, enc, dec)
-	j2.RestoreKV(kv)
+	if err := j2.State().Restore(kv); err != nil {
+		t.Fatal(err)
+	}
 	if j2.WindowSize() != 2 {
 		t.Fatalf("restored WindowSize = %d", j2.WindowSize())
 	}

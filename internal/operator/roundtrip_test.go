@@ -8,6 +8,17 @@ import (
 	"seep/internal/stream"
 )
 
+// roundTrip snapshots src's managed state and restores it into dst,
+// reporting success — the get/set-processing-state cycle every recovery
+// rests on.
+func roundTrip(src, dst Managed) bool {
+	kv, err := src.State().Snapshot()
+	if err != nil {
+		return false
+	}
+	return dst.State().Restore(kv) == nil
+}
+
 // TestWordCounterSnapshotRoundTripQuick: for any random word multiset,
 // snapshot → restore reproduces exactly the same counts — the property
 // checkpoint/restore correctness rests on.
@@ -21,7 +32,9 @@ func TestWordCounterSnapshotRoundTripQuick(t *testing.T) {
 			w.OnTuple(Context{}, stream.Tuple{Key: stream.KeyOfString(word), Payload: word}, func(stream.Key, any) {})
 		}
 		restored := NewWordCounter(0)
-		restored.RestoreKV(w.SnapshotKV())
+		if !roundTrip(w, restored) {
+			return false
+		}
 		for word, n := range want {
 			if restored.Count(word) != n {
 				return false
@@ -43,7 +56,9 @@ func TestTopKReducerSnapshotRoundTripQuick(t *testing.T) {
 			r.OnTuple(Context{}, stream.Tuple{Key: stream.KeyOfString(item), Payload: item}, func(stream.Key, any) {})
 		}
 		restored := NewTopKReducer(5, 1000)
-		restored.RestoreKV(r.SnapshotKV())
+		if !roundTrip(r, restored) {
+			return false
+		}
 		a, b := r.TopK(), restored.TopK()
 		if len(a) != len(b) {
 			return false
@@ -76,7 +91,9 @@ func TestKeyedSumSnapshotRoundTripQuick(t *testing.T) {
 			s.OnTuple(Context{}, stream.Tuple{Key: stream.Key(keys[i]), Payload: vals[i]}, func(stream.Key, any) {})
 		}
 		restored := NewKeyedSum(0, extract)
-		restored.RestoreKV(s.SnapshotKV())
+		if !roundTrip(s, restored) {
+			return false
+		}
 		for k := 0; k < 256; k++ {
 			if s.Sum(stream.Key(k)) != restored.Sum(stream.Key(k)) {
 				return false

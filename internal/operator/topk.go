@@ -2,8 +2,8 @@ package operator
 
 import (
 	"sort"
-	"sync"
 
+	"seep/internal/state"
 	"seep/internal/stream"
 )
 
@@ -18,10 +18,10 @@ type RankEntry struct {
 type Ranking []RankEntry
 
 // TopKReducer is the stateful reduce operator of the map/reduce-style
-// top-k query (§6.1, open loop workload): it maintains a dictionary of
-// item frequencies and periodically emits its local top-k ranking. When
-// the reducer is partitioned, each partition emits a partial ranking and
-// a downstream TopKMerger combines them.
+// top-k query (§6.1, open loop workload): it maintains a managed
+// dictionary of item frequencies and periodically emits its local top-k
+// ranking. When the reducer is partitioned, each partition emits a
+// partial ranking and a downstream TopKMerger combines them.
 type TopKReducer struct {
 	// K is the ranking depth.
 	K int
@@ -29,15 +29,27 @@ type TopKReducer struct {
 	// paper's Wikipedia query).
 	EmitEveryMillis int64
 
-	mu       sync.Mutex
-	counts   map[stream.Key]map[string]int64
-	lastEmit int64
+	store  *state.Store
+	counts *state.Map[int64]
+	// lastEmit is when the previous ranking was emitted; lastEmitSet
+	// distinguishes "first tick at time 0" from "never emitted".
+	lastEmit    int64
+	lastEmitSet bool
 }
 
 // NewTopKReducer returns a reducer emitting the top k items every period.
 func NewTopKReducer(k int, emitEveryMillis int64) *TopKReducer {
-	return &TopKReducer{K: k, EmitEveryMillis: emitEveryMillis, counts: make(map[stream.Key]map[string]int64)}
+	st := state.NewStore()
+	return &TopKReducer{
+		K:               k,
+		EmitEveryMillis: emitEveryMillis,
+		store:           st,
+		counts:          state.NewMap[int64](st, "counts", state.Int64Codec{}),
+	}
 }
+
+// State implements Managed.
+func (r *TopKReducer) State() *state.Store { return r.store }
 
 // OnTuple implements Operator: payload is the item (a string).
 func (r *TopKReducer) OnTuple(_ Context, t stream.Tuple, emit Emitter) {
@@ -45,31 +57,22 @@ func (r *TopKReducer) OnTuple(_ Context, t stream.Tuple, emit Emitter) {
 	if !ok {
 		return
 	}
-	r.mu.Lock()
-	m := r.counts[t.Key]
-	if m == nil {
-		m = make(map[string]int64)
-		r.counts[t.Key] = m
-	}
-	m[item]++
-	r.mu.Unlock()
+	r.counts.Update(t.Key, item, func(c int64) int64 { return c + 1 })
 }
 
 // OnTime implements TimeDriven: every EmitEveryMillis, emit the local
 // top-k ranking (without resetting counters; the query ranks cumulative
 // visit counts).
 func (r *TopKReducer) OnTime(now int64, emit Emitter) {
-	r.mu.Lock()
-	if r.lastEmit == 0 {
+	if !r.lastEmitSet {
 		r.lastEmit = now
+		r.lastEmitSet = true
 	}
 	if now-r.lastEmit < r.EmitEveryMillis {
-		r.mu.Unlock()
 		return
 	}
 	r.lastEmit = now
-	ranking := r.lockedTopK()
-	r.mu.Unlock()
+	ranking := r.TopK()
 	if len(ranking) > 0 {
 		// A single well-known key so all partial rankings meet at one
 		// merger partition.
@@ -77,13 +80,12 @@ func (r *TopKReducer) OnTime(now int64, emit Emitter) {
 	}
 }
 
-func (r *TopKReducer) lockedTopK() Ranking {
+// TopK returns the current local ranking.
+func (r *TopKReducer) TopK() Ranking {
 	var all []RankEntry
-	for _, m := range r.counts {
-		for item, n := range m {
-			all = append(all, RankEntry{Item: item, Count: n})
-		}
-	}
+	r.counts.ForEach(func(_ stream.Key, item string, n int64) {
+		all = append(all, RankEntry{Item: item, Count: n})
+	})
 	sort.Slice(all, func(i, j int) bool {
 		if all[i].Count != all[j].Count {
 			return all[i].Count > all[j].Count
@@ -96,73 +98,36 @@ func (r *TopKReducer) lockedTopK() Ranking {
 	return Ranking(all)
 }
 
-// TopK returns the current local ranking (for tests).
-func (r *TopKReducer) TopK() Ranking {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.lockedTopK()
-}
-
-// SnapshotKV implements Stateful.
-func (r *TopKReducer) SnapshotKV() map[stream.Key][]byte {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	out := make(map[stream.Key][]byte, len(r.counts))
-	for k, m := range r.counts {
-		items := make([]string, 0, len(m))
-		for item := range m {
-			items = append(items, item)
-		}
-		sort.Strings(items)
-		e := stream.NewEncoder(16 * len(items))
-		e.Uint32(uint32(len(items)))
-		for _, item := range items {
-			e.String32(item)
-			e.Int64(m[item])
-		}
-		out[k] = e.Bytes()
-	}
-	return out
-}
-
-// RestoreKV implements Stateful.
-func (r *TopKReducer) RestoreKV(kv map[stream.Key][]byte) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.counts = make(map[stream.Key]map[string]int64, len(kv))
-	for k, v := range kv {
-		d := stream.NewDecoder(v)
-		n := int(d.Uint32())
-		m := make(map[string]int64, n)
-		for i := 0; i < n; i++ {
-			item := d.String32()
-			cnt := d.Int64()
-			if d.Err() != nil {
-				break
-			}
-			m[item] = cnt
-		}
-		r.counts[k] = m
-	}
-}
-
 // TopKMerger aggregates partial rankings from partitioned reducers into a
 // final ranking — "we use the sink to aggregate the partial results and
 // output the final answer" (§6.1). It keeps the latest partial per
-// upstream item set and emits the merged top-k on every update.
+// upstream item set and emits the merged top-k on every update. All of
+// its state lives under the single well-known ranking key, folded into
+// one managed cell so each merge is atomic.
 type TopKMerger struct {
-	K  int
-	mu sync.Mutex
+	K int
+
+	store *state.Store
 	// latest merges item counts from the most recent partials; partial
 	// rankings carry cumulative counts, so taking the max per item is
 	// the correct merge.
-	latest map[string]int64
+	latest *state.Value[map[string]int64]
 }
 
 // NewTopKMerger returns a merger of partial rankings.
 func NewTopKMerger(k int) *TopKMerger {
-	return &TopKMerger{K: k, latest: make(map[string]int64)}
+	st := state.NewStore()
+	return &TopKMerger{
+		K:     k,
+		store: st,
+		// JSON keeps map encoding deterministic (sorted keys), which gob
+		// does not guarantee.
+		latest: state.NewValue[map[string]int64](st, "latest", state.JSONCodec[map[string]int64]{}),
+	}
 }
+
+// State implements Managed.
+func (m *TopKMerger) State() *state.Store { return m.store }
 
 // OnTuple implements Operator: payload is a Ranking.
 func (m *TopKMerger) OnTuple(_ Context, t stream.Tuple, emit Emitter) {
@@ -170,17 +135,21 @@ func (m *TopKMerger) OnTuple(_ Context, t stream.Tuple, emit Emitter) {
 	if !ok {
 		return
 	}
-	m.mu.Lock()
-	for _, e := range partial {
-		if e.Count > m.latest[e.Item] {
-			m.latest[e.Item] = e.Count
+	latest := m.latest.Update(t.Key, func(cur map[string]int64) map[string]int64 {
+		if cur == nil {
+			cur = make(map[string]int64)
 		}
-	}
-	merged := make([]RankEntry, 0, len(m.latest))
-	for item, n := range m.latest {
+		for _, e := range partial {
+			if e.Count > cur[e.Item] {
+				cur[e.Item] = e.Count
+			}
+		}
+		return cur
+	})
+	merged := make([]RankEntry, 0, len(latest))
+	for item, n := range latest {
 		merged = append(merged, RankEntry{Item: item, Count: n})
 	}
-	m.mu.Unlock()
 	sort.Slice(merged, func(i, j int) bool {
 		if merged[i].Count != merged[j].Count {
 			return merged[i].Count > merged[j].Count
@@ -191,44 +160,4 @@ func (m *TopKMerger) OnTuple(_ Context, t stream.Tuple, emit Emitter) {
 		merged = merged[:m.K]
 	}
 	emit(t.Key, Ranking(merged))
-}
-
-// SnapshotKV implements Stateful: the merger's state all lives under the
-// single ranking key.
-func (m *TopKMerger) SnapshotKV() map[stream.Key][]byte {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	items := make([]string, 0, len(m.latest))
-	for item := range m.latest {
-		items = append(items, item)
-	}
-	sort.Strings(items)
-	e := stream.NewEncoder(16 * len(items))
-	e.Uint32(uint32(len(items)))
-	for _, item := range items {
-		e.String32(item)
-		e.Int64(m.latest[item])
-	}
-	return map[stream.Key][]byte{stream.KeyOfString("topk-ranking"): e.Bytes()}
-}
-
-// RestoreKV implements Stateful.
-func (m *TopKMerger) RestoreKV(kv map[stream.Key][]byte) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.latest = make(map[string]int64)
-	for _, v := range kv {
-		d := stream.NewDecoder(v)
-		n := int(d.Uint32())
-		for i := 0; i < n; i++ {
-			item := d.String32()
-			cnt := d.Int64()
-			if d.Err() != nil {
-				break
-			}
-			if cnt > m.latest[item] {
-				m.latest[item] = cnt
-			}
-		}
-	}
 }

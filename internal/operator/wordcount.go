@@ -3,8 +3,8 @@ package operator
 import (
 	"sort"
 	"strings"
-	"sync"
 
+	"seep/internal/state"
 	"seep/internal/stream"
 )
 
@@ -32,8 +32,9 @@ type WordCount struct {
 
 // WordCounter maintains a windowed frequency count of words — the
 // stateful word count operator of §3.1 and §6.2. Its processing state is
-// a dictionary from word to counter; per tuple key the state value holds
-// all words hashing to that key (in practice one word per key).
+// a managed dictionary from word to counter, keyed by the word's tuple
+// key (in practice one word per key), so the system checkpoints,
+// partitions and restores it without operator involvement.
 //
 // With WindowMillis > 0 the counter behaves as a tumbling window: OnTime
 // emits every (word, count) pair once the window closes and resets the
@@ -47,19 +48,27 @@ type WordCounter struct {
 	// tuple must produce an observable output).
 	EmitOnUpdate bool
 
-	mu          sync.Mutex
-	counts      map[stream.Key]map[string]int64
+	store  *state.Store
+	counts *state.Map[int64]
+	// windowStart is when the current window opened; windowSet
+	// distinguishes "window opened at time 0" from "not opened yet".
 	windowStart int64
+	windowSet   bool
 }
 
 // NewWordCounter returns a windowed word counter (window in ms;
 // 0 = continuous).
 func NewWordCounter(windowMillis int64) *WordCounter {
+	st := state.NewStore()
 	return &WordCounter{
 		WindowMillis: windowMillis,
-		counts:       make(map[stream.Key]map[string]int64),
+		store:        st,
+		counts:       state.NewMap[int64](st, "counts", state.Int64Codec{}),
 	}
 }
+
+// State implements Managed.
+func (w *WordCounter) State() *state.Store { return w.store }
 
 // OnTuple implements Operator.
 func (w *WordCounter) OnTuple(ctx Context, t stream.Tuple, emit Emitter) {
@@ -67,15 +76,7 @@ func (w *WordCounter) OnTuple(ctx Context, t stream.Tuple, emit Emitter) {
 	if !ok {
 		return
 	}
-	w.mu.Lock()
-	m := w.counts[t.Key]
-	if m == nil {
-		m = make(map[string]int64)
-		w.counts[t.Key] = m
-	}
-	m[word]++
-	n := m[word]
-	w.mu.Unlock()
+	n := w.counts.Update(t.Key, word, func(c int64) int64 { return c + 1 })
 	if w.WindowMillis == 0 || w.EmitOnUpdate {
 		emit(t.Key, WordCount{Word: word, Count: n})
 	}
@@ -87,18 +88,15 @@ func (w *WordCounter) OnTime(now int64, emit Emitter) {
 	if w.WindowMillis == 0 {
 		return
 	}
-	w.mu.Lock()
-	if w.windowStart == 0 {
+	if !w.windowSet {
 		w.windowStart = now
+		w.windowSet = true
 	}
 	if now-w.windowStart < w.WindowMillis {
-		w.mu.Unlock()
 		return
 	}
-	flushed := w.counts
-	w.counts = make(map[stream.Key]map[string]int64)
+	flushed := w.counts.Drain()
 	w.windowStart = now
-	w.mu.Unlock()
 
 	// Deterministic emission order for reproducibility.
 	keys := make([]stream.Key, 0, len(flushed))
@@ -118,68 +116,19 @@ func (w *WordCounter) OnTime(now int64, emit Emitter) {
 	}
 }
 
-// SnapshotKV implements Stateful: each key's value is the encoded list of
-// (word, count) pairs for that key.
-func (w *WordCounter) SnapshotKV() map[stream.Key][]byte {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	out := make(map[stream.Key][]byte, len(w.counts))
-	for k, m := range w.counts {
-		e := stream.NewEncoder(16 * len(m))
-		words := make([]string, 0, len(m))
-		for word := range m {
-			words = append(words, word)
-		}
-		sort.Strings(words)
-		e.Uint32(uint32(len(words)))
-		for _, word := range words {
-			e.String32(word)
-			e.Int64(m[word])
-		}
-		out[k] = e.Bytes()
-	}
+// Count returns the current count of a word (for tests and examples).
+func (w *WordCounter) Count(word string) int64 {
+	n, _ := w.counts.Get(stream.KeyOfString(word), word)
+	return n
+}
+
+// Counts returns all current (word, count) pairs (for tests and
+// examples).
+func (w *WordCounter) Counts() map[string]int64 {
+	out := make(map[string]int64)
+	w.counts.ForEach(func(_ stream.Key, word string, n int64) { out[word] += n })
 	return out
 }
 
-// RestoreKV implements Stateful.
-func (w *WordCounter) RestoreKV(kv map[stream.Key][]byte) {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	w.counts = make(map[stream.Key]map[string]int64, len(kv))
-	for k, v := range kv {
-		d := stream.NewDecoder(v)
-		n := int(d.Uint32())
-		m := make(map[string]int64, n)
-		for i := 0; i < n; i++ {
-			word := d.String32()
-			cnt := d.Int64()
-			if d.Err() != nil {
-				break
-			}
-			m[word] = cnt
-		}
-		w.counts[k] = m
-	}
-}
-
-// Count returns the current count of a word (for tests and examples).
-func (w *WordCounter) Count(word string) int64 {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	k := stream.KeyOfString(word)
-	if m := w.counts[k]; m != nil {
-		return m[word]
-	}
-	return 0
-}
-
 // Distinct returns the number of distinct words currently tracked.
-func (w *WordCounter) Distinct() int {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	n := 0
-	for _, m := range w.counts {
-		n += len(m)
-	}
-	return n
-}
+func (w *WordCounter) Distinct() int { return w.counts.FieldCount() }

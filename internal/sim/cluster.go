@@ -92,6 +92,11 @@ type Config struct {
 	// RecoveryParallelism is π used when recovering failed operators
 	// (1 = serial recovery; ≥2 = parallel recovery, §4.2). Default 1.
 	RecoveryParallelism int
+	// Delta enables incremental checkpoints for managed-state operators
+	// (§3.2): between full checkpoints only the dirtied keys are shipped
+	// and folded into the backup at the backup host. Zero value
+	// disables. Only meaningful in FTRSM mode.
+	Delta state.DeltaPolicy
 }
 
 func (c Config) withDefaults() Config {
@@ -519,29 +524,84 @@ func (c *Cluster) checkpointAll() {
 	}
 }
 
-// checkpointNode implements backup-state(o) for one node.
-func (c *Cluster) checkpointNode(n *Node) {
-	cp := n.snapshot()
+// checkpointNode implements backup-state(o) for one node. Under an
+// active DeltaPolicy, managed-state nodes ship incremental checkpoints
+// between full ones; the serialisation cost scales with the shipped
+// bytes, so deltas also shrink the checkpoint overhead of Fig. 14. A
+// delta the backup host cannot apply forces a full checkpoint at the
+// next interval — deltas are never load-bearing.
+func (c *Cluster) checkpointNode(n *Node) { c.checkpointNodeThen(n, nil) }
+
+// checkpointNodeThen is checkpointNode with a completion callback,
+// invoked exactly once when the backup attempt finished (stored,
+// folded, or given up). Transitions that partition "the most recent
+// checkpoint" (§4.3) chain on it instead of guessing how long
+// serialisation and shipping take — the VM-cost model makes that delay
+// load-dependent. A VM that dies mid-checkpoint drops its Exec
+// callback, so a watchdog at the computed completion time guarantees
+// the callback still fires (the chained transition then proceeds with
+// whatever backup exists, as a fixed delay would have).
+func (c *Cluster) checkpointNodeThen(n *Node, done func()) {
+	fired := false
+	finish := func() {
+		if fired {
+			return
+		}
+		fired = true
+		if done != nil {
+			done()
+		}
+	}
 	host, err := c.mgr.BackupTarget(n.inst)
 	if err != nil {
+		finish()
 		return
 	}
-	costUnits := c.cfg.CheckpointCostPerMB * float64(cp.Size()) / (1 << 20)
-	n.vm.Exec(costUnits, func() {
-		// Ship to the backup host after the network delay.
-		c.sim.After(c.cfg.NetDelayMillis, func() {
-			if err := c.mgr.Backups().Store(host, cp); err != nil {
-				return
-			}
-			// Trim upstream output buffers up to the acknowledged
-			// timestamps (Algorithm 1 line 4).
-			for up, ts := range cp.Acks {
-				if upNode := c.nodes[up]; upNode != nil {
-					upNode.outBuf.TrimInstance(n.inst, ts)
-				}
+	ship := func(costUnits float64, store func()) {
+		doneAt := n.vm.Exec(costUnits, func() {
+			c.sim.After(c.cfg.NetDelayMillis, func() {
+				store()
+				finish()
+			})
+		})
+		if doneAt < 0 {
+			finish()
+			return
+		}
+		c.sim.At(doneAt+c.cfg.NetDelayMillis+1, finish)
+	}
+	if dc := n.maybeDelta(c.cfg.Delta); dc != nil {
+		ship(c.cfg.CheckpointCostPerMB*float64(dc.Size())/(1<<20), func() {
+			if err := c.mgr.Backups().ApplyDelta(host, dc); err != nil {
+				n.needFull = true
+			} else {
+				c.trimAcked(n, dc.Acks)
 			}
 		})
+		return
+	}
+	cp := n.snapshot()
+	if cp == nil {
+		// State encode failure: keep the previous backup rather than
+		// shipping partial state.
+		finish()
+		return
+	}
+	ship(c.cfg.CheckpointCostPerMB*float64(cp.Size())/(1<<20), func() {
+		if err := c.mgr.Backups().Store(host, cp); err == nil {
+			c.trimAcked(n, cp.Acks)
+		}
 	})
+}
+
+// trimAcked trims upstream output buffers up to the acknowledged
+// timestamps (Algorithm 1 line 4).
+func (c *Cluster) trimAcked(n *Node, acks map[plan.InstanceID]int64) {
+	for up, ts := range acks {
+		if upNode := c.nodes[up]; upNode != nil {
+			upNode.outBuf.TrimInstance(n.inst, ts)
+		}
+	}
 }
 
 // FailInstance crash-stops the VM hosting inst at the current virtual
@@ -581,12 +641,16 @@ func (c *Cluster) ScaleOut(victim plan.InstanceID, pi int) error {
 	started := c.sim.Now()
 	// In RSM mode, refresh the checkpoint right before partitioning so
 	// the replayed window is small. (The paper partitions the most
-	// recent checkpoint, §4.3.)
+	// recent checkpoint, §4.3.) Planning chains on the backup landing:
+	// serialisation cost is load-dependent, so a fixed delay could plan
+	// against a stale checkpoint whose gap the (since-trimmed) upstream
+	// buffers no longer cover.
 	if c.cfg.Mode == FTRSM {
-		c.checkpointNode(n)
+		c.checkpointNodeThen(n, func() {
+			c.executeReplace(victim, pi, started, false)
+		})
+		return nil
 	}
-	// Allow the checkpoint store event (net delay + cost) to land before
-	// planning; schedule the replacement shortly after.
 	c.sim.After(c.cfg.NetDelayMillis+1, func() {
 		c.executeReplace(victim, pi, started, false)
 	})
@@ -708,7 +772,9 @@ func (c *Cluster) activateReplacements(rp *core.ReplacePlan, vms []*VM, startedA
 			op = f()
 		}
 		n := newNode(c, inst, spec, vms[i], op)
-		n.restore(rp.Checkpoints[i])
+		if err := n.restore(rp.Checkpoints[i]); err != nil {
+			c.recoveryFailures = append(c.recoveryFailures, err.Error())
+		}
 		c.nodes[inst] = n
 		newNodes[i] = n
 	}
@@ -946,43 +1012,48 @@ func (c *Cluster) ScaleIn(victims []plan.InstanceID) error {
 			return fmt.Errorf("sim: %s is being replaced", v)
 		}
 	}
-	// Fresh checkpoints so the merged state reflects the near-present.
+	// Fresh checkpoints so the merged state reflects the near-present;
+	// planning waits until every victim's backup landed.
+	pending := len(victims)
 	for _, v := range victims {
-		c.checkpointNode(c.nodes[v])
-	}
-	c.sim.After(c.cfg.NetDelayMillis+1, func() {
-		mp, err := c.mgr.PlanMerge(victims)
-		if err != nil {
-			return
-		}
-		for _, v := range victims {
-			c.scalingInProgress[v] = true
-		}
-		c.routings[mp.NewInstance.Op] = mp.Routing
-		c.pool.Acquire(func(vm *VM) {
-			cost := c.cfg.RestoreCostPerMB*float64(mp.Checkpoint.Size())/(1<<20) +
-				float64(c.cfg.CoordFixedMillis)/1000.0
-			vm.Exec(cost, func() {
-				spec := c.mgr.Query().Op(mp.NewInstance.Op)
-				rp := &core.ReplacePlan{
-					Victim:       victims[0],
-					NewInstances: []plan.InstanceID{mp.NewInstance},
-					Ranges:       []state.KeyRange{mp.Range},
-					Checkpoints:  []*state.Checkpoint{mp.Checkpoint},
-					Routing:      mp.Routing,
-				}
-				// Remove all victims, then activate via the common path.
-				for _, v := range victims[1:] {
-					if old := c.nodes[v]; old != nil {
-						old.removed = true
-						delete(c.nodes, v)
+		c.checkpointNodeThen(c.nodes[v], func() {
+			pending--
+			if pending > 0 {
+				return
+			}
+			mp, err := c.mgr.PlanMerge(victims)
+			if err != nil {
+				return
+			}
+			for _, v := range victims {
+				c.scalingInProgress[v] = true
+			}
+			c.routings[mp.NewInstance.Op] = mp.Routing
+			c.pool.Acquire(func(vm *VM) {
+				cost := c.cfg.RestoreCostPerMB*float64(mp.Checkpoint.Size())/(1<<20) +
+					float64(c.cfg.CoordFixedMillis)/1000.0
+				vm.Exec(cost, func() {
+					spec := c.mgr.Query().Op(mp.NewInstance.Op)
+					rp := &core.ReplacePlan{
+						Victim:       victims[0],
+						NewInstances: []plan.InstanceID{mp.NewInstance},
+						Ranges:       []state.KeyRange{mp.Range},
+						Checkpoints:  []*state.Checkpoint{mp.Checkpoint},
+						Routing:      mp.Routing,
 					}
-					delete(c.scalingInProgress, v)
-				}
-				c.activateReplacements(rp, []*VM{vm}, c.sim.Now(), false, spec)
+					// Remove all victims, then activate via the common path.
+					for _, v := range victims[1:] {
+						if old := c.nodes[v]; old != nil {
+							old.removed = true
+							delete(c.nodes, v)
+						}
+						delete(c.scalingInProgress, v)
+					}
+					c.activateReplacements(rp, []*VM{vm}, c.sim.Now(), false, spec)
+				})
 			})
 		})
-	})
+	}
 	return nil
 }
 

@@ -49,15 +49,8 @@ func totalCounts(c *Cluster) map[string]int64 {
 			continue
 		}
 		wc := n.op.(*operator.WordCounter)
-		kv := wc.SnapshotKV()
-		for _, v := range kv {
-			d := stream.NewDecoder(v)
-			cnt := int(d.Uint32())
-			for i := 0; i < cnt; i++ {
-				word := d.String32()
-				n := d.Int64()
-				out[word] += n
-			}
+		for word, c := range wc.Counts() {
+			out[word] += c
 		}
 	}
 	return out
@@ -231,15 +224,15 @@ func TestClusterScaleOutSplitsKeys(t *testing.T) {
 		if n == nil {
 			t.Fatalf("no node for %v", inst)
 		}
-		kv := n.op.(*operator.WordCounter).SnapshotKV()
-		if len(kv) == 0 {
+		keys := n.op.(*operator.WordCounter).State().Keys()
+		if len(keys) == 0 {
 			t.Errorf("partition %v holds no state", inst)
 		}
 		r, ok := routing.RangeOf(inst)
 		if !ok {
 			t.Fatalf("no routing range for %v", inst)
 		}
-		for k := range kv {
+		for _, k := range keys {
 			if !r.Contains(k) {
 				t.Errorf("partition %v holds key %d outside its range %v", inst, k, r)
 			}

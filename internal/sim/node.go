@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"fmt"
+
 	"seep/internal/operator"
 	"seep/internal/plan"
 	"seep/internal/state"
@@ -57,6 +59,9 @@ type Node struct {
 	spec *plan.OpSpec
 	vm   *VM
 	op   operator.Operator
+	// store is the system-owned managed state of op (nil for stateless
+	// and legacy Stateful operators).
+	store *state.Store
 
 	// acks[u] is the timestamp of the newest tuple from upstream
 	// instance u that is reflected in this node's state.
@@ -69,6 +74,11 @@ type Node struct {
 	outBuf *state.Buffer
 	// ckptSeq numbers this instance's checkpoints.
 	ckptSeq uint64
+	// deltasSince counts incremental checkpoints shipped since the last
+	// full one; needFull forces the next checkpoint to be full (set
+	// initially, after restore, and when a delta fails to apply).
+	deltasSince int
+	needFull    bool
 
 	failed  bool
 	removed bool
@@ -89,14 +99,16 @@ type Node struct {
 
 func newNode(c *Cluster, inst plan.InstanceID, spec *plan.OpSpec, vm *VM, op operator.Operator) *Node {
 	return &Node{
-		c:      c,
-		inst:   inst,
-		spec:   spec,
-		vm:     vm,
-		op:     op,
-		acks:   make(map[plan.InstanceID]int64),
-		tsVec:  stream.NewTSVector(len(c.mgr.Query().Upstream(inst.Op))),
-		outBuf: state.NewBuffer(),
+		c:        c,
+		inst:     inst,
+		spec:     spec,
+		vm:       vm,
+		op:       op,
+		store:    operator.StoreOf(op),
+		acks:     make(map[plan.InstanceID]int64),
+		tsVec:    stream.NewTSVector(len(c.mgr.Query().Upstream(inst.Op))),
+		outBuf:   state.NewBuffer(),
+		needFull: true,
 	}
 }
 
@@ -180,16 +192,24 @@ func (n *Node) onTime() {
 	td.OnTime(n.c.sim.Now(), n.emit)
 }
 
-// snapshot builds a checkpoint of this node's state (checkpoint-state,
-// §3.2). The processing-state copy is taken synchronously at the current
-// virtual instant, so it is consistent by construction.
+// snapshot builds a full checkpoint of this node's state
+// (checkpoint-state, §3.2). The processing-state copy is taken
+// synchronously at the current virtual instant, so it is consistent by
+// construction. Returns nil when the managed state fails to encode (the
+// previous backup then stays authoritative).
 func (n *Node) snapshot() *state.Checkpoint {
 	n.ckptSeq++
 	proc := state.NewProcessing(len(n.tsVec))
 	proc.TS = n.tsVec.Clone()
-	if st, ok := n.op.(operator.Stateful); ok {
-		proc.KV = st.SnapshotKV()
+	if n.op != nil {
+		kv, err := operator.SnapshotState(n.op)
+		if err != nil {
+			return nil
+		}
+		proc.KV = kv
 	}
+	n.needFull = false
+	n.deltasSince = 0
 	return &state.Checkpoint{
 		Instance:   n.inst,
 		Seq:        n.ckptSeq,
@@ -200,12 +220,44 @@ func (n *Node) snapshot() *state.Checkpoint {
 	}
 }
 
+// maybeDelta extracts an incremental checkpoint when the cluster's
+// DeltaPolicy allows one, or nil when a full checkpoint is due. The
+// sequence chain is optimistic: if an earlier ship was lost, the backup
+// host rejects the delta (sequence gap) and the node falls back to a
+// full checkpoint — a delta is never load-bearing.
+func (n *Node) maybeDelta(p state.DeltaPolicy) *state.DeltaCheckpoint {
+	if n.store == nil || !p.Enabled() || n.needFull || n.deltasSince >= p.FullEvery-1 {
+		return nil
+	}
+	base := n.ckptSeq
+	n.ckptSeq++
+	d, err := n.store.TakeDelta(n.tsVec, base, n.ckptSeq)
+	if err != nil {
+		return nil
+	}
+	if !p.DeltaAllowed(d.Size(), n.store.LastFullSize()) {
+		// The dirty set is consumed, but the full checkpoint that
+		// follows supersedes everything the delta held.
+		return nil
+	}
+	n.deltasSince++
+	return &state.DeltaCheckpoint{
+		Instance: n.inst,
+		Delta:    d,
+		Buffer:   n.outBuf.Clone(),
+		OutClock: n.outClock.Last(),
+		Acks:     state.CloneAcks(n.acks),
+	}
+}
+
 // restore installs a checkpoint (restore-state, Algorithm 1): processing
 // state, buffer state, the output clock, and the acknowledgement map used
 // for duplicate detection during replay.
-func (n *Node) restore(cp *state.Checkpoint) {
-	if st, ok := n.op.(operator.Stateful); ok {
-		st.RestoreKV(cp.Processing.KV)
+func (n *Node) restore(cp *state.Checkpoint) error {
+	if n.op != nil {
+		if err := operator.RestoreState(n.op, cp.Processing.KV); err != nil {
+			return fmt.Errorf("sim: restore %s: %w", n.inst, err)
+		}
 	}
 	n.tsVec = cp.Processing.TS.Clone()
 	for len(n.tsVec) < len(n.c.mgr.Query().Upstream(n.inst.Op)) {
@@ -218,4 +270,7 @@ func (n *Node) restore(cp *state.Checkpoint) {
 		n.acks = make(map[plan.InstanceID]int64)
 	}
 	n.ckptSeq = cp.Seq
+	n.deltasSince = 0
+	n.needFull = true
+	return nil
 }

@@ -44,6 +44,9 @@ func (b *Buffer) Tuples(target plan.InstanceID) []stream.Tuple {
 // TuplesForOp returns all retained tuples for every instance of a logical
 // downstream operator, merged in timestamp order. Used when the set of
 // downstream partitions changed and old per-instance assignment is stale.
+// Ties on TS (possible when per-target sequences are merged) break on
+// key, then lineage birth time, so replay order after repartitioning is
+// deterministic regardless of map iteration order.
 func (b *Buffer) TuplesForOp(op plan.OpID) []stream.Tuple {
 	var out []stream.Tuple
 	for target, ts := range b.perTarget {
@@ -51,7 +54,15 @@ func (b *Buffer) TuplesForOp(op plan.OpID) []stream.Tuple {
 			out = append(out, ts...)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].TS < out[j].TS })
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].TS != out[j].TS {
+			return out[i].TS < out[j].TS
+		}
+		if out[i].Key != out[j].Key {
+			return out[i].Key < out[j].Key
+		}
+		return out[i].Born < out[j].Born
+	})
 	return out
 }
 

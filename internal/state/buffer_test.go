@@ -154,3 +154,50 @@ func TestBufferTargetsDeterministic(t *testing.T) {
 		}
 	}
 }
+
+// TestTuplesForOpDeterministicTies: tuples retained for different
+// instances of one logical operator that tie on TS are merged in a
+// stable order (TS, then key, then Born), so replay order after
+// repartitioning never depends on map iteration.
+func TestTuplesForOpDeterministicTies(t *testing.T) {
+	build := func(order []int) []stream.Tuple {
+		b := NewBuffer()
+		// Three sibling instances appended in varying order, with TS
+		// collisions across instances.
+		appends := []struct {
+			part int
+			t    stream.Tuple
+		}{
+			{1, stream.Tuple{TS: 5, Key: 9, Born: 1}},
+			{2, stream.Tuple{TS: 5, Key: 3, Born: 2}},
+			{3, stream.Tuple{TS: 5, Key: 3, Born: 1}},
+			{2, stream.Tuple{TS: 7, Key: 1, Born: 3}},
+			{1, stream.Tuple{TS: 6, Key: 2, Born: 4}},
+		}
+		for _, i := range order {
+			a := appends[i]
+			b.Append(inst("count", a.part), a.t)
+		}
+		return b.TuplesForOp("count")
+	}
+	want := build([]int{0, 1, 2, 3, 4})
+	for _, order := range [][]int{{4, 3, 2, 1, 0}, {2, 0, 4, 1, 3}} {
+		got := build(order)
+		if len(got) != len(want) {
+			t.Fatalf("len = %d, want %d", len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("order %v diverged at %d: %+v vs %+v", order, i, got[i], want[i])
+			}
+		}
+	}
+	// And the order itself is TS-major, key-minor, Born-last.
+	got := build([]int{0, 1, 2, 3, 4})
+	if !(got[0].TS == 5 && got[0].Key == 3 && got[0].Born == 1) ||
+		!(got[1].TS == 5 && got[1].Key == 3 && got[1].Born == 2) ||
+		!(got[2].TS == 5 && got[2].Key == 9) ||
+		got[3].TS != 6 || got[4].TS != 7 {
+		t.Fatalf("merged order = %+v", got)
+	}
+}

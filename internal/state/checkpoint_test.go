@@ -4,7 +4,6 @@ import (
 	"testing"
 
 	"seep/internal/plan"
-	"seep/internal/stream"
 )
 
 func mkCheckpoint(keys int, seed int64) *Checkpoint {
@@ -136,73 +135,5 @@ func TestMergeCheckpointsErrors(t *testing.T) {
 	b.Instance = inst("other", 1)
 	if _, err := MergeCheckpoints(inst("count", 2), a, b); err == nil {
 		t.Error("merging across logical operators should fail")
-	}
-}
-
-func TestDeltaTracker(t *testing.T) {
-	p := NewProcessing(1)
-	tr := NewDeltaTracker()
-	p.KV[1] = []byte("a")
-	tr.Touch(1)
-	p.KV[2] = []byte("b")
-	tr.Touch(2)
-	p.TS[0] = 10
-
-	d := tr.TakeDelta(p)
-	if len(d.Changed) != 2 || len(d.Deleted) != 0 {
-		t.Fatalf("delta: %+v", d)
-	}
-	if d.Base != 0 || d.Seq != 1 {
-		t.Errorf("delta seq: base=%d seq=%d", d.Base, d.Seq)
-	}
-	if tr.DirtyCount() != 0 {
-		t.Error("tracker not reset after TakeDelta")
-	}
-
-	// Apply onto a stale backup copy.
-	backup := NewProcessing(1)
-	d.Apply(backup)
-	if !backup.Equal(p) {
-		t.Error("apply(delta) does not reproduce state")
-	}
-
-	// Second interval: update key 1, delete key 2.
-	p.KV[1] = []byte("a2")
-	tr.Touch(1)
-	delete(p.KV, 2)
-	tr.Delete(2)
-	p.TS[0] = 20
-	d2 := tr.TakeDelta(p)
-	if len(d2.Changed) != 1 || len(d2.Deleted) != 1 {
-		t.Fatalf("second delta: %+v", d2)
-	}
-	d2.Apply(backup)
-	if !backup.Equal(p) {
-		t.Error("incremental chain does not reproduce state")
-	}
-	if d2.Size() >= p.Size()+d2.Size() {
-		t.Error("sanity: delta size computation")
-	}
-}
-
-func TestDeltaTouchAfterDelete(t *testing.T) {
-	p := NewProcessing(1)
-	tr := NewDeltaTracker()
-	tr.Delete(5)
-	p.KV[5] = []byte("x")
-	tr.Touch(5)
-	d := tr.TakeDelta(p)
-	if len(d.Deleted) != 0 || len(d.Changed) != 1 {
-		t.Errorf("touch after delete should keep the key: %+v", d)
-	}
-}
-
-func TestDeltaTouchMissingKeyBecomesDelete(t *testing.T) {
-	p := NewProcessing(1)
-	tr := NewDeltaTracker()
-	tr.Touch(9) // dirtied but never present in p
-	d := tr.TakeDelta(p)
-	if len(d.Deleted) != 1 || d.Deleted[0] != stream.Key(9) {
-		t.Errorf("expected deletion for missing dirty key: %+v", d)
 	}
 }

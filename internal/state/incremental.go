@@ -1,6 +1,7 @@
 package state
 
 import (
+	"seep/internal/plan"
 	"seep/internal/stream"
 )
 
@@ -32,65 +33,6 @@ func (d *Delta) Size() int {
 	return n
 }
 
-// DeltaTracker produces incremental checkpoints for an operator by
-// tracking which keys were dirtied since the last checkpoint. Operators
-// call Touch/Delete as they mutate state; the state manager calls
-// TakeDelta at each checkpoint interval, falling back to full checkpoints
-// when the delta would not be smaller.
-type DeltaTracker struct {
-	dirty   map[stream.Key]bool
-	deleted map[stream.Key]bool
-	seq     uint64
-}
-
-// NewDeltaTracker returns an empty tracker.
-func NewDeltaTracker() *DeltaTracker {
-	return &DeltaTracker{dirty: make(map[stream.Key]bool), deleted: make(map[stream.Key]bool)}
-}
-
-// Touch records that the state under k changed.
-func (t *DeltaTracker) Touch(k stream.Key) {
-	t.dirty[k] = true
-	delete(t.deleted, k)
-}
-
-// Delete records that the state under k was removed.
-func (t *DeltaTracker) Delete(k stream.Key) {
-	t.deleted[k] = true
-	delete(t.dirty, k)
-}
-
-// DirtyCount returns the number of keys dirtied since the last TakeDelta.
-func (t *DeltaTracker) DirtyCount() int { return len(t.dirty) + len(t.deleted) }
-
-// TakeDelta extracts an incremental checkpoint against the full state p
-// and resets the tracker. Keys dirtied but no longer present in p are
-// reported as deletions.
-func (t *DeltaTracker) TakeDelta(p *Processing) *Delta {
-	d := &Delta{
-		Base:    t.seq,
-		Seq:     t.seq + 1,
-		Changed: make(map[stream.Key][]byte, len(t.dirty)),
-		TS:      p.TS.Clone(),
-	}
-	for k := range t.dirty {
-		if v, ok := p.KV[k]; ok {
-			cp := make([]byte, len(v))
-			copy(cp, v)
-			d.Changed[k] = cp
-		} else {
-			d.Deleted = append(d.Deleted, k)
-		}
-	}
-	for k := range t.deleted {
-		d.Deleted = append(d.Deleted, k)
-	}
-	t.dirty = make(map[stream.Key]bool)
-	t.deleted = make(map[stream.Key]bool)
-	t.seq++
-	return d
-}
-
 // Apply folds a delta into a full processing state (the backup side of
 // incremental checkpointing). The delta must be consecutive: its Base
 // equals the state's current sequence as tracked by the caller.
@@ -104,4 +46,65 @@ func (d *Delta) Apply(p *Processing) {
 		delete(p.KV, k)
 	}
 	p.TS = d.TS.Clone()
+}
+
+// DeltaCheckpoint is what a runtime ships in place of a full Checkpoint
+// when incremental checkpointing is active: the processing-state delta
+// plus the (small, fully refreshed) bookkeeping a restore needs — buffer
+// state, output clock and acknowledgement map. The backup host folds it
+// into the stored base checkpoint (BackupStore.ApplyDelta).
+type DeltaCheckpoint struct {
+	// Instance identifies the checkpointed operator instance.
+	Instance plan.InstanceID
+	// Delta is the processing-state change since the stored checkpoint;
+	// Delta.Base must match the stored checkpoint's Seq.
+	Delta *Delta
+	// Buffer is βo at checkpoint time (shipped whole: it is bounded by
+	// acknowledgement-driven trimming, unlike the processing state).
+	Buffer *Buffer
+	// OutClock is the output logical clock at checkpoint time.
+	OutClock int64
+	// Acks is the per-upstream-instance acknowledgement map.
+	Acks map[plan.InstanceID]int64
+}
+
+// Size returns the serialised footprint shipped for this delta
+// checkpoint, comparable with Checkpoint.Size.
+func (dc *DeltaCheckpoint) Size() int {
+	if dc == nil {
+		return 0
+	}
+	n := dc.Delta.Size()
+	if dc.Buffer != nil {
+		n += 16 * dc.Buffer.Len()
+	}
+	return n
+}
+
+// DeltaPolicy governs when a runtime ships incremental checkpoints for
+// managed-state operators instead of full ones (§3.2's incremental
+// checkpointing, surfaced as seep.WithIncrementalCheckpoints).
+type DeltaPolicy struct {
+	// FullEvery forces a full checkpoint every FullEvery-th checkpoint
+	// (so up to FullEvery-1 consecutive deltas chain off one base).
+	// Values below 2 disable incremental checkpointing.
+	FullEvery int
+	// MaxDeltaFraction falls back to a full checkpoint when the delta's
+	// serialised size exceeds this fraction of the last full snapshot's
+	// size (a delta nearly as large as the base saves nothing and costs
+	// a fold). Zero means the default of 0.5.
+	MaxDeltaFraction float64
+}
+
+// Enabled reports whether incremental checkpointing is on.
+func (p DeltaPolicy) Enabled() bool { return p.FullEvery >= 2 }
+
+// DeltaAllowed reports whether a delta of the given size may be shipped
+// against a base of the given size.
+func (p DeltaPolicy) DeltaAllowed(deltaSize, baseSize int) bool {
+	frac := p.MaxDeltaFraction
+	if frac == 0 {
+		frac = 0.5
+	}
+	return float64(deltaSize) <= frac*float64(baseSize)
 }

@@ -1,0 +1,598 @@
+// Managed keyed state: the system-owned replacement for the deprecated
+// SnapshotKV/RestoreKV operator contract. Operators declare typed state
+// cells (Value[T], Map[T]) against a Store; the Store owns locking,
+// serialisation, deep-copy snapshots, restore, and — because every
+// mutation passes through it — the dirty-key tracking that makes
+// incremental checkpoints (§3.2) possible without operator cooperation.
+//
+// State remains key/value pairs over the tuple key space on the wire, so
+// the partition/merge primitives of Algorithm 2 keep working unchanged:
+// a Store's snapshot can be split by key range, shipped, and restored
+// into a fresh Store on another instance.
+package state
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"seep/internal/stream"
+)
+
+// Store holds the managed keyed state of one operator instance. Cells are
+// registered at operator construction (NewValue/NewMap); all access goes
+// through cell methods, which serialise on the store's lock — operators
+// built on a Store need no mutex of their own, on either substrate.
+//
+// Each cell method call is atomic. Mutations that must be atomic as a
+// unit (read-modify-write) should use the cells' Update methods, whose
+// callbacks run under the store lock; such callbacks must not call back
+// into any cell of the same store.
+type Store struct {
+	mu     sync.Mutex
+	cells  []storeCell
+	byName map[string]storeCell
+	// touched holds the keys written or deleted since the last
+	// TakeCheckpoint/TakeDelta — the raw material of Delta checkpoints.
+	touched map[stream.Key]struct{}
+	// lastFullSize is the serialised footprint of the last full
+	// checkpoint, the baseline for DeltaPolicy's size fallback.
+	lastFullSize int
+}
+
+// NewStore returns an empty store ready for cell registration.
+func NewStore() *Store {
+	return &Store{
+		byName:  make(map[string]storeCell),
+		touched: make(map[stream.Key]struct{}),
+	}
+}
+
+// storeCell is the store's view of one registered cell. All methods are
+// called with the store lock held.
+type storeCell interface {
+	cellName() string
+	// encodeLocked serialises the cell's fragment for key k; ok=false
+	// when the cell holds nothing under k.
+	encodeLocked(k stream.Key) (b []byte, ok bool, err error)
+	// decodeLocked installs a fragment previously produced by
+	// encodeLocked.
+	decodeLocked(k stream.Key, b []byte) error
+	// addKeysLocked inserts every key the cell holds into set.
+	addKeysLocked(set map[stream.Key]struct{})
+	// resetLocked drops all data.
+	resetLocked()
+}
+
+// register binds a cell to the store. Cell names must be unique and
+// non-empty; violations are programming errors and panic.
+func (s *Store) register(c storeCell) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	name := c.cellName()
+	if name == "" {
+		panic("state: cell with empty name")
+	}
+	if _, dup := s.byName[name]; dup {
+		panic(fmt.Sprintf("state: duplicate cell %q", name))
+	}
+	s.byName[name] = c
+	s.cells = append(s.cells, c)
+}
+
+// touchLocked records that the state under k changed (write or delete).
+func (s *Store) touchLocked(k stream.Key) { s.touched[k] = struct{}{} }
+
+// unionKeysLocked returns the set of keys held by any cell.
+func (s *Store) unionKeysLocked() map[stream.Key]struct{} {
+	set := make(map[stream.Key]struct{})
+	for _, c := range s.cells {
+		c.addKeysLocked(set)
+	}
+	return set
+}
+
+// encodeKeyLocked serialises the per-key union of all cell fragments:
+// a fragment count, then (cell name, fragment bytes) pairs in cell
+// registration order. ok=false when no cell holds k.
+func (s *Store) encodeKeyLocked(k stream.Key) ([]byte, bool, error) {
+	type frag struct {
+		name string
+		b    []byte
+	}
+	var frags []frag
+	for _, c := range s.cells {
+		b, ok, err := c.encodeLocked(k)
+		if err != nil {
+			return nil, false, fmt.Errorf("state: cell %q: encode key %d: %w", c.cellName(), k, err)
+		}
+		if ok {
+			frags = append(frags, frag{name: c.cellName(), b: b})
+		}
+	}
+	if len(frags) == 0 {
+		return nil, false, nil
+	}
+	e := stream.NewEncoder(16)
+	e.Uint32(uint32(len(frags)))
+	for _, f := range frags {
+		e.String32(f.name)
+		e.Bytes32(f.b)
+	}
+	return e.Bytes(), true, nil
+}
+
+// Snapshot returns a deep copy of the full state as key/value pairs —
+// the get-processing-state function of §3.1, now implemented once by the
+// system instead of by every operator. Snapshot is a pure observation:
+// it does not reset dirty-key tracking (see TakeCheckpoint).
+func (s *Store) Snapshot() (map[stream.Key][]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.snapshotLocked()
+}
+
+func (s *Store) snapshotLocked() (map[stream.Key][]byte, error) {
+	keys := s.unionKeysLocked()
+	out := make(map[stream.Key][]byte, len(keys))
+	for k := range keys {
+		b, ok, err := s.encodeKeyLocked(k)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out[k] = b
+		}
+	}
+	return out, nil
+}
+
+// TakeCheckpoint snapshots the full state for a checkpoint: like
+// Snapshot, but it also resets dirty-key tracking (subsequent deltas are
+// relative to this checkpoint) and records the snapshot's serialised
+// size as the baseline for DeltaPolicy. On error the tracking state is
+// untouched, so a failed checkpoint loses nothing.
+func (s *Store) TakeCheckpoint() (map[stream.Key][]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out, err := s.snapshotLocked()
+	if err != nil {
+		return nil, err
+	}
+	size := 0
+	for _, v := range out {
+		size += 8 + len(v)
+	}
+	s.lastFullSize = size
+	s.touched = make(map[stream.Key]struct{})
+	return out, nil
+}
+
+// TakeDelta extracts an incremental checkpoint: the serialised fragments
+// of every key touched since the last TakeCheckpoint/TakeDelta, plus the
+// touched keys no longer held by any cell (deletions). Base and seq are
+// the checkpoint sequence numbers the delta chains between; ts is the
+// operator's input timestamp vector at extraction time. On success the
+// dirty-key tracking resets; on error it is untouched.
+func (s *Store) TakeDelta(ts stream.TSVector, base, seq uint64) (*Delta, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d := &Delta{
+		Base:    base,
+		Seq:     seq,
+		Changed: make(map[stream.Key][]byte, len(s.touched)),
+		TS:      ts.Clone(),
+	}
+	for k := range s.touched {
+		b, ok, err := s.encodeKeyLocked(k)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			d.Changed[k] = b
+		} else {
+			d.Deleted = append(d.Deleted, k)
+		}
+	}
+	sort.Slice(d.Deleted, func(i, j int) bool { return d.Deleted[i] < d.Deleted[j] })
+	s.touched = make(map[stream.Key]struct{})
+	return d, nil
+}
+
+// Restore replaces the entire store contents with a snapshot produced by
+// Snapshot/TakeCheckpoint (set-processing-state, §3.1) — possibly one
+// partitioned by key range or merged from siblings. Dirty-key tracking
+// resets; a fragment naming an unregistered cell or failing to decode is
+// an error (state must never be dropped silently), and leaves the store
+// partially restored.
+func (s *Store) Restore(kv map[stream.Key][]byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, c := range s.cells {
+		c.resetLocked()
+	}
+	s.touched = make(map[stream.Key]struct{})
+	s.lastFullSize = 0
+	for k, v := range kv {
+		d := stream.NewDecoder(v)
+		n := int(d.Uint32())
+		for i := 0; i < n; i++ {
+			name := d.String32()
+			frag := d.Bytes32()
+			if err := d.Err(); err != nil {
+				return fmt.Errorf("state: restore key %d: %w", k, err)
+			}
+			c, ok := s.byName[name]
+			if !ok {
+				return fmt.Errorf("state: restore key %d: unknown cell %q", k, name)
+			}
+			if err := c.decodeLocked(k, frag); err != nil {
+				return fmt.Errorf("state: cell %q: decode key %d: %w", name, k, err)
+			}
+		}
+	}
+	return nil
+}
+
+// DirtyCount returns the number of keys touched since the last
+// TakeCheckpoint/TakeDelta.
+func (s *Store) DirtyCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.touched)
+}
+
+// LastFullSize returns the serialised size of the last TakeCheckpoint
+// (0 before the first, or after Restore).
+func (s *Store) LastFullSize() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastFullSize
+}
+
+// Len returns the number of distinct keys held by any cell.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.unionKeysLocked())
+}
+
+// Keys returns every key held by any cell, ascending.
+func (s *Store) Keys() []stream.Key {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	set := s.unionKeysLocked()
+	out := make([]stream.Key, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// --- typed cells ---
+
+// Value is a keyed state cell holding one T per tuple key — the managed
+// replacement for an operator's map[Key]V plus mutex plus codec.
+type Value[T any] struct {
+	s     *Store
+	nm    string
+	codec Codec[T]
+	data  map[stream.Key]T
+}
+
+// NewValue registers a Value cell with the store. A nil codec defaults
+// to gob. Cell names identify fragments in snapshots and must be unique
+// within the store.
+func NewValue[T any](s *Store, name string, codec Codec[T]) *Value[T] {
+	if codec == nil {
+		codec = GobCodec[T]{}
+	}
+	v := &Value[T]{s: s, nm: name, codec: codec, data: make(map[stream.Key]T)}
+	s.register(v)
+	return v
+}
+
+// Get returns the value under k (zero value, false when absent). For
+// reference types the returned value aliases the stored one: treat it as
+// read-only and mutate through Set/Update so changes are tracked.
+func (v *Value[T]) Get(k stream.Key) (T, bool) {
+	v.s.mu.Lock()
+	defer v.s.mu.Unlock()
+	val, ok := v.data[k]
+	return val, ok
+}
+
+// Set stores val under k.
+func (v *Value[T]) Set(k stream.Key, val T) {
+	v.s.mu.Lock()
+	defer v.s.mu.Unlock()
+	v.data[k] = val
+	v.s.touchLocked(k)
+}
+
+// Update atomically replaces the value under k with f(current), passing
+// the zero value when absent, and returns the new value. f runs under
+// the store lock and must not access any cell of the same store.
+func (v *Value[T]) Update(k stream.Key, f func(T) T) T {
+	v.s.mu.Lock()
+	defer v.s.mu.Unlock()
+	nv := f(v.data[k])
+	v.data[k] = nv
+	v.s.touchLocked(k)
+	return nv
+}
+
+// Transform atomically replaces the value under k with f(current),
+// passing the zero value when absent; when f reports keep=false the key
+// is deleted instead — an atomic update-or-expire. f runs under the
+// store lock and must not access any cell of the same store.
+func (v *Value[T]) Transform(k stream.Key, f func(T) (nv T, keep bool)) {
+	v.s.mu.Lock()
+	defer v.s.mu.Unlock()
+	cur, had := v.data[k]
+	nv, keep := f(cur)
+	switch {
+	case keep:
+		v.data[k] = nv
+		v.s.touchLocked(k)
+	case had:
+		delete(v.data, k)
+		v.s.touchLocked(k)
+	}
+}
+
+// Delete removes the value under k.
+func (v *Value[T]) Delete(k stream.Key) {
+	v.s.mu.Lock()
+	defer v.s.mu.Unlock()
+	if _, ok := v.data[k]; ok {
+		delete(v.data, k)
+		v.s.touchLocked(k)
+	}
+}
+
+// Len returns the number of keys held.
+func (v *Value[T]) Len() int {
+	v.s.mu.Lock()
+	defer v.s.mu.Unlock()
+	return len(v.data)
+}
+
+// Keys returns the held keys, ascending.
+func (v *Value[T]) Keys() []stream.Key {
+	v.s.mu.Lock()
+	defer v.s.mu.Unlock()
+	return sortedKeys(v.data)
+}
+
+// ForEach visits every (key, value) pair in ascending key order. f must
+// not access any cell of the same store.
+func (v *Value[T]) ForEach(f func(k stream.Key, val T)) {
+	v.s.mu.Lock()
+	defer v.s.mu.Unlock()
+	for _, k := range sortedKeys(v.data) {
+		f(k, v.data[k])
+	}
+}
+
+// Drain atomically removes and returns the whole cell contents — the
+// tumbling-window flush primitive.
+func (v *Value[T]) Drain() map[stream.Key]T {
+	v.s.mu.Lock()
+	defer v.s.mu.Unlock()
+	out := v.data
+	v.data = make(map[stream.Key]T)
+	for k := range out {
+		v.s.touchLocked(k)
+	}
+	return out
+}
+
+func (v *Value[T]) cellName() string { return v.nm }
+
+func (v *Value[T]) encodeLocked(k stream.Key) ([]byte, bool, error) {
+	val, ok := v.data[k]
+	if !ok {
+		return nil, false, nil
+	}
+	b, err := v.codec.Encode(val)
+	return b, true, err
+}
+
+func (v *Value[T]) decodeLocked(k stream.Key, b []byte) error {
+	val, err := v.codec.Decode(b)
+	if err != nil {
+		return err
+	}
+	v.data[k] = val
+	return nil
+}
+
+func (v *Value[T]) addKeysLocked(set map[stream.Key]struct{}) {
+	for k := range v.data {
+		set[k] = struct{}{}
+	}
+}
+
+func (v *Value[T]) resetLocked() { v.data = make(map[stream.Key]T) }
+
+// Map is a keyed state cell holding a string-indexed map of T per tuple
+// key — the managed replacement for the map[Key]map[string]V dictionaries
+// of counting operators.
+type Map[T any] struct {
+	s     *Store
+	nm    string
+	codec Codec[T]
+	data  map[stream.Key]map[string]T
+}
+
+// NewMap registers a Map cell with the store. A nil codec defaults to
+// gob.
+func NewMap[T any](s *Store, name string, codec Codec[T]) *Map[T] {
+	if codec == nil {
+		codec = GobCodec[T]{}
+	}
+	m := &Map[T]{s: s, nm: name, codec: codec, data: make(map[stream.Key]map[string]T)}
+	s.register(m)
+	return m
+}
+
+// Get returns the value under (k, field).
+func (m *Map[T]) Get(k stream.Key, field string) (T, bool) {
+	m.s.mu.Lock()
+	defer m.s.mu.Unlock()
+	val, ok := m.data[k][field]
+	return val, ok
+}
+
+// Put stores val under (k, field).
+func (m *Map[T]) Put(k stream.Key, field string, val T) {
+	m.s.mu.Lock()
+	defer m.s.mu.Unlock()
+	inner := m.data[k]
+	if inner == nil {
+		inner = make(map[string]T)
+		m.data[k] = inner
+	}
+	inner[field] = val
+	m.s.touchLocked(k)
+}
+
+// Update atomically replaces the value under (k, field) with f(current),
+// passing the zero value when absent, and returns the new value. f runs
+// under the store lock and must not access any cell of the same store.
+func (m *Map[T]) Update(k stream.Key, field string, f func(T) T) T {
+	m.s.mu.Lock()
+	defer m.s.mu.Unlock()
+	inner := m.data[k]
+	if inner == nil {
+		inner = make(map[string]T)
+		m.data[k] = inner
+	}
+	nv := f(inner[field])
+	inner[field] = nv
+	m.s.touchLocked(k)
+	return nv
+}
+
+// Delete removes every field under k.
+func (m *Map[T]) Delete(k stream.Key) {
+	m.s.mu.Lock()
+	defer m.s.mu.Unlock()
+	if _, ok := m.data[k]; ok {
+		delete(m.data, k)
+		m.s.touchLocked(k)
+	}
+}
+
+// Len returns the number of keys held.
+func (m *Map[T]) Len() int {
+	m.s.mu.Lock()
+	defer m.s.mu.Unlock()
+	return len(m.data)
+}
+
+// FieldCount returns the total number of (key, field) entries.
+func (m *Map[T]) FieldCount() int {
+	m.s.mu.Lock()
+	defer m.s.mu.Unlock()
+	n := 0
+	for _, inner := range m.data {
+		n += len(inner)
+	}
+	return n
+}
+
+// ForEach visits every (key, field, value) triple, keys ascending and
+// fields sorted. f must not access any cell of the same store.
+func (m *Map[T]) ForEach(f func(k stream.Key, field string, val T)) {
+	m.s.mu.Lock()
+	defer m.s.mu.Unlock()
+	for _, k := range sortedKeys(m.data) {
+		inner := m.data[k]
+		fields := make([]string, 0, len(inner))
+		for field := range inner {
+			fields = append(fields, field)
+		}
+		sort.Strings(fields)
+		for _, field := range fields {
+			f(k, field, inner[field])
+		}
+	}
+}
+
+// Drain atomically removes and returns the whole cell contents — the
+// tumbling-window flush primitive.
+func (m *Map[T]) Drain() map[stream.Key]map[string]T {
+	m.s.mu.Lock()
+	defer m.s.mu.Unlock()
+	out := m.data
+	m.data = make(map[stream.Key]map[string]T)
+	for k := range out {
+		m.s.touchLocked(k)
+	}
+	return out
+}
+
+func (m *Map[T]) cellName() string { return m.nm }
+
+func (m *Map[T]) encodeLocked(k stream.Key) ([]byte, bool, error) {
+	inner, ok := m.data[k]
+	if !ok {
+		return nil, false, nil
+	}
+	fields := make([]string, 0, len(inner))
+	for field := range inner {
+		fields = append(fields, field)
+	}
+	sort.Strings(fields)
+	e := stream.NewEncoder(16 * len(fields))
+	e.Uint32(uint32(len(fields)))
+	for _, field := range fields {
+		b, err := m.codec.Encode(inner[field])
+		if err != nil {
+			return nil, false, err
+		}
+		e.String32(field)
+		e.Bytes32(b)
+	}
+	return e.Bytes(), true, nil
+}
+
+func (m *Map[T]) decodeLocked(k stream.Key, b []byte) error {
+	d := stream.NewDecoder(b)
+	n := int(d.Uint32())
+	inner := make(map[string]T, n)
+	for i := 0; i < n; i++ {
+		field := d.String32()
+		frag := d.Bytes32()
+		if err := d.Err(); err != nil {
+			return err
+		}
+		val, err := m.codec.Decode(frag)
+		if err != nil {
+			return err
+		}
+		inner[field] = val
+	}
+	m.data[k] = inner
+	return nil
+}
+
+func (m *Map[T]) addKeysLocked(set map[stream.Key]struct{}) {
+	for k := range m.data {
+		set[k] = struct{}{}
+	}
+}
+
+func (m *Map[T]) resetLocked() { m.data = make(map[stream.Key]map[string]T) }
+
+func sortedKeys[V any](data map[stream.Key]V) []stream.Key {
+	out := make([]stream.Key, 0, len(data))
+	for k := range data {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

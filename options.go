@@ -3,6 +3,8 @@ package seep
 import (
 	"fmt"
 	"time"
+
+	"seep/internal/state"
 )
 
 // Option configures a Runtime built by Live or Simulated. Options apply
@@ -17,6 +19,8 @@ type runtimeConfig struct {
 	// Shared.
 	checkpoint    time.Duration
 	checkpointSet bool
+	delta         state.DeltaPolicy
+	deltaSet      bool
 	timer         time.Duration
 	policy        *Policy
 	detect        time.Duration
@@ -63,6 +67,14 @@ func (c *runtimeConfig) validate() error {
 	if c.checkpointSet && c.checkpoint < 0 {
 		return fmt.Errorf("seep: WithCheckpointInterval requires a non-negative duration, got %v", c.checkpoint)
 	}
+	if c.deltaSet {
+		if c.delta.FullEvery < 2 {
+			return fmt.Errorf("seep: WithIncrementalCheckpoints requires fullEvery >= 2, got %d", c.delta.FullEvery)
+		}
+		if f := c.delta.MaxDeltaFraction; f <= 0 || f > 1 {
+			return fmt.Errorf("seep: WithIncrementalCheckpoints requires 0 < maxDeltaFraction <= 1, got %v", f)
+		}
+	}
 	return nil
 }
 
@@ -72,6 +84,24 @@ func (c *runtimeConfig) validate() error {
 // fault-tolerance mode (WithFTMode) and this sets its period.
 func WithCheckpointInterval(d time.Duration) Option {
 	return func(c *runtimeConfig) { c.checkpoint = d; c.checkpointSet = true }
+}
+
+// WithIncrementalCheckpoints enables §3.2's incremental checkpoints for
+// operators on the managed keyed-state API: between full checkpoints the
+// runtime ships only the keys dirtied since the previous checkpoint (a
+// state.Delta) and the backup host folds them into the stored base. A
+// full checkpoint is forced every fullEvery-th checkpoint, and whenever
+// a delta's size would exceed maxDeltaFraction of the last full
+// snapshot — both guards bound recovery-time fold work. Applies to both
+// runtimes (Simulated: FTRSM mode only; combining with another FT mode
+// is a Deploy error). Operators on the deprecated Stateful contract
+// always checkpoint fully. Observe the effect via
+// Metrics.Checkpoints.
+func WithIncrementalCheckpoints(fullEvery int, maxDeltaFraction float64) Option {
+	return func(c *runtimeConfig) {
+		c.delta = state.DeltaPolicy{FullEvery: fullEvery, MaxDeltaFraction: maxDeltaFraction}
+		c.deltaSet = true
+	}
 }
 
 // WithTimerInterval sets the period at which TimeDriven operators

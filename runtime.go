@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"seep/internal/core"
 	"seep/internal/engine"
 	"seep/internal/metrics"
 	"seep/internal/sim"
@@ -79,6 +80,9 @@ type (
 	Summary = metrics.Summary
 	// RecoveryRecord documents one completed recovery or scale out.
 	RecoveryRecord = sim.RecoveryRecord
+	// CheckpointStats tallies full and incremental checkpoint traffic
+	// into the backup store (counts and serialised bytes).
+	CheckpointStats = core.ShipStats
 )
 
 // Metrics is a point-in-time snapshot of a Job, identical in shape on
@@ -100,6 +104,10 @@ type Metrics struct {
 	// Recoveries lists completed recoveries and scale outs, oldest
 	// first.
 	Recoveries []RecoveryRecord
+	// Checkpoints tallies checkpoint traffic to the backup store; with
+	// WithIncrementalCheckpoints, Deltas/DeltaBytes show how much
+	// shipping shrank versus full snapshots.
+	Checkpoints CheckpointStats
 	// Errors lists asynchronous operations that failed — an automatic
 	// recovery that could not complete, for example. Empty on a healthy
 	// job; never silently dropped.
@@ -149,6 +157,7 @@ func (r *liveRuntime) Deploy(t *Topology) (Job, error) {
 		CheckpointInterval: checkpoint,
 		TimerInterval:      r.cfg.timer,
 		ChannelBuffer:      r.cfg.channelBuffer,
+		Delta:              r.cfg.delta,
 	}, q, factories)
 	if err != nil {
 		return nil, err
@@ -304,6 +313,7 @@ func (j *liveJob) MetricsSnapshot() Metrics {
 		Latency:           j.eng.Latency.Summarize(),
 		Parallelism:       parallelismOf(j.eng.Manager().Query(), func(op OpID) int { return j.eng.Manager().Parallelism(op) }),
 		Recoveries:        recs,
+		Checkpoints:       j.eng.Manager().Backups().ShipStats(),
 		Errors:            errs,
 	}
 }
@@ -335,6 +345,12 @@ func (r *simRuntime) Deploy(t *Topology) (Job, error) {
 	if r.cfg.ftModeSet {
 		mode = r.cfg.ftMode
 	}
+	// Incremental checkpoints are part of the R+SM protocol; under the
+	// baselines there are no checkpoints to make incremental, so the
+	// combination is an error, never a silent no-op.
+	if r.cfg.deltaSet && mode != FTRSM {
+		return nil, fmt.Errorf("seep: WithIncrementalCheckpoints requires FTRSM (got %v)", mode)
+	}
 	cfg := sim.Config{
 		Seed:                     r.cfg.seed,
 		Mode:                     mode,
@@ -345,6 +361,7 @@ func (r *simRuntime) Deploy(t *Topology) (Job, error) {
 		DetectDelayMillis:        r.cfg.detect.Milliseconds(),
 		VMCapacity:               r.cfg.vmCapacity,
 		RecoveryParallelism:      r.cfg.recoveryPi,
+		Delta:                    r.cfg.delta,
 	}
 	if r.cfg.pool != nil {
 		cfg.Pool = *r.cfg.pool
@@ -425,6 +442,7 @@ func (j *simJob) MetricsSnapshot() Metrics {
 		Latency:           j.c.Latency.Summarize(),
 		Parallelism:       parallelismOf(j.c.Manager().Query(), func(op OpID) int { return j.c.Manager().Parallelism(op) }),
 		Recoveries:        j.c.Recoveries(),
+		Checkpoints:       j.c.Manager().Backups().ShipStats(),
 		Errors:            j.c.RecoveryFailures(),
 	}
 }

@@ -22,9 +22,13 @@
 //		Sink("sink").
 //		Build()
 //
-// User operators implement Operator, and optionally Stateful to have
-// their state checkpointed, backed up, partitioned and restored by the
-// system.
+// User operators implement Operator; stateful operators declare typed
+// managed state cells (NewValueState / NewMapState) against a
+// system-owned StateStore and expose it via Managed, so the system
+// checkpoints — fully or incrementally — backs up, partitions and
+// restores their state without operator code. (The hand-rolled
+// SnapshotKV/RestoreKV contract, Stateful, is deprecated but still
+// deploys.)
 //
 // Two substrates execute topologies behind one Runtime/Job interface,
 // so scenarios are written once and run on either:
@@ -104,8 +108,17 @@ func NewQuery() *Query { return plan.NewQuery() }
 type (
 	// Operator processes tuples.
 	Operator = operator.Operator
-	// Stateful operators expose their processing state as key/value
-	// pairs for checkpointing and partitioning.
+	// Managed operators keep their state in a system-owned StateStore:
+	// typed cells declared at construction, mutated only through the
+	// store, checkpointed/partitioned/restored — fully or incrementally
+	// — without operator involvement.
+	Managed = operator.Managed
+	// Stateful operators hand-implement snapshot/restore over key/value
+	// pairs.
+	//
+	// Deprecated: implement Managed instead (see StateStore, ValueState,
+	// MapState); Stateful operators still deploy but never benefit from
+	// incremental checkpoints.
 	Stateful = operator.Stateful
 	// TimeDriven operators react to the passage of time (windows).
 	TimeDriven = operator.TimeDriven
@@ -118,6 +131,52 @@ type (
 	// OpFunc adapts a function to Operator.
 	OpFunc = operator.Func
 )
+
+// Managed keyed state (§3.1/§3.2): the system-owned replacement for
+// Stateful.
+type (
+	// StateStore holds the managed keyed state of one operator instance
+	// and owns locking, serialisation, snapshots, restore and dirty-key
+	// tracking.
+	StateStore = state.Store
+	// ValueState is a keyed cell holding one T per tuple key.
+	ValueState[T any] = state.Value[T]
+	// MapState is a keyed cell holding a string-indexed map of T per
+	// tuple key.
+	MapState[T any] = state.Map[T]
+	// StateCodec serialises cell values; gob is the default, JSON and
+	// fixed-width numeric codecs are provided.
+	StateCodec[T any] = state.Codec[T]
+	// GobCodec is the default cell codec (encoding/gob).
+	GobCodec[T any] = state.GobCodec[T]
+	// JSONCodec serialises cells as JSON (deterministic for maps).
+	JSONCodec[T any] = state.JSONCodec[T]
+	// CodecFunc adapts an encode/decode function pair to StateCodec.
+	CodecFunc[T any] = state.CodecFunc[T]
+	// Int64Codec is a compact fixed-width codec for int64 cells.
+	Int64Codec = state.Int64Codec
+	// Float64Codec is a compact fixed-width codec for float64 cells.
+	Float64Codec = state.Float64Codec
+	// StringCodec stores string cells as raw bytes.
+	StringCodec = state.StringCodec
+)
+
+// NewStateStore returns an empty managed state store. Operators create
+// one in their constructor, register cells against it and return it from
+// their State method (the Managed interface).
+func NewStateStore() *StateStore { return state.NewStore() }
+
+// NewValueState registers a one-value-per-key cell with the store. A nil
+// codec defaults to gob.
+func NewValueState[T any](s *StateStore, name string, codec StateCodec[T]) *ValueState[T] {
+	return state.NewValue[T](s, name, codec)
+}
+
+// NewMapState registers a map-per-key cell with the store. A nil codec
+// defaults to gob.
+func NewMapState[T any](s *StateStore, name string, codec StateCodec[T]) *MapState[T] {
+	return state.NewMap[T](s, name, codec)
+}
 
 // Operator library.
 var (

@@ -128,8 +128,9 @@ func (t *Topology) Stateless(id string, f Factory, opts ...OpOption) *Topology {
 
 // Stateful declares an operator whose state the system checkpoints,
 // backs up, partitions and restores, built by f. The operator returned
-// by f should implement Stateful; otherwise its state is treated as
-// empty by the state-management protocol.
+// by f should implement Managed (managed state cells against a
+// StateStore) — or the deprecated Stateful contract; otherwise its
+// state is treated as empty by the state-management protocol.
 func (t *Topology) Stateful(id string, f Factory, opts ...OpOption) *Topology {
 	return t.declare(plan.OpSpec{ID: OpID(id), Role: RoleStateful}, f, true, opts)
 }
