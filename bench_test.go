@@ -12,9 +12,12 @@ package seep_test
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"seep/internal/core"
+	"seep/internal/engine"
 	"seep/internal/experiments"
+	"seep/internal/operator"
 	"seep/internal/plan"
 	"seep/internal/state"
 	"seep/internal/stream"
@@ -52,6 +55,66 @@ func BenchmarkAblationIncrementalCheckpoint(b *testing.B) {
 	runExperiment(b, "ablation-incremental-checkpoint")
 }
 func BenchmarkAblationKeySplit(b *testing.B) { runExperiment(b, "ablation-key-split") }
+
+// BenchmarkEnginePipeline is the end-to-end throughput anchor of the
+// live engine: a source→map→keyed-sum→sink pipeline with checkpointing
+// active, driven to completion for b.N tuples, batched versus unbatched
+// (batch=1 is the per-tuple data path the engine had before
+// micro-batching). ns/op is per tuple; tuples/s and allocs/op are the
+// headline numbers recorded in BENCH_pipeline.json and the README's
+// Performance section.
+func BenchmarkEnginePipeline(b *testing.B) {
+	build := func(batch int) (*engine.Engine, plan.InstanceID) {
+		q := plan.NewQuery()
+		q.AddOp(plan.OpSpec{ID: "src", Role: plan.RoleSource})
+		q.AddOp(plan.OpSpec{ID: "map", Role: plan.RoleStateless})
+		q.AddOp(plan.OpSpec{ID: "sum", Role: plan.RoleStateful})
+		q.AddOp(plan.OpSpec{ID: "sink", Role: plan.RoleSink})
+		q.Connect("src", "map")
+		q.Connect("map", "sum")
+		q.Connect("sum", "sink")
+		factories := map[plan.OpID]operator.Factory{
+			"map": func() operator.Operator { return operator.Passthrough() },
+			"sum": func() operator.Operator {
+				return operator.NewKeyedSum(0, func(p any) (float64, bool) {
+					v, ok := p.(float64)
+					return v, ok
+				})
+			},
+		}
+		e, err := engine.New(engine.Config{
+			CheckpointInterval: 100 * time.Millisecond,
+			BatchSize:          batch,
+		}, q, factories)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return e, plan.InstanceID{Op: "src", Part: 1}
+	}
+	// One boxed payload shared by every tuple, so the benchmark measures
+	// the data path, not interface boxing in the generator.
+	one := any(float64(1))
+	gen := func(i uint64) (stream.Key, any) {
+		return stream.Key(stream.Mix64(i % 1024)), one
+	}
+	for _, batch := range []int{1, 256} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			e, src := build(batch)
+			e.Start()
+			defer e.Stop()
+			b.ReportAllocs()
+			b.ResetTimer()
+			if err := e.InjectBatch(src, b.N, gen); err != nil {
+				b.Fatal(err)
+			}
+			for e.SinkCount.Value() < uint64(b.N) {
+				time.Sleep(100 * time.Microsecond)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "tuples/s")
+		})
+	}
+}
 
 // --- micro-benchmarks of the state management primitives ---
 
@@ -132,6 +195,33 @@ func BenchmarkBufferTrim(b *testing.B) {
 		}
 		b.StartTimer()
 		buf.TrimInstance(target, 5_000)
+	}
+}
+
+// BenchmarkBufferTrimIncremental guards the amortised trim path: a
+// steady-state buffer at ~50k retained tuples absorbs a small append
+// burst and an acknowledgement-driven trim per op. The head-index
+// design makes this O(step); a regression to copy-per-trim makes it
+// O(window) and shows up as a ~100× slowdown here.
+func BenchmarkBufferTrimIncremental(b *testing.B) {
+	target := plan.InstanceID{Op: "count", Part: 1}
+	const window = 50_000
+	const step = 100
+	buf := state.NewBuffer()
+	ts := int64(0)
+	h := buf.Handle(target)
+	for i := 0; i < window; i++ {
+		ts++
+		h.Append(stream.Tuple{TS: ts, Key: stream.Key(ts)})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < step; j++ {
+			ts++
+			h.Append(stream.Tuple{TS: ts, Key: stream.Key(ts)})
+		}
+		buf.TrimInstance(target, ts-window)
 	}
 }
 

@@ -6,6 +6,21 @@
 // fault-tolerant scale-out of Algorithm 3 for both bottleneck splitting
 // and failure recovery.
 //
+// The data path is micro-batched and lock-light. Node input channels
+// carry []delivery batches, so channel operations, duplicate detection
+// and ack-watermark updates amortise across a batch. Each node routes
+// through an atomically swapped route-table snapshot — downstream input
+// indexes, routing state, target node pointers and output-buffer append
+// handles, rebuilt only on Start/ScaleOut/Recover under an epoch counter
+// — so the per-tuple path touches no engine lock and no plan-graph maps.
+// Checkpoints are captured by a barrier processed on the node goroutine
+// between batches (see lifecycle.go), which makes acks and operator
+// state atomic with respect to processing. The narrow per-node mutex
+// remains only for state shared across goroutines — acks inherited
+// during replacement, output buffers trimmed by downstream checkpoints
+// and repartitioned during scale out — and is taken once per batch, not
+// per tuple.
+//
 // The engine trades the simulator's virtual time for wall-clock time; it
 // is the runtime behind the runnable examples and can host any query
 // built from plan.Query + operator factories.
@@ -13,6 +28,7 @@ package engine
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -32,9 +48,19 @@ type Config struct {
 	CheckpointInterval time.Duration
 	// TimerInterval drives TimeDriven operators (default 250 ms).
 	TimerInterval time.Duration
-	// ChannelBuffer is the per-node input channel capacity (default
-	// 4096).
+	// ChannelBuffer is the per-node input channel capacity in tuples
+	// (default 4096). The channel itself carries batches, so its slot
+	// count is ChannelBuffer/BatchSize.
 	ChannelBuffer int
+	// BatchSize is the maximum number of tuples coalesced into one
+	// channel delivery (default 128; 1 disables batching and restores
+	// per-tuple sends).
+	BatchSize int
+	// BatchLinger bounds how long sources hold a partial batch before
+	// flushing (default 10 ms, the legacy source tick). Operator nodes
+	// never linger: staged output flushes at the end of each input
+	// batch.
+	BatchLinger time.Duration
 	// Delta enables incremental checkpoints for managed-state operators
 	// (§3.2): between full checkpoints only the dirtied keys are shipped
 	// and folded into the backup. Zero value disables.
@@ -48,7 +74,26 @@ func (c Config) withDefaults() Config {
 	if c.ChannelBuffer == 0 {
 		c.ChannelBuffer = 4096
 	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 128
+	}
+	if c.BatchSize < 1 {
+		c.BatchSize = 1
+	}
+	if c.BatchLinger <= 0 {
+		c.BatchLinger = 10 * time.Millisecond
+	}
 	return c
+}
+
+// channelSlots converts the tuple-denominated ChannelBuffer into batch
+// slots.
+func (c Config) channelSlots() int {
+	slots := c.ChannelBuffer / c.BatchSize
+	if slots < 1 {
+		slots = 1
+	}
+	return slots
 }
 
 // delivery is one tuple in flight.
@@ -58,6 +103,67 @@ type delivery struct {
 	t     stream.Tuple
 }
 
+// staged is one operator emission awaiting stamping and routing.
+type staged struct {
+	key     stream.Key
+	payload any
+	born    int64
+}
+
+// ctrlKind discriminates control messages processed on the node
+// goroutine between data batches.
+type ctrlKind int
+
+const (
+	// ctrlBarrier asks the node to capture a checkpoint between batches
+	// and reply on ctrlMsg.reply (the §3.2 checkpoint barrier).
+	ctrlBarrier ctrlKind = iota
+	// ctrlTick fires the operator's TimeDriven hook on the node
+	// goroutine, so window flushes share the single-threaded emit path.
+	ctrlTick
+)
+
+type ctrlMsg struct {
+	kind  ctrlKind
+	now   int64         // ctrlTick: current time in millis
+	reply chan *capture // ctrlBarrier: receives the captured state
+}
+
+// hop is one downstream logical operator in a node's route table, with
+// everything the per-tuple path needs pre-resolved: the input index at
+// the receiver, the routing state, and — aligned with the routing
+// entries — target node pointers and output-buffer append handles.
+type hop struct {
+	op      plan.OpID
+	input   int
+	sink    bool
+	buffer  bool // retain emitted tuples for replay (checkpointing on, non-sink)
+	routing *state.Routing
+	nodes   []*node
+	handles []state.BufHandle
+}
+
+// routeTable is an immutable snapshot of a node's downstream fan-out.
+// It is rebuilt under the engine lock on Start/ScaleOut/Recover and
+// swapped in atomically; the emit path loads it while holding the
+// node's own mutex, which serialises it against buffer repartitioning
+// during a replacement.
+type routeTable struct {
+	epoch uint64
+	hops  []hop
+}
+
+// nodeSet is an immutable snapshot of the live nodes, grouped the way
+// the periodic loops consume them, so timer ticks and checkpoint rounds
+// do not rebuild slices under the engine lock every interval.
+type nodeSet struct {
+	epoch    uint64
+	nodes    []*node
+	timed    []*node // hosts a TimeDriven operator
+	stateful []*node // checkpointable (neither source nor sink)
+	byInst   map[plan.InstanceID]*node
+}
+
 // node hosts one operator instance as a goroutine.
 type node struct {
 	e    *Engine
@@ -65,8 +171,9 @@ type node struct {
 	spec *plan.OpSpec
 	op   operator.Operator
 
-	in chan delivery
-	// replayQueue is consumed before the channel on (re)start, so
+	in   chan []delivery
+	ctrl chan ctrlMsg
+	// replayQueue is consumed before the channels on (re)start, so
 	// replayed tuples precede newly routed ones.
 	replayQueue []delivery
 
@@ -74,11 +181,19 @@ type node struct {
 	// and legacy Stateful operators).
 	store *state.Store
 
-	// mu guards acks/outBuf/clock/tsVec, which are touched by the node
-	// goroutine and, during checkpoints/trims/recovery, by others. It
-	// also guards the incremental-checkpoint bookkeeping (ckptSeq,
-	// deltasSince, needFull), shared between the periodic checkpoint
-	// loop and forced checkpoints.
+	// routes is the current route-table snapshot, loaded by the emit
+	// path without any engine lock.
+	routes atomic.Pointer[routeTable]
+
+	// mu guards the cross-goroutine state: acks (inherited during
+	// replacement), outBuf (trimmed by downstream checkpoints,
+	// repartitioned during scale out), tsVec/outClock (captured during
+	// restore), and the incremental-checkpoint bookkeeping
+	// (ckptSeq/deltasSince/needFull, shared between the node goroutine's
+	// barrier capture and the checkpoint loop's ship outcome). The data
+	// path takes it once per batch: one acquisition to dup-filter and
+	// ack a whole input batch, one to stamp/buffer/route a whole output
+	// batch.
 	mu       sync.Mutex
 	acks     map[plan.InstanceID]int64
 	tsVec    stream.TSVector
@@ -90,6 +205,13 @@ type node struct {
 	// needFull forces the next checkpoint to be full: set initially, on
 	// restore, and whenever a delta fails to apply at the backup host.
 	needFull bool
+
+	// Owned by the node goroutine: the output staging area and the
+	// reusable emitter bound to it (curBorn carries the lineage birth
+	// time of the tuple or tick being processed).
+	pend    []staged
+	curBorn int64
+	emitFn  operator.Emitter
 
 	stopped   chan struct{} // closed to stop the goroutine
 	done      chan struct{} // closed when the goroutine exits
@@ -103,16 +225,27 @@ type Engine struct {
 	mgr       *core.Manager
 	factories map[plan.OpID]operator.Factory
 
-	// mu guards nodes, routings, records and failedAt; emitters take it
-	// read-only on the hot path.
+	// mu guards nodes, routings, records, failedAt and topology
+	// rebuilds. The data path never takes it: hot-path readers go
+	// through the atomic route-table and node-set snapshots.
 	mu       sync.RWMutex
 	nodes    map[plan.InstanceID]*node
 	routings map[plan.OpID]*state.Routing
 	records  []ReplaceRecord
 	failedAt map[plan.InstanceID]int64
+	epoch    uint64
+
+	// set is the current nodeSet snapshot, rebuilt with the route
+	// tables under mu.
+	set atomic.Pointer[nodeSet]
+
+	// batchPool recycles []delivery batches between emitters and
+	// receivers: a batch is allocated (or reused) by emitChunk, travels
+	// the channel, and is returned by handleBatch once processed.
+	batchPool sync.Pool
 
 	start   time.Time
-	started bool // guarded by mu; set once by Start
+	started atomic.Bool
 	stopAll chan struct{}
 	wg      sync.WaitGroup
 
@@ -157,6 +290,9 @@ func New(cfg Config, q *plan.Query, factories map[plan.OpID]operator.Factory) (*
 			e.nodes[inst] = n
 		}
 	}
+	e.mu.Lock()
+	e.rebuildTopology()
+	e.mu.Unlock()
 	return e, nil
 }
 
@@ -169,20 +305,95 @@ func (e *Engine) newNode(inst plan.InstanceID, spec *plan.OpSpec) (*node, error)
 		}
 		op = f()
 	}
-	return &node{
+	n := &node{
 		e:        e,
 		inst:     inst,
 		spec:     spec,
 		op:       op,
 		store:    operator.StoreOf(op),
-		in:       make(chan delivery, e.cfg.ChannelBuffer),
+		in:       make(chan []delivery, e.cfg.channelSlots()),
+		ctrl:     make(chan ctrlMsg, 2),
 		acks:     make(map[plan.InstanceID]int64),
 		tsVec:    stream.NewTSVector(len(e.mgr.Query().Upstream(inst.Op))),
 		outBuf:   state.NewBuffer(),
 		needFull: true,
 		stopped:  make(chan struct{}),
 		done:     make(chan struct{}),
-	}, nil
+	}
+	n.emitFn = func(k stream.Key, p any) { n.stage(k, p, n.curBorn) }
+	return n, nil
+}
+
+// rebuildTopology recomputes the node-set and per-node route-table
+// snapshots under a fresh epoch. Caller holds e.mu. Invoked on New,
+// Start and replace — never on the data path.
+func (e *Engine) rebuildTopology() {
+	e.epoch++
+	set := &nodeSet{
+		epoch:  e.epoch,
+		byInst: make(map[plan.InstanceID]*node, len(e.nodes)),
+	}
+	for inst, n := range e.nodes {
+		set.nodes = append(set.nodes, n)
+		set.byInst[inst] = n
+	}
+	sort.Slice(set.nodes, func(i, j int) bool {
+		a, b := set.nodes[i].inst, set.nodes[j].inst
+		if a.Op != b.Op {
+			return a.Op < b.Op
+		}
+		return a.Part < b.Part
+	})
+	for _, n := range set.nodes {
+		if n.op != nil {
+			if _, ok := n.op.(operator.TimeDriven); ok {
+				set.timed = append(set.timed, n)
+			}
+		}
+		if n.spec.Role != plan.RoleSource && n.spec.Role != plan.RoleSink {
+			set.stateful = append(set.stateful, n)
+		}
+		n.routes.Store(e.buildRoutes(n))
+	}
+	e.set.Store(set)
+}
+
+// buildRoutes resolves one node's downstream fan-out against the
+// current routing state and node map. Caller holds e.mu.
+func (e *Engine) buildRoutes(n *node) *routeTable {
+	rt := &routeTable{epoch: e.epoch}
+	q := e.mgr.Query()
+	for _, downOp := range q.Downstream(n.inst.Op) {
+		r := e.routings[downOp]
+		if r == nil {
+			continue
+		}
+		spec := q.Op(downOp)
+		h := hop{
+			op:      downOp,
+			input:   q.InputIndex(n.inst.Op, downOp),
+			sink:    spec.Role == plan.RoleSink,
+			routing: r,
+		}
+		h.buffer = e.cfg.CheckpointInterval > 0 && !h.sink
+		entries := r.Entries()
+		h.nodes = make([]*node, len(entries))
+		if h.buffer {
+			h.handles = make([]state.BufHandle, len(entries))
+		}
+		// Buffer handles live inside n.outBuf, which is guarded by n.mu
+		// against concurrent trims from downstream checkpoints.
+		n.mu.Lock()
+		for i, en := range entries {
+			h.nodes[i] = e.nodes[en.Target]
+			if h.buffer {
+				h.handles[i] = n.outBuf.Handle(en.Target)
+			}
+		}
+		n.mu.Unlock()
+		rt.hops = append(rt.hops, h)
+	}
+	return rt
 }
 
 // Manager exposes the query manager.
@@ -196,11 +407,20 @@ func (e *Engine) NowMillis() int64 {
 	return time.Since(e.start).Milliseconds()
 }
 
+// Epoch returns the current topology epoch: it advances whenever the
+// route-table snapshots are rebuilt (Start, ScaleOut, Recover).
+func (e *Engine) Epoch() uint64 {
+	if s := e.set.Load(); s != nil {
+		return s.epoch
+	}
+	return 0
+}
+
 // Start launches all node goroutines, timers and checkpointing.
 func (e *Engine) Start() {
 	e.start = time.Now()
 	e.mu.Lock()
-	e.started = true
+	e.started.Store(true)
 	for _, n := range e.nodes {
 		e.startNode(n)
 	}
@@ -267,23 +487,26 @@ func (e *Engine) startNode(n *node) {
 	go func() {
 		defer e.wg.Done()
 		defer close(n.done)
-		for _, d := range n.replayQueue {
-			n.handle(d)
+		if len(n.replayQueue) > 0 {
+			n.handleBatch(n.replayQueue)
+			n.replayQueue = nil
 		}
-		n.replayQueue = nil
 		for {
 			select {
 			case <-n.stopped:
-				// Drain to keep senders unblocked until channel empties.
+				// Drain to keep senders unblocked until channels empty.
 				for {
 					select {
 					case <-n.in:
+					case <-n.ctrl:
 					default:
 						return
 					}
 				}
-			case d := <-n.in:
-				n.handle(d)
+			case c := <-n.ctrl:
+				n.handleCtrl(c)
+			case b := <-n.in:
+				n.handleBatch(b)
 			}
 		}
 	}()
@@ -297,103 +520,275 @@ func (n *node) stop() {
 	}
 }
 
-// handle processes one delivery on the node goroutine.
-func (n *node) handle(d delivery) {
-	if n.failed.Load() {
+// handleCtrl processes a control message on the node goroutine, between
+// data batches.
+func (n *node) handleCtrl(c ctrlMsg) {
+	switch c.kind {
+	case ctrlBarrier:
+		c.reply <- n.captureCheckpoint()
+	case ctrlTick:
+		if n.failed.Load() || n.op == nil {
+			return
+		}
+		if td, ok := n.op.(operator.TimeDriven); ok {
+			n.curBorn = c.now
+			td.OnTime(c.now, n.emitFn)
+			n.flushPending()
+		}
+	}
+}
+
+// handleBatch processes one input batch on the node goroutine:
+// duplicate detection and ack-watermark advancement for the whole batch
+// under one lock acquisition, then per-tuple operator invocation, then
+// one flush of the staged output. The batch container is recycled once
+// processing finishes (operators receive tuples by value and may retain
+// payloads, never the batch).
+func (n *node) handleBatch(ds []delivery) {
+	defer n.e.putBatch(ds)
+	if n.failed.Load() || len(ds) == 0 {
 		return
 	}
+	// Duplicate detection and watermark advancement, amortised: a batch
+	// is built by one sender, so deliveries arrive in runs sharing a
+	// `from` (and input index) with monotone timestamps — each run costs
+	// one ack-map read and one write instead of two hashed map
+	// operations per tuple. Mixed-run batches (replay queues) fall out
+	// naturally: a run ends where `from` changes.
+	var dups uint64
 	n.mu.Lock()
-	if d.t.TS <= n.acks[d.from] {
-		n.mu.Unlock()
-		n.e.DupDropped.Inc()
+	kept := ds[:0]
+	for i := 0; i < len(ds); {
+		from := ds[i].from
+		wm := n.acks[from]
+		last := wm
+		j := i
+		for ; j < len(ds) && ds[j].from == from; j++ {
+			if ds[j].t.TS <= last {
+				dups++
+				continue
+			}
+			last = ds[j].t.TS
+			kept = append(kept, ds[j])
+		}
+		if last > wm {
+			n.acks[from] = last
+			n.tsVec.Advance(ds[i].input, last)
+		}
+		i = j
+	}
+	n.mu.Unlock()
+	if dups > 0 {
+		n.e.DupDropped.Add(dups)
+	}
+	if len(kept) == 0 {
 		return
 	}
-	n.acks[d.from] = d.t.TS
-	n.tsVec.Advance(d.input, d.t.TS)
-	n.mu.Unlock()
-	n.processed.Inc()
+	n.processed.Add(uint64(len(kept)))
 
 	if n.spec.Role == plan.RoleSink {
-		lat := n.e.NowMillis() - d.t.Born
-		if lat < 0 {
-			lat = 0
+		now := n.e.NowMillis()
+		for _, d := range kept {
+			lat := now - d.t.Born
+			if lat < 0 {
+				lat = 0
+			}
+			n.e.Latency.Observe(lat)
+			if n.e.OnSink != nil {
+				n.e.OnSink(d.t)
+			}
 		}
-		n.e.Latency.Observe(lat)
-		n.e.SinkCount.Inc()
-		if n.e.OnSink != nil {
-			n.e.OnSink(d.t)
-		}
+		n.e.SinkCount.Add(uint64(len(kept)))
 		return
 	}
 	if n.op == nil {
 		return
 	}
-	born := d.t.Born
-	n.op.OnTuple(operator.Context{Now: n.e.NowMillis(), Input: d.input}, d.t, func(k stream.Key, p any) {
-		n.emit(k, p, born)
-	})
+	ctx := operator.Context{Now: n.e.NowMillis()}
+	for _, d := range kept {
+		ctx.Input = d.input
+		n.curBorn = d.t.Born
+		n.op.OnTuple(ctx, d.t, n.emitFn)
+	}
+	n.flushPending()
 }
 
-// emit stamps, buffers and routes one output tuple.
-func (n *node) emit(key stream.Key, payload any, born int64) {
+// stage buffers one emission on the node goroutine, flushing early when
+// a full batch has accumulated (expansive operators can emit many
+// tuples per input).
+func (n *node) stage(key stream.Key, payload any, born int64) {
 	if born == 0 {
 		born = n.e.NowMillis()
 	}
+	n.pend = append(n.pend, staged{key: key, payload: payload, born: born})
+	if len(n.pend) >= n.e.cfg.BatchSize {
+		n.flushPending()
+	}
+}
+
+// flushPending routes and sends everything staged on the node
+// goroutine, then clears the staging slots so retained payload
+// references do not outlive the flush.
+func (n *node) flushPending() {
+	if len(n.pend) == 0 {
+		return
+	}
+	n.emitAll(n.pend)
+	clear(n.pend)
+	n.pend = n.pend[:0]
+}
+
+// emitAll stamps, buffers, routes and sends a slice of emissions in
+// chunks of the configured batch size. Safe from any goroutine (node
+// goroutines, source drivers, InjectBatch): each chunk takes the node
+// mutex once.
+func (n *node) emitAll(items []staged) {
+	bs := n.e.cfg.BatchSize
+	for len(items) > 0 {
+		chunk := items
+		if len(chunk) > bs {
+			chunk = items[:bs]
+		}
+		items = items[len(chunk):]
+		n.emitChunk(chunk)
+	}
+}
+
+// getBatch returns an empty delivery batch with capacity for n tuples,
+// reusing a processed one when the pool has a large enough fit.
+func (e *Engine) getBatch(n int) []delivery {
+	if v := e.batchPool.Get(); v != nil {
+		ds := *v.(*[]delivery)
+		if cap(ds) >= n {
+			return ds[:0]
+		}
+	}
+	return make([]delivery, 0, n)
+}
+
+// putBatch recycles a fully processed batch. Elements are cleared
+// first so pooled backing arrays do not pin already-processed tuple
+// payloads against the garbage collector.
+func (e *Engine) putBatch(ds []delivery) {
+	if cap(ds) == 0 {
+		return
+	}
+	clear(ds)
+	ds = ds[:0]
+	e.batchPool.Put(&ds)
+}
+
+// outSend is one batch ready for channel delivery.
+type outSend struct {
+	target *node
+	ds     []delivery
+}
+
+// emitChunk is the core of the batched data path: under ONE acquisition
+// of n.mu it loads the route-table snapshot, reserves a run of output
+// timestamps, appends retained tuples to the output buffer through the
+// pre-resolved handles, and groups deliveries per target; the channel
+// sends happen after the lock is released. Loading the table inside the
+// lock serialises emission against buffer repartitioning during a
+// replacement: a tuple either lands in the buffer before repartitioning
+// (and is replayed under the new routing) or is routed with the new
+// table.
+func (n *node) emitChunk(chunk []staged) {
 	n.mu.Lock()
-	out := stream.Tuple{TS: n.outClock.Next(), Key: key, Born: born, Payload: payload}
+	rt := n.routes.Load()
+	if rt == nil {
+		n.mu.Unlock()
+		return
+	}
+	base := n.outClock.NextN(len(chunk))
+	var sends []outSend
+	for hi := range rt.hops {
+		h := &rt.hops[hi]
+		if len(h.nodes) == 1 {
+			// Unpartitioned downstream — the common case: no routing
+			// lookup, no per-tuple grouping.
+			tn := h.nodes[0]
+			var ds []delivery
+			if tn != nil {
+				ds = n.e.getBatch(len(chunk))
+			}
+			for i := range chunk {
+				s := &chunk[i]
+				t := stream.Tuple{TS: base + int64(i), Key: s.key, Born: s.born, Payload: s.payload}
+				if h.buffer {
+					h.handles[0].Append(t)
+				}
+				if tn != nil {
+					ds = append(ds, delivery{from: n.inst, input: h.input, t: t})
+				}
+			}
+			if tn != nil {
+				sends = append(sends, outSend{target: tn, ds: ds})
+			}
+			continue
+		}
+		// Partitioned downstream: group this chunk's tuples by routing
+		// entry. Chunks are small, so a linear scan over the open sends
+		// beats a map.
+		start := len(sends)
+		for i := range chunk {
+			s := &chunk[i]
+			idx := h.routing.LookupIndex(s.key)
+			t := stream.Tuple{TS: base + int64(i), Key: s.key, Born: s.born, Payload: s.payload}
+			if h.buffer {
+				h.handles[idx].Append(t)
+			}
+			tn := h.nodes[idx]
+			if tn == nil {
+				continue
+			}
+			var out *outSend
+			for j := start; j < len(sends); j++ {
+				if sends[j].target == tn {
+					out = &sends[j]
+					break
+				}
+			}
+			if out == nil {
+				// Capacity for the whole chunk up front: one batch per
+				// (hop, target) instead of log(len) growth reallocs.
+				sends = append(sends, outSend{target: tn, ds: n.e.getBatch(len(chunk))})
+				out = &sends[len(sends)-1]
+			}
+			out.ds = append(out.ds, delivery{from: n.inst, input: h.input, t: t})
+		}
+	}
 	n.mu.Unlock()
-	n.e.route(n, out)
-}
-
-// route delivers a tuple to every downstream logical operator.
-func (e *Engine) route(n *node, out stream.Tuple) {
-	e.mu.RLock()
-	type hop struct {
-		target *node
-		input  int
-	}
-	var hops []hop
-	for _, downOp := range e.mgr.Query().Downstream(n.inst.Op) {
-		r := e.routings[downOp]
-		if r == nil {
-			continue
-		}
-		target := r.Lookup(out.Key)
-		if e.cfg.CheckpointInterval > 0 && e.mgr.Query().Op(downOp).Role != plan.RoleSink {
-			n.mu.Lock()
-			n.outBuf.Append(target, out)
-			n.mu.Unlock()
-		}
-		if tn := e.nodes[target]; tn != nil {
-			hops = append(hops, hop{target: tn, input: e.mgr.Query().InputIndex(n.inst.Op, downOp)})
-		}
-	}
-	e.mu.RUnlock()
-	for _, h := range hops {
+	for i := range sends {
+		s := &sends[i]
 		select {
-		case h.target.in <- delivery{from: n.inst, input: h.input, t: out}:
-		case <-h.target.stopped:
-			// Receiver stopped; the tuple stays in our output buffer for
+		case s.target.in <- s.ds:
+		case <-s.target.stopped:
+			// Receiver stopped; the tuples stay in our output buffer for
 			// replay after its replacement is deployed.
+			n.e.putBatch(s.ds)
 		}
 	}
 }
 
-// fireTimers invokes OnTime on TimeDriven operators.
+// fireTimers delivers a tick to every node hosting a TimeDriven
+// operator, to be processed on that node's goroutine. The node set is
+// an atomic snapshot — no engine lock, no per-tick slice rebuild. A
+// node whose control queue is full skips the tick; the next one follows
+// within a timer interval.
 func (e *Engine) fireTimers() {
-	e.mu.RLock()
-	var ns []*node
-	for _, n := range e.nodes {
-		ns = append(ns, n)
+	set := e.set.Load()
+	if set == nil {
+		return
 	}
-	e.mu.RUnlock()
 	now := e.NowMillis()
-	for _, n := range ns {
-		if n.failed.Load() || n.op == nil {
+	for _, n := range set.timed {
+		if n.failed.Load() {
 			continue
 		}
-		if td, ok := n.op.(operator.TimeDriven); ok {
-			td.OnTime(now, func(k stream.Key, p any) { n.emit(k, p, now) })
+		select {
+		case n.ctrl <- ctrlMsg{kind: ctrlTick, now: now}:
+		default:
 		}
 	}
 }

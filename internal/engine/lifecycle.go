@@ -10,96 +10,127 @@ import (
 	"seep/internal/stream"
 )
 
-// checkpointAll runs backup-state for every non-source, non-sink node.
+// Checkpoint barrier protocol. A checkpoint is captured ON the node
+// goroutine: the checkpoint loop sends a barrier control message, the
+// node processes it between input batches, clones its bookkeeping (ack
+// watermarks, timestamp vector, output buffer, output clock) and
+// extracts operator state (full snapshot or incremental delta), and
+// replies with the capture. Because a batch advances ack watermarks and
+// applies operator mutations on the same goroutine, a barrier can never
+// observe a tuple as acknowledged without its state mutation: the
+// ack-before-state window the pre-barrier engine had (checkpoints
+// cloned bookkeeping from another goroutine, racing the gap inside
+// handle()) is structurally gone, matching the simulator, whose
+// snapshots were always within one event. Shipping to the backup host
+// and trimming acknowledged tuples from upstream buffers stay on the
+// checkpoint loop, so the node stalls only for the capture itself.
+
+// capture is the node-side result of a checkpoint barrier: exactly one
+// of full/delta is set; both nil means the state failed to encode and
+// the checkpoint round is skipped (the previous backup is kept rather
+// than shipping partial state).
+type capture struct {
+	full  *state.Checkpoint
+	delta *state.DeltaCheckpoint
+}
+
+// checkpointAll runs backup-state for every non-source, non-sink node,
+// reusing the node-set snapshot rather than rebuilding a slice under
+// the engine lock every interval.
 func (e *Engine) checkpointAll() {
-	e.mu.RLock()
-	var ns []*node
-	for _, n := range e.nodes {
-		if n.failed.Load() || n.spec.Role == plan.RoleSource || n.spec.Role == plan.RoleSink {
+	set := e.set.Load()
+	if set == nil {
+		return
+	}
+	for _, n := range set.stateful {
+		if n.failed.Load() {
 			continue
 		}
-		ns = append(ns, n)
-	}
-	e.mu.RUnlock()
-	for _, n := range ns {
 		e.checkpointNode(n)
 	}
 }
 
-// checkpointNode takes a consistent checkpoint of one node, stores it at
-// its backup host and trims acknowledged tuples from upstream buffers
-// (Algorithm 1). Under an active DeltaPolicy, managed-state nodes ship
-// an incremental checkpoint — the keys dirtied since the last one —
-// whenever a base exists, the per-base delta budget is not exhausted and
-// the delta is small enough; any failure to apply falls back to a full
-// checkpoint, so a delta is never load-bearing.
-//
-// Known limitation (pre-dating the managed store, which inherits it):
-// handle() advances the ack watermark under n.mu before the operator's
-// state mutation lands in the store, so a checkpoint interleaving that
-// window can record a tuple as acknowledged without its state — the
-// tuple is then neither replayed nor reflected after a recovery from
-// that exact checkpoint. The simulator is immune (snapshots are taken
-// within one event); closing it on the live engine needs checkpoint
-// capture on the node goroutine (a checkpoint barrier), tracked as an
-// open item.
+// checkpointNode takes a consistent checkpoint of one node via a
+// barrier, stores it at its backup host and trims acknowledged tuples
+// from upstream buffers (Algorithm 1). Under an active DeltaPolicy,
+// managed-state nodes ship an incremental checkpoint — the keys dirtied
+// since the last one — whenever a base exists, the per-base delta
+// budget is not exhausted and the delta is small enough; any failure to
+// apply falls back to a full checkpoint, so a delta is never
+// load-bearing.
 func (e *Engine) checkpointNode(n *node) {
 	host, err := e.mgr.BackupTarget(n.inst)
 	if err != nil {
 		return
 	}
-	if dc := n.maybeDelta(e.cfg.Delta); dc != nil {
-		if err := e.mgr.Backups().ApplyDelta(host, dc); err == nil {
-			e.trimAcked(n.inst, dc.Acks)
+	cap := e.requestCapture(n)
+	if cap == nil {
+		return
+	}
+	if cap.delta != nil {
+		if err := e.mgr.Backups().ApplyDelta(host, cap.delta); err == nil {
+			e.trimAcked(n.inst, cap.delta.Acks)
 			return
 		}
+		// The backup host could not fold the delta (missing base, moved
+		// host): force and ship a full checkpoint now, so callers that
+		// need a fresh usable backup (ScaleOut) are not left behind a
+		// stale one.
 		n.mu.Lock()
 		n.needFull = true
 		n.mu.Unlock()
+		cap = e.requestCapture(n)
+		if cap == nil {
+			return
+		}
 	}
-	cp := n.snapshot()
-	if cp == nil {
-		// State encode failure: keep the previous backup rather than
-		// shipping partial state.
+	if cap.full == nil {
 		return
 	}
-	if err := e.mgr.Backups().Store(host, cp); err != nil {
+	if err := e.mgr.Backups().Store(host, cap.full); err != nil {
 		return
 	}
 	n.mu.Lock()
 	n.needFull = false
 	n.deltasSince = 0
 	n.mu.Unlock()
-	e.trimAcked(n.inst, cp.Acks)
+	e.trimAcked(n.inst, cap.full.Acks)
 }
 
-// trimAcked trims acknowledged tuples from upstream buffers after a
-// successful backup (Algorithm 1 line 4).
-func (e *Engine) trimAcked(inst plan.InstanceID, acks map[plan.InstanceID]int64) {
-	e.mu.RLock()
-	for up, ts := range acks {
-		if un := e.nodes[up]; un != nil {
-			un.mu.Lock()
-			un.outBuf.TrimInstance(inst, ts)
-			un.mu.Unlock()
-		}
+// requestCapture obtains a checkpoint capture from the node. On a
+// running engine it inserts a barrier into the node's control queue and
+// waits for the node goroutine to process it between batches; before
+// Start (single-threaded setup) it captures inline.
+func (e *Engine) requestCapture(n *node) *capture {
+	if !e.started.Load() {
+		return n.captureCheckpoint()
 	}
-	e.mu.RUnlock()
-}
-
-// maybeDelta extracts an incremental checkpoint when the policy allows
-// one, or nil when a full checkpoint is due (no managed store, policy
-// disabled, no shipped base, delta budget exhausted, encode failure, or
-// delta too large relative to the base).
-func (n *node) maybeDelta(p state.DeltaPolicy) *state.DeltaCheckpoint {
-	if n.store == nil || !p.Enabled() {
+	reply := make(chan *capture, 1)
+	select {
+	case n.ctrl <- ctrlMsg{kind: ctrlBarrier, reply: reply}:
+	case <-n.done:
+		return nil
+	case <-e.stopAll:
 		return nil
 	}
+	select {
+	case c := <-reply:
+		return c
+	case <-n.done:
+		// Node stopped before processing the barrier.
+		return nil
+	}
+}
+
+// captureCheckpoint runs on the node goroutine (or inline before
+// Start). It clones the node bookkeeping under the narrow lock — the
+// lock is needed only against cross-goroutine trims and replacement,
+// never against processing, which is this same goroutine — and then
+// extracts operator state with no node lock held.
+func (n *node) captureCheckpoint() *capture {
+	p := n.e.cfg.Delta
 	n.mu.Lock()
-	if n.needFull || n.deltasSince >= p.FullEvery-1 {
-		n.mu.Unlock()
-		return nil
-	}
+	tryDelta := n.store != nil && p.Enabled() && !n.needFull && n.deltasSince < p.FullEvery-1
 	base := n.ckptSeq
 	n.ckptSeq++
 	seq := n.ckptSeq
@@ -109,40 +140,25 @@ func (n *node) maybeDelta(p state.DeltaPolicy) *state.DeltaCheckpoint {
 	acks := state.CloneAcks(n.acks)
 	n.mu.Unlock()
 
-	d, err := n.store.TakeDelta(tsVec, base, seq)
-	if err != nil {
-		return nil
+	if tryDelta {
+		d, err := n.store.TakeDelta(tsVec, base, seq)
+		if err == nil && p.DeltaAllowed(d.Size(), n.store.LastFullSize()) {
+			n.mu.Lock()
+			n.deltasSince++
+			n.mu.Unlock()
+			return &capture{delta: &state.DeltaCheckpoint{
+				Instance: n.inst,
+				Delta:    d,
+				Buffer:   buf,
+				OutClock: clock,
+				Acks:     acks,
+			}}
+		}
+		// Delta unavailable or too large relative to the base: fall
+		// through to a full checkpoint with the same capture. The dirty
+		// set is consumed, but the full snapshot supersedes everything
+		// the delta held.
 	}
-	if !p.DeltaAllowed(d.Size(), n.store.LastFullSize()) {
-		// The dirty set is consumed, but the full checkpoint that
-		// follows supersedes everything the delta held.
-		return nil
-	}
-	n.mu.Lock()
-	n.deltasSince++
-	n.mu.Unlock()
-	return &state.DeltaCheckpoint{
-		Instance: n.inst,
-		Delta:    d,
-		Buffer:   buf,
-		OutClock: clock,
-		Acks:     acks,
-	}
-}
-
-// snapshot builds a full checkpoint (checkpoint-state, §3.2). Operator
-// state is copied under the store lock (or the legacy operator's own
-// lock); node bookkeeping under the node lock. Returns nil when the
-// managed state fails to encode.
-func (n *node) snapshot() *state.Checkpoint {
-	n.mu.Lock()
-	n.ckptSeq++
-	seq := n.ckptSeq
-	tsVec := n.tsVec.Clone()
-	buf := n.outBuf.Clone()
-	clock := n.outClock.Last()
-	acks := state.CloneAcks(n.acks)
-	n.mu.Unlock()
 
 	proc := state.NewProcessing(len(tsVec))
 	proc.TS = tsVec
@@ -153,17 +169,36 @@ func (n *node) snapshot() *state.Checkpoint {
 		}
 		proc.KV = kv
 	}
-	return &state.Checkpoint{
+	return &capture{full: &state.Checkpoint{
 		Instance:   n.inst,
 		Seq:        seq,
 		Processing: proc,
 		Buffer:     buf,
 		OutClock:   clock,
 		Acks:       acks,
+	}}
+}
+
+// trimAcked trims acknowledged tuples from upstream buffers after a
+// successful backup (Algorithm 1 line 4).
+func (e *Engine) trimAcked(inst plan.InstanceID, acks map[plan.InstanceID]int64) {
+	set := e.set.Load()
+	if set == nil {
+		return
+	}
+	for up, ts := range acks {
+		if un := set.byInst[up]; un != nil {
+			un.mu.Lock()
+			un.outBuf.TrimInstance(inst, ts)
+			un.mu.Unlock()
+		}
 	}
 }
 
-// restore installs a checkpoint on a fresh node (restore-state).
+// restore installs a checkpoint on a fresh node (restore-state). The
+// node must not be running: restore replaces the output buffer object,
+// invalidating any route-table handles into it, so it always precedes
+// the topology rebuild that re-resolves them.
 func (n *node) restore(cp *state.Checkpoint) error {
 	if n.op != nil {
 		if err := operator.RestoreState(n.op, cp.Processing.KV); err != nil {
@@ -257,9 +292,15 @@ func (e *Engine) ScaleOut(victim plan.InstanceID, pi int) error {
 // replace executes Algorithm 3: plan (partition the backed-up checkpoint,
 // update the execution graph and routing), deploy replacement nodes,
 // restore state, switch routing, repartition upstream buffers, and
-// replay. The routing switch and buffer repartitioning happen under the
-// engine write lock — the moral equivalent of stopping the upstream
-// operators (lines 9-14) — while tuple replay rides the normal channels.
+// replay. The routing switch (an atomic route-table rebuild) and buffer
+// repartitioning happen under the engine write lock — the moral
+// equivalent of stopping the upstream operators (lines 9-14) — while
+// tuple replay rides the normal channels. Ordering matters: the new
+// route tables are installed BEFORE upstream buffers are repartitioned,
+// and emitters load the table inside their own node lock, so every
+// emitted tuple is either already buffered when its target's buffer
+// entry is repartitioned (and thus replayed under the new routing) or
+// routed with the new table.
 func (e *Engine) replace(victim plan.InstanceID, pi int, failure bool) error {
 	q := e.mgr.Query()
 	startedAt := e.NowMillis()
@@ -292,6 +333,14 @@ func (e *Engine) replace(victim plan.InstanceID, pi int, failure bool) error {
 	}
 
 	e.mu.Lock()
+	select {
+	case <-e.stopAll:
+		// The engine is stopping: starting replacement goroutines now
+		// would leak past Stop's node snapshot.
+		e.mu.Unlock()
+		return fmt.Errorf("engine: stopping; %s not replaced", victim)
+	default:
+	}
 	old := e.nodes[victim]
 	if old != nil {
 		old.failed.Store(true)
@@ -301,6 +350,9 @@ func (e *Engine) replace(victim plan.InstanceID, pi int, failure bool) error {
 		e.nodes[nn.inst] = nn
 	}
 	e.routings[victim.Op] = rp.Routing
+	// Install the new epoch's route tables and node set before touching
+	// any upstream buffer (see the ordering argument above).
+	e.rebuildTopology()
 
 	// Downstream ack inheritance for deterministic π=1 replay (see
 	// DESIGN.md on duplicate detection across partitioned restarts).
@@ -316,8 +368,12 @@ func (e *Engine) replace(victim plan.InstanceID, pi int, failure bool) error {
 	}
 
 	// The victim's own buffered output replays to downstream operators
-	// (line 7): queue onto the new nodes' replay queues so it precedes
-	// anything they emit themselves.
+	// (line 7). Those nodes are already running, so the replay rides
+	// their input channels — enqueued here, before the new nodes start,
+	// so it precedes anything the new instances emit themselves
+	// (channels are FIFO). replayQueue is only for the not-yet-started
+	// replacement nodes, whose goroutines do not exist yet.
+	replayTo := make(map[*node][]delivery)
 	for i, nn := range newNodes {
 		cp := rp.Checkpoints[i]
 		for _, target := range cp.Buffer.Targets() {
@@ -329,13 +385,19 @@ func (e *Engine) replace(victim plan.InstanceID, pi int, failure bool) error {
 				}
 				if tn := e.nodes[to]; tn != nil {
 					replayed++
-					tn.replayQueue = append(tn.replayQueue, delivery{
+					replayTo[tn] = append(replayTo[tn], delivery{
 						from:  nn.inst,
 						input: q.InputIndex(victim.Op, to.Op),
 						t:     t,
 					})
 				}
 			}
+		}
+	}
+	for tn, ds := range replayTo {
+		select {
+		case tn.in <- ds:
+		case <-tn.stopped:
 		}
 	}
 	// Upstream buffers: repartition under the new routing and queue the
@@ -415,7 +477,7 @@ func (e *Engine) AddSourceFunc(inst plan.InstanceID, rate func(nowMillis int64) 
 	}
 	s := &sourceDriver{inst: inst, rate: rate, gen: gen}
 	e.sources = append(e.sources, s)
-	running := e.started
+	running := e.started.Load()
 	e.mu.Unlock()
 	if running {
 		e.startSource(s)
@@ -423,35 +485,53 @@ func (e *Engine) AddSourceFunc(inst plan.InstanceID, rate func(nowMillis int64) 
 	return nil
 }
 
+// startSource runs the driver loop: each tick the accrued tuples are
+// staged locally and emitted as micro-batches. BatchLinger bounds how
+// long a partial batch waits for the next tick.
 func (e *Engine) startSource(s *sourceDriver) {
 	e.wg.Add(1)
 	go func() {
 		defer e.wg.Done()
-		const tick = 10 * time.Millisecond
+		// The tick IS the linger: accrued tuples flush every interval,
+		// so a partial batch waits at most one linger. The carry-based
+		// rate conversion is exact at any tick length; long lingers
+		// trade latency (and source burstiness) for batch fullness.
+		tick := e.cfg.BatchLinger
+		if tick <= 0 {
+			tick = 10 * time.Millisecond
+		}
 		ticker := time.NewTicker(tick)
 		defer ticker.Stop()
 		var emitted uint64
 		carry := 0.0
+		var pend []staged
 		for {
 			select {
 			case <-e.stopAll:
 				return
 			case <-ticker.C:
-				e.mu.RLock()
-				n := e.nodes[s.inst]
-				e.mu.RUnlock()
+				set := e.set.Load()
+				if set == nil {
+					continue
+				}
+				n := set.byInst[s.inst]
 				if n == nil {
 					return
 				}
 				carry += s.rate(e.NowMillis()) * tick.Seconds()
 				k := int(carry)
 				carry -= float64(k)
+				if k == 0 {
+					continue
+				}
 				born := e.NowMillis()
+				pend = pend[:0]
 				for i := 0; i < k; i++ {
 					key, payload := s.gen(emitted)
 					emitted++
-					n.emit(key, payload, born)
+					pend = append(pend, staged{key: key, payload: payload, born: born})
 				}
+				n.emitAll(pend)
 			}
 		}
 	}()
@@ -467,20 +547,33 @@ func (e *Engine) InjectBatch(inst plan.InstanceID, count int, gen func(i uint64)
 		return fmt.Errorf("engine: %s is not a live source", inst)
 	}
 	born := e.NowMillis()
+	bs := e.cfg.BatchSize
+	if bs > count {
+		bs = count
+	}
+	// Stage in batch-sized chunks rather than materialising all count
+	// tuples at once: generation interleaves with processing and memory
+	// stays bounded by the batch size.
+	pend := make([]staged, 0, bs)
 	for i := 0; i < count; i++ {
 		key, payload := gen(uint64(i))
-		n.emit(key, payload, born)
+		pend = append(pend, staged{key: key, payload: payload, born: born})
+		if len(pend) == cap(pend) {
+			n.emitAll(pend)
+			pend = pend[:0]
+		}
 	}
+	n.emitAll(pend)
 	return nil
 }
 
 // NodeProcessed returns how many tuples an instance has processed (0 if
 // unknown).
 func (e *Engine) NodeProcessed(inst plan.InstanceID) uint64 {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	if n := e.nodes[inst]; n != nil {
-		return n.processed.Value()
+	if set := e.set.Load(); set != nil {
+		if n := set.byInst[inst]; n != nil {
+			return n.processed.Value()
+		}
 	}
 	return 0
 }
@@ -488,16 +581,17 @@ func (e *Engine) NodeProcessed(inst plan.InstanceID) uint64 {
 // OperatorOf returns the operator instance object hosted by inst, so
 // tests and examples can inspect state (nil if unknown).
 func (e *Engine) OperatorOf(inst plan.InstanceID) any {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	if n := e.nodes[inst]; n != nil {
-		return n.op
+	if set := e.set.Load(); set != nil {
+		if n := set.byInst[inst]; n != nil {
+			return n.op
+		}
 	}
 	return nil
 }
 
 // Checkpoint forces an immediate checkpoint of one instance (tests and
-// examples; production uses the periodic loop).
+// examples; production uses the periodic loop). On a running engine the
+// checkpoint is captured via a barrier on the instance's goroutine.
 func (e *Engine) Checkpoint(inst plan.InstanceID) error {
 	e.mu.RLock()
 	n := e.nodes[inst]
@@ -532,10 +626,12 @@ func (e *Engine) Quiesce(settle, timeout time.Duration) bool {
 }
 
 func (e *Engine) totalProcessed() uint64 {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
+	set := e.set.Load()
+	if set == nil {
+		return 0
+	}
 	var n uint64
-	for _, nd := range e.nodes {
+	for _, nd := range set.nodes {
 		n += nd.processed.Value()
 	}
 	return n

@@ -15,12 +15,17 @@ import (
 // utilisation reports crossing δ.
 type UtilSampler func(inst plan.InstanceID) (util float64, ok bool)
 
-// QueueFillSampler returns the default backpressure-based sampler.
+// QueueFillSampler returns the default backpressure-based sampler. The
+// input channel carries micro-batches, so the fill fraction is measured
+// in batch slots; a queue near capacity still means the operator cannot
+// drain its input.
 func (e *Engine) QueueFillSampler() UtilSampler {
 	return func(inst plan.InstanceID) (float64, bool) {
-		e.mu.RLock()
-		n := e.nodes[inst]
-		e.mu.RUnlock()
+		set := e.set.Load()
+		if set == nil {
+			return 0, false
+		}
+		n := set.byInst[inst]
 		if n == nil || n.failed.Load() {
 			return 0, false
 		}

@@ -9,6 +9,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Histogram records non-negative integer samples (typically latencies in
@@ -289,25 +290,17 @@ func (ts *TimeSeries) Downsample(n int) []Point {
 	return out
 }
 
-// Counter is a monotonically increasing concurrent counter.
+// Counter is a monotonically increasing concurrent counter. Lock-free,
+// so per-tuple and per-batch hot paths can bump it without contention.
 type Counter struct {
-	mu sync.Mutex
-	v  uint64
+	v atomic.Uint64
 }
 
 // Add increments the counter by n.
-func (c *Counter) Add(n uint64) {
-	c.mu.Lock()
-	c.v += n
-	c.mu.Unlock()
-}
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
 
 // Inc increments the counter by one.
-func (c *Counter) Inc() { c.Add(1) }
+func (c *Counter) Inc() { c.v.Add(1) }
 
 // Value returns the current count.
-func (c *Counter) Value() uint64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.v
-}
+func (c *Counter) Value() uint64 { return c.v.Load() }

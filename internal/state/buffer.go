@@ -14,28 +14,121 @@ import (
 // scale out; they are trimmed once a downstream state backup acknowledges
 // them (Algorithm 1 line 4).
 //
+// Tuples per target are kept in emission (timestamp) order, so the
+// acknowledgement-driven trims locate the cut with a binary search and
+// advance a head index instead of reslicing — amortised O(1) per tuple
+// across the append/trim lifecycle, with periodic compaction bounding
+// retained garbage to at most the live tuple count.
+//
 // Buffer is not safe for concurrent use; the owning node serialises
 // access.
 type Buffer struct {
-	// perTarget holds, per downstream instance, the retained tuples in
-	// emission (timestamp) order.
-	perTarget map[plan.InstanceID][]stream.Tuple
+	// perTarget holds, per downstream instance, the retained tuples.
+	// Entries are pointers so BufHandle stays valid across trims and
+	// repartitioning (see Handle).
+	perTarget map[plan.InstanceID]*targetBuf
+}
+
+// targetBuf holds the retained tuples for one downstream instance.
+// Live tuples are buf[head:]; buf[:head] has been trimmed (and zeroed,
+// so payloads are collectable) but not yet compacted away.
+type targetBuf struct {
+	buf  []stream.Tuple
+	head int
+}
+
+func (tb *targetBuf) live() []stream.Tuple { return tb.buf[tb.head:] }
+
+func (tb *targetBuf) append(t stream.Tuple) { tb.buf = append(tb.buf, t) }
+
+// trim discards live tuples with TS ≤ ts and returns how many. The cut
+// is found with sort.Search over the TS-ordered live window; the head
+// index advances in O(log n) plus O(trimmed) to release payloads.
+func (tb *targetBuf) trim(ts int64) int {
+	live := tb.live()
+	i := sort.Search(len(live), func(i int) bool { return live[i].TS > ts })
+	if i == 0 {
+		return 0
+	}
+	for j := tb.head; j < tb.head+i; j++ {
+		tb.buf[j] = stream.Tuple{}
+	}
+	tb.head += i
+	tb.compact()
+	return i
+}
+
+// compact slides the live window to the front once trimmed slots make up
+// at least half of the backing array, so memory stays proportional to
+// the live tuple count without paying a copy on every trim.
+func (tb *targetBuf) compact() {
+	if tb.head < 64 || tb.head*2 < len(tb.buf) {
+		return
+	}
+	n := copy(tb.buf, tb.buf[tb.head:])
+	tail := tb.buf[n:]
+	for i := range tail {
+		tail[i] = stream.Tuple{}
+	}
+	tb.buf = tb.buf[:n]
+	tb.head = 0
+}
+
+// reset drops all tuples but keeps the struct (and any handles to it)
+// valid.
+func (tb *targetBuf) reset() {
+	for i := range tb.buf {
+		tb.buf[i] = stream.Tuple{}
+	}
+	tb.buf = tb.buf[:0]
+	tb.head = 0
 }
 
 // NewBuffer returns an empty output buffer.
 func NewBuffer() *Buffer {
-	return &Buffer{perTarget: make(map[plan.InstanceID][]stream.Tuple)}
+	return &Buffer{perTarget: make(map[plan.InstanceID]*targetBuf)}
+}
+
+func (b *Buffer) target(t plan.InstanceID) *targetBuf {
+	tb := b.perTarget[t]
+	if tb == nil {
+		tb = &targetBuf{}
+		b.perTarget[t] = tb
+	}
+	return tb
 }
 
 // Append retains a tuple sent to the given downstream instance.
 func (b *Buffer) Append(target plan.InstanceID, t stream.Tuple) {
-	b.perTarget[target] = append(b.perTarget[target], t)
+	b.target(target).append(t)
 }
+
+// BufHandle is a stable append handle for one downstream instance,
+// letting hot emit paths skip the per-tuple map lookup of Append. A
+// handle stays valid for the lifetime of its Buffer — including across
+// trims and Repartition, which clear per-target storage in place rather
+// than dropping it — and is invalidated only when the owning node
+// replaces the Buffer object wholesale (restore from checkpoint), after
+// which handles must be re-acquired.
+type BufHandle struct{ tb *targetBuf }
+
+// Handle returns the append handle for a downstream instance, creating
+// empty storage for it if needed.
+func (b *Buffer) Handle(target plan.InstanceID) BufHandle {
+	return BufHandle{tb: b.target(target)}
+}
+
+// Append retains a tuple via the cached handle.
+func (h BufHandle) Append(t stream.Tuple) { h.tb.append(t) }
 
 // Tuples returns the retained tuples for one downstream instance, βo(d),
 // in emission order. The returned slice is a copy.
 func (b *Buffer) Tuples(target plan.InstanceID) []stream.Tuple {
-	src := b.perTarget[target]
+	tb := b.perTarget[target]
+	if tb == nil {
+		return nil
+	}
+	src := tb.live()
 	out := make([]stream.Tuple, len(src))
 	copy(out, src)
 	return out
@@ -49,9 +142,9 @@ func (b *Buffer) Tuples(target plan.InstanceID) []stream.Tuple {
 // deterministic regardless of map iteration order.
 func (b *Buffer) TuplesForOp(op plan.OpID) []stream.Tuple {
 	var out []stream.Tuple
-	for target, ts := range b.perTarget {
+	for target, tb := range b.perTarget {
 		if target.Op == op {
-			out = append(out, ts...)
+			out = append(out, tb.live()...)
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -70,8 +163,10 @@ func (b *Buffer) TuplesForOp(op plan.OpID) []stream.Tuple {
 // deterministic order.
 func (b *Buffer) Targets() []plan.InstanceID {
 	out := make([]plan.InstanceID, 0, len(b.perTarget))
-	for t := range b.perTarget {
-		out = append(out, t)
+	for t, tb := range b.perTarget {
+		if len(tb.live()) > 0 {
+			out = append(out, t)
+		}
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Op != out[j].Op {
@@ -88,19 +183,11 @@ func (b *Buffer) Targets() []plan.InstanceID {
 // tuples discarded.
 func (b *Buffer) Trim(op plan.OpID, ts int64) int {
 	n := 0
-	for target, tuples := range b.perTarget {
+	for target, tb := range b.perTarget {
 		if target.Op != op {
 			continue
 		}
-		// Tuples are in emission order; find the first retained index.
-		i := sort.Search(len(tuples), func(i int) bool { return tuples[i].TS > ts })
-		if i == 0 {
-			continue
-		}
-		n += i
-		rest := make([]stream.Tuple, len(tuples)-i)
-		copy(rest, tuples[i:])
-		b.perTarget[target] = rest
+		n += tb.trim(ts)
 	}
 	return n
 }
@@ -111,15 +198,11 @@ func (b *Buffer) Trim(op plan.OpID, ts int64) int {
 // the tuples that instance has reflected in its checkpoint may be
 // discarded; siblings' tuples stay. Returns the number discarded.
 func (b *Buffer) TrimInstance(target plan.InstanceID, ts int64) int {
-	tuples := b.perTarget[target]
-	i := sort.Search(len(tuples), func(i int) bool { return tuples[i].TS > ts })
-	if i == 0 {
+	tb := b.perTarget[target]
+	if tb == nil {
 		return 0
 	}
-	rest := make([]stream.Tuple, len(tuples)-i)
-	copy(rest, tuples[i:])
-	b.perTarget[target] = rest
-	return i
+	return tb.trim(ts)
 }
 
 // TrimBornBefore discards tuples whose lineage entered the system before
@@ -128,28 +211,34 @@ func (b *Buffer) TrimInstance(target plan.InstanceID, ts int64) int {
 // never be needed again (§6.2). Returns the number discarded.
 func (b *Buffer) TrimBornBefore(cutoff int64) int {
 	n := 0
-	for target, tuples := range b.perTarget {
-		kept := tuples[:0]
-		for _, t := range tuples {
+	for _, tb := range b.perTarget {
+		live := tb.live()
+		kept := live[:0]
+		for _, t := range live {
 			if t.Born >= cutoff {
 				kept = append(kept, t)
 			} else {
 				n++
 			}
 		}
-		b.perTarget[target] = kept
+		for i := len(kept); i < len(live); i++ {
+			live[i] = stream.Tuple{}
+		}
+		tb.buf = tb.buf[:tb.head+len(kept)]
+		tb.compact()
 	}
 	return n
 }
 
 // DropOp removes all retained tuples for instances of op, e.g. when the
 // tuples were re-assigned during repartitioning. Returns the dropped
-// tuples merged in timestamp order.
+// tuples merged in timestamp order. Per-target storage is cleared in
+// place, so handles obtained before the drop remain valid.
 func (b *Buffer) DropOp(op plan.OpID) []stream.Tuple {
 	out := b.TuplesForOp(op)
-	for target := range b.perTarget {
+	for target, tb := range b.perTarget {
 		if target.Op == op {
-			delete(b.perTarget, target)
+			tb.reset()
 		}
 	}
 	return out
@@ -169,24 +258,35 @@ func (b *Buffer) Repartition(op plan.OpID, routing *Routing) {
 // Len returns the total number of retained tuples across all targets.
 func (b *Buffer) Len() int {
 	n := 0
-	for _, ts := range b.perTarget {
-		n += len(ts)
+	for _, tb := range b.perTarget {
+		n += len(tb.live())
 	}
 	return n
 }
 
 // LenFor returns the number of retained tuples for one downstream
 // instance.
-func (b *Buffer) LenFor(target plan.InstanceID) int { return len(b.perTarget[target]) }
+func (b *Buffer) LenFor(target plan.InstanceID) int {
+	tb := b.perTarget[target]
+	if tb == nil {
+		return 0
+	}
+	return len(tb.live())
+}
 
 // Clone returns a deep copy of the buffer (tuple slices copied; payloads
-// are shared, as tuples are immutable by convention).
+// are shared, as tuples are immutable by convention). Targets with no
+// live tuples are omitted from the copy.
 func (b *Buffer) Clone() *Buffer {
 	out := NewBuffer()
-	for target, ts := range b.perTarget {
-		cp := make([]stream.Tuple, len(ts))
-		copy(cp, ts)
-		out.perTarget[target] = cp
+	for target, tb := range b.perTarget {
+		src := tb.live()
+		if len(src) == 0 {
+			continue
+		}
+		cp := make([]stream.Tuple, len(src))
+		copy(cp, src)
+		out.perTarget[target] = &targetBuf{buf: cp}
 	}
 	return out
 }

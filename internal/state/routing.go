@@ -185,6 +185,14 @@ func (r *Routing) Targets() []plan.InstanceID {
 // Lookup returns the downstream instance responsible for key k. The
 // entries always tile the key space, so lookup cannot miss.
 func (r *Routing) Lookup(k stream.Key) plan.InstanceID {
+	return r.entries[r.LookupIndex(k)].Target
+}
+
+// LookupIndex returns the index (in Entries order) of the route entry
+// responsible for key k. Hot paths that pre-resolve per-entry data —
+// target node pointers, buffer handles — index their caches with it
+// instead of re-resolving the InstanceID per tuple.
+func (r *Routing) LookupIndex(k stream.Key) int {
 	// Binary search over sorted, tiling ranges.
 	lo, hi := 0, len(r.entries)-1
 	for lo < hi {
@@ -195,7 +203,7 @@ func (r *Routing) Lookup(k stream.Key) plan.InstanceID {
 			hi = mid
 		}
 	}
-	return r.entries[lo].Target
+	return lo
 }
 
 // RangeOf returns the key interval currently routed to instance id and

@@ -98,6 +98,18 @@ func (c *Clock) Next() int64 {
 	return c.last
 }
 
+// NextN reserves n consecutive timestamps and returns the first, so a
+// batch of emissions is stamped with one clock touch. NextN(1) equals
+// Next(); n < 1 reserves nothing and returns the would-be next value.
+func (c *Clock) NextN(n int) int64 {
+	if n < 1 {
+		return c.last + 1
+	}
+	first := c.last + 1
+	c.last += int64(n)
+	return first
+}
+
 // Last returns the most recently issued timestamp (0 if none).
 func (c *Clock) Last() int64 { return c.last }
 

@@ -157,6 +157,8 @@ func (r *liveRuntime) Deploy(t *Topology) (Job, error) {
 		CheckpointInterval: checkpoint,
 		TimerInterval:      r.cfg.timer,
 		ChannelBuffer:      r.cfg.channelBuffer,
+		BatchSize:          r.cfg.batchSize,
+		BatchLinger:        r.cfg.batchLinger,
 		Delta:              r.cfg.delta,
 	}, q, factories)
 	if err != nil {
