@@ -17,10 +17,12 @@ import (
 	"seep/internal/core"
 	"seep/internal/engine"
 	"seep/internal/experiments"
+	"seep/internal/metrics"
 	"seep/internal/operator"
 	"seep/internal/plan"
 	"seep/internal/state"
 	"seep/internal/stream"
+	"seep/internal/transport"
 )
 
 func runExperiment(b *testing.B, name string) *experiments.Table {
@@ -114,6 +116,62 @@ func BenchmarkEnginePipeline(b *testing.B) {
 			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "tuples/s")
 		})
 	}
+}
+
+// BenchmarkTransportPipeline is the wire-throughput anchor recorded in
+// BENCH_transport.json: b.N string-payload tuples ship through the
+// checksummed v2 framing as 256-tuple batch frames over loopback TCP and
+// are decoded and counted at the listener. ns/op is per tuple end to end
+// (encode + CRC + syscalls + decode), the budget a worker-to-worker hop
+// adds on top of the in-process path measured by BenchmarkEnginePipeline.
+func BenchmarkTransportPipeline(b *testing.B) {
+	var received metrics.Counter
+	codec := state.StringPayloadCodec{}
+	l, err := transport.ListenWith("127.0.0.1:0", codec, transport.Handlers{
+		OnBatch: func(bt transport.Batch) { received.Add(uint64(len(bt.Tuples))) },
+	}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	p, err := transport.Dial(l.Addr(), codec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Close()
+
+	const batchSize = 256
+	tuples := make([]stream.Tuple, batchSize)
+	for i := range tuples {
+		tuples[i] = stream.Tuple{Key: stream.Key(stream.Mix64(uint64(i))), Born: 1, Payload: "payload-string"}
+	}
+	batch := transport.Batch{
+		From: plan.InstanceID{Op: "split", Part: 1},
+		To:   plan.InstanceID{Op: "count", Part: 1},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var ts int64
+	for sent := 0; sent < b.N; {
+		n := batchSize
+		if rem := b.N - sent; rem < n {
+			n = rem
+		}
+		batch.Tuples = tuples[:n]
+		for i := range batch.Tuples {
+			ts++
+			batch.Tuples[i].TS = ts
+		}
+		if err := p.SendBatch(batch); err != nil {
+			b.Fatal(err)
+		}
+		sent += n
+	}
+	for received.Value() < uint64(b.N) {
+		time.Sleep(50 * time.Microsecond)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "tuples/s")
 }
 
 // --- micro-benchmarks of the state management primitives ---

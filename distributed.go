@@ -1,0 +1,431 @@
+package seep
+
+import (
+	"encoding/gob"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"seep/internal/dist"
+	"seep/internal/operator"
+	"seep/internal/plan"
+	"seep/internal/state"
+)
+
+// Distributed returns the distributed runtime: a coordinator owning the
+// plan, the authoritative checkpoint store and the scaling decisions,
+// plus workers — separate hosts — each running a subset of the operator
+// instances on a live engine, exchanging tuple batches over TCP. This is
+// the deployment substrate the paper assumes: instances on real VMs,
+// heartbeat failure detection (§5), and recovery/scale-out through the
+// same state-management primitives as the in-process runtimes.
+//
+// Two modes:
+//
+//   - In-process loopback (default, WithWorkers(n)): the runtime spawns
+//     n workers inside this process, each with its own TCP listener.
+//     Every byte still crosses real sockets, failure detection is real
+//     heartbeats, and Job.Fail kills a whole worker — development and
+//     test mode.
+//   - External daemons (WithWorkerAddrs + WithTopologyName): workers are
+//     cmd/seep-worker processes (possibly on other hosts) whose
+//     registries have the topology compiled in; the coordinator runs in
+//     this process.
+//
+// Job.Fail models a VM failure: the worker hosting the instance is
+// crash-stopped and everything it hosted is recovered by the heartbeat
+// detector feeding the coordinator's event loop. Tuple payloads cross
+// the wire gob-encoded by default — register payload types with
+// RegisterPayloadType (library operator outputs are pre-registered).
+func Distributed(opts ...Option) Runtime { return &distRuntime{cfg: buildConfig(opts)} }
+
+type distRuntime struct{ cfg *runtimeConfig }
+
+func (r *distRuntime) Name() string { return "dist" }
+
+func (r *distRuntime) Deploy(t *Topology) (Job, error) {
+	cfg := r.cfg
+	if len(cfg.simOnly) > 0 {
+		return nil, fmt.Errorf("seep: option(s) %s apply only to the Simulated runtime",
+			strings.Join(cfg.simOnly, ", "))
+	}
+	if cfg.deltaSet {
+		return nil, fmt.Errorf("seep: WithIncrementalCheckpoints is not yet supported by the Distributed runtime (checkpoints ship to the coordinator in full)")
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.workersSet && len(cfg.workerAddrs) > 0 {
+		return nil, fmt.Errorf("seep: WithWorkers and WithWorkerAddrs are mutually exclusive")
+	}
+	q, _, err := t.built()
+	if err != nil {
+		return nil, err
+	}
+	codec := cfg.payloadCodec
+	if codec == nil {
+		codec = state.GobPayloadCodec{}
+	}
+	name := cfg.topoName
+	if name == "" {
+		name = "topology"
+	}
+	checkpoint := defaultLiveCheckpoint
+	if cfg.checkpointSet {
+		checkpoint = cfg.checkpoint
+	}
+	detect := defaultDetectDelay
+	if cfg.detect > 0 {
+		detect = cfg.detect
+	}
+	coordAddr := cfg.coordAddr
+	if coordAddr == "" {
+		coordAddr = "127.0.0.1:0"
+	}
+	coordCfg := dist.Config{
+		Addr:               coordAddr,
+		Codec:              codec,
+		Topology:           name,
+		CheckpointInterval: checkpoint,
+		TimerInterval:      cfg.timer,
+		BatchSize:          cfg.batchSize,
+		BatchLinger:        cfg.batchLinger,
+		ChannelBuffer:      cfg.channelBuffer,
+		DetectDelay:        detect,
+		RecoveryPi:         cfg.recoveryPi,
+		Policy:             cfg.policy,
+	}
+
+	j := &distJob{}
+	addrs := cfg.workerAddrs
+	if len(addrs) == 0 {
+		n := cfg.workers
+		if n == 0 {
+			n = 3
+		}
+		reg := topoRegistry{t: t}
+		for i := 0; i < n; i++ {
+			w, err := dist.NewWorker("127.0.0.1:0", reg, codec)
+			if err != nil {
+				j.killWorkers()
+				return nil, err
+			}
+			j.workers = append(j.workers, w)
+			addrs = append(addrs, w.Addr())
+		}
+	}
+	coord, err := dist.NewCoordinator(coordCfg)
+	if err != nil {
+		j.killWorkers()
+		return nil, err
+	}
+	if err := coord.Deploy(q, addrs); err != nil {
+		coord.Close()
+		j.killWorkers()
+		return nil, err
+	}
+	j.coord = coord
+	return j, nil
+}
+
+// topoRegistry serves the deployed topology to in-process workers
+// regardless of the requested name.
+type topoRegistry struct{ t *Topology }
+
+func (r topoRegistry) Lookup(string) (*plan.Query, map[plan.OpID]operator.Factory, []dist.SourceBinding, error) {
+	q, f, err := r.t.built()
+	return q, f, nil, err
+}
+
+// distJob adapts the coordinator + workers to the Job interface.
+type distJob struct {
+	coord   *dist.Coordinator
+	workers []*dist.Worker // empty for external deployments
+
+	mu      sync.Mutex
+	started time.Time
+	stopped bool
+}
+
+func (j *distJob) killWorkers() {
+	for _, w := range j.workers {
+		w.Kill()
+	}
+}
+
+func (j *distJob) Start() {
+	j.mu.Lock()
+	j.started = time.Now()
+	j.mu.Unlock()
+	_ = j.coord.StartJob()
+}
+
+func (j *distJob) Stop() {
+	j.mu.Lock()
+	if j.stopped {
+		j.mu.Unlock()
+		return
+	}
+	j.stopped = true
+	j.mu.Unlock()
+	// Let in-flight recoveries settle before tearing the cluster down.
+	deadline := time.Now().Add(5 * time.Second)
+	for j.coord.Pending() > 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	j.coord.StopJob()
+	j.coord.Close()
+	j.killWorkers()
+}
+
+func (j *distJob) Run(d time.Duration) {
+	deadline := time.Now().Add(d)
+	for j.coord.Pending() > 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	rem := time.Until(deadline)
+	if rem < 250*time.Millisecond {
+		// Recoveries consumed the span: still give cross-worker replay a
+		// moment to settle so post-Run assertions see restored state.
+		rem = 250 * time.Millisecond
+	}
+	if len(j.workers) == 0 {
+		// External workers: no processed-counter visibility; run the span.
+		time.Sleep(rem)
+		return
+	}
+	j.quiesce(100*time.Millisecond, rem)
+}
+
+// quiesce waits until no worker engine processes tuples for the settle
+// window and no transition is pending.
+func (j *distJob) quiesce(settle, timeout time.Duration) {
+	deadline := time.Now().Add(timeout)
+	last := j.totalProcessed()
+	lastChange := time.Now()
+	for time.Now().Before(deadline) {
+		if j.coord.Pending() > 0 {
+			lastChange = time.Now()
+		}
+		time.Sleep(settle / 4)
+		cur := j.totalProcessed()
+		if cur != last {
+			last = cur
+			lastChange = time.Now()
+			continue
+		}
+		if time.Since(lastChange) >= settle {
+			return
+		}
+	}
+}
+
+func (j *distJob) totalProcessed() uint64 {
+	var n uint64
+	for _, w := range j.workers {
+		if eng := w.Engine(); eng != nil {
+			n += eng.TotalProcessed()
+		}
+	}
+	return n
+}
+
+// workerHosting returns the in-process worker currently hosting inst.
+func (j *distJob) workerHosting(inst InstanceID) *dist.Worker {
+	addr := j.coord.PlacementOf(inst)
+	for _, w := range j.workers {
+		if w.Addr() == addr {
+			return w
+		}
+	}
+	return nil
+}
+
+func (j *distJob) sourceInstance(op OpID) (InstanceID, error) {
+	insts := j.coord.Manager().Instances(op)
+	if len(insts) == 0 {
+		return InstanceID{}, fmt.Errorf("seep: no instances of operator %q", op)
+	}
+	return insts[0], nil
+}
+
+func (j *distJob) AddSource(op OpID, rate RateFunc, gen Generator) error {
+	inst, err := j.sourceInstance(op)
+	if err != nil {
+		return err
+	}
+	w := j.workerHosting(inst)
+	if w == nil || w.Engine() == nil {
+		return fmt.Errorf("seep: %s is hosted by an external worker; bind sources in its registry (WorkerRegistry.RegisterSource)", inst)
+	}
+	return w.Engine().AddSourceFunc(inst, rate, gen)
+}
+
+func (j *distJob) InjectBatch(op OpID, count int, gen Generator) error {
+	inst, err := j.sourceInstance(op)
+	if err != nil {
+		return err
+	}
+	w := j.workerHosting(inst)
+	if w == nil || w.Engine() == nil {
+		return fmt.Errorf("seep: %s is hosted by an external worker; bind sources in its registry (WorkerRegistry.RegisterSource)", inst)
+	}
+	return w.Engine().InjectBatch(inst, count, gen)
+}
+
+func (j *distJob) Fail(inst InstanceID) error { return j.coord.Fail(inst) }
+
+func (j *distJob) ScaleOut(victim InstanceID, pi int) error {
+	return j.coord.ScaleOut(victim, pi)
+}
+
+func (j *distJob) Instances(op OpID) []InstanceID { return j.coord.Manager().Instances(op) }
+
+func (j *distJob) OperatorOf(inst InstanceID) any {
+	w := j.workerHosting(inst)
+	if w == nil {
+		return nil
+	}
+	eng := w.Engine()
+	if eng == nil {
+		return nil
+	}
+	return eng.OperatorOf(inst)
+}
+
+func (j *distJob) OnSink(fn func(t Tuple)) {
+	for _, w := range j.workers {
+		if eng := w.Engine(); eng != nil {
+			eng.OnSink = fn
+		}
+	}
+}
+
+func (j *distJob) MetricsSnapshot() Metrics {
+	j.mu.Lock()
+	var elapsed int64
+	if !j.started.IsZero() {
+		elapsed = time.Since(j.started).Milliseconds()
+	}
+	j.mu.Unlock()
+
+	recs := j.coord.Records()
+	out := make([]RecoveryRecord, len(recs))
+	for i, r := range recs {
+		out[i] = RecoveryRecord{
+			Victim:         r.Victim,
+			Pi:             r.Pi,
+			Failure:        r.Failure,
+			StartedAt:      r.StartedAt,
+			CompletedAt:    r.CompletedAt,
+			ReplayedTuples: r.ReplayedTuples,
+		}
+	}
+	m := Metrics{
+		ElapsedMillis: elapsed,
+		Parallelism:   parallelismOf(j.coord.Manager().Query(), func(op OpID) int { return j.coord.Manager().Parallelism(op) }),
+		Recoveries:    out,
+		Checkpoints:   j.coord.Manager().Backups().ShipStats(),
+		Errors:        j.coord.Errors(),
+		Transport:     j.coord.TransportStats(),
+	}
+	if len(j.workers) > 0 {
+		// In-process workers: read engine counters directly. Latency is
+		// reported by the worker hosting the most sink samples (sink
+		// instances are pinned, so in practice that is THE sink host).
+		var bestCount uint64
+		for _, w := range j.workers {
+			m.Transport = m.Transport.Add(w.TransportStats())
+			eng := w.Engine()
+			if eng == nil {
+				continue
+			}
+			m.SinkTuples += eng.SinkCount.Value()
+			m.DuplicatesDropped += eng.DupDropped.Value()
+			if s := eng.Latency.Summarize(); s.Count > bestCount {
+				bestCount = s.Count
+				m.Latency = s
+			}
+		}
+		return m
+	}
+	// External workers: aggregate the counters piggybacked on their
+	// utilisation reports (requires WithPolicy to stream reports).
+	for _, s := range j.coord.WorkerStatsSnapshot() {
+		m.SinkTuples += s.SinkTuples
+		m.DuplicatesDropped += s.DupDropped
+		m.Transport = m.Transport.Add(s.Transport)
+	}
+	return m
+}
+
+// RegisterPayloadType registers a concrete tuple-payload type with the
+// distributed runtime's default gob codec. Every binary in the cluster
+// (coordinator and workers) must register the same types; the library
+// operators' output types are pre-registered.
+func RegisterPayloadType(v any) { gob.Register(v) }
+
+// GobPayloadCodec is the distributed runtime's default payload codec.
+type GobPayloadCodec = state.GobPayloadCodec
+
+// DistWorker is a worker daemon host (see RunWorker).
+type DistWorker = dist.Worker
+
+// SourceSpec binds a generator to a source operator in a worker
+// registry.
+type SourceSpec = dist.SourceBinding
+
+// WorkerRegistry holds the topologies a worker daemon can host,
+// instantiated by name on the coordinator's assignment. Register every
+// topology (and its source bindings) before RunWorker.
+type WorkerRegistry struct {
+	mu      sync.Mutex
+	topos   map[string]*Topology
+	sources map[string][]SourceSpec
+}
+
+// NewWorkerRegistry returns an empty registry.
+func NewWorkerRegistry() *WorkerRegistry {
+	return &WorkerRegistry{
+		topos:   make(map[string]*Topology),
+		sources: make(map[string][]SourceSpec),
+	}
+}
+
+// Register adds a topology under a name.
+func (r *WorkerRegistry) Register(name string, t *Topology) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.topos[name] = t
+}
+
+// RegisterSource binds a generator to a source operator of a registered
+// topology: the worker hosting that source attaches it at Start. This is
+// how external deployments inject data — the coordinator cannot ship Go
+// functions.
+func (r *WorkerRegistry) RegisterSource(name string, op OpID, rate RateFunc, gen Generator) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sources[name] = append(r.sources[name], SourceSpec{Op: op, Rate: rate, Gen: gen})
+}
+
+// Lookup implements the worker registry contract.
+func (r *WorkerRegistry) Lookup(name string) (*plan.Query, map[plan.OpID]operator.Factory, []dist.SourceBinding, error) {
+	r.mu.Lock()
+	t := r.topos[name]
+	sources := r.sources[name]
+	r.mu.Unlock()
+	if t == nil {
+		return nil, nil, nil, fmt.Errorf("seep: topology %q is not in this worker's registry", name)
+	}
+	q, f, err := t.built()
+	return q, f, sources, err
+}
+
+// RunWorker starts a worker daemon listening on addr, serving the
+// registry's topologies. It returns immediately; call Wait on the
+// returned worker to block until the coordinator kills it.
+func RunWorker(addr string, reg *WorkerRegistry) (*DistWorker, error) {
+	return dist.NewWorker(addr, reg, nil)
+}

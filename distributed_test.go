@@ -1,0 +1,215 @@
+package seep_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"seep"
+)
+
+// TestRuntimeParityLiveVsDistributed runs the identical
+// inject → crash → recover → inject scenario of TestRuntimeParityWordCount
+// on the Live runtime and on the Distributed runtime with three loopback
+// workers, and asserts they converge to the same managed state: every
+// tuple reflected exactly once across the failure. On the distributed
+// substrate the failure is harsher — Job.Fail crash-stops the whole
+// worker VM hosting the counter, detection is real heartbeat loss over
+// TCP, and recovery replays across process-style boundaries — yet the
+// per-key counts must match the in-process run exactly.
+func TestRuntimeParityLiveVsDistributed(t *testing.T) {
+	runtimes := []struct {
+		name string
+		rt   seep.Runtime
+	}{
+		{"live", seep.Live(
+			seep.WithCheckpointInterval(100*time.Millisecond),
+			seep.WithDetectDelay(200*time.Millisecond),
+		)},
+		{"dist", seep.Distributed(
+			seep.WithWorkers(3),
+			seep.WithCheckpointInterval(100*time.Millisecond),
+			seep.WithDetectDelay(200*time.Millisecond),
+		)},
+	}
+
+	type outcome struct {
+		counts     map[string]int64
+		recoveries int
+	}
+	results := make(map[string]outcome)
+
+	for _, r := range runtimes {
+		t.Run(r.rt.Name(), func(t *testing.T) {
+			if r.rt.Name() != r.name {
+				t.Fatalf("Name() = %q, want %q", r.rt.Name(), r.name)
+			}
+			job, err := r.rt.Deploy(wordcountTopology())
+			if err != nil {
+				t.Fatal(err)
+			}
+			job.Start()
+			defer job.Stop()
+
+			if err := job.InjectBatch("src", 300, parityGen); err != nil {
+				t.Fatal(err)
+			}
+			job.Run(2 * time.Second)
+
+			victims := job.Instances("count")
+			if len(victims) != 1 {
+				t.Fatalf("Instances(count) = %v", victims)
+			}
+			// Live: crash the instance's VM. Distributed: crash the whole
+			// worker hosting it — everything else must survive and the
+			// counter must be recovered elsewhere.
+			if err := job.Fail(victims[0]); err != nil {
+				t.Fatal(err)
+			}
+			job.Run(4 * time.Second)
+
+			if err := job.InjectBatch("src", 300, parityGen); err != nil {
+				t.Fatal(err)
+			}
+			job.Run(2 * time.Second)
+
+			insts := job.Instances("count")
+			if len(insts) != 1 {
+				t.Fatalf("Instances(count) after recovery = %v", insts)
+			}
+			if insts[0] == victims[0] {
+				t.Fatalf("failed instance %v still live", victims[0])
+			}
+			counter, ok := job.OperatorOf(insts[0]).(*seep.WordCounter)
+			if !ok {
+				t.Fatalf("OperatorOf(%v) = %T", insts[0], job.OperatorOf(insts[0]))
+			}
+			counts := make(map[string]int64, 10)
+			for i := 0; i < 10; i++ {
+				w := fmt.Sprintf("w%02d", i)
+				counts[w] = counter.Count(w)
+				if counts[w] != 60 {
+					t.Errorf("Count(%s) = %d, want 60 (exactly once across the failure)", w, counts[w])
+				}
+			}
+			m := job.MetricsSnapshot()
+			if len(m.Recoveries) != 1 {
+				t.Errorf("Recoveries = %v, want exactly one", m.Recoveries)
+			}
+			for _, rec := range m.Recoveries {
+				if !rec.Failure || rec.Victim != victims[0] || rec.Pi != 1 {
+					t.Errorf("recovery record = %+v", rec)
+				}
+			}
+			if m.SinkTuples == 0 {
+				t.Error("no tuples reached the sink")
+			}
+			if len(m.Errors) != 0 {
+				t.Errorf("Errors = %v", m.Errors)
+			}
+			if r.name == "dist" {
+				// The distributed run must actually have used the wire.
+				if m.Transport.FramesSent == 0 || m.Transport.BytesSent == 0 {
+					t.Errorf("no transport traffic recorded: %+v", m.Transport)
+				}
+			} else if m.Transport != (seep.TransportStats{}) {
+				t.Errorf("live runtime reported transport traffic: %+v", m.Transport)
+			}
+			results[r.name] = outcome{counts: counts, recoveries: len(m.Recoveries)}
+		})
+	}
+
+	live, dst := results["live"], results["dist"]
+	if live.counts == nil || dst.counts == nil {
+		t.Fatal("missing results from one runtime")
+	}
+	if !reflect.DeepEqual(live.counts, dst.counts) {
+		t.Errorf("behavioural divergence: live counts %v != dist counts %v", live.counts, dst.counts)
+	}
+	if live.recoveries != dst.recoveries {
+		t.Errorf("recoveries: live %d != dist %d", live.recoveries, dst.recoveries)
+	}
+}
+
+// TestDistributedRejectsForeignOptions: substrate-restricted options are
+// Deploy errors on the wrong runtime — same contract as Live/Simulated.
+func TestDistributedRejectsForeignOptions(t *testing.T) {
+	if _, err := seep.Live(seep.WithWorkers(3)).Deploy(wordcountTopology()); err == nil {
+		t.Error("Live accepted WithWorkers")
+	}
+	if _, err := seep.Simulated(seep.WithWorkerAddrs("127.0.0.1:1")).Deploy(wordcountTopology()); err == nil {
+		t.Error("Simulated accepted WithWorkerAddrs")
+	}
+	if _, err := seep.Distributed(seep.WithSeed(1)).Deploy(wordcountTopology()); err == nil {
+		t.Error("Distributed accepted WithSeed")
+	}
+	if _, err := seep.Distributed(seep.WithWorkers(0)).Deploy(wordcountTopology()); err == nil {
+		t.Error("Distributed accepted WithWorkers(0)")
+	}
+	// External workers need a registry name to instantiate operators.
+	if _, err := seep.Distributed(seep.WithWorkerAddrs("127.0.0.1:1")).Deploy(wordcountTopology()); err == nil {
+		t.Error("Distributed accepted WithWorkerAddrs without WithTopologyName")
+	}
+	if _, err := seep.Distributed(
+		seep.WithWorkers(2), seep.WithWorkerAddrs("127.0.0.1:1"), seep.WithTopologyName("x"),
+	).Deploy(wordcountTopology()); err == nil {
+		t.Error("Distributed accepted WithWorkers together with WithWorkerAddrs")
+	}
+	// Incremental checkpoints do not ship over the wire yet: loud error,
+	// never a silent full-checkpoint fallback.
+	if _, err := seep.Distributed(seep.WithIncrementalCheckpoints(4, 0.5)).Deploy(wordcountTopology()); err == nil {
+		t.Error("Distributed accepted WithIncrementalCheckpoints")
+	}
+}
+
+// TestDistributedScaleOutThroughJob exercises the coordinator's
+// barrier → retire → reroute → deploy transition through the public Job
+// interface and checks partitioned counters cover the key space.
+func TestDistributedScaleOutThroughJob(t *testing.T) {
+	job, err := seep.Distributed(
+		seep.WithWorkers(3),
+		seep.WithCheckpointInterval(100*time.Millisecond),
+	).Deploy(wordcountTopology())
+	if err != nil {
+		t.Fatal(err)
+	}
+	job.Start()
+	defer job.Stop()
+	if err := job.InjectBatch("src", 300, parityGen); err != nil {
+		t.Fatal(err)
+	}
+	job.Run(2 * time.Second)
+	if err := job.ScaleOut(job.Instances("count")[0], 2); err != nil {
+		t.Fatal(err)
+	}
+	job.Run(2 * time.Second)
+	if err := job.InjectBatch("src", 300, parityGen); err != nil {
+		t.Fatal(err)
+	}
+	job.Run(2 * time.Second)
+
+	m := job.MetricsSnapshot()
+	if m.Parallelism["count"] != 2 {
+		t.Errorf("Parallelism[count] = %d, want 2", m.Parallelism["count"])
+	}
+	if len(m.Recoveries) != 1 || m.Recoveries[0].Failure {
+		t.Errorf("Recoveries = %v, want one scale-out record", m.Recoveries)
+	}
+	totals := make(map[string]int64)
+	for _, inst := range job.Instances("count") {
+		c, ok := job.OperatorOf(inst).(*seep.WordCounter)
+		if !ok {
+			t.Fatalf("OperatorOf(%v) = %T", inst, job.OperatorOf(inst))
+		}
+		for i := 0; i < 10; i++ {
+			w := fmt.Sprintf("w%02d", i)
+			totals[w] += c.Count(w)
+		}
+	}
+	for w, n := range totals {
+		if n != 60 {
+			t.Errorf("total Count(%s) = %d, want 60", w, n)
+		}
+	}
+}

@@ -1,0 +1,881 @@
+package dist
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"seep/internal/control"
+	"seep/internal/core"
+	"seep/internal/plan"
+	"seep/internal/state"
+	"seep/internal/transport"
+)
+
+// Config parameterises the coordinator.
+type Config struct {
+	// Addr is the coordinator's listen address (e.g. "127.0.0.1:0").
+	Addr string
+	// Codec serialises tuple payloads crossing the wire (default gob).
+	Codec state.PayloadCodec
+	// Topology is the registry name workers instantiate.
+	Topology string
+
+	// Engine parameters forwarded to every worker.
+	CheckpointInterval time.Duration
+	TimerInterval      time.Duration
+	BatchSize          int
+	BatchLinger        time.Duration
+	ChannelBuffer      int
+
+	// DetectDelay is the heartbeat failure-detection horizon: a worker
+	// missing replies for about this long is declared down (default
+	// 500 ms).
+	DetectDelay time.Duration
+	// RecoveryPi is π for failure recovery (default 1; π=1 inherits
+	// duplicate-detection watermarks for exact replay).
+	RecoveryPi int
+	// Policy, when set, enables detector-driven scale out from worker
+	// utilisation reports.
+	Policy *control.Policy
+	// TransitionTimeout bounds each stage of a recovery/scale-out
+	// transition (default 10 s).
+	TransitionTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Codec == nil {
+		c.Codec = state.GobPayloadCodec{}
+	}
+	if c.DetectDelay <= 0 {
+		c.DetectDelay = 500 * time.Millisecond
+	}
+	if c.RecoveryPi < 1 {
+		c.RecoveryPi = 1
+	}
+	if c.TransitionTimeout <= 0 {
+		c.TransitionTimeout = 10 * time.Second
+	}
+	return c
+}
+
+// Record documents one completed distributed recovery or scale out.
+type Record struct {
+	Victim         plan.InstanceID
+	Pi             int
+	Failure        bool
+	StartedAt      int64
+	CompletedAt    int64
+	ReplayedTuples int
+}
+
+// event is one unit of work for the coordinator loop. Exactly one of fn
+// or ctl is set (down events carry only addr).
+type event struct {
+	kind evKind
+	addr string
+	ctl  *Control
+	fn   func()
+}
+
+type evKind int
+
+const (
+	evCall evKind = iota
+	evDown
+	evCtl
+)
+
+// transition is one in-flight topology change, advanced by the loop as
+// acknowledgements and checkpoint ships arrive. Stages time out rather
+// than wedge the queue.
+type transition struct {
+	victim    plan.InstanceID
+	scaleOut  bool
+	seq       uint64
+	stage     int
+	waiting   int
+	ackErrs   []string
+	replayed  int
+	awaitShip bool
+	next      func()
+	done      chan error
+}
+
+// Coordinator owns the query plan, the authoritative backup store, the
+// failure detector and the scaling policy for one distributed job. All
+// decisions flow through a single event loop: heartbeat down events,
+// worker acknowledgements, checkpoint ships and utilisation reports are
+// one stream, so recovery and scale out serialise without per-peer
+// goroutines.
+type Coordinator struct {
+	cfg   Config
+	codec state.PayloadCodec
+	ln    *transport.Listener
+	tm    *transport.Metrics
+	det   *control.Detector
+
+	events chan event
+	quit   chan struct{}
+	loopWG sync.WaitGroup
+
+	// Loop-owned state (no locks: only the loop goroutine touches it).
+	q          *plan.Query
+	mgr        *core.Manager
+	workers    map[string]*workerRef
+	order      []string
+	placement  map[plan.InstanceID]string
+	trans      *transition
+	queue      []func()
+	seq        uint64
+	expectDown map[string]bool
+	startAt    time.Time
+
+	// Published snapshots for cross-goroutine readers.
+	mu           sync.Mutex
+	records      []Record
+	errs         []string
+	pending      int
+	pubPlacement map[plan.InstanceID]string
+	workerStats  map[string]WorkerStats
+}
+
+type workerRef struct {
+	addr  string
+	peer  *transport.Peer
+	alive bool
+}
+
+// NewCoordinator opens the coordinator's listener and starts its event
+// loop. Deploy attaches the query and workers.
+func NewCoordinator(cfg Config) (*Coordinator, error) {
+	cfg = cfg.withDefaults()
+	c := &Coordinator{
+		cfg:          cfg,
+		codec:        cfg.Codec,
+		tm:           &transport.Metrics{},
+		events:       make(chan event, 1024),
+		quit:         make(chan struct{}),
+		workers:      make(map[string]*workerRef),
+		placement:    make(map[plan.InstanceID]string),
+		expectDown:   make(map[string]bool),
+		pubPlacement: make(map[plan.InstanceID]string),
+		workerStats:  make(map[string]WorkerStats),
+	}
+	if cfg.Policy != nil {
+		c.det = control.NewDetector(*cfg.Policy)
+	}
+	ln, err := transport.ListenWith(cfg.Addr, cfg.Codec, transport.Handlers{
+		OnControl: func(body []byte) {
+			ctl, err := decodeControl(body)
+			if err != nil {
+				return
+			}
+			c.post(event{kind: evCtl, addr: ctl.From, ctl: ctl})
+		},
+	}, c.tm)
+	if err != nil {
+		return nil, err
+	}
+	c.ln = ln
+	c.loopWG.Add(1)
+	go c.loop()
+	return c, nil
+}
+
+// Addr returns the coordinator's listen address.
+func (c *Coordinator) Addr() string { return c.ln.Addr() }
+
+func (c *Coordinator) post(ev event) {
+	select {
+	case c.events <- ev:
+	case <-c.quit:
+	}
+}
+
+// call runs fn on the loop goroutine and waits for it to signal done.
+func (c *Coordinator) call(timeout time.Duration, fn func(done chan error)) error {
+	done := make(chan error, 1)
+	c.post(event{kind: evCall, fn: func() { fn(done) }})
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(timeout):
+		return fmt.Errorf("dist: coordinator call timed out after %v", timeout)
+	case <-c.quit:
+		return fmt.Errorf("dist: coordinator closed")
+	}
+}
+
+func (c *Coordinator) loop() {
+	defer c.loopWG.Done()
+	for {
+		select {
+		case <-c.quit:
+			return
+		case ev := <-c.events:
+			switch ev.kind {
+			case evCall:
+				ev.fn()
+			case evDown:
+				c.onWorkerDown(ev.addr)
+			case evCtl:
+				c.onControl(ev.ctl)
+			}
+			c.publish()
+		}
+	}
+}
+
+// publish refreshes the externally readable snapshots after every loop
+// event.
+func (c *Coordinator) publish() {
+	busy := len(c.queue) + len(c.expectDown)
+	if c.trans != nil {
+		busy++
+	}
+	c.mu.Lock()
+	c.pending = busy
+	c.pubPlacement = make(map[plan.InstanceID]string, len(c.placement))
+	for k, v := range c.placement {
+		c.pubPlacement[k] = v
+	}
+	c.mu.Unlock()
+}
+
+func (c *Coordinator) pushErr(format string, args ...any) {
+	c.mu.Lock()
+	c.errs = append(c.errs, fmt.Sprintf(format, args...))
+	c.mu.Unlock()
+}
+
+func (c *Coordinator) nowMillis() int64 {
+	if c.startAt.IsZero() {
+		return 0
+	}
+	return time.Since(c.startAt).Milliseconds()
+}
+
+// ---- public operations (cross-goroutine) ----
+
+// Deploy dials the workers, computes the placement and installs the
+// topology on every worker. Blocking; must precede StartJob.
+func (c *Coordinator) Deploy(q *plan.Query, workerAddrs []string) error {
+	if len(workerAddrs) == 0 {
+		return fmt.Errorf("dist: no workers")
+	}
+	return c.call(30*time.Second, func(done chan error) { c.startDeploy(q, workerAddrs, done) })
+}
+
+// StartJob starts every worker's engine (and the registry-bound
+// sources), returning once every worker has acknowledged — callers may
+// inject immediately after.
+func (c *Coordinator) StartJob() error {
+	done := make(chan error, 1)
+	c.post(event{kind: evCall, fn: func() {
+		c.enqueueOp(func() { c.beginStart(done) })
+	}})
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(2 * c.cfg.TransitionTimeout):
+		return fmt.Errorf("dist: start timed out")
+	case <-c.quit:
+		return fmt.Errorf("dist: coordinator closed")
+	}
+}
+
+func (c *Coordinator) beginStart(done chan error) {
+	t := &transition{seq: c.nextSeq(), done: done}
+	c.trans = t
+	c.startAt = time.Now()
+	t.waiting = c.broadcast(&Control{Kind: MsgStart, Seq: t.seq})
+	if t.waiting == 0 {
+		c.finish(t, fmt.Errorf("dist: start reached no workers"))
+		return
+	}
+	t.next = func() {
+		if len(t.ackErrs) > 0 {
+			c.finish(t, fmt.Errorf("dist: start failed: %s", strings.Join(t.ackErrs, "; ")))
+			return
+		}
+		c.finish(t, nil)
+	}
+	c.armTimeout(t)
+}
+
+// StopJob gracefully stops every worker's engine; workers stay up (a
+// daemon can be re-assigned).
+func (c *Coordinator) StopJob() {
+	_ = c.call(10*time.Second, func(done chan error) {
+		c.broadcast(&Control{Kind: MsgStop})
+		done <- nil
+	})
+}
+
+// Fail crash-stops the worker hosting inst — the distributed Job.Fail
+// models VM failure, so the whole hosting worker dies and heartbeat
+// detection drives recovery of everything it hosted.
+func (c *Coordinator) Fail(inst plan.InstanceID) error {
+	return c.call(10*time.Second, func(done chan error) {
+		spec := c.q.Op(inst.Op)
+		if spec == nil || !c.mgr.Live(inst) {
+			done <- fmt.Errorf("dist: %s is not a live instance", inst)
+			return
+		}
+		if spec.Role == plan.RoleSource || spec.Role == plan.RoleSink {
+			done <- fmt.Errorf("dist: sources and sinks are assumed reliable (§2.2)")
+			return
+		}
+		addr := c.placement[inst]
+		ref := c.workers[addr]
+		if ref == nil || !ref.alive {
+			done <- fmt.Errorf("dist: no live worker hosts %s", inst)
+			return
+		}
+		body, err := encodeControl(&Control{Kind: MsgDie})
+		if err != nil {
+			done <- err
+			return
+		}
+		// The worker tears itself down on MsgDie; a failed send means
+		// it is already dead. Either way the heartbeat detector declares
+		// it down and recovery follows.
+		_ = ref.peer.SendControl(body)
+		c.expectDown[addr] = true
+		done <- nil
+	})
+}
+
+// ScaleOut splits a live instance into pi partitions: barrier
+// checkpoint, retire, plan, reroute, deploy — the distributed
+// Algorithm 3. Blocks until the transition completes.
+func (c *Coordinator) ScaleOut(victim plan.InstanceID, pi int) error {
+	done := make(chan error, 1)
+	c.post(event{kind: evCall, fn: func() {
+		c.enqueueOp(func() { c.beginScaleOut(victim, pi, done) })
+	}})
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(4 * c.cfg.TransitionTimeout):
+		return fmt.Errorf("dist: scale out of %s timed out", victim)
+	case <-c.quit:
+		return fmt.Errorf("dist: coordinator closed")
+	}
+}
+
+// Pending reports queued or in-flight transitions plus worker deaths
+// not yet detected — the distributed Run()'s settle gate.
+func (c *Coordinator) Pending() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.pending
+}
+
+// Records returns completed recovery/scale-out records, oldest first.
+func (c *Coordinator) Records() []Record {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Record, len(c.records))
+	copy(out, c.records)
+	return out
+}
+
+// Errors returns asynchronous failures (recoveries that could not
+// complete, lost assumed-reliable instances).
+func (c *Coordinator) Errors() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, len(c.errs))
+	copy(out, c.errs)
+	return out
+}
+
+// PlacementOf returns the worker address hosting inst ("" if unknown).
+func (c *Coordinator) PlacementOf(inst plan.InstanceID) string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.pubPlacement[inst]
+}
+
+// WorkerStatsSnapshot returns the latest piggybacked per-worker
+// counters (external workers only report when a policy/report loop is
+// active).
+func (c *Coordinator) WorkerStatsSnapshot() map[string]WorkerStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]WorkerStats, len(c.workerStats))
+	for k, v := range c.workerStats {
+		out[k] = v
+	}
+	return out
+}
+
+// TransportStats snapshots the coordinator's own transport counters.
+func (c *Coordinator) TransportStats() transport.Stats { return c.tm.Snapshot() }
+
+// Manager exposes the authoritative query manager (instances,
+// parallelism, backup-store ship stats).
+func (c *Coordinator) Manager() *core.Manager { return c.mgr }
+
+// Close stops the event loop and tears down all connections. Workers
+// are not stopped (StopJob does that); in-process deployments kill them
+// directly.
+func (c *Coordinator) Close() {
+	select {
+	case <-c.quit:
+		return
+	default:
+	}
+	close(c.quit)
+	c.loopWG.Wait()
+	c.ln.Close()
+	for _, ref := range c.workers {
+		ref.peer.Close()
+	}
+}
+
+// ---- loop-side operations ----
+
+func (c *Coordinator) startDeploy(q *plan.Query, addrs []string, done chan error) {
+	if c.mgr != nil {
+		done <- fmt.Errorf("dist: already deployed")
+		return
+	}
+	mgr, err := core.NewManager(q)
+	if err != nil {
+		done <- err
+		return
+	}
+	c.q, c.mgr = q, mgr
+	for _, addr := range addrs {
+		peer, err := transport.DialWith(addr, c.codec, c.tm)
+		if err != nil {
+			done <- fmt.Errorf("dist: worker %s: %w", addr, err)
+			return
+		}
+		hb := c.cfg.DetectDelay / 3
+		if hb < 10*time.Millisecond {
+			hb = 10 * time.Millisecond
+		}
+		peer.HeartbeatEvery = hb
+		peer.MissLimit = 2
+		a := addr
+		peer.OnDown = func() { c.post(event{kind: evDown, addr: a}) }
+		peer.StartHeartbeat()
+		c.workers[addr] = &workerRef{addr: addr, peer: peer, alive: true}
+		c.order = append(c.order, addr)
+	}
+	// Deterministic placement: operators in declaration order round-robin
+	// across workers, partitions fanning out from the operator's slot —
+	// adjacent operators land on different workers, so every edge
+	// exercises the network and no worker hosts a whole pipeline.
+	placements := make([]Placement, 0, 16)
+	for opIdx, op := range q.Ops() {
+		for i, inst := range mgr.Instances(op) {
+			addr := addrs[(opIdx+i)%len(addrs)]
+			c.placement[inst] = addr
+			placements = append(placements, Placement{Inst: inst, Addr: addr})
+		}
+	}
+	t := &transition{seq: c.nextSeq(), done: done}
+	c.trans = t
+	ctl := &Control{
+		Kind:              MsgAssign,
+		Seq:               t.seq,
+		Topology:          c.cfg.Topology,
+		CoordAddr:         c.ln.Addr(),
+		Placements:        placements,
+		CheckpointMillis:  c.cfg.CheckpointInterval.Milliseconds(),
+		TimerMillis:       c.cfg.TimerInterval.Milliseconds(),
+		BatchSize:         c.cfg.BatchSize,
+		BatchLingerMillis: c.cfg.BatchLinger.Milliseconds(),
+		ChannelBuffer:     c.cfg.ChannelBuffer,
+	}
+	if c.cfg.Policy != nil {
+		ctl.ReportEveryMillis = c.cfg.Policy.ReportEveryMillis
+	}
+	t.waiting = c.broadcast(ctl)
+	t.next = func() {
+		if len(t.ackErrs) > 0 {
+			c.finish(t, fmt.Errorf("dist: assign failed: %s", strings.Join(t.ackErrs, "; ")))
+			return
+		}
+		c.finish(t, nil)
+	}
+	c.armTimeout(t)
+}
+
+func (c *Coordinator) nextSeq() uint64 {
+	c.seq++
+	return c.seq
+}
+
+// broadcast sends a control message to every live worker and returns how
+// many sends succeeded (the acknowledgement count to wait for).
+func (c *Coordinator) broadcast(ctl *Control) int {
+	body, err := encodeControl(ctl)
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for _, addr := range c.order {
+		ref := c.workers[addr]
+		if ref == nil || !ref.alive {
+			continue
+		}
+		if ref.peer.SendControl(body) == nil {
+			n++
+		}
+	}
+	return n
+}
+
+// sendTo sends a control message to one worker.
+func (c *Coordinator) sendTo(addr string, ctl *Control) bool {
+	ref := c.workers[addr]
+	if ref == nil || !ref.alive {
+		return false
+	}
+	body, err := encodeControl(ctl)
+	if err != nil {
+		return false
+	}
+	return ref.peer.SendControl(body) == nil
+}
+
+func (c *Coordinator) enqueueOp(fn func()) {
+	if c.trans == nil {
+		fn()
+		return
+	}
+	c.queue = append(c.queue, fn)
+}
+
+func (c *Coordinator) advance(t *transition) {
+	t.stage++
+	next := t.next
+	t.next = nil
+	if next != nil {
+		c.armTimeout(t)
+		next()
+	}
+}
+
+func (c *Coordinator) armTimeout(t *transition) {
+	stage := t.stage
+	time.AfterFunc(c.cfg.TransitionTimeout, func() {
+		c.post(event{kind: evCall, fn: func() {
+			if c.trans == t && t.stage == stage {
+				c.finish(t, fmt.Errorf("dist: transition for %s timed out at stage %d", t.victim, stage))
+			}
+		}})
+	})
+}
+
+func (c *Coordinator) finish(t *transition, err error) {
+	if c.trans != t {
+		return
+	}
+	c.trans = nil
+	if err != nil {
+		c.pushErr("%v", err)
+		if t.scaleOut && c.det != nil {
+			c.det.Unmute(t.victim)
+		}
+	}
+	if t.done != nil {
+		t.done <- err
+	}
+	if len(c.queue) > 0 {
+		next := c.queue[0]
+		c.queue = c.queue[1:]
+		next()
+	}
+}
+
+func (c *Coordinator) onControl(ctl *Control) {
+	switch ctl.Kind {
+	case MsgAck:
+		t := c.trans
+		if t == nil || ctl.Seq != t.seq {
+			return
+		}
+		if ctl.Err != "" {
+			t.ackErrs = append(t.ackErrs, fmt.Sprintf("%s: %s", ctl.From, ctl.Err))
+		}
+		t.replayed += ctl.Replayed
+		t.waiting--
+		if t.waiting <= 0 && !t.awaitShip {
+			c.advance(t)
+		}
+	case MsgShip:
+		inst, ok := c.storeShip(ctl)
+		if !ok {
+			return
+		}
+		if t := c.trans; t != nil && t.awaitShip && inst == t.victim {
+			t.awaitShip = false
+			if t.waiting <= 0 {
+				c.advance(t)
+			}
+		}
+	case MsgReport:
+		c.mu.Lock()
+		c.workerStats[ctl.From] = ctl.Stats
+		c.mu.Unlock()
+		c.onReports(ctl.Reports)
+	}
+}
+
+// storeShip stores a shipped checkpoint in the authoritative store and
+// sends the acknowledgement trims to the hosts of the acknowledged
+// upstream instances.
+func (c *Coordinator) storeShip(ctl *Control) (plan.InstanceID, bool) {
+	if c.mgr == nil {
+		return plan.InstanceID{}, false
+	}
+	cp, err := decodeCheckpoint(ctl.Checkpoint, c.codec)
+	if err != nil {
+		c.pushErr("dist: bad checkpoint from %s: %v", ctl.From, err)
+		return plan.InstanceID{}, false
+	}
+	if !c.mgr.Live(cp.Instance) {
+		// A ship racing the instance's replacement: the store must not
+		// resurrect a retired owner.
+		return plan.InstanceID{}, false
+	}
+	host, err := c.mgr.BackupTarget(cp.Instance)
+	if err != nil {
+		return plan.InstanceID{}, false
+	}
+	if err := c.mgr.Backups().Store(host, cp); err != nil {
+		return plan.InstanceID{}, false
+	}
+	for up, ts := range cp.Acks {
+		addr := c.placement[up]
+		ref := c.workers[addr]
+		if ref == nil || !ref.alive {
+			continue
+		}
+		_ = ref.peer.SendAck(transport.Ack{Owner: cp.Instance, Up: up, TS: ts})
+	}
+	return cp.Instance, true
+}
+
+// onReports feeds utilisation reports to the bottleneck detector —
+// the same event loop that consumes heartbeat failures, so scaling and
+// recovery decisions are serialised by construction.
+func (c *Coordinator) onReports(reports []control.Report) {
+	if c.det == nil || len(reports) == 0 {
+		return
+	}
+	for _, victim := range c.det.Observe(reports) {
+		spec := c.q.Op(victim.Op)
+		if spec != nil && spec.MaxParallelism > 0 && c.mgr.Parallelism(victim.Op) >= spec.MaxParallelism {
+			c.det.Unmute(victim)
+			continue
+		}
+		v := victim
+		c.enqueueOp(func() { c.beginScaleOut(v, 2, nil) })
+	}
+}
+
+func (c *Coordinator) onWorkerDown(addr string) {
+	ref := c.workers[addr]
+	if ref == nil || !ref.alive {
+		return
+	}
+	ref.alive = false
+	ref.peer.Close()
+	delete(c.expectDown, addr)
+	// Gather the dead worker's instances in deterministic order.
+	var victims []plan.InstanceID
+	for inst, a := range c.placement {
+		if a != addr {
+			continue
+		}
+		spec := c.q.Op(inst.Op)
+		if spec == nil {
+			continue
+		}
+		if spec.Role == plan.RoleSource || spec.Role == plan.RoleSink {
+			// Sources and sinks are assumed reliable (§2.2); losing one
+			// is unrecoverable and must not pass silently.
+			c.pushErr("dist: worker %s died hosting assumed-reliable %s", addr, inst)
+			delete(c.placement, inst)
+			continue
+		}
+		victims = append(victims, inst)
+	}
+	sort.Slice(victims, func(i, j int) bool {
+		if victims[i].Op != victims[j].Op {
+			return victims[i].Op < victims[j].Op
+		}
+		return victims[i].Part < victims[j].Part
+	})
+	startedAt := c.nowMillis()
+	for _, v := range victims {
+		victim := v
+		c.enqueueOp(func() { c.beginRecover(victim, startedAt) })
+	}
+}
+
+// beginRecover starts the replacement of an instance whose worker died.
+func (c *Coordinator) beginRecover(victim plan.InstanceID, startedAt int64) {
+	t := &transition{victim: victim, seq: c.nextSeq()}
+	c.trans = t
+	c.continueReplace(t, victim, c.cfg.RecoveryPi, true, startedAt)
+}
+
+// beginScaleOut starts the distributed Algorithm 3 on a live victim:
+// barrier checkpoint so the replayed window is small, retire the victim
+// (stop it at the split point), then plan/reroute/deploy.
+func (c *Coordinator) beginScaleOut(victim plan.InstanceID, pi int, done chan error) {
+	t := &transition{victim: victim, scaleOut: true, seq: c.nextSeq(), done: done}
+	c.trans = t
+	startedAt := c.nowMillis()
+	addr := c.placement[victim]
+	if !c.mgr.Live(victim) || addr == "" {
+		c.finish(t, fmt.Errorf("dist: %s is not live", victim))
+		return
+	}
+	ref := c.workers[addr]
+	if ref == nil || !ref.alive {
+		c.finish(t, fmt.Errorf("dist: no live worker hosts %s", victim))
+		return
+	}
+	if err := ref.peer.SendBarrier(victim); err != nil {
+		c.finish(t, fmt.Errorf("dist: barrier for %s: %w", victim, err))
+		return
+	}
+	t.awaitShip = true
+	t.next = func() {
+		// Fresh checkpoint stored; stop the victim BEFORE the routing
+		// switch so it emits nothing past the state its replacements
+		// restore from (closing the live-victim duplicate window the
+		// in-process replace() closes by stopping the victim under the
+		// engine lock).
+		if !c.sendTo(addr, &Control{Kind: MsgRetire, Seq: t.seq, Victim: victim}) {
+			c.finish(t, fmt.Errorf("dist: retire %s: worker %s unreachable", victim, addr))
+			return
+		}
+		t.waiting = 1
+		t.next = func() {
+			if len(t.ackErrs) > 0 {
+				c.finish(t, fmt.Errorf("dist: retire %s: %s", victim, strings.Join(t.ackErrs, "; ")))
+				return
+			}
+			c.continueReplace(t, victim, pi, false, startedAt)
+		}
+	}
+	c.armTimeout(t)
+}
+
+// continueReplace plans the replacement and drives reroute → deploy →
+// record, shared by failure recovery and scale out.
+func (c *Coordinator) continueReplace(t *transition, victim plan.InstanceID, pi int, failure bool, startedAt int64) {
+	planFn := c.mgr.PlanReplace
+	if failure {
+		planFn = c.mgr.PlanRecovery
+	}
+	rp, err := planFn(victim, pi)
+	if err != nil {
+		c.finish(t, fmt.Errorf("dist: plan %s (pi=%d): %w", victim, pi, err))
+		return
+	}
+	newPl := make([]Placement, len(rp.NewInstances))
+	for i, ni := range rp.NewInstances {
+		addr := c.pickWorker()
+		if addr == "" {
+			c.finish(t, fmt.Errorf("dist: no live workers to host %s", ni))
+			return
+		}
+		c.placement[ni] = addr
+		newPl[i] = Placement{Inst: ni, Addr: addr}
+	}
+	delete(c.placement, victim)
+	routingBlob := encodeRouting(rp.Routing)
+	ctl := &Control{
+		Kind:    MsgReroute,
+		Seq:     t.seq,
+		Op:      victim.Op,
+		Routing: routingBlob,
+		New:     newPl,
+		Victim:  victim,
+	}
+	if pi == 1 {
+		ctl.Inherit = []InheritPair{{Old: victim, New: rp.NewInstances[0]}}
+	}
+	t.waiting = c.broadcast(ctl)
+	if t.waiting == 0 {
+		c.finish(t, fmt.Errorf("dist: reroute for %s reached no workers", victim))
+		return
+	}
+	t.next = func() {
+		if len(t.ackErrs) > 0 {
+			c.finish(t, fmt.Errorf("dist: reroute for %s: %s", victim, strings.Join(t.ackErrs, "; ")))
+			return
+		}
+		// Every worker has the new routing and watermark inheritance;
+		// deploying now guarantees the replacements' re-emissions meet
+		// renamed acknowledgement maps everywhere.
+		sent := 0
+		for i, ni := range rp.NewInstances {
+			blob, err := encodeCheckpoint(rp.Checkpoints[i], c.codec)
+			if err != nil {
+				c.finish(t, fmt.Errorf("dist: encode checkpoint for %s: %w", ni, err))
+				return
+			}
+			if c.sendTo(newPl[i].Addr, &Control{Kind: MsgDeploy, Seq: t.seq, Routing: routingBlob, Checkpoint: blob}) {
+				sent++
+			}
+		}
+		if sent == 0 {
+			c.finish(t, fmt.Errorf("dist: deploy for %s reached no workers", victim))
+			return
+		}
+		t.waiting = sent
+		t.next = func() {
+			if len(t.ackErrs) > 0 {
+				c.finish(t, fmt.Errorf("dist: deploy for %s: %s", victim, strings.Join(t.ackErrs, "; ")))
+				return
+			}
+			c.mu.Lock()
+			c.records = append(c.records, Record{
+				Victim:         victim,
+				Pi:             pi,
+				Failure:        failure,
+				StartedAt:      startedAt,
+				CompletedAt:    c.nowMillis(),
+				ReplayedTuples: t.replayed,
+			})
+			c.mu.Unlock()
+			c.finish(t, nil)
+		}
+	}
+	c.armTimeout(t)
+}
+
+// pickWorker returns the live worker hosting the fewest instances.
+func (c *Coordinator) pickWorker() string {
+	load := make(map[string]int)
+	for _, addr := range c.placement {
+		load[addr]++
+	}
+	best := ""
+	bestLoad := 0
+	for _, addr := range c.order {
+		ref := c.workers[addr]
+		if ref == nil || !ref.alive {
+			continue
+		}
+		if best == "" || load[addr] < bestLoad {
+			best, bestLoad = addr, load[addr]
+		}
+	}
+	return best
+}

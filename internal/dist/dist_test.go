@@ -1,0 +1,290 @@
+package dist_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"seep/internal/dist"
+	"seep/internal/operator"
+	"seep/internal/plan"
+	"seep/internal/state"
+	"seep/internal/stream"
+)
+
+type testRegistry struct {
+	q *plan.Query
+	f map[plan.OpID]operator.Factory
+}
+
+func (r testRegistry) Lookup(string) (*plan.Query, map[plan.OpID]operator.Factory, []dist.SourceBinding, error) {
+	return r.q, r.f, nil, nil
+}
+
+func wordcountRegistry() testRegistry {
+	q := plan.NewQuery()
+	q.AddOp(plan.OpSpec{ID: "src", Role: plan.RoleSource})
+	q.AddOp(plan.OpSpec{ID: "split", Role: plan.RoleStateless})
+	q.AddOp(plan.OpSpec{ID: "count", Role: plan.RoleStateful})
+	q.AddOp(plan.OpSpec{ID: "sink", Role: plan.RoleSink})
+	q.Connect("src", "split").Connect("split", "count").Connect("count", "sink")
+	return testRegistry{q: q, f: map[plan.OpID]operator.Factory{
+		"split": func() operator.Operator { return operator.WordSplitter() },
+		"count": func() operator.Operator { return operator.NewWordCounter(0) },
+	}}
+}
+
+func parityGen(i uint64) (stream.Key, any) {
+	w := fmt.Sprintf("w%02d", i%10)
+	return stream.KeyOfString(w), w
+}
+
+// cluster is a coordinator plus n loopback workers, every link a real
+// TCP connection.
+type cluster struct {
+	coord   *dist.Coordinator
+	workers []*dist.Worker
+}
+
+func startCluster(t *testing.T, reg testRegistry, n int) *cluster {
+	t.Helper()
+	codec := state.GobPayloadCodec{}
+	cl := &cluster{}
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		w, err := dist.NewWorker("127.0.0.1:0", reg, codec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl.workers = append(cl.workers, w)
+		addrs[i] = w.Addr()
+	}
+	coord, err := dist.NewCoordinator(dist.Config{
+		Addr:               "127.0.0.1:0",
+		Codec:              codec,
+		Topology:           "wordcount",
+		CheckpointInterval: 100 * time.Millisecond,
+		DetectDelay:        200 * time.Millisecond,
+		RecoveryPi:         1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.coord = coord
+	if err := coord.Deploy(reg.q, addrs); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		coord.Close()
+		for _, w := range cl.workers {
+			w.Kill()
+		}
+	})
+	return cl
+}
+
+// hostOf returns the in-process worker currently hosting inst.
+func (cl *cluster) hostOf(t *testing.T, inst plan.InstanceID) *dist.Worker {
+	t.Helper()
+	addr := cl.coord.PlacementOf(inst)
+	for _, w := range cl.workers {
+		if w.Addr() == addr {
+			return w
+		}
+	}
+	t.Fatalf("no worker hosts %s (placement %q)", inst, addr)
+	return nil
+}
+
+// quiesce waits until no worker engine processes tuples for settle.
+func (cl *cluster) quiesce(t *testing.T, settle, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	last := cl.processed()
+	lastChange := time.Now()
+	for time.Now().Before(deadline) {
+		if cl.coord.Pending() > 0 {
+			lastChange = time.Now()
+		}
+		time.Sleep(settle / 4)
+		cur := cl.processed()
+		if cur != last {
+			last = cur
+			lastChange = time.Now()
+			continue
+		}
+		if time.Since(lastChange) >= settle {
+			return
+		}
+	}
+	t.Fatalf("cluster did not quiesce within %v", timeout)
+}
+
+func (cl *cluster) processed() uint64 {
+	var n uint64
+	for _, w := range cl.workers {
+		if eng := w.Engine(); eng != nil {
+			n += eng.TotalProcessed()
+		}
+	}
+	return n
+}
+
+func (cl *cluster) counterOf(t *testing.T, inst plan.InstanceID) *operator.WordCounter {
+	t.Helper()
+	w := cl.hostOf(t, inst)
+	eng := w.Engine()
+	if eng == nil {
+		t.Fatalf("worker %s has no engine", w.Addr())
+	}
+	op := eng.OperatorOf(inst)
+	wc, ok := op.(*operator.WordCounter)
+	if !ok {
+		t.Fatalf("OperatorOf(%v) = %T", inst, op)
+	}
+	return wc
+}
+
+// TestDistributedWordCount runs the wordcount pipeline across three
+// worker processes' worth of loopback TCP and checks exact counts.
+func TestDistributedWordCount(t *testing.T) {
+	reg := wordcountRegistry()
+	cl := startCluster(t, reg, 3)
+	if err := cl.coord.StartJob(); err != nil {
+		t.Fatal(err)
+	}
+
+	src := plan.InstanceID{Op: "src", Part: 1}
+	srcWorker := cl.hostOf(t, src)
+	if err := srcWorker.Engine().InjectBatch(src, 300, parityGen); err != nil {
+		t.Fatal(err)
+	}
+	cl.quiesce(t, 300*time.Millisecond, 10*time.Second)
+
+	count := cl.coord.Manager().Instances("count")[0]
+	counter := cl.counterOf(t, count)
+	for i := 0; i < 10; i++ {
+		w := fmt.Sprintf("w%02d", i)
+		if got := counter.Count(w); got != 30 {
+			t.Errorf("Count(%s) = %d, want 30", w, got)
+		}
+	}
+	// The pipeline crossed worker boundaries: transport moved frames.
+	var stats uint64
+	for _, w := range cl.workers {
+		stats += w.TransportStats().FramesSent
+	}
+	if stats == 0 {
+		t.Error("no frames crossed the wire — placement kept the pipeline local?")
+	}
+}
+
+// TestDistributedRecoveryExactCounts kills the worker hosting the
+// stateful counter mid-stream and asserts exact per-key counts after
+// heartbeat-detected recovery — the distributed mirror of the in-process
+// parity tests.
+func TestDistributedRecoveryExactCounts(t *testing.T) {
+	reg := wordcountRegistry()
+	cl := startCluster(t, reg, 3)
+	if err := cl.coord.StartJob(); err != nil {
+		t.Fatal(err)
+	}
+	src := plan.InstanceID{Op: "src", Part: 1}
+	srcWorker := cl.hostOf(t, src)
+
+	if err := srcWorker.Engine().InjectBatch(src, 300, parityGen); err != nil {
+		t.Fatal(err)
+	}
+	cl.quiesce(t, 300*time.Millisecond, 10*time.Second)
+
+	victim := cl.coord.Manager().Instances("count")[0]
+	if err := cl.coord.Fail(victim); err != nil {
+		t.Fatal(err)
+	}
+	// Heartbeat detection + recovery transition.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if len(cl.coord.Records()) == 1 && cl.coord.Pending() == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("recovery did not complete: records=%v errs=%v pending=%d",
+				cl.coord.Records(), cl.coord.Errors(), cl.coord.Pending())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	cl.quiesce(t, 300*time.Millisecond, 10*time.Second)
+
+	if err := srcWorker.Engine().InjectBatch(src, 300, parityGen); err != nil {
+		t.Fatal(err)
+	}
+	cl.quiesce(t, 300*time.Millisecond, 10*time.Second)
+
+	insts := cl.coord.Manager().Instances("count")
+	if len(insts) != 1 || insts[0] == victim {
+		t.Fatalf("Instances(count) after recovery = %v (victim %v)", insts, victim)
+	}
+	counter := cl.counterOf(t, insts[0])
+	for i := 0; i < 10; i++ {
+		w := fmt.Sprintf("w%02d", i)
+		if got := counter.Count(w); got != 60 {
+			t.Errorf("Count(%s) = %d, want 60 (exactly once across worker failure)", w, got)
+		}
+	}
+	rec := cl.coord.Records()[0]
+	if !rec.Failure || rec.Victim != victim || rec.Pi != 1 {
+		t.Errorf("record = %+v", rec)
+	}
+	if errs := cl.coord.Errors(); len(errs) != 0 {
+		t.Errorf("Errors = %v", errs)
+	}
+}
+
+// TestDistributedScaleOut splits the counter across workers via the
+// coordinator's barrier → retire → reroute → deploy transition.
+func TestDistributedScaleOut(t *testing.T) {
+	reg := wordcountRegistry()
+	cl := startCluster(t, reg, 3)
+	if err := cl.coord.StartJob(); err != nil {
+		t.Fatal(err)
+	}
+	src := plan.InstanceID{Op: "src", Part: 1}
+	srcWorker := cl.hostOf(t, src)
+	if err := srcWorker.Engine().InjectBatch(src, 200, parityGen); err != nil {
+		t.Fatal(err)
+	}
+	cl.quiesce(t, 300*time.Millisecond, 10*time.Second)
+
+	victim := cl.coord.Manager().Instances("count")[0]
+	if err := cl.coord.ScaleOut(victim, 2); err != nil {
+		t.Fatal(err)
+	}
+	cl.quiesce(t, 300*time.Millisecond, 10*time.Second)
+	insts := cl.coord.Manager().Instances("count")
+	if len(insts) != 2 {
+		t.Fatalf("Instances(count) = %v, want 2 partitions", insts)
+	}
+	if err := srcWorker.Engine().InjectBatch(src, 200, parityGen); err != nil {
+		t.Fatal(err)
+	}
+	cl.quiesce(t, 300*time.Millisecond, 10*time.Second)
+
+	// Partitioned counters together hold every word exactly once.
+	totals := make(map[string]int64)
+	for _, inst := range insts {
+		c := cl.counterOf(t, inst)
+		for i := 0; i < 10; i++ {
+			w := fmt.Sprintf("w%02d", i)
+			totals[w] += c.Count(w)
+		}
+	}
+	for w, n := range totals {
+		if n != 40 {
+			t.Errorf("total Count(%s) = %d, want 40", w, n)
+		}
+	}
+	recs := cl.coord.Records()
+	if len(recs) != 1 || recs[0].Failure || recs[0].Pi != 2 {
+		t.Errorf("records = %+v", recs)
+	}
+}

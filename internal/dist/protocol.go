@@ -1,0 +1,177 @@
+// Package dist is the distributed runtime: a coordinator that owns the
+// query plan, the authoritative checkpoint/backup store and the scaling
+// decisions, plus workers that each host a subset of the operator
+// instances on a live engine and exchange tuple batches directly over
+// the TCP transport. It is the deployment substrate the paper assumes —
+// operator instances on separate VMs, a logically centralised query
+// manager (§2.2/§5), heartbeat failure detection and recovery through
+// the same integrated scale-out algorithm as the in-process runtimes.
+//
+// Split of responsibilities:
+//
+//   - Data path: worker ↔ worker batch frames; each worker's engine
+//     routes through its normal route tables, with instances hosted
+//     elsewhere reached through the engine's Remote link (engine/remote.go).
+//   - Checkpoints: workers capture barriers locally and ship full
+//     checkpoints to the coordinator (the stable store); the coordinator
+//     answers with acknowledgement trims to the upstream hosts.
+//   - Failure detection: the coordinator heartbeats every worker over
+//     the transport; a missed-heartbeat worker is declared down and its
+//     stateful instances recovered via core.Manager.PlanRecovery, the
+//     same code path the in-process runtimes use.
+//   - Scaling: workers stream utilisation reports; the coordinator
+//     feeds them and the heartbeat events through ONE event loop into
+//     control.Detector, so scale-out and recovery decisions serialise.
+package dist
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"seep/internal/control"
+	"seep/internal/plan"
+	"seep/internal/state"
+	"seep/internal/stream"
+	"seep/internal/transport"
+)
+
+// MsgKind discriminates coordinator/worker control messages (carried in
+// transport control frames).
+type MsgKind uint8
+
+const (
+	// MsgAssign (coordinator → worker): the deployment plan — topology
+	// name, engine parameters, and the placement of every instance.
+	MsgAssign MsgKind = 1 + iota
+	// MsgStart (coordinator → worker): start the engine.
+	MsgStart
+	// MsgStop (coordinator → worker): stop the engine; the worker stays
+	// up for a future assignment.
+	MsgStop
+	// MsgReroute (coordinator → worker): install a new routing for one
+	// operator, inherit duplicate-detection watermarks, repartition and
+	// replay local upstream buffers.
+	MsgReroute
+	// MsgDeploy (coordinator → worker): adopt a replacement instance
+	// from a partitioned checkpoint.
+	MsgDeploy
+	// MsgRetire (coordinator → worker): stop a locally hosted instance
+	// (scale-out victim after its pre-split barrier checkpoint).
+	MsgRetire
+	// MsgDie (coordinator → worker): crash-stop the whole worker (used
+	// by Job.Fail to model a VM failure).
+	MsgDie
+	// MsgAck (worker → coordinator): sequence-correlated reply to
+	// Assign/Reroute/Deploy/Retire.
+	MsgAck
+	// MsgShip (worker → coordinator): a full checkpoint for the
+	// authoritative backup store.
+	MsgShip
+	// MsgReport (worker → coordinator): utilisation reports for the
+	// bottleneck detector, piggybacking worker-level counters.
+	MsgReport
+)
+
+// Placement locates one instance on one worker (by listener address).
+type Placement struct {
+	Inst plan.InstanceID
+	Addr string
+}
+
+// InheritPair renames a duplicate-detection watermark during π=1
+// recovery: tuples the dead instance already delivered stay deduplicated
+// when its replacement re-emits them.
+type InheritPair struct {
+	Old, New plan.InstanceID
+}
+
+// WorkerStats is the worker-level counter snapshot piggybacked on
+// reports, so Job.Metrics aggregates external workers too.
+type WorkerStats struct {
+	SinkTuples uint64
+	DupDropped uint64
+	Processed  uint64
+	Transport  transport.Stats
+}
+
+// Control is the one wire struct for every control message; unused
+// fields stay zero. It is gob-encoded — checkpoints, routings and other
+// codec-dependent state travel as pre-encoded byte blobs.
+type Control struct {
+	Kind MsgKind
+	// Seq correlates a request with its MsgAck.
+	Seq uint64
+	// From is the sender worker's listener address (its identity).
+	From string
+
+	// MsgAssign.
+	Topology          string
+	CoordAddr         string
+	Placements        []Placement
+	CheckpointMillis  int64
+	TimerMillis       int64
+	BatchSize         int
+	BatchLingerMillis int64
+	ChannelBuffer     int
+	ReportEveryMillis int64
+
+	// MsgReroute / MsgDeploy / MsgRetire / MsgShip.
+	Op         plan.OpID
+	Routing    []byte
+	New        []Placement
+	Inherit    []InheritPair
+	Victim     plan.InstanceID
+	Checkpoint []byte
+
+	// MsgAck.
+	Err      string
+	Replayed int
+
+	// MsgReport.
+	Reports []control.Report
+	Stats   WorkerStats
+}
+
+func encodeControl(c *Control) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(c); err != nil {
+		return nil, fmt.Errorf("dist: encode control: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeControl(b []byte) (*Control, error) {
+	var c Control
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&c); err != nil {
+		return nil, fmt.Errorf("dist: decode control: %w", err)
+	}
+	return &c, nil
+}
+
+func encodeCheckpoint(cp *state.Checkpoint, codec state.PayloadCodec) ([]byte, error) {
+	e := stream.NewEncoder(256)
+	if err := state.EncodeCheckpoint(e, cp, codec); err != nil {
+		return nil, err
+	}
+	// The encoder buffer is reused; the blob outlives this call.
+	out := make([]byte, len(e.Bytes()))
+	copy(out, e.Bytes())
+	return out, nil
+}
+
+func decodeCheckpoint(b []byte, codec state.PayloadCodec) (*state.Checkpoint, error) {
+	return state.DecodeCheckpoint(stream.NewDecoder(b), codec)
+}
+
+func encodeRouting(r *state.Routing) []byte {
+	e := stream.NewEncoder(64)
+	r.Encode(e)
+	out := make([]byte, len(e.Bytes()))
+	copy(out, e.Bytes())
+	return out
+}
+
+func decodeRouting(b []byte) (*state.Routing, error) {
+	return state.DecodeRouting(stream.NewDecoder(b))
+}

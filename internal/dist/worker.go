@@ -1,0 +1,662 @@
+package dist
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"seep/internal/control"
+	"seep/internal/engine"
+	"seep/internal/operator"
+	"seep/internal/plan"
+	"seep/internal/state"
+	"seep/internal/stream"
+	"seep/internal/transport"
+)
+
+// SourceBinding attaches a generator to a source operator at Start —
+// the registry-embedded form of Job.AddSource, for daemon deployments
+// where the coordinator cannot ship Go functions over the wire.
+type SourceBinding struct {
+	Op   plan.OpID
+	Rate func(nowMillis int64) float64
+	Gen  func(i uint64) (stream.Key, any)
+}
+
+// Registry resolves topology names to operator code. Go cannot ship
+// code between processes, so every worker binary links the topologies it
+// may be asked to host and the coordinator sends only the name.
+type Registry interface {
+	Lookup(name string) (*plan.Query, map[plan.OpID]operator.Factory, []SourceBinding, error)
+}
+
+// Worker hosts a subset of a query's operator instances on a live
+// engine, exchanges tuple batches with sibling workers over the
+// transport, ships checkpoints to the coordinator and executes the
+// coordinator's reroute/deploy/retire commands.
+type Worker struct {
+	reg   Registry
+	codec state.PayloadCodec
+	tm    *transport.Metrics
+	ln    *transport.Listener
+	self  string
+
+	// mu guards the engine handle, the pre-deployment stash and the
+	// retired set. The steady-state data path does not take it: onBatch
+	// reads the lock-free engPtr mirror.
+	mu      sync.Mutex
+	eng     *engine.Engine
+	sources []SourceBinding
+	coord   *transport.Peer
+	stash   map[plan.InstanceID][]engine.Delivery
+	retired map[plan.InstanceID]bool
+	started bool
+	killed  bool
+
+	// engPtr mirrors w.eng for the lock-free inbound data path; written
+	// under w.mu wherever w.eng changes.
+	engPtr atomic.Pointer[engine.Engine]
+
+	// ctrlQ serialises control messages onto their own goroutine, so a
+	// slow reroute/deploy cannot starve heartbeat replies on the shared
+	// coordinator connection (the listener loop answers heartbeats
+	// between frames; see ctrlLoop).
+	ctrlQ chan *Control
+
+	// pmu guards the instance → worker-address placement map, read on
+	// the remote-delivery path.
+	pmu       sync.RWMutex
+	placement map[plan.InstanceID]string
+
+	// lmu guards the outbound data links.
+	lmu   sync.Mutex
+	links map[string]*peerLink
+
+	reportStop chan struct{}
+	died       chan struct{}
+}
+
+// NewWorker starts a worker listening on addr (e.g. "127.0.0.1:0"). It
+// idles until a coordinator sends MsgAssign.
+func NewWorker(addr string, reg Registry, codec state.PayloadCodec) (*Worker, error) {
+	if codec == nil {
+		codec = state.GobPayloadCodec{}
+	}
+	w := &Worker{
+		reg:       reg,
+		codec:     codec,
+		tm:        &transport.Metrics{},
+		stash:     make(map[plan.InstanceID][]engine.Delivery),
+		retired:   make(map[plan.InstanceID]bool),
+		placement: make(map[plan.InstanceID]string),
+		links:     make(map[string]*peerLink),
+		ctrlQ:     make(chan *Control, 256),
+		died:      make(chan struct{}),
+	}
+	go w.ctrlLoop()
+	ln, err := transport.ListenWith(addr, codec, transport.Handlers{
+		OnBatch:   w.onBatch,
+		OnAck:     w.onAck,
+		OnControl: w.onControl,
+		OnBarrier: w.onBarrier,
+	}, w.tm)
+	if err != nil {
+		return nil, err
+	}
+	w.ln = ln
+	w.self = ln.Addr()
+	return w, nil
+}
+
+// Addr returns the worker's listener address — its identity in the
+// cluster.
+func (w *Worker) Addr() string { return w.self }
+
+// Engine returns the hosted engine (nil before assignment). In-process
+// deployments use it for direct source injection and state inspection.
+func (w *Worker) Engine() *engine.Engine { return w.engPtr.Load() }
+
+// setEngine updates both the locked handle and its lock-free mirror.
+// Caller holds w.mu.
+func (w *Worker) setEngine(eng *engine.Engine) {
+	w.eng = eng
+	w.engPtr.Store(eng)
+}
+
+// TransportStats snapshots this worker's transport counters.
+func (w *Worker) TransportStats() transport.Stats { return w.tm.Snapshot() }
+
+// Wait blocks until the worker dies (MsgDie or Kill) — the daemon
+// main's park.
+func (w *Worker) Wait() { <-w.died }
+
+// Kill crash-stops the worker: listener down, engine down, links down.
+// Nothing is flushed — from the cluster's point of view the VM vanished,
+// which is exactly what the heartbeat detector and recovery path are
+// for.
+func (w *Worker) Kill() {
+	w.mu.Lock()
+	if w.killed {
+		w.mu.Unlock()
+		return
+	}
+	w.killed = true
+	eng := w.eng
+	coord := w.coord
+	rs := w.reportStop
+	w.mu.Unlock()
+
+	w.ln.Close()
+	if rs != nil {
+		close(rs)
+	}
+	if coord != nil {
+		coord.Close()
+	}
+	if eng != nil {
+		eng.Stop()
+	}
+	// Engine goroutines are gone, so no Deliver can race the teardown.
+	w.lmu.Lock()
+	for _, pl := range w.links {
+		close(pl.q)
+	}
+	w.links = make(map[string]*peerLink)
+	w.lmu.Unlock()
+	close(w.died)
+}
+
+// ---- inbound data path ----
+
+// onBatch delivers a wire batch into the hosted instance, stashing
+// arrivals for an instance that is planned here but not yet deployed
+// (replays and rerouted tuples racing a MsgDeploy).
+func (w *Worker) onBatch(b transport.Batch) {
+	ds := make([]engine.Delivery, len(b.Tuples))
+	for i, t := range b.Tuples {
+		ds[i] = engine.Delivery{From: b.From, Input: b.Input, T: t}
+	}
+	// Fast path: hosted and running — no worker lock.
+	if eng := w.engPtr.Load(); eng != nil && eng.DeliverLocal(b.To, ds) {
+		return
+	}
+	w.stashOrDrop(b.To, ds)
+}
+
+// stashOrDrop re-checks delivery under the worker lock (a concurrent
+// deploy may have just adopted the instance) and otherwise stashes the
+// batch until its instance arrives. Retired instances drop — their
+// tuples are retained upstream and replayed to the replacements.
+func (w *Worker) stashOrDrop(to plan.InstanceID, ds []engine.Delivery) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.eng != nil && w.eng.DeliverLocal(to, ds) {
+		return
+	}
+	if w.killed || w.retired[to] {
+		return
+	}
+	w.stash[to] = append(w.stash[to], ds...)
+}
+
+func (w *Worker) onAck(a transport.Ack) {
+	if eng := w.Engine(); eng != nil {
+		eng.TrimUpstream(a.Up, a.Owner, a.TS)
+	}
+}
+
+func (w *Worker) onBarrier(inst plan.InstanceID) {
+	eng := w.Engine()
+	if eng == nil {
+		return
+	}
+	// Checkpoint synchronously ships through the sink; keep the
+	// connection's handler loop free.
+	go func() { _ = eng.Checkpoint(inst) }()
+}
+
+// ---- control plane ----
+
+// onControl enqueues the message for the control goroutine: the
+// listener's per-connection loop must stay free to answer the
+// heartbeats interleaved on the same coordinator connection, or a slow
+// deploy would get a healthy worker declared dead mid-transition.
+func (w *Worker) onControl(body []byte) {
+	c, err := decodeControl(body)
+	if err != nil {
+		return
+	}
+	select {
+	case w.ctrlQ <- c:
+	case <-w.died:
+	}
+}
+
+func (w *Worker) ctrlLoop() {
+	for {
+		select {
+		case <-w.died:
+			return
+		case c := <-w.ctrlQ:
+			w.dispatch(c)
+		}
+	}
+}
+
+func (w *Worker) dispatch(c *Control) {
+	switch c.Kind {
+	case MsgAssign:
+		w.ack(c, w.handleAssign(c))
+	case MsgStart:
+		w.handleStart(c)
+		w.ack(c, nil)
+	case MsgStop:
+		w.handleStop()
+	case MsgReroute:
+		n, err := w.handleReroute(c)
+		w.ackReplayed(c, n, err)
+	case MsgDeploy:
+		n, err := w.handleDeploy(c)
+		w.ackReplayed(c, n, err)
+	case MsgRetire:
+		w.ack(c, w.handleRetire(c))
+	case MsgDie:
+		// Tear down off the handler goroutine: Kill closes the very
+		// listener this callback runs under.
+		go w.Kill()
+	}
+}
+
+func (w *Worker) ack(c *Control, err error) { w.ackReplayed(c, 0, err) }
+
+func (w *Worker) ackReplayed(c *Control, replayed int, err error) {
+	reply := &Control{Kind: MsgAck, Seq: c.Seq, From: w.self, Replayed: replayed}
+	if err != nil {
+		reply.Err = err.Error()
+	}
+	w.sendToCoord(reply)
+}
+
+func (w *Worker) sendToCoord(c *Control) {
+	w.mu.Lock()
+	coord := w.coord
+	w.mu.Unlock()
+	if coord == nil {
+		return
+	}
+	body, err := encodeControl(c)
+	if err != nil {
+		return
+	}
+	_ = coord.SendControl(body)
+}
+
+func (w *Worker) handleAssign(c *Control) error {
+	q, factories, sources, err := w.reg.Lookup(c.Topology)
+	if err != nil {
+		return err
+	}
+	coord, err := transport.DialWith(c.CoordAddr, w.codec, w.tm)
+	if err != nil {
+		return err
+	}
+	hosted := make(map[plan.InstanceID]bool)
+	placement := make(map[plan.InstanceID]string, len(c.Placements))
+	for _, p := range c.Placements {
+		placement[p.Inst] = p.Addr
+		if p.Addr == w.self {
+			hosted[p.Inst] = true
+		}
+	}
+	eng, err := engine.New(engine.Config{
+		CheckpointInterval: time.Duration(c.CheckpointMillis) * time.Millisecond,
+		TimerInterval:      time.Duration(c.TimerMillis) * time.Millisecond,
+		ChannelBuffer:      c.ChannelBuffer,
+		BatchSize:          c.BatchSize,
+		BatchLinger:        time.Duration(c.BatchLingerMillis) * time.Millisecond,
+		Hosted:             func(inst plan.InstanceID) bool { return hosted[inst] },
+		Backup:             &shipSink{w: w},
+	}, q, factories)
+	if err != nil {
+		coord.Close()
+		return err
+	}
+	eng.SetRemote(&linkRouter{w: w})
+
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.killed {
+		coord.Close()
+		return fmt.Errorf("dist: worker is dead")
+	}
+	if w.eng != nil {
+		coord.Close()
+		return fmt.Errorf("dist: worker already assigned")
+	}
+	w.setEngine(eng)
+	w.coord = coord
+	w.sources = sources
+	w.pmu.Lock()
+	w.placement = placement
+	w.pmu.Unlock()
+	if c.ReportEveryMillis > 0 {
+		w.reportStop = make(chan struct{})
+		go w.reportLoop(time.Duration(c.ReportEveryMillis) * time.Millisecond)
+	}
+	return nil
+}
+
+func (w *Worker) handleStart(c *Control) {
+	w.mu.Lock()
+	eng := w.eng
+	sources := w.sources
+	already := w.started
+	w.started = true
+	w.mu.Unlock()
+	if eng == nil || already {
+		return
+	}
+	for _, s := range sources {
+		for _, inst := range eng.Manager().Instances(s.Op) {
+			// AddSourceFunc rejects instances not hosted here; bindings
+			// attach only where the source lives.
+			_ = eng.AddSourceFunc(inst, s.Rate, s.Gen)
+		}
+	}
+	eng.Start()
+}
+
+// handleStop gracefully ends the current job but leaves the worker
+// serving: every piece of job-scoped state — stash, retired set,
+// placement, data links, coordinator connection — is reset, so a
+// re-assigned daemon cannot drop or cross-contaminate a later job's
+// tuples through instance IDs it saw in a previous one.
+func (w *Worker) handleStop() {
+	w.mu.Lock()
+	eng := w.eng
+	w.setEngine(nil)
+	w.started = false
+	rs := w.reportStop
+	w.reportStop = nil
+	coord := w.coord
+	w.coord = nil
+	w.stash = make(map[plan.InstanceID][]engine.Delivery)
+	w.retired = make(map[plan.InstanceID]bool)
+	w.mu.Unlock()
+	w.pmu.Lock()
+	w.placement = make(map[plan.InstanceID]string)
+	w.pmu.Unlock()
+	if rs != nil {
+		close(rs)
+	}
+	if eng != nil {
+		eng.Stop()
+	}
+	// Engine goroutines are gone; tear down the job's data links.
+	w.lmu.Lock()
+	for _, pl := range w.links {
+		close(pl.q)
+	}
+	w.links = make(map[string]*peerLink)
+	w.lmu.Unlock()
+	if coord != nil {
+		coord.Close()
+	}
+}
+
+func (w *Worker) handleReroute(c *Control) (int, error) {
+	eng := w.Engine()
+	if eng == nil {
+		return 0, fmt.Errorf("dist: reroute before assignment")
+	}
+	routing, err := decodeRouting(c.Routing)
+	if err != nil {
+		return 0, err
+	}
+	newInsts := make([]plan.InstanceID, len(c.New))
+	w.pmu.Lock()
+	for i, p := range c.New {
+		newInsts[i] = p.Inst
+		w.placement[p.Inst] = p.Addr
+	}
+	delete(w.placement, c.Victim)
+	w.pmu.Unlock()
+	w.mu.Lock()
+	w.retired[c.Victim] = true
+	w.mu.Unlock()
+	var inherit map[plan.InstanceID]plan.InstanceID
+	if len(c.Inherit) > 0 {
+		inherit = make(map[plan.InstanceID]plan.InstanceID, len(c.Inherit))
+		for _, p := range c.Inherit {
+			inherit[p.Old] = p.New
+		}
+	}
+	return eng.ApplyReroute(c.Op, routing, newInsts, inherit), nil
+}
+
+func (w *Worker) handleDeploy(c *Control) (int, error) {
+	cp, err := decodeCheckpoint(c.Checkpoint, w.codec)
+	if err != nil {
+		return 0, err
+	}
+	routing, err := decodeRouting(c.Routing)
+	if err != nil {
+		return 0, err
+	}
+	w.pmu.Lock()
+	w.placement[cp.Instance] = w.self
+	w.pmu.Unlock()
+	// Adoption and stash drain are atomic under the worker lock, so a
+	// racing onBatch either delivers into the adopted node or stashes
+	// before the drain — never after it.
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.eng == nil {
+		return 0, fmt.Errorf("dist: deploy before assignment")
+	}
+	replay := w.stash[cp.Instance]
+	delete(w.stash, cp.Instance)
+	return w.eng.AdoptInstance(cp, routing, replay)
+}
+
+func (w *Worker) handleRetire(c *Control) error {
+	eng := w.Engine()
+	if eng == nil {
+		return fmt.Errorf("dist: retire before assignment")
+	}
+	w.mu.Lock()
+	w.retired[c.Victim] = true
+	w.mu.Unlock()
+	w.pmu.Lock()
+	delete(w.placement, c.Victim)
+	w.pmu.Unlock()
+	return eng.Retire(c.Victim)
+}
+
+// ---- outbound paths ----
+
+// shipSink forwards full checkpoints to the coordinator's store.
+type shipSink struct{ w *Worker }
+
+func (s *shipSink) ShipFull(cp *state.Checkpoint) error {
+	blob, err := encodeCheckpoint(cp, s.w.codec)
+	if err != nil {
+		return err
+	}
+	s.w.mu.Lock()
+	coord := s.w.coord
+	s.w.mu.Unlock()
+	if coord == nil {
+		return fmt.Errorf("dist: no coordinator link")
+	}
+	body, err := encodeControl(&Control{Kind: MsgShip, From: s.w.self, Checkpoint: blob})
+	if err != nil {
+		return err
+	}
+	return coord.SendControl(body)
+}
+
+// linkRouter is the engine's Remote: it resolves the destination
+// instance to a worker and forwards the batch on that worker's FIFO
+// link. Self-addressed batches (an instance planned here but not yet
+// deployed) take the stash path directly.
+type linkRouter struct{ w *Worker }
+
+func (r *linkRouter) Deliver(to plan.InstanceID, ds []engine.Delivery) {
+	r.w.deliverRemote(to, ds)
+}
+
+func (w *Worker) deliverRemote(to plan.InstanceID, ds []engine.Delivery) {
+	if len(ds) == 0 {
+		return
+	}
+	w.pmu.RLock()
+	addr := w.placement[to]
+	w.pmu.RUnlock()
+	switch addr {
+	case "":
+		// Unknown destination (stale table racing a reroute): drop — the
+		// tuples are retained in the sender's output buffer and replayed
+		// once the new routing lands.
+		return
+	case w.self:
+		cp := make([]engine.Delivery, len(ds))
+		copy(cp, ds)
+		w.stashOrDrop(to, cp)
+		return
+	}
+	// A chunk shares one (from, input) by construction — the engine
+	// groups sends per (hop, target).
+	b := transport.Batch{From: ds[0].From, To: to, Input: ds[0].Input,
+		Tuples: make([]stream.Tuple, len(ds))}
+	for i := range ds {
+		b.Tuples[i] = ds[i].T
+	}
+	w.link(addr).enqueue(b)
+}
+
+// peerLink is one outbound data connection with an async writer, so the
+// emitting node goroutine never blocks on the network — it blocks on
+// the bounded queue, which is drained (or discarded, when the peer is
+// down) at link speed.
+type peerLink struct {
+	addr string
+	q    chan transport.Batch
+}
+
+func (pl *peerLink) enqueue(b transport.Batch) {
+	defer func() {
+		// The queue closes when the worker is killed mid-flight; a send
+		// racing that teardown is a dropped batch, not a crash.
+		_ = recover()
+	}()
+	pl.q <- b
+}
+
+func (w *Worker) link(addr string) *peerLink {
+	w.lmu.Lock()
+	defer w.lmu.Unlock()
+	if pl := w.links[addr]; pl != nil {
+		return pl
+	}
+	pl := &peerLink{addr: addr, q: make(chan transport.Batch, 256)}
+	w.links[addr] = pl
+	go w.runLink(pl)
+	return pl
+}
+
+func (w *Worker) runLink(pl *peerLink) {
+	// A batch is retried across re-dials before it is ever dropped:
+	// resending a batch the receiver may already have processed is safe
+	// (its per-upstream TS watermark discards the duplicates), so a
+	// transient connection loss — one corrupt frame makes the remote
+	// listener drop the connection, a TCP reset, a restart — costs a
+	// reconnect, not data. Only a peer that stays unreachable through
+	// every attempt (≈2 s, comfortably past the default heartbeat
+	// detection horizon) loses the batch; by then the coordinator has
+	// declared one side down and recovery replays from the retained
+	// upstream buffers.
+	const (
+		maxAttempts  = 5
+		retryBackoff = 400 * time.Millisecond
+	)
+	var p *transport.Peer
+	var downUntil time.Time
+	for b := range pl.q {
+		sent := false
+		for attempt := 0; attempt < maxAttempts; attempt++ {
+			if p == nil {
+				if wait := time.Until(downUntil); wait > 0 {
+					time.Sleep(wait)
+				}
+				peer, err := transport.DialWith(pl.addr, w.codec, w.tm)
+				if err != nil {
+					downUntil = time.Now().Add(retryBackoff)
+					continue
+				}
+				p = peer
+			}
+			if err := p.SendBatch(b); err != nil {
+				// SendBatch already retried with one re-dial; rebuild the
+				// peer and try again after a backoff.
+				p.Close()
+				p = nil
+				downUntil = time.Now().Add(retryBackoff)
+				continue
+			}
+			sent = true
+			break
+		}
+		_ = sent // dropped after maxAttempts: retention + recovery cover it
+	}
+	if p != nil {
+		p.Close()
+	}
+}
+
+// reportLoop streams utilisation reports (input-queue backpressure, the
+// live engine's CPU proxy) and worker counters to the coordinator.
+func (w *Worker) reportLoop(every time.Duration) {
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	w.mu.Lock()
+	stop := w.reportStop
+	w.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+			w.sendReport()
+		}
+	}
+}
+
+func (w *Worker) sendReport() {
+	eng := w.Engine()
+	if eng == nil {
+		return
+	}
+	q := eng.Manager().Query()
+	sampler := eng.QueueFillSampler()
+	ctl := &Control{Kind: MsgReport, From: w.self, Stats: WorkerStats{
+		SinkTuples: eng.SinkCount.Value(),
+		DupDropped: eng.DupDropped.Value(),
+		Processed:  eng.TotalProcessed(),
+		Transport:  w.tm.Snapshot(),
+	}}
+	for _, inst := range eng.Local() {
+		spec := q.Op(inst.Op)
+		if spec == nil || spec.Role == plan.RoleSource || spec.Role == plan.RoleSink {
+			continue
+		}
+		if util, ok := sampler(inst); ok {
+			ctl.Reports = append(ctl.Reports, control.Report{Inst: inst, Util: util})
+		}
+	}
+	w.sendToCoord(ctl)
+}

@@ -65,6 +65,34 @@ type Config struct {
 	// (§3.2): between full checkpoints only the dirtied keys are shipped
 	// and folded into the backup. Zero value disables.
 	Delta state.DeltaPolicy
+	// Hosted restricts which instances this engine hosts (nil = all).
+	// The distributed runtime gives every worker the full query but a
+	// disjoint hosted subset; emissions to instances hosted elsewhere go
+	// through the Remote link registered with SetRemote.
+	Hosted func(plan.InstanceID) bool
+	// Backup, when set, receives full checkpoints instead of the
+	// in-process backup store: the distributed runtime ships them to the
+	// coordinator, which owns the authoritative store and sends
+	// acknowledgement trims back (TrimUpstream). Incremental checkpoints
+	// are not shipped through a sink.
+	Backup BackupSink
+}
+
+// BackupSink receives checkpoint captures in place of the in-process
+// backup store.
+type BackupSink interface {
+	// ShipFull stores one full checkpoint. A non-nil error keeps the
+	// node's previous backup authoritative (the round is skipped).
+	ShipFull(cp *state.Checkpoint) error
+}
+
+// Remote delivers batches to instances hosted by other processes — the
+// network half of the node-link layer. Implementations must not retain
+// ds past the call (the engine recycles batch containers), and must
+// preserve per-sender FIFO order toward each destination, which the
+// receiver's duplicate detection relies on.
+type Remote interface {
+	Deliver(to plan.InstanceID, ds []Delivery)
 }
 
 func (c Config) withDefaults() Config {
@@ -96,12 +124,21 @@ func (c Config) channelSlots() int {
 	return slots
 }
 
-// delivery is one tuple in flight.
-type delivery struct {
-	from  plan.InstanceID
-	input int
-	t     stream.Tuple
+// Delivery is one tuple in flight between nodes, exported so the
+// distributed runtime's links can carry the engine's native unit across
+// the wire without per-tuple conversion.
+type Delivery struct {
+	// From is the emitting instance (duplicate detection is
+	// per-upstream-instance).
+	From plan.InstanceID
+	// Input is the logical input-stream index at the receiver.
+	Input int
+	// T is the tuple itself.
+	T stream.Tuple
 }
+
+// delivery is the internal shorthand.
+type delivery = Delivery
 
 // staged is one operator emission awaiting stamping and routing.
 type staged struct {
@@ -140,6 +177,14 @@ type hop struct {
 	buffer  bool // retain emitted tuples for replay (checkpointing on, non-sink)
 	routing *state.Routing
 	nodes   []*node
+	// remotes is aligned with nodes: where nodes[i] is nil because the
+	// instance is hosted by another process, remotes[i] carries the
+	// engine's Remote link (nil in a fully local deployment, so the
+	// local fast path is untouched).
+	remotes []Remote
+	// insts is the routing-entry targets, needed to address remote
+	// deliveries. Nil when every target is local.
+	insts   []plan.InstanceID
 	handles []state.BufHandle
 }
 
@@ -244,6 +289,11 @@ type Engine struct {
 	// the channel, and is returned by handleBatch once processed.
 	batchPool sync.Pool
 
+	// remote is the link layer for instances hosted by other processes
+	// (nil in a fully local deployment). Written by SetRemote before
+	// Start; read by route-table builds.
+	remote Remote
+
 	start   time.Time
 	started atomic.Bool
 	stopAll chan struct{}
@@ -283,6 +333,9 @@ func New(cfg Config, q *plan.Query, factories map[plan.OpID]operator.Factory) (*
 		e.routings[opID] = mgr.Routing(opID)
 		spec := q.Op(opID)
 		for _, inst := range mgr.Instances(opID) {
+			if cfg.Hosted != nil && !cfg.Hosted(inst) {
+				continue
+			}
 			n, err := e.newNode(inst, spec)
 			if err != nil {
 				return nil, err
@@ -353,13 +406,18 @@ func (e *Engine) rebuildTopology() {
 		if n.spec.Role != plan.RoleSource && n.spec.Role != plan.RoleSink {
 			set.stateful = append(set.stateful, n)
 		}
+		n.mu.Lock()
 		n.routes.Store(e.buildRoutes(n))
+		n.mu.Unlock()
 	}
 	e.set.Store(set)
 }
 
 // buildRoutes resolves one node's downstream fan-out against the
-// current routing state and node map. Caller holds e.mu.
+// current routing state and node map. Caller holds e.mu AND n.mu (the
+// buffer handles live inside n.outBuf, guarded by n.mu against
+// concurrent trims; holding n.mu across the whole build also lets
+// ApplyReroute swap a table atomically with buffer repartitioning).
 func (e *Engine) buildRoutes(n *node) *routeTable {
 	rt := &routeTable{epoch: e.epoch}
 	q := e.mgr.Query()
@@ -381,16 +439,23 @@ func (e *Engine) buildRoutes(n *node) *routeTable {
 		if h.buffer {
 			h.handles = make([]state.BufHandle, len(entries))
 		}
-		// Buffer handles live inside n.outBuf, which is guarded by n.mu
-		// against concurrent trims from downstream checkpoints.
-		n.mu.Lock()
 		for i, en := range entries {
 			h.nodes[i] = e.nodes[en.Target]
+			if h.nodes[i] == nil && e.remote != nil {
+				// Hosted by another process: route through the link
+				// layer, lazily materialising the aligned slices so a
+				// fully local table costs nothing extra.
+				if h.remotes == nil {
+					h.remotes = make([]Remote, len(entries))
+					h.insts = make([]plan.InstanceID, len(entries))
+				}
+				h.remotes[i] = e.remote
+				h.insts[i] = en.Target
+			}
 			if h.buffer {
 				h.handles[i] = n.outBuf.Handle(en.Target)
 			}
 		}
-		n.mu.Unlock()
 		rt.hops = append(rt.hops, h)
 	}
 	return rt
@@ -559,21 +624,21 @@ func (n *node) handleBatch(ds []delivery) {
 	n.mu.Lock()
 	kept := ds[:0]
 	for i := 0; i < len(ds); {
-		from := ds[i].from
+		from := ds[i].From
 		wm := n.acks[from]
 		last := wm
 		j := i
-		for ; j < len(ds) && ds[j].from == from; j++ {
-			if ds[j].t.TS <= last {
+		for ; j < len(ds) && ds[j].From == from; j++ {
+			if ds[j].T.TS <= last {
 				dups++
 				continue
 			}
-			last = ds[j].t.TS
+			last = ds[j].T.TS
 			kept = append(kept, ds[j])
 		}
 		if last > wm {
 			n.acks[from] = last
-			n.tsVec.Advance(ds[i].input, last)
+			n.tsVec.Advance(ds[i].Input, last)
 		}
 		i = j
 	}
@@ -589,13 +654,13 @@ func (n *node) handleBatch(ds []delivery) {
 	if n.spec.Role == plan.RoleSink {
 		now := n.e.NowMillis()
 		for _, d := range kept {
-			lat := now - d.t.Born
+			lat := now - d.T.Born
 			if lat < 0 {
 				lat = 0
 			}
 			n.e.Latency.Observe(lat)
 			if n.e.OnSink != nil {
-				n.e.OnSink(d.t)
+				n.e.OnSink(d.T)
 			}
 		}
 		n.e.SinkCount.Add(uint64(len(kept)))
@@ -606,9 +671,9 @@ func (n *node) handleBatch(ds []delivery) {
 	}
 	ctx := operator.Context{Now: n.e.NowMillis()}
 	for _, d := range kept {
-		ctx.Input = d.input
-		n.curBorn = d.t.Born
-		n.op.OnTuple(ctx, d.t, n.emitFn)
+		ctx.Input = d.Input
+		n.curBorn = d.T.Born
+		n.op.OnTuple(ctx, d.T, n.emitFn)
 	}
 	n.flushPending()
 }
@@ -678,9 +743,12 @@ func (e *Engine) putBatch(ds []delivery) {
 	e.batchPool.Put(&ds)
 }
 
-// outSend is one batch ready for channel delivery.
+// outSend is one batch ready for delivery — over a channel to a local
+// node, or through the Remote link to an instance hosted elsewhere.
 type outSend struct {
 	target *node
+	remote Remote
+	inst   plan.InstanceID
 	ds     []delivery
 }
 
@@ -708,8 +776,12 @@ func (n *node) emitChunk(chunk []staged) {
 			// Unpartitioned downstream — the common case: no routing
 			// lookup, no per-tuple grouping.
 			tn := h.nodes[0]
+			var rm Remote
+			if tn == nil && h.remotes != nil {
+				rm = h.remotes[0]
+			}
 			var ds []delivery
-			if tn != nil {
+			if tn != nil || rm != nil {
 				ds = n.e.getBatch(len(chunk))
 			}
 			for i := range chunk {
@@ -718,12 +790,14 @@ func (n *node) emitChunk(chunk []staged) {
 				if h.buffer {
 					h.handles[0].Append(t)
 				}
-				if tn != nil {
-					ds = append(ds, delivery{from: n.inst, input: h.input, t: t})
+				if ds != nil {
+					ds = append(ds, delivery{From: n.inst, Input: h.input, T: t})
 				}
 			}
 			if tn != nil {
 				sends = append(sends, outSend{target: tn, ds: ds})
+			} else if rm != nil {
+				sends = append(sends, outSend{remote: rm, inst: h.insts[0], ds: ds})
 			}
 			continue
 		}
@@ -739,12 +813,21 @@ func (n *node) emitChunk(chunk []staged) {
 				h.handles[idx].Append(t)
 			}
 			tn := h.nodes[idx]
+			var rm Remote
+			var ri plan.InstanceID
 			if tn == nil {
-				continue
+				if h.remotes == nil || h.remotes[idx] == nil {
+					continue
+				}
+				rm, ri = h.remotes[idx], h.insts[idx]
 			}
 			var out *outSend
 			for j := start; j < len(sends); j++ {
-				if sends[j].target == tn {
+				if tn != nil && sends[j].target == tn {
+					out = &sends[j]
+					break
+				}
+				if tn == nil && sends[j].target == nil && sends[j].inst == ri {
 					out = &sends[j]
 					break
 				}
@@ -752,15 +835,25 @@ func (n *node) emitChunk(chunk []staged) {
 			if out == nil {
 				// Capacity for the whole chunk up front: one batch per
 				// (hop, target) instead of log(len) growth reallocs.
-				sends = append(sends, outSend{target: tn, ds: n.e.getBatch(len(chunk))})
+				sends = append(sends, outSend{target: tn, remote: rm, inst: ri, ds: n.e.getBatch(len(chunk))})
 				out = &sends[len(sends)-1]
 			}
-			out.ds = append(out.ds, delivery{from: n.inst, input: h.input, t: t})
+			out.ds = append(out.ds, delivery{From: n.inst, Input: h.input, T: t})
 		}
 	}
 	n.mu.Unlock()
 	for i := range sends {
 		s := &sends[i]
+		if s.target == nil {
+			// Remote instance: the link encodes (or copies) the batch
+			// synchronously, so the container can be recycled here. A
+			// link to a failed host drops the batch — the tuples stay in
+			// our output buffer for replay after recovery, exactly like
+			// the stopped-receiver case below.
+			s.remote.Deliver(s.inst, s.ds)
+			n.e.putBatch(s.ds)
+			continue
+		}
 		select {
 		case s.target.in <- s.ds:
 		case <-s.target.stopped:

@@ -59,6 +59,25 @@ func (e *Engine) checkpointAll() {
 // apply falls back to a full checkpoint, so a delta is never
 // load-bearing.
 func (e *Engine) checkpointNode(n *node) {
+	if e.cfg.Backup != nil {
+		// Distributed mode: the capture ships to the coordinator's
+		// authoritative store; acknowledgement trims come back over the
+		// wire (TrimUpstream), and the coordinator picks the backup
+		// host, so the engine's (possibly stale) local graph is never
+		// consulted. Deltas are not shipped through a sink.
+		cap := e.requestCapture(n)
+		if cap == nil || cap.full == nil {
+			return
+		}
+		if err := e.cfg.Backup.ShipFull(cap.full); err != nil {
+			return
+		}
+		n.mu.Lock()
+		n.needFull = false
+		n.deltasSince = 0
+		n.mu.Unlock()
+		return
+	}
 	host, err := e.mgr.BackupTarget(n.inst)
 	if err != nil {
 		return
@@ -386,9 +405,9 @@ func (e *Engine) replace(victim plan.InstanceID, pi int, failure bool) error {
 				if tn := e.nodes[to]; tn != nil {
 					replayed++
 					replayTo[tn] = append(replayTo[tn], delivery{
-						from:  nn.inst,
-						input: q.InputIndex(victim.Op, to.Op),
-						t:     t,
+						From:  nn.inst,
+						Input: q.InputIndex(victim.Op, to.Op),
+						T:     t,
 					})
 				}
 			}
@@ -414,9 +433,9 @@ func (e *Engine) replace(victim plan.InstanceID, pi int, failure bool) error {
 				for _, t := range un.outBuf.Tuples(nn.inst) {
 					replayed++
 					nn.replayQueue = append(nn.replayQueue, delivery{
-						from:  upInst,
-						input: q.InputIndex(upOp, victim.Op),
-						t:     t,
+						From:  upInst,
+						Input: q.InputIndex(upOp, victim.Op),
+						T:     t,
 					})
 				}
 			}

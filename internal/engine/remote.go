@@ -1,0 +1,260 @@
+package engine
+
+// Distributed-runtime support: the engine's node-link layer is pluggable
+// — route tables resolve each downstream instance either to a local
+// *node (the in-process zero-copy batch path) or to the Remote link
+// registered here. The coordinator drives topology transitions over the
+// wire through ApplyReroute / AdoptInstance / Retire, which are the
+// distributed decomposition of replace() in lifecycle.go: the same
+// ordering guarantees (route tables installed atomically with buffer
+// repartitioning, replays preceding fresh tuples per upstream sender,
+// ack inheritance before re-emissions arrive) hold, but each step runs
+// on the worker that owns the affected state, sequenced by the
+// coordinator.
+
+import (
+	"fmt"
+
+	"seep/internal/plan"
+	"seep/internal/state"
+)
+
+// SetRemote registers the link layer used to reach instances hosted by
+// other processes. Call before Start.
+func (e *Engine) SetRemote(r Remote) {
+	e.mu.Lock()
+	e.remote = r
+	e.rebuildTopology()
+	e.mu.Unlock()
+}
+
+// DeliverLocal injects a batch received from the wire into the hosted
+// instance's input channel, blocking for backpressure exactly like a
+// local sender. The engine takes ownership of ds (it is recycled after
+// processing); callers must not retain it. Returns false when the
+// instance is not hosted here (or already stopped), so the caller can
+// stash pre-deployment arrivals.
+func (e *Engine) DeliverLocal(to plan.InstanceID, ds []Delivery) bool {
+	if len(ds) == 0 {
+		return true
+	}
+	set := e.set.Load()
+	if set == nil {
+		return false
+	}
+	n := set.byInst[to]
+	if n == nil || n.failed.Load() {
+		return false
+	}
+	select {
+	case n.in <- ds:
+		return true
+	case <-n.stopped:
+		return false
+	}
+}
+
+// TrimUpstream applies an acknowledgement watermark received from the
+// coordinator: owner's checkpoint is safely stored, so the local node
+// hosting up may trim its retained output for owner through ts
+// (Algorithm 1 line 4, over the wire).
+func (e *Engine) TrimUpstream(up, owner plan.InstanceID, ts int64) {
+	set := e.set.Load()
+	if set == nil {
+		return
+	}
+	n := set.byInst[up]
+	if n == nil {
+		return
+	}
+	n.mu.Lock()
+	n.outBuf.TrimInstance(owner, ts)
+	n.mu.Unlock()
+}
+
+// ApplyReroute installs a coordinator-planned routing change for op:
+// the victim's entries are replaced by newInsts. For every local
+// upstream node the new route table is swapped, the output buffer
+// repartitioned and the retained tuples for the new instances replayed
+// through the Remote link — all under that node's mutex, so a fresh
+// emission can never overtake its replayed predecessors on the link's
+// per-destination FIFO. inherit renames duplicate-detection watermarks
+// on local nodes (π=1 recovery), and must be applied on every worker
+// before the replacement instance starts re-emitting (the coordinator
+// sequences Deploy after all reroute acknowledgements). Returns the
+// number of tuples replayed from local buffers.
+func (e *Engine) ApplyReroute(op plan.OpID, routing *state.Routing, newInsts []plan.InstanceID, inherit map[plan.InstanceID]plan.InstanceID) int {
+	replayed := 0
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.routings[op] = routing
+	if len(inherit) > 0 {
+		for _, dn := range e.nodes {
+			dn.mu.Lock()
+			for old, nw := range inherit {
+				if ts, ok := dn.acks[old]; ok {
+					dn.acks[nw] = ts
+					delete(dn.acks, old)
+				}
+			}
+			dn.mu.Unlock()
+		}
+	}
+	q := e.mgr.Query()
+	for _, upOp := range q.Upstream(op) {
+		input := q.InputIndex(upOp, op)
+		for _, un := range e.nodes {
+			if un.inst.Op != upOp {
+				continue
+			}
+			un.mu.Lock()
+			// Swap the table and repartition atomically with respect to
+			// this node's emissions: emitChunk loads the table under the
+			// same mutex, so every tuple is either retained before the
+			// repartition (and replayed below, ahead of anything emitted
+			// under the new table) or routed by the new table afterwards.
+			un.routes.Store(e.buildRoutes(un))
+			un.outBuf.Repartition(op, routing)
+			if e.remote != nil {
+				for _, ni := range newInsts {
+					tuples := un.outBuf.Tuples(ni)
+					if len(tuples) == 0 {
+						continue
+					}
+					ds := make([]Delivery, len(tuples))
+					for i, t := range tuples {
+						ds[i] = Delivery{From: un.inst, Input: input, T: t}
+					}
+					replayed += len(tuples)
+					e.remote.Deliver(ni, ds)
+				}
+			}
+			un.mu.Unlock()
+		}
+	}
+	// Refresh the node-set snapshot and every other table under a new
+	// epoch (downstream nodes of op are unaffected, but snapshots must
+	// agree on the epoch).
+	e.rebuildTopology()
+	return replayed
+}
+
+// AdoptInstance deploys a replacement instance planned elsewhere: the
+// node is built, restored from the partitioned checkpoint, handed the
+// stashed replay (tuples that arrived from upstream workers before the
+// deployment) and started. The checkpoint's own buffered output is
+// replayed downstream first — before the node processes anything — so
+// it precedes the instance's re-emissions, mirroring replace(). Returns
+// the number of tuples replayed downstream.
+func (e *Engine) AdoptInstance(cp *state.Checkpoint, routing *state.Routing, replay []Delivery) (int, error) {
+	inst := cp.Instance
+	spec := e.mgr.Query().Op(inst.Op)
+	if spec == nil {
+		return 0, fmt.Errorf("engine: adopt %s: unknown operator", inst)
+	}
+	nn, err := e.newNode(inst, spec)
+	if err != nil {
+		return 0, err
+	}
+	if err := nn.restore(cp); err != nil {
+		return 0, err
+	}
+	nn.replayQueue = replay
+	replayed := 0
+	e.mu.Lock()
+	select {
+	case <-e.stopAll:
+		e.mu.Unlock()
+		return 0, fmt.Errorf("engine: stopping; %s not adopted", inst)
+	default:
+	}
+	if _, dup := e.nodes[inst]; dup {
+		e.mu.Unlock()
+		return 0, fmt.Errorf("engine: %s already hosted", inst)
+	}
+	e.nodes[inst] = nn
+	if routing != nil {
+		e.routings[inst.Op] = routing
+	}
+	e.rebuildTopology()
+	// The victim's buffered output replays to downstream operators under
+	// the current routing (replace() line "the victim's own buffered
+	// output replays..."), enqueued before the new node starts so it
+	// precedes anything the instance emits itself.
+	q := e.mgr.Query()
+	replayTo := make(map[*node][]Delivery)
+	remoteTo := make(map[plan.InstanceID][]Delivery)
+	for _, target := range cp.Buffer.Targets() {
+		r := e.routings[target.Op]
+		input := q.InputIndex(inst.Op, target.Op)
+		for _, t := range cp.Buffer.Tuples(target) {
+			to := target
+			if r != nil {
+				to = r.Lookup(t.Key)
+			}
+			d := Delivery{From: inst, Input: input, T: t}
+			if tn := e.nodes[to]; tn != nil {
+				replayed++
+				replayTo[tn] = append(replayTo[tn], d)
+			} else if e.remote != nil {
+				replayed++
+				remoteTo[to] = append(remoteTo[to], d)
+			}
+		}
+	}
+	for tn, ds := range replayTo {
+		select {
+		case tn.in <- ds:
+		case <-tn.stopped:
+		}
+	}
+	for to, ds := range remoteTo {
+		e.remote.Deliver(to, ds)
+	}
+	if e.started.Load() {
+		e.startNode(nn)
+	}
+	e.mu.Unlock()
+	return replayed + len(replay), nil
+}
+
+// Retire stops a locally hosted instance and removes it from the
+// topology — the coordinator's counterpart of replace() stopping a
+// scale-out victim after the routing switch. The instance's retained
+// output buffer goes with it; its backed-up checkpoint (taken via the
+// pre-scale-out barrier) is the authoritative copy.
+func (e *Engine) Retire(inst plan.InstanceID) error {
+	e.mu.Lock()
+	n := e.nodes[inst]
+	if n == nil {
+		e.mu.Unlock()
+		return fmt.Errorf("engine: %s is not hosted here", inst)
+	}
+	n.failed.Store(true)
+	delete(e.nodes, inst)
+	e.rebuildTopology()
+	e.mu.Unlock()
+	n.stop()
+	return nil
+}
+
+// TotalProcessed returns the total number of tuples processed by all
+// hosted nodes — the settle signal distributed quiesce polls across
+// workers.
+func (e *Engine) TotalProcessed() uint64 { return e.totalProcessed() }
+
+// Local returns the instances hosted by this engine, in deterministic
+// order.
+func (e *Engine) Local() []plan.InstanceID {
+	set := e.set.Load()
+	if set == nil {
+		return nil
+	}
+	out := make([]plan.InstanceID, 0, len(set.nodes))
+	for _, n := range set.nodes {
+		if !n.failed.Load() {
+			out = append(out, n.inst)
+		}
+	}
+	return out
+}

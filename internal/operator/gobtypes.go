@@ -1,0 +1,14 @@
+package operator
+
+import "encoding/gob"
+
+// The distributed runtime's default payload codec is encoding/gob over
+// `any`, which requires every concrete payload type crossing a process
+// boundary to be registered. The library operators register their own
+// output types here; user payload types register via seep.RegisterPayloadType.
+func init() {
+	gob.Register(WordCount{})
+	gob.Register(Ranking{})
+	gob.Register(RankEntry{})
+	gob.Register(JoinedPair{})
+}

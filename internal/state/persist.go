@@ -1,6 +1,8 @@
 package state
 
 import (
+	"bytes"
+	"encoding/gob"
 	"fmt"
 
 	"seep/internal/plan"
@@ -30,6 +32,32 @@ func (StringPayloadCodec) EncodePayload(p any) ([]byte, error) {
 
 // DecodePayload implements PayloadCodec.
 func (StringPayloadCodec) DecodePayload(b []byte) (any, error) { return string(b), nil }
+
+// GobPayloadCodec serialises arbitrary payloads with encoding/gob — the
+// default codec of the distributed runtime, where tuples of any
+// registered concrete type cross process boundaries. Every payload type
+// other than gob's predeclared ones must be registered (gob.Register) in
+// every participating binary; the operator library registers its own
+// output types.
+type GobPayloadCodec struct{}
+
+// EncodePayload implements PayloadCodec.
+func (GobPayloadCodec) EncodePayload(p any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&p); err != nil {
+		return nil, fmt.Errorf("state: gob payload %T: %w", p, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodePayload implements PayloadCodec.
+func (GobPayloadCodec) DecodePayload(b []byte) (any, error) {
+	var p any
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&p); err != nil {
+		return nil, fmt.Errorf("state: gob payload: %w", err)
+	}
+	return p, nil
+}
 
 // encodeInstanceID writes an instance identifier.
 func encodeInstanceID(e *stream.Encoder, id plan.InstanceID) {

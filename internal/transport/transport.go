@@ -1,13 +1,16 @@
 // Package transport provides the network substrate for running operator
-// nodes on separate machines: a length-prefixed binary wire format for
-// tuples (using the state/stream codecs), persistent peer connections
-// with automatic reconnection, and heartbeat-based failure detection —
-// the mechanism behind the paper's failure detector (§5), which notifies
-// the recovery coordinator when a VM stops responding.
+// nodes on separate machines: a length-prefixed, checksummed binary wire
+// format for tuples, tuple batches, acknowledgement watermarks and
+// control messages (using the state/stream codecs), persistent peer
+// connections with automatic reconnection, and heartbeat-based failure
+// detection — the mechanism behind the paper's failure detector (§5),
+// which notifies the recovery coordinator when a VM stops responding.
 //
 // The in-process runtimes (internal/engine, internal/sim) do not need
-// this package; it exists so a deployment can place instances on real
-// hosts while reusing the same operator, state and control code.
+// this package; the distributed runtime (internal/dist) builds its
+// worker-to-worker data links and coordinator control channel on it, so
+// a deployment can place instances on real hosts while reusing the same
+// operator, state and control code.
 package transport
 
 import (
@@ -15,114 +18,249 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"net"
 	"sync"
 	"time"
 
+	"seep/internal/metrics"
 	"seep/internal/plan"
 	"seep/internal/state"
 	"seep/internal/stream"
 )
 
+// ProtocolVersion is stamped into every frame header. A peer speaking a
+// different version is rejected with a *VersionError rather than
+// decoded as garbage.
+const ProtocolVersion = uint8(2)
+
 // Frame types on the wire.
 const (
 	frameTuple     = uint8(1)
 	frameHeartbeat = uint8(2)
+	// frameBatch carries a micro-batch of tuples sharing one
+	// (from, to, input) route — the unit the engine's batched data path
+	// ships between hosts.
+	frameBatch = uint8(3)
+	// frameAck carries an acknowledgement watermark: after a checkpoint
+	// is safely stored, the upstream buffer retaining the acknowledged
+	// tuples may trim them (Algorithm 1 line 4, over the wire).
+	frameAck = uint8(4)
+	// frameControl carries an opaque coordinator/worker control message
+	// (plan assignment, checkpoint ship, reroute, deploy, ...).
+	frameControl = uint8(5)
+	// frameBarrier asks the receiving host to checkpoint one instance
+	// now — the wire form of the §3.2 checkpoint barrier, used before a
+	// coordinated scale out so the replayed window is small.
+	frameBarrier = uint8(6)
 )
 
 // maxFrameBytes bounds a single frame (16 MiB) so a corrupt length
 // prefix cannot allocate unbounded memory.
 const maxFrameBytes = 16 << 20
 
-// Envelope is one tuple in flight between hosts, carrying the routing
-// metadata the receiving node needs.
-type Envelope struct {
-	// From is the emitting instance (duplicate detection is
-	// per-upstream-instance).
-	From plan.InstanceID
-	// To is the destination instance.
-	To plan.InstanceID
-	// Input is the logical input-stream index at the receiver.
-	Input int
-	// Tuple is the payload-bearing tuple.
-	Tuple stream.Tuple
+// frameHeaderLen is [version:1][type:1][len:4][crc32:4].
+const frameHeaderLen = 10
+
+// VersionError reports a frame whose protocol-version byte does not
+// match this binary's ProtocolVersion.
+type VersionError struct {
+	Got, Want uint8
 }
 
-// encodeEnvelope writes an envelope body (without the frame header).
-func encodeEnvelope(e *stream.Encoder, env Envelope, codec state.PayloadCodec) error {
-	e.String32(string(env.From.Op))
-	e.Uint32(uint32(env.From.Part))
-	e.String32(string(env.To.Op))
-	e.Uint32(uint32(env.To.Part))
-	e.Int32(int32(env.Input))
-	e.Int64(env.Tuple.TS)
-	e.Key(env.Tuple.Key)
-	e.Int64(env.Tuple.Born)
-	pb, err := codec.EncodePayload(env.Tuple.Payload)
-	if err != nil {
-		return fmt.Errorf("transport: encode payload: %w", err)
-	}
-	e.Bytes32(pb)
-	return nil
+func (e *VersionError) Error() string {
+	return fmt.Sprintf("transport: protocol version %d, want %d", e.Got, e.Want)
 }
 
-func decodeEnvelope(d *stream.Decoder, codec state.PayloadCodec) (Envelope, error) {
-	var env Envelope
-	env.From = plan.InstanceID{Op: plan.OpID(d.String32()), Part: int(d.Uint32())}
-	env.To = plan.InstanceID{Op: plan.OpID(d.String32()), Part: int(d.Uint32())}
-	env.Input = int(d.Int32())
-	env.Tuple.TS = d.Int64()
-	env.Tuple.Key = d.Key()
-	env.Tuple.Born = d.Int64()
-	pb := d.Bytes32()
-	if err := d.Err(); err != nil {
-		return env, err
-	}
-	payload, err := codec.DecodePayload(pb)
-	if err != nil {
-		return env, fmt.Errorf("transport: decode payload: %w", err)
-	}
-	env.Tuple.Payload = payload
-	return env, nil
+// ChecksumError reports a frame whose body failed CRC32 validation —
+// corruption on the wire or a desynchronised stream.
+type ChecksumError struct {
+	Got, Want uint32
 }
 
-// writeFrame writes [type][len][body] to w.
-func writeFrame(w io.Writer, frameType uint8, body []byte) error {
-	var hdr [5]byte
-	hdr[0] = frameType
-	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(body)))
+func (e *ChecksumError) Error() string {
+	return fmt.Sprintf("transport: frame checksum %08x, want %08x", e.Got, e.Want)
+}
+
+// FrameSizeError reports a frame whose declared length exceeds
+// maxFrameBytes.
+type FrameSizeError struct {
+	Size uint32
+}
+
+func (e *FrameSizeError) Error() string {
+	return fmt.Sprintf("transport: frame of %d bytes exceeds %d-byte limit", e.Size, maxFrameBytes)
+}
+
+// Metrics tallies transport activity. All methods are safe on a nil
+// receiver, so plumbing is optional. The counters surface through
+// Job.Metrics() on the distributed runtime.
+type Metrics struct {
+	bytesSent       metrics.Counter
+	bytesReceived   metrics.Counter
+	framesSent      metrics.Counter
+	framesReceived  metrics.Counter
+	reconnects      metrics.Counter
+	heartbeatMisses metrics.Counter
+	corruptFrames   metrics.Counter
+}
+
+func (m *Metrics) addSent(bytes int) {
+	if m == nil {
+		return
+	}
+	m.framesSent.Inc()
+	m.bytesSent.Add(uint64(bytes))
+}
+
+func (m *Metrics) addReceived(bytes int) {
+	if m == nil {
+		return
+	}
+	m.framesReceived.Inc()
+	m.bytesReceived.Add(uint64(bytes))
+}
+
+func (m *Metrics) addReconnect() {
+	if m == nil {
+		return
+	}
+	m.reconnects.Inc()
+}
+
+func (m *Metrics) addHeartbeatMiss() {
+	if m == nil {
+		return
+	}
+	m.heartbeatMisses.Inc()
+}
+
+func (m *Metrics) addCorrupt() {
+	if m == nil {
+		return
+	}
+	m.corruptFrames.Inc()
+}
+
+// Stats is a point-in-time snapshot of transport activity.
+type Stats struct {
+	// BytesSent and BytesReceived count frame bytes (headers + bodies).
+	BytesSent, BytesReceived uint64
+	// FramesSent and FramesReceived count whole frames, heartbeats
+	// included.
+	FramesSent, FramesReceived uint64
+	// Reconnects counts re-dials of outbound peer connections.
+	Reconnects uint64
+	// HeartbeatMisses counts probe periods that elapsed without a reply
+	// (each contributes toward a peer's MissLimit).
+	HeartbeatMisses uint64
+	// CorruptFrames counts inbound frames rejected for a bad checksum,
+	// version or length.
+	CorruptFrames uint64
+}
+
+// Snapshot returns the current counter values (zero Stats on nil).
+func (m *Metrics) Snapshot() Stats {
+	if m == nil {
+		return Stats{}
+	}
+	return Stats{
+		BytesSent:       m.bytesSent.Value(),
+		BytesReceived:   m.bytesReceived.Value(),
+		FramesSent:      m.framesSent.Value(),
+		FramesReceived:  m.framesReceived.Value(),
+		Reconnects:      m.reconnects.Value(),
+		HeartbeatMisses: m.heartbeatMisses.Value(),
+		CorruptFrames:   m.corruptFrames.Value(),
+	}
+}
+
+// Add folds another snapshot into this one (for aggregating a worker's
+// listener and peer meters into one job-level view).
+func (s Stats) Add(o Stats) Stats {
+	s.BytesSent += o.BytesSent
+	s.BytesReceived += o.BytesReceived
+	s.FramesSent += o.FramesSent
+	s.FramesReceived += o.FramesReceived
+	s.Reconnects += o.Reconnects
+	s.HeartbeatMisses += o.HeartbeatMisses
+	s.CorruptFrames += o.CorruptFrames
+	return s
+}
+
+// writeFrame writes [version][type][len][crc32][body] to w.
+func writeFrame(w io.Writer, m *Metrics, frameType uint8, body []byte) error {
+	var hdr [frameHeaderLen]byte
+	hdr[0] = ProtocolVersion
+	hdr[1] = frameType
+	binary.LittleEndian.PutUint32(hdr[2:6], uint32(len(body)))
+	binary.LittleEndian.PutUint32(hdr[6:10], crc32.ChecksumIEEE(body))
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
-	_, err := w.Write(body)
-	return err
+	if _, err := w.Write(body); err != nil {
+		return err
+	}
+	m.addSent(frameHeaderLen + len(body))
+	return nil
 }
 
-// readFrame reads one frame from r.
-func readFrame(r io.Reader) (uint8, []byte, error) {
-	var hdr [5]byte
+// readFrame reads one frame from r, validating version, length and
+// checksum before any body byte is interpreted.
+func readFrame(r io.Reader, m *Metrics) (uint8, []byte, error) {
+	var hdr [frameHeaderLen]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return 0, nil, err
 	}
-	n := binary.LittleEndian.Uint32(hdr[1:])
-	if n > maxFrameBytes {
-		return 0, nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", n)
+	if hdr[0] != ProtocolVersion {
+		m.addCorrupt()
+		return 0, nil, &VersionError{Got: hdr[0], Want: ProtocolVersion}
 	}
+	n := binary.LittleEndian.Uint32(hdr[2:6])
+	if n > maxFrameBytes {
+		m.addCorrupt()
+		return 0, nil, &FrameSizeError{Size: n}
+	}
+	want := binary.LittleEndian.Uint32(hdr[6:10])
 	body := make([]byte, n)
 	if _, err := io.ReadFull(r, body); err != nil {
 		return 0, nil, err
 	}
-	return hdr[0], body, nil
+	if got := crc32.ChecksumIEEE(body); got != want {
+		m.addCorrupt()
+		return 0, nil, &ChecksumError{Got: got, Want: want}
+	}
+	m.addReceived(frameHeaderLen + int(n))
+	return hdr[1], body, nil
 }
 
-// Listener accepts tuple streams from peers and hands decoded envelopes
-// to a handler. It also answers heartbeats, so a connected peer's
-// failure detector sees this host as alive.
+// Handlers receives decoded inbound frames. Nil entries drop the
+// corresponding frame type. Handlers are called sequentially per
+// connection; blocking in a handler applies backpressure to that
+// sender.
+type Handlers struct {
+	// OnEnvelope receives single-tuple frames.
+	OnEnvelope func(Envelope)
+	// OnBatch receives tuple-batch frames.
+	OnBatch func(Batch)
+	// OnAck receives acknowledgement-watermark frames.
+	OnAck func(Ack)
+	// OnControl receives opaque control-message bodies. The slice is
+	// owned by the callee.
+	OnControl func(body []byte)
+	// OnBarrier receives checkpoint-barrier requests.
+	OnBarrier func(inst plan.InstanceID)
+}
+
+// Listener accepts frames from peers and hands decoded payloads to the
+// registered handlers. It also answers heartbeats, so a connected
+// peer's failure detector sees this host as alive.
 type Listener struct {
-	ln      net.Listener
-	codec   state.PayloadCodec
-	handler func(Envelope)
+	ln       net.Listener
+	codec    state.PayloadCodec
+	handlers Handlers
+	metrics  *Metrics
 
 	mu     sync.Mutex
 	closed bool
@@ -131,13 +269,20 @@ type Listener struct {
 }
 
 // Listen starts accepting on addr (e.g. "127.0.0.1:0") and dispatching
-// envelopes to handler (called sequentially per connection).
+// single-tuple envelopes to handler. Kept for tuple-only deployments;
+// ListenWith registers the full handler set.
 func Listen(addr string, codec state.PayloadCodec, handler func(Envelope)) (*Listener, error) {
+	return ListenWith(addr, codec, Handlers{OnEnvelope: handler}, nil)
+}
+
+// ListenWith starts accepting on addr with the full handler set and
+// optional metrics.
+func ListenWith(addr string, codec state.PayloadCodec, h Handlers, m *Metrics) (*Listener, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen: %w", err)
 	}
-	l := &Listener{ln: ln, codec: codec, handler: handler, conns: make(map[net.Conn]bool)}
+	l := &Listener{ln: ln, codec: codec, handlers: h, metrics: m, conns: make(map[net.Conn]bool)}
 	l.wg.Add(1)
 	go l.acceptLoop()
 	return l, nil
@@ -178,14 +323,17 @@ func (l *Listener) serve(conn net.Conn) {
 	w := bufio.NewWriter(conn)
 	var wmu sync.Mutex
 	for {
-		frameType, body, err := readFrame(r)
+		frameType, body, err := readFrame(r, l.metrics)
 		if err != nil {
+			// Version, checksum and length violations poison the stream
+			// framing; drop the connection and let the peer reconnect
+			// rather than resynchronise heuristically.
 			return
 		}
 		switch frameType {
 		case frameHeartbeat:
 			wmu.Lock()
-			if err := writeFrame(w, frameHeartbeat, nil); err == nil {
+			if err := writeFrame(w, l.metrics, frameHeartbeat, nil); err == nil {
 				err = w.Flush()
 			}
 			wmu.Unlock()
@@ -195,12 +343,38 @@ func (l *Listener) serve(conn net.Conn) {
 		case frameTuple:
 			env, err := decodeEnvelope(stream.NewDecoder(body), l.codec)
 			if err != nil {
-				// A malformed tuple poisons the stream framing; drop the
-				// connection and let the peer reconnect.
 				return
 			}
-			if l.handler != nil {
-				l.handler(env)
+			if l.handlers.OnEnvelope != nil {
+				l.handlers.OnEnvelope(env)
+			}
+		case frameBatch:
+			b, err := decodeBatch(stream.NewDecoder(body), l.codec)
+			if err != nil {
+				return
+			}
+			if l.handlers.OnBatch != nil {
+				l.handlers.OnBatch(b)
+			}
+		case frameAck:
+			a, err := decodeAck(stream.NewDecoder(body))
+			if err != nil {
+				return
+			}
+			if l.handlers.OnAck != nil {
+				l.handlers.OnAck(a)
+			}
+		case frameControl:
+			if l.handlers.OnControl != nil {
+				l.handlers.OnControl(body)
+			}
+		case frameBarrier:
+			inst, err := decodeBarrier(stream.NewDecoder(body))
+			if err != nil {
+				return
+			}
+			if l.handlers.OnBarrier != nil {
+				l.handlers.OnBarrier(inst)
 			}
 		default:
 			return
@@ -224,11 +398,17 @@ func (l *Listener) Close() error {
 // ErrPeerClosed reports sends on a closed peer.
 var ErrPeerClosed = errors.New("transport: peer closed")
 
+// ErrPeerDown reports sends on a peer the failure detector declared
+// failed.
+var ErrPeerDown = errors.New("transport: peer down")
+
 // Peer is an outbound connection to one host, with heartbeat-based
 // failure detection: if the peer misses MissLimit consecutive heartbeat
 // replies, OnDown fires — the signal the recovery coordinator consumes
 // ("the SPS ... scales out an operator when it has become unresponsive",
-// §4.2).
+// §4.2). A failed write triggers one automatic re-dial before the send
+// is failed, so transient connection loss does not require caller
+// plumbing.
 type Peer struct {
 	addr  string
 	codec state.PayloadCodec
@@ -237,8 +417,13 @@ type Peer struct {
 	// MissLimit is how many consecutive missed replies mark the peer
 	// down (default 3).
 	MissLimit int
+	// WriteTimeout bounds each frame write+flush so a hung peer cannot
+	// wedge senders forever (default 10 s).
+	WriteTimeout time.Duration
 	// OnDown is invoked once when the peer is declared failed.
 	OnDown func()
+	// Metrics, when set, tallies this peer's traffic.
+	Metrics *Metrics
 
 	mu      sync.Mutex
 	conn    net.Conn
@@ -253,11 +438,19 @@ type Peer struct {
 
 // Dial connects to a listener.
 func Dial(addr string, codec state.PayloadCodec) (*Peer, error) {
+	return DialWith(addr, codec, nil)
+}
+
+// DialWith connects to a listener with metrics attached before the read
+// loop starts (assigning Peer.Metrics after Dial races it).
+func DialWith(addr string, codec state.PayloadCodec, m *Metrics) (*Peer, error) {
 	p := &Peer{
 		addr:           addr,
 		codec:          codec,
 		HeartbeatEvery: 500 * time.Millisecond,
 		MissLimit:      3,
+		WriteTimeout:   10 * time.Second,
+		Metrics:        m,
 		stop:           make(chan struct{}),
 	}
 	if err := p.connect(); err != nil {
@@ -267,14 +460,22 @@ func Dial(addr string, codec state.PayloadCodec) (*Peer, error) {
 }
 
 func (p *Peer) connect() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.connectLocked()
+}
+
+// connectLocked (re)establishes the connection. Caller holds p.mu.
+func (p *Peer) connectLocked() error {
 	conn, err := net.DialTimeout("tcp", p.addr, 2*time.Second)
 	if err != nil {
 		return fmt.Errorf("transport: dial %s: %w", p.addr, err)
 	}
-	p.mu.Lock()
+	if p.conn != nil {
+		p.conn.Close()
+	}
 	p.conn = conn
 	p.w = bufio.NewWriter(conn)
-	p.mu.Unlock()
 	p.wg.Add(1)
 	go p.readLoop(conn)
 	return nil
@@ -293,13 +494,13 @@ func (p *Peer) StartHeartbeat() {
 				return
 			case <-tick.C:
 				p.mu.Lock()
+				if p.pending > 0 {
+					p.Metrics.addHeartbeatMiss()
+				}
 				p.pending++
 				missed := p.pending
-				w, closed := p.w, p.closed
-				if !closed && w != nil {
-					if err := writeFrame(w, frameHeartbeat, nil); err == nil {
-						_ = w.Flush()
-					}
+				if !p.closed && p.w != nil {
+					_ = p.writeLocked(frameHeartbeat, nil)
 				}
 				p.mu.Unlock()
 				if missed > p.MissLimit {
@@ -315,7 +516,7 @@ func (p *Peer) readLoop(conn net.Conn) {
 	defer p.wg.Done()
 	r := bufio.NewReader(conn)
 	for {
-		frameType, _, err := readFrame(r)
+		frameType, _, err := readFrame(r, p.Metrics)
 		if err != nil {
 			return
 		}
@@ -331,10 +532,63 @@ func (p *Peer) declareDown() {
 	p.mu.Lock()
 	already := p.downed || p.closed
 	p.downed = true
+	conn := p.conn
 	p.mu.Unlock()
-	if !already && p.OnDown != nil {
+	if already {
+		return
+	}
+	// Unblock any writer stuck in a send to the unresponsive host.
+	if conn != nil {
+		conn.Close()
+	}
+	if p.OnDown != nil {
 		p.OnDown()
 	}
+}
+
+// writeLocked writes one frame and flushes under a write deadline.
+// Caller holds p.mu.
+func (p *Peer) writeLocked(frameType uint8, body []byte) error {
+	if p.conn != nil && p.WriteTimeout > 0 {
+		_ = p.conn.SetWriteDeadline(time.Now().Add(p.WriteTimeout))
+	}
+	err := writeFrame(p.w, p.Metrics, frameType, body)
+	if err == nil {
+		err = p.w.Flush()
+	}
+	if p.conn != nil {
+		_ = p.conn.SetWriteDeadline(time.Time{})
+	}
+	return err
+}
+
+// sendFrame transmits one frame, re-dialling once on a failed write.
+func (p *Peer) sendFrame(frameType uint8, body []byte) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrPeerClosed
+	}
+	if p.downed {
+		return ErrPeerDown
+	}
+	if p.w != nil {
+		if err := p.writeLocked(frameType, body); err == nil {
+			p.sent++
+			return nil
+		}
+	}
+	// The connection is gone (or was never established): one reconnect
+	// attempt, then fail the send to the caller.
+	if err := p.connectLocked(); err != nil {
+		return err
+	}
+	p.Metrics.addReconnect()
+	if err := p.writeLocked(frameType, body); err != nil {
+		return err
+	}
+	p.sent++
+	return nil
 }
 
 // Send transmits one envelope. Sends after Close or after the peer went
@@ -345,26 +599,46 @@ func (p *Peer) Send(env Envelope) error {
 	if err := encodeEnvelope(e, env, p.codec); err != nil {
 		return err
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.closed || p.downed || p.w == nil {
-		return ErrPeerClosed
-	}
-	if err := writeFrame(p.w, frameTuple, e.Bytes()); err != nil {
-		return err
-	}
-	p.sent++
-	// Flush per tuple keeps latency low; batching is the caller's choice
-	// by sending multiple envelopes before the deadline.
-	return p.w.Flush()
+	return p.sendFrame(frameTuple, e.Bytes())
 }
 
-// Sent returns how many tuples were transmitted.
+// SendBatch transmits one tuple batch.
+func (p *Peer) SendBatch(b Batch) error {
+	e := stream.NewEncoder(64 * (1 + len(b.Tuples)))
+	if err := encodeBatch(e, b, p.codec); err != nil {
+		return err
+	}
+	return p.sendFrame(frameBatch, e.Bytes())
+}
+
+// SendAck transmits one acknowledgement watermark.
+func (p *Peer) SendAck(a Ack) error {
+	e := stream.NewEncoder(64)
+	encodeAck(e, a)
+	return p.sendFrame(frameAck, e.Bytes())
+}
+
+// SendControl transmits one opaque control-message body.
+func (p *Peer) SendControl(body []byte) error {
+	return p.sendFrame(frameControl, body)
+}
+
+// SendBarrier asks the remote host to checkpoint inst now.
+func (p *Peer) SendBarrier(inst plan.InstanceID) error {
+	e := stream.NewEncoder(32)
+	encodeBarrier(e, inst)
+	return p.sendFrame(frameBarrier, e.Bytes())
+}
+
+// Sent returns how many non-heartbeat frames were transmitted.
 func (p *Peer) Sent() uint64 {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.sent
 }
+
+// Addr returns the dialled address.
+func (p *Peer) Addr() string { return p.addr }
 
 // Down reports whether the failure detector declared the peer failed.
 func (p *Peer) Down() bool {

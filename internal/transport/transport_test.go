@@ -218,9 +218,9 @@ func TestListenerRejectsOversizeFrame(t *testing.T) {
 	// Hand-craft a frame with an absurd length; the listener must drop
 	// the connection rather than allocate.
 	p.mu.Lock()
-	_ = writeFrame(p.w, frameTuple, make([]byte, 16))
+	_ = writeFrame(p.w, nil, frameTuple, make([]byte, 16))
 	// Corrupt: huge declared length with no body.
-	_, _ = p.w.Write([]byte{frameTuple, 0xff, 0xff, 0xff, 0x7f})
+	_, _ = p.w.Write([]byte{ProtocolVersion, frameTuple, 0xff, 0xff, 0xff, 0x7f, 0, 0, 0, 0})
 	_ = p.w.Flush()
 	p.mu.Unlock()
 	// The listener should survive (no panic, no OOM); a fresh connection

@@ -47,10 +47,19 @@ type runtimeConfig struct {
 	vmCapacity float64
 	scaleIn    *ScaleInPolicy
 
-	// liveOnly / simOnly name the restricted options that were set, so
-	// the wrong substrate can reject them by name.
+	// Distributed runtime only.
+	workers      int
+	workersSet   bool
+	workerAddrs  []string
+	topoName     string
+	payloadCodec PayloadCodec
+	coordAddr    string
+
+	// liveOnly / simOnly / distOnly name the restricted options that were
+	// set, so the wrong substrate can reject them by name.
 	liveOnly []string
 	simOnly  []string
+	distOnly []string
 }
 
 func buildConfig(opts []Option) *runtimeConfig {
@@ -80,6 +89,12 @@ func (c *runtimeConfig) validate() error {
 		if f := c.delta.MaxDeltaFraction; f <= 0 || f > 1 {
 			return fmt.Errorf("seep: WithIncrementalCheckpoints requires 0 < maxDeltaFraction <= 1, got %v", f)
 		}
+	}
+	if c.workersSet && c.workers < 1 {
+		return fmt.Errorf("seep: WithWorkers requires n >= 1, got %d", c.workers)
+	}
+	if len(c.workerAddrs) > 0 && c.topoName == "" {
+		return fmt.Errorf("seep: WithWorkerAddrs requires WithTopologyName (external workers instantiate topologies from their registry by name)")
 	}
 	if c.batchSet {
 		if c.batchSize < 1 {
@@ -244,5 +259,60 @@ func WithElasticity(p ScaleInPolicy) Option {
 	return func(c *runtimeConfig) {
 		c.scaleIn = &p
 		c.simOnly = append(c.simOnly, "WithElasticity")
+	}
+}
+
+// WithWorkers sets how many in-process loopback workers the Distributed
+// runtime spawns (default 3). Each worker is a full coordinator-managed
+// host with its own TCP listener — real frames, real failure detection —
+// inside one process, which is the test and development mode. Mutually
+// exclusive with WithWorkerAddrs. Distributed runtime only.
+func WithWorkers(n int) Option {
+	return func(c *runtimeConfig) {
+		c.workers = n
+		c.workersSet = true
+		c.distOnly = append(c.distOnly, "WithWorkers")
+	}
+}
+
+// WithWorkerAddrs connects the Distributed runtime to external
+// seep-worker daemons (cmd/seep-worker) instead of spawning in-process
+// workers. Requires WithTopologyName, since Go cannot ship operator code:
+// every daemon's registry must have the topology registered under that
+// name. Distributed runtime only.
+func WithWorkerAddrs(addrs ...string) Option {
+	return func(c *runtimeConfig) {
+		c.workerAddrs = append(c.workerAddrs, addrs...)
+		c.distOnly = append(c.distOnly, "WithWorkerAddrs")
+	}
+}
+
+// WithTopologyName names the topology for worker registries (external
+// deployments). Distributed runtime only.
+func WithTopologyName(name string) Option {
+	return func(c *runtimeConfig) {
+		c.topoName = name
+		c.distOnly = append(c.distOnly, "WithTopologyName")
+	}
+}
+
+// WithPayloadCodec sets the codec serialising tuple payloads on the
+// wire (default: gob over registered concrete types, see
+// RegisterPayloadType). Distributed runtime only.
+func WithPayloadCodec(codec PayloadCodec) Option {
+	return func(c *runtimeConfig) {
+		c.payloadCodec = codec
+		c.distOnly = append(c.distOnly, "WithPayloadCodec")
+	}
+}
+
+// WithCoordinatorAddr sets the coordinator's listen address (default
+// "127.0.0.1:0"). External workers dial back to it, so for multi-host
+// deployments it must be reachable from every worker. Distributed
+// runtime only.
+func WithCoordinatorAddr(addr string) Option {
+	return func(c *runtimeConfig) {
+		c.coordAddr = addr
+		c.distOnly = append(c.distOnly, "WithCoordinatorAddr")
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"seep/internal/engine"
 	"seep/internal/metrics"
 	"seep/internal/sim"
+	"seep/internal/transport"
 )
 
 // Runtime is a substrate that can deploy a Topology: the live engine
@@ -83,6 +84,10 @@ type (
 	// CheckpointStats tallies full and incremental checkpoint traffic
 	// into the backup store (counts and serialised bytes).
 	CheckpointStats = core.ShipStats
+	// TransportStats tallies network activity — bytes and frames in both
+	// directions, reconnects, heartbeat misses, corrupt frames. Always
+	// zero on the in-process runtimes.
+	TransportStats = transport.Stats
 )
 
 // Metrics is a point-in-time snapshot of a Job, identical in shape on
@@ -108,6 +113,9 @@ type Metrics struct {
 	// WithIncrementalCheckpoints, Deltas/DeltaBytes show how much
 	// shipping shrank versus full snapshots.
 	Checkpoints CheckpointStats
+	// Transport tallies the Distributed runtime's network activity
+	// across the coordinator and all workers (zero on Live/Simulated).
+	Transport TransportStats
 	// Errors lists asynchronous operations that failed — an automatic
 	// recovery that could not complete, for example. Empty on a healthy
 	// job; never silently dropped.
@@ -141,6 +149,10 @@ func (r *liveRuntime) Deploy(t *Topology) (Job, error) {
 	if len(r.cfg.simOnly) > 0 {
 		return nil, fmt.Errorf("seep: option(s) %s apply only to the Simulated runtime",
 			strings.Join(r.cfg.simOnly, ", "))
+	}
+	if len(r.cfg.distOnly) > 0 {
+		return nil, fmt.Errorf("seep: option(s) %s apply only to the Distributed runtime",
+			strings.Join(r.cfg.distOnly, ", "))
 	}
 	if err := r.cfg.validate(); err != nil {
 		return nil, err
@@ -329,6 +341,10 @@ func (r *simRuntime) Deploy(t *Topology) (Job, error) {
 	if len(r.cfg.liveOnly) > 0 {
 		return nil, fmt.Errorf("seep: option(s) %s apply only to the Live runtime",
 			strings.Join(r.cfg.liveOnly, ", "))
+	}
+	if len(r.cfg.distOnly) > 0 {
+		return nil, fmt.Errorf("seep: option(s) %s apply only to the Distributed runtime",
+			strings.Join(r.cfg.distOnly, ", "))
 	}
 	if err := r.cfg.validate(); err != nil {
 		return nil, err

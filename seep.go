@@ -30,8 +30,8 @@
 // SnapshotKV/RestoreKV contract, Stateful, is deprecated but still
 // deploys.)
 //
-// Two substrates execute topologies behind one Runtime/Job interface,
-// so scenarios are written once and run on either:
+// Three substrates execute topologies behind one Runtime/Job interface,
+// so scenarios are written once and run on any:
 //
 //   - seep.Live(...): a live runtime of goroutines and channels with
 //     wall-clock checkpointing, live scale out and failure recovery.
@@ -40,6 +40,11 @@
 //     IaaS provisioning delays, CPU-cost accounting, failure injection
 //     and the bottleneck-driven scaling policy of the paper — the
 //     substrate used to reproduce the paper's experiments.
+//   - seep.Distributed(...): a coordinator plus worker hosts exchanging
+//     tuple batches over TCP, with heartbeat failure detection and
+//     recovery/scale-out over the wire — in-process loopback workers
+//     for development, cmd/seep-worker daemons for real deployments
+//     (see the README's Deployment section).
 //
 // Both are configured with functional options:
 //
