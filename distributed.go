@@ -3,7 +3,6 @@ package seep
 import (
 	"encoding/gob"
 	"fmt"
-	"strings"
 	"sync"
 	"time"
 
@@ -46,12 +45,8 @@ func (r *distRuntime) Name() string { return "dist" }
 
 func (r *distRuntime) Deploy(t *Topology) (Job, error) {
 	cfg := r.cfg
-	if len(cfg.simOnly) > 0 {
-		return nil, fmt.Errorf("seep: option(s) %s apply only to the Simulated runtime",
-			strings.Join(cfg.simOnly, ", "))
-	}
-	if cfg.deltaSet {
-		return nil, fmt.Errorf("seep: WithIncrementalCheckpoints is not yet supported by the Distributed runtime (checkpoints ship to the coordinator in full)")
+	if err := cfg.checkSubstrate("dist"); err != nil {
+		return nil, err
 	}
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -95,6 +90,7 @@ func (r *distRuntime) Deploy(t *Topology) (Job, error) {
 		DetectDelay:        detect,
 		RecoveryPi:         cfg.recoveryPi,
 		Policy:             cfg.policy,
+		ScaleIn:            cfg.scaleIn,
 	}
 
 	j := &distJob{}
@@ -280,6 +276,10 @@ func (j *distJob) ScaleOut(victim InstanceID, pi int) error {
 	return j.coord.ScaleOut(victim, pi)
 }
 
+func (j *distJob) ScaleIn(victims []InstanceID) error {
+	return j.coord.ScaleIn(victims)
+}
+
 func (j *distJob) Instances(op OpID) []InstanceID { return j.coord.Manager().Instances(op) }
 
 func (j *distJob) OperatorOf(inst InstanceID) any {
@@ -320,12 +320,14 @@ func (j *distJob) MetricsSnapshot() Metrics {
 			StartedAt:      r.StartedAt,
 			CompletedAt:    r.CompletedAt,
 			ReplayedTuples: r.ReplayedTuples,
+			Merge:          r.Merge,
 		}
 	}
 	m := Metrics{
 		ElapsedMillis: elapsed,
 		Parallelism:   parallelismOf(j.coord.Manager().Query(), func(op OpID) int { return j.coord.Manager().Parallelism(op) }),
 		Recoveries:    out,
+		Merges:        j.coord.Merges(),
 		Checkpoints:   j.coord.Manager().Backups().ShipStats(),
 		Errors:        j.coord.Errors(),
 		Transport:     j.coord.TransportStats(),

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"seep/internal/plan"
+	"seep/internal/state"
 )
 
 // ScaleInPolicy decides when partitions of an operator should be merged
@@ -102,3 +103,30 @@ func (d *ScaleInDetector) Observe(reports []Report) []plan.OpID {
 // Unmute re-enables merging for an operator after a completed or aborted
 // scale in.
 func (d *ScaleInDetector) Unmute(op plan.OpID) { delete(d.muted, op) }
+
+// AdjacentPair picks the pair of partitions owning adjacent key ranges
+// with the lowest combined utilisation, or nil — the runtime-side merge
+// victim selection shared by every substrate (merge victims must own
+// adjacent ranges, a routing-level constraint the detector does not
+// see). entries is the operator's routing state in range order; live
+// filters candidates, since each runtime's notion of liveness differs.
+func AdjacentPair(entries []state.RouteEntry, reports []Report, live func(plan.InstanceID) bool) []plan.InstanceID {
+	util := make(map[plan.InstanceID]float64, len(reports))
+	for _, r := range reports {
+		util[r.Inst] = r.Util
+	}
+	var best []plan.InstanceID
+	bestLoad := -1.0
+	for i := 1; i < len(entries); i++ {
+		a, b := entries[i-1].Target, entries[i].Target
+		if a == b || !live(a) || !live(b) {
+			continue
+		}
+		load := util[a] + util[b]
+		if bestLoad < 0 || load < bestLoad {
+			best = []plan.InstanceID{a, b}
+			bestLoad = load
+		}
+	}
+	return best
+}

@@ -135,6 +135,9 @@ func (s *BackupStore) ApplyDelta(host plan.InstanceID, dc *state.DeltaCheckpoint
 		Buffer:     dc.Buffer.Clone(),
 		OutClock:   dc.OutClock,
 		Acks:       state.CloneAcks(dc.Acks),
+		// Deltas never re-ship legacy buffers: the base's copy stays
+		// authoritative until downstream acknowledgements retire it.
+		Legacy: state.CloneLegacy(e.cp.Legacy),
 	}
 	dc.Delta.Apply(folded.Processing)
 	s.bytes += folded.Size() - e.cp.Size()

@@ -50,6 +50,12 @@ type MergePlan struct {
 	Range       state.KeyRange
 	Checkpoint  *state.Checkpoint
 	Routing     *state.Routing
+	// VictimCheckpoints are the per-victim checkpoints the merge was
+	// planned from, aligned with Victims. Runtimes replay each victim's
+	// buffered output under its original identity and trim upstream
+	// buffers to each victim's own acknowledgement watermark before
+	// repartitioning, which is what keeps the merge exactly-once.
+	VictimCheckpoints []*state.Checkpoint
 }
 
 // Manager is the logically centralised query manager of §2.2/§5: it owns
@@ -389,11 +395,12 @@ func (m *Manager) PlanMerge(victims []plan.InstanceID) (*MergePlan, error) {
 	}
 	m.routing[op] = newRouting
 	return &MergePlan{
-		Victims:     victims,
-		NewInstance: target,
-		Range:       union,
-		Checkpoint:  merged,
-		Routing:     newRouting.Clone(),
+		Victims:           victims,
+		NewInstance:       target,
+		Range:             union,
+		Checkpoint:        merged,
+		Routing:           newRouting.Clone(),
+		VictimCheckpoints: cps,
 	}, nil
 }
 

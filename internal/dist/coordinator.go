@@ -40,6 +40,11 @@ type Config struct {
 	// Policy, when set, enables detector-driven scale out from worker
 	// utilisation reports.
 	Policy *control.Policy
+	// ScaleIn, when set (requires Policy), enables detector-driven
+	// merges: when every partition of an operator reports utilisation
+	// below the low watermark for the configured consecutive rounds,
+	// the adjacent pair with the lowest combined load is merged.
+	ScaleIn *control.ScaleInPolicy
 	// TransitionTimeout bounds each stage of a recovery/scale-out
 	// transition (default 10 s).
 	TransitionTimeout time.Duration
@@ -61,7 +66,8 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Record documents one completed distributed recovery or scale out.
+// Record documents one completed distributed recovery, scale out or
+// merge.
 type Record struct {
 	Victim         plan.InstanceID
 	Pi             int
@@ -69,6 +75,9 @@ type Record struct {
 	StartedAt      int64
 	CompletedAt    int64
 	ReplayedTuples int
+	// Merge reports a scale-in transition: Victim is the first of the
+	// merged siblings and Pi is 1.
+	Merge bool
 }
 
 // event is one unit of work for the coordinator loop. Exactly one of fn
@@ -92,17 +101,36 @@ const (
 // acknowledgements and checkpoint ships arrive. Stages time out rather
 // than wedge the queue.
 type transition struct {
-	victim    plan.InstanceID
-	scaleOut  bool
-	seq       uint64
-	stage     int
-	waiting   int
-	ackErrs   []string
-	replayed  int
-	awaitShip bool
-	next      func()
-	done      chan error
+	victim   plan.InstanceID
+	scaleOut bool
+	seq      uint64
+	stage    int
+	waiting  int
+	ackErrs  []string
+	replayed int
+	// awaitShips holds the instances whose final checkpoints must land
+	// in the store before the stage advances.
+	awaitShips map[plan.InstanceID]bool
+	next       func()
+	done       chan error
+
+	// Merge transitions (scale in).
+	merge   bool
+	victims []plan.InstanceID
+	// retireSent/planned/mergedInst/newInsts track how far a scaling
+	// transition got, so any abort — worker death, stage timeout, a
+	// retire or reroute acknowledgement error — falls back to the
+	// normal recovery path for whatever the transition left behind
+	// instead of stranding stopped instances (see recoverAfterAbort).
+	retireSent bool
+	planned    bool
+	mergedInst plan.InstanceID
+	newInsts   []plan.InstanceID
 }
+
+// ready reports whether the current stage's acknowledgements and
+// checkpoint ships have all arrived.
+func (t *transition) ready() bool { return t.waiting <= 0 && len(t.awaitShips) == 0 }
 
 // Coordinator owns the query plan, the authoritative backup store, the
 // failure detector and the scaling policy for one distributed job. All
@@ -111,11 +139,12 @@ type transition struct {
 // one stream, so recovery and scale out serialise without per-peer
 // goroutines.
 type Coordinator struct {
-	cfg   Config
-	codec state.PayloadCodec
-	ln    *transport.Listener
-	tm    *transport.Metrics
-	det   *control.Detector
+	cfg      Config
+	codec    state.PayloadCodec
+	ln       *transport.Listener
+	tm       *transport.Metrics
+	det      *control.Detector
+	shrinker *control.ScaleInDetector
 
 	events chan event
 	quit   chan struct{}
@@ -132,12 +161,18 @@ type Coordinator struct {
 	seq        uint64
 	expectDown map[string]bool
 	startAt    time.Time
+	// legacyOwner maps a retired merge victim to the merge product that
+	// carries its legacy output buffer, so acknowledgement trims
+	// addressed to the old identity reach the worker hosting it (the
+	// chain is chased: a merge product may itself have been replaced).
+	legacyOwner map[plan.InstanceID]plan.InstanceID
 
 	// Published snapshots for cross-goroutine readers.
 	mu           sync.Mutex
 	records      []Record
 	errs         []string
 	pending      int
+	merges       uint64
 	pubPlacement map[plan.InstanceID]string
 	workerStats  map[string]WorkerStats
 }
@@ -161,11 +196,15 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 		workers:      make(map[string]*workerRef),
 		placement:    make(map[plan.InstanceID]string),
 		expectDown:   make(map[string]bool),
+		legacyOwner:  make(map[plan.InstanceID]plan.InstanceID),
 		pubPlacement: make(map[plan.InstanceID]string),
 		workerStats:  make(map[string]WorkerStats),
 	}
 	if cfg.Policy != nil {
 		c.det = control.NewDetector(*cfg.Policy)
+		if cfg.ScaleIn != nil {
+			c.shrinker = control.NewScaleInDetector(*cfg.ScaleIn)
+		}
 	}
 	ln, err := transport.ListenWith(cfg.Addr, cfg.Codec, transport.Handlers{
 		OnControl: func(body []byte) {
@@ -196,13 +235,18 @@ func (c *Coordinator) post(ev event) {
 }
 
 // call runs fn on the loop goroutine and waits for it to signal done.
+// The deadline is a stopped timer, not time.After: these waits sit on
+// every coordinator entry point, and a bare time.After would leak one
+// timer per call until its deadline fired.
 func (c *Coordinator) call(timeout time.Duration, fn func(done chan error)) error {
 	done := make(chan error, 1)
 	c.post(event{kind: evCall, fn: func() { fn(done) }})
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
 	select {
 	case err := <-done:
 		return err
-	case <-time.After(timeout):
+	case <-timer.C:
 		return fmt.Errorf("dist: coordinator call timed out after %v", timeout)
 	case <-c.quit:
 		return fmt.Errorf("dist: coordinator closed")
@@ -277,10 +321,12 @@ func (c *Coordinator) StartJob() error {
 	c.post(event{kind: evCall, fn: func() {
 		c.enqueueOp(func() { c.beginStart(done) })
 	}})
+	timer := time.NewTimer(2 * c.cfg.TransitionTimeout)
+	defer timer.Stop()
 	select {
 	case err := <-done:
 		return err
-	case <-time.After(2 * c.cfg.TransitionTimeout):
+	case <-timer.C:
 		return fmt.Errorf("dist: start timed out")
 	case <-c.quit:
 		return fmt.Errorf("dist: coordinator closed")
@@ -291,7 +337,15 @@ func (c *Coordinator) beginStart(done chan error) {
 	t := &transition{seq: c.nextSeq(), done: done}
 	c.trans = t
 	c.startAt = time.Now()
-	t.waiting = c.broadcast(&Control{Kind: MsgStart, Seq: t.seq})
+	// Per-worker sends, each carrying the coordinator's job clock at
+	// send time: the worker offsets its engine clock by it, so Born
+	// stamps and latency observations across workers share the
+	// coordinator's frame (error ≈ one-way control latency per worker).
+	for _, addr := range c.order {
+		if c.sendTo(addr, &Control{Kind: MsgStart, Seq: t.seq, CoordNow: c.nowMillis()}) {
+			t.waiting++
+		}
+	}
 	if t.waiting == 0 {
 		c.finish(t, fmt.Errorf("dist: start reached no workers"))
 		return
@@ -357,14 +411,48 @@ func (c *Coordinator) ScaleOut(victim plan.InstanceID, pi int) error {
 	c.post(event{kind: evCall, fn: func() {
 		c.enqueueOp(func() { c.beginScaleOut(victim, pi, done) })
 	}})
+	timer := time.NewTimer(4 * c.cfg.TransitionTimeout)
+	defer timer.Stop()
 	select {
 	case err := <-done:
 		return err
-	case <-time.After(4 * c.cfg.TransitionTimeout):
+	case <-timer.C:
 		return fmt.Errorf("dist: scale out of %s timed out", victim)
 	case <-c.quit:
 		return fmt.Errorf("dist: coordinator closed")
 	}
+}
+
+// ScaleIn merges sibling partitions with adjacent key ranges into one
+// instance: the distributed staged merge — final-retire every victim
+// (stop, capture, ship), plan the merge at the authoritative store,
+// reroute all workers (trimming to each victim's final watermark before
+// they repartition), deploy the merged instance. Blocks until the
+// transition completes. A worker death mid-merge aborts the transition
+// and falls back to the normal recovery path.
+func (c *Coordinator) ScaleIn(victims []plan.InstanceID) error {
+	done := make(chan error, 1)
+	vs := append([]plan.InstanceID(nil), victims...)
+	c.post(event{kind: evCall, fn: func() {
+		c.enqueueOp(func() { c.beginScaleIn(vs, done) })
+	}})
+	timer := time.NewTimer(4 * c.cfg.TransitionTimeout)
+	defer timer.Stop()
+	select {
+	case err := <-done:
+		return err
+	case <-timer.C:
+		return fmt.Errorf("dist: scale in of %v timed out", victims)
+	case <-c.quit:
+		return fmt.Errorf("dist: coordinator closed")
+	}
+}
+
+// Merges returns how many scale-in merges have completed.
+func (c *Coordinator) Merges() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.merges
 }
 
 // Pending reports queued or in-flight transitions plus worker deaths
@@ -586,14 +674,73 @@ func (c *Coordinator) finish(t *transition, err error) {
 		if t.scaleOut && c.det != nil {
 			c.det.Unmute(t.victim)
 		}
+		// A scaling transition that failed after mutating the topology
+		// (victims final-retired, or a plan committed to the graph) must
+		// not strand what it left behind: hand it to the normal recovery
+		// path. This may start a new transition immediately.
+		c.recoverAfterAbort(t)
 	}
 	if t.done != nil {
 		t.done <- err
 	}
-	if len(c.queue) > 0 {
+	if c.trans == nil && len(c.queue) > 0 {
 		next := c.queue[0]
 		c.queue = c.queue[1:]
 		next()
+	}
+}
+
+// recoverAfterAbort enqueues recovery of everything an aborted
+// ScaleOut/ScaleIn transition left stopped or planned-but-undeployed,
+// regardless of WHY it aborted (worker death, stage timeout, ack
+// error). Pre-plan: the final-retired victims are stopped on live
+// workers but still own their key ranges — recover each from its
+// latest stored checkpoint. Post-plan: the graph already holds the new
+// instance(s) with stored checkpoints — recover those instead.
+// Instances hosted by dead (or no) workers are skipped: onWorkerDown's
+// gather owns them. Recovery transitions themselves never re-enter
+// here (they are neither scaleOut nor merge), so a persistent failure
+// surfaces through Errors rather than looping.
+func (c *Coordinator) recoverAfterAbort(t *transition) {
+	if !t.merge && !t.scaleOut {
+		return
+	}
+	startedAt := c.nowMillis()
+	recoverInst := func(inst plan.InstanceID) {
+		addr := c.placement[inst]
+		ref := c.workers[addr]
+		if addr == "" || ref == nil || !ref.alive {
+			return
+		}
+		c.enqueueOp(func() {
+			// Best-effort stop first: the instance may still be running
+			// (its retire or deploy never landed) or already stopped —
+			// either way recovery replaces it from the store, and the
+			// worker's FIFO control queue sequences this retire before
+			// the recovery's reroute.
+			c.sendTo(addr, &Control{Kind: MsgRetire, Victim: inst})
+			c.beginRecover(inst, startedAt)
+		})
+	}
+	if t.planned {
+		if t.merge {
+			recoverInst(t.mergedInst)
+		} else {
+			for _, ni := range t.newInsts {
+				recoverInst(ni)
+			}
+		}
+		return
+	}
+	if !t.retireSent {
+		return
+	}
+	if t.merge {
+		for _, v := range t.victims {
+			recoverInst(v)
+		}
+	} else {
+		recoverInst(t.victim)
 	}
 }
 
@@ -609,7 +756,7 @@ func (c *Coordinator) onControl(ctl *Control) {
 		}
 		t.replayed += ctl.Replayed
 		t.waiting--
-		if t.waiting <= 0 && !t.awaitShip {
+		if t.ready() {
 			c.advance(t)
 		}
 	case MsgShip:
@@ -617,9 +764,9 @@ func (c *Coordinator) onControl(ctl *Control) {
 		if !ok {
 			return
 		}
-		if t := c.trans; t != nil && t.awaitShip && inst == t.victim {
-			t.awaitShip = false
-			if t.waiting <= 0 {
+		if t := c.trans; t != nil && t.awaitShips[inst] {
+			delete(t.awaitShips, inst)
+			if t.ready() {
 				c.advance(t)
 			}
 		}
@@ -657,6 +804,12 @@ func (c *Coordinator) storeShip(ctl *Control) (plan.InstanceID, bool) {
 	}
 	for up, ts := range cp.Acks {
 		addr := c.placement[up]
+		if addr == "" {
+			// A retired merge victim: its retained output lives on as a
+			// legacy buffer with its merge product — route the trim to
+			// whichever worker hosts that product now.
+			addr = c.legacyAddr(up)
+		}
 		ref := c.workers[addr]
 		if ref == nil || !ref.alive {
 			continue
@@ -664,6 +817,24 @@ func (c *Coordinator) storeShip(ctl *Control) (plan.InstanceID, bool) {
 		_ = ref.peer.SendAck(transport.Ack{Owner: cp.Instance, Up: up, TS: ts})
 	}
 	return cp.Instance, true
+}
+
+// legacyAddr resolves the worker hosting the legacy buffer of a retired
+// merge victim, chasing the merge-product chain (a product may itself
+// have been merged or replaced).
+func (c *Coordinator) legacyAddr(up plan.InstanceID) string {
+	cur := up
+	for i := 0; i < 16; i++ {
+		next, ok := c.legacyOwner[cur]
+		if !ok {
+			return ""
+		}
+		if addr := c.placement[next]; addr != "" {
+			return addr
+		}
+		cur = next
+	}
+	return ""
 }
 
 // onReports feeds utilisation reports to the bottleneck detector —
@@ -682,6 +853,29 @@ func (c *Coordinator) onReports(reports []control.Report) {
 		v := victim
 		c.enqueueOp(func() { c.beginScaleOut(v, 2, nil) })
 	}
+	if c.shrinker == nil {
+		return
+	}
+	for _, op := range c.shrinker.Observe(reports) {
+		if pair := c.adjacentPair(op, reports); pair != nil {
+			c.enqueueOp(func() { c.beginScaleIn(pair, nil) })
+		}
+		// Completed merges produce a fresh instance ID, so the operator
+		// can shrink again once its partitions idle anew.
+		c.shrinker.Unmute(op)
+	}
+}
+
+// adjacentPair picks the pair of live partitions of op owning adjacent
+// key ranges with the lowest combined utilisation, or nil.
+func (c *Coordinator) adjacentPair(op plan.OpID, reports []control.Report) []plan.InstanceID {
+	routing := c.mgr.Routing(op)
+	if routing == nil {
+		return nil
+	}
+	return control.AdjacentPair(routing.Entries(), reports, func(inst plan.InstanceID) bool {
+		return c.mgr.Live(inst) && c.placement[inst] != ""
+	})
 }
 
 func (c *Coordinator) onWorkerDown(addr string) {
@@ -692,6 +886,12 @@ func (c *Coordinator) onWorkerDown(addr string) {
 	ref.alive = false
 	ref.peer.Close()
 	delete(c.expectDown, addr)
+	// A merge in flight cannot outlive a worker death: abort it and fall
+	// back to the normal recovery path for whatever it left behind —
+	// retired-but-unmerged victims recover individually from their final
+	// checkpoints; a planned merge product recovers from the stored
+	// merged checkpoint (which carries the victims' legacy buffers).
+	c.abortMergeOnDown(addr)
 	// Gather the dead worker's instances in deterministic order.
 	var victims []plan.InstanceID
 	for inst, a := range c.placement {
@@ -731,9 +931,26 @@ func (c *Coordinator) beginRecover(victim plan.InstanceID, startedAt int64) {
 	c.continueReplace(t, victim, c.cfg.RecoveryPi, true, startedAt)
 }
 
+// abortMergeOnDown aborts an in-flight merge when any worker dies
+// (rather than letting it wedge until the stage timeout). The fallback
+// recovery of whatever the transition left behind happens in finish()
+// via recoverAfterAbort; instances hosted by the dead worker are
+// gathered by onWorkerDown afterwards. Runs on the loop, before that
+// gather, and after the worker is marked dead — so the fallback skips
+// everything the gather owns.
+func (c *Coordinator) abortMergeOnDown(addr string) {
+	t := c.trans
+	if t == nil || !t.merge {
+		return
+	}
+	c.finish(t, fmt.Errorf("dist: merge of %v aborted: worker %s died", t.victims, addr))
+}
+
 // beginScaleOut starts the distributed Algorithm 3 on a live victim:
-// barrier checkpoint so the replayed window is small, retire the victim
-// (stop it at the split point), then plan/reroute/deploy.
+// final-retire it (the worker stops the instance FIRST, then captures
+// and ships its final checkpoint, so nothing is emitted past the state
+// its replacements restore from and there is no post-checkpoint window),
+// then plan/reroute/deploy.
 func (c *Coordinator) beginScaleOut(victim plan.InstanceID, pi int, done chan error) {
 	t := &transition{victim: victim, scaleOut: true, seq: c.nextSeq(), done: done}
 	c.trans = t
@@ -743,33 +960,174 @@ func (c *Coordinator) beginScaleOut(victim plan.InstanceID, pi int, done chan er
 		c.finish(t, fmt.Errorf("dist: %s is not live", victim))
 		return
 	}
-	ref := c.workers[addr]
-	if ref == nil || !ref.alive {
-		c.finish(t, fmt.Errorf("dist: no live worker hosts %s", victim))
+	if !c.sendTo(addr, &Control{Kind: MsgRetire, Seq: t.seq, Victim: victim, Final: true}) {
+		c.finish(t, fmt.Errorf("dist: retire %s: worker %s unreachable", victim, addr))
 		return
 	}
-	if err := ref.peer.SendBarrier(victim); err != nil {
-		c.finish(t, fmt.Errorf("dist: barrier for %s: %w", victim, err))
-		return
-	}
-	t.awaitShip = true
+	t.retireSent = true
+	t.awaitShips = map[plan.InstanceID]bool{victim: true}
+	t.waiting = 1
 	t.next = func() {
-		// Fresh checkpoint stored; stop the victim BEFORE the routing
-		// switch so it emits nothing past the state its replacements
-		// restore from (closing the live-victim duplicate window the
-		// in-process replace() closes by stopping the victim under the
-		// engine lock).
-		if !c.sendTo(addr, &Control{Kind: MsgRetire, Seq: t.seq, Victim: victim}) {
-			c.finish(t, fmt.Errorf("dist: retire %s: worker %s unreachable", victim, addr))
+		if len(t.ackErrs) > 0 {
+			c.finish(t, fmt.Errorf("dist: retire %s: %s", victim, strings.Join(t.ackErrs, "; ")))
+			return
+		}
+		c.continueReplace(t, victim, pi, false, startedAt)
+	}
+	c.armTimeout(t)
+}
+
+// beginScaleIn starts the distributed merge of sibling partitions:
+// final-retire every victim (stop → capture → ship), plan the merge
+// against the freshly stored checkpoints, reroute all workers — each
+// trims its buffers to the victims' final watermarks before
+// repartitioning — and deploy the merged instance, whose checkpoint
+// carries the victims' buffers as legacy state under their original
+// identities.
+func (c *Coordinator) beginScaleIn(victims []plan.InstanceID, done chan error) {
+	t := &transition{merge: true, victims: victims, seq: c.nextSeq(), done: done}
+	if len(victims) > 0 {
+		t.victim = victims[0]
+	}
+	c.trans = t
+	startedAt := c.nowMillis()
+	if len(victims) < 2 {
+		c.finish(t, fmt.Errorf("dist: merge needs at least two victims, got %d", len(victims)))
+		return
+	}
+	seen := make(map[plan.InstanceID]bool, len(victims))
+	for _, v := range victims {
+		if v.Op != victims[0].Op {
+			c.finish(t, fmt.Errorf("dist: merge across operators %q and %q", victims[0].Op, v.Op))
+			return
+		}
+		if seen[v] {
+			c.finish(t, fmt.Errorf("dist: duplicate merge victim %s", v))
+			return
+		}
+		seen[v] = true
+		if !c.mgr.Live(v) || c.placement[v] == "" {
+			c.finish(t, fmt.Errorf("dist: %s is not live", v))
+			return
+		}
+		spec := c.q.Op(v.Op)
+		if spec == nil || spec.Role == plan.RoleSource || spec.Role == plan.RoleSink {
+			c.finish(t, fmt.Errorf("dist: %s cannot be merged", v))
+			return
+		}
+	}
+	t.awaitShips = make(map[plan.InstanceID]bool, len(victims))
+	t.retireSent = true
+	for _, v := range victims {
+		if !c.sendTo(c.placement[v], &Control{Kind: MsgRetire, Seq: t.seq, Victim: v, Final: true}) {
+			c.finish(t, fmt.Errorf("dist: retire %s: worker %s unreachable", v, c.placement[v]))
+			return
+		}
+		t.awaitShips[v] = true
+		t.waiting++
+	}
+	t.next = func() {
+		if len(t.ackErrs) > 0 {
+			c.finish(t, fmt.Errorf("dist: retire for merge of %v: %s", victims, strings.Join(t.ackErrs, "; ")))
+			return
+		}
+		c.continueMerge(t, victims, startedAt)
+	}
+	c.armTimeout(t)
+}
+
+// continueMerge plans the merge and drives reroute → deploy → record.
+func (c *Coordinator) continueMerge(t *transition, victims []plan.InstanceID, startedAt int64) {
+	mp, err := c.mgr.PlanMerge(victims)
+	if err != nil {
+		c.finish(t, fmt.Errorf("dist: plan merge of %v: %w", victims, err))
+		return
+	}
+	t.planned = true
+	t.mergedInst = mp.NewInstance
+	addr := c.pickWorker()
+	if addr == "" {
+		c.finish(t, fmt.Errorf("dist: no live workers to host %s", mp.NewInstance))
+		return
+	}
+	c.placement[mp.NewInstance] = addr
+	for _, v := range victims {
+		delete(c.placement, v)
+		// The merged instance carries each victim's legacy buffer;
+		// acknowledgement trims addressed to the victims follow it.
+		c.legacyOwner[v] = mp.NewInstance
+	}
+	// Trim-to-watermark instructions: every worker trims its retained
+	// buffers to each victim's final acknowledgement position before
+	// repartitioning, so the replay set is the exact per-victim
+	// unprocessed remainder (the merged watermark is the victims'
+	// minimum).
+	var trims []TrimAck
+	for i, v := range victims {
+		cp := mp.VictimCheckpoints[i]
+		ups := make([]plan.InstanceID, 0, len(cp.Acks))
+		for up := range cp.Acks {
+			ups = append(ups, up)
+		}
+		state.SortInstanceIDs(ups)
+		for _, up := range ups {
+			trims = append(trims, TrimAck{Up: up, Owner: v, TS: cp.Acks[up]})
+		}
+	}
+	routingBlob := encodeRouting(mp.Routing)
+	ctl := &Control{
+		Kind:     MsgReroute,
+		Seq:      t.seq,
+		Op:       t.victim.Op,
+		Routing:  routingBlob,
+		New:      []Placement{{Inst: mp.NewInstance, Addr: addr}},
+		Victims:  victims,
+		TrimAcks: trims,
+	}
+	t.waiting = c.broadcast(ctl)
+	if t.waiting == 0 {
+		c.finish(t, fmt.Errorf("dist: reroute for merge of %v reached no workers", victims))
+		return
+	}
+	t.next = func() {
+		if len(t.ackErrs) > 0 {
+			c.finish(t, fmt.Errorf("dist: reroute for merge of %v: %s", victims, strings.Join(t.ackErrs, "; ")))
+			return
+		}
+		blob, err := encodeCheckpoint(mp.Checkpoint, c.codec)
+		if err != nil {
+			c.finish(t, fmt.Errorf("dist: encode merged checkpoint for %s: %w", mp.NewInstance, err))
+			return
+		}
+		if !c.sendTo(addr, &Control{Kind: MsgDeploy, Seq: t.seq, Routing: routingBlob, Checkpoint: blob}) {
+			c.finish(t, fmt.Errorf("dist: deploy for %s reached no workers", mp.NewInstance))
 			return
 		}
 		t.waiting = 1
 		t.next = func() {
 			if len(t.ackErrs) > 0 {
-				c.finish(t, fmt.Errorf("dist: retire %s: %s", victim, strings.Join(t.ackErrs, "; ")))
+				c.finish(t, fmt.Errorf("dist: deploy for %s: %s", mp.NewInstance, strings.Join(t.ackErrs, "; ")))
 				return
 			}
-			c.continueReplace(t, victim, pi, false, startedAt)
+			c.mu.Lock()
+			c.merges++
+			c.records = append(c.records, Record{
+				Victim:         t.victim,
+				Pi:             1,
+				Merge:          true,
+				StartedAt:      startedAt,
+				CompletedAt:    c.nowMillis(),
+				ReplayedTuples: t.replayed,
+			})
+			c.mu.Unlock()
+			// A fresh barrier ships a self-consistent checkpoint of the
+			// merge product, superseding the synthesized plan-time
+			// artifact in the store (fire-and-forget: the periodic
+			// checkpoint loop covers a miss).
+			if ref := c.workers[addr]; ref != nil && ref.alive {
+				_ = ref.peer.SendBarrier(mp.NewInstance)
+			}
+			c.finish(t, nil)
 		}
 	}
 	c.armTimeout(t)
@@ -787,6 +1145,8 @@ func (c *Coordinator) continueReplace(t *transition, victim plan.InstanceID, pi 
 		c.finish(t, fmt.Errorf("dist: plan %s (pi=%d): %w", victim, pi, err))
 		return
 	}
+	t.planned = true
+	t.newInsts = rp.NewInstances
 	newPl := make([]Placement, len(rp.NewInstances))
 	for i, ni := range rp.NewInstances {
 		addr := c.pickWorker()
@@ -798,6 +1158,11 @@ func (c *Coordinator) continueReplace(t *transition, victim plan.InstanceID, pi 
 		newPl[i] = Placement{Inst: ni, Addr: addr}
 	}
 	delete(c.placement, victim)
+	// Legacy buffers the victim carried follow its first replacement
+	// (state.PartitionCheckpoint assigns buffer state to the first
+	// partition), so trims addressed to retired merge victims keep
+	// resolving.
+	c.legacyOwner[victim] = rp.NewInstances[0]
 	routingBlob := encodeRouting(rp.Routing)
 	ctl := &Control{
 		Kind:    MsgReroute,

@@ -288,3 +288,98 @@ func TestDistributedScaleOut(t *testing.T) {
 		t.Errorf("records = %+v", recs)
 	}
 }
+
+// TestDistributedScaleIn grows the counter to two partitions, streams
+// through both, merges them back via the coordinator's staged
+// final-retire → plan → reroute(trim) → deploy transition, and asserts
+// exact per-key counts plus a merge record. Scale-in also exercises the
+// legacy-buffer trims: the merged instance carries the victims' buffers
+// under their original identities until downstream acknowledges them.
+func TestDistributedScaleIn(t *testing.T) {
+	reg := wordcountRegistry()
+	cl := startCluster(t, reg, 3)
+	if err := cl.coord.StartJob(); err != nil {
+		t.Fatal(err)
+	}
+	src := plan.InstanceID{Op: "src", Part: 1}
+	srcWorker := cl.hostOf(t, src)
+	if err := srcWorker.Engine().InjectBatch(src, 200, parityGen); err != nil {
+		t.Fatal(err)
+	}
+	cl.quiesce(t, 300*time.Millisecond, 10*time.Second)
+
+	if err := cl.coord.ScaleOut(cl.coord.Manager().Instances("count")[0], 2); err != nil {
+		t.Fatal(err)
+	}
+	cl.quiesce(t, 300*time.Millisecond, 10*time.Second)
+	if err := srcWorker.Engine().InjectBatch(src, 200, parityGen); err != nil {
+		t.Fatal(err)
+	}
+	cl.quiesce(t, 300*time.Millisecond, 10*time.Second)
+
+	siblings := cl.coord.Manager().Instances("count")
+	if len(siblings) != 2 {
+		t.Fatalf("Instances(count) = %v, want 2", siblings)
+	}
+	if err := cl.coord.ScaleIn(siblings); err != nil {
+		t.Fatal(err)
+	}
+	cl.quiesce(t, 300*time.Millisecond, 10*time.Second)
+
+	merged := cl.coord.Manager().Instances("count")
+	if len(merged) != 1 {
+		t.Fatalf("Instances(count) after merge = %v, want 1", merged)
+	}
+	if cl.coord.Merges() != 1 {
+		t.Errorf("Merges() = %d, want 1", cl.coord.Merges())
+	}
+	if err := srcWorker.Engine().InjectBatch(src, 200, parityGen); err != nil {
+		t.Fatal(err)
+	}
+	cl.quiesce(t, 300*time.Millisecond, 10*time.Second)
+
+	counter := cl.counterOf(t, merged[0])
+	for i := 0; i < 10; i++ {
+		w := fmt.Sprintf("w%02d", i)
+		if got := counter.Count(w); got != 60 {
+			t.Errorf("Count(%s) = %d, want 60 (exactly once across grow+shrink over TCP)", w, got)
+		}
+	}
+	var mergeRecs int
+	for _, rec := range cl.coord.Records() {
+		if rec.Merge {
+			mergeRecs++
+		}
+	}
+	if mergeRecs != 1 {
+		t.Errorf("merge records = %d of %v", mergeRecs, cl.coord.Records())
+	}
+	if errs := cl.coord.Errors(); len(errs) != 0 {
+		t.Errorf("Errors = %v", errs)
+	}
+}
+
+// TestDistributedScaleInGuards: bad victim sets are rejected without
+// wedging the coordinator loop.
+func TestDistributedScaleInGuards(t *testing.T) {
+	reg := wordcountRegistry()
+	cl := startCluster(t, reg, 2)
+	if err := cl.coord.StartJob(); err != nil {
+		t.Fatal(err)
+	}
+	count := cl.coord.Manager().Instances("count")[0]
+	if err := cl.coord.ScaleIn([]plan.InstanceID{count}); err == nil {
+		t.Error("single-victim merge accepted")
+	}
+	if err := cl.coord.ScaleIn([]plan.InstanceID{count, {Op: "count", Part: 99}}); err == nil {
+		t.Error("merge with an unknown sibling accepted")
+	}
+	src := plan.InstanceID{Op: "src", Part: 1}
+	if err := cl.coord.ScaleIn([]plan.InstanceID{src, count}); err == nil {
+		t.Error("merge involving a source accepted")
+	}
+	// The loop still serves requests after the rejections.
+	if got := cl.coord.Manager().Parallelism("count"); got != 1 {
+		t.Errorf("Parallelism(count) = %d after rejected merges", got)
+	}
+}

@@ -86,6 +86,18 @@ type InheritPair struct {
 	Old, New plan.InstanceID
 }
 
+// TrimAck instructs a worker to trim its local buffers retained for
+// Owner at upstream instance Up through TS, BEFORE repartitioning them.
+// Merges ship these with the reroute: the merged duplicate-detection
+// watermark is the victims' minimum, so the exactness of the replay set
+// rests on upstream buffers being trimmed to each victim's own final
+// watermark first.
+type TrimAck struct {
+	Up    plan.InstanceID
+	Owner plan.InstanceID
+	TS    int64
+}
+
 // WorkerStats is the worker-level counter snapshot piggybacked on
 // reports, so Job.Metrics aggregates external workers too.
 type WorkerStats struct {
@@ -116,6 +128,12 @@ type Control struct {
 	ChannelBuffer     int
 	ReportEveryMillis int64
 
+	// MsgStart. CoordNow is the coordinator's job clock (ms since job
+	// start) at send time; the worker offsets its engine clock by it so
+	// Born stamps and latency observations across workers share the
+	// coordinator's frame.
+	CoordNow int64
+
 	// MsgReroute / MsgDeploy / MsgRetire / MsgShip.
 	Op         plan.OpID
 	Routing    []byte
@@ -123,6 +141,16 @@ type Control struct {
 	Inherit    []InheritPair
 	Victim     plan.InstanceID
 	Checkpoint []byte
+	// Victims lists every retired instance of a merge reroute (Victim
+	// alone covers the scale-out/recovery case).
+	Victims []plan.InstanceID
+	// TrimAcks are applied before the reroute's repartition (merges).
+	TrimAcks []TrimAck
+	// Final, on MsgRetire, asks the worker to stop the instance FIRST
+	// and ship its final checkpoint — the capture then reflects
+	// everything the instance ever processed and emitted, leaving no
+	// post-checkpoint window for scale-out/scale-in transitions.
+	Final bool
 
 	// MsgAck.
 	Err      string

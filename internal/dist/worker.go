@@ -364,6 +364,11 @@ func (w *Worker) handleStart(c *Control) {
 			_ = eng.AddSourceFunc(inst, s.Rate, s.Gen)
 		}
 	}
+	// Align this engine's clock to the coordinator's job frame: the
+	// start command carries the coordinator's current job time, so Born
+	// stamps and sink latency observations agree across workers within
+	// one one-way control-frame latency.
+	eng.SetClockOffset(c.CoordNow)
 	eng.Start()
 }
 
@@ -414,17 +419,32 @@ func (w *Worker) handleReroute(c *Control) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	victims := c.Victims
+	if len(victims) == 0 {
+		victims = []plan.InstanceID{c.Victim}
+	}
 	newInsts := make([]plan.InstanceID, len(c.New))
 	w.pmu.Lock()
 	for i, p := range c.New {
 		newInsts[i] = p.Inst
 		w.placement[p.Inst] = p.Addr
 	}
-	delete(w.placement, c.Victim)
+	for _, v := range victims {
+		delete(w.placement, v)
+	}
 	w.pmu.Unlock()
 	w.mu.Lock()
-	w.retired[c.Victim] = true
+	for _, v := range victims {
+		w.retired[v] = true
+	}
 	w.mu.Unlock()
+	// Merge reroutes trim local buffers to each victim's final watermark
+	// BEFORE the repartition below: the merged duplicate-detection
+	// watermark is the victims' minimum, so the replay set must be the
+	// exact per-victim unprocessed remainder.
+	for _, ta := range c.TrimAcks {
+		eng.TrimUpstream(ta.Up, ta.Owner, ta.TS)
+	}
 	var inherit map[plan.InstanceID]plan.InstanceID
 	if len(c.Inherit) > 0 {
 		inherit = make(map[plan.InstanceID]plan.InstanceID, len(c.Inherit))
@@ -471,7 +491,18 @@ func (w *Worker) handleRetire(c *Control) error {
 	w.pmu.Lock()
 	delete(w.placement, c.Victim)
 	w.pmu.Unlock()
-	return eng.Retire(c.Victim)
+	if !c.Final {
+		return eng.Retire(c.Victim)
+	}
+	// Final retire: stop first, capture everything the instance ever
+	// processed, ship the capture to the coordinator's store. The
+	// transition (scale out or merge) plans from this checkpoint, so it
+	// has no post-checkpoint window.
+	cp, err := eng.RetireFinal(c.Victim)
+	if err != nil {
+		return err
+	}
+	return (&shipSink{w: w}).ShipFull(cp)
 }
 
 // ---- outbound paths ----

@@ -33,6 +33,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"seep/internal/control"
 	"seep/internal/core"
 	"seep/internal/metrics"
 	"seep/internal/operator"
@@ -207,6 +208,11 @@ type nodeSet struct {
 	timed    []*node // hosts a TimeDriven operator
 	stateful []*node // checkpointable (neither source nor sink)
 	byInst   map[plan.InstanceID]*node
+	// legacyHosts maps a retired merge victim to the node holding its
+	// legacy output buffer, so acknowledgement trims and downstream
+	// recovery replays addressed to the old identity still find the
+	// retained tuples. Nil when no merge has happened.
+	legacyHosts map[plan.InstanceID]*node
 }
 
 // node hosts one operator instance as a goroutine.
@@ -244,7 +250,15 @@ type node struct {
 	tsVec    stream.TSVector
 	outClock stream.Clock
 	outBuf   *state.Buffer
-	ckptSeq  uint64
+	// legacy holds output buffers inherited from scale-in victims, keyed
+	// by the ORIGINAL emitting instance. Each is replayed and trimmed
+	// under the owner's identity — the victims stamped tuples from
+	// independent clocks, so folding them into outBuf would break the
+	// per-sender monotonicity duplicate detection relies on. Entries
+	// drain to empty as downstream checkpoints acknowledge them. Nil on
+	// every node that is not a merge product.
+	legacy  map[plan.InstanceID]*state.Buffer
+	ckptSeq uint64
 	// deltasSince counts deltas shipped since the last full checkpoint.
 	deltasSince int
 	// needFull forces the next checkpoint to be full: set initially, on
@@ -298,6 +312,21 @@ type Engine struct {
 	started atomic.Bool
 	stopAll chan struct{}
 	wg      sync.WaitGroup
+
+	// clockOffset shifts NowMillis into a foreign clock frame: the
+	// distributed runtime aligns every worker engine to the
+	// coordinator's job clock at start, so Born stamps and sink latency
+	// observations across workers share one frame.
+	clockOffset atomic.Int64
+
+	// merges counts completed scale-in transitions (MergeInstances).
+	merges metrics.Counter
+
+	// shrinker, when set (EnableScaleIn), proposes merges from the same
+	// utilisation reports the bottleneck detector consumes. Atomic so
+	// enabling can race an already-running policy loop; the detector
+	// itself is only ever touched by that loop.
+	shrinker atomic.Pointer[control.ScaleInDetector]
 
 	sources []*sourceDriver
 
@@ -408,6 +437,12 @@ func (e *Engine) rebuildTopology() {
 		}
 		n.mu.Lock()
 		n.routes.Store(e.buildRoutes(n))
+		for owner := range n.legacy {
+			if set.legacyHosts == nil {
+				set.legacyHosts = make(map[plan.InstanceID]*node)
+			}
+			set.legacyHosts[owner] = n
+		}
 		n.mu.Unlock()
 	}
 	e.set.Store(set)
@@ -464,13 +499,25 @@ func (e *Engine) buildRoutes(n *node) *routeTable {
 // Manager exposes the query manager.
 func (e *Engine) Manager() *core.Manager { return e.mgr }
 
-// NowMillis returns milliseconds since Start.
+// NowMillis returns milliseconds since Start, shifted by the configured
+// clock offset (zero outside the distributed runtime).
 func (e *Engine) NowMillis() int64 {
 	if e.start.IsZero() {
 		return 0
 	}
-	return time.Since(e.start).Milliseconds()
+	return time.Since(e.start).Milliseconds() + e.clockOffset.Load()
 }
+
+// SetClockOffset aligns this engine's NowMillis to a foreign clock
+// frame: NowMillis returns wall-time-since-Start plus ms. The
+// distributed runtime calls it when the coordinator's start command
+// arrives carrying the coordinator's current job time, so every
+// worker's Born stamps and latency observations share the
+// coordinator's frame (error ≈ one-way control-frame latency).
+func (e *Engine) SetClockOffset(ms int64) { e.clockOffset.Store(ms) }
+
+// Merges returns how many scale-in merges this engine has completed.
+func (e *Engine) Merges() uint64 { return e.merges.Value() }
 
 // Epoch returns the current topology epoch: it advances whenever the
 // route-table snapshots are rebuilt (Start, ScaleOut, Recover).

@@ -157,6 +157,15 @@ func (n *node) captureCheckpoint() *capture {
 	buf := n.outBuf.Clone()
 	clock := n.outClock.Last()
 	acks := state.CloneAcks(n.acks)
+	// Drop fully acknowledged legacy buffers before cloning: once
+	// downstream checkpoints have trimmed an inherited buffer to empty
+	// it can never be needed again.
+	for owner, lb := range n.legacy {
+		if lb.Len() == 0 {
+			delete(n.legacy, owner)
+		}
+	}
+	legacy := state.CloneLegacy(n.legacy)
 	n.mu.Unlock()
 
 	if tryDelta {
@@ -195,11 +204,14 @@ func (n *node) captureCheckpoint() *capture {
 		Buffer:     buf,
 		OutClock:   clock,
 		Acks:       acks,
+		Legacy:     legacy,
 	}}
 }
 
 // trimAcked trims acknowledged tuples from upstream buffers after a
-// successful backup (Algorithm 1 line 4).
+// successful backup (Algorithm 1 line 4). Acknowledgements addressed to
+// a retired merge victim trim the legacy buffer its merge product
+// carries for it.
 func (e *Engine) trimAcked(inst plan.InstanceID, acks map[plan.InstanceID]int64) {
 	set := e.set.Load()
 	if set == nil {
@@ -210,6 +222,14 @@ func (e *Engine) trimAcked(inst plan.InstanceID, acks map[plan.InstanceID]int64)
 			un.mu.Lock()
 			un.outBuf.TrimInstance(inst, ts)
 			un.mu.Unlock()
+			continue
+		}
+		if hn := set.legacyHosts[up]; hn != nil {
+			hn.mu.Lock()
+			if lb := hn.legacy[up]; lb != nil {
+				lb.TrimInstance(inst, ts)
+			}
+			hn.mu.Unlock()
 		}
 	}
 }
@@ -230,6 +250,7 @@ func (n *node) restore(cp *state.Checkpoint) error {
 		n.tsVec = append(n.tsVec, 0)
 	}
 	n.outBuf = cp.Buffer.Clone()
+	n.legacy = state.CloneLegacy(cp.Legacy)
 	n.outClock.Reset(cp.OutClock)
 	n.acks = state.CloneAcks(cp.Acks)
 	if n.acks == nil {
@@ -282,6 +303,9 @@ type ReplaceRecord struct {
 	StartedAt      int64
 	CompletedAt    int64
 	ReplayedTuples int
+	// Merge reports a scale-in transition: Victim is the first of the
+	// merged siblings and Pi is 1 (several instances collapsed to one).
+	Merge bool
 }
 
 // Recoveries returns the completed recovery/scale-out records, oldest
@@ -391,26 +415,16 @@ func (e *Engine) replace(victim plan.InstanceID, pi int, failure bool) error {
 	// their input channels — enqueued here, before the new nodes start,
 	// so it precedes anything the new instances emit themselves
 	// (channels are FIFO). replayQueue is only for the not-yet-started
-	// replacement nodes, whose goroutines do not exist yet.
+	// replacement nodes, whose goroutines do not exist yet. Legacy
+	// buffers the victim carried (it was a merge product) replay under
+	// their ORIGINAL owners' identities, against the duplicate-detection
+	// watermarks downstream still holds for those senders.
 	replayTo := make(map[*node][]delivery)
 	for i, nn := range newNodes {
 		cp := rp.Checkpoints[i]
-		for _, target := range cp.Buffer.Targets() {
-			r := e.routings[target.Op]
-			for _, t := range cp.Buffer.Tuples(target) {
-				to := target
-				if r != nil {
-					to = r.Lookup(t.Key)
-				}
-				if tn := e.nodes[to]; tn != nil {
-					replayed++
-					replayTo[tn] = append(replayTo[tn], delivery{
-						From:  nn.inst,
-						Input: q.InputIndex(victim.Op, to.Op),
-						T:     t,
-					})
-				}
-			}
+		replayed += e.collectDownstreamReplay(nn.inst, victim.Op, cp.Buffer, replayTo)
+		for _, owner := range state.LegacyOwners(cp.Legacy) {
+			replayed += e.collectDownstreamReplay(owner, victim.Op, cp.Legacy[owner], replayTo)
 		}
 	}
 	for tn, ds := range replayTo {
@@ -421,7 +435,11 @@ func (e *Engine) replace(victim plan.InstanceID, pi int, failure bool) error {
 	}
 	// Upstream buffers: repartition under the new routing and queue the
 	// retained tuples for replay to the new instances (lines 9-14).
+	// Upstream legacy buffers (retired merge victims of the upstream
+	// operator) repartition and replay the same way, keeping the retired
+	// sender's identity so the replacements' restored watermarks match.
 	for _, upOp := range q.Upstream(victim.Op) {
+		input := q.InputIndex(upOp, victim.Op)
 		for _, upInst := range e.mgr.Instances(upOp) {
 			un := e.nodes[upInst]
 			if un == nil {
@@ -434,9 +452,26 @@ func (e *Engine) replace(victim plan.InstanceID, pi int, failure bool) error {
 					replayed++
 					nn.replayQueue = append(nn.replayQueue, delivery{
 						From:  upInst,
-						Input: q.InputIndex(upOp, victim.Op),
+						Input: input,
 						T:     t,
 					})
+				}
+			}
+			for _, owner := range state.LegacyOwners(un.legacy) {
+				if owner.Op != upOp {
+					continue
+				}
+				lb := un.legacy[owner]
+				lb.Repartition(victim.Op, rp.Routing)
+				for _, nn := range newNodes {
+					for _, t := range lb.Tuples(nn.inst) {
+						replayed++
+						nn.replayQueue = append(nn.replayQueue, delivery{
+							From:  owner,
+							Input: input,
+							T:     t,
+						})
+					}
 				}
 			}
 			un.mu.Unlock()
@@ -469,6 +504,35 @@ func (e *Engine) replace(victim plan.InstanceID, pi int, failure bool) error {
 		old.stop()
 	}
 	return nil
+}
+
+// collectDownstreamReplay routes one buffer's retained tuples to the
+// downstream nodes under the CURRENT routing state and appends them to
+// replayTo, attributed to `from` (the buffer's original emitter — a
+// replacement instance for its own checkpoint buffer, a retired merge
+// victim for a legacy buffer). Caller holds e.mu. Returns the number of
+// tuples collected.
+func (e *Engine) collectDownstreamReplay(from plan.InstanceID, srcOp plan.OpID, buf *state.Buffer, replayTo map[*node][]delivery) int {
+	if buf == nil {
+		return 0
+	}
+	q := e.mgr.Query()
+	n := 0
+	for _, target := range buf.Targets() {
+		r := e.routings[target.Op]
+		input := q.InputIndex(srcOp, target.Op)
+		for _, t := range buf.Tuples(target) {
+			to := target
+			if r != nil {
+				to = r.Lookup(t.Key)
+			}
+			if tn := e.nodes[to]; tn != nil {
+				n++
+				replayTo[tn] = append(replayTo[tn], delivery{From: from, Input: input, T: t})
+			}
+		}
+	}
+	return n
 }
 
 // sourceDriver injects generated tuples following a rate profile.

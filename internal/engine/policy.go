@@ -84,4 +84,45 @@ func (e *Engine) policyRound(detector *control.Detector, sampler UtilSampler) {
 			detector.Unmute(victim)
 		}
 	}
+	shrinker := e.shrinker.Load()
+	if shrinker == nil {
+		return
+	}
+	for _, op := range shrinker.Observe(reports) {
+		if pair := e.adjacentPair(op, reports); pair != nil {
+			_ = e.MergeInstances(pair)
+		}
+		// Completed merges produce a fresh instance ID, so the operator
+		// can shrink again once its partitions idle anew.
+		shrinker.Unmute(op)
+	}
+}
+
+// EnableScaleIn activates policy-driven scale in alongside EnablePolicy:
+// when every partition of an operator reports utilisation below the low
+// watermark for the configured number of consecutive rounds, the
+// adjacent pair with the lowest combined load is merged. The low
+// watermark must sit well below half the scale-out threshold so a merge
+// cannot immediately re-trigger a split (the hysteresis band; enforced
+// at the options layer). Requires EnablePolicy (the shrinker rides the
+// policy loop's reports).
+func (e *Engine) EnableScaleIn(p control.ScaleInPolicy) {
+	e.shrinker.Store(control.NewScaleInDetector(p))
+}
+
+// adjacentPair picks the pair of live partitions of op owning adjacent
+// key ranges with the lowest combined utilisation, or nil.
+func (e *Engine) adjacentPair(op plan.OpID, reports []control.Report) []plan.InstanceID {
+	routing := e.mgr.Routing(op)
+	if routing == nil {
+		return nil
+	}
+	set := e.set.Load()
+	return control.AdjacentPair(routing.Entries(), reports, func(inst plan.InstanceID) bool {
+		if set == nil {
+			return false
+		}
+		n := set.byInst[inst]
+		return n != nil && !n.failed.Load()
+	})
 }

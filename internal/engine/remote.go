@@ -57,19 +57,26 @@ func (e *Engine) DeliverLocal(to plan.InstanceID, ds []Delivery) bool {
 // TrimUpstream applies an acknowledgement watermark received from the
 // coordinator: owner's checkpoint is safely stored, so the local node
 // hosting up may trim its retained output for owner through ts
-// (Algorithm 1 line 4, over the wire).
+// (Algorithm 1 line 4, over the wire). When up is a retired merge
+// victim, the trim lands on the legacy buffer its merge product hosts.
 func (e *Engine) TrimUpstream(up, owner plan.InstanceID, ts int64) {
 	set := e.set.Load()
 	if set == nil {
 		return
 	}
-	n := set.byInst[up]
-	if n == nil {
+	if n := set.byInst[up]; n != nil {
+		n.mu.Lock()
+		n.outBuf.TrimInstance(owner, ts)
+		n.mu.Unlock()
 		return
 	}
-	n.mu.Lock()
-	n.outBuf.TrimInstance(owner, ts)
-	n.mu.Unlock()
+	if hn := set.legacyHosts[up]; hn != nil {
+		hn.mu.Lock()
+		if lb := hn.legacy[up]; lb != nil {
+			lb.TrimInstance(owner, ts)
+		}
+		hn.mu.Unlock()
+	}
 }
 
 // ApplyReroute installs a coordinator-planned routing change for op:
@@ -128,6 +135,28 @@ func (e *Engine) ApplyReroute(op plan.OpID, routing *state.Routing, newInsts []p
 					replayed += len(tuples)
 					e.remote.Deliver(ni, ds)
 				}
+				// Legacy buffers of retired upstream merge victims
+				// repartition and replay the same way, under the retired
+				// sender's identity.
+				for _, owner := range state.LegacyOwners(un.legacy) {
+					if owner.Op != upOp {
+						continue
+					}
+					lb := un.legacy[owner]
+					lb.Repartition(op, routing)
+					for _, ni := range newInsts {
+						tuples := lb.Tuples(ni)
+						if len(tuples) == 0 {
+							continue
+						}
+						ds := make([]Delivery, len(tuples))
+						for i, t := range tuples {
+							ds[i] = Delivery{From: owner, Input: input, T: t}
+						}
+						replayed += len(tuples)
+						e.remote.Deliver(ni, ds)
+					}
+				}
 			}
 			un.mu.Unlock()
 		}
@@ -180,27 +209,46 @@ func (e *Engine) AdoptInstance(cp *state.Checkpoint, routing *state.Routing, rep
 	// The victim's buffered output replays to downstream operators under
 	// the current routing (replace() line "the victim's own buffered
 	// output replays..."), enqueued before the new node starts so it
-	// precedes anything the instance emits itself.
+	// precedes anything the instance emits itself. Legacy buffers the
+	// checkpoint carries (the instance is a merge product) replay under
+	// their original owners' identities.
+	// Remote batches must be single-sender: the wire batch frame carries
+	// one From, so remote replays group by (destination, sender).
+	type remoteKey struct {
+		to   plan.InstanceID
+		from plan.InstanceID
+	}
 	q := e.mgr.Query()
 	replayTo := make(map[*node][]Delivery)
-	remoteTo := make(map[plan.InstanceID][]Delivery)
-	for _, target := range cp.Buffer.Targets() {
-		r := e.routings[target.Op]
-		input := q.InputIndex(inst.Op, target.Op)
-		for _, t := range cp.Buffer.Tuples(target) {
-			to := target
-			if r != nil {
-				to = r.Lookup(t.Key)
-			}
-			d := Delivery{From: inst, Input: input, T: t}
-			if tn := e.nodes[to]; tn != nil {
-				replayed++
-				replayTo[tn] = append(replayTo[tn], d)
-			} else if e.remote != nil {
-				replayed++
-				remoteTo[to] = append(remoteTo[to], d)
+	remoteTo := make(map[remoteKey][]Delivery)
+	var remoteOrder []remoteKey
+	collect := func(from plan.InstanceID, buf *state.Buffer) {
+		for _, target := range buf.Targets() {
+			r := e.routings[target.Op]
+			input := q.InputIndex(inst.Op, target.Op)
+			for _, t := range buf.Tuples(target) {
+				to := target
+				if r != nil {
+					to = r.Lookup(t.Key)
+				}
+				d := Delivery{From: from, Input: input, T: t}
+				if tn := e.nodes[to]; tn != nil {
+					replayed++
+					replayTo[tn] = append(replayTo[tn], d)
+				} else if e.remote != nil {
+					replayed++
+					k := remoteKey{to: to, from: from}
+					if _, ok := remoteTo[k]; !ok {
+						remoteOrder = append(remoteOrder, k)
+					}
+					remoteTo[k] = append(remoteTo[k], d)
+				}
 			}
 		}
+	}
+	collect(inst, cp.Buffer)
+	for _, owner := range state.LegacyOwners(cp.Legacy) {
+		collect(owner, cp.Legacy[owner])
 	}
 	for tn, ds := range replayTo {
 		select {
@@ -208,8 +256,8 @@ func (e *Engine) AdoptInstance(cp *state.Checkpoint, routing *state.Routing, rep
 		case <-tn.stopped:
 		}
 	}
-	for to, ds := range remoteTo {
-		e.remote.Deliver(to, ds)
+	for _, k := range remoteOrder {
+		e.remote.Deliver(k.to, remoteTo[k])
 	}
 	if e.started.Load() {
 		e.startNode(nn)
@@ -221,8 +269,8 @@ func (e *Engine) AdoptInstance(cp *state.Checkpoint, routing *state.Routing, rep
 // Retire stops a locally hosted instance and removes it from the
 // topology — the coordinator's counterpart of replace() stopping a
 // scale-out victim after the routing switch. The instance's retained
-// output buffer goes with it; its backed-up checkpoint (taken via the
-// pre-scale-out barrier) is the authoritative copy.
+// output buffer goes with it; its backed-up checkpoint is the
+// authoritative copy.
 func (e *Engine) Retire(inst plan.InstanceID) error {
 	e.mu.Lock()
 	n := e.nodes[inst]
@@ -236,6 +284,41 @@ func (e *Engine) Retire(inst plan.InstanceID) error {
 	e.mu.Unlock()
 	n.stop()
 	return nil
+}
+
+// RetireFinal stops a hosted instance FIRST — queued input is dropped
+// and stays retained upstream — then captures its final checkpoint once
+// the goroutine has exited and removes the node from the topology. The
+// capture reflects everything the instance ever processed and emitted,
+// so a transition planned from it (distributed scale out or merge) has
+// no post-checkpoint window to reconstruct. The caller ships the
+// returned checkpoint to the authoritative store.
+func (e *Engine) RetireFinal(inst plan.InstanceID) (*state.Checkpoint, error) {
+	e.mu.Lock()
+	n := e.nodes[inst]
+	if n == nil || n.failed.Load() {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("engine: %s is not hosted here", inst)
+	}
+	n.failed.Store(true)
+	running := e.started.Load()
+	e.mu.Unlock()
+	n.stop()
+	if running {
+		<-n.done
+	}
+	n.mu.Lock()
+	n.needFull = true // a delta cannot seed a transition
+	n.mu.Unlock()
+	cap := n.captureCheckpoint()
+	e.mu.Lock()
+	delete(e.nodes, inst)
+	e.rebuildTopology()
+	e.mu.Unlock()
+	if cap == nil || cap.full == nil {
+		return nil, fmt.Errorf("engine: %s retired but its final state failed to encode", inst)
+	}
+	return cap.full, nil
 }
 
 // TotalProcessed returns the total number of tuples processed by all

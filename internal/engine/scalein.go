@@ -1,0 +1,257 @@
+package engine
+
+// Scale in (partition merge, §3.3): the live counterpart of replace()
+// in lifecycle.go, with the opposite cardinality — sibling partitions
+// with adjacent key ranges collapse into one instance. The transition
+// follows the same ordering discipline that makes replace() safe (new
+// route tables installed before upstream buffers are repartitioned,
+// replays enqueued before anything the merged instance emits), plus
+// three merge-specific rules that keep it exactly-once:
+//
+//  1. Victims stop BEFORE their final checkpoints are captured, so the
+//     captures reflect everything they ever processed and emitted.
+//     There is no post-checkpoint processing window to reconstruct:
+//     tuples in flight to a stopped victim are dropped unprocessed and
+//     stay retained upstream for replay.
+//  2. The victims' retained output replays downstream under their
+//     ORIGINAL identities. Each victim stamped tuples from its own
+//     logical clock, so the sequences are only matched correctly by the
+//     per-sender duplicate-detection watermarks downstream already
+//     holds. The buffers survive as the merged node's legacy buffers
+//     (state.Checkpoint.Legacy) until downstream checkpoints
+//     acknowledge them.
+//  3. The merged duplicate-detection watermark per upstream is the
+//     victims' MINIMUM (state.MergeCheckpoints), and upstream buffers
+//     are trimmed to each victim's own final watermark before
+//     repartitioning, so the replay set is exactly the union of tuples
+//     no victim had processed.
+
+import (
+	"fmt"
+
+	"seep/internal/plan"
+	"seep/internal/state"
+)
+
+// MergeInstances merges two or more sibling partitions owning adjacent
+// key ranges into one instance — scale in. A fresh final checkpoint of
+// every victim is captured after it stops, shipped to the backup store
+// and used to plan the merge, so the merged state reflects everything
+// the victims processed.
+//
+// If planning fails after the victims have stopped (e.g. a backup host
+// was lost concurrently), the victims are left stopped and the error is
+// returned; each can be recovered individually via Recover, exactly as
+// after a crash.
+func (e *Engine) MergeInstances(victims []plan.InstanceID) error {
+	if len(victims) < 2 {
+		return fmt.Errorf("engine: merge needs at least two victims, got %d", len(victims))
+	}
+	if e.cfg.Backup != nil {
+		return fmt.Errorf("engine: merges on a distributed worker are driven by the coordinator")
+	}
+	if e.cfg.CheckpointInterval <= 0 {
+		return fmt.Errorf("engine: scale in requires checkpointing (CheckpointInterval > 0)")
+	}
+	op := victims[0].Op
+	q := e.mgr.Query()
+	spec := q.Op(op)
+	if spec == nil {
+		return fmt.Errorf("engine: unknown operator %q", op)
+	}
+	if spec.Role == plan.RoleSource || spec.Role == plan.RoleSink {
+		return fmt.Errorf("engine: sources and sinks are not merged (§2.2)")
+	}
+
+	// Freeze the victims: marking them failed stops batch processing and
+	// blocks any concurrent replace/checkpoint of the same instances;
+	// stop() ends their goroutines, which drain (and drop) queued input
+	// — those tuples are retained upstream and replayed below.
+	e.mu.Lock()
+	select {
+	case <-e.stopAll:
+		e.mu.Unlock()
+		return fmt.Errorf("engine: stopping; %v not merged", victims)
+	default:
+	}
+	ns := make([]*node, len(victims))
+	seen := make(map[plan.InstanceID]bool, len(victims))
+	for i, v := range victims {
+		if v.Op != op {
+			e.mu.Unlock()
+			return fmt.Errorf("engine: merge across operators %q and %q", op, v.Op)
+		}
+		if seen[v] {
+			e.mu.Unlock()
+			return fmt.Errorf("engine: duplicate merge victim %s", v)
+		}
+		seen[v] = true
+		n := e.nodes[v]
+		if n == nil || n.failed.Load() {
+			e.mu.Unlock()
+			return fmt.Errorf("engine: %s is not live", v)
+		}
+		ns[i] = n
+	}
+	for _, n := range ns {
+		n.failed.Store(true)
+	}
+	running := e.started.Load()
+	startedAt := e.NowMillis()
+	e.mu.Unlock()
+
+	for _, n := range ns {
+		n.stop()
+		if running {
+			<-n.done
+		}
+	}
+
+	// Final captures: everything each victim processed, with its exact
+	// acknowledgement watermarks. Shipping them trims upstream buffers
+	// to those watermarks, making the retained set the exact per-victim
+	// unprocessed remainder. Forced full: a delta cannot seed a merge.
+	for i, n := range ns {
+		n.mu.Lock()
+		n.needFull = true
+		n.mu.Unlock()
+		cap := n.captureCheckpoint()
+		if cap == nil || cap.full == nil {
+			// State failed to encode; the last shipped checkpoint stays
+			// authoritative and upstream replay covers the gap (the same
+			// skip semantics as a failed periodic checkpoint round).
+			continue
+		}
+		host, err := e.mgr.BackupTarget(victims[i])
+		if err != nil {
+			continue
+		}
+		if err := e.mgr.Backups().Store(host, cap.full); err != nil {
+			continue
+		}
+		e.trimAcked(victims[i], cap.full.Acks)
+	}
+
+	mp, err := e.mgr.PlanMerge(victims)
+	if err != nil {
+		// The victims are already stopped: recover each from its final
+		// checkpoint through the normal path, exactly as after a crash,
+		// so a failed plan (e.g. a backup host lost concurrently) cannot
+		// strand their key ranges. Policy-driven merges have no caller
+		// to clean up after them.
+		for _, v := range victims {
+			if rerr := e.replace(v, 1, true); rerr != nil {
+				err = fmt.Errorf("%w; recover %s: %v", err, v, rerr)
+			}
+		}
+		return fmt.Errorf("engine: plan merge of %v failed (victims recovered): %w", victims, err)
+	}
+
+	// Build and restore the merged node before exposing it to traffic.
+	// restore() installs the victims' buffers as legacy buffers.
+	recoverMerged := func(cause error) error {
+		// Planning already replaced the victims with the merged instance
+		// in the graph, and its merged checkpoint is stored: recover IT
+		// so the transition completes through the recovery machinery.
+		if rerr := e.replace(mp.NewInstance, 1, true); rerr != nil {
+			return fmt.Errorf("engine: merge of %v: %w (recovery of %s also failed: %v)", victims, cause, mp.NewInstance, rerr)
+		}
+		return fmt.Errorf("engine: merge of %v completed via recovery: %w", victims, cause)
+	}
+	nn, err := e.newNode(mp.NewInstance, spec)
+	if err != nil {
+		return recoverMerged(err)
+	}
+	if err := nn.restore(mp.Checkpoint); err != nil {
+		return recoverMerged(err)
+	}
+
+	replayed := 0
+	e.mu.Lock()
+	select {
+	case <-e.stopAll:
+		e.mu.Unlock()
+		return fmt.Errorf("engine: stopping; %v not merged", victims)
+	default:
+	}
+	for _, v := range victims {
+		delete(e.nodes, v)
+	}
+	e.nodes[nn.inst] = nn
+	e.routings[op] = mp.Routing
+	// Install the new epoch's route tables and node set before touching
+	// any upstream buffer (the replace() ordering argument): emitters
+	// load the table inside their node lock, so every tuple either lands
+	// in a buffer before it is repartitioned (and is replayed under the
+	// merged routing) or routes to the merged instance directly.
+	e.rebuildTopology()
+
+	// No acknowledgement inheritance: the merged instance is a brand-new
+	// sender whose clock starts above both victims' clocks, and the
+	// victims' own output replays under their original identities below,
+	// matched by the watermarks downstream already holds for them.
+	replayTo := make(map[*node][]delivery)
+	for i, v := range victims {
+		replayed += e.collectDownstreamReplay(v, op, mp.VictimCheckpoints[i].Buffer, replayTo)
+		for _, owner := range state.LegacyOwners(mp.VictimCheckpoints[i].Legacy) {
+			replayed += e.collectDownstreamReplay(owner, op, mp.VictimCheckpoints[i].Legacy[owner], replayTo)
+		}
+	}
+	for tn, ds := range replayTo {
+		select {
+		case tn.in <- ds:
+		case <-tn.stopped:
+		}
+	}
+
+	// Upstream buffers: repartition under the merged routing and queue
+	// the union of the victims' unprocessed remainders for replay.
+	for _, upOp := range q.Upstream(op) {
+		input := q.InputIndex(upOp, op)
+		for _, upInst := range e.mgr.Instances(upOp) {
+			un := e.nodes[upInst]
+			if un == nil {
+				continue
+			}
+			un.mu.Lock()
+			un.outBuf.Repartition(op, mp.Routing)
+			for _, t := range un.outBuf.Tuples(nn.inst) {
+				replayed++
+				nn.replayQueue = append(nn.replayQueue, delivery{From: upInst, Input: input, T: t})
+			}
+			for _, owner := range state.LegacyOwners(un.legacy) {
+				if owner.Op != upOp {
+					continue
+				}
+				lb := un.legacy[owner]
+				lb.Repartition(op, mp.Routing)
+				for _, t := range lb.Tuples(nn.inst) {
+					replayed++
+					nn.replayQueue = append(nn.replayQueue, delivery{From: owner, Input: input, T: t})
+				}
+			}
+			un.mu.Unlock()
+		}
+	}
+
+	if running {
+		e.startNode(nn)
+	}
+	e.merges.Inc()
+	e.records = append(e.records, ReplaceRecord{
+		Victim:         victims[0],
+		Pi:             1,
+		Merge:          true,
+		StartedAt:      startedAt,
+		CompletedAt:    e.NowMillis(),
+		ReplayedTuples: replayed,
+	})
+	e.mu.Unlock()
+
+	// Ship a fresh checkpoint of the merged node immediately: it
+	// supersedes the plan-time artifact in the backup store, so a
+	// failure right after the merge recovers from a self-consistent
+	// capture instead of the synthesized one.
+	e.checkpointNode(nn)
+	return nil
+}

@@ -157,6 +157,9 @@ type RecoveryRecord struct {
 	CompletedAt Millis
 	// ReplayedTuples is how many tuples were replayed.
 	ReplayedTuples int
+	// Merge reports a scale-in transition: Victim is the first of the
+	// merged siblings and Pi is 1 (several instances collapsed to one).
+	Merge bool
 }
 
 // Duration returns the recovery time.
@@ -202,6 +205,13 @@ type Cluster struct {
 
 	// scalingInProgress guards against double-triggering on one victim.
 	scalingInProgress map[plan.InstanceID]bool
+	// legacyOwner maps a retired merge victim to the merge product
+	// carrying its legacy output buffer, so acknowledgement trims
+	// addressed to the old identity still land (the chain is chased: a
+	// product may itself have been merged or replaced).
+	legacyOwner map[plan.InstanceID]plan.InstanceID
+	// merges counts completed scale-in transitions.
+	merges uint64
 
 	detector *control.Detector
 	// shrinker, when set, drives elastic scale in (merging under-used
@@ -243,6 +253,7 @@ func NewCluster(cfg Config, q *plan.Query, factories map[plan.OpID]operator.Fact
 		sources:           make(map[plan.InstanceID]*source),
 		routings:          make(map[plan.OpID]*state.Routing),
 		scalingInProgress: make(map[plan.InstanceID]bool),
+		legacyOwner:       make(map[plan.InstanceID]plan.InstanceID),
 		Latency:           &metrics.Histogram{},
 		VMsInUse:          &metrics.TimeSeries{},
 		ThroughputTS:      &metrics.TimeSeries{},
@@ -595,13 +606,37 @@ func (c *Cluster) checkpointNodeThen(n *Node, done func()) {
 }
 
 // trimAcked trims upstream output buffers up to the acknowledged
-// timestamps (Algorithm 1 line 4).
+// timestamps (Algorithm 1 line 4). Acknowledgements addressed to a
+// retired merge victim trim the legacy buffer its merge product hosts.
 func (c *Cluster) trimAcked(n *Node, acks map[plan.InstanceID]int64) {
 	for up, ts := range acks {
 		if upNode := c.nodes[up]; upNode != nil {
 			upNode.outBuf.TrimInstance(n.inst, ts)
+			continue
+		}
+		if hn := c.legacyHost(up); hn != nil {
+			if lb := hn.legacy[up]; lb != nil {
+				lb.TrimInstance(n.inst, ts)
+			}
 		}
 	}
+}
+
+// legacyHost resolves the node hosting the legacy buffer of a retired
+// merge victim, chasing the merge-product chain.
+func (c *Cluster) legacyHost(up plan.InstanceID) *Node {
+	cur := up
+	for i := 0; i < 16; i++ {
+		next, ok := c.legacyOwner[cur]
+		if !ok {
+			return nil
+		}
+		if hn := c.nodes[next]; hn != nil {
+			return hn
+		}
+		cur = next
+	}
+	return nil
 }
 
 // FailInstance crash-stops the VM hosting inst at the current virtual
@@ -739,7 +774,7 @@ func (c *Cluster) finishReplace(rp *core.ReplacePlan, vms []*VM, startedAt Milli
 			vms[i].Exec(costUnits, func() {
 				restored++
 				if restored == pi {
-					c.activateReplacements(rp, vms, startedAt, failure, spec)
+					c.activateReplacements(rp, vms, startedAt, failure, spec, false)
 				}
 			})
 		}
@@ -749,8 +784,12 @@ func (c *Cluster) finishReplace(rp *core.ReplacePlan, vms []*VM, startedAt Milli
 // activateReplacements is the atomic switch-over: register nodes, stop
 // the victim, fix downstream acknowledgement inheritance, replay the
 // victim's output buffer downstream and the upstream buffers to the new
-// instances (Algorithm 3 lines 6-14).
-func (c *Cluster) activateReplacements(rp *core.ReplacePlan, vms []*VM, startedAt Millis, failure bool, spec *plan.OpSpec) {
+// instances (Algorithm 3 lines 6-14). With merge set the transition is
+// a scale in: acknowledgement inheritance is skipped (the victims'
+// output replays under their original identities from the merged
+// checkpoint's legacy buffers, matched by the watermarks downstream
+// already holds; the merged instance itself is a fresh sender).
+func (c *Cluster) activateReplacements(rp *core.ReplacePlan, vms []*VM, startedAt Millis, failure bool, spec *plan.OpSpec, merge bool) {
 	victim := rp.Victim
 	pi := len(rp.NewInstances)
 
@@ -784,24 +823,34 @@ func (c *Cluster) activateReplacements(rp *core.ReplacePlan, vms []*VM, startedA
 	// so downstream nodes inherit the victim's acknowledgement position.
 	// With pi > 1 each partition's output sequence is fresh (the paper's
 	// per-stream clocks), so downstream starts clean and duplicate
-	// suppression is best-effort for the checkpoint-lag window.
-	if pi == 1 {
+	// suppression is best-effort for the checkpoint-lag window. Merges
+	// never inherit: downstream keeps the per-victim watermarks, which
+	// the legacy replay below is matched against.
+	if pi == 1 && !merge {
 		for _, dn := range c.nodes {
 			if ts, ok := dn.acks[victim]; ok {
 				dn.acks[rp.NewInstances[0]] = ts
 				delete(dn.acks, victim)
 			}
 		}
+		// Anything whose legacy buffer lived with the victim lives with
+		// its replacement now (PartitionCheckpoint hands legacy state to
+		// the first partition).
+		c.legacyOwner[victim] = rp.NewInstances[0]
+	}
+	if pi > 1 {
+		c.legacyOwner[victim] = rp.NewInstances[0]
 	}
 
 	tracker := &replayTracker{}
 	replayed := 0
 
-	// Replay the victim's own buffered output downstream (line 7).
-	for i, n := range newNodes {
-		cp := rp.Checkpoints[i]
-		for _, target := range cp.Buffer.Targets() {
-			for _, t := range cp.Buffer.Tuples(target) {
+	// Replay the victim's own buffered output downstream (line 7), and
+	// any legacy buffers its checkpoint carried under their original
+	// owners' identities.
+	replayBuf := func(from plan.InstanceID, buf *state.Buffer) {
+		for _, target := range buf.Targets() {
+			for _, t := range buf.Tuples(target) {
 				// Re-route under current routing: the downstream set may
 				// itself have been repartitioned since the checkpoint.
 				r := c.routings[target.Op]
@@ -811,8 +860,15 @@ func (c *Cluster) activateReplacements(rp *core.ReplacePlan, vms []*VM, startedA
 				}
 				tracker.add(1)
 				replayed++
-				c.deliver(n.inst, to, t, tracker)
+				c.deliver(from, to, t, tracker)
 			}
+		}
+	}
+	for i, n := range newNodes {
+		cp := rp.Checkpoints[i]
+		replayBuf(n.inst, cp.Buffer)
+		for _, owner := range state.LegacyOwners(cp.Legacy) {
+			replayBuf(owner, cp.Legacy[owner])
 		}
 	}
 
@@ -820,7 +876,10 @@ func (c *Cluster) activateReplacements(rp *core.ReplacePlan, vms []*VM, startedA
 	// routing and replay unacknowledged tuples to the new instances. The
 	// switch happens within one simulator event, which models the
 	// stop/update/restart of upstream operators as an atomic step; the
-	// disruption cost is carried by the replay itself.
+	// disruption cost is carried by the replay itself. Upstream legacy
+	// buffers (retired merge victims of the upstream operator)
+	// repartition and replay the same way under the retired sender's
+	// identity.
 	for _, upOp := range c.mgr.Query().Upstream(victim.Op) {
 		for _, upInst := range c.mgr.Instances(upOp) {
 			un := c.nodes[upInst]
@@ -835,6 +894,20 @@ func (c *Cluster) activateReplacements(rp *core.ReplacePlan, vms []*VM, startedA
 					c.deliver(upInst, newInst, t, tracker)
 				}
 			}
+			for _, owner := range state.LegacyOwners(un.legacy) {
+				if owner.Op != upOp {
+					continue
+				}
+				lb := un.legacy[owner]
+				lb.Repartition(victim.Op, rp.Routing)
+				for _, newInst := range rp.NewInstances {
+					for _, t := range lb.Tuples(newInst) {
+						tracker.add(1)
+						replayed++
+						c.deliver(owner, newInst, t, tracker)
+					}
+				}
+			}
 		}
 	}
 
@@ -844,6 +917,7 @@ func (c *Cluster) activateReplacements(rp *core.ReplacePlan, vms []*VM, startedA
 		Failure:        failure,
 		StartedAt:      startedAt,
 		ReplayedTuples: replayed,
+		Merge:          merge,
 	}
 	if replayed == 0 {
 		rec.CompletedAt = c.sim.Now()
@@ -999,34 +1073,74 @@ func (c *Cluster) activateBaseline(rp *core.ReplacePlan, vm *VM, victim plan.Ins
 // ScaleIn merges sibling partitions with adjacent key ranges into one
 // instance — the merge primitive of §3.3 ("to scale in operators when
 // resources are under-utilised, the state of two operators can be
-// merged"). Victims must be live and checkpointed. The merged instance
-// is deployed on a pooled VM; upstream buffers are repartitioned and
-// replayed exactly as in scale out.
+// merged"). Victims must be live and checkpointed. The victims STOP
+// first, within this event, and their final checkpoints are taken from
+// the stopped state — so the captures reflect everything they ever
+// processed, tuples in flight drop and stay retained upstream for
+// replay, and the merge has no post-checkpoint window. The merged
+// instance is deployed on a pooled VM; its duplicate-detection
+// watermark is the victims' minimum, which is exact because the final
+// checkpoint ships trim upstream buffers to each victim's own
+// watermark before the repartition.
 func (c *Cluster) ScaleIn(victims []plan.InstanceID) error {
+	if len(victims) < 2 {
+		return fmt.Errorf("sim: merge needs at least two victims, got %d", len(victims))
+	}
+	// Full validation BEFORE any victim stops: the same guards the live
+	// engine and the coordinator enforce, so Job.ScaleIn rejects bad
+	// victim sets with zero side effects on every substrate.
+	seenVictim := make(map[plan.InstanceID]bool, len(victims))
 	for _, v := range victims {
+		if v.Op != victims[0].Op {
+			return fmt.Errorf("sim: merge across operators %q and %q", victims[0].Op, v.Op)
+		}
+		if seenVictim[v] {
+			return fmt.Errorf("sim: duplicate merge victim %s", v)
+		}
+		seenVictim[v] = true
 		n := c.nodes[v]
 		if n == nil || n.failed || n.removed {
 			return fmt.Errorf("sim: %s is not live", v)
+		}
+		if n.spec.Role == plan.RoleSource || n.spec.Role == plan.RoleSink {
+			return fmt.Errorf("sim: %s cannot be merged (sources and sinks are assumed reliable, §2.2)", v)
 		}
 		if c.scalingInProgress[v] {
 			return fmt.Errorf("sim: %s is being replaced", v)
 		}
 	}
-	// Fresh checkpoints so the merged state reflects the near-present;
-	// planning waits until every victim's backup landed.
+	started := c.sim.Now()
 	pending := len(victims)
 	for _, v := range victims {
-		c.checkpointNodeThen(c.nodes[v], func() {
+		c.scalingInProgress[v] = true
+		n := c.nodes[v]
+		// Stop first: deliveries from here on drop at the victim and
+		// stay retained upstream; the snapshot inside checkpointNodeThen
+		// is taken synchronously at this event, so it is final.
+		n.removed = true
+		c.checkpointNodeThen(n, func() {
 			pending--
 			if pending > 0 {
 				return
 			}
 			mp, err := c.mgr.PlanMerge(victims)
 			if err != nil {
+				// The victims are already stopped: recover each from its
+				// final checkpoint through the normal path, exactly as
+				// after a crash.
+				c.recoveryFailures = append(c.recoveryFailures,
+					fmt.Sprintf("merge %v: %v", victims, err))
+				for _, v := range victims {
+					delete(c.scalingInProgress, v)
+					victim := v
+					c.recover(victim, c.sim.Now())
+				}
 				return
 			}
 			for _, v := range victims {
-				c.scalingInProgress[v] = true
+				// The merged instance carries each victim's legacy
+				// buffer; trims addressed to the victims follow it.
+				c.legacyOwner[v] = mp.NewInstance
 			}
 			c.routings[mp.NewInstance.Op] = mp.Routing
 			c.pool.Acquire(func(vm *VM) {
@@ -1049,13 +1163,17 @@ func (c *Cluster) ScaleIn(victims []plan.InstanceID) error {
 						}
 						delete(c.scalingInProgress, v)
 					}
-					c.activateReplacements(rp, []*VM{vm}, c.sim.Now(), false, spec)
+					c.merges++
+					c.activateReplacements(rp, []*VM{vm}, started, false, spec, true)
 				})
 			})
 		})
 	}
 	return nil
 }
+
+// Merges returns how many scale-in merges have completed.
+func (c *Cluster) Merges() uint64 { return c.merges }
 
 // EnablePolicy activates the bottleneck detector and scaling policy
 // (§5.1): every ReportEveryMillis, live instances report their CPU

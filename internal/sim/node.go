@@ -72,6 +72,10 @@ type Node struct {
 	outClock stream.Clock
 	// outBuf is the buffer state βo.
 	outBuf *state.Buffer
+	// legacy holds output buffers inherited from scale-in victims,
+	// keyed by the ORIGINAL emitting instance; replayed and trimmed
+	// under the owner's identity (see state.Checkpoint.Legacy).
+	legacy map[plan.InstanceID]*state.Buffer
 	// ckptSeq numbers this instance's checkpoints.
 	ckptSeq uint64
 	// deltasSince counts incremental checkpoints shipped since the last
@@ -210,6 +214,12 @@ func (n *Node) snapshot() *state.Checkpoint {
 	}
 	n.needFull = false
 	n.deltasSince = 0
+	// Drop fully acknowledged legacy buffers before cloning.
+	for owner, lb := range n.legacy {
+		if lb.Len() == 0 {
+			delete(n.legacy, owner)
+		}
+	}
 	return &state.Checkpoint{
 		Instance:   n.inst,
 		Seq:        n.ckptSeq,
@@ -217,6 +227,7 @@ func (n *Node) snapshot() *state.Checkpoint {
 		Buffer:     n.outBuf.Clone(),
 		OutClock:   n.outClock.Last(),
 		Acks:       state.CloneAcks(n.acks),
+		Legacy:     state.CloneLegacy(n.legacy),
 	}
 }
 
@@ -264,6 +275,7 @@ func (n *Node) restore(cp *state.Checkpoint) error {
 		n.tsVec = append(n.tsVec, 0)
 	}
 	n.outBuf = cp.Buffer.Clone()
+	n.legacy = state.CloneLegacy(cp.Legacy)
 	n.outClock.Reset(cp.OutClock)
 	n.acks = state.CloneAcks(cp.Acks)
 	if n.acks == nil {

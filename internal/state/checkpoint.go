@@ -2,6 +2,7 @@ package state
 
 import (
 	"fmt"
+	"sort"
 
 	"seep/internal/plan"
 	"seep/internal/stream"
@@ -34,6 +35,61 @@ type Checkpoint struct {
 	// logical clock, so duplicate detection and buffer trimming operate
 	// per upstream instance.
 	Acks map[plan.InstanceID]int64
+	// Legacy holds output buffers inherited from merge victims (§3.3
+	// scale in), keyed by the ORIGINAL emitting instance. A merged
+	// operator cannot absorb its victims' retained output into its own
+	// buffer: the victims stamped tuples from independent logical
+	// clocks, so their sequences only stay replayable — monotone per
+	// sender, matched against the downstream duplicate-detection
+	// watermarks that already exist for those senders — if each buffer
+	// keeps its original identity. Legacy buffers are replayed and
+	// trimmed under the owner's name and disappear once downstream
+	// checkpoints acknowledge them.
+	Legacy map[plan.InstanceID]*Buffer
+}
+
+// SortInstanceIDs orders instance identifiers by (Op, Part) — the one
+// ordering convention shared by the wire codec, legacy-buffer replay
+// and the runtimes' deterministic iteration.
+func SortInstanceIDs(ids []plan.InstanceID) {
+	sort.Slice(ids, func(i, j int) bool {
+		if ids[i].Op != ids[j].Op {
+			return ids[i].Op < ids[j].Op
+		}
+		return ids[i].Part < ids[j].Part
+	})
+}
+
+// LegacyOwners returns the owners of a legacy buffer map in
+// deterministic (Op, Part) order. Replay order is load-bearing: the
+// simulator's seeded determinism and the engines' per-sender replay
+// runs both forbid map-order iteration.
+func LegacyOwners(legacy map[plan.InstanceID]*Buffer) []plan.InstanceID {
+	if len(legacy) == 0 {
+		return nil
+	}
+	out := make([]plan.InstanceID, 0, len(legacy))
+	for owner := range legacy {
+		out = append(out, owner)
+	}
+	SortInstanceIDs(out)
+	return out
+}
+
+// CloneLegacy deep-copies a legacy buffer map, dropping entries with no
+// live tuples (nil when nothing remains).
+func CloneLegacy(legacy map[plan.InstanceID]*Buffer) map[plan.InstanceID]*Buffer {
+	var out map[plan.InstanceID]*Buffer
+	for owner, b := range legacy {
+		if b == nil || b.Len() == 0 {
+			continue
+		}
+		if out == nil {
+			out = make(map[plan.InstanceID]*Buffer, len(legacy))
+		}
+		out[owner] = b.Clone()
+	}
+	return out
 }
 
 // CloneAcks returns a copy of the acknowledgement map (nil-safe).
@@ -68,6 +124,9 @@ func (c *Checkpoint) Size() int {
 		// operator-specific and approximated by the header-only figure
 		// when payloads are in-memory values.
 		n += 16 * c.Buffer.Len()
+	}
+	for _, b := range c.Legacy {
+		n += 16 * b.Len()
 	}
 	return n
 }
@@ -112,8 +171,14 @@ func PartitionCheckpoint(c *Checkpoint, newInstances []plan.InstanceID, ranges [
 			OutClock:   c.OutClock,
 			Acks:       CloneAcks(c.Acks),
 		}
-		if i == 0 && c.Buffer != nil {
-			cp.Buffer = c.Buffer.Clone()
+		if i == 0 {
+			if c.Buffer != nil {
+				cp.Buffer = c.Buffer.Clone()
+			}
+			// Legacy buffers follow the buffer state: any partition may
+			// replay them, and the first is chosen by the same convention
+			// as line 7.
+			cp.Legacy = CloneLegacy(c.Legacy)
 		}
 		out[i] = cp
 	}
@@ -122,14 +187,32 @@ func PartitionCheckpoint(c *Checkpoint, newInstances []plan.InstanceID, ranges [
 
 // MergeCheckpoints unions the checkpoints of several partitions of the
 // same logical operator into one checkpoint for a single target instance —
-// the scale-in primitive (§3.3). Buffers are concatenated; the output
-// clock is the maximum, so the merged operator never reuses a timestamp.
+// the scale-in primitive (§3.3). The output clock is the maximum, so the
+// merged operator never reuses a timestamp.
+//
+// The victims' retained output does NOT fold into the merged buffer:
+// each victim stamped tuples from its own logical clock, so the merged
+// checkpoint keeps them as Legacy buffers under the original sender
+// identities — replayable against the per-sender duplicate-detection
+// watermarks downstream already holds. A victim that itself carries
+// legacy buffers (an earlier merge not yet fully acknowledged) passes
+// them through unchanged.
+//
+// The acknowledgement map takes the per-upstream MINIMUM, not the
+// maximum: each victim's upstream replay set is ground-truthed by the
+// buffer trims its own checkpoint triggered (retained tuples all sit
+// above the victim's own watermark), so the merged watermark must sit at
+// or below EVERY victim's position — a maximum would silently discard
+// replayed tuples bound for the lower-watermark victim. An upstream
+// missing from any victim's map is omitted (watermark zero), which only
+// admits tuples the trims left retained.
 func MergeCheckpoints(target plan.InstanceID, cs ...*Checkpoint) (*Checkpoint, error) {
 	if len(cs) == 0 {
 		return nil, fmt.Errorf("state: merge of zero checkpoints")
 	}
 	procs := make([]*Processing, 0, len(cs))
 	out := &Checkpoint{Instance: target, Seq: 1, Buffer: NewBuffer()}
+	seen := make(map[plan.InstanceID]int)
 	for _, c := range cs {
 		if err := c.Validate(); err != nil {
 			return nil, err
@@ -138,12 +221,20 @@ func MergeCheckpoints(target plan.InstanceID, cs ...*Checkpoint) (*Checkpoint, e
 			return nil, fmt.Errorf("state: merging %s into %s across operators", c.Instance, target)
 		}
 		procs = append(procs, c.Processing)
-		if c.Buffer != nil {
-			for _, tgt := range c.Buffer.Targets() {
-				for _, t := range c.Buffer.Tuples(tgt) {
-					out.Buffer.Append(tgt, t)
-				}
+		if c.Buffer != nil && c.Buffer.Len() > 0 {
+			if out.Legacy == nil {
+				out.Legacy = make(map[plan.InstanceID]*Buffer)
 			}
+			out.Legacy[c.Instance] = c.Buffer.Clone()
+		}
+		for owner, b := range c.Legacy {
+			if b == nil || b.Len() == 0 {
+				continue
+			}
+			if out.Legacy == nil {
+				out.Legacy = make(map[plan.InstanceID]*Buffer)
+			}
+			out.Legacy[owner] = b.Clone()
 		}
 		if c.OutClock > out.OutClock {
 			out.OutClock = c.OutClock
@@ -152,9 +243,18 @@ func MergeCheckpoints(target plan.InstanceID, cs ...*Checkpoint) (*Checkpoint, e
 			if out.Acks == nil {
 				out.Acks = make(map[plan.InstanceID]int64)
 			}
-			if ts > out.Acks[up] {
+			seen[up]++
+			if cur, ok := out.Acks[up]; !ok || ts < cur {
 				out.Acks[up] = ts
 			}
+		}
+	}
+	// Drop upstreams not acknowledged by every victim: an absent entry
+	// means watermark zero for that victim, and the merged map must not
+	// claim a higher position than any victim held.
+	for up, n := range seen {
+		if n < len(cs) {
+			delete(out.Acks, up)
 		}
 	}
 	merged, err := MergeProcessing(procs...)

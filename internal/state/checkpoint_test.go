@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"seep/internal/plan"
+	"seep/internal/stream"
 )
 
 func mkCheckpoint(keys int, seed int64) *Checkpoint {
@@ -118,11 +119,104 @@ func TestMergeCheckpoints(t *testing.T) {
 	if !merged.Processing.Equal(c.Processing) {
 		t.Error("merge(partition(c)) processing state differs from original")
 	}
-	if merged.Buffer.Len() != c.Buffer.Len() {
-		t.Errorf("merged buffer = %d tuples, want %d", merged.Buffer.Len(), c.Buffer.Len())
+	// The victims' retained output keeps its original sender identity:
+	// it lands in Legacy (here under the first partition, which carried
+	// the buffer), never concatenated into the merged node's own buffer.
+	if merged.Buffer.Len() != 0 {
+		t.Errorf("merged buffer = %d tuples, want 0 (victim output is legacy)", merged.Buffer.Len())
+	}
+	legacyTotal := 0
+	for _, b := range merged.Legacy {
+		legacyTotal += b.Len()
+	}
+	if legacyTotal != c.Buffer.Len() {
+		t.Errorf("legacy buffers hold %d tuples, want %d", legacyTotal, c.Buffer.Len())
+	}
+	if _, ok := merged.Legacy[newInstances[0]]; !ok {
+		t.Errorf("legacy buffers = %v, want an entry for %v", merged.Legacy, newInstances[0])
 	}
 	if merged.OutClock != c.OutClock {
 		t.Errorf("merged OutClock = %d, want %d", merged.OutClock, c.OutClock)
+	}
+}
+
+// TestMergeCheckpointsAcksTakeMinimum: the merged duplicate-detection
+// watermark must sit at or below every victim's position — a maximum
+// would discard replayed tuples bound for the lower-watermark victim —
+// and upstreams missing from any victim's map are omitted entirely.
+func TestMergeCheckpointsAcksTakeMinimum(t *testing.T) {
+	up := inst("src", 1)
+	only := inst("src", 2)
+	a := mkCheckpoint(5, 6)
+	a.Instance = inst("count", 1)
+	a.Acks = map[plan.InstanceID]int64{up: 10, only: 3}
+	b := mkCheckpoint(5, 7)
+	b.Instance = inst("count", 2)
+	b.Acks = map[plan.InstanceID]int64{up: 25}
+	merged, err := MergeCheckpoints(inst("count", 9), a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := merged.Acks[up]; got != 10 {
+		t.Errorf("merged ack for %v = %d, want the minimum 10", up, got)
+	}
+	if _, ok := merged.Acks[only]; ok {
+		t.Errorf("merged acks retain %v, which one victim never saw", only)
+	}
+}
+
+// TestMergeCheckpointsFoldsNestedLegacy: a victim that itself carries
+// legacy buffers (an earlier merge not yet acknowledged) passes them
+// through under the original owners.
+func TestMergeCheckpointsFoldsNestedLegacy(t *testing.T) {
+	old := inst("count", 0)
+	a := mkCheckpoint(5, 6)
+	a.Instance = inst("count", 1)
+	lb := NewBuffer()
+	lb.Append(inst("sink", 1), tuple(7, 1))
+	a.Legacy = map[plan.InstanceID]*Buffer{old: lb}
+	b := mkCheckpoint(5, 7)
+	b.Instance = inst("count", 2)
+	merged, err := MergeCheckpoints(inst("count", 9), a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := merged.Legacy[old]; got == nil || got.Len() != 1 {
+		t.Errorf("nested legacy for %v not carried through: %v", old, merged.Legacy)
+	}
+}
+
+// TestCheckpointCodecRoundTripsLegacy: legacy buffers survive the wire
+// and disk codec with owner identity, order and tuple contents intact.
+func TestCheckpointCodecRoundTripsLegacy(t *testing.T) {
+	cp := mkCheckpoint(4, 11)
+	cp.Buffer = NewBuffer() // mkCheckpoint's tuples carry non-string payloads
+	cp.Acks = map[plan.InstanceID]int64{inst("src", 1): 9}
+	lb := NewBuffer()
+	lb.Append(inst("sink", 1), stream.Tuple{TS: 3, Key: 1, Born: 2, Payload: "a"})
+	lb.Append(inst("sink", 1), stream.Tuple{TS: 5, Key: 2, Born: 2, Payload: "b"})
+	cp.Legacy = map[plan.InstanceID]*Buffer{
+		inst("count", 7): lb,
+		inst("count", 8): NewBuffer(), // empty owners are elided
+	}
+	e := stream.NewEncoder(256)
+	if err := EncodeCheckpoint(e, cp, StringPayloadCodec{}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeCheckpoint(stream.NewDecoder(e.Bytes()), StringPayloadCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Legacy) != 1 {
+		t.Fatalf("decoded legacy owners = %d, want 1 (empty elided): %v", len(got.Legacy), got.Legacy)
+	}
+	gb := got.Legacy[inst("count", 7)]
+	if gb == nil {
+		t.Fatalf("legacy owner lost in codec: %v", got.Legacy)
+	}
+	tuples := gb.Tuples(inst("sink", 1))
+	if len(tuples) != 2 || tuples[0].TS != 3 || tuples[1].Payload != "b" {
+		t.Errorf("legacy tuples corrupted: %v", tuples)
 	}
 }
 

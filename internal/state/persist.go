@@ -152,24 +152,28 @@ func EncodeCheckpoint(e *stream.Encoder, cp *Checkpoint, codec PayloadCodec) err
 	for id := range cp.Acks {
 		ids = append(ids, id)
 	}
-	sortInstanceIDs(ids)
+	SortInstanceIDs(ids)
 	for _, id := range ids {
 		encodeInstanceID(e, id)
 		e.Int64(cp.Acks[id])
 	}
-	return nil
-}
-
-func sortInstanceIDs(ids []plan.InstanceID) {
-	for i := 1; i < len(ids); i++ {
-		for j := i; j > 0; j-- {
-			a, b := ids[j-1], ids[j]
-			if a.Op < b.Op || (a.Op == b.Op && a.Part <= b.Part) {
-				break
-			}
-			ids[j-1], ids[j] = b, a
+	// Legacy buffers inherited through scale-in merges, keyed by the
+	// original sender. Owners with no live tuples are elided.
+	owners := make([]plan.InstanceID, 0, len(cp.Legacy))
+	for owner, b := range cp.Legacy {
+		if b != nil && b.Len() > 0 {
+			owners = append(owners, owner)
 		}
 	}
+	SortInstanceIDs(owners)
+	e.Uint32(uint32(len(owners)))
+	for _, owner := range owners {
+		encodeInstanceID(e, owner)
+		if err := EncodeBuffer(e, cp.Legacy[owner], codec); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // DecodeCheckpoint reads a checkpoint written by EncodeCheckpoint.
@@ -204,6 +208,21 @@ func DecodeCheckpoint(d *stream.Decoder, codec PayloadCodec) (*Checkpoint, error
 				return nil, err
 			}
 			cp.Acks[id] = ts
+		}
+	}
+	nLegacy := int(d.Uint32())
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if nLegacy > 0 {
+		cp.Legacy = make(map[plan.InstanceID]*Buffer, nLegacy)
+		for i := 0; i < nLegacy; i++ {
+			owner := decodeInstanceID(d)
+			b, err := DecodeBuffer(d, codec)
+			if err != nil {
+				return nil, err
+			}
+			cp.Legacy[owner] = b
 		}
 	}
 	if err := d.Err(); err != nil {

@@ -2,15 +2,17 @@ package seep
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"seep/internal/state"
 )
 
-// Option configures a Runtime built by Live or Simulated. Options apply
-// to one substrate or both; deploying a topology with an option the
-// substrate does not support is an error (reported by Runtime.Deploy),
-// never a silent no-op.
+// Option configures a Runtime built by Live, Simulated or Distributed.
+// Options apply to one substrate or several; deploying a topology with
+// an option the substrate does not support is an error (reported by
+// Runtime.Deploy) naming both the option and the substrates that do
+// accept it — never a silent no-op.
 type Option func(*runtimeConfig)
 
 // runtimeConfig is the merged option set. Zero values mean "use the
@@ -23,6 +25,7 @@ type runtimeConfig struct {
 	deltaSet      bool
 	timer         time.Duration
 	policy        *Policy
+	scaleIn       *ScaleInPolicy
 	detect        time.Duration
 	detectSet     bool
 	recoveryPi    int
@@ -34,7 +37,7 @@ type runtimeConfig struct {
 	batchLinger time.Duration
 	batchSet    bool
 
-	// Live engine only.
+	// Live engine and Distributed workers (which run live engines).
 	channelBuffer int
 
 	// Simulated cluster only.
@@ -45,7 +48,6 @@ type runtimeConfig struct {
 	netDelay   time.Duration
 	window     time.Duration
 	vmCapacity float64
-	scaleIn    *ScaleInPolicy
 
 	// Distributed runtime only.
 	workers      int
@@ -55,11 +57,66 @@ type runtimeConfig struct {
 	payloadCodec PayloadCodec
 	coordAddr    string
 
-	// liveOnly / simOnly / distOnly name the restricted options that were
-	// set, so the wrong substrate can reject them by name.
-	liveOnly []string
-	simOnly  []string
-	distOnly []string
+	// restricted records every substrate-restricted option that was
+	// set, with the substrates that DO accept it, so the wrong substrate
+	// rejects it naming both (never a silent no-op).
+	restricted []restrictedOption
+}
+
+// restrictedOption names one set option and the substrates accepting it.
+type restrictedOption struct {
+	name    string
+	accepts []string // runtime names: "live", "sim", "dist"
+	note    string   // optional clarification appended to the error
+}
+
+func (c *runtimeConfig) restrict(name string, note string, accepts ...string) {
+	c.restricted = append(c.restricted, restrictedOption{name: name, accepts: accepts, note: note})
+}
+
+// substrateName maps a runtime name to its constructor's name.
+func substrateName(runtime string) string {
+	switch runtime {
+	case "live":
+		return "Live"
+	case "sim":
+		return "Simulated"
+	case "dist":
+		return "Distributed"
+	}
+	return runtime
+}
+
+// checkSubstrate rejects every set option the given substrate does not
+// accept, naming the offending option and the substrates that do.
+func (c *runtimeConfig) checkSubstrate(runtime string) error {
+	var msgs []string
+	for _, r := range c.restricted {
+		ok := false
+		for _, a := range r.accepts {
+			if a == runtime {
+				ok = true
+				break
+			}
+		}
+		if ok {
+			continue
+		}
+		supported := make([]string, len(r.accepts))
+		for i, a := range r.accepts {
+			supported[i] = substrateName(a)
+		}
+		msg := fmt.Sprintf("option %s is not supported by the %s runtime (supported on: %s)",
+			r.name, substrateName(runtime), strings.Join(supported, ", "))
+		if r.note != "" {
+			msg += " — " + r.note
+		}
+		msgs = append(msgs, msg)
+	}
+	if len(msgs) == 0 {
+		return nil
+	}
+	return fmt.Errorf("seep: %s", strings.Join(msgs, "; "))
 }
 
 func buildConfig(opts []Option) *runtimeConfig {
@@ -107,6 +164,24 @@ func (c *runtimeConfig) validate() error {
 			return fmt.Errorf("seep: WithBatching requires a positive linger, got %v", c.batchLinger)
 		}
 	}
+	if c.scaleIn != nil {
+		// Scale in rides the scaling policy's utilisation reports.
+		if c.policy == nil {
+			return fmt.Errorf("seep: WithScaleIn requires WithPolicy")
+		}
+		p := *c.scaleIn
+		if p.LowWatermark <= 0 {
+			return fmt.Errorf("seep: WithScaleIn requires a positive low watermark, got %v", p.LowWatermark)
+		}
+		// Hysteresis: a merged pair's combined load is about the sum of
+		// its halves, so the low watermark must sit below half the
+		// scale-out threshold δ — otherwise a merge could land above δ
+		// and immediately re-split, oscillating forever at steady load.
+		if hi := c.policy.Threshold; hi > 0 && 2*p.LowWatermark >= hi {
+			return fmt.Errorf("seep: WithScaleIn low watermark %v would oscillate against the scale-out threshold %v: require 2*low < threshold (hysteresis)",
+				p.LowWatermark, hi)
+		}
+	}
 	return nil
 }
 
@@ -133,6 +208,9 @@ func WithIncrementalCheckpoints(fullEvery int, maxDeltaFraction float64) Option 
 	return func(c *runtimeConfig) {
 		c.delta = state.DeltaPolicy{FullEvery: fullEvery, MaxDeltaFraction: maxDeltaFraction}
 		c.deltaSet = true
+		c.restrict("WithIncrementalCheckpoints",
+			"distributed checkpoints ship to the coordinator in full; deltas are in-process only",
+			"live", "sim")
 	}
 }
 
@@ -186,12 +264,13 @@ func WithRecoveryParallelism(pi int) Option {
 	return func(c *runtimeConfig) { c.recoveryPi = pi; c.recoveryPiSet = true }
 }
 
-// WithChannelBuffer sets the live engine's per-node input channel
-// capacity. Live runtime only.
+// WithChannelBuffer sets the per-node input channel capacity of the
+// live engine. Live and Distributed runtimes (distributed workers run
+// live engines); the simulator's virtual time has no channels.
 func WithChannelBuffer(n int) Option {
 	return func(c *runtimeConfig) {
 		c.channelBuffer = n
-		c.liveOnly = append(c.liveOnly, "WithChannelBuffer")
+		c.restrict("WithChannelBuffer", "", "live", "dist")
 	}
 }
 
@@ -200,7 +279,7 @@ func WithChannelBuffer(n int) Option {
 func WithSeed(seed int64) Option {
 	return func(c *runtimeConfig) {
 		c.seed = seed
-		c.simOnly = append(c.simOnly, "WithSeed")
+		c.restrict("WithSeed", "", "sim")
 	}
 }
 
@@ -212,7 +291,7 @@ func WithFTMode(m FTMode) Option {
 	return func(c *runtimeConfig) {
 		c.ftMode = m
 		c.ftModeSet = true
-		c.simOnly = append(c.simOnly, "WithFTMode")
+		c.restrict("WithFTMode", "", "sim")
 	}
 }
 
@@ -221,7 +300,7 @@ func WithFTMode(m FTMode) Option {
 func WithVMPool(p PoolConfig) Option {
 	return func(c *runtimeConfig) {
 		c.pool = &p
-		c.simOnly = append(c.simOnly, "WithVMPool")
+		c.restrict("WithVMPool", "", "sim")
 	}
 }
 
@@ -230,7 +309,7 @@ func WithVMPool(p PoolConfig) Option {
 func WithNetDelay(d time.Duration) Option {
 	return func(c *runtimeConfig) {
 		c.netDelay = d
-		c.simOnly = append(c.simOnly, "WithNetDelay")
+		c.restrict("WithNetDelay", "", "sim")
 	}
 }
 
@@ -239,7 +318,7 @@ func WithNetDelay(d time.Duration) Option {
 func WithWindow(d time.Duration) Option {
 	return func(c *runtimeConfig) {
 		c.window = d
-		c.simOnly = append(c.simOnly, "WithWindow")
+		c.restrict("WithWindow", "", "sim")
 	}
 }
 
@@ -248,19 +327,32 @@ func WithWindow(d time.Duration) Option {
 func WithVMCapacity(capacity float64) Option {
 	return func(c *runtimeConfig) {
 		c.vmCapacity = capacity
-		c.simOnly = append(c.simOnly, "WithVMCapacity")
+		c.restrict("WithVMCapacity", "", "sim")
 	}
 }
 
-// WithElasticity additionally enables scale in (§8 future work): when
-// every partition of an operator stays below the low watermark, adjacent
-// partitions are merged. Requires WithPolicy. Simulated runtime only.
-func WithElasticity(p ScaleInPolicy) Option {
-	return func(c *runtimeConfig) {
-		c.scaleIn = &p
-		c.simOnly = append(c.simOnly, "WithElasticity")
-	}
+// WithScaleIn enables elastic scale in (§8 future work, the dual of the
+// scale-out policy) on every substrate: when EVERY partition of an
+// operator reports utilisation below the low watermark for the
+// configured number of consecutive rounds, the adjacent pair with the
+// lowest combined load is merged back into one instance — partitioned
+// state merged via the checkpoint merge primitive (§3.3), buffers
+// repartitioned and replayed exactly-once. Requires WithPolicy, and the
+// low watermark must satisfy 2*LowWatermark < Policy.Threshold so a
+// merged pair cannot immediately re-trigger a split (hysteresis; a
+// violating combination is a Deploy error). Completed merges surface in
+// Metrics.Merges and Metrics.Recoveries (Merge records). Jobs can also
+// merge explicitly with Job.ScaleIn.
+func WithScaleIn(p ScaleInPolicy) Option {
+	return func(c *runtimeConfig) { c.scaleIn = &p }
 }
+
+// WithElasticity enables scale in.
+//
+// Deprecated: use WithScaleIn, which is accepted by all three
+// substrates (WithElasticity historically applied to the Simulated
+// runtime only; it is now an exact alias).
+func WithElasticity(p ScaleInPolicy) Option { return WithScaleIn(p) }
 
 // WithWorkers sets how many in-process loopback workers the Distributed
 // runtime spawns (default 3). Each worker is a full coordinator-managed
@@ -271,7 +363,7 @@ func WithWorkers(n int) Option {
 	return func(c *runtimeConfig) {
 		c.workers = n
 		c.workersSet = true
-		c.distOnly = append(c.distOnly, "WithWorkers")
+		c.restrict("WithWorkers", "", "dist")
 	}
 }
 
@@ -283,7 +375,7 @@ func WithWorkers(n int) Option {
 func WithWorkerAddrs(addrs ...string) Option {
 	return func(c *runtimeConfig) {
 		c.workerAddrs = append(c.workerAddrs, addrs...)
-		c.distOnly = append(c.distOnly, "WithWorkerAddrs")
+		c.restrict("WithWorkerAddrs", "", "dist")
 	}
 }
 
@@ -292,7 +384,7 @@ func WithWorkerAddrs(addrs ...string) Option {
 func WithTopologyName(name string) Option {
 	return func(c *runtimeConfig) {
 		c.topoName = name
-		c.distOnly = append(c.distOnly, "WithTopologyName")
+		c.restrict("WithTopologyName", "", "dist")
 	}
 }
 
@@ -302,7 +394,7 @@ func WithTopologyName(name string) Option {
 func WithPayloadCodec(codec PayloadCodec) Option {
 	return func(c *runtimeConfig) {
 		c.payloadCodec = codec
-		c.distOnly = append(c.distOnly, "WithPayloadCodec")
+		c.restrict("WithPayloadCodec", "", "dist")
 	}
 }
 
@@ -313,6 +405,6 @@ func WithPayloadCodec(codec PayloadCodec) Option {
 func WithCoordinatorAddr(addr string) Option {
 	return func(c *runtimeConfig) {
 		c.coordAddr = addr
-		c.distOnly = append(c.distOnly, "WithCoordinatorAddr")
+		c.restrict("WithCoordinatorAddr", "", "dist")
 	}
 }

@@ -2,7 +2,6 @@ package seep
 
 import (
 	"fmt"
-	"strings"
 	"sync"
 	"time"
 
@@ -61,6 +60,12 @@ type Job interface {
 	// ScaleOut splits a live instance into pi partitioned instances
 	// (Algorithm 3), partitioning its managed state by key range.
 	ScaleOut(victim InstanceID, pi int) error
+	// ScaleIn merges sibling partitions owning adjacent key ranges back
+	// into one instance (§3.3 merge), the inverse of ScaleOut: the
+	// victims stop, their final checkpoints merge, upstream buffers
+	// repartition and replay exactly-once. Policy-driven merges use the
+	// same path (WithScaleIn).
+	ScaleIn(victims []InstanceID) error
 	// Instances returns the live partitioned instances of an operator.
 	Instances(op OpID) []InstanceID
 	// OperatorOf returns the operator object hosted by an instance, so
@@ -106,9 +111,11 @@ type Metrics struct {
 	// Parallelism maps each logical operator to its current number of
 	// partitioned instances.
 	Parallelism map[OpID]int
-	// Recoveries lists completed recoveries and scale outs, oldest
-	// first.
+	// Recoveries lists completed recoveries, scale outs and merges
+	// (Merge records), oldest first.
 	Recoveries []RecoveryRecord
+	// Merges counts completed scale-in merges.
+	Merges uint64
 	// Checkpoints tallies checkpoint traffic to the backup store; with
 	// WithIncrementalCheckpoints, Deltas/DeltaBytes show how much
 	// shipping shrank versus full snapshots.
@@ -146,13 +153,8 @@ type liveRuntime struct{ cfg *runtimeConfig }
 func (r *liveRuntime) Name() string { return "live" }
 
 func (r *liveRuntime) Deploy(t *Topology) (Job, error) {
-	if len(r.cfg.simOnly) > 0 {
-		return nil, fmt.Errorf("seep: option(s) %s apply only to the Simulated runtime",
-			strings.Join(r.cfg.simOnly, ", "))
-	}
-	if len(r.cfg.distOnly) > 0 {
-		return nil, fmt.Errorf("seep: option(s) %s apply only to the Distributed runtime",
-			strings.Join(r.cfg.distOnly, ", "))
+	if err := r.cfg.checkSubstrate("live"); err != nil {
+		return nil, err
 	}
 	if err := r.cfg.validate(); err != nil {
 		return nil, err
@@ -178,6 +180,9 @@ func (r *liveRuntime) Deploy(t *Topology) (Job, error) {
 	}
 	if r.cfg.policy != nil {
 		eng.EnablePolicy(*r.cfg.policy, nil)
+		if r.cfg.scaleIn != nil {
+			eng.EnableScaleIn(*r.cfg.scaleIn)
+		}
 	}
 	j := &liveJob{
 		eng:        eng,
@@ -295,6 +300,10 @@ func (j *liveJob) ScaleOut(victim InstanceID, pi int) error {
 	return j.eng.ScaleOut(victim, pi)
 }
 
+func (j *liveJob) ScaleIn(victims []InstanceID) error {
+	return j.eng.MergeInstances(victims)
+}
+
 func (j *liveJob) Instances(op OpID) []InstanceID { return j.eng.Manager().Instances(op) }
 
 func (j *liveJob) OperatorOf(inst InstanceID) any { return j.eng.OperatorOf(inst) }
@@ -318,6 +327,7 @@ func (j *liveJob) MetricsSnapshot() Metrics {
 			StartedAt:      r.StartedAt,
 			CompletedAt:    r.CompletedAt,
 			ReplayedTuples: r.ReplayedTuples,
+			Merge:          r.Merge,
 		}
 	}
 	return Metrics{
@@ -327,6 +337,7 @@ func (j *liveJob) MetricsSnapshot() Metrics {
 		Latency:           j.eng.Latency.Summarize(),
 		Parallelism:       parallelismOf(j.eng.Manager().Query(), func(op OpID) int { return j.eng.Manager().Parallelism(op) }),
 		Recoveries:        recs,
+		Merges:            j.eng.Merges(),
 		Checkpoints:       j.eng.Manager().Backups().ShipStats(),
 		Errors:            errs,
 	}
@@ -338,13 +349,8 @@ type simRuntime struct{ cfg *runtimeConfig }
 func (r *simRuntime) Name() string { return "sim" }
 
 func (r *simRuntime) Deploy(t *Topology) (Job, error) {
-	if len(r.cfg.liveOnly) > 0 {
-		return nil, fmt.Errorf("seep: option(s) %s apply only to the Live runtime",
-			strings.Join(r.cfg.liveOnly, ", "))
-	}
-	if len(r.cfg.distOnly) > 0 {
-		return nil, fmt.Errorf("seep: option(s) %s apply only to the Distributed runtime",
-			strings.Join(r.cfg.distOnly, ", "))
+	if err := r.cfg.checkSubstrate("sim"); err != nil {
+		return nil, err
 	}
 	if err := r.cfg.validate(); err != nil {
 		return nil, err
@@ -393,8 +399,6 @@ func (r *simRuntime) Deploy(t *Topology) (Job, error) {
 		if r.cfg.scaleIn != nil {
 			c.EnableElasticity(*r.cfg.scaleIn)
 		}
-	} else if r.cfg.scaleIn != nil {
-		return nil, fmt.Errorf("seep: WithElasticity requires WithPolicy")
 	}
 	return &simJob{c: c}, nil
 }
@@ -441,6 +445,8 @@ func (j *simJob) Fail(inst InstanceID) error { return j.c.FailInstance(inst) }
 
 func (j *simJob) ScaleOut(victim InstanceID, pi int) error { return j.c.ScaleOut(victim, pi) }
 
+func (j *simJob) ScaleIn(victims []InstanceID) error { return j.c.ScaleIn(victims) }
+
 func (j *simJob) Instances(op OpID) []InstanceID { return j.c.LiveInstances(op) }
 
 func (j *simJob) OperatorOf(inst InstanceID) any {
@@ -460,6 +466,7 @@ func (j *simJob) MetricsSnapshot() Metrics {
 		Latency:           j.c.Latency.Summarize(),
 		Parallelism:       parallelismOf(j.c.Manager().Query(), func(op OpID) int { return j.c.Manager().Parallelism(op) }),
 		Recoveries:        j.c.Recoveries(),
+		Merges:            j.c.Merges(),
 		Checkpoints:       j.c.Manager().Backups().ShipStats(),
 		Errors:            j.c.RecoveryFailures(),
 	}

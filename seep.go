@@ -46,6 +46,12 @@
 //     for development, cmd/seep-worker daemons for real deployments
 //     (see the README's Deployment section).
 //
+// Elasticity is symmetric on every substrate: bottleneck operators
+// split (Job.ScaleOut, or WithPolicy), and under-used partitions merge
+// back (Job.ScaleIn, or WithScaleIn) with their key-range state joined
+// through the same checkpoint primitives, so long-running jobs shrink
+// with their load instead of only growing.
+//
 // Both are configured with functional options:
 //
 //	job, err := seep.Live(seep.WithCheckpointInterval(200 * time.Millisecond)).Deploy(topo)
