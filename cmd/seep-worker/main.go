@@ -13,21 +13,22 @@
 //	seep-worker -listen 127.0.0.1:7703 &
 //	seep-worker -drive 127.0.0.1:7701,127.0.0.1:7702,127.0.0.1:7703
 //
-// The -drive mode runs the coordinator side: it deploys the registered
-// "wordcount" topology across the listed workers (source rate bound in
-// each worker's registry), lets it stream for a few seconds, kills one
-// worker's hosted counter to demonstrate heartbeat-detected recovery,
-// and prints the resulting metrics.
+// The -drive mode runs the coordinator side: it executes a committed
+// chaos scenario (default scenarios/dist-demo-external.yaml) against
+// the listed workers through the scenario runner — the topology, the
+// timed event script and the assertions all come from the file; the
+// source rate stays bound in each worker's registry.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strings"
-	"time"
 
 	"seep"
+	"seep/internal/scenario"
 )
 
 const topoName = "wordcount"
@@ -50,10 +51,11 @@ func registry() *seep.WorkerRegistry {
 func main() {
 	listen := flag.String("listen", "127.0.0.1:7701", "worker listen address")
 	drive := flag.String("drive", "", "comma-separated worker addresses: run the demo coordinator instead of a worker")
+	file := flag.String("scenario", "scenarios/dist-demo-external.yaml", "scenario file for -drive mode")
 	flag.Parse()
 
 	if *drive != "" {
-		runCoordinator(strings.Split(*drive, ","))
+		runCoordinator(*file, strings.Split(*drive, ","))
 		return
 	}
 
@@ -66,38 +68,26 @@ func main() {
 	log.Printf("seep-worker %s: coordinator ordered shutdown", w.Addr())
 }
 
-func runCoordinator(addrs []string) {
-	// The coordinator needs the same topology declaration for planning;
-	// workers instantiate the operators from their own registries.
-	t := seep.NewTopology().
-		Source("src").
-		Stateless("split", func() seep.Operator { return seep.WordSplitter() }).
-		Stateful("count", func() seep.Operator { return seep.NewWordCounter(0) }).
-		Sink("sink")
-
-	job, err := seep.Distributed(
-		seep.WithWorkerAddrs(addrs...),
-		seep.WithTopologyName(topoName),
-		seep.WithCheckpointInterval(250*time.Millisecond),
-		seep.WithPolicy(seep.DefaultPolicy()),
-	).Deploy(t)
+func runCoordinator(file string, addrs []string) {
+	// The scenario declares the same topology the workers registered;
+	// the runner plans it across the listed addresses while workers
+	// instantiate the operators (and drive the source) from their own
+	// registries.
+	s, err := scenario.LoadFile(file)
 	if err != nil {
 		log.Fatal(err)
 	}
-	job.Start()
-	defer job.Stop()
-
-	log.Printf("deployed %q across %d workers; streaming...", topoName, len(addrs))
-	job.Run(5 * time.Second)
-
-	victim := job.Instances("count")[0]
-	log.Printf("killing the worker hosting %s (heartbeat-detected recovery)...", victim)
-	if err := job.Fail(victim); err != nil {
+	res, err := scenario.Run(s, scenario.RunConfig{
+		Substrate:    "dist",
+		WorkerAddrs:  addrs,
+		TopologyName: topoName,
+		Logf:         log.Printf,
+	})
+	if err != nil {
 		log.Fatal(err)
 	}
-	job.Run(5 * time.Second)
 
-	m := job.MetricsSnapshot()
+	m := res.Metrics
 	fmt.Printf("sink tuples:     %d\n", m.SinkTuples)
 	fmt.Printf("recoveries:      %d\n", len(m.Recoveries))
 	for _, r := range m.Recoveries {
@@ -107,4 +97,12 @@ func runCoordinator(addrs []string) {
 	fmt.Printf("frames sent:     %d (%.1f KiB)\n", m.Transport.FramesSent, float64(m.Transport.BytesSent)/1024)
 	fmt.Printf("frames received: %d (%.1f KiB)\n", m.Transport.FramesReceived, float64(m.Transport.BytesReceived)/1024)
 	fmt.Printf("errors:          %v\n", m.Errors)
+	if res.OK() {
+		fmt.Printf("PASS %s [substrate dist, seed %d]\n", res.Scenario, res.Seed)
+		return
+	}
+	for _, f := range res.Failures {
+		fmt.Println("FAIL:", f)
+	}
+	os.Exit(1)
 }

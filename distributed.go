@@ -10,6 +10,7 @@ import (
 	"seep/internal/operator"
 	"seep/internal/plan"
 	"seep/internal/state"
+	"seep/internal/transport"
 )
 
 // Distributed returns the distributed runtime: a coordinator owning the
@@ -142,6 +143,7 @@ type distJob struct {
 	mu      sync.Mutex
 	started time.Time
 	stopped bool
+	faulted map[string]struct{} // worker addrs with an armed link fault
 }
 
 func (j *distJob) killWorkers() {
@@ -165,6 +167,7 @@ func (j *distJob) Stop() {
 	}
 	j.stopped = true
 	j.mu.Unlock()
+	j.HealLinks()
 	// Let in-flight recoveries settle before tearing the cluster down.
 	deadline := time.Now().Add(5 * time.Second)
 	for j.coord.Pending() > 0 && time.Now().Before(deadline) {
@@ -271,6 +274,78 @@ func (j *distJob) InjectBatch(op OpID, count int, gen Generator) error {
 }
 
 func (j *distJob) Fail(inst InstanceID) error { return j.coord.Fail(inst) }
+
+// hostAddrs returns the distinct worker addresses hosting op's live
+// instances.
+func (j *distJob) hostAddrs(op OpID) ([]string, error) {
+	insts := j.coord.Manager().Instances(op)
+	if len(insts) == 0 {
+		return nil, fmt.Errorf("seep: no instances of operator %q", op)
+	}
+	seen := make(map[string]struct{})
+	var addrs []string
+	for _, inst := range insts {
+		addr := j.coord.PlacementOf(inst)
+		if addr == "" {
+			continue
+		}
+		if _, dup := seen[addr]; dup {
+			continue
+		}
+		seen[addr] = struct{}{}
+		addrs = append(addrs, addr)
+	}
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("seep: operator %q has no placed instances", op)
+	}
+	return addrs, nil
+}
+
+func (j *distJob) armLinkFault(op OpID, f transport.LinkFault) error {
+	addrs, err := j.hostAddrs(op)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	if j.faulted == nil {
+		j.faulted = make(map[string]struct{})
+	}
+	for _, addr := range addrs {
+		transport.SetLinkFault(addr, f)
+		j.faulted[addr] = struct{}{}
+	}
+	j.mu.Unlock()
+	return nil
+}
+
+// SlowLink delays every frame toward the workers hosting op's
+// instances — data batches, acks and heartbeat probes alike. Keep the
+// delay below the failure-detection horizon or the hosts will
+// (correctly) be declared down.
+func (j *distJob) SlowLink(op OpID, delay time.Duration) error {
+	return j.armLinkFault(op, transport.LinkFault{Delay: delay})
+}
+
+// PartitionLink black-holes every frame toward the workers hosting
+// op's instances. The coordinator's heartbeat probes starve, the
+// detector declares the hosts down, and the ordinary recovery path
+// replaces everything they ran — a partition costs detection time,
+// never data (dropped batches sit in upstream output buffers and
+// replay).
+func (j *distJob) PartitionLink(op OpID) error {
+	return j.armLinkFault(op, transport.LinkFault{Drop: true})
+}
+
+// HealLinks removes every link fault this job armed.
+func (j *distJob) HealLinks() {
+	j.mu.Lock()
+	addrs := j.faulted
+	j.faulted = nil
+	j.mu.Unlock()
+	for addr := range addrs {
+		transport.ClearLinkFault(addr)
+	}
+}
 
 func (j *distJob) ScaleOut(victim InstanceID, pi int) error {
 	return j.coord.ScaleOut(victim, pi)

@@ -141,8 +141,15 @@ func TestDistributedRejectsForeignOptions(t *testing.T) {
 	if _, err := seep.Simulated(seep.WithWorkerAddrs("127.0.0.1:1")).Deploy(wordcountTopology()); err == nil {
 		t.Error("Simulated accepted WithWorkerAddrs")
 	}
-	if _, err := seep.Distributed(seep.WithSeed(1)).Deploy(wordcountTopology()); err == nil {
-		t.Error("Distributed accepted WithSeed")
+	if _, err := seep.Distributed(seep.WithFTMode(seep.FTSourceReplay)).Deploy(wordcountTopology()); err == nil {
+		t.Error("Distributed accepted WithFTMode")
+	}
+	// WithSeed is universal: every substrate accepts it (reproducibility
+	// tooling reads it back), so it must NOT be rejected here.
+	if job, err := seep.Distributed(seep.WithSeed(1), seep.WithWorkers(1)).Deploy(wordcountTopology()); err != nil {
+		t.Errorf("Distributed rejected WithSeed: %v", err)
+	} else {
+		job.Stop()
 	}
 	if _, err := seep.Distributed(seep.WithWorkers(0)).Deploy(wordcountTopology()); err == nil {
 		t.Error("Distributed accepted WithWorkers(0)")

@@ -1,99 +1,59 @@
-// Fault tolerance end to end: a stateful operator is periodically
-// checkpointed to an upstream backup, its VM is killed, and the runtime
-// detects the failure and recovers the operator via the integrated
-// scale-out algorithm — with no state lost: exactly-once with respect to
-// operator state.
+// Fault tolerance end to end, driven by a committed chaos scenario: a
+// stateful operator is periodically checkpointed to an upstream backup,
+// its VM is killed, and the runtime detects the failure and recovers
+// the operator via the integrated scale-out algorithm — with no state
+// lost: exactly-once with respect to operator state.
+//
+// The kill/recover script, the seeded workload and the exact per-key
+// assertions all live in the scenario file; this program is just the
+// scenario runner pointed at one substrate.
 //
 //	go run ./examples/faulttolerance
+//	go run ./examples/faulttolerance -substrate sim -seed 7
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
-	"time"
+	"os"
 
-	"seep"
+	"seep/internal/scenario"
 )
 
 func main() {
-	topo, err := seep.NewTopology().
-		Source("src").
-		Stateless("split", func() seep.Operator { return seep.WordSplitter() }).
-		Stateful("count", func() seep.Operator { return seep.NewWordCounter(0) }).
-		Sink("sink").
-		Build()
+	file := flag.String("scenario", "scenarios/wordcount-kill-counter.yaml", "scenario file to run")
+	substrate := flag.String("substrate", "live", "substrate: sim, live or dist")
+	seed := flag.Int64("seed", 0, "override the scenario's seed (0 = use the file's)")
+	flag.Parse()
+
+	s, err := scenario.LoadFile(*file)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := scenario.Run(s, scenario.RunConfig{
+		Substrate: *substrate,
+		Seed:      *seed,
+		Logf:      log.Printf,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// Frequent checkpoints and a short detection delay keep the
-	// timeline of the demo tight.
-	job, err := seep.Live(
-		seep.WithCheckpointInterval(150*time.Millisecond),
-		seep.WithDetectDelay(300*time.Millisecond),
-	).Deploy(topo)
-	if err != nil {
-		log.Fatal(err)
+	for _, r := range res.Metrics.Recoveries {
+		fmt.Printf("recovered %v as %d partition(s) in %v ms (detection + restore + replay)\n",
+			r.Victim, r.Pi, r.Duration())
 	}
-	job.Start()
-	defer job.Stop()
-
-	vocab := []string{"alpha", "beta", "gamma", "delta"}
-	gen := func(i uint64) (seep.Key, any) {
-		w := vocab[i%uint64(len(vocab))]
-		return seep.KeyOfString(w), w
+	for key, want := range res.Expected {
+		fmt.Printf("  count(%q) = %d (want %d)\n", key, res.Counts[key], want)
 	}
-
-	// Phase 1: 400 tuples, with periodic checkpoints backing the
-	// counter's state up to the upstream splitter's VM.
-	if err := job.InjectBatch("src", 400, gen); err != nil {
-		log.Fatal(err)
+	if res.OK() {
+		fmt.Printf("OK: state restored exactly — no loss, no duplication [substrate %s, seed %d]\n",
+			res.Substrate, res.Seed)
+		return
 	}
-	job.Run(time.Second)
-
-	// Phase 2: 200 more tuples; the most recent of them exist only in
-	// the operator's volatile state and the upstream output buffer.
-	if err := job.InjectBatch("src", 200, gen); err != nil {
-		log.Fatal(err)
+	for _, f := range res.Failures {
+		fmt.Println("FAIL:", f)
 	}
-	job.Run(500 * time.Millisecond)
-
-	// Kill the VM. Tuples after the last checkpoint are NOT in the
-	// backup; recovery must replay them from the upstream buffer.
-	victim := job.Instances("count")[0]
-	if err := job.Fail(victim); err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("killed %v\n", victim)
-
-	// The runtime detects the failure and recovers: restore the backup
-	// checkpoint on a new instance, replay unacknowledged tuples
-	// (Algorithm 3, π=1).
-	job.Run(3 * time.Second)
-	m := job.MetricsSnapshot()
-	for _, e := range m.Errors {
-		log.Fatalf("recovery failed: %s", e)
-	}
-	recovered := job.Instances("count")
-	if len(m.Recoveries) == 0 || len(recovered) == 0 {
-		log.Fatalf("recovery did not complete (recoveries=%d, live instances=%d)",
-			len(m.Recoveries), len(recovered))
-	}
-	for _, r := range m.Recoveries {
-		fmt.Printf("recovered as %v in %v ms (detection + restore + replay)\n", recovered[0], r.Duration())
-	}
-
-	// Verify: all 600 tuples are reflected exactly once.
-	counter := job.OperatorOf(recovered[0]).(*seep.WordCounter)
-	total := int64(0)
-	for _, w := range vocab {
-		c := counter.Count(w)
-		total += c
-		fmt.Printf("  count(%q) = %d (want 150)\n", w, c)
-	}
-	if total == 600 {
-		fmt.Println("OK: state restored exactly — no loss, no duplication")
-	} else {
-		fmt.Printf("MISMATCH: total = %d, want 600\n", total)
-	}
+	os.Exit(1)
 }

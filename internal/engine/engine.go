@@ -322,6 +322,13 @@ type Engine struct {
 	// merges counts completed scale-in transitions (MergeInstances).
 	merges metrics.Counter
 
+	// linkFaults is the chaos harness's named fault point for the local
+	// node-link layer: deliveries toward a listed destination operator
+	// are delayed per emitted chunk, modelling a slow in-process link.
+	// Nil when disarmed — the steady-state data path pays one atomic
+	// pointer load per chunk, nothing else.
+	linkFaults atomic.Pointer[map[plan.OpID]time.Duration]
+
 	// shrinker, when set (EnableScaleIn), proposes merges from the same
 	// utilisation reports the bottleneck detector consumes. Atomic so
 	// enabling can race an already-running policy loop; the detector
@@ -889,6 +896,20 @@ func (n *node) emitChunk(chunk []staged) {
 		}
 	}
 	n.mu.Unlock()
+	// Chaos-harness fault point "slow-link": one atomic load per chunk
+	// when disarmed; when armed, a delivery toward a faulted downstream
+	// operator waits out the configured delay before the send.
+	if fm := n.e.linkFaults.Load(); fm != nil {
+		for i := range sends {
+			op := sends[i].inst.Op
+			if sends[i].target != nil {
+				op = sends[i].target.inst.Op
+			}
+			if d := (*fm)[op]; d > 0 {
+				time.Sleep(d)
+			}
+		}
+	}
 	for i := range sends {
 		s := &sends[i]
 		if s.target == nil {
@@ -932,3 +953,24 @@ func (e *Engine) fireTimers() {
 		}
 	}
 }
+
+// InjectLinkDelay arms the "slow-link" fault point: every delivery
+// toward an instance of op — local channel send or remote link — waits
+// d before it is handed over, modelling a degraded link to that
+// operator's hosts. Chaos-harness use only; disarmed engines pay one
+// atomic pointer load per emitted chunk.
+func (e *Engine) InjectLinkDelay(op plan.OpID, d time.Duration) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	next := make(map[plan.OpID]time.Duration)
+	if cur := e.linkFaults.Load(); cur != nil {
+		for k, v := range *cur {
+			next[k] = v
+		}
+	}
+	next[op] = d
+	e.linkFaults.Store(&next)
+}
+
+// ClearLinkFaults heals every fault armed with InjectLinkDelay.
+func (e *Engine) ClearLinkFaults() { e.linkFaults.Store(nil) }

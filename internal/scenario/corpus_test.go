@@ -1,0 +1,85 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestScenarioCorpus runs every committed scenario on every substrate
+// it declares — the same sweep CI's chaos-matrix job performs. External
+// scenarios need running seep-worker daemons and are validate-only
+// here. `go test -short` keeps just the simulator leg.
+func TestScenarioCorpus(t *testing.T) {
+	corpus, err := LoadDir("../../scenarios")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(corpus) < 12 {
+		t.Fatalf("scenario corpus has %d files, want at least 12", len(corpus))
+	}
+	for _, s := range corpus {
+		if errs := Validate(s); len(errs) > 0 {
+			t.Errorf("%s: invalid: %v", s.Name, errs)
+			continue
+		}
+		if s.External {
+			continue
+		}
+		for _, sub := range s.Substrates {
+			if sub != "sim" && testing.Short() {
+				continue
+			}
+			// Sequential on purpose: the Distributed legs share the
+			// process-global transport fault table and heartbeat timers,
+			// and parallel wall-clock scenarios skew each other's
+			// failure-detection windows under -race.
+			t.Run(s.Name+"/"+sub, func(t *testing.T) {
+				res, err := Run(s, RunConfig{Substrate: sub})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, f := range res.Failures {
+					t.Error(f)
+				}
+			})
+		}
+	}
+}
+
+// TestScenarioParityKillRecoverScale is the cross-substrate parity
+// check: the canonical kill-recover-scale scenario must yield the exact
+// same per-key counts on Simulated, Live and Distributed. The workload
+// is a pure function of the seed, so any divergence is a substrate
+// losing or duplicating tuples across the kill/recover/scale script.
+func TestScenarioParityKillRecoverScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live and dist legs need wall-clock time")
+	}
+	s, err := LoadFile("../../scenarios/kill-recover-scale.yaml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[string]map[string]int64, 3)
+	for _, sub := range []string{"sim", "live", "dist"} {
+		res, err := Run(s, RunConfig{Substrate: sub})
+		if err != nil {
+			t.Fatalf("[%s] %v", sub, err)
+		}
+		for _, f := range res.Failures {
+			t.Errorf("[%s] %s", sub, f)
+		}
+		if len(res.Counts) == 0 {
+			t.Fatalf("[%s] no counts read back", sub)
+		}
+		counts[sub] = res.Counts
+	}
+	if t.Failed() {
+		return
+	}
+	for _, sub := range []string{"live", "dist"} {
+		if !reflect.DeepEqual(counts["sim"], counts[sub]) {
+			t.Errorf("per-key counts diverge between sim and %s:\n  sim:  %v\n  %s: %v",
+				sub, counts["sim"], sub, counts[sub])
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package scenario
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// LoadFile parses one scenario file.
+func LoadFile(path string) (*Scenario, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	s, err := Parse(string(src))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return s, nil
+}
+
+// LoadDir parses every *.yaml/*.yml file in a directory, sorted by
+// file name.
+func LoadDir(dir string) ([]*Scenario, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var paths []string
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if ext := strings.ToLower(filepath.Ext(e.Name())); ext == ".yaml" || ext == ".yml" {
+			paths = append(paths, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(paths)
+	out := make([]*Scenario, 0, len(paths))
+	for _, p := range paths {
+		s, err := LoadFile(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}

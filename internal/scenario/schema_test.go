@@ -1,0 +1,312 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// A minimal valid scenario to mutate in the lint tests.
+const validScenario = `
+name: valid
+substrates: [sim]
+seed: 1
+duration: 3s
+topology:
+  ops:
+    - {id: src, kind: source}
+    - {id: split, kind: word-splitter}
+    - {id: count, kind: word-counter}
+    - {id: sink, kind: sink}
+workload:
+  source: src
+  tuples: 100
+  keys: 5
+events:
+  - {at: 1s, kind: kill-worker, op: count}
+assertions:
+  exact-counts: {op: count}
+`
+
+func TestParseValidScenario(t *testing.T) {
+	s, err := Parse(validScenario)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs := Validate(s); len(errs) != 0 {
+		t.Fatalf("valid scenario flagged: %v", errs)
+	}
+	if s.Name != "valid" || s.Seed != 1 || s.Duration != 3*time.Second {
+		t.Errorf("decoded header = %q/%d/%v", s.Name, s.Seed, s.Duration)
+	}
+	if len(s.Ops) != 4 || s.Ops[2].Kind != "word-counter" {
+		t.Errorf("decoded ops = %+v", s.Ops)
+	}
+	if s.Workload == nil || s.Workload.Tuples != 100 || s.Workload.KeyPrefix != "w" {
+		t.Errorf("decoded workload = %+v", s.Workload)
+	}
+	if len(s.Events) != 1 || s.Events[0].At != time.Second {
+		t.Errorf("decoded events = %+v", s.Events)
+	}
+}
+
+// Every lint rule surfaces as a typed SchemaError naming its location —
+// one table entry per error kind the ISSUE requires, plus the rest of
+// the lint pass.
+func TestValidateTypedErrors(t *testing.T) {
+	cases := []struct {
+		name     string
+		mutate   func(*Scenario)
+		wantKind ErrorKind
+		wantPath string
+	}{
+		{
+			name:     "unknown event kind",
+			mutate:   func(s *Scenario) { s.Events[0].Kind = "explode-vm" },
+			wantKind: ErrUnknownEventKind,
+			wantPath: "events[0].kind",
+		},
+		{
+			name: "assertion on undeclared sink",
+			mutate: func(s *Scenario) {
+				s.Assertions.SinkLatency = &SinkLatencyAssert{Sink: "count", Max: time.Second}
+			},
+			wantKind: ErrUndeclaredSink,
+			wantPath: "assertions.sink-latency.sink",
+		},
+		{
+			name:     "event after scenario end",
+			mutate:   func(s *Scenario) { s.Events[0].At = 10 * time.Second },
+			wantKind: ErrEventAfterEnd,
+			wantPath: "events[0].at",
+		},
+		{
+			name:     "event on undeclared operator",
+			mutate:   func(s *Scenario) { s.Events[0].Op = "ghost" },
+			wantKind: ErrUnknownOp,
+			wantPath: "events[0].op",
+		},
+		{
+			name:     "unknown factory kind",
+			mutate:   func(s *Scenario) { s.Ops[1].Kind = "quantum-splitter" },
+			wantKind: ErrUnknownFactory,
+			wantPath: "topology.ops[1].kind",
+		},
+		{
+			name: "partition-link outside Distributed",
+			mutate: func(s *Scenario) {
+				s.Events[0] = Event{At: time.Second, Kind: "partition-link", Op: "count"}
+			},
+			wantKind: ErrSubstrateRestricted,
+			wantPath: "events[0].kind",
+		},
+		{
+			name: "slow-link on the simulator",
+			mutate: func(s *Scenario) {
+				s.Events[0] = Event{At: time.Second, Kind: "slow-link", Op: "count", Delay: time.Millisecond}
+			},
+			wantKind: ErrSubstrateRestricted,
+			wantPath: "events[0].kind",
+		},
+		{
+			name:     "missing name",
+			mutate:   func(s *Scenario) { s.Name = "" },
+			wantKind: ErrMissingField,
+			wantPath: "name",
+		},
+		{
+			name:     "unknown substrate",
+			mutate:   func(s *Scenario) { s.Substrates = []string{"cloud"} },
+			wantKind: ErrBadValue,
+			wantPath: "substrates[0]",
+		},
+		{
+			name:     "workload source not a source",
+			mutate:   func(s *Scenario) { s.Workload.Source = "count" },
+			wantKind: ErrUnknownOp,
+			wantPath: "workload.source",
+		},
+		{
+			name:     "exact-counts on undeclared op",
+			mutate:   func(s *Scenario) { s.Assertions.ExactCounts.Op = "ghost" },
+			wantKind: ErrUnknownOp,
+			wantPath: "assertions.exact-counts.op",
+		},
+		{
+			name:     "unknown counter name",
+			mutate:   func(s *Scenario) { s.Assertions.Counters = []CounterAssert{{Name: "cpu-cycles", Max: -1}} },
+			wantKind: ErrBadValue,
+			wantPath: "assertions.counters[0].name",
+		},
+		{
+			name:     "negative duration",
+			mutate:   func(s *Scenario) { s.Duration = 0 },
+			wantKind: ErrBadValue,
+			wantPath: "duration",
+		},
+		{
+			name:     "scale-out pi below 2",
+			mutate:   func(s *Scenario) { s.Events[0] = Event{At: time.Second, Kind: "scale-out", Op: "count", Pi: 1} },
+			wantKind: ErrBadValue,
+			wantPath: "events[0].pi",
+		},
+		{
+			name: "external scenario with workload",
+			mutate: func(s *Scenario) {
+				s.External = true
+				s.Substrates = []string{"dist"}
+				s.Assertions.ExactCounts = nil
+			},
+			wantKind: ErrBadValue,
+			wantPath: "workload",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := Parse(validScenario)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tc.mutate(s)
+			errs := Validate(s)
+			if len(errs) == 0 {
+				t.Fatalf("mutation not flagged")
+			}
+			for _, e := range errs {
+				se, ok := e.(*SchemaError)
+				if !ok {
+					t.Fatalf("untyped validation error %T: %v", e, e)
+				}
+				if se.Kind == tc.wantKind && se.Path == tc.wantPath {
+					return
+				}
+			}
+			t.Fatalf("no %s at %s among %v", tc.wantKind, tc.wantPath, errs)
+		})
+	}
+}
+
+// Unknown fields in the document are decode errors, not silent drops.
+func TestParseRejectsUnknownField(t *testing.T) {
+	src := strings.Replace(validScenario, "seed: 1", "seed: 1\nturbo: true", 1)
+	_, err := Parse(src)
+	if err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	se, ok := err.(*SchemaError)
+	if !ok || se.Kind != ErrUnknownField {
+		t.Fatalf("want ErrUnknownField, got %v", err)
+	}
+}
+
+func TestYAMLSubset(t *testing.T) {
+	v, err := parseYAML(`
+a: 1            # comment
+b: "x: y"       # quoted colon
+c:
+  - {k: v, n: 2}
+  - plain
+d:
+  nested:
+    deep: true
+e: [1, 2.5, "s"]
+f:
+  - id: one
+    extra: yes-string
+  - id: two
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := v.(map[string]any)
+	if m["a"] != int64(1) || m["b"] != "x: y" {
+		t.Errorf("scalars: %#v", m)
+	}
+	c := m["c"].([]any)
+	if c[0].(map[string]any)["n"] != int64(2) || c[1] != "plain" {
+		t.Errorf("sequence: %#v", c)
+	}
+	if m["d"].(map[string]any)["nested"].(map[string]any)["deep"] != true {
+		t.Errorf("nesting: %#v", m["d"])
+	}
+	e := m["e"].([]any)
+	if e[0] != int64(1) || e[1] != 2.5 || e[2] != "s" {
+		t.Errorf("flow seq: %#v", e)
+	}
+	f := m["f"].([]any)
+	if f[0].(map[string]any)["extra"] != "yes-string" || f[1].(map[string]any)["id"] != "two" {
+		t.Errorf("inline map items: %#v", f)
+	}
+}
+
+func TestYAMLErrors(t *testing.T) {
+	for _, src := range []string{
+		"a: 1\n\tb: 2",     // tab indentation
+		"a: &anchor",       // anchors outside the subset
+		"a: [1, 2",         // unterminated flow
+		"a: \"unclosed",    // unterminated quote
+		"a: 1\na: 2",       // duplicate key
+		"justastringalone", // no key
+	} {
+		if _, err := parseYAML(src); err == nil {
+			t.Errorf("parseYAML(%q) accepted", src)
+		}
+	}
+}
+
+// The seeded workload is a pure function: same seed, same draw, and the
+// oracle's total always matches the tuple count.
+func TestWorkloadDeterminism(t *testing.T) {
+	w := &Workload{Source: "src", Tuples: 1000, Keys: 10, KeyPrefix: "w", Skew: 1.2}
+	a := w.expectedCounts(42, 1000)
+	b := (&Workload{Source: "src", Tuples: 1000, Keys: 10, KeyPrefix: "w", Skew: 1.2}).expectedCounts(42, 1000)
+	var total int64
+	for k, v := range a {
+		if b[k] != v {
+			t.Errorf("draw diverged at %s: %d vs %d", k, v, b[k])
+		}
+		total += v
+	}
+	if total != 1000 {
+		t.Errorf("oracle total = %d, want 1000", total)
+	}
+	// Skew concentrates mass on low-index words.
+	if a["w00"] <= a["w09"] {
+		t.Errorf("skew 1.2 but w00=%d <= w09=%d", a["w00"], a["w09"])
+	}
+	// A different seed draws a different workload.
+	c := w.expectedCounts(43, 1000)
+	same := true
+	for k, v := range a {
+		if c[k] != v {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("seeds 42 and 43 drew identical workloads")
+	}
+}
+
+// The generator and the oracle agree — injecting gen output reproduces
+// expectedCounts exactly, including across a burst boundary.
+func TestGeneratorMatchesOracle(t *testing.T) {
+	w := &Workload{Source: "src", Tuples: 300, Keys: 10, KeyPrefix: "w"}
+	got := make(map[string]int64)
+	gen := w.genFrom(7, 0)
+	for i := uint64(0); i < 300; i++ {
+		_, payload := gen(i)
+		got[payload.(string)]++
+	}
+	burst := w.genFrom(7, 300)
+	for i := uint64(0); i < 200; i++ {
+		_, payload := burst(i)
+		got[payload.(string)]++
+	}
+	want := w.expectedCounts(7, 500)
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("%s: generated %d, oracle %d", k, got[k], v)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+
+	"seep"
+)
+
+// The deterministic workload. Every tuple's word is a pure function of
+// (seed, global tuple index): index i hashes through splitmix64 into a
+// uniform fraction, which a zipf-like CDF over the vocabulary maps to a
+// word. The executor threads a global index across the initial
+// injection and every inject-burst, so the expected per-key counts are
+// computable up front by replaying the same pure function — that is the
+// oracle exact-counts assertions compare managed operator state
+// against, on every substrate.
+
+// splitmix64 is the SplitMix64 finalizer — a bijective hash with good
+// avalanche, the standard seed-expansion step.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// wordAt returns the vocabulary index for global tuple i: a zipf-like
+// draw with weight 1/(k+1)^skew (skew 0 = uniform).
+func (w *Workload) wordAt(seed int64, i uint64) int {
+	h := splitmix64(uint64(seed)*0x9e3779b97f4a7c15 + i)
+	u := float64(h>>11) / float64(1<<53) // uniform in [0, 1)
+	if w.Skew == 0 {
+		k := int(u * float64(w.Keys))
+		if k >= w.Keys {
+			k = w.Keys - 1
+		}
+		return k
+	}
+	cdf := w.cdf()
+	lo, hi := 0, len(cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cdf[mid] <= u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// cdf caches the skewed cumulative distribution over the vocabulary.
+func (w *Workload) cdf() []float64 {
+	if w.cdfCache != nil {
+		return w.cdfCache
+	}
+	weights := make([]float64, w.Keys)
+	var total float64
+	for k := 0; k < w.Keys; k++ {
+		weights[k] = 1 / math.Pow(float64(k+1), w.Skew)
+		total += weights[k]
+	}
+	cdf := make([]float64, w.Keys)
+	var acc float64
+	for k := 0; k < w.Keys; k++ {
+		acc += weights[k] / total
+		cdf[k] = acc
+	}
+	cdf[w.Keys-1] = 1
+	w.cdfCache = cdf
+	return cdf
+}
+
+// word renders vocabulary index k as its key string.
+func (w *Workload) word(k int) string {
+	return fmt.Sprintf("%s%02d", w.KeyPrefix, k)
+}
+
+// genFrom returns a seep.Generator drawing tuples [base, base+n) of the
+// global sequence. InjectBatch indexes each call from 0, so the base
+// offset keeps bursts on the same global sequence as the initial
+// injection.
+func (w *Workload) genFrom(seed int64, base uint64) seep.Generator {
+	return func(i uint64) (seep.Key, any) {
+		word := w.word(w.wordAt(seed, base+i))
+		return seep.KeyOfString(word), word
+	}
+}
+
+// expectedCounts replays the pure draw for tuples [0, total) and
+// returns the oracle per-word counts.
+func (w *Workload) expectedCounts(seed int64, total int) map[string]int64 {
+	out := make(map[string]int64, w.Keys)
+	for i := 0; i < total; i++ {
+		out[w.word(w.wordAt(seed, uint64(i)))]++
+	}
+	return out
+}

@@ -1,0 +1,360 @@
+package scenario
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// A hand-written parser for the YAML subset scenario files use. The
+// repo deliberately has zero dependencies, so rather than importing a
+// YAML library this parses exactly what the scenario schema needs:
+//
+//   - block mappings (`key: value`, `key:` + indented block)
+//   - block sequences (`- item`, including `- key: value` inline-map
+//     starts whose remaining keys continue on the following lines)
+//   - flow collections (`{a: 1, b: x}`, `[a, b]`), nestable
+//   - single- and double-quoted strings, `#` comments, blank lines
+//   - scalars typed as bool, int64, float64 or string (durations such
+//     as `500ms` stay strings; the schema layer parses them)
+//
+// Anchors, aliases, multi-document streams, multi-line scalars and tabs
+// are not YAML-subset features — they are parse errors, never silent
+// misreads.
+
+// parseYAML parses one document into map[string]any / []any / scalars.
+func parseYAML(src string) (any, error) {
+	var lines []yamlLine
+	for n, raw := range strings.Split(src, "\n") {
+		text, err := stripComment(raw)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", n+1, err)
+		}
+		if strings.TrimSpace(text) == "" {
+			continue
+		}
+		indent := 0
+		for indent < len(text) && text[indent] == ' ' {
+			indent++
+		}
+		if strings.ContainsRune(text[:indent], '\t') || (indent < len(text) && text[indent] == '\t') {
+			return nil, fmt.Errorf("line %d: tabs are not allowed for indentation", n+1)
+		}
+		lines = append(lines, yamlLine{num: n + 1, indent: indent, text: strings.TrimRight(text[indent:], " \t")})
+	}
+	if len(lines) == 0 {
+		return map[string]any{}, nil
+	}
+	p := &yamlParser{lines: lines}
+	v, err := p.parseBlock(lines[0].indent)
+	if err != nil {
+		return nil, err
+	}
+	if p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		return nil, fmt.Errorf("line %d: unexpected content %q (indentation does not match any open block)", l.num, l.text)
+	}
+	return v, nil
+}
+
+type yamlLine struct {
+	num    int
+	indent int
+	text   string
+}
+
+type yamlParser struct {
+	lines []yamlLine
+	pos   int
+}
+
+// parseBlock parses the run of lines at exactly the given indent as one
+// mapping or sequence.
+func (p *yamlParser) parseBlock(indent int) (any, error) {
+	if p.pos >= len(p.lines) {
+		return nil, fmt.Errorf("unexpected end of document")
+	}
+	l := p.lines[p.pos]
+	if l.indent != indent {
+		return nil, fmt.Errorf("line %d: expected indent %d, got %d", l.num, indent, l.indent)
+	}
+	if l.text == "-" || strings.HasPrefix(l.text, "- ") {
+		return p.parseSequence(indent)
+	}
+	return p.parseMapping(indent)
+}
+
+func (p *yamlParser) parseMapping(indent int) (any, error) {
+	m := make(map[string]any)
+	for p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		if l.indent < indent {
+			break
+		}
+		if l.indent > indent {
+			return nil, fmt.Errorf("line %d: unexpected indent %d inside a mapping at indent %d", l.num, l.indent, indent)
+		}
+		if l.text == "-" || strings.HasPrefix(l.text, "- ") {
+			break // a sequence at the same indent belongs to the parent key
+		}
+		key, rest, err := splitKey(l.text)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", l.num, err)
+		}
+		if _, dup := m[key]; dup {
+			return nil, fmt.Errorf("line %d: duplicate key %q", l.num, key)
+		}
+		p.pos++
+		if rest != "" {
+			v, err := parseScalar(rest)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %v", l.num, err)
+			}
+			m[key] = v
+			continue
+		}
+		// `key:` — the value is the following nested block (or null).
+		if p.pos < len(p.lines) && p.lines[p.pos].indent > indent {
+			v, err := p.parseBlock(p.lines[p.pos].indent)
+			if err != nil {
+				return nil, err
+			}
+			m[key] = v
+			continue
+		}
+		m[key] = nil
+	}
+	return m, nil
+}
+
+func (p *yamlParser) parseSequence(indent int) (any, error) {
+	var seq []any
+	for p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		if l.indent != indent || (l.text != "-" && !strings.HasPrefix(l.text, "- ")) {
+			break
+		}
+		rest := strings.TrimSpace(strings.TrimPrefix(l.text, "-"))
+		if rest == "" {
+			// `-` alone: the item is the following nested block.
+			p.pos++
+			if p.pos >= len(p.lines) || p.lines[p.pos].indent <= indent {
+				return nil, fmt.Errorf("line %d: empty sequence item", l.num)
+			}
+			v, err := p.parseBlock(p.lines[p.pos].indent)
+			if err != nil {
+				return nil, err
+			}
+			seq = append(seq, v)
+			continue
+		}
+		if k, _, err := splitKey(rest); err == nil && k != "" && !isFlow(rest) {
+			// `- key: value`: an inline mapping start. Re-anchor the line
+			// at the item body's column so the mapping parser consumes it
+			// and any continuation keys on the following lines.
+			itemIndent := indent + (len(l.text) - len(rest))
+			p.lines[p.pos] = yamlLine{num: l.num, indent: itemIndent, text: rest}
+			v, err := p.parseMapping(itemIndent)
+			if err != nil {
+				return nil, err
+			}
+			seq = append(seq, v)
+			continue
+		}
+		v, err := parseScalar(rest)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", l.num, err)
+		}
+		seq = append(seq, v)
+		p.pos++
+	}
+	return seq, nil
+}
+
+// splitKey splits `key: rest` at the first unquoted, un-nested colon
+// followed by a space or end of line.
+func splitKey(s string) (key, rest string, err error) {
+	idx := -1
+	depth := 0
+	var quote byte
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if quote != 0 {
+			if c == quote {
+				quote = 0
+			}
+			continue
+		}
+		switch c {
+		case '\'', '"':
+			quote = c
+		case '{', '[':
+			depth++
+		case '}', ']':
+			depth--
+		case ':':
+			if depth == 0 && (i+1 == len(s) || s[i+1] == ' ') {
+				idx = i
+			}
+		}
+		if idx >= 0 {
+			break
+		}
+	}
+	if idx < 0 {
+		return "", "", fmt.Errorf("expected `key: value`, got %q", s)
+	}
+	key = strings.TrimSpace(s[:idx])
+	if key == "" {
+		return "", "", fmt.Errorf("empty key in %q", s)
+	}
+	if (key[0] == '"' || key[0] == '\'') && len(key) >= 2 && key[len(key)-1] == key[0] {
+		key = key[1 : len(key)-1]
+	}
+	return key, strings.TrimSpace(s[idx+1:]), nil
+}
+
+func isFlow(s string) bool {
+	return strings.HasPrefix(s, "{") || strings.HasPrefix(s, "[")
+}
+
+// parseScalar types one value: flow collection, quoted string, bool,
+// null, number, or plain string.
+func parseScalar(s string) (any, error) {
+	s = strings.TrimSpace(s)
+	switch {
+	case s == "":
+		return nil, nil
+	case isFlow(s):
+		return parseFlow(s)
+	case s[0] == '"' || s[0] == '\'':
+		if len(s) < 2 || s[len(s)-1] != s[0] {
+			return nil, fmt.Errorf("unterminated quoted string %q", s)
+		}
+		return s[1 : len(s)-1], nil
+	case s == "true":
+		return true, nil
+	case s == "false":
+		return false, nil
+	case s == "null" || s == "~":
+		return nil, nil
+	case s == "&" || strings.HasPrefix(s, "&") || strings.HasPrefix(s, "*") || strings.HasPrefix(s, "|") || strings.HasPrefix(s, ">"):
+		return nil, fmt.Errorf("%q: anchors, aliases and block scalars are outside the supported YAML subset", s)
+	}
+	if n, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return n, nil
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return f, nil
+	}
+	return s, nil
+}
+
+// parseFlow parses `{k: v, ...}` and `[v, ...]`, nestable.
+func parseFlow(s string) (any, error) {
+	open, close := s[0], byte('}')
+	if open == '[' {
+		close = ']'
+	}
+	if s[len(s)-1] != close {
+		return nil, fmt.Errorf("unterminated flow collection %q", s)
+	}
+	inner := strings.TrimSpace(s[1 : len(s)-1])
+	parts, err := splitFlow(inner)
+	if err != nil {
+		return nil, err
+	}
+	if open == '[' {
+		seq := make([]any, 0, len(parts))
+		for _, part := range parts {
+			v, err := parseScalar(part)
+			if err != nil {
+				return nil, err
+			}
+			seq = append(seq, v)
+		}
+		return seq, nil
+	}
+	m := make(map[string]any, len(parts))
+	for _, part := range parts {
+		key, rest, err := splitKey(part)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := m[key]; dup {
+			return nil, fmt.Errorf("duplicate key %q in %q", key, s)
+		}
+		v, err := parseScalar(rest)
+		if err != nil {
+			return nil, err
+		}
+		m[key] = v
+	}
+	return m, nil
+}
+
+// splitFlow splits flow-collection content on top-level commas.
+func splitFlow(s string) ([]string, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var parts []string
+	depth, start := 0, 0
+	var quote byte
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if quote != 0 {
+			if c == quote {
+				quote = 0
+			}
+			continue
+		}
+		switch c {
+		case '\'', '"':
+			quote = c
+		case '{', '[':
+			depth++
+		case '}', ']':
+			depth--
+			if depth < 0 {
+				return nil, fmt.Errorf("unbalanced brackets in %q", s)
+			}
+		case ',':
+			if depth == 0 {
+				parts = append(parts, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	if quote != 0 {
+		return nil, fmt.Errorf("unterminated quote in %q", s)
+	}
+	if depth != 0 {
+		return nil, fmt.Errorf("unbalanced brackets in %q", s)
+	}
+	parts = append(parts, strings.TrimSpace(s[start:]))
+	return parts, nil
+}
+
+// stripComment removes a trailing `#` comment, respecting quotes.
+func stripComment(s string) (string, error) {
+	var quote byte
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if quote != 0 {
+			if c == quote {
+				quote = 0
+			}
+			continue
+		}
+		switch c {
+		case '\'', '"':
+			quote = c
+		case '#':
+			if i == 0 || s[i-1] == ' ' || s[i-1] == '\t' {
+				return s[:i], nil
+			}
+		}
+	}
+	return s, nil
+}

@@ -1,0 +1,99 @@
+package transport
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Link-level fault injection for the chaos harness (internal/scenario).
+// Faults are keyed by destination address and applied at the single
+// outbound choke point every frame crosses (Peer.writeLocked), so one
+// armed entry affects data batches, acks, control frames AND heartbeat
+// probes toward that host:
+//
+//   - a Slow fault delays each frame by the configured duration, which
+//     models a degraded link — heartbeat replies still flow (the
+//     listener's reply path is not a Peer), so as long as the delay is
+//     below the detection horizon the host is slow, not dead;
+//   - a Drop fault black-holes every frame toward the host, which models
+//     a network partition: the sender's heartbeat probes never arrive,
+//     replies never come back, and the failure detector declares the
+//     host down exactly as it would for a crashed VM. Dropped data
+//     batches are retained in upstream output buffers, so recovery
+//     replays them — a partition costs detection time, never data.
+//
+// The table is process-global (the in-process loopback cluster is the
+// test substrate) and nil when disarmed: the steady-state cost is one
+// atomic pointer load per frame, nothing else.
+
+// LinkFault describes one armed fault toward a destination address.
+type LinkFault struct {
+	// Delay is added before each frame toward the address is written.
+	Delay time.Duration
+	// Drop discards every frame toward the address instead of writing
+	// it (reported to the sender as success — the bytes vanished on the
+	// wire, exactly like a partition).
+	Drop bool
+}
+
+var (
+	faultMu    sync.Mutex
+	linkFaults atomic.Pointer[map[string]LinkFault]
+)
+
+// SetLinkFault arms (or replaces) the fault toward addr.
+func SetLinkFault(addr string, f LinkFault) {
+	faultMu.Lock()
+	defer faultMu.Unlock()
+	next := make(map[string]LinkFault)
+	if cur := linkFaults.Load(); cur != nil {
+		for a, lf := range *cur {
+			next[a] = lf
+		}
+	}
+	next[addr] = f
+	linkFaults.Store(&next)
+}
+
+// ClearLinkFault heals the link toward addr.
+func ClearLinkFault(addr string) {
+	faultMu.Lock()
+	defer faultMu.Unlock()
+	cur := linkFaults.Load()
+	if cur == nil {
+		return
+	}
+	if _, ok := (*cur)[addr]; !ok {
+		return
+	}
+	if len(*cur) == 1 {
+		linkFaults.Store(nil)
+		return
+	}
+	next := make(map[string]LinkFault, len(*cur)-1)
+	for a, lf := range *cur {
+		if a != addr {
+			next[a] = lf
+		}
+	}
+	linkFaults.Store(&next)
+}
+
+// ClearLinkFaults heals every armed link fault.
+func ClearLinkFaults() {
+	faultMu.Lock()
+	defer faultMu.Unlock()
+	linkFaults.Store(nil)
+}
+
+// faultFor returns the armed fault toward addr, if any. The disarmed
+// path is a single atomic load.
+func faultFor(addr string) (LinkFault, bool) {
+	m := linkFaults.Load()
+	if m == nil {
+		return LinkFault{}, false
+	}
+	f, ok := (*m)[addr]
+	return f, ok
+}

@@ -549,6 +549,20 @@ func (p *Peer) declareDown() {
 // writeLocked writes one frame and flushes under a write deadline.
 // Caller holds p.mu.
 func (p *Peer) writeLocked(frameType uint8, body []byte) error {
+	// Chaos-harness fault injection: the disarmed path is one atomic
+	// pointer load (see faults.go).
+	if f, ok := faultFor(p.addr); ok {
+		if f.Drop {
+			// Black-holed: the frame vanishes on the wire. Reported as
+			// success so the sender neither re-dials nor errors — data
+			// loss is covered by upstream retention and replay, and the
+			// silence is what trips the heartbeat failure detector.
+			return nil
+		}
+		if f.Delay > 0 {
+			time.Sleep(f.Delay)
+		}
+	}
 	if p.conn != nil && p.WriteTimeout > 0 {
 		_ = p.conn.SetWriteDeadline(time.Now().Add(p.WriteTimeout))
 	}

@@ -79,6 +79,33 @@ type Job interface {
 	MetricsSnapshot() Metrics
 }
 
+// LinkFaulter is an optional Job capability for link-level chaos: a Job
+// that also implements it can degrade or sever the links carrying
+// tuples toward an operator's instances. The scenario runner
+// (internal/scenario) type-asserts for it when executing `slow-link`
+// and `partition-link` events.
+//
+//   - Live implements SlowLink (per-hop delay inside the engine) but
+//     returns an error from PartitionLink: in-process channels cannot
+//     lose data, so a partition is unrepresentable there.
+//   - Distributed implements both at the transport layer: SlowLink
+//     delays every frame toward the workers hosting the operator;
+//     PartitionLink black-holes them, which starves the coordinator's
+//     heartbeat probes and drives the ordinary failure-detection and
+//     recovery path — a partition behaves exactly like a crashed VM.
+//   - Simulated does not implement the interface (virtual time has no
+//     links to fault).
+//
+// HealLinks removes every fault this job armed; Stop heals implicitly.
+type LinkFaulter interface {
+	// SlowLink adds delay to every delivery toward op's instances.
+	SlowLink(op OpID, delay time.Duration) error
+	// PartitionLink black-holes every delivery toward op's instances.
+	PartitionLink(op OpID) error
+	// HealLinks removes all link faults armed through this job.
+	HealLinks()
+}
+
 // Measurement types shared by both runtimes.
 type (
 	// Summary is a latency-distribution snapshot (count, mean, tail
@@ -295,6 +322,24 @@ func (j *liveJob) Fail(inst InstanceID) error {
 	}()
 	return nil
 }
+
+// SlowLink delays every delivery toward op's instances inside the
+// engine (the live runtime has no wire to fault).
+func (j *liveJob) SlowLink(op OpID, delay time.Duration) error {
+	if len(j.eng.Manager().Instances(op)) == 0 {
+		return fmt.Errorf("seep: no instances of operator %q", op)
+	}
+	j.eng.InjectLinkDelay(op, delay)
+	return nil
+}
+
+// PartitionLink is unrepresentable on the live runtime: in-process
+// channels never lose data, so a partition would be a silent no-op.
+func (j *liveJob) PartitionLink(op OpID) error {
+	return fmt.Errorf("seep: partition-link is not supported by the Live runtime (supported on: Distributed) — in-process channels cannot drop frames; use slow-link or Fail")
+}
+
+func (j *liveJob) HealLinks() { j.eng.ClearLinkFaults() }
 
 func (j *liveJob) ScaleOut(victim InstanceID, pi int) error {
 	return j.eng.ScaleOut(victim, pi)

@@ -143,8 +143,8 @@ func TestRuntimeParityWordCount(t *testing.T) {
 // TestRuntimeRejectsForeignOptions: options restricted to one substrate
 // are a deploy error on the other, never a silent no-op.
 func TestRuntimeRejectsForeignOptions(t *testing.T) {
-	if _, err := seep.Live(seep.WithSeed(1)).Deploy(wordcountTopology()); err == nil {
-		t.Error("Live accepted WithSeed")
+	if _, err := seep.Live(seep.WithNetDelay(time.Millisecond)).Deploy(wordcountTopology()); err == nil {
+		t.Error("Live accepted WithNetDelay")
 	}
 	if _, err := seep.Live(seep.WithFTMode(seep.FTUpstreamBackup)).Deploy(wordcountTopology()); err == nil {
 		t.Error("Live accepted WithFTMode")

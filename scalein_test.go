@@ -253,10 +253,10 @@ func TestOptionErrorsNameOptionAndSubstrates(t *testing.T) {
 	}{
 		{
 			deploy: func() error {
-				_, err := seep.Live(seep.WithSeed(1)).Deploy(wordcountTopology())
+				_, err := seep.Live(seep.WithFTMode(seep.FTUpstreamBackup)).Deploy(wordcountTopology())
 				return err
 			},
-			wantAll: []string{"WithSeed", "Simulated"},
+			wantAll: []string{"WithFTMode", "Simulated"},
 		},
 		{
 			// WithChannelBuffer applies to Live AND Distributed (workers
