@@ -135,10 +135,12 @@ func runCmd(args []string) int {
 				fmt.Printf("PASS %s [substrate %s, seed %d] sink=%d recoveries=%d merges=%d\n",
 					res.Scenario, res.Substrate, res.Seed,
 					res.Metrics.SinkTuples, len(res.Metrics.Recoveries), res.Metrics.Merges)
+				echoControlPlane(res)
 				continue
 			}
 			failed++
 			fmt.Printf("FAIL %s [substrate %s, seed %d]\n", res.Scenario, res.Substrate, res.Seed)
+			echoControlPlane(res)
 			for _, f := range res.Failures {
 				fmt.Printf("  %s\n", f)
 			}
@@ -149,6 +151,19 @@ func runCmd(args []string) int {
 		return 1
 	}
 	return 0
+}
+
+// echoControlPlane prints the Distributed coordinator's journal and
+// failover numbers under a scenario verdict — silent for runs without a
+// durable control plane, one glanceable line for failover scenarios.
+func echoControlPlane(res *scenario.Result) {
+	cp := res.Metrics.ControlPlane
+	if cp.JournalAppends == 0 && cp.ReplayRecords == 0 {
+		return
+	}
+	fmt.Printf("  control-plane: appends=%d bytes=%d rotations=%d fsync-max=%dµs replay=%d recs/%dms reattached=%d failover=%dms\n",
+		cp.JournalAppends, cp.JournalBytes, cp.Rotations, cp.FsyncMaxMicros,
+		cp.ReplayRecords, cp.ReplayMillis, cp.Reattached, cp.FailoverMillis)
 }
 
 func validateCmd(args []string) int {

@@ -52,10 +52,11 @@ func main() {
 	listen := flag.String("listen", "127.0.0.1:7701", "worker listen address")
 	drive := flag.String("drive", "", "comma-separated worker addresses: run the demo coordinator instead of a worker")
 	file := flag.String("scenario", "scenarios/dist-demo-external.yaml", "scenario file for -drive mode")
+	cpDir := flag.String("controlplane", "", "-drive mode: journal the coordinator's control plane into this dir (durable failover; needed by kill-coordinator scenarios)")
 	flag.Parse()
 
 	if *drive != "" {
-		runCoordinator(*file, strings.Split(*drive, ","))
+		runCoordinator(*file, strings.Split(*drive, ","), *cpDir)
 		return
 	}
 
@@ -68,7 +69,7 @@ func main() {
 	log.Printf("seep-worker %s: coordinator ordered shutdown", w.Addr())
 }
 
-func runCoordinator(file string, addrs []string) {
+func runCoordinator(file string, addrs []string, cpDir string) {
 	// The scenario declares the same topology the workers registered;
 	// the runner plans it across the listed addresses while workers
 	// instantiate the operators (and drive the source) from their own
@@ -78,10 +79,11 @@ func runCoordinator(file string, addrs []string) {
 		log.Fatal(err)
 	}
 	res, err := scenario.Run(s, scenario.RunConfig{
-		Substrate:    "dist",
-		WorkerAddrs:  addrs,
-		TopologyName: topoName,
-		Logf:         log.Printf,
+		Substrate:       "dist",
+		WorkerAddrs:     addrs,
+		TopologyName:    topoName,
+		ControlPlaneDir: cpDir,
+		Logf:            log.Printf,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -96,6 +98,10 @@ func runCoordinator(file string, addrs []string) {
 	}
 	fmt.Printf("frames sent:     %d (%.1f KiB)\n", m.Transport.FramesSent, float64(m.Transport.BytesSent)/1024)
 	fmt.Printf("frames received: %d (%.1f KiB)\n", m.Transport.FramesReceived, float64(m.Transport.BytesReceived)/1024)
+	if cp := m.ControlPlane; cp.JournalAppends > 0 || cp.ReplayRecords > 0 {
+		fmt.Printf("control plane:   appends=%d replay=%d recs reattached=%d failover=%dms\n",
+			cp.JournalAppends, cp.ReplayRecords, cp.Reattached, cp.FailoverMillis)
+	}
 	fmt.Printf("errors:          %v\n", m.Errors)
 	if res.OK() {
 		fmt.Printf("PASS %s [substrate dist, seed %d]\n", res.Scenario, res.Seed)

@@ -92,6 +92,8 @@ func (r *distRuntime) Deploy(t *Topology) (Job, error) {
 		RecoveryPi:         cfg.recoveryPi,
 		Policy:             cfg.policy,
 		ScaleIn:            cfg.scaleIn,
+		ControlPlaneDir:    cfg.controlPlaneDir,
+		StandbyAddr:        cfg.standbyAddr,
 	}
 
 	j := &distJob{}
@@ -123,6 +125,9 @@ func (r *distRuntime) Deploy(t *Topology) (Job, error) {
 		return nil, err
 	}
 	j.coord = coord
+	j.q = q
+	j.coordCfg = coordCfg
+	j.coordAddr = coord.Addr()
 	return j, nil
 }
 
@@ -137,13 +142,27 @@ func (r topoRegistry) Lookup(string) (*plan.Query, map[plan.OpID]operator.Factor
 
 // distJob adapts the coordinator + workers to the Job interface.
 type distJob struct {
-	coord   *dist.Coordinator
 	workers []*dist.Worker // empty for external deployments
 
+	// What a coordinator restart needs: the built query, the deploy-time
+	// config and the original coordinator's concrete listen address
+	// (restart-in-place — orphaned workers redial exactly there).
+	q         *plan.Query
+	coordCfg  dist.Config
+	coordAddr string
+
 	mu      sync.Mutex
+	coord   *dist.Coordinator // replaced by RestartCoordinator
 	started time.Time
 	stopped bool
 	faulted map[string]struct{} // worker addrs with an armed link fault
+}
+
+// co returns the current coordinator (RestartCoordinator swaps it).
+func (j *distJob) co() *dist.Coordinator {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.coord
 }
 
 func (j *distJob) killWorkers() {
@@ -152,11 +171,41 @@ func (j *distJob) killWorkers() {
 	}
 }
 
+// KillCoordinator crash-stops the coordinator — kill -9, no goodbye:
+// workers keep streaming worker-to-worker, go orphan on heartbeat loss
+// and buffer their checkpoint ships until a coordinator resumes them.
+func (j *distJob) KillCoordinator() error {
+	if j.coordCfg.ControlPlaneDir == "" {
+		return fmt.Errorf("seep: KillCoordinator requires WithControlPlaneDir (without a journal the coordinator cannot be restarted)")
+	}
+	j.co().Close()
+	return nil
+}
+
+// RestartCoordinator rebuilds the coordinator from its journal on the
+// dead one's address, reattaches the still-running workers without
+// restarting them, and rolls back any transition caught in flight.
+func (j *distJob) RestartCoordinator() error {
+	if j.coordCfg.ControlPlaneDir == "" {
+		return fmt.Errorf("seep: RestartCoordinator requires WithControlPlaneDir (without a journal there is no state to recover from)")
+	}
+	cfg := j.coordCfg
+	cfg.Addr = j.coordAddr
+	coord, err := dist.RecoverCoordinator(cfg, j.q)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	j.coord = coord
+	j.mu.Unlock()
+	return nil
+}
+
 func (j *distJob) Start() {
 	j.mu.Lock()
 	j.started = time.Now()
 	j.mu.Unlock()
-	_ = j.coord.StartJob()
+	_ = j.co().StartJob()
 }
 
 func (j *distJob) Stop() {
@@ -170,17 +219,17 @@ func (j *distJob) Stop() {
 	j.HealLinks()
 	// Let in-flight recoveries settle before tearing the cluster down.
 	deadline := time.Now().Add(5 * time.Second)
-	for j.coord.Pending() > 0 && time.Now().Before(deadline) {
+	for j.co().Pending() > 0 && time.Now().Before(deadline) {
 		time.Sleep(5 * time.Millisecond)
 	}
-	j.coord.StopJob()
-	j.coord.Close()
+	j.co().StopJob()
+	j.co().Close()
 	j.killWorkers()
 }
 
 func (j *distJob) Run(d time.Duration) {
 	deadline := time.Now().Add(d)
-	for j.coord.Pending() > 0 && time.Now().Before(deadline) {
+	for j.co().Pending() > 0 && time.Now().Before(deadline) {
 		time.Sleep(5 * time.Millisecond)
 	}
 	rem := time.Until(deadline)
@@ -204,7 +253,7 @@ func (j *distJob) quiesce(settle, timeout time.Duration) {
 	last := j.totalProcessed()
 	lastChange := time.Now()
 	for time.Now().Before(deadline) {
-		if j.coord.Pending() > 0 {
+		if j.co().Pending() > 0 {
 			lastChange = time.Now()
 		}
 		time.Sleep(settle / 4)
@@ -232,7 +281,7 @@ func (j *distJob) totalProcessed() uint64 {
 
 // workerHosting returns the in-process worker currently hosting inst.
 func (j *distJob) workerHosting(inst InstanceID) *dist.Worker {
-	addr := j.coord.PlacementOf(inst)
+	addr := j.co().PlacementOf(inst)
 	for _, w := range j.workers {
 		if w.Addr() == addr {
 			return w
@@ -242,7 +291,7 @@ func (j *distJob) workerHosting(inst InstanceID) *dist.Worker {
 }
 
 func (j *distJob) sourceInstance(op OpID) (InstanceID, error) {
-	insts := j.coord.Manager().Instances(op)
+	insts := j.co().Manager().Instances(op)
 	if len(insts) == 0 {
 		return InstanceID{}, fmt.Errorf("seep: no instances of operator %q", op)
 	}
@@ -273,19 +322,19 @@ func (j *distJob) InjectBatch(op OpID, count int, gen Generator) error {
 	return w.Engine().InjectBatch(inst, count, gen)
 }
 
-func (j *distJob) Fail(inst InstanceID) error { return j.coord.Fail(inst) }
+func (j *distJob) Fail(inst InstanceID) error { return j.co().Fail(inst) }
 
 // hostAddrs returns the distinct worker addresses hosting op's live
 // instances.
 func (j *distJob) hostAddrs(op OpID) ([]string, error) {
-	insts := j.coord.Manager().Instances(op)
+	insts := j.co().Manager().Instances(op)
 	if len(insts) == 0 {
 		return nil, fmt.Errorf("seep: no instances of operator %q", op)
 	}
 	seen := make(map[string]struct{})
 	var addrs []string
 	for _, inst := range insts {
-		addr := j.coord.PlacementOf(inst)
+		addr := j.co().PlacementOf(inst)
 		if addr == "" {
 			continue
 		}
@@ -348,14 +397,14 @@ func (j *distJob) HealLinks() {
 }
 
 func (j *distJob) ScaleOut(victim InstanceID, pi int) error {
-	return j.coord.ScaleOut(victim, pi)
+	return j.co().ScaleOut(victim, pi)
 }
 
 func (j *distJob) ScaleIn(victims []InstanceID) error {
-	return j.coord.ScaleIn(victims)
+	return j.co().ScaleIn(victims)
 }
 
-func (j *distJob) Instances(op OpID) []InstanceID { return j.coord.Manager().Instances(op) }
+func (j *distJob) Instances(op OpID) []InstanceID { return j.co().Manager().Instances(op) }
 
 func (j *distJob) OperatorOf(inst InstanceID) any {
 	w := j.workerHosting(inst)
@@ -385,7 +434,7 @@ func (j *distJob) MetricsSnapshot() Metrics {
 	}
 	j.mu.Unlock()
 
-	recs := j.coord.Records()
+	recs := j.co().Records()
 	out := make([]RecoveryRecord, len(recs))
 	for i, r := range recs {
 		out[i] = RecoveryRecord{
@@ -400,12 +449,13 @@ func (j *distJob) MetricsSnapshot() Metrics {
 	}
 	m := Metrics{
 		ElapsedMillis: elapsed,
-		Parallelism:   parallelismOf(j.coord.Manager().Query(), func(op OpID) int { return j.coord.Manager().Parallelism(op) }),
+		Parallelism:   parallelismOf(j.co().Manager().Query(), func(op OpID) int { return j.co().Manager().Parallelism(op) }),
 		Recoveries:    out,
-		Merges:        j.coord.Merges(),
-		Checkpoints:   j.coord.Manager().Backups().ShipStats(),
-		Errors:        j.coord.Errors(),
-		Transport:     j.coord.TransportStats(),
+		Merges:        j.co().Merges(),
+		Checkpoints:   j.co().Manager().Backups().ShipStats(),
+		Errors:        j.co().Errors(),
+		Transport:     j.co().TransportStats(),
+		ControlPlane:  j.co().ControlPlaneStats(),
 	}
 	if len(j.workers) > 0 {
 		// In-process workers: read engine counters directly. Latency is
@@ -429,7 +479,7 @@ func (j *distJob) MetricsSnapshot() Metrics {
 	}
 	// External workers: aggregate the counters piggybacked on their
 	// utilisation reports (requires WithPolicy to stream reports).
-	for _, s := range j.coord.WorkerStatsSnapshot() {
+	for _, s := range j.co().WorkerStatsSnapshot() {
 		m.SinkTuples += s.SinkTuples
 		m.DuplicatesDropped += s.DupDropped
 		m.Transport = m.Transport.Add(s.Transport)

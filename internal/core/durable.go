@@ -30,11 +30,32 @@ type DurableStore struct {
 // NewDurableStore creates (or reuses) the directory and wraps a fresh
 // in-memory backup store.
 func NewDurableStore(dir string, codec state.PayloadCodec) (*DurableStore, error) {
+	return NewDurableStoreOver(NewBackupStore(), dir, codec)
+}
+
+// NewDurableStoreOver layers disk persistence over an existing backup
+// store. The coordinator uses this to make the manager's own store
+// durable without doubling checkpoints in memory.
+func NewDurableStoreOver(bs *BackupStore, dir string, codec state.PayloadCodec) (*DurableStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("core: create checkpoint dir: %w", err)
 	}
-	return &DurableStore{BackupStore: NewBackupStore(), dir: dir, codec: codec}, nil
+	return &DurableStore{BackupStore: bs, dir: dir, codec: codec}, nil
 }
+
+// CorruptCheckpointError marks a checkpoint file LoadAll could not read
+// or decode — a torn write from a crash, or disk rot. The file is
+// skipped so the rest of the directory still recovers.
+type CorruptCheckpointError struct {
+	File string
+	Err  error
+}
+
+func (e *CorruptCheckpointError) Error() string {
+	return fmt.Sprintf("core: corrupt checkpoint %s: %v", e.File, e.Err)
+}
+
+func (e *CorruptCheckpointError) Unwrap() error { return e.Err }
 
 func (s *DurableStore) fileFor(owner plan.InstanceID) string {
 	name := fmt.Sprintf("%s-%d.ckpt", sanitize(string(owner.Op)), owner.Part)
@@ -55,6 +76,17 @@ func sanitize(s string) string {
 // write fails the in-memory store is not updated, so Latest never claims
 // durability it does not have.
 func (s *DurableStore) Store(host plan.InstanceID, cp *state.Checkpoint) error {
+	if err := s.Persist(cp); err != nil {
+		return err
+	}
+	return s.BackupStore.Store(host, cp)
+}
+
+// Persist writes the checkpoint to disk without touching the in-memory
+// store. The coordinator uses this for checkpoints the manager already
+// holds in memory (plan-time victim state) so the durable-file ordering
+// invariant — files on disk before the plan is journaled — holds.
+func (s *DurableStore) Persist(cp *state.Checkpoint) error {
 	if err := cp.Validate(); err != nil {
 		return err
 	}
@@ -73,7 +105,7 @@ func (s *DurableStore) Store(host plan.InstanceID, cp *state.Checkpoint) error {
 	if err != nil {
 		return fmt.Errorf("core: persist checkpoint: %w", err)
 	}
-	return s.BackupStore.Store(host, cp)
+	return nil
 }
 
 // Delete removes the backup from memory and disk.
@@ -98,33 +130,38 @@ func (s *DurableStore) Load(owner plan.InstanceID) (*state.Checkpoint, error) {
 
 // LoadAll repopulates the in-memory store from every checkpoint file in
 // the directory, attributing each to the given host chooser (typically
-// Manager.BackupTarget). Returns the recovered owners.
-func (s *DurableStore) LoadAll(hostFor func(owner plan.InstanceID) (plan.InstanceID, error)) ([]plan.InstanceID, error) {
+// Manager.BackupTarget). A file that cannot be read or decoded — torn
+// by a crash mid-write, or rotted on disk — is skipped and reported in
+// skipped rather than failing the whole recovery: losing one backup
+// costs a replay from that instance's upstreams, losing the recovery
+// costs the job. Only a directory scan failure is fatal.
+func (s *DurableStore) LoadAll(hostFor func(owner plan.InstanceID) (plan.InstanceID, error)) (owners []plan.InstanceID, skipped []*CorruptCheckpointError, err error) {
 	entries, err := os.ReadDir(s.dir)
 	if err != nil {
-		return nil, fmt.Errorf("core: scan checkpoint dir: %w", err)
+		return nil, nil, fmt.Errorf("core: scan checkpoint dir: %w", err)
 	}
-	var out []plan.InstanceID
 	for _, ent := range entries {
 		if ent.IsDir() || !strings.HasSuffix(ent.Name(), ".ckpt") {
 			continue
 		}
 		b, err := os.ReadFile(filepath.Join(s.dir, ent.Name()))
 		if err != nil {
-			return out, err
+			skipped = append(skipped, &CorruptCheckpointError{File: ent.Name(), Err: err})
+			continue
 		}
 		cp, err := state.DecodeCheckpoint(stream.NewDecoder(b), s.codec)
 		if err != nil {
-			return out, fmt.Errorf("core: corrupt checkpoint %s: %w", ent.Name(), err)
+			skipped = append(skipped, &CorruptCheckpointError{File: ent.Name(), Err: err})
+			continue
 		}
 		host, err := hostFor(cp.Instance)
 		if err != nil {
 			continue
 		}
 		if err := s.BackupStore.Store(host, cp); err != nil {
-			return out, err
+			return owners, skipped, err
 		}
-		out = append(out, cp.Instance)
+		owners = append(owners, cp.Instance)
 	}
-	return out, nil
+	return owners, skipped, nil
 }

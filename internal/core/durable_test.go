@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
@@ -92,9 +93,12 @@ func TestDurableStoreRoundTrip(t *testing.T) {
 	if _, _, ok := s2.Latest(owner); ok {
 		t.Fatal("fresh store should start empty in memory")
 	}
-	recovered, err := s2.LoadAll(func(plan.InstanceID) (plan.InstanceID, error) { return host, nil })
+	recovered, skipped, err := s2.LoadAll(func(plan.InstanceID) (plan.InstanceID, error) { return host, nil })
 	if err != nil {
 		t.Fatal(err)
+	}
+	if len(skipped) != 0 {
+		t.Fatalf("skipped = %v", skipped)
 	}
 	if len(recovered) != 1 || recovered[0] != owner {
 		t.Fatalf("recovered = %v", recovered)
@@ -136,8 +140,68 @@ func TestDurableStoreCorruptFile(t *testing.T) {
 	if err := os.WriteFile(filepath.Join(dir, "bogus.ckpt"), []byte("junk"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.LoadAll(func(plan.InstanceID) (plan.InstanceID, error) { return inst("u", 1), nil }); err == nil {
-		t.Error("corrupt checkpoint accepted")
+	owners, skipped, err := s.LoadAll(func(plan.InstanceID) (plan.InstanceID, error) { return inst("u", 1), nil })
+	if err != nil {
+		t.Fatalf("corrupt checkpoint should skip, not fail: %v", err)
+	}
+	if len(owners) != 0 {
+		t.Errorf("owners = %v", owners)
+	}
+	if len(skipped) != 1 || skipped[0].File != "bogus.ckpt" || skipped[0].Err == nil {
+		t.Errorf("skipped = %v", skipped)
+	}
+}
+
+// TestDurableStoreTruncatedFile proves a torn write — a crash mid-
+// checkpoint — costs exactly that checkpoint: the rest of the directory
+// still loads, and the torn file is reported with a typed error.
+func TestDurableStoreTruncatedFile(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewDurableStore(dir, state.StringPayloadCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	host := inst("split", 1)
+	good := inst("count", 1)
+	torn := inst("count", 2)
+	if err := s.Store(host, mkBufferedCheckpoint(good)); err != nil {
+		t.Fatal(err)
+	}
+	cp := mkBufferedCheckpoint(torn)
+	cp.Instance = torn
+	if err := s.Store(host, cp); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate the second checkpoint mid-file.
+	path := filepath.Join(dir, "count-2.ckpt")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := NewDurableStore(dir, state.StringPayloadCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	owners, skipped, err := s2.LoadAll(func(plan.InstanceID) (plan.InstanceID, error) { return host, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(owners) != 1 || owners[0] != good {
+		t.Fatalf("owners = %v, want only %v", owners, good)
+	}
+	if len(skipped) != 1 || skipped[0].File != "count-2.ckpt" {
+		t.Fatalf("skipped = %v", skipped)
+	}
+	var ce *CorruptCheckpointError
+	if !errors.As(error(skipped[0]), &ce) {
+		t.Fatalf("skipped entry is not a CorruptCheckpointError: %T", skipped[0])
+	}
+	if got, _, ok := s2.Latest(good); !ok || got.Buffer.Len() != 2 {
+		t.Error("surviving checkpoint did not load intact")
 	}
 }
 

@@ -107,6 +107,37 @@ func NewManager(q *plan.Query) (*Manager, error) {
 	return m, nil
 }
 
+// RestoreTopology replaces the manager's execution graph and routing
+// wholesale with journaled control-plane state — the restore half of a
+// durable control plane. The partition counters must dominate the live
+// instances' partition numbers (see plan.RestoreExecGraph); routing
+// must cover exactly the live instances of each routed operator.
+func (m *Manager) RestoreTopology(instances map[plan.OpID][]plan.InstanceID, nextPart map[plan.OpID]int, routing map[plan.OpID]*state.Routing) error {
+	graph, err := plan.RestoreExecGraph(m.query, instances, nextPart)
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.graph = graph
+	m.routing = make(map[plan.OpID]*state.Routing, len(routing))
+	for op, r := range routing {
+		if m.query.Op(op) == nil {
+			return fmt.Errorf("core: restore: unknown operator %q", op)
+		}
+		m.routing[op] = r.Clone()
+	}
+	return nil
+}
+
+// NextPart returns the next unused partition number of op (journaled by
+// the durable control plane; see plan.ExecGraph.NextPart).
+func (m *Manager) NextPart(op plan.OpID) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.graph.NextPart(op)
+}
+
 // Query returns the logical query graph.
 func (m *Manager) Query() *plan.Query { return m.query }
 

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"seep/internal/control"
+	"seep/internal/controlplane"
 	"seep/internal/core"
 	"seep/internal/plan"
 	"seep/internal/state"
@@ -48,6 +49,24 @@ type Config struct {
 	// TransitionTimeout bounds each stage of a recovery/scale-out
 	// transition (default 10 s).
 	TransitionTimeout time.Duration
+
+	// ControlPlaneDir, when set, makes the control plane durable: every
+	// control-plane mutation is journaled to an fsynced write-ahead log
+	// in this directory, shipped checkpoints are persisted beside it
+	// through core.DurableStore, and RecoverCoordinator can rebuild a
+	// dead coordinator from the directory alone.
+	ControlPlaneDir string
+	// StandbyAddr, advertised to workers on assignment, is where an
+	// orphaned worker re-dials after coordinator death (typically the
+	// address a cold-standby coordinator will listen on — often the
+	// coordinator's own address, reused by its replacement). Empty
+	// disables the worker-side redial loop; a reborn coordinator can
+	// still reach workers itself via MsgResume.
+	StandbyAddr string
+	// JournalHook, when set, runs after every journal append; returning
+	// true crash-stops the coordinator at exactly that record, modelling
+	// coordinator death at a precise point in a transition (tests).
+	JournalHook func(controlplane.Kind) bool
 }
 
 func (c Config) withDefaults() Config {
@@ -117,6 +136,9 @@ type transition struct {
 	// Merge transitions (scale in).
 	merge   bool
 	victims []plan.InstanceID
+	// reattach marks the reborn coordinator's reconciliation handshake:
+	// waiting counts MsgReattach inventories rather than MsgAck replies.
+	reattach bool
 	// retireSent/planned/mergedInst/newInsts track how far a scaling
 	// transition got, so any abort — worker death, stage timeout, a
 	// retire or reroute acknowledgement error — falls back to the
@@ -161,11 +183,23 @@ type Coordinator struct {
 	seq        uint64
 	expectDown map[string]bool
 	startAt    time.Time
+	// dead marks a JournalHook-induced crash: the loop stops executing
+	// control logic mid-statement, exactly like kill -9.
+	dead bool
+	// invByWorker collects MsgReattach inventories during the reborn
+	// coordinator's reconciliation handshake.
+	invByWorker map[string]*Control
 	// legacyOwner maps a retired merge victim to the merge product that
 	// carries its legacy output buffer, so acknowledgement trims
 	// addressed to the old identity reach the worker hosting it (the
 	// chain is chased: a merge product may itself have been replaced).
 	legacyOwner map[plan.InstanceID]plan.InstanceID
+
+	// Durable control plane (nil when Config.ControlPlaneDir is unset).
+	// The Journal is internally locked; jn/dstore themselves are set
+	// once at construction/deploy.
+	jn     *controlplane.Journal
+	dstore *core.DurableStore
 
 	// Published snapshots for cross-goroutine readers.
 	mu           sync.Mutex
@@ -175,6 +209,12 @@ type Coordinator struct {
 	merges       uint64
 	pubPlacement map[plan.InstanceID]string
 	workerStats  map[string]WorkerStats
+	// Control-plane replay/failover numbers (zero unless this
+	// coordinator was built by RecoverCoordinator).
+	replayRecords  int
+	replayMillis   int64
+	reattached     int
+	failoverMillis int64
 }
 
 type workerRef struct {
@@ -186,7 +226,13 @@ type workerRef struct {
 // NewCoordinator opens the coordinator's listener and starts its event
 // loop. Deploy attaches the query and workers.
 func NewCoordinator(cfg Config) (*Coordinator, error) {
-	cfg = cfg.withDefaults()
+	return newCoordinator(cfg.withDefaults())
+}
+
+// newCoordinator builds the shell every coordinator shares — journal,
+// listener, event loop — for both the fresh-deploy and the
+// journal-recovery entry points.
+func newCoordinator(cfg Config) (*Coordinator, error) {
 	c := &Coordinator{
 		cfg:          cfg,
 		codec:        cfg.Codec,
@@ -206,6 +252,13 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 			c.shrinker = control.NewScaleInDetector(*cfg.ScaleIn)
 		}
 	}
+	if cfg.ControlPlaneDir != "" {
+		jn, err := controlplane.Open(cfg.ControlPlaneDir)
+		if err != nil {
+			return nil, err
+		}
+		c.jn = jn
+	}
 	ln, err := transport.ListenWith(cfg.Addr, cfg.Codec, transport.Handlers{
 		OnControl: func(body []byte) {
 			ctl, err := decodeControl(body)
@@ -216,6 +269,9 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 		},
 	}, c.tm)
 	if err != nil {
+		if c.jn != nil {
+			_ = c.jn.Close()
+		}
 		return nil, err
 	}
 	c.ln = ln
@@ -302,6 +358,125 @@ func (c *Coordinator) nowMillis() int64 {
 	return time.Since(c.startAt).Milliseconds()
 }
 
+// journal appends one record to the WAL (a no-op without a control-plane
+// dir) and reports whether the coordinator survived the append: the
+// JournalHook crash point models coordinator death at exactly that
+// record, and every caller must stop dead on false — nothing after a
+// crash point may execute, like a kill -9 between two statements.
+func (c *Coordinator) journal(rec *controlplane.Record) bool {
+	if c.dead {
+		return false
+	}
+	if c.jn == nil {
+		return true
+	}
+	if err := c.jn.Append(rec); err != nil {
+		// A journal write failure must not take the data path down; the
+		// job keeps running with a stale journal and the gap surfaces.
+		c.pushErr("dist: journal %s: %v", rec.Kind, err)
+		return true
+	}
+	if c.cfg.JournalHook != nil && c.cfg.JournalHook(rec.Kind) {
+		c.crash()
+		return false
+	}
+	return true
+}
+
+// crash models kill -9 from inside the event loop: stop everything
+// without another line of control logic. Runs on the loop goroutine, so
+// it must not wait for the loop itself; loop() exits on the closed quit
+// after the current event unwinds.
+func (c *Coordinator) crash() {
+	c.dead = true
+	select {
+	case <-c.quit:
+	default:
+		close(c.quit)
+	}
+	c.ln.Close()
+	for _, ref := range c.workers {
+		if ref.peer != nil {
+			ref.peer.Close()
+		}
+	}
+	if c.jn != nil {
+		_ = c.jn.Close()
+	}
+}
+
+// snapshotState assembles a self-contained control-plane snapshot from
+// the loop-owned state (callable only on the loop goroutine). Slices
+// are sorted so identical states encode identically.
+func (c *Coordinator) snapshotState() *controlplane.State {
+	st := &controlplane.State{
+		Topology: c.cfg.Topology,
+		Workers:  append([]string(nil), c.order...),
+		NextSeq:  c.seq,
+		Started:  !c.startAt.IsZero(),
+	}
+	if st.Started {
+		st.StartUnixMillis = c.startAt.UnixMilli()
+	}
+	for inst, addr := range c.placement {
+		st.Placements = append(st.Placements, controlplane.Placed{Inst: inst, Addr: addr})
+	}
+	sort.Slice(st.Placements, func(i, j int) bool {
+		a, b := st.Placements[i].Inst, st.Placements[j].Inst
+		if a.Op != b.Op {
+			return a.Op < b.Op
+		}
+		return a.Part < b.Part
+	})
+	for _, op := range c.q.Ops() {
+		st.Instances = append(st.Instances, controlplane.OpInstances{Op: op, Insts: c.mgr.Instances(op)})
+		st.NextPart = append(st.NextPart, controlplane.OpPart{Op: op, Next: c.mgr.NextPart(op)})
+		if r := c.mgr.Routing(op); r != nil {
+			st.Routing = append(st.Routing, controlplane.OpRouting{Op: op, Blob: encodeRouting(r)})
+		}
+	}
+	for old, owner := range c.legacyOwner {
+		st.Legacy = append(st.Legacy, controlplane.LegacyPair{Old: old, Owner: owner})
+	}
+	sort.Slice(st.Legacy, func(i, j int) bool {
+		a, b := st.Legacy[i].Old, st.Legacy[j].Old
+		if a.Op != b.Op {
+			return a.Op < b.Op
+		}
+		return a.Part < b.Part
+	})
+	return st
+}
+
+// maybeRotate compacts the journal to one snapshot record when it has
+// grown past a megabyte and the control plane is quiescent (no
+// transition in flight whose intent record a rotation would erase).
+func (c *Coordinator) maybeRotate() {
+	if c.jn == nil || c.dead || c.trans != nil || len(c.queue) > 0 || c.mgr == nil {
+		return
+	}
+	if c.jn.Size() <= 1<<20 {
+		return
+	}
+	if err := c.jn.Rotate(c.snapshotState(), c.seq); err != nil {
+		c.pushErr("dist: rotate journal: %v", err)
+	}
+}
+
+// standbyAddr is where orphaned workers re-dial after coordinator death.
+// With a durable control plane and no explicit standby, workers redial
+// the coordinator's own address — the restart-in-place pattern, where a
+// reborn coordinator listens where the old one did.
+func (c *Coordinator) standbyAddr() string {
+	if c.cfg.StandbyAddr != "" {
+		return c.cfg.StandbyAddr
+	}
+	if c.cfg.ControlPlaneDir != "" {
+		return c.ln.Addr()
+	}
+	return ""
+}
+
 // ---- public operations (cross-goroutine) ----
 
 // Deploy dials the workers, computes the placement and installs the
@@ -337,6 +512,9 @@ func (c *Coordinator) beginStart(done chan error) {
 	t := &transition{seq: c.nextSeq(), done: done}
 	c.trans = t
 	c.startAt = time.Now()
+	if !c.journal(&controlplane.Record{Kind: controlplane.RecStart, Seq: t.seq, StartUnixMillis: c.startAt.UnixMilli()}) {
+		return
+	}
 	// Per-worker sends, each carrying the coordinator's job clock at
 	// send time: the worker offsets its engine clock by it, so Born
 	// stamps and latency observations across workers share the
@@ -505,6 +683,23 @@ func (c *Coordinator) WorkerStatsSnapshot() map[string]WorkerStats {
 // TransportStats snapshots the coordinator's own transport counters.
 func (c *Coordinator) TransportStats() transport.Stats { return c.tm.Snapshot() }
 
+// ControlPlaneStats snapshots journal traffic, fsync latency and — for
+// a coordinator built by RecoverCoordinator — replay and failover
+// timings. Zero-valued when no control-plane dir is configured.
+func (c *Coordinator) ControlPlaneStats() controlplane.Stats {
+	var st controlplane.Stats
+	if c.jn != nil {
+		st = c.jn.Stats()
+	}
+	c.mu.Lock()
+	st.ReplayRecords = c.replayRecords
+	st.ReplayMillis = c.replayMillis
+	st.Reattached = c.reattached
+	st.FailoverMillis = c.failoverMillis
+	c.mu.Unlock()
+	return st
+}
+
 // Manager exposes the authoritative query manager (instances,
 // parallelism, backup-store ship stats).
 func (c *Coordinator) Manager() *core.Manager { return c.mgr }
@@ -522,7 +717,12 @@ func (c *Coordinator) Close() {
 	c.loopWG.Wait()
 	c.ln.Close()
 	for _, ref := range c.workers {
-		ref.peer.Close()
+		if ref.peer != nil {
+			ref.peer.Close()
+		}
+	}
+	if c.jn != nil {
+		_ = c.jn.Close()
 	}
 }
 
@@ -539,21 +739,20 @@ func (c *Coordinator) startDeploy(q *plan.Query, addrs []string, done chan error
 		return
 	}
 	c.q, c.mgr = q, mgr
+	if c.cfg.ControlPlaneDir != "" {
+		ds, err := core.NewDurableStoreOver(mgr.Backups(), c.cfg.ControlPlaneDir, c.codec)
+		if err != nil {
+			done <- err
+			return
+		}
+		c.dstore = ds
+	}
 	for _, addr := range addrs {
-		peer, err := transport.DialWith(addr, c.codec, c.tm)
+		peer, err := c.dialWorker(addr)
 		if err != nil {
 			done <- fmt.Errorf("dist: worker %s: %w", addr, err)
 			return
 		}
-		hb := c.cfg.DetectDelay / 3
-		if hb < 10*time.Millisecond {
-			hb = 10 * time.Millisecond
-		}
-		peer.HeartbeatEvery = hb
-		peer.MissLimit = 2
-		a := addr
-		peer.OnDown = func() { c.post(event{kind: evDown, addr: a}) }
-		peer.StartHeartbeat()
 		c.workers[addr] = &workerRef{addr: addr, peer: peer, alive: true}
 		c.order = append(c.order, addr)
 	}
@@ -571,6 +770,12 @@ func (c *Coordinator) startDeploy(q *plan.Query, addrs []string, done chan error
 	}
 	t := &transition{seq: c.nextSeq(), done: done}
 	c.trans = t
+	// The deployment snapshot goes to the WAL before any worker sees the
+	// plan: a coordinator that dies past this point replays a placement
+	// that is a superset of what workers know, never the reverse.
+	if !c.journal(&controlplane.Record{Kind: controlplane.RecDeploy, Seq: t.seq, State: c.snapshotState()}) {
+		return
+	}
 	ctl := &Control{
 		Kind:              MsgAssign,
 		Seq:               t.seq,
@@ -582,6 +787,8 @@ func (c *Coordinator) startDeploy(q *plan.Query, addrs []string, done chan error
 		BatchSize:         c.cfg.BatchSize,
 		BatchLingerMillis: c.cfg.BatchLinger.Milliseconds(),
 		ChannelBuffer:     c.cfg.ChannelBuffer,
+		StandbyAddr:       c.standbyAddr(),
+		DetectMillis:      c.cfg.DetectDelay.Milliseconds(),
 	}
 	if c.cfg.Policy != nil {
 		ctl.ReportEveryMillis = c.cfg.Policy.ReportEveryMillis
@@ -669,7 +876,14 @@ func (c *Coordinator) finish(t *transition, err error) {
 		return
 	}
 	c.trans = nil
+	// The closing record lands before the rollback runs: a coordinator
+	// that dies right after the abort record replays with the transition
+	// closed, and its rollback happens through reconciliation instead —
+	// the journal never claims a rollback that did not run.
 	if err != nil {
+		if !c.journal(&controlplane.Record{Kind: controlplane.RecAbort, Seq: t.seq, Reason: err.Error()}) {
+			return
+		}
 		c.pushErr("%v", err)
 		if t.scaleOut && c.det != nil {
 			c.det.Unmute(t.victim)
@@ -679,6 +893,8 @@ func (c *Coordinator) finish(t *transition, err error) {
 		// not strand what it left behind: hand it to the normal recovery
 		// path. This may start a new transition immediately.
 		c.recoverAfterAbort(t)
+	} else if !c.journal(&controlplane.Record{Kind: controlplane.RecCommit, Seq: t.seq}) {
+		return
 	}
 	if t.done != nil {
 		t.done <- err
@@ -688,6 +904,7 @@ func (c *Coordinator) finish(t *transition, err error) {
 		c.queue = c.queue[1:]
 		next()
 	}
+	c.maybeRotate()
 }
 
 // recoverAfterAbort enqueues recovery of everything an aborted
@@ -775,6 +992,8 @@ func (c *Coordinator) onControl(ctl *Control) {
 		c.workerStats[ctl.From] = ctl.Stats
 		c.mu.Unlock()
 		c.onReports(ctl.Reports)
+	case MsgReattach:
+		c.onReattach(ctl)
 	}
 }
 
@@ -799,7 +1018,16 @@ func (c *Coordinator) storeShip(ctl *Control) (plan.InstanceID, bool) {
 	if err != nil {
 		return plan.InstanceID{}, false
 	}
-	if err := c.mgr.Backups().Store(host, cp); err != nil {
+	if c.dstore != nil {
+		if err := c.dstore.Store(host, cp); err != nil {
+			c.pushErr("dist: persist shipped checkpoint for %s: %v", cp.Instance, err)
+			return plan.InstanceID{}, false
+		}
+		if !c.journal(&controlplane.Record{Kind: controlplane.RecShip, Ship: &controlplane.ShipMark{Inst: cp.Instance, Seq: cp.Seq, Bytes: len(ctl.Checkpoint)}}) {
+			return plan.InstanceID{}, false
+		}
+		c.maybeRotate()
+	} else if err := c.mgr.Backups().Store(host, cp); err != nil {
 		return plan.InstanceID{}, false
 	}
 	for up, ts := range cp.Acks {
@@ -884,7 +1112,9 @@ func (c *Coordinator) onWorkerDown(addr string) {
 		return
 	}
 	ref.alive = false
-	ref.peer.Close()
+	if ref.peer != nil {
+		ref.peer.Close()
+	}
 	delete(c.expectDown, addr)
 	// A merge in flight cannot outlive a worker death: abort it and fall
 	// back to the normal recovery path for whatever it left behind —
@@ -892,7 +1122,13 @@ func (c *Coordinator) onWorkerDown(addr string) {
 	// checkpoints; a planned merge product recovers from the stored
 	// merged checkpoint (which carries the victims' legacy buffers).
 	c.abortMergeOnDown(addr)
-	// Gather the dead worker's instances in deterministic order.
+	c.gatherLost(addr)
+}
+
+// gatherLost enqueues recovery for every instance placed on a worker
+// that is gone, in deterministic order — shared by heartbeat death and
+// failover reconciliation of workers that could not be re-dialed.
+func (c *Coordinator) gatherLost(addr string) {
 	var victims []plan.InstanceID
 	for inst, a := range c.placement {
 		if a != addr {
@@ -911,12 +1147,7 @@ func (c *Coordinator) onWorkerDown(addr string) {
 		}
 		victims = append(victims, inst)
 	}
-	sort.Slice(victims, func(i, j int) bool {
-		if victims[i].Op != victims[j].Op {
-			return victims[i].Op < victims[j].Op
-		}
-		return victims[i].Part < victims[j].Part
-	})
+	sortInstances(victims)
 	startedAt := c.nowMillis()
 	for _, v := range victims {
 		victim := v
@@ -928,6 +1159,9 @@ func (c *Coordinator) onWorkerDown(addr string) {
 func (c *Coordinator) beginRecover(victim plan.InstanceID, startedAt int64) {
 	t := &transition{victim: victim, seq: c.nextSeq()}
 	c.trans = t
+	if !c.journal(&controlplane.Record{Kind: controlplane.RecIntent, Seq: t.seq, Action: "recover", Victims: []plan.InstanceID{victim}, Pi: c.cfg.RecoveryPi}) {
+		return
+	}
 	c.continueReplace(t, victim, c.cfg.RecoveryPi, true, startedAt)
 }
 
@@ -958,6 +1192,11 @@ func (c *Coordinator) beginScaleOut(victim plan.InstanceID, pi int, done chan er
 	addr := c.placement[victim]
 	if !c.mgr.Live(victim) || addr == "" {
 		c.finish(t, fmt.Errorf("dist: %s is not live", victim))
+		return
+	}
+	// Intent before the first retire: a crash anywhere past this point
+	// replays as an in-doubt transition and rolls back via recovery.
+	if !c.journal(&controlplane.Record{Kind: controlplane.RecIntent, Seq: t.seq, Action: "scale-out", Victims: []plan.InstanceID{victim}, Pi: pi}) {
 		return
 	}
 	if !c.sendTo(addr, &Control{Kind: MsgRetire, Seq: t.seq, Victim: victim, Final: true}) {
@@ -1016,6 +1255,9 @@ func (c *Coordinator) beginScaleIn(victims []plan.InstanceID, done chan error) {
 			return
 		}
 	}
+	if !c.journal(&controlplane.Record{Kind: controlplane.RecIntent, Seq: t.seq, Action: "scale-in", Victims: victims}) {
+		return
+	}
 	t.awaitShips = make(map[plan.InstanceID]bool, len(victims))
 	t.retireSent = true
 	for _, v := range victims {
@@ -1072,6 +1314,27 @@ func (c *Coordinator) continueMerge(t *transition, victims []plan.InstanceID, st
 		state.SortInstanceIDs(ups)
 		for _, up := range ups {
 			trims = append(trims, TrimAck{Up: up, Owner: v, TS: cp.Acks[up]})
+		}
+	}
+	// Durable-file ordering: the merged checkpoint is on disk BEFORE the
+	// plan is journaled (replay recovers the product from that file),
+	// and the victims' files are deleted only after — a crash in between
+	// leaves stale files that replay's liveness sweep removes.
+	if c.dstore != nil {
+		if err := c.dstore.Persist(mp.Checkpoint); err != nil {
+			c.pushErr("dist: persist merged checkpoint for %s: %v", mp.NewInstance, err)
+		}
+	}
+	cpTrims := make([]controlplane.Trim, len(trims))
+	for i, tr := range trims {
+		cpTrims[i] = controlplane.Trim{Up: tr.Up, Owner: tr.Owner, TS: tr.TS}
+	}
+	if !c.journal(&controlplane.Record{Kind: controlplane.RecPlanned, Seq: t.seq, State: c.snapshotState(), Trims: cpTrims}) {
+		return
+	}
+	if c.dstore != nil {
+		for _, v := range victims {
+			c.dstore.Delete(v)
 		}
 	}
 	routingBlob := encodeRouting(mp.Routing)
@@ -1163,6 +1426,22 @@ func (c *Coordinator) continueReplace(t *transition, victim plan.InstanceID, pi 
 	// partition), so trims addressed to retired merge victims keep
 	// resolving.
 	c.legacyOwner[victim] = rp.NewInstances[0]
+	// Durable-file ordering: replacement checkpoints on disk before the
+	// plan is journaled, victim file deleted after (replay's liveness
+	// sweep mops up a crash in between).
+	if c.dstore != nil {
+		for i := range rp.NewInstances {
+			if err := c.dstore.Persist(rp.Checkpoints[i]); err != nil {
+				c.pushErr("dist: persist checkpoint for %s: %v", rp.NewInstances[i], err)
+			}
+		}
+	}
+	if !c.journal(&controlplane.Record{Kind: controlplane.RecPlanned, Seq: t.seq, State: c.snapshotState()}) {
+		return
+	}
+	if c.dstore != nil {
+		c.dstore.Delete(victim)
+	}
 	routingBlob := encodeRouting(rp.Routing)
 	ctl := &Control{
 		Kind:    MsgReroute,

@@ -71,6 +71,15 @@ const (
 	// MsgReport (worker → coordinator): utilisation reports for the
 	// bottleneck detector, piggybacking worker-level counters.
 	MsgReport
+	// MsgReattach (worker → coordinator): the worker's actual inventory —
+	// hosted instances, running flag, last shipped barrier — sent in reply
+	// to MsgResume (Seq-correlated) or unsolicited (Seq 0) when an
+	// orphaned worker dials a standby coordinator.
+	MsgReattach
+	// MsgResume (coordinator → worker): a reborn coordinator announces
+	// itself; the worker replies with MsgReattach, re-homes its control
+	// link and flushes checkpoints buffered while orphaned.
+	MsgResume
 )
 
 // Placement locates one instance on one worker (by listener address).
@@ -127,6 +136,13 @@ type Control struct {
 	BatchLingerMillis int64
 	ChannelBuffer     int
 	ReportEveryMillis int64
+	// StandbyAddr (MsgAssign, MsgResume) is where an orphaned worker
+	// re-dials after coordinator death; empty disables the redial loop.
+	StandbyAddr string
+	// DetectMillis (MsgAssign, MsgResume) is the coordinator's failure
+	// detection window; the worker heartbeats its coordinator link at the
+	// same cadence the coordinator heartbeats workers.
+	DetectMillis int64
 
 	// MsgStart. CoordNow is the coordinator's job clock (ms since job
 	// start) at send time; the worker offsets its engine clock by it so
@@ -155,6 +171,12 @@ type Control struct {
 	// MsgAck.
 	Err      string
 	Replayed int
+
+	// MsgReattach: the worker's actual inventory, reconciled against the
+	// replayed journal.
+	Hosted      []plan.InstanceID
+	Running     bool
+	LastBarrier uint64
 
 	// MsgReport.
 	Reports []control.Report

@@ -53,6 +53,19 @@ type Worker struct {
 	retired map[plan.InstanceID]bool
 	started bool
 	killed  bool
+	// Orphan mode: the coordinator link died. The data path is
+	// untouched — batches keep flowing worker-to-worker — while
+	// checkpoint ships are buffered locally (newest per instance) and,
+	// when a standby address was advertised, a redial loop announces
+	// this worker until a reborn coordinator adopts it.
+	orphan     bool
+	standby    string
+	buffered   map[plan.InstanceID][]byte
+	redialStop chan struct{}
+
+	// lastBarrier is the highest checkpoint sequence this worker ever
+	// shipped (or buffered) — reported in MsgReattach inventories.
+	lastBarrier atomic.Uint64
 
 	// engPtr mirrors w.eng for the lock-free inbound data path; written
 	// under w.mu wherever w.eng changes.
@@ -261,6 +274,8 @@ func (w *Worker) dispatch(c *Control) {
 		w.ackReplayed(c, n, err)
 	case MsgRetire:
 		w.ack(c, w.handleRetire(c))
+	case MsgResume:
+		w.handleResume(c)
 	case MsgDie:
 		// Tear down off the handler goroutine: Kill closes the very
 		// listener this callback runs under.
@@ -337,6 +352,8 @@ func (w *Worker) handleAssign(c *Control) error {
 	w.setEngine(eng)
 	w.coord = coord
 	w.sources = sources
+	w.standby = c.StandbyAddr
+	w.armCoordHeartbeat(coord, c.DetectMillis)
 	w.pmu.Lock()
 	w.placement = placement
 	w.pmu.Unlock()
@@ -388,7 +405,15 @@ func (w *Worker) handleStop() {
 	w.coord = nil
 	w.stash = make(map[plan.InstanceID][]engine.Delivery)
 	w.retired = make(map[plan.InstanceID]bool)
+	w.orphan = false
+	w.standby = ""
+	w.buffered = nil
+	rdl := w.redialStop
+	w.redialStop = nil
 	w.mu.Unlock()
+	if rdl != nil {
+		close(rdl)
+	}
 	w.pmu.Lock()
 	w.placement = make(map[plan.InstanceID]string)
 	w.pmu.Unlock()
@@ -507,7 +532,11 @@ func (w *Worker) handleRetire(c *Control) error {
 
 // ---- outbound paths ----
 
-// shipSink forwards full checkpoints to the coordinator's store.
+// shipSink forwards full checkpoints to the coordinator's store. With
+// the coordinator dead (orphan mode, or a send failure racing its
+// death) the latest checkpoint per instance is buffered locally and
+// flushed when a reborn coordinator adopts this worker — checkpointing
+// never blocks or fails the data path on coordinator loss.
 type shipSink struct{ w *Worker }
 
 func (s *shipSink) ShipFull(cp *state.Checkpoint) error {
@@ -515,17 +544,186 @@ func (s *shipSink) ShipFull(cp *state.Checkpoint) error {
 	if err != nil {
 		return err
 	}
-	s.w.mu.Lock()
-	coord := s.w.coord
-	s.w.mu.Unlock()
-	if coord == nil {
-		return fmt.Errorf("dist: no coordinator link")
-	}
 	body, err := encodeControl(&Control{Kind: MsgShip, From: s.w.self, Checkpoint: blob})
 	if err != nil {
 		return err
 	}
-	return coord.SendControl(body)
+	s.w.mu.Lock()
+	coord := s.w.coord
+	orphan := s.w.orphan
+	s.w.mu.Unlock()
+	if coord != nil && !orphan {
+		if err := coord.SendControl(body); err == nil {
+			s.w.noteBarrier(cp.Seq)
+			return nil
+		}
+	}
+	s.w.bufferShip(cp.Instance, body)
+	s.w.noteBarrier(cp.Seq)
+	return nil
+}
+
+// ---- coordinator failover (worker side) ----
+
+// noteBarrier records the highest checkpoint sequence ever shipped or
+// buffered.
+func (w *Worker) noteBarrier(seq uint64) {
+	for {
+		cur := w.lastBarrier.Load()
+		if seq <= cur || w.lastBarrier.CompareAndSwap(cur, seq) {
+			return
+		}
+	}
+}
+
+// bufferShip keeps the newest encoded ship per instance (checkpoint
+// sequences are monotonic per instance, so overwrite wins) — bounded
+// memory however long the coordinator stays dead.
+func (w *Worker) bufferShip(inst plan.InstanceID, body []byte) {
+	w.mu.Lock()
+	if w.buffered == nil {
+		w.buffered = make(map[plan.InstanceID][]byte)
+	}
+	w.buffered[inst] = body
+	w.mu.Unlock()
+}
+
+// armCoordHeartbeat heartbeats the coordinator link at the same cadence
+// the coordinator heartbeats workers, so both sides detect a dead peer
+// within the same horizon. Safe to call with w.mu held.
+func (w *Worker) armCoordHeartbeat(peer *transport.Peer, detectMs int64) {
+	if detectMs <= 0 {
+		return
+	}
+	hb := time.Duration(detectMs) * time.Millisecond / 3
+	if hb < 10*time.Millisecond {
+		hb = 10 * time.Millisecond
+	}
+	peer.HeartbeatEvery = hb
+	peer.MissLimit = 2
+	peer.OnDown = func() { w.onCoordDown(peer) }
+	peer.StartHeartbeat()
+}
+
+// onCoordDown puts the worker in orphan mode: the engine keeps running
+// and batches keep flowing — only checkpoint ships buffer locally. With
+// a standby address, a redial loop announces this worker until a
+// coordinator adopts it.
+func (w *Worker) onCoordDown(peer *transport.Peer) {
+	w.mu.Lock()
+	if w.killed || w.coord != peer {
+		// A stale detector from a link we already replaced.
+		w.mu.Unlock()
+		return
+	}
+	w.orphan = true
+	if w.redialStop == nil && w.standby != "" {
+		w.redialStop = make(chan struct{})
+		go w.redialLoop(w.standby, w.redialStop)
+	}
+	w.mu.Unlock()
+	peer.Close()
+}
+
+// redialLoop periodically dials the standby address and announces this
+// worker with an unsolicited MsgReattach (Seq 0). The coordinator that
+// answers dials our listener back and sends MsgResume; handleResume
+// re-homes the control link and ends orphan mode, which ends this loop.
+func (w *Worker) redialLoop(addr string, stop chan struct{}) {
+	tick := time.NewTicker(500 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-w.died:
+			return
+		case <-tick.C:
+		}
+		w.mu.Lock()
+		orphan := w.orphan
+		w.mu.Unlock()
+		if !orphan {
+			return
+		}
+		peer, err := transport.DialWith(addr, w.codec, w.tm)
+		if err != nil {
+			continue
+		}
+		if body, err := encodeControl(w.inventory(0)); err == nil {
+			_ = peer.SendControl(body)
+		}
+		peer.Close()
+	}
+}
+
+// inventory assembles this worker's MsgReattach: what it actually
+// hosts, whether its engine is running, and the last barrier it
+// shipped.
+func (w *Worker) inventory(seq uint64) *Control {
+	ctl := &Control{Kind: MsgReattach, Seq: seq, From: w.self, LastBarrier: w.lastBarrier.Load()}
+	w.mu.Lock()
+	eng := w.eng
+	ctl.Running = w.started
+	w.mu.Unlock()
+	if eng != nil {
+		ctl.Hosted = eng.Local()
+	}
+	return ctl
+}
+
+// handleResume processes a (reborn) coordinator's announcement: re-home
+// the control link, flush checkpoints buffered while orphaned, and reply
+// with this worker's actual inventory so the coordinator can reconcile
+// its journal against reality. MsgResume only ever comes from a
+// coordinator that just (re)started at CoordAddr, so any existing link —
+// even one pointing at that same address — is stale by definition: a
+// write into the dead coordinator's half-closed socket can report
+// success before the RST arrives, silently losing the reply. Always
+// dial fresh. The engine is never restarted — streaming continues
+// through the whole exchange.
+func (w *Worker) handleResume(c *Control) {
+	w.mu.Lock()
+	if w.killed {
+		w.mu.Unlock()
+		return
+	}
+	w.mu.Unlock()
+	peer, err := transport.DialWith(c.CoordAddr, w.codec, w.tm)
+	if err != nil {
+		// Best effort: announce over whatever link remains; the
+		// coordinator re-sends MsgResume when it adopts us.
+		w.sendToCoord(w.inventory(c.Seq))
+		return
+	}
+	w.armCoordHeartbeat(peer, c.DetectMillis)
+	w.mu.Lock()
+	if w.killed {
+		w.mu.Unlock()
+		peer.Close()
+		return
+	}
+	old := w.coord
+	w.coord = peer
+	w.orphan = false
+	if c.StandbyAddr != "" {
+		w.standby = c.StandbyAddr
+	}
+	rdl := w.redialStop
+	w.redialStop = nil
+	buffered := w.buffered
+	w.buffered = nil
+	w.mu.Unlock()
+	if rdl != nil {
+		close(rdl)
+	}
+	if old != nil && old != peer {
+		old.Close()
+	}
+	for _, body := range buffered {
+		_ = peer.SendControl(body)
+	}
+	w.sendToCoord(w.inventory(c.Seq))
 }
 
 // linkRouter is the engine's Remote: it resolves the destination

@@ -301,6 +301,45 @@ func NewExecGraph(q *Query) *ExecGraph {
 // Query returns the logical graph this execution graph realises.
 func (g *ExecGraph) Query() *Query { return g.query }
 
+// NextPart returns the next unused partition number of id — the
+// counter a durable control plane must journal so a restored graph
+// never reuses a partition number (including numbers allocated and
+// retired since the last snapshot).
+func (g *ExecGraph) NextPart(id OpID) int { return g.nextPart[id] }
+
+// RestoreExecGraph rebuilds a physical graph from journaled state: the
+// live instances and the next-partition counter of every operator.
+// Each counter must be at least the highest partition number among the
+// operator's live instances — a lower counter would hand out partition
+// numbers already in use, breaking the never-reused invariant stale
+// message detection rests on.
+func RestoreExecGraph(q *Query, instances map[OpID][]InstanceID, nextPart map[OpID]int) (*ExecGraph, error) {
+	g := &ExecGraph{
+		query:     q,
+		instances: make(map[OpID][]InstanceID),
+		nextPart:  make(map[OpID]int),
+	}
+	for _, id := range q.order {
+		next := nextPart[id]
+		for _, inst := range instances[id] {
+			if inst.Op != id {
+				return nil, fmt.Errorf("plan: restore: instance %s listed under operator %q", inst, id)
+			}
+			if inst.Part > next {
+				return nil, fmt.Errorf("plan: restore: %s exceeds journaled partition counter %d", inst, next)
+			}
+			g.instances[id] = append(g.instances[id], inst)
+		}
+		g.nextPart[id] = next
+	}
+	for op := range instances {
+		if q.Op(op) == nil {
+			return nil, fmt.Errorf("plan: restore: unknown operator %q", op)
+		}
+	}
+	return g, nil
+}
+
 func (g *ExecGraph) addInstance(id OpID) InstanceID {
 	g.nextPart[id]++
 	inst := InstanceID{Op: id, Part: g.nextPart[id]}

@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"fmt"
+	"os"
 	"sort"
 	"time"
 
@@ -28,6 +29,10 @@ type RunConfig struct {
 	// seep-worker daemons (Distributed only; empty = in-process workers).
 	WorkerAddrs  []string
 	TopologyName string
+	// ControlPlaneDir holds the Distributed coordinator's journal.
+	// Scenarios with kill-coordinator events need one; when empty, the
+	// executor provisions a temporary directory for the run.
+	ControlPlaneDir string
 	// Logf, when set, receives progress lines.
 	Logf func(format string, args ...any)
 }
@@ -85,6 +90,14 @@ func Run(s *Scenario, cfg RunConfig) (*Result, error) {
 	topo, err := buildTopology(s)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Substrate == "dist" && cfg.ControlPlaneDir == "" && usesCoordinatorFaults(s) {
+		dir, err := os.MkdirTemp("", "seep-controlplane-*")
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: control-plane dir: %v", s.Name, err)
+		}
+		defer os.RemoveAll(dir)
+		cfg.ControlPlaneDir = dir
 	}
 	rt, err := runtimeFor(s, cfg, seed)
 	if err != nil {
@@ -202,6 +215,9 @@ func runtimeFor(s *Scenario, cfg RunConfig, seed int64) (seep.Runtime, error) {
 	case "live":
 		return seep.Live(opts...), nil
 	case "dist":
+		if cfg.ControlPlaneDir != "" {
+			opts = append(opts, seep.WithControlPlaneDir(cfg.ControlPlaneDir))
+		}
 		if len(cfg.WorkerAddrs) > 0 {
 			name := cfg.TopologyName
 			if name == "" {
@@ -214,6 +230,17 @@ func runtimeFor(s *Scenario, cfg RunConfig, seed int64) (seep.Runtime, error) {
 		return seep.Distributed(opts...), nil
 	}
 	return nil, fmt.Errorf("unknown substrate %q (want sim, live or dist)", cfg.Substrate)
+}
+
+// usesCoordinatorFaults reports whether the event script touches the
+// coordinator's lifecycle (and therefore needs a control-plane journal).
+func usesCoordinatorFaults(s *Scenario) bool {
+	for _, ev := range s.Events {
+		if ev.Kind == "kill-coordinator" || ev.Kind == "restart-coordinator" {
+			return true
+		}
+	}
+	return false
 }
 
 // applyEvent performs one scripted action against the running job.
@@ -271,6 +298,18 @@ func applyEvent(job seep.Job, s *Scenario, ev Event, seed int64, injected *uint6
 		}
 		lf.HealLinks()
 		return nil
+	case "kill-coordinator":
+		cf, ok := job.(seep.CoordinatorFaulter)
+		if !ok {
+			return fmt.Errorf("substrate does not support coordinator faults")
+		}
+		return cf.KillCoordinator()
+	case "restart-coordinator":
+		cf, ok := job.(seep.CoordinatorFaulter)
+		if !ok {
+			return fmt.Errorf("substrate does not support coordinator faults")
+		}
+		return cf.RestartCoordinator()
 	case "inject-burst":
 		w := s.Workload
 		if w == nil {
@@ -356,6 +395,14 @@ func checkAssertions(s *Scenario, job seep.Job, res *Result, seed int64, injecte
 		}
 		if p99 := sl.P99; p99 > 0 && m.Latency.P99 > p99.Milliseconds() {
 			fail("sink-latency: p99 %dms exceeds bound %v", m.Latency.P99, p99)
+		}
+	}
+
+	if ml := s.Assertions.MaxLatency; ml != nil {
+		if m.Latency.Count == 0 {
+			fail("max-latency: no latency samples reached sink %q", ml.Sink)
+		} else if m.Latency.Max > ml.Ceiling.Milliseconds() {
+			fail("max-latency: a record took %dms through sink %q, hard ceiling %v", m.Latency.Max, ml.Sink, ml.Ceiling)
 		}
 	}
 

@@ -38,6 +38,9 @@ const (
 	// ErrSubstrateRestricted: the scenario declares a substrate an event
 	// kind cannot run on (e.g. partition-link outside Distributed).
 	ErrSubstrateRestricted ErrorKind = "substrate-restricted"
+	// ErrBadBound: a latency bound is non-positive or contradicts
+	// another bound declared on the same sink.
+	ErrBadBound ErrorKind = "bad-bound"
 )
 
 // SchemaError is one typed validation failure.
@@ -154,6 +157,7 @@ type Assertions struct {
 	ExactCounts *ExactCountsAssert
 	Recovery    *RecoveryAssert
 	SinkLatency *SinkLatencyAssert
+	MaxLatency  *MaxLatencyAssert
 	Counters    []CounterAssert
 	Parallelism map[string]int
 	AllowErrors bool // default false: Metrics.Errors must be empty
@@ -182,6 +186,17 @@ type SinkLatencyAssert struct {
 	P99  time.Duration // bound on the 99th percentile (0 = unchecked)
 }
 
+// MaxLatencyAssert: a hard per-record ceiling on sink-observed
+// end-to-end latency — the scenario fails if any single record took
+// longer than Ceiling. This is the assertion chaos scripts use to
+// declare "never stall longer than X" across a fault (e.g. a
+// coordinator failover must not freeze the data path); sink-latency by
+// contrast bounds the summary statistics and allows a looser max.
+type MaxLatencyAssert struct {
+	Sink    string
+	Ceiling time.Duration
+}
+
 // CounterAssert bounds one Metrics counter: sink-tuples,
 // duplicates-dropped, recoveries, merges or checkpoints.
 type CounterAssert struct {
@@ -201,6 +216,19 @@ var eventKinds = map[string][]string{
 	"slow-link":      {"live", "dist"},
 	"partition-link": {"dist"},
 	"heal-links":     {"live", "dist"},
+
+	// Coordinator faults exercise the durable control plane: only the
+	// Distributed runtime has a coordinator process to lose.
+	"kill-coordinator":    {"dist"},
+	"restart-coordinator": {"dist"},
+}
+
+// opFreeKinds are event kinds that act on the runtime as a whole, not
+// on one operator.
+var opFreeKinds = map[string]bool{
+	"heal-links":          true,
+	"kill-coordinator":    true,
+	"restart-coordinator": true,
 }
 
 // EventKinds returns the registered event kinds, sorted.
@@ -364,6 +392,13 @@ func Parse(src string) (*Scenario, error) {
 			}
 			lm.done()
 		}
+		if mm := am.child("max-latency"); mm != nil {
+			s.Assertions.MaxLatency = &MaxLatencyAssert{
+				Sink:    mm.str("sink"),
+				Ceiling: mm.duration("ceiling"),
+			}
+			mm.done()
+		}
 		for i, v := range am.list("counters") {
 			cm := d.mapAt(v, fmt.Sprintf("assertions.counters[%d]", i))
 			c := CounterAssert{Name: cm.str("name"), Min: cm.int("min"), Max: -1}
@@ -502,8 +537,7 @@ func Validate(s *Scenario) []error {
 				}
 			}
 		}
-		needsOp := ev.Kind != "heal-links"
-		if needsOp {
+		if !opFreeKinds[ev.Kind] {
 			if ev.Op == "" {
 				add(ErrMissingField, path+".op", "%s needs an op", ev.Kind)
 			} else if _, ok := ops[ev.Op]; !ok {
@@ -535,6 +569,38 @@ func Validate(s *Scenario) []error {
 		}
 	}
 
+	// Coordinator kill/restart must pair up in time order: a restart
+	// with no dead coordinator has nothing to recover, and a scenario
+	// ending with the coordinator dead cannot settle or snapshot.
+	var coordEvents []int
+	for i, ev := range s.Events {
+		if ev.Kind == "kill-coordinator" || ev.Kind == "restart-coordinator" {
+			coordEvents = append(coordEvents, i)
+		}
+	}
+	sort.SliceStable(coordEvents, func(a, b int) bool {
+		return s.Events[coordEvents[a]].At < s.Events[coordEvents[b]].At
+	})
+	coordDead := false
+	for _, i := range coordEvents {
+		path := fmt.Sprintf("events[%d].kind", i)
+		switch s.Events[i].Kind {
+		case "kill-coordinator":
+			if coordDead {
+				add(ErrBadValue, path, "the coordinator is already dead (unmatched kill-coordinator earlier in the script)")
+			}
+			coordDead = true
+		case "restart-coordinator":
+			if !coordDead {
+				add(ErrBadValue, path, "restart-coordinator needs a kill-coordinator earlier in the script")
+			}
+			coordDead = false
+		}
+	}
+	if coordDead {
+		add(ErrBadValue, "events", "the script ends with the coordinator dead: every kill-coordinator needs a later restart-coordinator")
+	}
+
 	if ec := s.Assertions.ExactCounts; ec != nil {
 		if ec.Op == "" {
 			add(ErrMissingField, "assertions.exact-counts.op", "exact-counts needs an op")
@@ -547,6 +613,25 @@ func Validate(s *Scenario) []error {
 			add(ErrMissingField, "assertions.sink-latency.sink", "sink-latency needs a sink")
 		} else if !sinks[sl.Sink] {
 			add(ErrUndeclaredSink, "assertions.sink-latency.sink", "%q is not a declared sink", sl.Sink)
+		}
+	}
+	if ml := s.Assertions.MaxLatency; ml != nil {
+		if ml.Sink == "" {
+			add(ErrMissingField, "assertions.max-latency.sink", "max-latency needs a sink")
+		} else if !sinks[ml.Sink] {
+			add(ErrUndeclaredSink, "assertions.max-latency.sink", "%q is not a declared sink", ml.Sink)
+		}
+		if ml.Ceiling <= 0 {
+			add(ErrBadBound, "assertions.max-latency.ceiling", "the hard ceiling must be positive, got %v", ml.Ceiling)
+		} else if sl := s.Assertions.SinkLatency; sl != nil && sl.Sink == ml.Sink {
+			// Both blocks bound the same sink: the summary bounds cannot
+			// sit above the per-record hard ceiling.
+			if sl.Max > ml.Ceiling {
+				add(ErrBadBound, "assertions.sink-latency.max", "max bound %v is looser than the %v hard ceiling on the same sink", sl.Max, ml.Ceiling)
+			}
+			if sl.P99 > ml.Ceiling {
+				add(ErrBadBound, "assertions.sink-latency.p99", "p99 bound %v exceeds the %v hard ceiling on the same sink", sl.P99, ml.Ceiling)
+			}
 		}
 	}
 	for i, c := range s.Assertions.Counters {

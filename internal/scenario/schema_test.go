@@ -151,6 +151,67 @@ func TestValidateTypedErrors(t *testing.T) {
 			wantPath: "events[0].pi",
 		},
 		{
+			name: "max-latency ceiling not positive",
+			mutate: func(s *Scenario) {
+				s.Assertions.MaxLatency = &MaxLatencyAssert{Sink: "sink", Ceiling: 0}
+			},
+			wantKind: ErrBadBound,
+			wantPath: "assertions.max-latency.ceiling",
+		},
+		{
+			name: "sink-latency max looser than the hard ceiling",
+			mutate: func(s *Scenario) {
+				s.Assertions.MaxLatency = &MaxLatencyAssert{Sink: "sink", Ceiling: time.Second}
+				s.Assertions.SinkLatency = &SinkLatencyAssert{Sink: "sink", Max: 2 * time.Second}
+			},
+			wantKind: ErrBadBound,
+			wantPath: "assertions.sink-latency.max",
+		},
+		{
+			name: "sink-latency p99 above the hard ceiling",
+			mutate: func(s *Scenario) {
+				s.Assertions.MaxLatency = &MaxLatencyAssert{Sink: "sink", Ceiling: time.Second}
+				s.Assertions.SinkLatency = &SinkLatencyAssert{Sink: "sink", P99: 3 * time.Second}
+			},
+			wantKind: ErrBadBound,
+			wantPath: "assertions.sink-latency.p99",
+		},
+		{
+			name: "max-latency on undeclared sink",
+			mutate: func(s *Scenario) {
+				s.Assertions.MaxLatency = &MaxLatencyAssert{Sink: "count", Ceiling: time.Second}
+			},
+			wantKind: ErrUndeclaredSink,
+			wantPath: "assertions.max-latency.sink",
+		},
+		{
+			name: "kill-coordinator on the simulator",
+			mutate: func(s *Scenario) {
+				s.Events[0] = Event{At: time.Second, Kind: "kill-coordinator"}
+				s.Events = append(s.Events, Event{At: 2 * time.Second, Kind: "restart-coordinator"})
+			},
+			wantKind: ErrSubstrateRestricted,
+			wantPath: "events[0].kind",
+		},
+		{
+			name: "restart-coordinator without a prior kill",
+			mutate: func(s *Scenario) {
+				s.Substrates = []string{"dist"}
+				s.Events[0] = Event{At: time.Second, Kind: "restart-coordinator"}
+			},
+			wantKind: ErrBadValue,
+			wantPath: "events[0].kind",
+		},
+		{
+			name: "script ends with the coordinator dead",
+			mutate: func(s *Scenario) {
+				s.Substrates = []string{"dist"}
+				s.Events[0] = Event{At: time.Second, Kind: "kill-coordinator"}
+			},
+			wantKind: ErrBadValue,
+			wantPath: "events",
+		},
+		{
 			name: "external scenario with workload",
 			mutate: func(s *Scenario) {
 				s.External = true

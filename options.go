@@ -50,12 +50,14 @@ type runtimeConfig struct {
 	vmCapacity float64
 
 	// Distributed runtime only.
-	workers      int
-	workersSet   bool
-	workerAddrs  []string
-	topoName     string
-	payloadCodec PayloadCodec
-	coordAddr    string
+	workers         int
+	workersSet      bool
+	workerAddrs     []string
+	topoName        string
+	payloadCodec    PayloadCodec
+	coordAddr       string
+	controlPlaneDir string
+	standbyAddr     string
 
 	// restricted records every substrate-restricted option that was
 	// set, with the substrates that DO accept it, so the wrong substrate
@@ -149,6 +151,9 @@ func (c *runtimeConfig) validate() error {
 	}
 	if c.workersSet && c.workers < 1 {
 		return fmt.Errorf("seep: WithWorkers requires n >= 1, got %d", c.workers)
+	}
+	if c.standbyAddr != "" && c.controlPlaneDir == "" {
+		return fmt.Errorf("seep: WithStandbyAddr requires WithControlPlaneDir (without a journal there is no state to resume from)")
 	}
 	if len(c.workerAddrs) > 0 && c.topoName == "" {
 		return fmt.Errorf("seep: WithWorkerAddrs requires WithTopologyName (external workers instantiate topologies from their registry by name)")
@@ -410,5 +415,37 @@ func WithCoordinatorAddr(addr string) Option {
 	return func(c *runtimeConfig) {
 		c.coordAddr = addr
 		c.restrict("WithCoordinatorAddr", "", "dist")
+	}
+}
+
+// WithControlPlaneDir makes the coordinator's control plane durable:
+// every control-plane mutation (deploy, start, placement change,
+// scale-out/in and recovery stage boundaries, checkpoint-ship metadata)
+// is journaled to an fsynced write-ahead log in dir, and shipped
+// checkpoints are persisted beside it. A coordinator killed mid-job can
+// then be rebuilt from dir — replaying the journal, reattaching the
+// still-running workers without restarting them, and rolling back any
+// transition caught without a commit record — via
+// Job.RestartCoordinator (see CoordinatorFaulter). Journaling is on the
+// control path only; the tuple data path is untouched. Distributed
+// runtime only.
+func WithControlPlaneDir(dir string) Option {
+	return func(c *runtimeConfig) {
+		c.controlPlaneDir = dir
+		c.restrict("WithControlPlaneDir",
+			"the in-process runtimes have no coordinator process to lose",
+			"dist")
+	}
+}
+
+// WithStandbyAddr names the address orphaned workers re-dial when their
+// coordinator dies (a cold standby, or a supervisor that will restart
+// the coordinator elsewhere). Without it, workers with a durable
+// control plane redial the dead coordinator's own address — the
+// restart-in-place default. Distributed runtime only.
+func WithStandbyAddr(addr string) Option {
+	return func(c *runtimeConfig) {
+		c.standbyAddr = addr
+		c.restrict("WithStandbyAddr", "requires WithControlPlaneDir", "dist")
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"seep/internal/controlplane"
 	"seep/internal/core"
 	"seep/internal/engine"
 	"seep/internal/metrics"
@@ -106,6 +107,32 @@ type LinkFaulter interface {
 	HealLinks()
 }
 
+// CoordinatorFaulter is an optional Job capability for control-plane
+// chaos: a Job that also implements it can crash-stop and restart its
+// coordinator while the data path keeps streaming. The scenario runner
+// (internal/scenario) type-asserts for it when executing
+// `kill-coordinator` and `restart-coordinator` events.
+//
+//   - Distributed implements it when deployed with WithControlPlaneDir:
+//     KillCoordinator models kill -9 (no goodbye to workers — they go
+//     orphan on heartbeat loss and buffer checkpoint ships locally);
+//     RestartCoordinator replays the journal into a fresh coordinator on
+//     the dead one's address, reattaches the still-running workers via
+//     the MsgResume/MsgReattach handshake, and rolls back any journaled
+//     transition caught without a commit record.
+//   - Live and Simulated do not implement the interface: their
+//     control plane lives and dies with the process.
+type CoordinatorFaulter interface {
+	// KillCoordinator crash-stops the coordinator. Workers keep
+	// streaming; an error means the job has no durable control plane to
+	// restart from (deploy with WithControlPlaneDir).
+	KillCoordinator() error
+	// RestartCoordinator rebuilds the coordinator from its journal and
+	// reattaches the workers. Blocks until reconciliation completes
+	// (queued rollback recoveries may still be draining).
+	RestartCoordinator() error
+}
+
 // Measurement types shared by both runtimes.
 type (
 	// Summary is a latency-distribution snapshot (count, mean, tail
@@ -120,6 +147,12 @@ type (
 	// directions, reconnects, heartbeat misses, corrupt frames. Always
 	// zero on the in-process runtimes.
 	TransportStats = transport.Stats
+	// ControlPlaneStats tallies the Distributed coordinator's durable
+	// control plane: journal appends and bytes, fsync latency, rotations,
+	// and — after a coordinator restart — replay size/duration, how many
+	// workers reattached and the failover wall-clock. Always zero without
+	// WithControlPlaneDir.
+	ControlPlaneStats = controlplane.Stats
 )
 
 // Metrics is a point-in-time snapshot of a Job, identical in shape on
@@ -150,6 +183,9 @@ type Metrics struct {
 	// Transport tallies the Distributed runtime's network activity
 	// across the coordinator and all workers (zero on Live/Simulated).
 	Transport TransportStats
+	// ControlPlane tallies the Distributed coordinator's journal and
+	// failover activity (zero without WithControlPlaneDir).
+	ControlPlane ControlPlaneStats
 	// Errors lists asynchronous operations that failed — an automatic
 	// recovery that could not complete, for example. Empty on a healthy
 	// job; never silently dropped.
