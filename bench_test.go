@@ -14,6 +14,8 @@ import (
 	"testing"
 	"time"
 
+	"seep"
+
 	"seep/internal/core"
 	"seep/internal/engine"
 	"seep/internal/experiments"
@@ -172,6 +174,63 @@ func BenchmarkTransportPipeline(b *testing.B) {
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "tuples/s")
+}
+
+// BenchmarkBoundedMemoryKeyedSum is the out-of-core smoke recorded in
+// BENCH_backpressure.json: 10M distinct keys stream through a keyed sum
+// on the public live runtime with a 64 MiB state ceiling
+// (WithMemoryLimit), so the run completes only if cold key ranges spill
+// to disk instead of growing the heap — CI runs it under a GOMEMLIMIT
+// well below the unbounded footprint. Checkpointing is off: the
+// in-process backup would be a full second replica of the state, which
+// is another host's memory in the paper's deployment; spill × checkpoint
+// composition is pinned by the -race tests in internal/state and
+// internal/engine. Each iteration is one full 10M-key run; the bench
+// fails if the ceiling never engages.
+func BenchmarkBoundedMemoryKeyedSum(b *testing.B) {
+	const keys = 10_000_000
+	const ceiling = 64 << 20
+	one := any(float64(1))
+	gen := func(i uint64) (seep.Key, any) { return seep.Key(stream.Mix64(i)), one }
+	sum := func() seep.Operator {
+		return seep.NewKeyedSum(0, func(p any) (float64, bool) {
+			v, ok := p.(float64)
+			return v, ok
+		})
+	}
+	b.ReportAllocs()
+	var spilled uint64
+	for i := 0; i < b.N; i++ {
+		rt := seep.Live(
+			seep.WithCheckpointInterval(0),
+			seep.WithBatching(256, 2*time.Millisecond),
+			seep.WithMemoryLimit(ceiling),
+		)
+		job, err := rt.Deploy(seep.NewTopology().
+			Source("src").
+			Stateful("sum", sum).
+			Sink("sink"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		job.Start()
+		if err := job.InjectBatch("src", keys, gen); err != nil {
+			b.Fatal(err)
+		}
+		for job.MetricsSnapshot().SinkTuples < keys {
+			time.Sleep(10 * time.Millisecond)
+		}
+		m := job.MetricsSnapshot()
+		spilled = m.Backpressure.Spill.SpilledTotal
+		if spilled == 0 {
+			b.Fatalf("memory ceiling never engaged: %+v", m.Backpressure.Spill)
+		}
+		b.StopTimer()
+		job.Stop() // materialises the spilled tail; not part of the data path
+		b.StartTimer()
+	}
+	b.ReportMetric(float64(keys)/b.Elapsed().Seconds()*float64(b.N), "keys/s")
+	b.ReportMetric(float64(spilled), "spilled-keys")
 }
 
 // --- micro-benchmarks of the state management primitives ---

@@ -88,6 +88,8 @@ func (r *distRuntime) Deploy(t *Topology) (Job, error) {
 		BatchSize:          cfg.batchSize,
 		BatchLinger:        cfg.batchLinger,
 		ChannelBuffer:      cfg.channelBuffer,
+		QueueBound:         cfg.queueBound,
+		MemoryLimit:        cfg.memoryLimit,
 		DetectDelay:        detect,
 		RecoveryPi:         cfg.recoveryPi,
 		Policy:             cfg.policy,
@@ -464,12 +466,14 @@ func (j *distJob) MetricsSnapshot() Metrics {
 		var bestCount uint64
 		for _, w := range j.workers {
 			m.Transport = m.Transport.Add(w.TransportStats())
+			m.OrphanCheckpointsDropped += w.OrphanDropped()
 			eng := w.Engine()
 			if eng == nil {
 				continue
 			}
 			m.SinkTuples += eng.SinkCount.Value()
 			m.DuplicatesDropped += eng.DupDropped.Value()
+			m.Backpressure.Add(eng.BackpressureSnapshot())
 			if s := eng.Latency.Summarize(); s.Count > bestCount {
 				bestCount = s.Count
 				m.Latency = s
@@ -483,6 +487,8 @@ func (j *distJob) MetricsSnapshot() Metrics {
 		m.SinkTuples += s.SinkTuples
 		m.DuplicatesDropped += s.DupDropped
 		m.Transport = m.Transport.Add(s.Transport)
+		m.Backpressure.Add(s.Backpressure)
+		m.OrphanCheckpointsDropped += s.OrphanDropped
 	}
 	return m
 }

@@ -30,6 +30,12 @@ type Config struct {
 	BatchSize          int
 	BatchLinger        time.Duration
 	ChannelBuffer      int
+	// QueueBound bounds every worker node's input queue in tuples and
+	// sizes the credit ledgers (0: channel buffer).
+	QueueBound int
+	// MemoryLimit arms state spilling on every stateful instance past
+	// this many resident bytes (0: in-memory only).
+	MemoryLimit int64
 
 	// DetectDelay is the heartbeat failure-detection horizon: a worker
 	// missing replies for about this long is declared down (default
@@ -787,6 +793,8 @@ func (c *Coordinator) startDeploy(q *plan.Query, addrs []string, done chan error
 		BatchSize:         c.cfg.BatchSize,
 		BatchLingerMillis: c.cfg.BatchLinger.Milliseconds(),
 		ChannelBuffer:     c.cfg.ChannelBuffer,
+		QueueBound:        c.cfg.QueueBound,
+		MemoryLimitBytes:  c.cfg.MemoryLimit,
 		StandbyAddr:       c.standbyAddr(),
 		DetectMillis:      c.cfg.DetectDelay.Milliseconds(),
 	}

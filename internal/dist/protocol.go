@@ -30,6 +30,7 @@ import (
 	"fmt"
 
 	"seep/internal/control"
+	"seep/internal/engine"
 	"seep/internal/plan"
 	"seep/internal/state"
 	"seep/internal/stream"
@@ -114,6 +115,12 @@ type WorkerStats struct {
 	DupDropped uint64
 	Processed  uint64
 	Transport  transport.Stats
+	// Backpressure snapshots the hosted engine's credit-stall, queue-depth
+	// and state-spill gauges.
+	Backpressure engine.BackpressureStats
+	// OrphanDropped counts checkpoint ships evicted from the bounded
+	// orphan-mode buffer (drop-oldest under the byte cap).
+	OrphanDropped uint64
 }
 
 // Control is the one wire struct for every control message; unused
@@ -135,6 +142,12 @@ type Control struct {
 	BatchSize         int
 	BatchLingerMillis int64
 	ChannelBuffer     int
+	// QueueBound bounds every engine node's input queue in tuples and
+	// sizes the per-link credit budgets; 0 falls back to ChannelBuffer.
+	QueueBound int
+	// MemoryLimitBytes arms state spilling on every stateful instance's
+	// store; 0 keeps state fully in memory.
+	MemoryLimitBytes  int64
 	ReportEveryMillis int64
 	// StandbyAddr (MsgAssign, MsgResume) is where an orphaned worker
 	// re-dials after coordinator death; empty disables the redial loop.

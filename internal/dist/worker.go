@@ -58,10 +58,16 @@ type Worker struct {
 	// checkpoint ships are buffered locally (newest per instance) and,
 	// when a standby address was advertised, a redial loop announces
 	// this worker until a reborn coordinator adopts it.
-	orphan     bool
-	standby    string
-	buffered   map[plan.InstanceID][]byte
-	redialStop chan struct{}
+	orphan        bool
+	standby       string
+	buffered      map[plan.InstanceID]orphanEntry
+	bufferedBytes int
+	bufferSeq     uint64
+	redialStop    chan struct{}
+
+	// orphanDropped counts checkpoint ships evicted from the orphan
+	// buffer when the byte cap forces drop-oldest.
+	orphanDropped atomic.Uint64
 
 	// lastBarrier is the highest checkpoint sequence this worker ever
 	// shipped (or buffered) — reported in MsgReattach inventories.
@@ -82,9 +88,10 @@ type Worker struct {
 	pmu       sync.RWMutex
 	placement map[plan.InstanceID]string
 
-	// lmu guards the outbound data links.
-	lmu   sync.Mutex
-	links map[string]*peerLink
+	// lmu guards the outbound data links and their credit sizing.
+	lmu         sync.Mutex
+	links       map[string]*peerLink
+	linkCredits int
 
 	reportStop chan struct{}
 	died       chan struct{}
@@ -113,6 +120,7 @@ func NewWorker(addr string, reg Registry, codec state.PayloadCodec) (*Worker, er
 		OnAck:     w.onAck,
 		OnControl: w.onControl,
 		OnBarrier: w.onBarrier,
+		OnCredit:  w.onCredit,
 	}, w.tm)
 	if err != nil {
 		return nil, err
@@ -140,6 +148,10 @@ func (w *Worker) setEngine(eng *engine.Engine) {
 // TransportStats snapshots this worker's transport counters.
 func (w *Worker) TransportStats() transport.Stats { return w.tm.Snapshot() }
 
+// OrphanDropped reports how many checkpoint ships the bounded
+// orphan-mode buffer has evicted.
+func (w *Worker) OrphanDropped() uint64 { return w.orphanDropped.Load() }
+
 // Wait blocks until the worker dies (MsgDie or Kill) — the daemon
 // main's park.
 func (w *Worker) Wait() { <-w.died }
@@ -157,12 +169,23 @@ func (w *Worker) Kill() {
 	w.killed = true
 	eng := w.eng
 	coord := w.coord
+	// Claim the job-scoped channels under the lock: a graceful stop
+	// (MsgStop → handleStop) can race this crash-stop, and whoever
+	// nils a field out owns closing it.
 	rs := w.reportStop
+	w.reportStop = nil
+	w.coord = nil
+	w.setEngine(nil)
+	rdl := w.redialStop
+	w.redialStop = nil
 	w.mu.Unlock()
 
 	w.ln.Close()
 	if rs != nil {
 		close(rs)
+	}
+	if rdl != nil {
+		close(rdl)
 	}
 	if coord != nil {
 		coord.Close()
@@ -184,7 +207,12 @@ func (w *Worker) Kill() {
 
 // onBatch delivers a wire batch into the hosted instance, stashing
 // arrivals for an instance that is planned here but not yet deployed
-// (replays and rerouted tuples racing a MsgDeploy).
+// (replays and rerouted tuples racing a MsgDeploy). Delivery grants one
+// credit back to the sending host: DeliverLocal blocks while the
+// destination's bounded input queue is full, so by the time the grant
+// leaves, the slot the batch consumed is genuinely accounted for — a
+// slow operator here stalls the remote sender's budget instead of
+// growing this host's memory.
 func (w *Worker) onBatch(b transport.Batch) {
 	ds := make([]engine.Delivery, len(b.Tuples))
 	for i, t := range b.Tuples {
@@ -192,9 +220,42 @@ func (w *Worker) onBatch(b transport.Batch) {
 	}
 	// Fast path: hosted and running — no worker lock.
 	if eng := w.engPtr.Load(); eng != nil && eng.DeliverLocal(b.To, ds) {
+		w.grantCredit(b)
 		return
 	}
 	w.stashOrDrop(b.To, ds)
+	w.grantCredit(b)
+}
+
+// grantCredit returns one batch slot to the host that sent b.
+func (w *Worker) grantCredit(b transport.Batch) {
+	w.pmu.RLock()
+	addr := w.placement[b.From]
+	w.pmu.RUnlock()
+	if addr == "" || addr == w.self {
+		return
+	}
+	w.link(addr).enqueueCredit(transport.Credit{To: b.To, Grants: 1})
+}
+
+// onCredit refills the budget of the link carrying batches toward the
+// granted instance.
+func (w *Worker) onCredit(c transport.Credit) {
+	w.pmu.RLock()
+	addr := w.placement[c.To]
+	w.pmu.RUnlock()
+	if addr == "" || addr == w.self {
+		return
+	}
+	pl := w.link(addr)
+	for i := uint32(0); i < c.Grants; i++ {
+		select {
+		case pl.credits <- struct{}{}:
+		default:
+			// Saturating: a resync already topped the budget up.
+			return
+		}
+	}
 }
 
 // stashOrDrop re-checks delivery under the worker lock (a concurrent
@@ -330,6 +391,8 @@ func (w *Worker) handleAssign(c *Control) error {
 		ChannelBuffer:      c.ChannelBuffer,
 		BatchSize:          c.BatchSize,
 		BatchLinger:        time.Duration(c.BatchLingerMillis) * time.Millisecond,
+		QueueBound:         c.QueueBound,
+		MemoryLimit:        c.MemoryLimitBytes,
 		Hosted:             func(inst plan.InstanceID) bool { return hosted[inst] },
 		Backup:             &shipSink{w: w},
 	}, q, factories)
@@ -338,6 +401,25 @@ func (w *Worker) handleAssign(c *Control) error {
 		return err
 	}
 	eng.SetRemote(&linkRouter{w: w})
+	// Mirror the engine's per-node credit sizing onto the outbound links:
+	// the remote half of an edge gets the same batch budget as a local
+	// edge would.
+	w.lmu.Lock()
+	qb := c.QueueBound
+	if qb <= 0 {
+		qb = c.ChannelBuffer
+	}
+	if qb <= 0 {
+		qb = 4096
+	}
+	bs := c.BatchSize
+	if bs <= 0 {
+		bs = 128
+	}
+	if w.linkCredits = qb / bs; w.linkCredits < 1 {
+		w.linkCredits = 1
+	}
+	w.lmu.Unlock()
 
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -408,6 +490,7 @@ func (w *Worker) handleStop() {
 	w.orphan = false
 	w.standby = ""
 	w.buffered = nil
+	w.bufferedBytes = 0
 	rdl := w.redialStop
 	w.redialStop = nil
 	w.mu.Unlock()
@@ -576,16 +659,50 @@ func (w *Worker) noteBarrier(seq uint64) {
 	}
 }
 
+// orphanEntry is one buffered checkpoint ship; seq orders entries for
+// drop-oldest eviction.
+type orphanEntry struct {
+	body []byte
+	seq  uint64
+}
+
+// maxOrphanBufBytes caps the orphan-mode checkpoint buffer. Keeping the
+// newest ship per instance bounds the entry count, but a wide topology
+// with large state could still accumulate gigabytes while the
+// coordinator stays dead — the byte cap keeps the worker's memory
+// bounded no matter how long the orphanhood lasts.
+const maxOrphanBufBytes = 64 << 20
+
 // bufferShip keeps the newest encoded ship per instance (checkpoint
-// sequences are monotonic per instance, so overwrite wins) — bounded
-// memory however long the coordinator stays dead.
+// sequences are monotonic per instance, so overwrite wins) under a byte
+// cap: when the buffer would exceed maxOrphanBufBytes, the
+// least-recently-updated instances' ships are evicted first and counted
+// in orphanDropped — a reborn coordinator re-collects those instances'
+// state from the next barrier instead.
 func (w *Worker) bufferShip(inst plan.InstanceID, body []byte) {
 	w.mu.Lock()
+	defer w.mu.Unlock()
 	if w.buffered == nil {
-		w.buffered = make(map[plan.InstanceID][]byte)
+		w.buffered = make(map[plan.InstanceID]orphanEntry)
 	}
-	w.buffered[inst] = body
-	w.mu.Unlock()
+	if old, ok := w.buffered[inst]; ok {
+		w.bufferedBytes -= len(old.body)
+	}
+	w.bufferSeq++
+	w.buffered[inst] = orphanEntry{body: body, seq: w.bufferSeq}
+	w.bufferedBytes += len(body)
+	for w.bufferedBytes > maxOrphanBufBytes && len(w.buffered) > 1 {
+		var victim plan.InstanceID
+		var oldest uint64
+		for k, e := range w.buffered {
+			if oldest == 0 || e.seq < oldest {
+				oldest, victim = e.seq, k
+			}
+		}
+		w.bufferedBytes -= len(w.buffered[victim].body)
+		delete(w.buffered, victim)
+		w.orphanDropped.Add(1)
+	}
 }
 
 // armCoordHeartbeat heartbeats the coordinator link at the same cadence
@@ -713,6 +830,7 @@ func (w *Worker) handleResume(c *Control) {
 	w.redialStop = nil
 	buffered := w.buffered
 	w.buffered = nil
+	w.bufferedBytes = 0
 	w.mu.Unlock()
 	if rdl != nil {
 		close(rdl)
@@ -720,8 +838,8 @@ func (w *Worker) handleResume(c *Control) {
 	if old != nil && old != peer {
 		old.Close()
 	}
-	for _, body := range buffered {
-		_ = peer.SendControl(body)
+	for _, e := range buffered {
+		_ = peer.SendControl(e.body)
 	}
 	w.sendToCoord(w.inventory(c.Seq))
 }
@@ -765,14 +883,34 @@ func (w *Worker) deliverRemote(to plan.InstanceID, ds []engine.Delivery) {
 	w.link(addr).enqueue(b)
 }
 
+// linkMsg is one unit of outbound link work: a data batch (credit-gated)
+// or a flow-control credit grant (never gated — grants are what unblock
+// the other side).
+type linkMsg struct {
+	b        transport.Batch
+	credit   transport.Credit
+	isCredit bool
+}
+
 // peerLink is one outbound data connection with an async writer, so the
 // emitting node goroutine never blocks on the network — it blocks on
 // the bounded queue, which is drained (or discarded, when the peer is
-// down) at link speed.
+// down) at link speed. The credits channel is the link's flow-control
+// budget in batches: one credit is consumed per batch shipped and
+// refilled by frameCredit grants from the receiving host, so a slow
+// receiver stalls this sender instead of growing the remote queue.
 type peerLink struct {
-	addr string
-	q    chan transport.Batch
+	addr    string
+	q       chan linkMsg
+	credits chan struct{}
 }
+
+// linkCreditTimeout is the liveness escape for a sender waiting on
+// credits: grants can be lost across re-dials and reroutes, so after
+// this long the budget is resynchronised to full and the batch ships
+// anyway — the receiver's own bounded queues and TCP backpressure keep
+// memory bounded even through a resync.
+const linkCreditTimeout = 2 * time.Second
 
 func (pl *peerLink) enqueue(b transport.Batch) {
 	defer func() {
@@ -780,7 +918,43 @@ func (pl *peerLink) enqueue(b transport.Batch) {
 		// racing that teardown is a dropped batch, not a crash.
 		_ = recover()
 	}()
-	pl.q <- b
+	pl.q <- linkMsg{b: b}
+}
+
+func (pl *peerLink) enqueueCredit(c transport.Credit) {
+	defer func() { _ = recover() }()
+	pl.q <- linkMsg{credit: c, isCredit: true}
+}
+
+// refill tops the budget back up to capacity (credit resync).
+func (pl *peerLink) refill() {
+	for {
+		select {
+		case pl.credits <- struct{}{}:
+		default:
+			return
+		}
+	}
+}
+
+// acquireCredit takes one credit before a batch send, counting a
+// transport credit stall when the fast path misses and resyncing the
+// budget if no grant arrives within linkCreditTimeout.
+func (pl *peerLink) acquireCredit(w *Worker) {
+	select {
+	case <-pl.credits:
+		return
+	default:
+	}
+	w.tm.AddCreditStall()
+	t := time.NewTimer(linkCreditTimeout)
+	defer t.Stop()
+	select {
+	case <-pl.credits:
+	case <-t.C:
+		pl.refill()
+	case <-w.died:
+	}
 }
 
 func (w *Worker) link(addr string) *peerLink {
@@ -789,7 +963,12 @@ func (w *Worker) link(addr string) *peerLink {
 	if pl := w.links[addr]; pl != nil {
 		return pl
 	}
-	pl := &peerLink{addr: addr, q: make(chan transport.Batch, 256)}
+	slots := w.linkCredits
+	if slots <= 0 {
+		slots = 32 // engine defaults: 4096-tuple queue / 128-tuple batches
+	}
+	pl := &peerLink{addr: addr, q: make(chan linkMsg, 256), credits: make(chan struct{}, slots)}
+	pl.refill()
 	w.links[addr] = pl
 	go w.runLink(pl)
 	return pl
@@ -812,7 +991,10 @@ func (w *Worker) runLink(pl *peerLink) {
 	)
 	var p *transport.Peer
 	var downUntil time.Time
-	for b := range pl.q {
+	for m := range pl.q {
+		if !m.isCredit {
+			pl.acquireCredit(w)
+		}
 		sent := false
 		for attempt := 0; attempt < maxAttempts; attempt++ {
 			if p == nil {
@@ -826,8 +1008,14 @@ func (w *Worker) runLink(pl *peerLink) {
 				}
 				p = peer
 			}
-			if err := p.SendBatch(b); err != nil {
-				// SendBatch already retried with one re-dial; rebuild the
+			var err error
+			if m.isCredit {
+				err = p.SendCredit(m.credit)
+			} else {
+				err = p.SendBatch(m.b)
+			}
+			if err != nil {
+				// The send already retried with one re-dial; rebuild the
 				// peer and try again after a backoff.
 				p.Close()
 				p = nil
@@ -873,10 +1061,12 @@ func (w *Worker) sendReport() {
 	q := eng.Manager().Query()
 	sampler := eng.QueueFillSampler()
 	ctl := &Control{Kind: MsgReport, From: w.self, Stats: WorkerStats{
-		SinkTuples: eng.SinkCount.Value(),
-		DupDropped: eng.DupDropped.Value(),
-		Processed:  eng.TotalProcessed(),
-		Transport:  w.tm.Snapshot(),
+		SinkTuples:    eng.SinkCount.Value(),
+		DupDropped:    eng.DupDropped.Value(),
+		Processed:     eng.TotalProcessed(),
+		Transport:     w.tm.Snapshot(),
+		Backpressure:  eng.BackpressureSnapshot(),
+		OrphanDropped: w.orphanDropped.Load(),
 	}}
 	for _, inst := range eng.Local() {
 		spec := q.Op(inst.Op)

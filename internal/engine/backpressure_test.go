@@ -1,0 +1,154 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"seep/internal/operator"
+	"seep/internal/plan"
+	"seep/internal/wordcount"
+)
+
+// slowWordEngine builds a word-count engine whose counter has a real
+// per-tuple cost, so bounded queues fill and senders hit the credit
+// ledger.
+func slowWordEngine(t *testing.T, cfg Config, delay time.Duration) *Engine {
+	t.Helper()
+	q := wordcount.Query(wordcount.Options{WindowMillis: 0})
+	factories := map[plan.OpID]operator.Factory{
+		"split": func() operator.Operator { return operator.WordSplitter() },
+		"count": func() operator.Operator {
+			return &slowCounter{WordCounter: operator.NewWordCounter(0), delay: delay}
+		},
+	}
+	e, err := New(cfg, q, factories)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// slowTotal sums counter state across partitions (counts() in
+// engine_test.go asserts the concrete WordCounter type, which the
+// slowCounter wrapper hides).
+func slowTotal(e *Engine) int64 {
+	var total int64
+	for _, in := range e.Manager().Instances("count") {
+		if op, ok := e.OperatorOf(in).(interface{ Counts() map[string]int64 }); ok {
+			for _, c := range op.Counts() {
+				total += c
+			}
+		}
+	}
+	return total
+}
+
+// A bounded queue holds senders at the credit budget: the queue never
+// grows past the credit slots, stalls are counted, and no tuple is
+// lost while senders wait.
+func TestEngineCreditLedgerBoundsQueues(t *testing.T) {
+	const queueBound, batchSize = 128, 32 // 4 credit slots per edge
+	e := slowWordEngine(t, Config{
+		CheckpointInterval: time.Hour,
+		QueueBound:         queueBound,
+		BatchSize:          batchSize,
+	}, 200*time.Microsecond)
+	e.Start()
+	defer e.Stop()
+
+	if err := e.InjectBatch(inst("src", 1), 3000, wordGen(40)); err != nil {
+		t.Fatal(err)
+	}
+	if !e.Quiesce(100*time.Millisecond, 20*time.Second) {
+		t.Fatal("engine did not quiesce under a bounded queue")
+	}
+	bp := e.BackpressureSnapshot()
+	if bp.CreditStalls == 0 {
+		t.Error("no credit stalls recorded; the edge was never starved")
+	}
+	slots := queueBound / batchSize
+	if bp.PeakQueueDepth > slots {
+		t.Errorf("peak queue depth %d batches exceeds the %d-slot credit budget", bp.PeakQueueDepth, slots)
+	}
+	if got := slowTotal(e); got != 3000 {
+		t.Errorf("state total = %d, want 3000 (backpressure must not shed tuples)", got)
+	}
+}
+
+// Deadlock freedom: checkpoint barriers, a scale-out, recovery replay
+// and a spill ceiling all race against credit-starved edges; the
+// engine must keep draining and quiesce (run with -race).
+func TestEngineBackpressureDeadlockFreedom(t *testing.T) {
+	e := slowWordEngine(t, Config{
+		CheckpointInterval: 20 * time.Millisecond, // barriers race the stalled edges
+		QueueBound:         128,
+		BatchSize:          32,
+		MemoryLimit:        32 << 10, // spill composes with backpressure
+	}, 100*time.Microsecond)
+	e.Start()
+	defer e.Stop()
+
+	const injectors, batches, per = 3, 8, 250
+	var wg sync.WaitGroup
+	for g := 0; g < injectors; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < batches; i++ {
+				_ = e.InjectBatch(inst("src", 1), per, wordGen(60))
+			}
+		}()
+	}
+	// Manual checkpoints race the interval-driven barriers while the
+	// edges are starved; errors (dead instance mid-recovery) are fine,
+	// the test is that nothing wedges.
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = e.Checkpoint(inst("count", 1))
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+
+	time.Sleep(50 * time.Millisecond)
+	if err := e.ScaleOut(inst("count", 1), 2); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	// Fail and recover a partition while its edges are credit-starved:
+	// replay holds priority credits, so recovery must complete. The
+	// scale-out renumbered the partitions, so pick a live one.
+	victim := e.Manager().Instances("count")[0]
+	if err := e.Fail(victim); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Recover(victim, 1); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+
+	if !e.Quiesce(150*time.Millisecond, 30*time.Second) {
+		t.Fatal("deadlock: engine did not quiesce with barriers + scale-out + recovery racing credit-starved edges")
+	}
+	bp := e.BackpressureSnapshot()
+	if bp.CreditStalls == 0 {
+		t.Error("no credit stalls recorded; the race never starved an edge")
+	}
+	// Exactly-once must survive the chaos: replay covers what the
+	// stopped receivers missed, per-sender watermarks drop the
+	// redundant re-deliveries, and emitMu keeps concurrent injectors
+	// FIFO per edge so the watermarks never discard live tuples.
+	const injected = injectors * batches * per
+	if total := slowTotal(e); total != injected {
+		t.Errorf("total = %d, want exactly %d", total, injected)
+	}
+}

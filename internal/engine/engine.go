@@ -60,8 +60,22 @@ type Config struct {
 	// BatchLinger bounds how long sources hold a partial batch before
 	// flushing (default 10 ms, the legacy source tick). Operator nodes
 	// never linger: staged output flushes at the end of each input
-	// batch.
+	// batch. Under credit stalls a source adaptively stretches its
+	// effective linger (up to maxLingerStretch ticks), trading latency
+	// for batch fullness instead of piling batches onto a starved edge.
 	BatchLinger time.Duration
+	// QueueBound is the per-node credit ledger size in tuples: the
+	// bound on in-flight work (queued plus being-processed batches)
+	// toward any one node. 0 defaults to ChannelBuffer, which makes the
+	// credit gate — where stalls are counted — the binding constraint
+	// and channel sends non-blocking. See backpressure.go.
+	QueueBound int
+	// MemoryLimit, when positive, arms the managed-state memory ceiling
+	// on every stateful instance: a store whose approximate resident
+	// footprint exceeds this many bytes spills cold key ranges to a
+	// scratch directory and materialises them transparently on access
+	// (state spilling, §3.3). 0 keeps all state in memory.
+	MemoryLimit int64
 	// Delta enables incremental checkpoints for managed-state operators
 	// (§3.2): between full checkpoints only the dirtied keys are shipped
 	// and folded into the backup. Zero value disables.
@@ -119,6 +133,20 @@ func (c Config) withDefaults() Config {
 // slots.
 func (c Config) channelSlots() int {
 	slots := c.ChannelBuffer / c.BatchSize
+	if slots < 1 {
+		slots = 1
+	}
+	return slots
+}
+
+// creditSlots converts the tuple-denominated QueueBound into batch
+// credits.
+func (c Config) creditSlots() int {
+	qb := c.QueueBound
+	if qb <= 0 {
+		qb = c.ChannelBuffer
+	}
+	slots := qb / c.BatchSize
 	if slots < 1 {
 		slots = 1
 	}
@@ -245,6 +273,19 @@ type node struct {
 	// path takes it once per batch: one acquisition to dup-filter and
 	// ack a whole input batch, one to stamp/buffer/route a whole output
 	// batch.
+	// emitMu serialises whole emit passes (timestamp run + channel
+	// sends) when several goroutines emit through the same node — the
+	// source driver and concurrent InjectBatch callers. Stamping under
+	// mu alone is not enough: once sends can BLOCK on the credit ledger
+	// after mu is released, two concurrent emitters can deliver their
+	// batches out of timestamp order on the same edge, and the
+	// receiver's per-sender watermark then discards the late lower run
+	// as a duplicate. Held across acquire+send; stalls under it resolve
+	// via the receiver's stop or engine shutdown, and no control-plane
+	// path takes it, so barriers and reroutes still proceed around a
+	// stalled holder.
+	emitMu sync.Mutex
+
 	mu       sync.Mutex
 	acks     map[plan.InstanceID]int64
 	tsVec    stream.TSVector
@@ -271,6 +312,16 @@ type node struct {
 	pend    []staged
 	curBorn int64
 	emitFn  operator.Emitter
+
+	// credits is the input credit ledger (backpressure.go): senders take
+	// one credit per batch before the channel send and handleBatch
+	// returns it after processing, bounding in-flight work toward this
+	// node.
+	credits creditLedger
+	// creditStalls counts sender waits on this node's ledger; peakDepth
+	// tracks the deepest input queue observed (batches).
+	creditStalls metrics.Counter
+	peakDepth    atomic.Int64
 
 	stopped   chan struct{} // closed to stop the goroutine
 	done      chan struct{} // closed when the goroutine exits
@@ -308,10 +359,11 @@ type Engine struct {
 	// Start; read by route-table builds.
 	remote Remote
 
-	start   time.Time
-	started atomic.Bool
-	stopAll chan struct{}
-	wg      sync.WaitGroup
+	start    time.Time
+	started  atomic.Bool
+	stopAll  chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
 
 	// clockOffset shifts NowMillis into a foreign clock frame: the
 	// distributed runtime aligns every worker engine to the
@@ -321,6 +373,15 @@ type Engine struct {
 
 	// merges counts completed scale-in transitions (MergeInstances).
 	merges metrics.Counter
+
+	// creditStalls counts sender waits on any node's credit ledger.
+	creditStalls metrics.Counter
+
+	// spillMu guards spillStores: every store armed with a memory
+	// ceiling, including stores of since-replaced nodes, closed (spill
+	// files removed) on Stop.
+	spillMu     sync.Mutex
+	spillStores []*state.Store
 
 	// linkFaults is the chaos harness's named fault point for the local
 	// node-link layer: deliveries toward a listed destination operator
@@ -410,6 +471,15 @@ func (e *Engine) newNode(inst plan.InstanceID, spec *plan.OpSpec) (*node, error)
 		done:     make(chan struct{}),
 	}
 	n.emitFn = func(k stream.Key, p any) { n.stage(k, p, n.curBorn) }
+	n.credits.init(e.cfg.creditSlots())
+	if e.cfg.MemoryLimit > 0 && n.store != nil {
+		if err := n.store.EnableSpill("", e.cfg.MemoryLimit); err != nil {
+			return nil, fmt.Errorf("engine: %s: %w", inst, err)
+		}
+		e.spillMu.Lock()
+		e.spillStores = append(e.spillStores, n.store)
+		e.spillMu.Unlock()
+	}
 	return n, nil
 }
 
@@ -584,8 +654,15 @@ func (e *Engine) Start() {
 	}
 }
 
-// Stop terminates all goroutines and waits for them.
+// Stop terminates all goroutines and waits for them. Idempotent: a
+// graceful job stop (MsgStop) and a crash-stop (Worker.Kill) can race
+// to tear down the same engine; both block until the one teardown
+// finishes.
 func (e *Engine) Stop() {
+	e.stopOnce.Do(e.stop)
+}
+
+func (e *Engine) stop() {
 	close(e.stopAll)
 	e.mu.Lock()
 	var ns []*node
@@ -597,6 +674,16 @@ func (e *Engine) Stop() {
 		n.stop()
 	}
 	e.wg.Wait()
+	// Disarm spilling last: CloseSpill materialises anything still on
+	// disk (post-run state reads stay exact) and removes the scratch
+	// files.
+	e.spillMu.Lock()
+	stores := e.spillStores
+	e.spillStores = nil
+	e.spillMu.Unlock()
+	for _, st := range stores {
+		st.CloseSpill()
+	}
 }
 
 // startNode launches the node goroutine. Caller holds e.mu or is in
@@ -665,6 +752,10 @@ func (n *node) handleCtrl(c ctrlMsg) {
 // payloads, never the batch).
 func (n *node) handleBatch(ds []delivery) {
 	defer n.e.putBatch(ds)
+	// The batch's credit is held until processing completes, so the
+	// ledger bounds in-flight work, not just the queue.
+	defer n.releaseCredit()
+	n.notePeakDepth()
 	if n.failed.Load() || len(ds) == 0 {
 		return
 	}
@@ -816,6 +907,11 @@ type outSend struct {
 // (and is replayed under the new routing) or is routed with the new
 // table.
 func (n *node) emitChunk(chunk []staged) {
+	// Per-sender FIFO: hold emitMu from timestamp assignment through the
+	// last send, so concurrent emitters (driver + InjectBatch) cannot
+	// deliver their runs out of order on a credit-starved edge.
+	n.emitMu.Lock()
+	defer n.emitMu.Unlock()
 	n.mu.Lock()
 	rt := n.routes.Load()
 	if rt == nil {
@@ -922,11 +1018,23 @@ func (n *node) emitChunk(chunk []staged) {
 			n.e.putBatch(s.ds)
 			continue
 		}
+		// Credit gate: take one credit toward the receiver before the
+		// channel send. With the default QueueBound the channel itself
+		// then never blocks — stalls happen (and are counted) here,
+		// where no locks are held.
+		if !s.target.acquireCredit() {
+			// Receiver stopped or engine shut down while starved; the
+			// tuples stay in our output buffer for replay.
+			n.e.putBatch(s.ds)
+			continue
+		}
 		select {
 		case s.target.in <- s.ds:
 		case <-s.target.stopped:
 			// Receiver stopped; the tuples stay in our output buffer for
-			// replay after its replacement is deployed.
+			// replay after its replacement is deployed. Hand the unused
+			// credit back.
+			s.target.releaseCredit()
 			n.e.putBatch(s.ds)
 		}
 	}

@@ -588,6 +588,14 @@ func (e *Engine) startSource(s *sourceDriver) {
 		var emitted uint64
 		carry := 0.0
 		var pend []staged
+		// Adaptive linger: when the previous flush hit credit stalls the
+		// source holds its accrued tuples for extra ticks (up to
+		// maxLingerStretch), emitting fewer, fuller batches instead of
+		// piling onto a starved edge; the stretch decays one tick per
+		// stall-free flush. holdCap bounds the held backlog regardless.
+		const maxLingerStretch = 8
+		holdCap := maxLingerStretch * e.cfg.BatchSize
+		var stretch, skip int
 		for {
 			select {
 			case <-e.stopAll:
@@ -604,17 +612,31 @@ func (e *Engine) startSource(s *sourceDriver) {
 				carry += s.rate(e.NowMillis()) * tick.Seconds()
 				k := int(carry)
 				carry -= float64(k)
-				if k == 0 {
-					continue
-				}
 				born := e.NowMillis()
-				pend = pend[:0]
 				for i := 0; i < k; i++ {
 					key, payload := s.gen(emitted)
 					emitted++
 					pend = append(pend, staged{key: key, payload: payload, born: born})
 				}
+				if len(pend) == 0 {
+					continue
+				}
+				if skip > 0 && len(pend) < holdCap {
+					skip--
+					continue
+				}
+				before := e.creditStalls.Value()
 				n.emitAll(pend)
+				clear(pend)
+				pend = pend[:0]
+				if e.creditStalls.Value() > before {
+					if stretch < maxLingerStretch {
+						stretch++
+					}
+				} else if stretch > 0 {
+					stretch--
+				}
+				skip = stretch
 			}
 		}
 	}()

@@ -18,7 +18,11 @@ type UtilSampler func(inst plan.InstanceID) (util float64, ok bool)
 // QueueFillSampler returns the default backpressure-based sampler. The
 // input channel carries micro-batches, so the fill fraction is measured
 // in batch slots; a queue near capacity still means the operator cannot
-// drain its input.
+// drain its input. With credit-based flow control the ledger, not the
+// channel, is the binding constraint — senders stall before the channel
+// fills — so the sampler reads whichever signal is stronger: channel
+// occupancy or the fraction of the node's credits currently consumed by
+// queued and in-flight batches.
 func (e *Engine) QueueFillSampler() UtilSampler {
 	return func(inst plan.InstanceID) (float64, bool) {
 		set := e.set.Load()
@@ -29,7 +33,13 @@ func (e *Engine) QueueFillSampler() UtilSampler {
 		if n == nil || n.failed.Load() {
 			return 0, false
 		}
-		return float64(len(n.in)) / float64(cap(n.in)), true
+		util := float64(len(n.in)) / float64(cap(n.in))
+		if c := n.credits.cap; c > 0 {
+			if held := float64(c-n.credits.avail.Load()) / float64(c); held > util {
+				util = held
+			}
+		}
+		return util, true
 	}
 }
 

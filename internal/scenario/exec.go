@@ -125,6 +125,21 @@ func Run(s *Scenario, cfg RunConfig) (*Result, error) {
 	// event's instant, apply it, then run out the remaining duration.
 	events := make([]Event, len(s.Events))
 	copy(events, s.Events)
+	if w := s.Workload; w != nil && w.SustainedOverload > 0 {
+		// sustained-overload: re-inject the base workload at evenly
+		// spaced instants so the pipeline stays saturated for the whole
+		// span. The synthesized bursts thread the same tuple sequence as
+		// scripted ones, so the exact-counts oracle still holds.
+		step := s.Duration / time.Duration(w.SustainedOverload+1)
+		for i := 1; i <= w.SustainedOverload; i++ {
+			events = append(events, Event{
+				At:     step * time.Duration(i),
+				Kind:   "inject-burst",
+				Op:     w.Source,
+				Tuples: w.Tuples,
+			})
+		}
+	}
 	sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })
 	now := time.Duration(0)
 	partitioned := false
@@ -187,6 +202,12 @@ func runtimeFor(s *Scenario, cfg RunConfig, seed int64) (seep.Runtime, error) {
 	}
 	if o.BatchSize > 0 && cfg.Substrate != "sim" {
 		opts = append(opts, seep.WithBatching(o.BatchSize, o.BatchLinger))
+	}
+	if o.QueueBound > 0 && cfg.Substrate != "sim" {
+		opts = append(opts, seep.WithQueueBound(o.QueueBound))
+	}
+	if o.MemoryLimitBytes > 0 && cfg.Substrate != "sim" {
+		opts = append(opts, seep.WithMemoryLimit(o.MemoryLimitBytes))
 	}
 	if o.VMPool != nil && cfg.Substrate == "sim" {
 		opts = append(opts, seep.WithVMPool(seep.PoolConfig{
@@ -403,6 +424,22 @@ func checkAssertions(s *Scenario, job seep.Job, res *Result, seed int64, injecte
 			fail("max-latency: no latency samples reached sink %q", ml.Sink)
 		} else if m.Latency.Max > ml.Ceiling.Milliseconds() {
 			fail("max-latency: a record took %dms through sink %q, hard ceiling %v", m.Latency.Max, ml.Sink, ml.Ceiling)
+		}
+	}
+
+	if qd := s.Assertions.QueueDepth; qd != nil {
+		if got := int64(m.Backpressure.PeakQueueDepth); got > qd.Max {
+			fail("queue-depth: peak input queue reached %d batches, bound %d", got, qd.Max)
+		}
+	}
+
+	if sk := s.Assertions.SpilledKeys; sk != nil {
+		got := int64(m.Backpressure.Spill.SpilledTotal)
+		if got < sk.Min {
+			fail("spilled-keys: %d keys spilled, want at least %d (memory ceiling never engaged?)", got, sk.Min)
+		}
+		if sk.Max >= 0 && got > sk.Max {
+			fail("spilled-keys: %d keys spilled, want at most %d", got, sk.Max)
 		}
 	}
 

@@ -95,6 +95,8 @@ type Options struct {
 	Workers               int // Distributed only
 	BatchSize             int
 	BatchLinger           time.Duration
+	QueueBound            int   // bounded input queues, in tuples (live/dist)
+	MemoryLimitBytes      int64 // per-instance state ceiling before spilling (live/dist)
 	Policy                *PolicySpec
 	ScaleIn               *ScaleInSpec
 	VMPool                *VMPoolSpec // Simulated only
@@ -136,6 +138,12 @@ type Workload struct {
 	KeyPrefix string  // default "w"
 	Skew      float64 // zipf-like exponent, default 0
 
+	// SustainedOverload re-injects the base workload this many extra
+	// times, evenly spaced across the scenario duration, to hold the
+	// pipeline saturated. The re-injections continue the same
+	// deterministic tuple sequence, so exact-counts oracles stay valid.
+	SustainedOverload int
+
 	cdfCache []float64 // lazily built skewed CDF (workload.go)
 }
 
@@ -158,6 +166,8 @@ type Assertions struct {
 	Recovery    *RecoveryAssert
 	SinkLatency *SinkLatencyAssert
 	MaxLatency  *MaxLatencyAssert
+	QueueDepth  *QueueDepthAssert
+	SpilledKeys *SpilledKeysAssert
 	Counters    []CounterAssert
 	Parallelism map[string]int
 	AllowErrors bool // default false: Metrics.Errors must be empty
@@ -195,6 +205,22 @@ type SinkLatencyAssert struct {
 type MaxLatencyAssert struct {
 	Sink    string
 	Ceiling time.Duration
+}
+
+// QueueDepthAssert bounds the peak bounded-queue occupancy observed on
+// any edge, in batches. It only means something with a queue-bound
+// option set: the assertion is that backpressure held the queues under
+// Max instead of letting them grow with the overload.
+type QueueDepthAssert struct {
+	Max int64 // required, positive
+}
+
+// SpilledKeysAssert bounds the cumulative keys spilled to disk: at
+// least Min (proof the memory ceiling actually engaged), at most Max
+// (Max < 0 = unbounded).
+type SpilledKeysAssert struct {
+	Min int64
+	Max int64 // < 0 = unbounded
 }
 
 // CounterAssert bounds one Metrics counter: sink-tuples,
@@ -314,6 +340,8 @@ func Parse(src string) (*Scenario, error) {
 		s.Options.Workers = int(om.int("workers"))
 		s.Options.BatchSize = int(om.int("batch-size"))
 		s.Options.BatchLinger = om.duration("batch-linger")
+		s.Options.QueueBound = int(om.int("queue-bound"))
+		s.Options.MemoryLimitBytes = om.int("memory-limit-bytes")
 		if pm := om.child("policy"); pm != nil {
 			s.Options.Policy = &PolicySpec{
 				Threshold:          pm.float("threshold"),
@@ -343,11 +371,12 @@ func Parse(src string) (*Scenario, error) {
 
 	if wm := root.child("workload"); wm != nil {
 		s.Workload = &Workload{
-			Source:    wm.str("source"),
-			Tuples:    int(wm.int("tuples")),
-			Keys:      int(wm.int("keys")),
-			KeyPrefix: wm.str("key-prefix"),
-			Skew:      wm.float("skew"),
+			Source:            wm.str("source"),
+			Tuples:            int(wm.int("tuples")),
+			Keys:              int(wm.int("keys")),
+			KeyPrefix:         wm.str("key-prefix"),
+			Skew:              wm.float("skew"),
+			SustainedOverload: int(wm.int("sustained-overload")),
 		}
 		if s.Workload.KeyPrefix == "" {
 			s.Workload.KeyPrefix = "w"
@@ -398,6 +427,22 @@ func Parse(src string) (*Scenario, error) {
 				Ceiling: mm.duration("ceiling"),
 			}
 			mm.done()
+		}
+		if qm := am.child("queue-depth"); qm != nil {
+			q := &QueueDepthAssert{Max: -1}
+			if qm.has("max") {
+				q.Max = qm.int("max")
+			}
+			qm.done()
+			s.Assertions.QueueDepth = q
+		}
+		if km := am.child("spilled-keys"); km != nil {
+			k := &SpilledKeysAssert{Min: km.int("min"), Max: -1}
+			if km.has("max") {
+				k.Max = km.int("max")
+			}
+			km.done()
+			s.Assertions.SpilledKeys = k
 		}
 		for i, v := range am.list("counters") {
 			cm := d.mapAt(v, fmt.Sprintf("assertions.counters[%d]", i))
@@ -511,6 +556,15 @@ func Validate(s *Scenario) []error {
 		if w.Skew < 0 {
 			add(ErrBadValue, "workload.skew", "skew must be non-negative, got %v", w.Skew)
 		}
+		if w.SustainedOverload < 0 {
+			add(ErrBadValue, "workload.sustained-overload", "want a non-negative re-injection count, got %d", w.SustainedOverload)
+		}
+	}
+	if s.Options.QueueBound < 0 {
+		add(ErrBadValue, "options.queue-bound", "want a positive tuple bound, got %d", s.Options.QueueBound)
+	}
+	if s.Options.MemoryLimitBytes < 0 {
+		add(ErrBadValue, "options.memory-limit-bytes", "want a positive byte ceiling, got %d", s.Options.MemoryLimitBytes)
 	}
 
 	for i, ev := range s.Events {
@@ -632,6 +686,30 @@ func Validate(s *Scenario) []error {
 			if sl.P99 > ml.Ceiling {
 				add(ErrBadBound, "assertions.sink-latency.p99", "p99 bound %v exceeds the %v hard ceiling on the same sink", sl.P99, ml.Ceiling)
 			}
+		}
+	}
+	if qd := s.Assertions.QueueDepth; qd != nil {
+		if qd.Max < 0 {
+			add(ErrMissingField, "assertions.queue-depth.max", "queue-depth needs a max bound")
+		} else if qd.Max == 0 {
+			add(ErrBadBound, "assertions.queue-depth.max", "the queue-depth bound must be positive, got %d", qd.Max)
+		}
+		if declared["sim"] {
+			add(ErrSubstrateRestricted, "assertions.queue-depth", "queue-depth reads backpressure gauges the simulator does not model (declare live or dist only)")
+		}
+	}
+	if sk := s.Assertions.SpilledKeys; sk != nil {
+		if sk.Min < 0 {
+			add(ErrBadBound, "assertions.spilled-keys.min", "want a non-negative minimum, got %d", sk.Min)
+		}
+		if sk.Max >= 0 && sk.Max < sk.Min {
+			add(ErrBadBound, "assertions.spilled-keys.max", "max %d contradicts min %d", sk.Max, sk.Min)
+		}
+		if sk.Min > 0 && s.Options.MemoryLimitBytes <= 0 {
+			add(ErrBadValue, "assertions.spilled-keys.min", "nothing spills without options.memory-limit-bytes: a positive minimum cannot hold")
+		}
+		if declared["sim"] {
+			add(ErrSubstrateRestricted, "assertions.spilled-keys", "spilled-keys reads spill counters the simulator does not model (declare live or dist only)")
 		}
 	}
 	for i, c := range s.Assertions.Counters {

@@ -221,6 +221,78 @@ func TestValidateTypedErrors(t *testing.T) {
 			wantKind: ErrBadValue,
 			wantPath: "workload",
 		},
+		{
+			name:     "negative sustained-overload",
+			mutate:   func(s *Scenario) { s.Workload.SustainedOverload = -1 },
+			wantKind: ErrBadValue,
+			wantPath: "workload.sustained-overload",
+		},
+		{
+			name:     "negative queue-bound",
+			mutate:   func(s *Scenario) { s.Options.QueueBound = -8 },
+			wantKind: ErrBadValue,
+			wantPath: "options.queue-bound",
+		},
+		{
+			name:     "negative memory limit",
+			mutate:   func(s *Scenario) { s.Options.MemoryLimitBytes = -1 },
+			wantKind: ErrBadValue,
+			wantPath: "options.memory-limit-bytes",
+		},
+		{
+			name: "queue-depth without a max",
+			mutate: func(s *Scenario) {
+				s.Substrates = []string{"live"}
+				s.Assertions.QueueDepth = &QueueDepthAssert{Max: -1}
+			},
+			wantKind: ErrMissingField,
+			wantPath: "assertions.queue-depth.max",
+		},
+		{
+			name: "queue-depth bound not positive",
+			mutate: func(s *Scenario) {
+				s.Substrates = []string{"live"}
+				s.Assertions.QueueDepth = &QueueDepthAssert{Max: 0}
+			},
+			wantKind: ErrBadBound,
+			wantPath: "assertions.queue-depth.max",
+		},
+		{
+			name: "queue-depth on the simulator",
+			mutate: func(s *Scenario) {
+				s.Assertions.QueueDepth = &QueueDepthAssert{Max: 8}
+			},
+			wantKind: ErrSubstrateRestricted,
+			wantPath: "assertions.queue-depth",
+		},
+		{
+			name: "spilled-keys max contradicts min",
+			mutate: func(s *Scenario) {
+				s.Substrates = []string{"live"}
+				s.Options.MemoryLimitBytes = 1 << 20
+				s.Assertions.SpilledKeys = &SpilledKeysAssert{Min: 100, Max: 10}
+			},
+			wantKind: ErrBadBound,
+			wantPath: "assertions.spilled-keys.max",
+		},
+		{
+			name: "spilled-keys minimum without a memory ceiling",
+			mutate: func(s *Scenario) {
+				s.Substrates = []string{"live"}
+				s.Assertions.SpilledKeys = &SpilledKeysAssert{Min: 1, Max: -1}
+			},
+			wantKind: ErrBadValue,
+			wantPath: "assertions.spilled-keys.min",
+		},
+		{
+			name: "spilled-keys on the simulator",
+			mutate: func(s *Scenario) {
+				s.Options.MemoryLimitBytes = 1 << 20
+				s.Assertions.SpilledKeys = &SpilledKeysAssert{Min: 1, Max: -1}
+			},
+			wantKind: ErrSubstrateRestricted,
+			wantPath: "assertions.spilled-keys",
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -244,6 +316,76 @@ func TestValidateTypedErrors(t *testing.T) {
 			}
 			t.Fatalf("no %s at %s among %v", tc.wantKind, tc.wantPath, errs)
 		})
+	}
+}
+
+// The backpressure fields decode end to end: options knobs, the
+// sustained-overload workload knob, and both assertion blocks.
+func TestParseBackpressureFields(t *testing.T) {
+	s, err := Parse(`
+name: bp
+substrates: [live]
+seed: 7
+duration: 2s
+topology:
+  ops:
+    - {id: src, kind: source}
+    - {id: count, kind: word-counter}
+    - {id: sink, kind: sink}
+options:
+  queue-bound: 512
+  memory-limit-bytes: 65536
+workload:
+  source: src
+  tuples: 100
+  keys: 50
+  sustained-overload: 2
+assertions:
+  queue-depth: {max: 12}
+  spilled-keys: {min: 10, max: 40}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs := Validate(s); len(errs) != 0 {
+		t.Fatalf("valid backpressure scenario flagged: %v", errs)
+	}
+	if s.Options.QueueBound != 512 || s.Options.MemoryLimitBytes != 65536 {
+		t.Errorf("decoded options = %+v", s.Options)
+	}
+	if s.Workload.SustainedOverload != 2 {
+		t.Errorf("decoded sustained-overload = %d, want 2", s.Workload.SustainedOverload)
+	}
+	if qd := s.Assertions.QueueDepth; qd == nil || qd.Max != 12 {
+		t.Errorf("decoded queue-depth = %+v", qd)
+	}
+	if sk := s.Assertions.SpilledKeys; sk == nil || sk.Min != 10 || sk.Max != 40 {
+		t.Errorf("decoded spilled-keys = %+v", sk)
+	}
+	// An absent spilled-keys max is unbounded, not zero.
+	s2, err := Parse(`
+name: bp2
+substrates: [live]
+seed: 7
+duration: 2s
+topology:
+  ops:
+    - {id: src, kind: source}
+    - {id: sink, kind: sink}
+options:
+  memory-limit-bytes: 65536
+workload:
+  source: src
+  tuples: 100
+  keys: 50
+assertions:
+  spilled-keys: {min: 1}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sk := s2.Assertions.SpilledKeys; sk == nil || sk.Max != -1 {
+		t.Errorf("absent max decoded as %+v, want Max=-1", sk)
 	}
 }
 

@@ -1,0 +1,404 @@
+package state
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"sync/atomic"
+
+	"seep/internal/stream"
+)
+
+// Out-of-core managed state: wiring the §3.3 spill operation into the
+// Store. When a memory ceiling is armed (EnableSpill), the store tracks
+// an approximate resident footprint and, on crossing the ceiling, moves
+// cold key ranges — resident keys not accessed since the previous spill
+// pass — to disk through the Spiller, in chunks so a later point access
+// materialises one small range rather than everything. Spilled keys are
+// transparent: any cell access to a spilled key loads its chunk back
+// first, full-state operations (snapshot, checkpoint, restore, drains,
+// iteration) materialise everything, and delta extraction materialises
+// exactly the dirty keys it encodes. The disarmed cost on every cell
+// access is one atomic pointer load.
+//
+// Failure semantics: a failed spill write leaves the keys resident (the
+// pass is abandoned, nothing is lost); a failed materialise read records
+// the error, which then fails the next snapshot/checkpoint — state is
+// never dropped silently, the node's previous backup stays
+// authoritative.
+
+const (
+	// spillCheckEvery throttles ceiling checks to one per this many
+	// writes, so the steady-state write path pays a counter increment.
+	spillCheckEvery = 1024
+	// spillChunkKeys bounds the keys per spill file: the unit a point
+	// access on a spilled key loads back.
+	spillChunkKeys = 4096
+	// spillLowWaterNum/Den: a pass spills down to 7/10 of the ceiling,
+	// so passes stay rare relative to growth.
+	spillLowWaterNum, spillLowWaterDen = 7, 10
+	// spillEstFloor is the minimum assumed in-memory bytes per key.
+	spillEstFloor = 64
+	// spillOverhead scales encoded bytes to approximate in-memory cost
+	// (map buckets, boxed values, key overhead).
+	spillOverhead = 3
+)
+
+// SpillStats is the spill observability surface.
+type SpillStats struct {
+	// SpilledKeys is the gauge: keys currently on disk.
+	SpilledKeys uint64
+	// Spills counts completed spill passes.
+	Spills uint64
+	// SpilledTotal counts keys written to disk, cumulatively.
+	SpilledTotal uint64
+	// Loads counts keys materialised back from disk, cumulatively.
+	Loads uint64
+}
+
+// Add folds other into s (metric aggregation across instances).
+func (s *SpillStats) Add(o SpillStats) {
+	s.SpilledKeys += o.SpilledKeys
+	s.Spills += o.Spills
+	s.SpilledTotal += o.SpilledTotal
+	s.Loads += o.Loads
+}
+
+// storeSpill is the armed spill state, reachable from the store through
+// one atomic pointer. All fields are guarded by the store lock.
+type storeSpill struct {
+	sp     *Spiller
+	dir    string
+	ownDir bool
+	limit  int64
+	// est is the approximate in-memory bytes per resident key, refined
+	// from the encoded sizes each pass observes.
+	est        int64
+	sinceCheck int
+	// recent holds the keys accessed since the last spill pass — the
+	// coldness signal. Cleared each pass.
+	recent map[stream.Key]struct{}
+	// spilled holds every key currently on disk.
+	spilled map[stream.Key]struct{}
+
+	passes       uint64
+	spilledTotal uint64
+	loadedTotal  uint64
+	lastErr      error
+}
+
+// EnableSpill arms a memory ceiling on the store: when the approximate
+// resident footprint exceeds limitBytes, cold key ranges spill to disk
+// under dir (empty = a fresh temp directory owned by the store) and
+// materialise transparently on access. The ceiling is approximate — it
+// is tracked as resident keys times an estimated per-key footprint
+// learned from spilled data — and bounds steady-state growth, not the
+// transient of a full checkpoint, which materialises everything.
+func (s *Store) EnableSpill(dir string, limitBytes int64) error {
+	if limitBytes <= 0 {
+		return fmt.Errorf("state: EnableSpill requires a positive byte limit, got %d", limitBytes)
+	}
+	ownDir := false
+	if dir == "" {
+		d, err := os.MkdirTemp("", "seep-spill-")
+		if err != nil {
+			return fmt.Errorf("state: create spill dir: %w", err)
+		}
+		dir, ownDir = d, true
+	}
+	sp, err := NewSpiller(dir)
+	if err != nil {
+		if ownDir {
+			os.RemoveAll(dir)
+		}
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.spill.Load() != nil {
+		sp.Close()
+		if ownDir {
+			os.RemoveAll(dir)
+		}
+		return fmt.Errorf("state: spill already enabled")
+	}
+	s.spill.Store(&storeSpill{
+		sp:      sp,
+		dir:     dir,
+		ownDir:  ownDir,
+		limit:   limitBytes,
+		est:     spillOverhead * spillEstFloor,
+		recent:  make(map[stream.Key]struct{}),
+		spilled: make(map[stream.Key]struct{}),
+	})
+	return nil
+}
+
+// CloseSpill disarms spilling and removes every spill file (and the
+// scratch directory, when the store created it). Spilled keys still on
+// disk are materialised first so no state is lost.
+func (s *Store) CloseSpill() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sp := s.spill.Load()
+	if sp == nil {
+		return nil
+	}
+	err := sp.loadAllLocked(s)
+	s.spill.Store(nil)
+	if cerr := sp.sp.Close(); err == nil {
+		err = cerr
+	}
+	if sp.ownDir {
+		if rerr := os.RemoveAll(sp.dir); err == nil {
+			err = rerr
+		}
+	}
+	return err
+}
+
+// SpillStats returns the spill counters (zero when disarmed).
+func (s *Store) SpillStats() SpillStats {
+	sp := s.spill.Load()
+	if sp == nil {
+		return SpillStats{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return SpillStats{
+		SpilledKeys:  uint64(len(sp.spilled)),
+		Spills:       sp.passes,
+		SpilledTotal: sp.spilledTotal,
+		Loads:        sp.loadedTotal,
+	}
+}
+
+// SpillErr returns the first spill I/O error recorded on an access path
+// (accessors cannot report errors themselves; the error also fails the
+// next snapshot/checkpoint).
+func (s *Store) SpillErr() error {
+	if s.spill.Load() == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sp := s.spill.Load(); sp != nil {
+		return sp.lastErr
+	}
+	return nil
+}
+
+// residentLocked makes k's state resident before a cell accesses it,
+// loading its spill chunk when k is on disk. One atomic load when
+// spilling is disarmed.
+func (s *Store) residentLocked(k stream.Key) {
+	if sp := s.spill.Load(); sp != nil {
+		sp.ensureLocked(s, k)
+	}
+}
+
+// materializeAllLocked loads every spilled key back (full-state
+// operations: snapshot, iteration, drain, restore).
+func (s *Store) materializeAllLocked() error {
+	sp := s.spill.Load()
+	if sp == nil {
+		return nil
+	}
+	if err := sp.loadAllLocked(s); err != nil {
+		return err
+	}
+	return sp.lastErr
+}
+
+// spillNoteWriteLocked is the write-path hook: every spillCheckEvery
+// writes it compares the approximate footprint against the ceiling and
+// runs a spill pass when exceeded.
+func (s *Store) spillNoteWriteLocked() {
+	sp := s.spill.Load()
+	if sp == nil {
+		return
+	}
+	sp.sinceCheck++
+	if sp.sinceCheck < spillCheckEvery {
+		return
+	}
+	sp.sinceCheck = 0
+	resident := int64(s.residentLenLocked())
+	if resident*sp.est > sp.limit {
+		sp.passLocked(s, resident)
+	}
+}
+
+// residentLenLocked approximates the resident key count as the sum of
+// per-cell key counts (an upper bound when cells share keys) — O(cells),
+// cheap enough for the throttled ceiling check.
+func (s *Store) residentLenLocked() int {
+	n := 0
+	for _, c := range s.cells {
+		n += c.lenLocked()
+	}
+	return n
+}
+
+// ensureLocked materialises the chunk holding k when k is spilled, and
+// records the access for the coldness signal.
+func (sp *storeSpill) ensureLocked(s *Store, k stream.Key) {
+	sp.recent[k] = struct{}{}
+	if _, ok := sp.spilled[k]; !ok {
+		return
+	}
+	tmp := &Processing{KV: make(map[stream.Key][]byte)}
+	n, err := sp.sp.Materialize(tmp, KeyRange{Lo: k, Hi: k})
+	if err != nil {
+		sp.lastErr = err
+		return
+	}
+	for kk, b := range tmp.KV {
+		delete(sp.spilled, kk)
+		if err := s.decodeKeyLocked(kk, b); err != nil {
+			sp.lastErr = err
+		}
+	}
+	sp.loadedTotal += uint64(n)
+}
+
+// loadAllLocked materialises everything on disk.
+func (sp *storeSpill) loadAllLocked(s *Store) error {
+	if len(sp.spilled) == 0 {
+		return nil
+	}
+	tmp := &Processing{KV: make(map[stream.Key][]byte, len(sp.spilled))}
+	n, err := sp.sp.Materialize(tmp, FullRange)
+	if err != nil {
+		sp.lastErr = err
+		return err
+	}
+	for kk, b := range tmp.KV {
+		delete(sp.spilled, kk)
+		if derr := s.decodeKeyLocked(kk, b); derr != nil {
+			sp.lastErr = derr
+			err = derr
+		}
+	}
+	sp.loadedTotal += uint64(n)
+	return err
+}
+
+// passLocked runs one spill pass: pick cold keys (clean before dirty,
+// so incremental checkpoints rarely have to load a spilled key back),
+// encode and spill them in chunk-sized sorted ranges until the target
+// footprint is reached, drop them from the cells, compact the cell maps
+// so the freed buckets return to the allocator, and reset the coldness
+// signal.
+func (sp *storeSpill) passLocked(s *Store, resident int64) {
+	target := sp.limit * spillLowWaterNum / spillLowWaterDen / sp.est
+	want := int(resident - target)
+	if want <= 0 {
+		return
+	}
+	all := s.unionKeysLocked()
+	var clean, dirty []stream.Key
+	for k := range all {
+		if _, hot := sp.recent[k]; hot {
+			continue
+		}
+		if _, d := s.touched[k]; d {
+			dirty = append(dirty, k)
+		} else {
+			clean = append(clean, k)
+		}
+	}
+	// Everything is hot: reset the recency window so the next pass has
+	// candidates, and let the footprint overshoot until then.
+	if len(clean)+len(dirty) == 0 {
+		sp.recent = make(map[stream.Key]struct{})
+		return
+	}
+	sort.Slice(clean, func(i, j int) bool { return clean[i] < clean[j] })
+	sort.Slice(dirty, func(i, j int) bool { return dirty[i] < dirty[j] })
+
+	var spilledKeys, spilledBytes int64
+	spillChunks := func(cand []stream.Key) {
+		for len(cand) > 0 && int(spilledKeys) < want {
+			chunk := cand
+			if len(chunk) > spillChunkKeys {
+				chunk = cand[:spillChunkKeys]
+			}
+			cand = cand[len(chunk):]
+			tmp := &Processing{KV: make(map[stream.Key][]byte, len(chunk))}
+			var bytes int64
+			for _, k := range chunk {
+				b, ok, err := s.encodeKeyLocked(k)
+				if err != nil {
+					sp.lastErr = err
+					return
+				}
+				if ok {
+					tmp.KV[k] = b
+					bytes += int64(len(b))
+				}
+			}
+			if len(tmp.KV) == 0 {
+				continue
+			}
+			// Record what the file will hold before Spill, which drains
+			// tmp.KV as it writes.
+			held := make([]stream.Key, 0, len(tmp.KV))
+			for k := range tmp.KV {
+				held = append(held, k)
+			}
+			n, err := sp.sp.Spill(tmp, KeyRange{Lo: chunk[0], Hi: chunk[len(chunk)-1]})
+			if err != nil {
+				// Failed write: abandon the pass, keys stay resident.
+				sp.lastErr = err
+				return
+			}
+			for _, k := range held {
+				sp.spilled[k] = struct{}{}
+				s.deleteKeyLocked(k)
+			}
+			spilledKeys += int64(n)
+			spilledBytes += bytes
+		}
+	}
+	spillChunks(clean)
+	spillChunks(dirty)
+	if spilledKeys == 0 {
+		return
+	}
+	for _, c := range s.cells {
+		c.compactLocked()
+	}
+	// Refine the per-key footprint estimate from what this pass actually
+	// encoded (EMA, floored).
+	observed := spillOverhead * spilledBytes / spilledKeys
+	if observed < spillEstFloor {
+		observed = spillEstFloor
+	}
+	sp.est = (sp.est + observed) / 2
+	sp.passes++
+	sp.spilledTotal += uint64(spilledKeys)
+	sp.recent = make(map[stream.Key]struct{})
+}
+
+// discardLocked drops everything on disk WITHOUT loading it back —
+// Restore replaces the whole store contents, so spilled fragments of
+// the old state must not resurrect.
+func (sp *storeSpill) discardLocked() {
+	sp.sp.Close()
+	sp.spilled = make(map[stream.Key]struct{})
+	sp.recent = make(map[stream.Key]struct{})
+	sp.sinceCheck = 0
+}
+
+// deleteKeyLocked drops k from every cell without touching dirty-key
+// tracking (spilling is not a semantic delete).
+func (s *Store) deleteKeyLocked(k stream.Key) {
+	for _, c := range s.cells {
+		c.deleteKeyLocked(k)
+	}
+}
+
+// spillPtr is the store's atomic arm/disarm switch, declared here so
+// store.go stays focused on the cell machinery.
+type spillPtr = atomic.Pointer[storeSpill]

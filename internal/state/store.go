@@ -38,6 +38,10 @@ type Store struct {
 	// lastFullSize is the serialised footprint of the last full
 	// checkpoint, the baseline for DeltaPolicy's size fallback.
 	lastFullSize int
+	// spill, when armed (EnableSpill), moves cold key ranges to disk
+	// under a memory ceiling; nil when disarmed, so the steady-state
+	// access path pays one atomic pointer load (spill_store.go).
+	spill spillPtr
 }
 
 // NewStore returns an empty store ready for cell registration.
@@ -62,6 +66,14 @@ type storeCell interface {
 	addKeysLocked(set map[stream.Key]struct{})
 	// resetLocked drops all data.
 	resetLocked()
+	// lenLocked returns the number of keys the cell holds.
+	lenLocked() int
+	// deleteKeyLocked drops k without any dirty-key side effect (used by
+	// spilling, which is not a semantic delete).
+	deleteKeyLocked(k stream.Key)
+	// compactLocked reallocates the cell's backing map so buckets freed
+	// by a mass deletion (a spill pass) return to the allocator.
+	compactLocked()
 }
 
 // register binds a cell to the store. Cell names must be unique and
@@ -81,7 +93,10 @@ func (s *Store) register(c storeCell) {
 }
 
 // touchLocked records that the state under k changed (write or delete).
-func (s *Store) touchLocked(k stream.Key) { s.touched[k] = struct{}{} }
+func (s *Store) touchLocked(k stream.Key) {
+	s.touched[k] = struct{}{}
+	s.spillNoteWriteLocked()
+}
 
 // unionKeysLocked returns the set of keys held by any cell.
 func (s *Store) unionKeysLocked() map[stream.Key]struct{} {
@@ -133,6 +148,12 @@ func (s *Store) Snapshot() (map[stream.Key][]byte, error) {
 }
 
 func (s *Store) snapshotLocked() (map[stream.Key][]byte, error) {
+	// Spilled ranges are transparent to checkpointing (§3.3): load them
+	// back before observing. A recorded spill I/O error fails the
+	// snapshot here rather than dropping state silently.
+	if err := s.materializeAllLocked(); err != nil {
+		return nil, err
+	}
 	keys := s.unionKeysLocked()
 	out := make(map[stream.Key][]byte, len(keys))
 	for k := range keys {
@@ -184,6 +205,9 @@ func (s *Store) TakeDelta(ts stream.TSVector, base, seq uint64) (*Delta, error) 
 		TS:      ts.Clone(),
 	}
 	for k := range s.touched {
+		// A dirty key can have been spilled since it was written; deltas
+		// encode exactly the dirty set, so make it resident first.
+		s.residentLocked(k)
 		b, ok, err := s.encodeKeyLocked(k)
 		if err != nil {
 			return nil, err
@@ -208,27 +232,41 @@ func (s *Store) TakeDelta(ts stream.TSVector, base, seq uint64) (*Delta, error) 
 func (s *Store) Restore(kv map[stream.Key][]byte) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	// The restored snapshot replaces everything: spilled fragments of
+	// the old state are discarded, never resurrected.
+	if sp := s.spill.Load(); sp != nil {
+		sp.discardLocked()
+	}
 	for _, c := range s.cells {
 		c.resetLocked()
 	}
 	s.touched = make(map[stream.Key]struct{})
 	s.lastFullSize = 0
 	for k, v := range kv {
-		d := stream.NewDecoder(v)
-		n := int(d.Uint32())
-		for i := 0; i < n; i++ {
-			name := d.String32()
-			frag := d.Bytes32()
-			if err := d.Err(); err != nil {
-				return fmt.Errorf("state: restore key %d: %w", k, err)
-			}
-			c, ok := s.byName[name]
-			if !ok {
-				return fmt.Errorf("state: restore key %d: unknown cell %q", k, name)
-			}
-			if err := c.decodeLocked(k, frag); err != nil {
-				return fmt.Errorf("state: cell %q: decode key %d: %w", name, k, err)
-			}
+		if err := s.decodeKeyLocked(k, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// decodeKeyLocked installs one per-key fragment union produced by
+// encodeKeyLocked, dispatching each fragment to its cell.
+func (s *Store) decodeKeyLocked(k stream.Key, v []byte) error {
+	d := stream.NewDecoder(v)
+	n := int(d.Uint32())
+	for i := 0; i < n; i++ {
+		name := d.String32()
+		frag := d.Bytes32()
+		if err := d.Err(); err != nil {
+			return fmt.Errorf("state: restore key %d: %w", k, err)
+		}
+		c, ok := s.byName[name]
+		if !ok {
+			return fmt.Errorf("state: restore key %d: unknown cell %q", k, name)
+		}
+		if err := c.decodeLocked(k, frag); err != nil {
+			return fmt.Errorf("state: cell %q: decode key %d: %w", name, k, err)
 		}
 	}
 	return nil
@@ -250,10 +288,12 @@ func (s *Store) LastFullSize() int {
 	return s.lastFullSize
 }
 
-// Len returns the number of distinct keys held by any cell.
+// Len returns the number of distinct keys held by any cell (including
+// spilled keys, which are loaded back to be counted).
 func (s *Store) Len() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.materializeAllLocked()
 	return len(s.unionKeysLocked())
 }
 
@@ -261,6 +301,7 @@ func (s *Store) Len() int {
 func (s *Store) Keys() []stream.Key {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.materializeAllLocked()
 	set := s.unionKeysLocked()
 	out := make([]stream.Key, 0, len(set))
 	for k := range set {
@@ -299,6 +340,7 @@ func NewValue[T any](s *Store, name string, codec Codec[T]) *Value[T] {
 func (v *Value[T]) Get(k stream.Key) (T, bool) {
 	v.s.mu.Lock()
 	defer v.s.mu.Unlock()
+	v.s.residentLocked(k)
 	val, ok := v.data[k]
 	return val, ok
 }
@@ -307,6 +349,7 @@ func (v *Value[T]) Get(k stream.Key) (T, bool) {
 func (v *Value[T]) Set(k stream.Key, val T) {
 	v.s.mu.Lock()
 	defer v.s.mu.Unlock()
+	v.s.residentLocked(k)
 	v.data[k] = val
 	v.s.touchLocked(k)
 }
@@ -317,6 +360,7 @@ func (v *Value[T]) Set(k stream.Key, val T) {
 func (v *Value[T]) Update(k stream.Key, f func(T) T) T {
 	v.s.mu.Lock()
 	defer v.s.mu.Unlock()
+	v.s.residentLocked(k)
 	nv := f(v.data[k])
 	v.data[k] = nv
 	v.s.touchLocked(k)
@@ -330,6 +374,7 @@ func (v *Value[T]) Update(k stream.Key, f func(T) T) T {
 func (v *Value[T]) Transform(k stream.Key, f func(T) (nv T, keep bool)) {
 	v.s.mu.Lock()
 	defer v.s.mu.Unlock()
+	v.s.residentLocked(k)
 	cur, had := v.data[k]
 	nv, keep := f(cur)
 	switch {
@@ -346,6 +391,7 @@ func (v *Value[T]) Transform(k stream.Key, f func(T) (nv T, keep bool)) {
 func (v *Value[T]) Delete(k stream.Key) {
 	v.s.mu.Lock()
 	defer v.s.mu.Unlock()
+	v.s.residentLocked(k)
 	if _, ok := v.data[k]; ok {
 		delete(v.data, k)
 		v.s.touchLocked(k)
@@ -356,6 +402,7 @@ func (v *Value[T]) Delete(k stream.Key) {
 func (v *Value[T]) Len() int {
 	v.s.mu.Lock()
 	defer v.s.mu.Unlock()
+	v.s.materializeAllLocked()
 	return len(v.data)
 }
 
@@ -363,6 +410,7 @@ func (v *Value[T]) Len() int {
 func (v *Value[T]) Keys() []stream.Key {
 	v.s.mu.Lock()
 	defer v.s.mu.Unlock()
+	v.s.materializeAllLocked()
 	return sortedKeys(v.data)
 }
 
@@ -371,6 +419,7 @@ func (v *Value[T]) Keys() []stream.Key {
 func (v *Value[T]) ForEach(f func(k stream.Key, val T)) {
 	v.s.mu.Lock()
 	defer v.s.mu.Unlock()
+	v.s.materializeAllLocked()
 	for _, k := range sortedKeys(v.data) {
 		f(k, v.data[k])
 	}
@@ -381,6 +430,7 @@ func (v *Value[T]) ForEach(f func(k stream.Key, val T)) {
 func (v *Value[T]) Drain() map[stream.Key]T {
 	v.s.mu.Lock()
 	defer v.s.mu.Unlock()
+	v.s.materializeAllLocked()
 	out := v.data
 	v.data = make(map[stream.Key]T)
 	for k := range out {
@@ -417,6 +467,18 @@ func (v *Value[T]) addKeysLocked(set map[stream.Key]struct{}) {
 
 func (v *Value[T]) resetLocked() { v.data = make(map[stream.Key]T) }
 
+func (v *Value[T]) lenLocked() int { return len(v.data) }
+
+func (v *Value[T]) deleteKeyLocked(k stream.Key) { delete(v.data, k) }
+
+func (v *Value[T]) compactLocked() {
+	nd := make(map[stream.Key]T, len(v.data))
+	for k, val := range v.data {
+		nd[k] = val
+	}
+	v.data = nd
+}
+
 // Map is a keyed state cell holding a string-indexed map of T per tuple
 // key — the managed replacement for the map[Key]map[string]V dictionaries
 // of counting operators.
@@ -442,6 +504,7 @@ func NewMap[T any](s *Store, name string, codec Codec[T]) *Map[T] {
 func (m *Map[T]) Get(k stream.Key, field string) (T, bool) {
 	m.s.mu.Lock()
 	defer m.s.mu.Unlock()
+	m.s.residentLocked(k)
 	val, ok := m.data[k][field]
 	return val, ok
 }
@@ -450,6 +513,7 @@ func (m *Map[T]) Get(k stream.Key, field string) (T, bool) {
 func (m *Map[T]) Put(k stream.Key, field string, val T) {
 	m.s.mu.Lock()
 	defer m.s.mu.Unlock()
+	m.s.residentLocked(k)
 	inner := m.data[k]
 	if inner == nil {
 		inner = make(map[string]T)
@@ -465,6 +529,7 @@ func (m *Map[T]) Put(k stream.Key, field string, val T) {
 func (m *Map[T]) Update(k stream.Key, field string, f func(T) T) T {
 	m.s.mu.Lock()
 	defer m.s.mu.Unlock()
+	m.s.residentLocked(k)
 	inner := m.data[k]
 	if inner == nil {
 		inner = make(map[string]T)
@@ -480,6 +545,7 @@ func (m *Map[T]) Update(k stream.Key, field string, f func(T) T) T {
 func (m *Map[T]) Delete(k stream.Key) {
 	m.s.mu.Lock()
 	defer m.s.mu.Unlock()
+	m.s.residentLocked(k)
 	if _, ok := m.data[k]; ok {
 		delete(m.data, k)
 		m.s.touchLocked(k)
@@ -490,6 +556,7 @@ func (m *Map[T]) Delete(k stream.Key) {
 func (m *Map[T]) Len() int {
 	m.s.mu.Lock()
 	defer m.s.mu.Unlock()
+	m.s.materializeAllLocked()
 	return len(m.data)
 }
 
@@ -497,6 +564,7 @@ func (m *Map[T]) Len() int {
 func (m *Map[T]) FieldCount() int {
 	m.s.mu.Lock()
 	defer m.s.mu.Unlock()
+	m.s.materializeAllLocked()
 	n := 0
 	for _, inner := range m.data {
 		n += len(inner)
@@ -509,6 +577,7 @@ func (m *Map[T]) FieldCount() int {
 func (m *Map[T]) ForEach(f func(k stream.Key, field string, val T)) {
 	m.s.mu.Lock()
 	defer m.s.mu.Unlock()
+	m.s.materializeAllLocked()
 	for _, k := range sortedKeys(m.data) {
 		inner := m.data[k]
 		fields := make([]string, 0, len(inner))
@@ -527,6 +596,7 @@ func (m *Map[T]) ForEach(f func(k stream.Key, field string, val T)) {
 func (m *Map[T]) Drain() map[stream.Key]map[string]T {
 	m.s.mu.Lock()
 	defer m.s.mu.Unlock()
+	m.s.materializeAllLocked()
 	out := m.data
 	m.data = make(map[stream.Key]map[string]T)
 	for k := range out {
@@ -587,6 +657,18 @@ func (m *Map[T]) addKeysLocked(set map[stream.Key]struct{}) {
 }
 
 func (m *Map[T]) resetLocked() { m.data = make(map[stream.Key]map[string]T) }
+
+func (m *Map[T]) lenLocked() int { return len(m.data) }
+
+func (m *Map[T]) deleteKeyLocked(k stream.Key) { delete(m.data, k) }
+
+func (m *Map[T]) compactLocked() {
+	nd := make(map[stream.Key]map[string]T, len(m.data))
+	for k, inner := range m.data {
+		nd[k] = inner
+	}
+	m.data = nd
+}
 
 func sortedKeys[V any](data map[stream.Key]V) []stream.Key {
 	out := make([]stream.Key, 0, len(data))

@@ -159,6 +159,30 @@ func decodeAck(d *stream.Decoder) (Ack, error) {
 	return a, d.Err()
 }
 
+// Credit grants the sender permission to ship more batches toward To:
+// the receiving host drained Grants batch slots from To's bounded input
+// queue. Credits flow on the reverse connection, piggybacked on the same
+// stream as acks, and refill the sending host's per-link budget — the
+// wire half of the engine's credit ledger.
+type Credit struct {
+	// To is the receiving instance whose input queue freed.
+	To plan.InstanceID
+	// Grants is the number of batch slots freed.
+	Grants uint32
+}
+
+func encodeCredit(e *stream.Encoder, c Credit) {
+	encodeInstanceID(e, c.To)
+	e.Uint32(c.Grants)
+}
+
+func decodeCredit(d *stream.Decoder) (Credit, error) {
+	var c Credit
+	c.To = decodeInstanceID(d)
+	c.Grants = d.Uint32()
+	return c, d.Err()
+}
+
 func encodeBarrier(e *stream.Encoder, inst plan.InstanceID) {
 	encodeInstanceID(e, inst)
 }

@@ -54,7 +54,17 @@ const (
 	// now — the wire form of the §3.2 checkpoint barrier, used before a
 	// coordinated scale out so the replayed window is small.
 	frameBarrier = uint8(6)
+	// frameCredit returns flow-control credits to a sender: the receiving
+	// host drained batch slots from a bounded input queue, so the sender
+	// may ship that many more batches toward the named instance.
+	frameCredit = uint8(7)
 )
+
+// writeStallAfter is how long a single frame write (including any
+// injected slow-link delay) may take before it is counted as a credit
+// stall — the transport-level analogue of a sender waiting on an empty
+// credit ledger.
+const writeStallAfter = 50 * time.Millisecond
 
 // maxFrameBytes bounds a single frame (16 MiB) so a corrupt length
 // prefix cannot allocate unbounded memory.
@@ -104,6 +114,7 @@ type Metrics struct {
 	reconnects      metrics.Counter
 	heartbeatMisses metrics.Counter
 	corruptFrames   metrics.Counter
+	creditStalls    metrics.Counter
 }
 
 func (m *Metrics) addSent(bytes int) {
@@ -143,6 +154,17 @@ func (m *Metrics) addCorrupt() {
 	m.corruptFrames.Inc()
 }
 
+// AddCreditStall counts one flow-control stall: a frame write that
+// exceeded writeStallAfter, or a sender that had to wait for credits
+// before shipping a batch. Exported so the link layer above can fold its
+// ledger waits into the same meter. Safe on nil.
+func (m *Metrics) AddCreditStall() {
+	if m == nil {
+		return
+	}
+	m.creditStalls.Inc()
+}
+
 // Stats is a point-in-time snapshot of transport activity.
 type Stats struct {
 	// BytesSent and BytesReceived count frame bytes (headers + bodies).
@@ -158,6 +180,10 @@ type Stats struct {
 	// CorruptFrames counts inbound frames rejected for a bad checksum,
 	// version or length.
 	CorruptFrames uint64
+	// CreditStalls counts flow-control stalls: frame writes that ran past
+	// writeStallAfter (a slow or faulted link) and sender waits on an
+	// exhausted credit budget.
+	CreditStalls uint64
 }
 
 // Snapshot returns the current counter values (zero Stats on nil).
@@ -173,6 +199,7 @@ func (m *Metrics) Snapshot() Stats {
 		Reconnects:      m.reconnects.Value(),
 		HeartbeatMisses: m.heartbeatMisses.Value(),
 		CorruptFrames:   m.corruptFrames.Value(),
+		CreditStalls:    m.creditStalls.Value(),
 	}
 }
 
@@ -186,6 +213,7 @@ func (s Stats) Add(o Stats) Stats {
 	s.Reconnects += o.Reconnects
 	s.HeartbeatMisses += o.HeartbeatMisses
 	s.CorruptFrames += o.CorruptFrames
+	s.CreditStalls += o.CreditStalls
 	return s
 }
 
@@ -251,6 +279,8 @@ type Handlers struct {
 	OnControl func(body []byte)
 	// OnBarrier receives checkpoint-barrier requests.
 	OnBarrier func(inst plan.InstanceID)
+	// OnCredit receives flow-control credit grants.
+	OnCredit func(Credit)
 }
 
 // Listener accepts frames from peers and hands decoded payloads to the
@@ -375,6 +405,14 @@ func (l *Listener) serve(conn net.Conn) {
 			}
 			if l.handlers.OnBarrier != nil {
 				l.handlers.OnBarrier(inst)
+			}
+		case frameCredit:
+			c, err := decodeCredit(stream.NewDecoder(body))
+			if err != nil {
+				return
+			}
+			if l.handlers.OnCredit != nil {
+				l.handlers.OnCredit(c)
 			}
 		default:
 			return
@@ -547,8 +585,13 @@ func (p *Peer) declareDown() {
 }
 
 // writeLocked writes one frame and flushes under a write deadline.
-// Caller holds p.mu.
+// Caller holds p.mu. The deadline is anchored before the injected
+// slow-link delay, so a faulted link eats into the write budget instead
+// of silently extending it, and any write that runs past writeStallAfter
+// is counted as a credit stall — slow links surface in the metrics the
+// same way an exhausted credit ledger does.
 func (p *Peer) writeLocked(frameType uint8, body []byte) error {
+	start := time.Now()
 	// Chaos-harness fault injection: the disarmed path is one atomic
 	// pointer load (see faults.go).
 	if f, ok := faultFor(p.addr); ok {
@@ -564,7 +607,7 @@ func (p *Peer) writeLocked(frameType uint8, body []byte) error {
 		}
 	}
 	if p.conn != nil && p.WriteTimeout > 0 {
-		_ = p.conn.SetWriteDeadline(time.Now().Add(p.WriteTimeout))
+		_ = p.conn.SetWriteDeadline(start.Add(p.WriteTimeout))
 	}
 	err := writeFrame(p.w, p.Metrics, frameType, body)
 	if err == nil {
@@ -572,6 +615,9 @@ func (p *Peer) writeLocked(frameType uint8, body []byte) error {
 	}
 	if p.conn != nil {
 		_ = p.conn.SetWriteDeadline(time.Time{})
+	}
+	if time.Since(start) >= writeStallAfter {
+		p.Metrics.AddCreditStall()
 	}
 	return err
 }
@@ -642,6 +688,15 @@ func (p *Peer) SendBarrier(inst plan.InstanceID) error {
 	e := stream.NewEncoder(32)
 	encodeBarrier(e, inst)
 	return p.sendFrame(frameBarrier, e.Bytes())
+}
+
+// SendCredit returns flow-control credits to the host this peer points
+// at: the local engine drained c.Grants batch slots destined for c.To,
+// so the remote sender may ship that many more batches.
+func (p *Peer) SendCredit(c Credit) error {
+	e := stream.NewEncoder(32)
+	encodeCredit(e, c)
+	return p.sendFrame(frameCredit, e.Bytes())
 }
 
 // Sent returns how many non-heartbeat frames were transmitted.

@@ -38,7 +38,11 @@ type runtimeConfig struct {
 	batchSet    bool
 
 	// Live engine and Distributed workers (which run live engines).
-	channelBuffer int
+	channelBuffer  int
+	queueBound     int
+	queueBoundSet  bool
+	memoryLimit    int64
+	memoryLimitSet bool
 
 	// Simulated cluster only.
 	seed       int64
@@ -169,6 +173,12 @@ func (c *runtimeConfig) validate() error {
 			return fmt.Errorf("seep: WithBatching requires a positive linger, got %v", c.batchLinger)
 		}
 	}
+	if c.queueBoundSet && c.queueBound < 1 {
+		return fmt.Errorf("seep: WithQueueBound requires n >= 1 tuples, got %d", c.queueBound)
+	}
+	if c.memoryLimitSet && c.memoryLimit < 1 {
+		return fmt.Errorf("seep: WithMemoryLimit requires a positive byte ceiling, got %d", c.memoryLimit)
+	}
 	if c.scaleIn != nil {
 		// Scale in rides the scaling policy's utilisation reports.
 		if c.policy == nil {
@@ -276,6 +286,36 @@ func WithChannelBuffer(n int) Option {
 	return func(c *runtimeConfig) {
 		c.channelBuffer = n
 		c.restrict("WithChannelBuffer", "", "live", "dist")
+	}
+}
+
+// WithQueueBound bounds every operator node's input queue to n tuples
+// and sizes the credit ledgers of the end-to-end flow control: a sender
+// whose downstream queue is out of credits blocks (locally) or stalls
+// its per-link budget (across workers) instead of growing the queue, and
+// sources adaptively stretch their batch linger while credits are
+// scarce. 0 (the default) sizes the ledgers from the channel buffer.
+// Stalls surface in Metrics.Backpressure. Live and Distributed runtimes;
+// the simulator's virtual time has no queues to bound.
+func WithQueueBound(n int) Option {
+	return func(c *runtimeConfig) {
+		c.queueBound = n
+		c.queueBoundSet = true
+		c.restrict("WithQueueBound", "", "live", "dist")
+	}
+}
+
+// WithMemoryLimit caps the resident bytes of each stateful instance's
+// managed state store: past the ceiling, cold key ranges spill to disk
+// via the §3.3 spill primitive and materialise transparently on access.
+// Checkpoints, partition and merge see the full state regardless of what
+// is spilled. Spill activity surfaces in Metrics.Backpressure.Spill.
+// Live and Distributed runtimes; simulated state never leaves memory.
+func WithMemoryLimit(bytes int64) Option {
+	return func(c *runtimeConfig) {
+		c.memoryLimit = bytes
+		c.memoryLimitSet = true
+		c.restrict("WithMemoryLimit", "", "live", "dist")
 	}
 }
 

@@ -147,6 +147,11 @@ type (
 	// directions, reconnects, heartbeat misses, corrupt frames. Always
 	// zero on the in-process runtimes.
 	TransportStats = transport.Stats
+	// BackpressureStats tallies the credit-based flow control and state
+	// spilling: per-edge queue depth and credit-stall gauges plus
+	// spill/load counters from memory-limited stores. Zero on the
+	// Simulated runtime (virtual time has no queues to bound).
+	BackpressureStats = engine.BackpressureStats
 	// ControlPlaneStats tallies the Distributed coordinator's durable
 	// control plane: journal appends and bytes, fsync latency, rotations,
 	// and — after a coordinator restart — replay size/duration, how many
@@ -183,6 +188,14 @@ type Metrics struct {
 	// Transport tallies the Distributed runtime's network activity
 	// across the coordinator and all workers (zero on Live/Simulated).
 	Transport TransportStats
+	// Backpressure tallies credit stalls, queue depths and state-spill
+	// activity (WithQueueBound / WithMemoryLimit); aggregated across all
+	// workers on the Distributed runtime.
+	Backpressure BackpressureStats
+	// OrphanCheckpointsDropped counts checkpoint ships a Distributed
+	// worker evicted from its bounded orphan-mode buffer while its
+	// coordinator was dead (always zero elsewhere).
+	OrphanCheckpointsDropped uint64
 	// ControlPlane tallies the Distributed coordinator's journal and
 	// failover activity (zero without WithControlPlaneDir).
 	ControlPlane ControlPlaneStats
@@ -236,6 +249,8 @@ func (r *liveRuntime) Deploy(t *Topology) (Job, error) {
 		ChannelBuffer:      r.cfg.channelBuffer,
 		BatchSize:          r.cfg.batchSize,
 		BatchLinger:        r.cfg.batchLinger,
+		QueueBound:         r.cfg.queueBound,
+		MemoryLimit:        r.cfg.memoryLimit,
 		Delta:              r.cfg.delta,
 	}, q, factories)
 	if err != nil {
@@ -420,6 +435,7 @@ func (j *liveJob) MetricsSnapshot() Metrics {
 		Recoveries:        recs,
 		Merges:            j.eng.Merges(),
 		Checkpoints:       j.eng.Manager().Backups().ShipStats(),
+		Backpressure:      j.eng.BackpressureSnapshot(),
 		Errors:            errs,
 	}
 }
