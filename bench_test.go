@@ -491,3 +491,65 @@ func BenchmarkCheckpointFullVsIncremental(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkWireCheckpointBytes measures what one checkpoint interval
+// puts ON THE WIRE (frame bodies, not in-memory sizes) for a 100k-key
+// operator with 1% churn: a full-snapshot checkpoint frame versus a
+// delta-checkpoint frame carrying only the dirty keys. The
+// bytes-on-wire ratio is the acceptance criterion for shipping deltas
+// over the network — the delta frame must be at least 10x smaller.
+func BenchmarkWireCheckpointBytes(b *testing.B) {
+	const keys = 100_000
+	const churn = 1_000
+	codec := state.GobPayloadCodec{}
+	inst := plan.InstanceID{Op: "count", Part: 1}
+	s := state.NewStore()
+	m := state.NewMap[int64](s, "counts", state.Int64Codec{})
+	for i := 0; i < keys; i++ {
+		m.Put(stream.Key(stream.Mix64(uint64(i))), "f", int64(i))
+	}
+	kv, err := s.TakeCheckpoint()
+	if err != nil {
+		b.Fatal(err)
+	}
+	proc := state.NewProcessing(1)
+	proc.KV = kv
+	full := &state.Checkpoint{
+		Instance: inst, Seq: 1, Processing: proc,
+		Buffer: state.NewBuffer(), OutClock: int64(keys),
+		Acks: map[plan.InstanceID]int64{{Op: "src", Part: 1}: int64(keys)},
+	}
+	for j := 0; j < churn; j++ {
+		k := stream.Key(stream.Mix64(uint64(j * 97 % keys)))
+		m.Update(k, "f", func(c int64) int64 { return c + 1 })
+	}
+	d, err := s.TakeDelta(stream.NewTSVector(1), 1, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dc := &state.DeltaCheckpoint{
+		Instance: inst, Delta: d,
+		Buffer: state.NewBuffer(), OutClock: int64(keys) + churn,
+		Acks: map[plan.InstanceID]int64{{Op: "src", Part: 1}: int64(keys) + churn},
+	}
+
+	fe := stream.NewEncoder(1 << 20)
+	if err := state.EncodeCheckpoint(fe, full, codec); err != nil {
+		b.Fatal(err)
+	}
+	fullBytes := fe.Len()
+
+	var deltaBytes int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := stream.NewEncoder(dc.Size() + 256)
+		if err := state.EncodeDeltaCheckpoint(e, dc, codec, false); err != nil {
+			b.Fatal(err)
+		}
+		deltaBytes = e.Len()
+	}
+	b.ReportMetric(float64(fullBytes), "full-B")
+	b.ReportMetric(float64(deltaBytes), "delta-B")
+	b.ReportMetric(float64(fullBytes)/float64(deltaBytes), "full/delta-x")
+}

@@ -1,7 +1,6 @@
 package seep
 
 import (
-	"encoding/gob"
 	"fmt"
 	"sync"
 	"time"
@@ -11,6 +10,7 @@ import (
 	"seep/internal/plan"
 	"seep/internal/state"
 	"seep/internal/transport"
+	"seep/internal/wirecodec"
 )
 
 // Distributed returns the distributed runtime: a coordinator owning the
@@ -79,6 +79,14 @@ func (r *distRuntime) Deploy(t *Topology) (Job, error) {
 	if coordAddr == "" {
 		coordAddr = "127.0.0.1:0"
 	}
+	// Incremental checkpoints ship over the wire whenever a delta policy
+	// is armed: WithIncrementalCheckpoints supplies an explicit one, and
+	// WithDeltaCheckpoints falls back to the default epoch (full snapshot
+	// every 10th checkpoint, deltas capped at half the base).
+	deltaPolicy := cfg.delta
+	if cfg.deltaWireSet && !cfg.deltaSet {
+		deltaPolicy = state.DeltaPolicy{FullEvery: 10, MaxDeltaFraction: 0.5}
+	}
 	coordCfg := dist.Config{
 		Addr:               coordAddr,
 		Codec:              codec,
@@ -90,6 +98,9 @@ func (r *distRuntime) Deploy(t *Topology) (Job, error) {
 		ChannelBuffer:      cfg.channelBuffer,
 		QueueBound:         cfg.queueBound,
 		MemoryLimit:        cfg.memoryLimit,
+		WireCodec:          cfg.wireCodec,
+		Delta:              deltaPolicy,
+		DeltaCompress:      cfg.deltaCompress,
 		DetectDelay:        detect,
 		RecoveryPi:         cfg.recoveryPi,
 		Policy:             cfg.policy,
@@ -493,11 +504,17 @@ func (j *distJob) MetricsSnapshot() Metrics {
 	return m
 }
 
-// RegisterPayloadType registers a concrete tuple-payload type with the
-// distributed runtime's default gob codec. Every binary in the cluster
-// (coordinator and workers) must register the same types; the library
-// operators' output types are pre-registered.
-func RegisterPayloadType(v any) { gob.Register(v) }
+// RegisterPayloadType registers a concrete tuple-payload type for the
+// distributed runtime's wire codecs: the type gets a tag in the binary
+// framing's payload registry (encoded as a gob blob under that tag) and
+// is registered with encoding/gob for the legacy framing and the tag-0
+// fallback. It returns the assigned wire tag. Registering the same type
+// twice returns the original tag and an error (instead of gob.Register's
+// panic on conflicting names). Every binary in the cluster (coordinator
+// and workers) must register the same types in the same order; the
+// library operators' output types are pre-registered. The return values
+// may be ignored by callers that registered correctly at init time.
+func RegisterPayloadType(v any) (uint8, error) { return wirecodec.Register(v) }
 
 // GobPayloadCodec is the distributed runtime's default payload codec.
 type GobPayloadCodec = state.GobPayloadCodec

@@ -163,10 +163,16 @@ func TestDistributedRejectsForeignOptions(t *testing.T) {
 	).Deploy(wordcountTopology()); err == nil {
 		t.Error("Distributed accepted WithWorkers together with WithWorkerAddrs")
 	}
-	// Incremental checkpoints do not ship over the wire yet: loud error,
-	// never a silent full-checkpoint fallback.
-	if _, err := seep.Distributed(seep.WithIncrementalCheckpoints(4, 0.5)).Deploy(wordcountTopology()); err == nil {
-		t.Error("Distributed accepted WithIncrementalCheckpoints")
+	// The wire codec and delta-frame options are Distributed-only and
+	// validated loudly; an unknown codec name never reaches the fleet.
+	if _, err := seep.Distributed(seep.WithWireCodec("msgpack")).Deploy(wordcountTopology()); err == nil {
+		t.Error("Distributed accepted an unknown wire codec name")
+	}
+	if _, err := seep.Live(seep.WithWireCodec("gob")).Deploy(wordcountTopology()); err == nil {
+		t.Error("Live accepted WithWireCodec")
+	}
+	if _, err := seep.Live(seep.WithDeltaCheckpoints(false)).Deploy(wordcountTopology()); err == nil {
+		t.Error("Live accepted WithDeltaCheckpoints")
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"seep/internal/core"
 	"seep/internal/plan"
 	"seep/internal/state"
+	"seep/internal/stream"
 	"seep/internal/transport"
 )
 
@@ -36,6 +37,18 @@ type Config struct {
 	// MemoryLimit arms state spilling on every stateful instance past
 	// this many resident bytes (0: in-memory only).
 	MemoryLimit int64
+	// WireCodec selects the data-path batch framing: "" or "binary" for
+	// the compact binary tuple codec, "gob" to pin workers to the legacy
+	// gob framing (e.g. while a mixed-version fleet drains).
+	WireCodec string
+	// Delta, when enabled (FullEvery >= 2), makes workers ship
+	// incremental checkpoints between full snapshots; the coordinator
+	// folds them into its authoritative store. FullEvery is the epoch
+	// boundary: a full snapshot every FullEvery-th capture bounds every
+	// delta chain.
+	Delta state.DeltaPolicy
+	// DeltaCompress flate-compresses delta-checkpoint frames on the wire.
+	DeltaCompress bool
 
 	// DetectDelay is the heartbeat failure-detection horizon: a worker
 	// missing replies for about this long is declared down (default
@@ -272,6 +285,11 @@ func newCoordinator(cfg Config) (*Coordinator, error) {
 				return
 			}
 			c.post(event{kind: evCtl, addr: ctl.From, ctl: ctl})
+		},
+		OnDeltaCheckpoint: func(body []byte) {
+			// Folded on the loop goroutine, like every other store
+			// mutation.
+			c.post(event{kind: evCall, fn: func() { c.storeDeltaShip(body) }})
 		},
 	}, c.tm)
 	if err != nil {
@@ -797,6 +815,10 @@ func (c *Coordinator) startDeploy(q *plan.Query, addrs []string, done chan error
 		MemoryLimitBytes:  c.cfg.MemoryLimit,
 		StandbyAddr:       c.standbyAddr(),
 		DetectMillis:      c.cfg.DetectDelay.Milliseconds(),
+		WireCodec:         wireCodecFor(c.cfg.WireCodec),
+		DeltaFullEvery:    c.cfg.Delta.FullEvery,
+		DeltaMaxFraction:  c.cfg.Delta.MaxDeltaFraction,
+		DeltaCompress:     c.cfg.DeltaCompress,
 	}
 	if c.cfg.Policy != nil {
 		ctl.ReportEveryMillis = c.cfg.Policy.ReportEveryMillis
@@ -1053,6 +1075,60 @@ func (c *Coordinator) storeShip(ctl *Control) (plan.InstanceID, bool) {
 		_ = ref.peer.SendAck(transport.Ack{Owner: cp.Instance, Up: up, TS: ts})
 	}
 	return cp.Instance, true
+}
+
+// storeDeltaShip folds an incremental checkpoint frame into the
+// authoritative store and sends the acknowledgement trims, mirroring
+// storeShip. A delta that cannot be folded (no base, stale base — e.g.
+// a frame that raced a recovery) is dropped silently: the worker's
+// FullEvery epoch re-anchors the chain within one epoch, and until then
+// the stored base stays authoritative, so a lost delta costs replay
+// distance, never correctness. Deltas never advance transition stages
+// (awaitShips waits for fulls).
+func (c *Coordinator) storeDeltaShip(body []byte) {
+	if c.mgr == nil {
+		return
+	}
+	dc, err := state.DecodeDeltaCheckpoint(stream.NewDecoder(body), c.codec)
+	if err != nil {
+		c.pushErr("dist: bad delta checkpoint: %v", err)
+		return
+	}
+	if !c.mgr.Live(dc.Instance) {
+		return
+	}
+	host, err := c.mgr.BackupTarget(dc.Instance)
+	if err != nil {
+		return
+	}
+	if err := c.mgr.Backups().ApplyDelta(host, dc); err != nil {
+		return
+	}
+	if c.dstore != nil {
+		// Persist the folded result, so a recovered coordinator restores
+		// state through the delta, not just up to its base.
+		if folded, _, ok := c.mgr.Backups().Latest(dc.Instance); ok && folded != nil {
+			if err := c.dstore.Persist(folded); err != nil {
+				c.pushErr("dist: persist folded checkpoint for %s: %v", dc.Instance, err)
+				return
+			}
+			if !c.journal(&controlplane.Record{Kind: controlplane.RecShip, Ship: &controlplane.ShipMark{Inst: dc.Instance, Seq: folded.Seq, Bytes: len(body)}}) {
+				return
+			}
+			c.maybeRotate()
+		}
+	}
+	for up, ts := range dc.Acks {
+		addr := c.placement[up]
+		if addr == "" {
+			addr = c.legacyAddr(up)
+		}
+		ref := c.workers[addr]
+		if ref == nil || !ref.alive {
+			continue
+		}
+		_ = ref.peer.SendAck(transport.Ack{Owner: dc.Instance, Up: up, TS: ts})
+	}
 }
 
 // legacyAddr resolves the worker hosting the legacy buffer of a retired

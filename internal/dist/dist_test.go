@@ -47,6 +47,10 @@ type cluster struct {
 }
 
 func startCluster(t *testing.T, reg testRegistry, n int) *cluster {
+	return startClusterWith(t, reg, n, nil)
+}
+
+func startClusterWith(t *testing.T, reg testRegistry, n int, mutate func(*dist.Config)) *cluster {
 	t.Helper()
 	codec := state.GobPayloadCodec{}
 	cl := &cluster{}
@@ -59,14 +63,18 @@ func startCluster(t *testing.T, reg testRegistry, n int) *cluster {
 		cl.workers = append(cl.workers, w)
 		addrs[i] = w.Addr()
 	}
-	coord, err := dist.NewCoordinator(dist.Config{
+	cfg := dist.Config{
 		Addr:               "127.0.0.1:0",
 		Codec:              codec,
 		Topology:           "wordcount",
 		CheckpointInterval: 100 * time.Millisecond,
 		DetectDelay:        200 * time.Millisecond,
 		RecoveryPi:         1,
-	})
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	coord, err := dist.NewCoordinator(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -381,5 +389,102 @@ func TestDistributedScaleInGuards(t *testing.T) {
 	// The loop still serves requests after the rejections.
 	if got := cl.coord.Manager().Parallelism("count"); got != 1 {
 		t.Errorf("Parallelism(count) = %d after rejected merges", got)
+	}
+}
+
+// TestDistributedWordCountGobWireCodec pins the cluster to the legacy
+// gob framing via the negotiated codec byte in the job spec: counts must
+// stay exact and frames still flow, proving a fleet that cannot speak the
+// binary codec degrades to gob instead of corrupting the stream.
+func TestDistributedWordCountGobWireCodec(t *testing.T) {
+	reg := wordcountRegistry()
+	cl := startClusterWith(t, reg, 3, func(c *dist.Config) {
+		c.WireCodec = "gob"
+	})
+	if err := cl.coord.StartJob(); err != nil {
+		t.Fatal(err)
+	}
+
+	src := plan.InstanceID{Op: "src", Part: 1}
+	srcWorker := cl.hostOf(t, src)
+	if err := srcWorker.Engine().InjectBatch(src, 300, parityGen); err != nil {
+		t.Fatal(err)
+	}
+	cl.quiesce(t, 300*time.Millisecond, 10*time.Second)
+
+	count := cl.coord.Manager().Instances("count")[0]
+	counter := cl.counterOf(t, count)
+	for i := 0; i < 10; i++ {
+		w := fmt.Sprintf("w%02d", i)
+		if got := counter.Count(w); got != 30 {
+			t.Errorf("Count(%s) = %d, want 30 under gob framing", w, got)
+		}
+	}
+	var frames uint64
+	for _, w := range cl.workers {
+		frames += w.TransportStats().FramesSent
+	}
+	if frames == 0 {
+		t.Error("no frames crossed the wire under gob framing")
+	}
+}
+
+// TestDistributedDeltaCheckpointRecoveryExactCounts is the recovery
+// parity test with delta checkpoints shipping over the wire: kill the
+// worker hosting the stateful counter mid-stream and assert the exact
+// per-key counts a full-checkpoint run produces — folding deltas into
+// the coordinator's backup store must lose nothing.
+func TestDistributedDeltaCheckpointRecoveryExactCounts(t *testing.T) {
+	reg := wordcountRegistry()
+	cl := startClusterWith(t, reg, 3, func(c *dist.Config) {
+		c.Delta = state.DeltaPolicy{FullEvery: 5, MaxDeltaFraction: 0.9}
+		c.DeltaCompress = true
+	})
+	if err := cl.coord.StartJob(); err != nil {
+		t.Fatal(err)
+	}
+	src := plan.InstanceID{Op: "src", Part: 1}
+	srcWorker := cl.hostOf(t, src)
+
+	if err := srcWorker.Engine().InjectBatch(src, 300, parityGen); err != nil {
+		t.Fatal(err)
+	}
+	cl.quiesce(t, 300*time.Millisecond, 10*time.Second)
+
+	victim := cl.coord.Manager().Instances("count")[0]
+	if err := cl.coord.Fail(victim); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if len(cl.coord.Records()) == 1 && cl.coord.Pending() == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("recovery did not complete: records=%v errs=%v pending=%d",
+				cl.coord.Records(), cl.coord.Errors(), cl.coord.Pending())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	cl.quiesce(t, 300*time.Millisecond, 10*time.Second)
+
+	if err := srcWorker.Engine().InjectBatch(src, 300, parityGen); err != nil {
+		t.Fatal(err)
+	}
+	cl.quiesce(t, 300*time.Millisecond, 10*time.Second)
+
+	insts := cl.coord.Manager().Instances("count")
+	if len(insts) != 1 || insts[0] == victim {
+		t.Fatalf("Instances(count) after recovery = %v (victim %v)", insts, victim)
+	}
+	counter := cl.counterOf(t, insts[0])
+	for i := 0; i < 10; i++ {
+		w := fmt.Sprintf("w%02d", i)
+		if got := counter.Count(w); got != 60 {
+			t.Errorf("Count(%s) = %d, want 60 (exactly once across failure with delta checkpoints)", w, got)
+		}
+	}
+	if errs := cl.coord.Errors(); len(errs) != 0 {
+		t.Errorf("Errors = %v", errs)
 	}
 }

@@ -73,6 +73,13 @@ type Worker struct {
 	// shipped (or buffered) — reported in MsgReattach inventories.
 	lastBarrier atomic.Uint64
 
+	// legacyBatch pins the outbound data links to gob batch framing
+	// (MsgAssign negotiated WireCodec 2); deltaCompress flate-compresses
+	// delta-checkpoint frames. Both are set per assignment and read on
+	// link/ship paths without w.mu.
+	legacyBatch   atomic.Bool
+	deltaCompress atomic.Bool
+
 	// engPtr mirrors w.eng for the lock-free inbound data path; written
 	// under w.mu wherever w.eng changes.
 	engPtr atomic.Pointer[engine.Engine]
@@ -286,8 +293,10 @@ func (w *Worker) onBarrier(inst plan.InstanceID) {
 		return
 	}
 	// Checkpoint synchronously ships through the sink; keep the
-	// connection's handler loop free.
-	go func() { _ = eng.Checkpoint(inst) }()
+	// connection's handler loop free. Barriers always force a FULL
+	// checkpoint: the coordinator's transitions wait for a ship to plan
+	// against, and a delta answered here would leave them waiting.
+	go func() { _ = eng.CheckpointFull(inst) }()
 }
 
 // ---- control plane ----
@@ -393,6 +402,7 @@ func (w *Worker) handleAssign(c *Control) error {
 		BatchLinger:        time.Duration(c.BatchLingerMillis) * time.Millisecond,
 		QueueBound:         c.QueueBound,
 		MemoryLimit:        c.MemoryLimitBytes,
+		Delta:              state.DeltaPolicy{FullEvery: c.DeltaFullEvery, MaxDeltaFraction: c.DeltaMaxFraction},
 		Hosted:             func(inst plan.InstanceID) bool { return hosted[inst] },
 		Backup:             &shipSink{w: w},
 	}, q, factories)
@@ -401,6 +411,8 @@ func (w *Worker) handleAssign(c *Control) error {
 		return err
 	}
 	eng.SetRemote(&linkRouter{w: w})
+	w.legacyBatch.Store(c.WireCodec == wireCodecGob)
+	w.deltaCompress.Store(c.DeltaCompress)
 	// Mirror the engine's per-node credit sizing onto the outbound links:
 	// the remote half of an edge gets the same batch budget as a local
 	// edge would.
@@ -644,6 +656,28 @@ func (s *shipSink) ShipFull(cp *state.Checkpoint) error {
 	s.w.bufferShip(cp.Instance, body)
 	s.w.noteBarrier(cp.Seq)
 	return nil
+}
+
+// ShipDelta sends one incremental checkpoint as a delta frame. Unlike
+// fulls, deltas are never buffered for a dead coordinator — an error
+// here makes the engine re-capture a full checkpoint, which goes
+// through ShipFull's orphan buffering. Barrier inventories
+// (noteBarrier) track fulls only: a reattaching coordinator can always
+// fold from the last full it holds, never from a delta it may have
+// missed.
+func (s *shipSink) ShipDelta(dc *state.DeltaCheckpoint) error {
+	s.w.mu.Lock()
+	coord := s.w.coord
+	orphan := s.w.orphan
+	s.w.mu.Unlock()
+	if coord == nil || orphan {
+		return fmt.Errorf("dist: no coordinator link for delta checkpoint")
+	}
+	e := stream.NewEncoder(dc.Size() + 256)
+	if err := state.EncodeDeltaCheckpoint(e, dc, s.w.codec, s.w.deltaCompress.Load()); err != nil {
+		return err
+	}
+	return coord.SendDeltaCheckpoint(e.Bytes())
 }
 
 // ---- coordinator failover (worker side) ----
@@ -1006,6 +1040,7 @@ func (w *Worker) runLink(pl *peerLink) {
 					downUntil = time.Now().Add(retryBackoff)
 					continue
 				}
+				peer.LegacyBatch = w.legacyBatch.Load()
 				p = peer
 			}
 			var err error

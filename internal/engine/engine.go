@@ -85,11 +85,12 @@ type Config struct {
 	// disjoint hosted subset; emissions to instances hosted elsewhere go
 	// through the Remote link registered with SetRemote.
 	Hosted func(plan.InstanceID) bool
-	// Backup, when set, receives full checkpoints instead of the
+	// Backup, when set, receives checkpoint captures instead of the
 	// in-process backup store: the distributed runtime ships them to the
 	// coordinator, which owns the authoritative store and sends
-	// acknowledgement trims back (TrimUpstream). Incremental checkpoints
-	// are not shipped through a sink.
+	// acknowledgement trims back (TrimUpstream). Under an active Delta
+	// policy, incremental captures go through ShipDelta and the
+	// coordinator folds them into the stored base.
 	Backup BackupSink
 }
 
@@ -99,6 +100,10 @@ type BackupSink interface {
 	// ShipFull stores one full checkpoint. A non-nil error keeps the
 	// node's previous backup authoritative (the round is skipped).
 	ShipFull(cp *state.Checkpoint) error
+	// ShipDelta ships one incremental checkpoint against the sink's
+	// stored base. A non-nil error makes the engine re-capture and ship
+	// a full checkpoint instead, so a delta is never load-bearing.
+	ShipDelta(dc *state.DeltaCheckpoint) error
 }
 
 // Remote delivers batches to instances hosted by other processes — the

@@ -64,9 +64,27 @@ func (e *Engine) checkpointNode(n *node) {
 		// authoritative store; acknowledgement trims come back over the
 		// wire (TrimUpstream), and the coordinator picks the backup
 		// host, so the engine's (possibly stale) local graph is never
-		// consulted. Deltas are not shipped through a sink.
+		// consulted.
 		cap := e.requestCapture(n)
-		if cap == nil || cap.full == nil {
+		if cap == nil {
+			return
+		}
+		if cap.delta != nil {
+			if err := e.cfg.Backup.ShipDelta(cap.delta); err == nil {
+				return
+			}
+			// The sink could not take the delta (coordinator unreachable,
+			// orphaned worker): re-capture as a full checkpoint, mirroring
+			// the in-process fallback, so a delta is never load-bearing.
+			n.mu.Lock()
+			n.needFull = true
+			n.mu.Unlock()
+			cap = e.requestCapture(n)
+			if cap == nil {
+				return
+			}
+		}
+		if cap.full == nil {
 			return
 		}
 		if err := e.cfg.Backup.ShipFull(cap.full); err != nil {
@@ -704,6 +722,25 @@ func (e *Engine) Checkpoint(inst plan.InstanceID) error {
 	if n == nil || n.failed.Load() {
 		return fmt.Errorf("engine: %s is not live", inst)
 	}
+	e.checkpointNode(n)
+	return nil
+}
+
+// CheckpointFull forces an immediate full (non-incremental) checkpoint
+// of one instance, regardless of the delta policy. The coordinator's
+// scale-out barriers use it: a transition waits for a full checkpoint
+// ship to plan against, so a barrier answered with a delta would stall
+// the stage.
+func (e *Engine) CheckpointFull(inst plan.InstanceID) error {
+	e.mu.RLock()
+	n := e.nodes[inst]
+	e.mu.RUnlock()
+	if n == nil || n.failed.Load() {
+		return fmt.Errorf("engine: %s is not live", inst)
+	}
+	n.mu.Lock()
+	n.needFull = true
+	n.mu.Unlock()
 	e.checkpointNode(n)
 	return nil
 }

@@ -1,14 +1,107 @@
 package operator
 
-import "encoding/gob"
+import (
+	"encoding/gob"
+
+	"seep/internal/stream"
+	"seep/internal/wirecodec"
+)
 
 // The distributed runtime's default payload codec is encoding/gob over
 // `any`, which requires every concrete payload type crossing a process
 // boundary to be registered. The library operators register their own
 // output types here; user payload types register via seep.RegisterPayloadType.
+//
+// Each type also gets a hand-written codec in the binary framing's tag
+// registry: a few varints instead of a self-describing gob stream per
+// tuple, and — unlike gob — byte-deterministic output (gob walks maps
+// in random order; see the topk workaround for what that costs).
 func init() {
 	gob.Register(WordCount{})
 	gob.Register(Ranking{})
 	gob.Register(RankEntry{})
 	gob.Register(JoinedPair{})
+
+	// Registration order is part of the wire contract: tags are assigned
+	// sequentially and must match in every binary of a cluster.
+	mustRegister(WordCount{},
+		func(e *stream.Encoder, v any) error {
+			wc := v.(WordCount)
+			e.StringV(wc.Word)
+			e.Varint(wc.Count)
+			return nil
+		},
+		func(d *stream.Decoder) (any, error) {
+			wc := WordCount{Word: d.StringV(), Count: d.Varint()}
+			return wc, d.Err()
+		})
+	mustRegister(RankEntry{},
+		func(e *stream.Encoder, v any) error {
+			encodeRankEntry(e, v.(RankEntry))
+			return nil
+		},
+		func(d *stream.Decoder) (any, error) {
+			re := decodeRankEntry(d)
+			return re, d.Err()
+		})
+	mustRegister(Ranking{},
+		func(e *stream.Encoder, v any) error {
+			r := v.(Ranking)
+			e.Uvarint(uint64(len(r)))
+			for _, re := range r {
+				encodeRankEntry(e, re)
+			}
+			return nil
+		},
+		func(d *stream.Decoder) (any, error) {
+			n := int(d.Uvarint())
+			if err := d.Err(); err != nil {
+				return nil, err
+			}
+			// An entry costs at least two bytes (length prefix + varint).
+			if n < 0 || n > d.Remaining()/2+1 {
+				return nil, stream.ErrShortBuffer
+			}
+			r := make(Ranking, 0, n)
+			for i := 0; i < n; i++ {
+				r = append(r, decodeRankEntry(d))
+			}
+			return r, d.Err()
+		})
+	mustRegister(JoinedPair{},
+		func(e *stream.Encoder, v any) error {
+			jp := v.(JoinedPair)
+			if err := wirecodec.EncodeAny(e, jp.Left); err != nil {
+				return err
+			}
+			return wirecodec.EncodeAny(e, jp.Right)
+		},
+		func(d *stream.Decoder) (any, error) {
+			left, err := wirecodec.DecodeAny(d)
+			if err != nil {
+				return nil, err
+			}
+			right, err := wirecodec.DecodeAny(d)
+			if err != nil {
+				return nil, err
+			}
+			return JoinedPair{Left: left, Right: right}, d.Err()
+		})
+}
+
+func encodeRankEntry(e *stream.Encoder, re RankEntry) {
+	e.StringV(re.Item)
+	e.Varint(re.Count)
+}
+
+func decodeRankEntry(d *stream.Decoder) RankEntry {
+	return RankEntry{Item: d.StringV(), Count: d.Varint()}
+}
+
+// mustRegister panics on a failed init-time registration — the only
+// failures are programming errors (duplicate type, exhausted tag space).
+func mustRegister(v any, enc wirecodec.EncodeFunc, dec wirecodec.DecodeFunc) {
+	if _, err := wirecodec.RegisterCodec(v, enc, dec); err != nil {
+		panic(err)
+	}
 }

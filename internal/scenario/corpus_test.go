@@ -83,3 +83,41 @@ func TestScenarioParityKillRecoverScale(t *testing.T) {
 		}
 	}
 }
+
+// TestScenarioDeltaCheckpointParity kills a worker mid-stream on the
+// Distributed substrate twice — once shipping delta checkpoints over
+// the wire, once shipping only full snapshots — and asserts the exact
+// per-key counts match. The workload is a pure function of the seed, so
+// equality means folding dirty-key fragments into the coordinator's
+// backup store recovers the same state a full checkpoint would.
+func TestScenarioDeltaCheckpointParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dist legs need wall-clock time")
+	}
+	counts := make(map[bool]map[string]int64, 2)
+	for _, delta := range []bool{true, false} {
+		s, err := LoadFile("../../scenarios/kill-recover-scale.yaml")
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Options.DeltaCheckpoints = delta
+		res, err := Run(s, RunConfig{Substrate: "dist"})
+		if err != nil {
+			t.Fatalf("[delta=%v] %v", delta, err)
+		}
+		for _, f := range res.Failures {
+			t.Errorf("[delta=%v] %s", delta, f)
+		}
+		if len(res.Counts) == 0 {
+			t.Fatalf("[delta=%v] no counts read back", delta)
+		}
+		counts[delta] = res.Counts
+	}
+	if t.Failed() {
+		return
+	}
+	if !reflect.DeepEqual(counts[true], counts[false]) {
+		t.Errorf("per-key counts diverge between delta and full checkpoint runs:\n  delta: %v\n  full:  %v",
+			counts[true], counts[false])
+	}
+}

@@ -209,6 +209,12 @@ func runtimeFor(s *Scenario, cfg RunConfig, seed int64) (seep.Runtime, error) {
 	if o.MemoryLimitBytes > 0 && cfg.Substrate != "sim" {
 		opts = append(opts, seep.WithMemoryLimit(o.MemoryLimitBytes))
 	}
+	if o.DeltaCheckpoints {
+		opts = append(opts, seep.WithIncrementalCheckpoints(10, 0.5))
+		if cfg.Substrate == "dist" {
+			opts = append(opts, seep.WithDeltaCheckpoints(false))
+		}
+	}
 	if o.VMPool != nil && cfg.Substrate == "sim" {
 		opts = append(opts, seep.WithVMPool(seep.PoolConfig{
 			Size:                 o.VMPool.Size,

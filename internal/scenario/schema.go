@@ -97,6 +97,7 @@ type Options struct {
 	BatchLinger           time.Duration
 	QueueBound            int   // bounded input queues, in tuples (live/dist)
 	MemoryLimitBytes      int64 // per-instance state ceiling before spilling (live/dist)
+	DeltaCheckpoints      bool  // incremental checkpoints (dist ships them over the wire)
 	Policy                *PolicySpec
 	ScaleIn               *ScaleInSpec
 	VMPool                *VMPoolSpec // Simulated only
@@ -342,6 +343,7 @@ func Parse(src string) (*Scenario, error) {
 		s.Options.BatchLinger = om.duration("batch-linger")
 		s.Options.QueueBound = int(om.int("queue-bound"))
 		s.Options.MemoryLimitBytes = om.int("memory-limit-bytes")
+		s.Options.DeltaCheckpoints = om.boolean("delta-checkpoints")
 		if pm := om.child("policy"); pm != nil {
 			s.Options.Policy = &PolicySpec{
 				Threshold:          pm.float("threshold"),

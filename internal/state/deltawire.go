@@ -1,0 +1,211 @@
+package state
+
+import (
+	"bytes"
+	"compress/flate"
+	"fmt"
+	"io"
+	"sort"
+
+	"seep/internal/plan"
+	"seep/internal/stream"
+)
+
+// deltaMagic guards delta-checkpoint frames against foreign input.
+const deltaMagic = uint32(0x53455044) // "SEPD"
+
+// Compression flags for a delta-checkpoint wire body.
+const (
+	deltaRaw   = uint8(0)
+	deltaFlate = uint8(1)
+)
+
+// maxDeltaBodyBytes bounds decompression of a delta-checkpoint body so a
+// hostile or corrupt frame cannot expand without limit (64 MiB, well
+// above anything a 16 MiB frame legitimately inflates to).
+const maxDeltaBodyBytes = 64 << 20
+
+// EncodeDeltaCheckpoint serialises an incremental checkpoint for the
+// wire: [magic][flag][uvarint-length body], where the body is the delta
+// plus the refreshed bookkeeping (buffer, output clock, acks) and flag
+// says whether it is stored raw or flate-compressed. Compression is
+// attempted only when compress is set and kept only when it actually
+// shrinks the body, so a decoder never pays inflation for
+// incompressible state. Changed and deleted keys are written in sorted
+// order, making the encoding byte-deterministic for a given value.
+func EncodeDeltaCheckpoint(e *stream.Encoder, dc *DeltaCheckpoint, codec PayloadCodec, compress bool) error {
+	if dc == nil || dc.Delta == nil {
+		return fmt.Errorf("state: delta checkpoint missing delta")
+	}
+	inner := stream.NewEncoder(dc.Size() + 256)
+	if err := encodeDeltaBody(inner, dc, codec); err != nil {
+		return err
+	}
+	e.Uint32(deltaMagic)
+	if compress {
+		var buf bytes.Buffer
+		zw, err := flate.NewWriter(&buf, flate.BestSpeed)
+		if err != nil {
+			return fmt.Errorf("state: delta checkpoint deflate: %w", err)
+		}
+		if _, err := zw.Write(inner.Bytes()); err != nil {
+			return fmt.Errorf("state: delta checkpoint deflate: %w", err)
+		}
+		if err := zw.Close(); err != nil {
+			return fmt.Errorf("state: delta checkpoint deflate: %w", err)
+		}
+		if buf.Len() < inner.Len() {
+			e.Uint8(deltaFlate)
+			e.BytesV(buf.Bytes())
+			return nil
+		}
+	}
+	e.Uint8(deltaRaw)
+	e.BytesV(inner.Bytes())
+	return nil
+}
+
+// DecodeDeltaCheckpoint reads a delta checkpoint written by
+// EncodeDeltaCheckpoint, validating the magic and bounding
+// decompression before any field is interpreted.
+func DecodeDeltaCheckpoint(d *stream.Decoder, codec PayloadCodec) (*DeltaCheckpoint, error) {
+	if magic := d.Uint32(); magic != deltaMagic {
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("state: not a delta checkpoint (magic %x)", magic)
+	}
+	flag := d.Uint8()
+	body := d.BytesV()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	switch flag {
+	case deltaRaw:
+	case deltaFlate:
+		zr := flate.NewReader(bytes.NewReader(body))
+		raw, err := io.ReadAll(io.LimitReader(zr, maxDeltaBodyBytes+1))
+		zr.Close()
+		if err != nil {
+			return nil, fmt.Errorf("state: delta checkpoint inflate: %w", err)
+		}
+		if len(raw) > maxDeltaBodyBytes {
+			return nil, fmt.Errorf("state: delta checkpoint inflates past %d bytes", maxDeltaBodyBytes)
+		}
+		body = raw
+	default:
+		return nil, fmt.Errorf("state: delta checkpoint compression flag %d", flag)
+	}
+	return decodeDeltaBody(stream.NewDecoder(body), codec)
+}
+
+func encodeDeltaBody(e *stream.Encoder, dc *DeltaCheckpoint, codec PayloadCodec) error {
+	encodeInstanceID(e, dc.Instance)
+	dl := dc.Delta
+	e.Uint64(dl.Base)
+	e.Uint64(dl.Seq)
+	e.TSVector(dl.TS)
+	keys := make([]stream.Key, 0, len(dl.Changed))
+	for k := range dl.Changed {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	e.Uint32(uint32(len(keys)))
+	for _, k := range keys {
+		e.Uvarint(uint64(k))
+		e.BytesV(dl.Changed[k])
+	}
+	del := append([]stream.Key(nil), dl.Deleted...)
+	sort.Slice(del, func(i, j int) bool { return del[i] < del[j] })
+	e.Uint32(uint32(len(del)))
+	for _, k := range del {
+		e.Uvarint(uint64(k))
+	}
+	buf := dc.Buffer
+	if buf == nil {
+		buf = NewBuffer()
+	}
+	if err := EncodeBuffer(e, buf, codec); err != nil {
+		return err
+	}
+	e.Int64(dc.OutClock)
+	ids := make([]plan.InstanceID, 0, len(dc.Acks))
+	for id := range dc.Acks {
+		ids = append(ids, id)
+	}
+	SortInstanceIDs(ids)
+	e.Uint32(uint32(len(ids)))
+	for _, id := range ids {
+		encodeInstanceID(e, id)
+		e.Int64(dc.Acks[id])
+	}
+	return nil
+}
+
+func decodeDeltaBody(d *stream.Decoder, codec PayloadCodec) (*DeltaCheckpoint, error) {
+	dc := &DeltaCheckpoint{Delta: &Delta{}}
+	dc.Instance = decodeInstanceID(d)
+	dc.Delta.Base = d.Uint64()
+	dc.Delta.Seq = d.Uint64()
+	dc.Delta.TS = d.TSVector()
+	nChanged := int(d.Uint32())
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	// A changed entry costs at least two bytes (key varint + length
+	// prefix), so a sane count is bounded by the remaining body.
+	if nChanged < 0 || nChanged > d.Remaining()/2+1 {
+		return nil, fmt.Errorf("state: delta with %d changed keys exceeds body", nChanged)
+	}
+	if nChanged > 0 {
+		dc.Delta.Changed = make(map[stream.Key][]byte, nChanged)
+		for i := 0; i < nChanged; i++ {
+			k := stream.Key(d.Uvarint())
+			v := d.BytesV()
+			if err := d.Err(); err != nil {
+				return nil, err
+			}
+			cp := make([]byte, len(v))
+			copy(cp, v)
+			dc.Delta.Changed[k] = cp
+		}
+	}
+	nDeleted := int(d.Uint32())
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if nDeleted < 0 || nDeleted > d.Remaining()+1 {
+		return nil, fmt.Errorf("state: delta with %d deleted keys exceeds body", nDeleted)
+	}
+	for i := 0; i < nDeleted; i++ {
+		dc.Delta.Deleted = append(dc.Delta.Deleted, stream.Key(d.Uvarint()))
+	}
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	buf, err := DecodeBuffer(d, codec)
+	if err != nil {
+		return nil, err
+	}
+	dc.Buffer = buf
+	dc.OutClock = d.Int64()
+	nAcks := int(d.Uint32())
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if nAcks < 0 || nAcks > d.Remaining()/12+1 {
+		return nil, fmt.Errorf("state: delta with %d acks exceeds body", nAcks)
+	}
+	if nAcks > 0 {
+		dc.Acks = make(map[plan.InstanceID]int64, nAcks)
+		for i := 0; i < nAcks; i++ {
+			id := decodeInstanceID(d)
+			ts := d.Int64()
+			if err := d.Err(); err != nil {
+				return nil, err
+			}
+			dc.Acks[id] = ts
+		}
+	}
+	return dc, d.Err()
+}

@@ -30,6 +30,15 @@ func (e *Encoder) Len() int { return len(e.buf) }
 // Reset discards the buffer contents, retaining capacity.
 func (e *Encoder) Reset() { e.buf = e.buf[:0] }
 
+// Truncate discards everything encoded after offset n (from Len),
+// letting a caller roll back a partially written value — e.g. a payload
+// codec that failed halfway and falls back to another encoding.
+func (e *Encoder) Truncate(n int) {
+	if n >= 0 && n <= len(e.buf) {
+		e.buf = e.buf[:n]
+	}
+}
+
 // Uint64 appends a fixed-width 64-bit unsigned integer.
 func (e *Encoder) Uint64(v uint64) {
 	e.buf = binary.LittleEndian.AppendUint64(e.buf, v)
@@ -73,6 +82,40 @@ func (e *Encoder) String32(s string) {
 	e.buf = append(e.buf, s...)
 }
 
+// Uvarint appends an unsigned integer in LEB128 variable-width
+// encoding: small values cost one byte instead of eight, which is what
+// makes the binary batch frames compact.
+func (e *Encoder) Uvarint(v uint64) {
+	if v < 0x80 { // one-byte fast path: most counts, lengths and deltas
+		e.buf = append(e.buf, byte(v))
+		return
+	}
+	e.buf = binary.AppendUvarint(e.buf, v)
+}
+
+// Varint appends a signed integer zigzag-encoded, so small magnitudes of
+// either sign stay short (timestamp and clock deltas).
+func (e *Encoder) Varint(v int64) {
+	if zz := uint64(v<<1) ^ uint64(v>>63); zz < 0x80 { // one-byte fast path
+		e.buf = append(e.buf, byte(zz))
+		return
+	}
+	e.buf = binary.AppendVarint(e.buf, v)
+}
+
+// BytesV appends a byte string with a uvarint length prefix.
+func (e *Encoder) BytesV(b []byte) {
+	e.Uvarint(uint64(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+// StringV appends a string with a uvarint length prefix, without an
+// intermediate []byte conversion.
+func (e *Encoder) StringV(s string) {
+	e.Uvarint(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
 // Key appends a partitioning key.
 func (e *Encoder) Key(k Key) { e.Uint64(uint64(k)) }
 
@@ -91,9 +134,10 @@ var ErrShortBuffer = errors.New("stream: decode past end of buffer")
 // Decoder reads values written by Encoder. Decoder methods record the
 // first error and become no-ops afterwards; check Err once at the end.
 type Decoder struct {
-	buf []byte
-	off int
-	err error
+	buf  []byte
+	off  int
+	err  error
+	view string // lazy immutable copy of buf; see StringV
 }
 
 // NewDecoder wraps a buffer produced by Encoder.
@@ -166,6 +210,84 @@ func (d *Decoder) Bytes32() []byte {
 
 // String32 reads a 32-bit length-prefixed string.
 func (d *Decoder) String32() string { return string(d.Bytes32()) }
+
+// Uvarint reads a LEB128 variable-width unsigned integer.
+func (d *Decoder) Uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.off < len(d.buf) { // one-byte fast path
+		if b := d.buf[d.off]; b < 0x80 {
+			d.off++
+			return uint64(b)
+		}
+	}
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		d.err = fmt.Errorf("%w: truncated or oversized uvarint at offset %d", ErrShortBuffer, d.off)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+// Varint reads a zigzag-encoded signed integer.
+func (d *Decoder) Varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.off < len(d.buf) { // one-byte fast path
+		if b := d.buf[d.off]; b < 0x80 {
+			d.off++
+			return int64(b>>1) ^ -int64(b&1)
+		}
+	}
+	v, n := binary.Varint(d.buf[d.off:])
+	if n <= 0 {
+		d.err = fmt.Errorf("%w: truncated or oversized varint at offset %d", ErrShortBuffer, d.off)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+// BytesV reads a uvarint length-prefixed byte string. The returned slice
+// aliases the decoder's buffer; copy if retained.
+func (d *Decoder) BytesV() []byte {
+	n := d.Uvarint()
+	if n > uint64(d.Remaining()) {
+		if d.err == nil {
+			d.err = fmt.Errorf("%w: byte string of length %d", ErrShortBuffer, n)
+		}
+		return nil
+	}
+	return d.take(int(n))
+}
+
+// StringV reads a uvarint length-prefixed string. The first call
+// materialises one immutable copy of the whole buffer and every string
+// is sliced out of it, so decoding a frame full of string payloads
+// costs one allocation total instead of one per string. The copy also
+// makes the results safe to retain past a reused read buffer.
+func (d *Decoder) StringV() string {
+	n := d.Uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if n == 0 {
+		return ""
+	}
+	if n > uint64(d.Remaining()) {
+		d.err = fmt.Errorf("%w: string of length %d", ErrShortBuffer, n)
+		return ""
+	}
+	if d.view == "" {
+		d.view = string(d.buf)
+	}
+	s := d.view[d.off : d.off+int(n)]
+	d.off += int(n)
+	return s
+}
 
 // Key reads a partitioning key.
 func (d *Decoder) Key() Key { return Key(d.Uint64()) }

@@ -1,0 +1,150 @@
+package transport
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"seep/internal/plan"
+	"seep/internal/state"
+	"seep/internal/stream"
+)
+
+// TestCrossVersionBatchCompat: one listener, two senders — a
+// binary-codec peer and a legacy gob peer (the negotiated fallback for
+// an old worker). Both framings must deliver identical batches through
+// the same connection handler with zero corrupt frames: the listener
+// decodes whichever framing arrives, so a mixed-version fleet degrades
+// to gob instead of corrupting the stream.
+func TestCrossVersionBatchCompat(t *testing.T) {
+	codec := state.GobPayloadCodec{}
+	var mu sync.Mutex
+	var got []Batch
+	lm := &Metrics{}
+	l, err := ListenWith("127.0.0.1:0", codec, Handlers{
+		OnBatch: func(b Batch) {
+			mu.Lock()
+			got = append(got, b)
+			mu.Unlock()
+		},
+	}, lm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	batch := Batch{
+		From:  plan.InstanceID{Op: "map", Part: 0},
+		To:    plan.InstanceID{Op: "count", Part: 1},
+		Input: 0,
+		Tuples: []stream.Tuple{
+			{TS: 1, Key: 10, Born: 1, Payload: "alpha"},
+			{TS: 2, Key: 11, Born: 1, Payload: "beta"},
+			{TS: 5, Key: 12, Born: 4, Payload: "gamma"},
+		},
+	}
+
+	binPeer, err := Dial(l.Addr(), codec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer binPeer.Close()
+	gobPeer, err := Dial(l.Addr(), codec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gobPeer.Close()
+	gobPeer.LegacyBatch = true
+
+	if err := binPeer.SendBatch(batch); err != nil {
+		t.Fatalf("binary send: %v", err)
+	}
+	if err := gobPeer.SendBatch(batch); err != nil {
+		t.Fatalf("gob send: %v", err)
+	}
+
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		n := len(got)
+		mu.Unlock()
+		if n == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("received %d batches, want 2", n)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	for i, b := range got {
+		if !reflect.DeepEqual(b, batch) {
+			t.Fatalf("batch %d differs:\n got %+v\nwant %+v", i, b, batch)
+		}
+	}
+	if c := lm.Snapshot().CorruptFrames; c != 0 {
+		t.Fatalf("listener counted %d corrupt frames across mixed framings", c)
+	}
+}
+
+// TestDeltaCheckpointFrameRoundTrip: a delta-checkpoint frame sent by a
+// worker arrives intact at the listener's OnDeltaCheckpoint handler and
+// decodes back to the same value.
+func TestDeltaCheckpointFrameRoundTrip(t *testing.T) {
+	codec := state.StringPayloadCodec{}
+	bodyCh := make(chan []byte, 1)
+	l, err := ListenWith("127.0.0.1:0", codec, Handlers{
+		OnDeltaCheckpoint: func(body []byte) {
+			select {
+			case bodyCh <- body:
+			default:
+			}
+		},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	dc := &state.DeltaCheckpoint{
+		Instance: plan.InstanceID{Op: "count", Part: 0},
+		Delta: &state.Delta{
+			Base:    3,
+			Seq:     4,
+			Changed: map[stream.Key][]byte{7: []byte("seven")},
+			Deleted: []stream.Key{9},
+			TS:      stream.TSVector{12},
+		},
+		Buffer:   state.NewBuffer(),
+		OutClock: 12,
+		Acks:     map[plan.InstanceID]int64{{Op: "src", Part: 0}: 11},
+	}
+	e := stream.NewEncoder(256)
+	if err := state.EncodeDeltaCheckpoint(e, dc, codec, true); err != nil {
+		t.Fatal(err)
+	}
+	p, err := Dial(l.Addr(), codec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if err := p.SendDeltaCheckpoint(e.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case body := <-bodyCh:
+		got, err := state.DecodeDeltaCheckpoint(stream.NewDecoder(body), codec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Instance != dc.Instance || got.Delta.Seq != dc.Delta.Seq ||
+			string(got.Delta.Changed[7]) != "seven" || got.OutClock != dc.OutClock {
+			t.Fatalf("delta roundtrip mismatch: %+v", got)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("delta frame never arrived")
+	}
+}

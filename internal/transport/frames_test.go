@@ -176,13 +176,13 @@ func TestFrameChecksumRejected(t *testing.T) {
 	copy(frame[frameHeaderLen:], body)
 
 	// Pristine frame decodes.
-	if ft, got, err := readFrame(newByteReader(frame), &m); err != nil || ft != frameTuple || len(got) != len(body) {
+	if ft, got, err := readFrame(newByteReader(frame), &m, nil); err != nil || ft != frameTuple || len(got) != len(body) {
 		t.Fatalf("pristine frame: type=%d err=%v", ft, err)
 	}
 	// Corrupt one body byte: typed checksum error.
 	bad := append([]byte(nil), frame...)
 	bad[frameHeaderLen] ^= 0x40
-	_, _, err := readFrame(newByteReader(bad), &m)
+	_, _, err := readFrame(newByteReader(bad), &m, nil)
 	var ce *ChecksumError
 	if !errors.As(err, &ce) {
 		t.Fatalf("corrupt body: err = %v, want *ChecksumError", err)
@@ -190,7 +190,7 @@ func TestFrameChecksumRejected(t *testing.T) {
 	// Wrong protocol version: typed version error.
 	badv := append([]byte(nil), frame...)
 	badv[0] = ProtocolVersion + 1
-	_, _, err = readFrame(newByteReader(badv), &m)
+	_, _, err = readFrame(newByteReader(badv), &m, nil)
 	var ve *VersionError
 	if !errors.As(err, &ve) {
 		t.Fatalf("bad version: err = %v, want *VersionError", err)
@@ -201,7 +201,7 @@ func TestFrameChecksumRejected(t *testing.T) {
 	// Oversize length: typed size error.
 	bads := append([]byte(nil), frame...)
 	binary.LittleEndian.PutUint32(bads[2:6], maxFrameBytes+1)
-	_, _, err = readFrame(newByteReader(bads), &m)
+	_, _, err = readFrame(newByteReader(bads), &m, nil)
 	var se *FrameSizeError
 	if !errors.As(err, &se) {
 		t.Fatalf("oversize: err = %v, want *FrameSizeError", err)

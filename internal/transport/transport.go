@@ -58,6 +58,17 @@ const (
 	// host drained batch slots from a bounded input queue, so the sender
 	// may ship that many more batches toward the named instance.
 	frameCredit = uint8(7)
+	// frameBatchBin is a tuple batch in the compact binary layout:
+	// varint-delta timestamps, uvarint keys and tag-dispatched payloads
+	// (see internal/wirecodec) instead of per-tuple gob blobs. Listeners
+	// decode both batch framings unconditionally; which one a sender
+	// emits is negotiated through the job spec (Peer.LegacyBatch).
+	frameBatchBin = uint8(8)
+	// frameDeltaCheckpoint carries an incremental checkpoint — dirty
+	// keys and deletions since the last acknowledged snapshot — to the
+	// coordinator, which folds it into the authoritative backup store.
+	// Body layout is defined by state.EncodeDeltaCheckpoint.
+	frameDeltaCheckpoint = uint8(9)
 )
 
 // writeStallAfter is how long a single frame write (including any
@@ -235,8 +246,12 @@ func writeFrame(w io.Writer, m *Metrics, frameType uint8, body []byte) error {
 }
 
 // readFrame reads one frame from r, validating version, length and
-// checksum before any body byte is interpreted.
-func readFrame(r io.Reader, m *Metrics) (uint8, []byte, error) {
+// checksum before any body byte is interpreted. When scratch is
+// non-nil the body is read into (and may grow) *scratch, so a
+// long-lived connection loop pays zero steady-state allocation per
+// frame; the returned slice then aliases *scratch and is only valid
+// until the next call. Handlers that retain the body must copy it.
+func readFrame(r io.Reader, m *Metrics, scratch *[]byte) (uint8, []byte, error) {
 	var hdr [frameHeaderLen]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return 0, nil, err
@@ -251,7 +266,15 @@ func readFrame(r io.Reader, m *Metrics) (uint8, []byte, error) {
 		return 0, nil, &FrameSizeError{Size: n}
 	}
 	want := binary.LittleEndian.Uint32(hdr[6:10])
-	body := make([]byte, n)
+	var body []byte
+	if scratch != nil {
+		if uint32(cap(*scratch)) < n {
+			*scratch = make([]byte, n)
+		}
+		body = (*scratch)[:n]
+	} else {
+		body = make([]byte, n)
+	}
 	if _, err := io.ReadFull(r, body); err != nil {
 		return 0, nil, err
 	}
@@ -281,6 +304,10 @@ type Handlers struct {
 	OnBarrier func(inst plan.InstanceID)
 	// OnCredit receives flow-control credit grants.
 	OnCredit func(Credit)
+	// OnDeltaCheckpoint receives incremental-checkpoint frame bodies
+	// (state.EncodeDeltaCheckpoint layout). The slice is owned by the
+	// callee.
+	OnDeltaCheckpoint func(body []byte)
 }
 
 // Listener accepts frames from peers and hands decoded payloads to the
@@ -349,11 +376,16 @@ func (l *Listener) serve(conn net.Conn) {
 		delete(l.conns, conn)
 		l.mu.Unlock()
 	}()
-	r := bufio.NewReader(conn)
+	r := bufio.NewReaderSize(conn, 64<<10)
 	w := bufio.NewWriter(conn)
 	var wmu sync.Mutex
+	// Frame bodies are read into one per-connection scratch buffer;
+	// decoded values copy what they keep, and the opaque-body handlers
+	// (control, delta checkpoint) get an explicit copy because they own
+	// the slice.
+	var scratch []byte
 	for {
-		frameType, body, err := readFrame(r, l.metrics)
+		frameType, body, err := readFrame(r, l.metrics, &scratch)
 		if err != nil {
 			// Version, checksum and length violations poison the stream
 			// framing; drop the connection and let the peer reconnect
@@ -386,6 +418,14 @@ func (l *Listener) serve(conn net.Conn) {
 			if l.handlers.OnBatch != nil {
 				l.handlers.OnBatch(b)
 			}
+		case frameBatchBin:
+			b, err := decodeBatchBin(stream.NewDecoder(body), l.codec)
+			if err != nil {
+				return
+			}
+			if l.handlers.OnBatch != nil {
+				l.handlers.OnBatch(b)
+			}
 		case frameAck:
 			a, err := decodeAck(stream.NewDecoder(body))
 			if err != nil {
@@ -396,7 +436,15 @@ func (l *Listener) serve(conn net.Conn) {
 			}
 		case frameControl:
 			if l.handlers.OnControl != nil {
-				l.handlers.OnControl(body)
+				cp := make([]byte, len(body))
+				copy(cp, body)
+				l.handlers.OnControl(cp)
+			}
+		case frameDeltaCheckpoint:
+			if l.handlers.OnDeltaCheckpoint != nil {
+				cp := make([]byte, len(body))
+				copy(cp, body)
+				l.handlers.OnDeltaCheckpoint(cp)
 			}
 		case frameBarrier:
 			inst, err := decodeBarrier(stream.NewDecoder(body))
@@ -462,6 +510,11 @@ type Peer struct {
 	OnDown func()
 	// Metrics, when set, tallies this peer's traffic.
 	Metrics *Metrics
+	// LegacyBatch, when true, makes SendBatch emit gob-payload batch
+	// frames (frameBatch) instead of the compact binary layout — the
+	// negotiated fallback when the job spec pins the gob wire codec.
+	// Set it once after Dial, before the first SendBatch.
+	LegacyBatch bool
 
 	mu      sync.Mutex
 	conn    net.Conn
@@ -513,7 +566,7 @@ func (p *Peer) connectLocked() error {
 		p.conn.Close()
 	}
 	p.conn = conn
-	p.w = bufio.NewWriter(conn)
+	p.w = bufio.NewWriterSize(conn, 32<<10)
 	p.wg.Add(1)
 	go p.readLoop(conn)
 	return nil
@@ -553,8 +606,9 @@ func (p *Peer) StartHeartbeat() {
 func (p *Peer) readLoop(conn net.Conn) {
 	defer p.wg.Done()
 	r := bufio.NewReader(conn)
+	var scratch []byte
 	for {
-		frameType, _, err := readFrame(r, p.Metrics)
+		frameType, _, err := readFrame(r, p.Metrics, &scratch)
 		if err != nil {
 			return
 		}
@@ -662,13 +716,36 @@ func (p *Peer) Send(env Envelope) error {
 	return p.sendFrame(frameTuple, e.Bytes())
 }
 
-// SendBatch transmits one tuple batch.
+// encPool recycles batch encoders across sends. sendFrame copies the
+// body into the connection's write buffer before returning, so the
+// encoder can go straight back to the pool.
+var encPool = sync.Pool{New: func() any { return stream.NewEncoder(4 << 10) }}
+
+// SendBatch transmits one tuple batch — compact binary framing by
+// default, gob framing when LegacyBatch pins the peer to the old wire
+// codec.
 func (p *Peer) SendBatch(b Batch) error {
-	e := stream.NewEncoder(64 * (1 + len(b.Tuples)))
-	if err := encodeBatch(e, b, p.codec); err != nil {
-		return err
+	if p.LegacyBatch {
+		e := stream.NewEncoder(64 * (1 + len(b.Tuples)))
+		if err := encodeBatch(e, b, p.codec); err != nil {
+			return err
+		}
+		return p.sendFrame(frameBatch, e.Bytes())
 	}
-	return p.sendFrame(frameBatch, e.Bytes())
+	e := encPool.Get().(*stream.Encoder)
+	e.Reset()
+	err := encodeBatchBin(e, b, p.codec)
+	if err == nil {
+		err = p.sendFrame(frameBatchBin, e.Bytes())
+	}
+	encPool.Put(e)
+	return err
+}
+
+// SendDeltaCheckpoint transmits one incremental-checkpoint body
+// (state.EncodeDeltaCheckpoint layout) to the host this peer points at.
+func (p *Peer) SendDeltaCheckpoint(body []byte) error {
+	return p.sendFrame(frameDeltaCheckpoint, body)
 }
 
 // SendAck transmits one acknowledgement watermark.

@@ -62,6 +62,10 @@ type runtimeConfig struct {
 	coordAddr       string
 	controlPlaneDir string
 	standbyAddr     string
+	wireCodec       string
+	deltaWire       bool
+	deltaWireSet    bool
+	deltaCompress   bool
 
 	// restricted records every substrate-restricted option that was
 	// set, with the substrates that DO accept it, so the wrong substrate
@@ -156,6 +160,9 @@ func (c *runtimeConfig) validate() error {
 	if c.workersSet && c.workers < 1 {
 		return fmt.Errorf("seep: WithWorkers requires n >= 1, got %d", c.workers)
 	}
+	if c.wireCodec != "" && c.wireCodec != "binary" && c.wireCodec != "gob" {
+		return fmt.Errorf("seep: WithWireCodec accepts \"binary\" or \"gob\", got %q", c.wireCodec)
+	}
 	if c.standbyAddr != "" && c.controlPlaneDir == "" {
 		return fmt.Errorf("seep: WithStandbyAddr requires WithControlPlaneDir (without a journal there is no state to resume from)")
 	}
@@ -214,18 +221,49 @@ func WithCheckpointInterval(d time.Duration) Option {
 // state.Delta) and the backup host folds them into the stored base. A
 // full checkpoint is forced every fullEvery-th checkpoint, and whenever
 // a delta's size would exceed maxDeltaFraction of the last full
-// snapshot — both guards bound recovery-time fold work. Applies to both
-// runtimes (Simulated: FTRSM mode only; combining with another FT mode
-// is a Deploy error). Operators on the deprecated Stateful contract
-// always checkpoint fully. Observe the effect via
+// snapshot — both guards bound recovery-time fold work. Applies to all
+// three substrates (Simulated: FTRSM mode only; combining with another
+// FT mode is a Deploy error). On the Distributed runtime the deltas
+// travel the wire as delta-checkpoint frames and the coordinator folds
+// them into its authoritative store; fullEvery is the epoch boundary
+// that bounds every delta chain. Operators on the deprecated Stateful
+// contract always checkpoint fully. Observe the effect via
 // Metrics.Checkpoints.
 func WithIncrementalCheckpoints(fullEvery int, maxDeltaFraction float64) Option {
 	return func(c *runtimeConfig) {
 		c.delta = state.DeltaPolicy{FullEvery: fullEvery, MaxDeltaFraction: maxDeltaFraction}
 		c.deltaSet = true
-		c.restrict("WithIncrementalCheckpoints",
-			"distributed checkpoints ship to the coordinator in full; deltas are in-process only",
-			"live", "sim")
+	}
+}
+
+// WithWireCodec selects the Distributed runtime's data-path batch
+// framing: "binary" (the default) ships tuples as compact tag-dispatched
+// records (varint timestamps and keys, the RegisterPayloadType tag
+// registry for payloads), "gob" pins workers to the legacy gob framing —
+// the escape hatch while a mixed-version fleet drains, since listeners
+// of either vintage decode both framings. Distributed runtime only.
+func WithWireCodec(name string) Option {
+	return func(c *runtimeConfig) {
+		c.wireCodec = name
+		c.restrict("WithWireCodec", "the in-process runtimes have no wire", "dist")
+	}
+}
+
+// WithDeltaCheckpoints enables incremental checkpoints over the network
+// with the default policy (a full snapshot every 10th checkpoint, deltas
+// capped at half the base size) unless WithIncrementalCheckpoints set an
+// explicit one. compress flate-compresses each delta frame — worth it on
+// real networks with compressible state, pure overhead on loopback.
+// Distributed runtime only; the in-process substrates take
+// WithIncrementalCheckpoints directly.
+func WithDeltaCheckpoints(compress bool) Option {
+	return func(c *runtimeConfig) {
+		c.deltaWire = true
+		c.deltaWireSet = true
+		c.deltaCompress = compress
+		c.restrict("WithDeltaCheckpoints",
+			"use WithIncrementalCheckpoints on the in-process runtimes",
+			"dist")
 	}
 }
 

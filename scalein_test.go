@@ -276,10 +276,10 @@ func TestOptionErrorsNameOptionAndSubstrates(t *testing.T) {
 		},
 		{
 			deploy: func() error {
-				_, err := seep.Distributed(seep.WithIncrementalCheckpoints(4, 0.5)).Deploy(wordcountTopology())
+				_, err := seep.Live(seep.WithWireCodec("gob")).Deploy(wordcountTopology())
 				return err
 			},
-			wantAll: []string{"WithIncrementalCheckpoints", "Live", "Simulated"},
+			wantAll: []string{"WithWireCodec", "Distributed"},
 		},
 		{
 			deploy: func() error {
