@@ -1,0 +1,132 @@
+// Command seep-lint runs seep's static-analysis suite. Two modes share
+// the same analyzers:
+//
+//	seep-lint [flags] [packages]     standalone, e.g. seep-lint ./...
+//	go vet -vettool=$(which seep-lint) ./...
+//
+// The vet mode speaks the go command's unit-check protocol (-flags and
+// -V=full handshakes, then one vet.cfg per package), so the suite runs
+// from the build cache with the compiler's own export data. Pass
+// -<analyzer> flags (e.g. -heldlock) to run a subset; default is the
+// full suite. Exit status: 0 clean, 1 findings (2 in vet mode, matching
+// go vet), 2 internal or load error.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"seep/internal/analysis"
+	"seep/internal/analysis/driver"
+)
+
+func main() {
+	var (
+		versionFlag = flag.String("V", "", "print version and exit (go vet handshake)")
+		flagsFlag   = flag.Bool("flags", false, "print analyzer flags in JSON (go vet handshake)")
+		jsonFlag    = flag.Bool("json", false, "emit diagnostics as JSON")
+	)
+	selected := make(map[string]*bool)
+	for _, a := range analysis.All() {
+		selected[a.Name] = flag.Bool(a.Name, false, "run only the "+a.Name+" analyzer "+firstLine(a.Doc))
+	}
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: seep-lint [-json] [-<analyzer>...] [package...]\n\nAnalyzers:\n")
+		for _, a := range analysis.All() {
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, firstLine(a.Doc))
+		}
+	}
+	flag.Parse()
+
+	if *flagsFlag {
+		printFlagsJSON()
+		return
+	}
+	if *versionFlag != "" {
+		printVersion()
+		return
+	}
+
+	analyzers := analysis.All()
+	var subset []*analysis.Analyzer
+	for _, a := range analyzers {
+		if *selected[a.Name] {
+			subset = append(subset, a)
+		}
+	}
+	if len(subset) > 0 {
+		analyzers = subset
+	}
+
+	args := flag.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		n, err := driver.VetCfg(args[0], analyzers, *jsonFlag, os.Stderr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "seep-lint: %v\n", err)
+			os.Exit(2)
+		}
+		if n > 0 {
+			os.Exit(2)
+		}
+		return
+	}
+
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	n, err := driver.Standalone(args, analyzers, *jsonFlag, os.Stdout)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "seep-lint: %v\n", err)
+		os.Exit(2)
+	}
+	if n > 0 {
+		os.Exit(1)
+	}
+}
+
+// printVersion answers the go command's -V=full handshake. The line
+// format is parsed by cmd/go/internal/work.(*Builder).toolID: with a
+// "devel" version the last field must carry a buildID, which we derive
+// from the binary's own content so rebuilding the tool invalidates
+// cached vet results.
+func printVersion() {
+	id := "unknown"
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			h := sha256.New()
+			io.Copy(h, f)
+			f.Close()
+			id = fmt.Sprintf("%x", h.Sum(nil)[:12])
+		}
+	}
+	fmt.Printf("%s version devel buildID=%s\n", filepath.Base(os.Args[0]), id)
+}
+
+// printFlagsJSON answers the go command's -flags handshake: a JSON
+// array describing the flags go vet may pass through to the tool.
+func printFlagsJSON() {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	out := []jsonFlag{{Name: "json", Bool: true, Usage: "emit diagnostics as JSON"}}
+	for _, a := range analysis.All() {
+		out = append(out, jsonFlag{Name: a.Name, Bool: true, Usage: firstLine(a.Doc)})
+	}
+	b, _ := json.MarshalIndent(out, "", "\t")
+	os.Stdout.Write(append(b, '\n'))
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

@@ -1,0 +1,131 @@
+// Package analysistest checks one analyzer against fixture packages
+// under testdata/src, matching its diagnostics against `// want "re"`
+// expectation comments the way golang.org/x/tools/go/analysis's harness
+// of the same name does:
+//
+//	ch <- v // want `channel send while`
+//
+// A line may carry several quoted (or backquoted) regexps; each must be
+// matched by a distinct diagnostic on that line, and every diagnostic
+// must be claimed by some expectation. Fixture packages are type-checked
+// under a caller-chosen import path, so package-gated analyzers (which
+// fire only inside, say, seep/internal/dist) can be exercised from
+// fixtures that live elsewhere on disk.
+package analysistest
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"seep/internal/analysis"
+	"seep/internal/analysis/load"
+)
+
+// Run analyzes the fixture package in dir (every non-test .go file),
+// type-checked under importPath, and reports mismatches between the
+// analyzer's findings and the fixtures' want comments as test errors.
+func Run(t *testing.T, a *analysis.Analyzer, dir, importPath string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("read fixture dir: %v", err)
+	}
+	var files []string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(files) == 0 {
+		t.Fatalf("no fixture files in %s", dir)
+	}
+	p, err := load.Files(nil, nil, importPath, files)
+	if err != nil {
+		t.Fatalf("load fixtures: %v", err)
+	}
+	for _, terr := range p.TypeErrors {
+		t.Errorf("fixture does not type-check: %v", terr)
+	}
+
+	var diags []analysis.Diagnostic
+	pass := analysis.NewPass(a, p.Fset, p.Files, p.Pkg, p.Info, &diags)
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("%s: %v", a.Name, err)
+	}
+
+	wants := collectWants(t, p)
+	claimed := make([]bool, len(diags))
+	for _, w := range wants {
+		found := false
+		for i, d := range diags {
+			if claimed[i] || d.Pos.Filename != w.file || d.Pos.Line != w.line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				claimed[i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s:%d: no diagnostic matching %q", filepath.Base(w.file), w.line, w.re)
+		}
+	}
+	for i, d := range diags {
+		if !claimed[i] {
+			t.Errorf("%s: unexpected diagnostic: %s", a.Name, d)
+		}
+	}
+}
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+// wantRx matches one Go string or raw-string literal.
+var wantRx = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+func collectWants(t *testing.T, p *load.Package) []want {
+	t.Helper()
+	var wants []want
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				for _, lit := range wantRx.FindAllString(strings.TrimPrefix(text, "want "), -1) {
+					s, err := strconv.Unquote(lit)
+					if err != nil {
+						t.Fatalf("%s: bad want literal %s: %v", pos, lit, err)
+					}
+					re, err := regexp.Compile(s)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, s, err)
+					}
+					wants = append(wants, want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	sort.Slice(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+	return wants
+}
+
+// Fixture returns the conventional fixture directory for a package name:
+// testdata/src/<name> relative to the caller's package directory.
+func Fixture(name string) string { return filepath.Join("testdata", "src", name) }

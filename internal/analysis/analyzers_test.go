@@ -1,0 +1,62 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"seep/internal/analysis"
+	"seep/internal/analysis/analysistest"
+)
+
+// Each analyzer is checked against a fixture package holding both
+// flagged and clean variants of its target patterns; the fixtures'
+// `// want` comments are the expected diagnostics. Package-gated
+// analyzers get type-checked under the production import paths they
+// fire on.
+
+func TestHeldlock(t *testing.T) {
+	analysistest.Run(t, analysis.Heldlock, analysistest.Fixture("heldlock"), "fixtures/heldlock")
+}
+
+func TestTimerleak(t *testing.T) {
+	analysistest.Run(t, analysis.Timerleak, analysistest.Fixture("timerleak"), "fixtures/timerleak")
+}
+
+func TestAtomicmix(t *testing.T) {
+	analysistest.Run(t, analysis.Atomicmix, analysistest.Fixture("atomicmix"), "fixtures/atomicmix")
+}
+
+func TestWiredet(t *testing.T) {
+	analysistest.Run(t, analysis.Wiredet, analysistest.Fixture("wiredet"), "seep/internal/state")
+}
+
+func TestJournalfirst(t *testing.T) {
+	analysistest.Run(t, analysis.Journalfirst, analysistest.Fixture("journalfirst"), "fixtures/internal/dist")
+}
+
+func TestJournalfirstDriftGuard(t *testing.T) {
+	analysistest.Run(t, analysis.Journalfirst, analysistest.Fixture("journalfirst_drift"), "fixtures/internal/dist")
+}
+
+func TestOptmatrix(t *testing.T) {
+	analysistest.Run(t, analysis.Optmatrix, analysistest.Fixture("optmatrix"), "seep")
+}
+
+func TestOptmatrixMissingRegistry(t *testing.T) {
+	analysistest.Run(t, analysis.Optmatrix, analysistest.Fixture("optmatrix_missing"), "seep")
+}
+
+// TestLookup pins the suite roster: the CLI, CI and docs all assume
+// these six names exist.
+func TestLookup(t *testing.T) {
+	for _, name := range []string{"heldlock", "journalfirst", "timerleak", "wiredet", "atomicmix", "optmatrix"} {
+		if analysis.Lookup(name) == nil {
+			t.Errorf("Lookup(%q) = nil; the suite lost an analyzer", name)
+		}
+	}
+	if analysis.Lookup("nosuch") != nil {
+		t.Errorf("Lookup(nosuch) should be nil")
+	}
+	if got := len(analysis.All()); got != 6 {
+		t.Errorf("All() returned %d analyzers, want 6", got)
+	}
+}

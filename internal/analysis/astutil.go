@@ -1,0 +1,149 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// calleeFunc resolves a call expression to the *types.Func it invokes
+// (nil for calls through function values, built-ins and conversions).
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// isPkgCall reports whether call invokes the package-level function
+// pkgPath.name (e.g. "time".After).
+func isPkgCall(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	f := calleeFunc(info, call)
+	return f != nil && f.Pkg() != nil && f.Pkg().Path() == pkgPath && f.Name() == name && f.Type().(*types.Signature).Recv() == nil
+}
+
+// typeIsNamed reports whether t (possibly behind pointers) is the named
+// type pkgPath.name.
+func typeIsNamed(t types.Type, pkgPath, name string) bool {
+	for {
+		p, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// canonPath renders a simple path expression (ident, or a chain of
+// field selections rooted at an ident) as a stable key tied to the root
+// variable's identity: "var@<pos>.f1.f2". It returns "" for anything
+// more complex (calls, indexing, dereferences of expressions), which
+// callers treat as "cannot verify".
+func canonPath(info *types.Info, e ast.Expr) string {
+	e = ast.Unparen(e)
+	var fields []string
+	for {
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			fields = append(fields, x.Sel.Name)
+			e = ast.Unparen(x.X)
+		case *ast.Ident:
+			obj := info.Uses[x]
+			if obj == nil {
+				obj = info.Defs[x]
+			}
+			if obj == nil {
+				return ""
+			}
+			// Reverse the collected fields (outermost selector first).
+			for i, j := 0, len(fields)-1; i < j; i, j = i+1, j-1 {
+				fields[i], fields[j] = fields[j], fields[i]
+			}
+			key := fmt.Sprintf("%s@%d", obj.Name(), obj.Pos())
+			if len(fields) > 0 {
+				key += "." + strings.Join(fields, ".")
+			}
+			return key
+		default:
+			return ""
+		}
+	}
+}
+
+// fieldVar resolves a selector expression to the struct field it
+// selects (nil when it is not a field selection).
+func fieldVar(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	if s, ok := info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		if v, ok := s.Obj().(*types.Var); ok {
+			return v
+		}
+	}
+	// Qualified references (pkg.Var) and some field accesses resolve
+	// through Uses instead.
+	if v, ok := info.Uses[sel.Sel].(*types.Var); ok && v.IsField() {
+		return v
+	}
+	return nil
+}
+
+// funcScopes yields every function body in the file as an independent
+// lexical scope: each FuncDecl paired with its declaration, and each
+// FuncLit paired with the FuncDecl it appears in (decl may be nil for
+// literals in var initialisers). Nested literals are yielded separately
+// and their bodies are NOT re-visited as part of the enclosing scope's
+// walk when the visitor uses scopeWalk.
+type funcScope struct {
+	decl *ast.FuncDecl // the annotated declaration, nil for orphan literals
+	lit  *ast.FuncLit  // nil for the declaration's own body
+	body *ast.BlockStmt
+}
+
+func funcScopes(file *ast.File) []funcScope {
+	var scopes []funcScope
+	for _, decl := range file.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if ok && fn.Body != nil {
+			scopes = append(scopes, funcScope{decl: fn, body: fn.Body})
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					scopes = append(scopes, funcScope{decl: fn, lit: lit, body: lit.Body})
+				}
+				return true
+			})
+			continue
+		}
+		// Function literals in package-level var initialisers.
+		ast.Inspect(decl, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				scopes = append(scopes, funcScope{lit: lit, body: lit.Body})
+			}
+			return true
+		})
+	}
+	return scopes
+}
+
+// scopeWalk visits the nodes of one function scope in lexical order,
+// skipping nested function literals (they are separate scopes: their
+// bodies execute later, typically on another goroutine, so lock state
+// and journal ordering do not carry into them).
+func scopeWalk(s funcScope, visit func(n ast.Node) bool) {
+	ast.Inspect(s.body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && lit != s.lit {
+			return false
+		}
+		return visit(n)
+	})
+}

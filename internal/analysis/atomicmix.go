@@ -1,0 +1,94 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Atomicmix flags struct fields that are accessed through sync/atomic
+// functions in one place and with plain reads or writes in another —
+// the two access paths have different memory models, so the plain side
+// races the atomic side no matter which goroutine wins.
+var Atomicmix = &Analyzer{
+	Name: "atomicmix",
+	Doc: `flag fields accessed both via sync/atomic and plainly
+
+A field passed as &x.f to sync/atomic's Add/Load/Store/Swap/
+CompareAndSwap functions is part of an atomic protocol: every other
+access to it must go through sync/atomic too. Any plain read, write or
+address-take elsewhere in the package is reported. (Typed atomics —
+atomic.Int64 and friends — make this mistake unrepresentable; prefer
+them for new fields.)`,
+	Run: runAtomicmix,
+}
+
+// atomicFns are the sync/atomic function-name prefixes whose first
+// argument is the target pointer.
+var atomicFnPrefixes = []string{"Add", "Load", "Store", "Swap", "CompareAndSwap"}
+
+func isAtomicFn(name string) bool {
+	for _, p := range atomicFnPrefixes {
+		if strings.HasPrefix(name, p) && len(name) > len(p) {
+			return true
+		}
+	}
+	return false
+}
+
+func runAtomicmix(pass *Pass) error {
+	// Pass 1: fields used atomically, and the selector nodes consumed
+	// by those atomic calls (exempt from pass 2).
+	atomicFields := make(map[*types.Var]token.Pos) // field -> first atomic use
+	consumed := make(map[*ast.SelectorExpr]bool)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			f := calleeFunc(pass.TypesInfo, call)
+			if f == nil || f.Pkg() == nil || f.Pkg().Path() != "sync/atomic" || !isAtomicFn(f.Name()) {
+				return true
+			}
+			unary, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok || unary.Op != token.AND {
+				return true
+			}
+			sel, ok := ast.Unparen(unary.X).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if v := fieldVar(pass.TypesInfo, sel); v != nil {
+				if _, seen := atomicFields[v]; !seen {
+					atomicFields[v] = sel.Pos()
+				}
+				consumed[sel] = true
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+	// Pass 2: any other selection of those fields is a plain access.
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || consumed[sel] {
+				return true
+			}
+			v := fieldVar(pass.TypesInfo, sel)
+			if v == nil {
+				return true
+			}
+			if first, ok := atomicFields[v]; ok {
+				pass.Reportf(sel.Pos(), "field %s is accessed with sync/atomic (first at %s) and must not be read or written plainly",
+					v.Name(), pass.Fset.Position(first))
+			}
+			return true
+		})
+	}
+	return nil
+}

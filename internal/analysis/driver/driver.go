@@ -1,0 +1,224 @@
+// Package driver runs the seep analysis suite over packages, in the
+// two ways the tool is invoked: standalone (`seep-lint ./...`, loading
+// through go list + the source importer) and as a `go vet -vettool`
+// backend (one vet.cfg per package, type-checked from the build's own
+// export data). Both paths produce the same diagnostics; only the
+// loading differs.
+package driver
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"seep/internal/analysis"
+	"seep/internal/analysis/load"
+)
+
+// Run applies analyzers to one loaded package, appending findings to
+// diags.
+func Run(p *load.Package, analyzers []*analysis.Analyzer, diags *[]analysis.Diagnostic) error {
+	for _, a := range analyzers {
+		pass := analysis.NewPass(a, p.Fset, p.Files, p.Pkg, p.Info, diags)
+		if err := a.Run(pass); err != nil {
+			return fmt.Errorf("%s: %s: %v", a.Name, p.ImportPath, err)
+		}
+	}
+	return nil
+}
+
+// Standalone loads the packages matching patterns and runs analyzers
+// over each, printing sorted diagnostics to w. It returns the number of
+// findings; a non-nil error means the load or an analyzer itself
+// failed, not that findings exist.
+func Standalone(patterns []string, analyzers []*analysis.Analyzer, asJSON bool, w io.Writer) (int, error) {
+	pkgs, err := load.Packages(patterns...)
+	if err != nil {
+		return 0, err
+	}
+	var diags []analysis.Diagnostic
+	for _, p := range pkgs {
+		for _, terr := range p.TypeErrors {
+			fmt.Fprintf(w, "seep-lint: typecheck %s: %v\n", p.ImportPath, terr)
+		}
+		if len(p.TypeErrors) > 0 {
+			return 0, fmt.Errorf("%s does not type-check; fix the build first", p.ImportPath)
+		}
+		if err := Run(p, analyzers, &diags); err != nil {
+			return 0, err
+		}
+	}
+	print(diags, asJSON, w)
+	return len(diags), nil
+}
+
+// VetConfig mirrors cmd/go's vetConfig: the JSON handed to a -vettool
+// for each package. Fields the suite does not need are omitted; unknown
+// fields in the input are ignored by encoding/json.
+type VetConfig struct {
+	ID            string
+	Compiler      string
+	Dir           string
+	ImportPath    string
+	GoFiles       []string
+	ImportMap     map[string]string
+	PackageFile   map[string]string
+	Standard      map[string]bool
+	VetxOnly      bool
+	VetxOutput    string
+	GoVersion     string
+	ModulePath    string
+	ModuleVersion string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// VetCfg implements the go vet unit-check protocol for one package:
+// parse cfg's GoFiles, type-check against the build's export data,
+// write the (empty — the suite has no cross-package facts) vetx output
+// so the go command can cache the run, and report findings to w.
+// The int result is the number of findings.
+func VetCfg(cfgPath string, analyzers []*analysis.Analyzer, asJSON bool, w io.Writer) (int, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return 0, err
+	}
+	var cfg VetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return 0, fmt.Errorf("parse %s: %v", cfgPath, err)
+	}
+
+	// The facts file must exist even on failure paths, or the go
+	// command re-runs the tool on every build.
+	writeVetx := func() error {
+		if cfg.VetxOutput == "" {
+			return nil
+		}
+		return os.WriteFile(cfg.VetxOutput, []byte{}, 0o666)
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0, writeVetx()
+			}
+			return 0, err
+		}
+		files = append(files, f)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: vetImporter(fset, &cfg)}
+	if cfg.GoVersion != "" {
+		conf.GoVersion = cfg.GoVersion
+	}
+	pkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0, writeVetx()
+		}
+		return 0, err
+	}
+	if err := writeVetx(); err != nil {
+		return 0, err
+	}
+	if cfg.VetxOnly {
+		// Dependency-only run: the go command wants facts, not findings.
+		return 0, nil
+	}
+
+	// go vet also hands us the package's test variants; the suite's
+	// contract covers shipped code only (test-side time.After timeout
+	// guards and lock games die with the test process).
+	var checked []*ast.File
+	for _, f := range files {
+		if !strings.HasSuffix(fset.Position(f.Pos()).Filename, "_test.go") {
+			checked = append(checked, f)
+		}
+	}
+
+	p := &load.Package{ImportPath: cfg.ImportPath, Dir: cfg.Dir, Fset: fset, Files: checked, Pkg: pkg, Info: info}
+	var diags []analysis.Diagnostic
+	if err := Run(p, analyzers, &diags); err != nil {
+		return 0, err
+	}
+	print(diags, asJSON, w)
+	return len(diags), nil
+}
+
+// vetImporter resolves imports the way the compiler did: source import
+// path -> canonical package path (ImportMap) -> export data file
+// (PackageFile), decoded by the gc importer.
+func vetImporter(fset *token.FileSet, cfg *VetConfig) types.Importer {
+	compImp := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q (stale vet config?)", path)
+		}
+		return os.Open(file)
+	})
+	return importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			path = importPath
+		}
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return compImp.(types.ImporterFrom).ImportFrom(path, cfg.Dir, 0)
+	})
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// print emits diagnostics sorted by position, plain or as a JSON array.
+func print(diags []analysis.Diagnostic, asJSON bool, w io.Writer) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Offset != b.Pos.Offset {
+			return a.Pos.Offset < b.Pos.Offset
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	if asJSON {
+		type jsonDiag struct {
+			Analyzer string `json:"analyzer"`
+			Position string `json:"position"`
+			Message  string `json:"message"`
+		}
+		out := make([]jsonDiag, len(diags))
+		for i, d := range diags {
+			out[i] = jsonDiag{Analyzer: d.Analyzer, Position: d.Pos.String(), Message: d.Message}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "\t")
+		enc.Encode(out)
+		return
+	}
+	for _, d := range diags {
+		fmt.Fprintf(w, "%s\n", d.String())
+	}
+}

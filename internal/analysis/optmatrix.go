@@ -1,0 +1,154 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// Optmatrix keeps the option/substrate matrix closed: every exported
+// With* option in the root seep package must either register itself in
+// the substrate-restriction machinery (c.restrict) or be listed in the
+// universalOptions registry, so an option can never silently apply to a
+// substrate that ignores it.
+var Optmatrix = &Analyzer{
+	Name: "optmatrix",
+	Doc: `flag With* options missing from the substrate matrix
+
+The seep package promises that deploying an option on a substrate that
+does not support it is a Deploy error, never a silent no-op. That
+promise is carried by two registries: c.restrict("WithX", ...) calls
+inside restricted options, and the universalOptions list for options
+every substrate accepts. This analyzer checks that every exported
+With* constructor returning Option appears in exactly one of the two,
+that each restrict literal names its enclosing function (no
+copy/paste drift), and that universalOptions lists no stale names.`,
+	Run: runOptmatrix,
+}
+
+func runOptmatrix(pass *Pass) error {
+	if pass.Pkg.Path() != "seep" {
+		return nil
+	}
+	type optionFn struct {
+		decl         *ast.FuncDecl
+		restrictName string    // literal passed to c.restrict, "" if none
+		restrictPos  token.Pos // position of that literal
+	}
+	var options []optionFn
+	universal := make(map[string]token.Pos)
+	var universalDecl token.Pos
+
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Recv != nil || !d.Name.IsExported() || !strings.HasPrefix(d.Name.Name, "With") || !returnsOption(d) {
+					continue
+				}
+				o := optionFn{decl: d}
+				if d.Body != nil {
+					ast.Inspect(d.Body, func(n ast.Node) bool {
+						call, ok := n.(*ast.CallExpr)
+						if !ok {
+							return true
+						}
+						sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+						if !ok || sel.Sel.Name != "restrict" || len(call.Args) == 0 {
+							return true
+						}
+						if lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit); ok && lit.Kind == token.STRING {
+							if s, err := strconv.Unquote(lit.Value); err == nil {
+								o.restrictName = s
+								o.restrictPos = lit.Pos()
+							}
+						} else {
+							pass.Reportf(call.Args[0].Pos(), "c.restrict must be called with a string literal option name (got a computed value)")
+						}
+						return true
+					})
+				}
+				options = append(options, o)
+			case *ast.GenDecl:
+				if d.Tok != token.VAR {
+					continue
+				}
+				for _, spec := range d.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for i, name := range vs.Names {
+						if name.Name != "universalOptions" || i >= len(vs.Values) {
+							continue
+						}
+						universalDecl = name.Pos()
+						collectStringKeys(vs.Values[i], func(s string, pos token.Pos) {
+							universal[s] = pos
+						})
+					}
+				}
+			}
+		}
+	}
+
+	if len(options) == 0 {
+		return nil
+	}
+	if universalDecl == token.NoPos {
+		pass.Reportf(options[0].decl.Pos(), "package %s declares With* options but no universalOptions registry var; declare one listing every option accepted by all substrates", pass.Pkg.Name())
+		return nil
+	}
+
+	byName := make(map[string]bool, len(options))
+	for _, o := range options {
+		name := o.decl.Name.Name
+		byName[name] = true
+		_, isUniversal := universal[name]
+		switch {
+		case o.restrictName == "" && !isUniversal:
+			pass.Reportf(o.decl.Name.Pos(), "option %s neither calls c.restrict(%q, ...) nor appears in universalOptions; every option must declare its substrate matrix", name, name)
+		case o.restrictName != "" && o.restrictName != name:
+			pass.Reportf(o.restrictPos, "c.restrict registers %q from inside %s; the registered name must match the enclosing option", o.restrictName, name)
+		case o.restrictName == name && isUniversal:
+			pass.Reportf(universal[name], "option %s is both restricted (c.restrict) and listed in universalOptions; pick one", name)
+		}
+	}
+	for name, pos := range universal {
+		if !byName[name] {
+			pass.Reportf(pos, "universalOptions lists %q but no exported option constructor of that name exists", name)
+		}
+	}
+	return nil
+}
+
+// returnsOption reports whether the function's single result type is
+// named Option.
+func returnsOption(d *ast.FuncDecl) bool {
+	if d.Type.Results == nil || len(d.Type.Results.List) != 1 {
+		return false
+	}
+	id, ok := d.Type.Results.List[0].Type.(*ast.Ident)
+	return ok && id.Name == "Option"
+}
+
+// collectStringKeys walks a composite literal collecting its string
+// entries: []string elements, or the keys of a map[string]... literal.
+func collectStringKeys(e ast.Expr, yield func(string, token.Pos)) {
+	lit, ok := ast.Unparen(e).(*ast.CompositeLit)
+	if !ok {
+		return
+	}
+	for _, elt := range lit.Elts {
+		target := elt
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			target = kv.Key
+		}
+		if bl, ok := ast.Unparen(target).(*ast.BasicLit); ok && bl.Kind == token.STRING {
+			if s, err := strconv.Unquote(bl.Value); err == nil {
+				yield(s, bl.Pos())
+			}
+		}
+	}
+}

@@ -1,0 +1,38 @@
+// Package atomicmix exercises the atomicmix analyzer: fields accessed
+// both through sync/atomic and plainly.
+package atomicmix
+
+import "sync/atomic"
+
+type counters struct {
+	hits   int64
+	misses int64
+	typed  atomic.Int64
+}
+
+func (c *counters) bump() {
+	atomic.AddInt64(&c.hits, 1)
+	atomic.AddInt64(&c.misses, 1)
+}
+
+func (c *counters) read() int64 {
+	return atomic.LoadInt64(&c.hits) + c.misses // want `field misses is accessed with sync/atomic`
+}
+
+func (c *counters) reset() {
+	c.hits = 0 // want `field hits is accessed with sync/atomic`
+	atomic.StoreInt64(&c.misses, 0)
+}
+
+func (c *counters) typedOnly() int64 {
+	// Typed atomics make mixing unrepresentable; plain method calls on
+	// them are not plain accesses of an atomic word.
+	c.typed.Add(1)
+	return c.typed.Load()
+}
+
+type plainOnly struct {
+	n int
+}
+
+func (p *plainOnly) inc() { p.n++ } // never touched atomically: clean

@@ -1,0 +1,121 @@
+// Package heldlock exercises the heldlock analyzer: seep:locks
+// preconditions, the early-exit unlock shape, blocking sends under an
+// annotated mutex and the select escape-path exemptions.
+package heldlock
+
+import "sync"
+
+type engine struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	out  chan int
+	wake chan struct{}
+}
+
+// rebuild requires the engine lock.
+//
+// seep:locks e.mu
+func (e *engine) rebuild() {}
+
+// inspect requires a read lock.
+//
+// seep:locks e.rw
+func (e *engine) inspect() {}
+
+// waitCredit models a flow-control wait.
+//
+// seep:blocking
+func (e *engine) waitCredit() {}
+
+// helper has a lock precondition on a parameter, not the receiver.
+//
+// seep:locks e.mu
+func touch(e *engine) {}
+
+func goodCaller(e *engine) {
+	e.mu.Lock()
+	e.rebuild()
+	touch(e)
+	e.mu.Unlock()
+	e.rebuild() // want `call to rebuild requires e\.mu held`
+}
+
+func goodEarlyExit(e *engine, bad bool) {
+	e.mu.Lock()
+	if bad {
+		e.mu.Unlock()
+		return
+	}
+	e.rebuild() // the early-exit unlock above must not end the region
+	e.mu.Unlock()
+}
+
+// declaredCaller re-declares the lock instead of taking it.
+//
+// seep:locks e.mu
+func declaredCaller(e *engine) {
+	e.rebuild()
+	touch(e)
+}
+
+// doubleLock re-locks its own declared lock.
+//
+// seep:locks e.mu
+func doubleLock(e *engine) {
+	e.mu.Lock() // want `declares this lock held on entry`
+	e.rebuild()
+	e.mu.Unlock()
+}
+
+func wrongLock(e *engine) {
+	e.rw.RLock()
+	e.inspect()
+	e.rebuild() // want `call to rebuild requires e\.mu held`
+	e.rw.RUnlock()
+}
+
+func sendUnderLock(e *engine, v int) {
+	e.mu.Lock()
+	e.out <- v // want `blocking channel send while sendUnderLock holds annotated mutex e\.mu`
+	e.mu.Unlock()
+	e.out <- v // after the unlock: fine
+}
+
+func sendWithEscape(e *engine, v int) {
+	e.mu.Lock()
+	select {
+	case e.out <- v: // escape path below: exempt
+	default:
+	}
+	select {
+	case e.out <- v: // alternative case: exempt
+	case <-e.wake:
+	}
+	e.mu.Unlock()
+}
+
+func blockingUnderLock(e *engine) {
+	e.mu.Lock()
+	e.waitCredit() // want `call to waitCredit \(// seep:blocking\) while blockingUnderLock holds annotated mutex e\.mu`
+	e.mu.Unlock()
+	e.waitCredit()
+}
+
+func sendUnderLocalLock(v int) {
+	// A mutex that is not the subject of any seep:locks annotation does
+	// not restrict sends.
+	var mu sync.Mutex
+	ch := make(chan int, 1)
+	mu.Lock()
+	ch <- v
+	mu.Unlock()
+}
+
+func literalScope(e *engine) {
+	e.mu.Lock()
+	f := func() {
+		e.rebuild() // want `call to rebuild requires e\.mu held`
+	}
+	f()
+	e.mu.Unlock()
+}

@@ -1,0 +1,62 @@
+// Package journalfirst exercises the journalfirst analyzer. The test
+// type-checks it under an import path ending in internal/dist, the
+// package the analyzer gates on.
+package journalfirst
+
+type record struct{ kind int }
+
+type instance struct{ op string }
+
+// Coordinator mirrors the shape the analyzer reads: journaled fields
+// carry the seep:journaled marker.
+type Coordinator struct {
+	placement map[instance]string // seep:journaled
+	order     []string            // seep:journaled
+	seq       uint64              // seep:journaled
+	scratch   int
+}
+
+func (c *Coordinator) journal(rec *record) bool { return true }
+
+func (c *Coordinator) broadcast(msg string) {}
+
+func (c *Coordinator) sendTo(addr, msg string) {}
+
+func (c *Coordinator) goodDeploy(addr string) {
+	c.placement[instance{op: "src"}] = addr
+	c.order = append(c.order, addr)
+	c.journal(&record{kind: 1})
+	c.broadcast("deploy")
+}
+
+func (c *Coordinator) badDeploy(addr string) {
+	c.placement[instance{op: "src"}] = addr
+	c.broadcast("deploy") // want `badDeploy mutates journaled field placement but sends broadcast to workers without any c\.journal call`
+}
+
+func (c *Coordinator) sendBeforeJournal(addr string) {
+	c.seq++
+	c.sendTo(addr, "plan") // want `sendBeforeJournal sends sendTo to workers before its c\.journal call while mutating journaled field seq`
+	c.journal(&record{kind: 2})
+	c.sendTo(addr, "commit") // after the journal: fine
+}
+
+func (c *Coordinator) badRetire(inst instance, addr string) {
+	delete(c.placement, inst)
+	c.sendTo(addr, "retire") // want `badRetire mutates journaled field placement but sends sendTo to workers without any c\.journal call`
+}
+
+// reconcileInventory applies journal-derived placements back to the
+// fleet after a failover replay; the journal is already the source.
+//
+// seep:replay
+func (c *Coordinator) reconcileInventory(addr string) {
+	delete(c.placement, instance{op: "stray"})
+	c.sendTo(addr, "retire")
+}
+
+func (c *Coordinator) scratchOnly(addr string) {
+	// Mutating non-journaled state needs no journal record.
+	c.scratch++
+	c.broadcast("report")
+}

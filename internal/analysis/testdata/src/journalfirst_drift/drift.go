@@ -1,0 +1,11 @@
+// Package drift exercises journalfirst's drift guard: a Coordinator
+// struct in a dist package with no seep:journaled fields means the
+// discipline has silently rotted out of the source.
+package drift
+
+type Coordinator struct { // want `Coordinator declares no // seep:journaled fields`
+	placement map[string]string
+	seq       uint64
+}
+
+func (c *Coordinator) broadcast(msg string) {}

@@ -1,0 +1,12 @@
+// Package missing exercises optmatrix's registry guard: With* options
+// exist but the package declares no universalOptions var at all.
+package missing
+
+type Option func(*runtimeConfig)
+
+type runtimeConfig struct{ seed int64 }
+
+// WithSeed would be universal, but there is no registry to list it in.
+func WithSeed(seed int64) Option { // want `declares With\* options but no universalOptions registry var`
+	return func(c *runtimeConfig) { c.seed = seed }
+}

@@ -1,0 +1,61 @@
+// Package timerleak exercises the timerleak analyzer: time.After in
+// loops, abandoned time.After in multi-case selects, and the clean
+// stopped-timer shape.
+package timerleak
+
+import "time"
+
+func afterInLoop(stop chan struct{}) {
+	for {
+		select {
+		case <-time.After(time.Second): // want `time\.After inside a loop`
+		case <-stop:
+			return
+		}
+	}
+}
+
+func afterInRange(items []int) {
+	for range items {
+		<-time.After(time.Millisecond) // want `time\.After inside a loop`
+	}
+}
+
+func abandonedAfter(stop chan struct{}) {
+	select {
+	case <-time.After(time.Second): // want `select can abandon <-time\.After`
+	case <-stop:
+		return
+	}
+}
+
+func soleAfter() {
+	// A single-case select (or a bare receive) always consumes the
+	// timer; nothing is abandoned.
+	select {
+	case <-time.After(time.Millisecond):
+	}
+	<-time.After(time.Millisecond)
+}
+
+func stoppedTimer(stop chan struct{}) {
+	t := time.NewTimer(time.Second)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-stop:
+		return
+	}
+}
+
+func loopWithTicker(stop chan struct{}) {
+	tick := time.NewTicker(time.Second)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+		case <-stop:
+			return
+		}
+	}
+}

@@ -1,0 +1,58 @@
+// Package wiredet exercises the wiredet analyzer. The test type-checks
+// it under the import path seep/internal/state, one of the
+// byte-deterministic packages the analyzer gates on.
+package wiredet
+
+import (
+	"bytes"
+	"encoding/gob"
+	"sort"
+
+	"seep/internal/stream"
+)
+
+func encodeUnsorted(enc *stream.Encoder, m map[string]int64) {
+	enc.Uint64(uint64(len(m)))
+	for k, v := range m { // want `map iteration feeds a stream\.Encoder method`
+		enc.String32(k)
+		enc.Int64(v)
+	}
+}
+
+func encodeViaHelper(enc *stream.Encoder, m map[string]int64) {
+	for k := range m { // want `map iteration feeds an encoding helper`
+		writeKey(enc, k)
+	}
+}
+
+func writeKey(enc *stream.Encoder, k string) { enc.String32(k) }
+
+func encodeGobUnsorted(m map[string]int64) []byte {
+	var buf bytes.Buffer
+	g := gob.NewEncoder(&buf)
+	for k := range m { // want `map iteration feeds an Encode call`
+		_ = g.Encode(k)
+	}
+	return buf.Bytes()
+}
+
+func encodeSorted(enc *stream.Encoder, m map[string]int64) {
+	keys := make([]string, 0, len(m))
+	for k := range m { // collecting keys touches no encoder: clean
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	enc.Uint64(uint64(len(keys)))
+	for _, k := range keys { // slice range, not a map range: clean
+		enc.String32(k)
+		enc.Int64(m[k])
+	}
+}
+
+func countOnly(m map[string]int64) int {
+	n := 0
+	for range m { // no encoder involved: clean
+		n++
+	}
+	return n
+}

@@ -1,0 +1,99 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Timerleak flags time.After timer churn: the PR 5 leak class, where a
+// loop (or an abandonable select) allocates a runtime timer per
+// iteration that lives until its deadline fires.
+var Timerleak = &Analyzer{
+	Name: "timerleak",
+	Doc: `flag time.After in loops and in aborted selects
+
+time.After allocates a runtime timer that is only released when it
+fires. Two patterns churn or strand those timers:
+
+  - time.After inside a for/range body: one timer per iteration, each
+    alive until its deadline, even after the loop moved on.
+  - <-time.After(d) as a case of a select with other cases: when
+    another case wins, the timer is abandoned until d elapses.
+
+Both should hoist a time.NewTimer and Stop/Reset it (the PR 5
+coordinator fix; see Coordinator.call for the canonical shape).`,
+	Run: runTimerleak,
+}
+
+func runTimerleak(pass *Pass) error {
+	flagged := make(map[*ast.CallExpr]bool)
+	for _, file := range pass.Files {
+		// Rule 1: time.After lexically inside a loop body.
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch loop := n.(type) {
+			case *ast.ForStmt:
+				body = loop.Body
+			case *ast.RangeStmt:
+				body = loop.Body
+			default:
+				return true
+			}
+			ast.Inspect(body, func(m ast.Node) bool {
+				call, ok := m.(*ast.CallExpr)
+				if !ok || !isPkgCall(pass.TypesInfo, call, "time", "After") {
+					return true
+				}
+				if !flagged[call] {
+					flagged[call] = true
+					pass.Reportf(call.Pos(), "time.After inside a loop allocates one timer per iteration; hoist a time.NewTimer and Reset it")
+				}
+				return true
+			})
+			return true
+		})
+		// Rule 2: <-time.After as one case of a multi-case select.
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectStmt)
+			if !ok || len(sel.Body.List) < 2 {
+				return true
+			}
+			for _, clause := range sel.Body.List {
+				comm, ok := clause.(*ast.CommClause)
+				if !ok || comm.Comm == nil {
+					continue
+				}
+				call := timerRecv(comm.Comm)
+				if call == nil || !isPkgCall(pass.TypesInfo, call, "time", "After") {
+					continue
+				}
+				if !flagged[call] {
+					flagged[call] = true
+					pass.Reportf(call.Pos(), "select can abandon <-time.After, leaving the timer allocated until it fires; use a stopped time.NewTimer with a deferred Stop")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// timerRecv extracts the call of a `<-call(...)` receive in a select
+// comm statement (plain receive, assignment or declaration form).
+func timerRecv(comm ast.Stmt) *ast.CallExpr {
+	var expr ast.Expr
+	switch s := comm.(type) {
+	case *ast.ExprStmt:
+		expr = s.X
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			expr = s.Rhs[0]
+		}
+	}
+	unary, ok := ast.Unparen(expr).(*ast.UnaryExpr)
+	if !ok || unary.Op != token.ARROW {
+		return nil
+	}
+	call, _ := ast.Unparen(unary.X).(*ast.CallExpr)
+	return call
+}

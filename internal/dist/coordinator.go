@@ -192,16 +192,21 @@ type Coordinator struct {
 	loopWG sync.WaitGroup
 
 	// Loop-owned state (no locks: only the loop goroutine touches it).
-	q          *plan.Query
-	mgr        *core.Manager
+	// Fields marked seep:journaled are authoritative control-plane
+	// state captured by snapshotState and reconstructed from the
+	// write-ahead journal on failover; the journalfirst analyzer checks
+	// that methods mutating them append a journal record before any
+	// worker-visible send.
+	q          *plan.Query   // seep:journaled
+	mgr        *core.Manager // seep:journaled
 	workers    map[string]*workerRef
-	order      []string
-	placement  map[plan.InstanceID]string
+	order      []string                   // seep:journaled
+	placement  map[plan.InstanceID]string // seep:journaled
 	trans      *transition
 	queue      []func()
-	seq        uint64
+	seq        uint64 // seep:journaled
 	expectDown map[string]bool
-	startAt    time.Time
+	startAt    time.Time // seep:journaled
 	// dead marks a JournalHook-induced crash: the loop stops executing
 	// control logic mid-statement, exactly like kill -9.
 	dead bool
@@ -212,7 +217,7 @@ type Coordinator struct {
 	// carries its legacy output buffer, so acknowledgement trims
 	// addressed to the old identity reach the worker hosting it (the
 	// chain is chased: a merge product may itself have been replaced).
-	legacyOwner map[plan.InstanceID]plan.InstanceID
+	legacyOwner map[plan.InstanceID]plan.InstanceID // seep:journaled
 
 	// Durable control plane (nil when Config.ControlPlaneDir is unset).
 	// The Journal is internally locked; jn/dstore themselves are set

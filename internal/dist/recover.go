@@ -192,6 +192,8 @@ func (c *Coordinator) beginReattach(rep *controlplane.Replayed, began time.Time,
 // onReattach handles a worker inventory: either the Seq-correlated
 // reply to the reattach handshake, or an unsolicited announcement from
 // an orphaned worker that re-dialed the standby address.
+//
+// seep:replay
 func (c *Coordinator) onReattach(ctl *Control) {
 	if t := c.trans; t != nil && t.reattach && ctl.Seq == t.seq {
 		c.invByWorker[ctl.From] = ctl
@@ -243,6 +245,8 @@ func (c *Coordinator) onReattach(ctl *Control) {
 //     control queues guarantee the refresh lands first);
 //   - workers that could not be re-dialed hand their instances to the
 //     same recovery path a heartbeat death would.
+//
+// seep:replay
 func (c *Coordinator) reconcile(t *transition, rep *controlplane.Replayed, began time.Time) {
 	hosted := make(map[plan.InstanceID]string)
 	for addr, inv := range c.invByWorker {

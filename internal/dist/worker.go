@@ -146,7 +146,8 @@ func (w *Worker) Addr() string { return w.self }
 func (w *Worker) Engine() *engine.Engine { return w.engPtr.Load() }
 
 // setEngine updates both the locked handle and its lock-free mirror.
-// Caller holds w.mu.
+//
+// seep:locks w.mu
 func (w *Worker) setEngine(eng *engine.Engine) {
 	w.eng = eng
 	w.engPtr.Store(eng)

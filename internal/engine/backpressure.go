@@ -132,6 +132,8 @@ func (l *creditLedger) release() {
 // empty. It returns false when the receiver stopped or the engine shut
 // down while waiting — the caller drops the batch exactly like a send
 // to a stopped receiver (output-buffer retention covers replay).
+//
+// seep:blocking
 func (n *node) acquireCredit() bool {
 	l := &n.credits
 	if l.tryAcquire() {

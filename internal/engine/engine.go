@@ -489,8 +489,10 @@ func (e *Engine) newNode(inst plan.InstanceID, spec *plan.OpSpec) (*node, error)
 }
 
 // rebuildTopology recomputes the node-set and per-node route-table
-// snapshots under a fresh epoch. Caller holds e.mu. Invoked on New,
-// Start and replace — never on the data path.
+// snapshots under a fresh epoch. Invoked on New, Start and replace —
+// never on the data path.
+//
+// seep:locks e.mu
 func (e *Engine) rebuildTopology() {
 	e.epoch++
 	set := &nodeSet{
@@ -531,10 +533,12 @@ func (e *Engine) rebuildTopology() {
 }
 
 // buildRoutes resolves one node's downstream fan-out against the
-// current routing state and node map. Caller holds e.mu AND n.mu (the
+// current routing state and node map. Both locks are required: the
 // buffer handles live inside n.outBuf, guarded by n.mu against
-// concurrent trims; holding n.mu across the whole build also lets
-// ApplyReroute swap a table atomically with buffer repartitioning).
+// concurrent trims, and holding n.mu across the whole build also lets
+// ApplyReroute swap a table atomically with buffer repartitioning.
+//
+// seep:locks e.mu n.mu
 func (e *Engine) buildRoutes(n *node) *routeTable {
 	rt := &routeTable{epoch: e.epoch}
 	q := e.mgr.Query()
@@ -691,8 +695,9 @@ func (e *Engine) stop() {
 	}
 }
 
-// startNode launches the node goroutine. Caller holds e.mu or is in
-// single-threaded setup.
+// startNode launches the node goroutine.
+//
+// seep:locks e.mu
 func (e *Engine) startNode(n *node) {
 	e.wg.Add(1)
 	go func() {

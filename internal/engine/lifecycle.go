@@ -528,8 +528,9 @@ func (e *Engine) replace(victim plan.InstanceID, pi int, failure bool) error {
 // downstream nodes under the CURRENT routing state and appends them to
 // replayTo, attributed to `from` (the buffer's original emitter — a
 // replacement instance for its own checkpoint buffer, a retired merge
-// victim for a legacy buffer). Caller holds e.mu. Returns the number of
-// tuples collected.
+// victim for a legacy buffer). Returns the number of tuples collected.
+//
+// seep:locks e.mu
 func (e *Engine) collectDownstreamReplay(from plan.InstanceID, srcOp plan.OpID, buf *state.Buffer, replayTo map[*node][]delivery) int {
 	if buf == nil {
 		return 0

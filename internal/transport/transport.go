@@ -556,7 +556,9 @@ func (p *Peer) connect() error {
 	return p.connectLocked()
 }
 
-// connectLocked (re)establishes the connection. Caller holds p.mu.
+// connectLocked (re)establishes the connection.
+//
+// seep:locks p.mu
 func (p *Peer) connectLocked() error {
 	conn, err := net.DialTimeout("tcp", p.addr, 2*time.Second)
 	if err != nil {
@@ -638,12 +640,14 @@ func (p *Peer) declareDown() {
 	}
 }
 
-// writeLocked writes one frame and flushes under a write deadline.
-// Caller holds p.mu. The deadline is anchored before the injected
-// slow-link delay, so a faulted link eats into the write budget instead
-// of silently extending it, and any write that runs past writeStallAfter
-// is counted as a credit stall — slow links surface in the metrics the
-// same way an exhausted credit ledger does.
+// writeLocked writes one frame and flushes under a write deadline. The
+// deadline is anchored before the injected slow-link delay, so a
+// faulted link eats into the write budget instead of silently extending
+// it, and any write that runs past writeStallAfter is counted as a
+// credit stall — slow links surface in the metrics the same way an
+// exhausted credit ledger does.
+//
+// seep:locks p.mu
 func (p *Peer) writeLocked(frameType uint8, body []byte) error {
 	start := time.Now()
 	// Chaos-harness fault injection: the disarmed path is one atomic

@@ -84,6 +84,25 @@ func (c *runtimeConfig) restrict(name string, note string, accepts ...string) {
 	c.restricted = append(c.restricted, restrictedOption{name: name, accepts: accepts, note: note})
 }
 
+// universalOptions lists every exported option accepted by all three
+// substrates. Together with the c.restrict calls inside the restricted
+// options it forms the closed option/substrate matrix: the optmatrix
+// analyzer (seep-lint) verifies that each exported With* constructor
+// appears in exactly one of the two registries, and TestUniversalOptions
+// verifies the entries here really do deploy without restriction.
+var universalOptions = []string{
+	"WithBatching",
+	"WithCheckpointInterval",
+	"WithDetectDelay",
+	"WithElasticity",
+	"WithIncrementalCheckpoints",
+	"WithPolicy",
+	"WithRecoveryParallelism",
+	"WithScaleIn",
+	"WithSeed",
+	"WithTimerInterval",
+}
+
 // substrateName maps a runtime name to its constructor's name.
 func substrateName(runtime string) string {
 	switch runtime {

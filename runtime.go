@@ -360,8 +360,10 @@ func (j *liveJob) Fail(inst InstanceID) error {
 			j.pending--
 			j.mu.Unlock()
 		}()
+		detect := time.NewTimer(j.detect)
+		defer detect.Stop()
 		select {
-		case <-time.After(j.detect):
+		case <-detect.C:
 		case <-j.stop:
 			return
 		}

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# lint.sh — the repo's static gate, one command for CI and for hands:
+# gofmt, go vet, and seep-lint (the invariant suite in internal/analysis,
+# run both standalone and as the vet tool so each loading path stays
+# honest). govulncheck runs when the binary is available; the container
+# image does not bake it in, so its absence is a skip, not a failure.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+out=$(gofmt -l .)
+if [ -n "$out" ]; then
+  echo "gofmt needed on:" >&2
+  echo "$out" >&2
+  exit 1
+fi
+
+echo "== go vet"
+go vet ./...
+
+echo "== seep-lint (standalone)"
+go run ./cmd/seep-lint ./...
+
+echo "== seep-lint (go vet -vettool)"
+tool=$(mktemp -d)/seep-lint
+trap 'rm -rf "$(dirname "$tool")"' EXIT
+go build -o "$tool" ./cmd/seep-lint
+go vet -vettool="$tool" ./...
+
+if command -v govulncheck >/dev/null 2>&1; then
+  echo "== govulncheck"
+  govulncheck ./...
+else
+  echo "== govulncheck: not installed, skipping"
+fi
+
+echo "lint OK"
